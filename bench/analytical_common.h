@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file analytical_common.h
+/// Shared sweep for Figures 1–3: expected response time of all seven
+/// methods, relative to the tape read time of S, as |R|/M varies with
+/// |S| = 10|R|, D = 32M, X_D = 2X_T (Section 5.3's exact setup).
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace tertio::bench {
+
+/// Prints the relative-response series over the given |R|/M values.
+inline void RunAnalyticalSweep(const std::vector<double>& r_over_m) {
+  // Section 5.3 is a pure transfer-only analysis; concrete scales cancel in
+  // the relative metric. M = 2,000 blocks keeps all ratios integral.
+  constexpr BlockCount kM = 2000;
+  constexpr double kTapeRate = 1.5e6;
+
+  std::vector<std::string> labels;
+  for (JoinMethodId method : kAllJoinMethods) {
+    labels.emplace_back(JoinMethodName(method));
+  }
+  exec::SeriesReport series("|R|/M", labels);
+  for (double x : r_over_m) {
+    cost::CostParams params;
+    params.r_blocks = static_cast<BlockCount>(x * kM);
+    params.s_blocks = 10 * params.r_blocks;
+    params.memory_blocks = kM;
+    params.disk_blocks = 32 * kM;
+    params.tape_rate_bps = kTapeRate;
+    params.disk_rate_bps = 2.0 * kTapeRate;  // X_D = 2 X_T
+    params.disk_positioning_seconds = 0.0;   // the paper's transfer-only model
+    double optimum = cost::OptimumJoinSeconds(params);
+    std::vector<double> values;
+    for (JoinMethodId method : kAllJoinMethods) {
+      auto estimate = cost::Estimate(method, params);
+      values.push_back(estimate.ok() ? estimate->total_seconds / optimum
+                                     : std::nan(""));
+    }
+    series.AddPoint(x, values);
+  }
+  series.Print();
+}
+
+}  // namespace tertio::bench

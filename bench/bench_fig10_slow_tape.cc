@@ -1,0 +1,15 @@
+/// \file bench_fig10_slow_tape.cc
+/// Reproduces Figure 10: relative join overhead with a slower tape drive
+/// (0%-compressible data). Concurrent methods are disk-bound, so their
+/// absolute response is unchanged while the optimum grows — overhead falls
+/// (paper: CDT-GH from ~40% to ~10%).
+
+#include "bench/overhead_common.h"
+
+int main() {
+  return tertio::bench::RunOverheadFigure(
+      "Figure 10 — relative join overhead, slower tape (0% compressible)",
+      "Section 9, Figure 10",
+      "overheads fall vs Figure 9; concurrent methods fall the most",
+      /*compressibility=*/0.0);
+}

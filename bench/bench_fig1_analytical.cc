@@ -1,0 +1,15 @@
+/// \file bench_fig1_analytical.cc
+/// Reproduces Figure 1: expected response time (relative to the tape read
+/// time of S) for small |R| — |R|/M in [1, 5]. NB-method response depends on
+/// memory (iteration count); hashing methods are flat here because their
+/// iteration count depends on disk space.
+
+#include "bench/analytical_common.h"
+
+int main() {
+  tertio::bench::Banner("Figure 1 — analytical response, small |R| (|R|/M in [1,5])",
+                        "Section 5.3, Figure 1",
+                        "NB methods rise with |R|/M; hashing methods nearly constant");
+  tertio::bench::RunAnalyticalSweep({1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0});
+  return 0;
+}

@@ -1,0 +1,15 @@
+/// \file bench_fig2_analytical.cc
+/// Reproduces Figure 2: expected relative response for medium |R| — |R|/M in
+/// [5, 35], |R| approaching D (= 32M). As |R| -> D the disk-tape hash
+/// methods lose S-buffer space and blow up; TT-GH's setup cost rules it out;
+/// CTT-GH stays largely unaffected.
+
+#include "bench/analytical_common.h"
+
+int main() {
+  tertio::bench::Banner("Figure 2 — analytical response, medium |R| (|R|/M in [5,35])",
+                        "Section 5.3, Figure 2",
+                        "DT-GH/CDT-GH explode as |R| -> D (=32M); CTT-GH flat");
+  tertio::bench::RunAnalyticalSweep({5, 8, 11, 14, 17, 20, 23, 26, 29, 31, 32, 33, 35});
+  return 0;
+}

@@ -1,0 +1,15 @@
+/// \file bench_fig3_analytical.cc
+/// Reproduces Figure 3: expected relative response for large |R| — |R|/M in
+/// [10, 150], far beyond both M and D. Only the tape-tape methods remain
+/// feasible; CTT-GH scales gracefully while TT-GH pays for hashing S from
+/// tape to tape.
+
+#include "bench/analytical_common.h"
+
+int main() {
+  tertio::bench::Banner("Figure 3 — analytical response, large |R| (|R|/M in [10,150])",
+                        "Section 5.3, Figure 3",
+                        "CTT-GH scales gracefully; disk-tape methods infeasible beyond D");
+  tertio::bench::RunAnalyticalSweep({10, 30, 50, 70, 90, 110, 130, 150});
+  return 0;
+}

@@ -1,0 +1,30 @@
+/// \file bench_fig8_response_time.cc
+/// Reproduces Figure 8 (response time vs memory size, Experiment 3, base
+/// tape speed: 25%-compressible data).
+///
+/// Expected: NB methods blow up at small M; CDT-GH flat and dominant in the
+/// small/medium range; CDT-NB/MB approaches the optimum at large M and
+/// crosses CDT-GH around M = 0.7|R|; GH shows a small uptick at the very
+/// smallest M (bucket writes degrade to random I/O).
+
+#include "bench/exp3_common.h"
+
+namespace tertio::bench {
+namespace {
+
+int Run() {
+  Banner("Figure 8 — response time vs memory size (Experiment 3, base tape speed)",
+         "Section 9, Figure 8",
+         "NB explodes at small M; CDT-GH flat; crossover near M = 0.7|R|");
+  Exp3Sweep sweep = RunExp3Sweep(kBaseCompressibility);
+  PrintExp3Series(
+      sweep, "M/|R|", " (s)",
+      [](const join::JoinStats& stats) { return stats.response_seconds; }, 0,
+      {"Optimum (s)"}, {sweep.optimum_seconds});
+  return 0;
+}
+
+}  // namespace
+}  // namespace tertio::bench
+
+int main() { return tertio::bench::Run(); }

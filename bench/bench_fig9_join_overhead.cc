@@ -1,0 +1,13 @@
+/// \file bench_fig9_join_overhead.cc
+/// Reproduces Figure 9: relative join overhead vs memory size at the base
+/// tape speed (25%-compressible data). The paper's CDT-GH bottoms out
+/// around 40% overhead; CDT-NB/MB approaches the optimum at large M.
+
+#include "bench/overhead_common.h"
+
+int main() {
+  return tertio::bench::RunOverheadFigure(
+      "Figure 9 — relative join overhead (base tape speed, 25% compressible)",
+      "Section 9, Figure 9", "CDT-GH lowest at small/medium M; NB best at large M",
+      /*compressibility=*/0.25);
+}

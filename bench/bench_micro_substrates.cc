@@ -1,0 +1,171 @@
+/// \file bench_micro_substrates.cc
+/// google-benchmark microbenchmarks of the substrate hot paths: block codec,
+/// key hashing, hash partitioning, the disk allocator, and resource
+/// scheduling. These bound how fast paper-scale phantom simulations run.
+
+#include <benchmark/benchmark.h>
+
+#include "disk/allocator.h"
+#include "disk/striped_group.h"
+#include "hash/disk_partitioner.h"
+#include "hash/hasher.h"
+#include "join/join_output.h"
+#include "relation/block.h"
+#include "relation/generator.h"
+#include "relation/tuple.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+#include "tape/tape_volume.h"
+
+namespace tertio {
+namespace {
+
+constexpr ByteCount kBlock = 8 * kKiB;
+
+void BM_BlockBuilderAppend(benchmark::State& state) {
+  rel::Schema schema = rel::Schema::KeyPayload(100);
+  rel::BlockBuilder builder(&schema, kBlock);
+  rel::TupleBuilder tuple(&schema);
+  tuple.SetInt64(0, 42).SetFixedChar(1, "payload");
+  std::uint64_t tuples = 0;
+  for (auto _ : state) {
+    if (builder.full()) benchmark::DoNotOptimize(builder.Finish());
+    TERTIO_CHECK(builder.Append(tuple.bytes()).ok(), "append failed");
+    ++tuples;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tuples));
+  state.SetBytesProcessed(static_cast<int64_t>(tuples * schema.record_bytes()));
+}
+BENCHMARK(BM_BlockBuilderAppend);
+
+void BM_BlockReaderScan(benchmark::State& state) {
+  rel::Schema schema = rel::Schema::KeyPayload(100);
+  rel::BlockBuilder builder(&schema, kBlock);
+  rel::TupleBuilder tuple(&schema);
+  while (!builder.full()) {
+    tuple.SetInt64(0, static_cast<int64_t>(builder.record_count()));
+    TERTIO_CHECK(builder.Append(tuple.bytes()).ok(), "append failed");
+  }
+  BlockPayload payload = builder.Finish();
+  std::int64_t sum = 0;
+  std::uint64_t tuples = 0;
+  for (auto _ : state) {
+    auto reader = rel::BlockReader::Open(payload, &schema);
+    for (BlockCount i = 0; i < reader->record_count(); ++i) {
+      sum += rel::Tuple(reader->record(i), &schema).GetInt64(0);
+      ++tuples;
+    }
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(static_cast<int64_t>(tuples));
+}
+BENCHMARK(BM_BlockReaderScan);
+
+void BM_HashKeyAndBucket(benchmark::State& state) {
+  std::uint64_t acc = 0;
+  std::int64_t key = 0;
+  for (auto _ : state) {
+    acc += hash::BucketOf(key++, 317);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashKeyAndBucket);
+
+void BM_JoinOutputAddMatch(benchmark::State& state) {
+  join::JoinOutput output;
+  std::int64_t key = 0;
+  for (auto _ : state) {
+    output.AddMatch(key++, 0x1234, 0x5678);
+  }
+  benchmark::DoNotOptimize(output.checksum());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JoinOutputAddMatch);
+
+void BM_ResourceSchedule(benchmark::State& state) {
+  sim::Resource resource("disk");
+  SimSeconds ready = 0.0;
+  for (auto _ : state) {
+    ready = resource.Schedule(ready, 0.001, kBlock, "op").end;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResourceSchedule);
+
+void BM_AllocatorAllocFree(benchmark::State& state) {
+  disk::DiskSpaceAllocator allocator({1 << 20, 1 << 20}, 32);
+  for (auto _ : state) {
+    auto extents = allocator.Allocate(64, 0.0, "bench");
+    TERTIO_CHECK(extents.ok(), "alloc failed");
+    TERTIO_CHECK(allocator.Free(*extents, 0.0, "bench").ok(), "free failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AllocatorAllocFree);
+
+void BM_PhantomPartitioner(benchmark::State& state) {
+  // Throughput of timing-only partitioning — the inner loop of every
+  // paper-scale Grace run.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation sim;
+    disk::StripedDiskGroup group(
+        disk::DiskGroupConfig::Uniform(2, disk::DiskModel::Ideal(1e9), 200000, kBlock, 32),
+        &sim);
+    hash::DiskPartitioner::Options options;
+    options.bucket_count = 300;
+    options.write_buffer_blocks = 3;
+    hash::DiskPartitioner partitioner(&group, options);
+    state.ResumeTiming();
+    TERTIO_CHECK(partitioner.AddPhantomBlocks(100000, 1000000, 0.0).ok(), "add failed");
+    TERTIO_CHECK(partitioner.Flush().ok(), "flush failed");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_PhantomPartitioner)->Unit(benchmark::kMillisecond);
+
+void BM_RealPartitioner(benchmark::State& state) {
+  tape::TapeVolume tape("t", kBlock);
+  rel::GeneratorConfig config;
+  config.tuple_count = 50000;
+  auto relation = rel::GenerateOnTape(config, &tape);
+  TERTIO_CHECK(relation.ok(), "generation failed");
+  std::vector<BlockPayload> blocks;
+  for (BlockIndex i = 0; i < tape.size_blocks(); ++i) {
+    blocks.push_back(tape.ReadBlock(i).value());
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation sim;
+    disk::StripedDiskGroup group(
+        disk::DiskGroupConfig::Uniform(2, disk::DiskModel::Ideal(1e9), 20000, kBlock, 32),
+        &sim);
+    hash::DiskPartitioner::Options options;
+    options.schema = &relation->schema;
+    options.bucket_count = 32;
+    options.write_buffer_blocks = 4;
+    hash::DiskPartitioner partitioner(&group, options);
+    state.ResumeTiming();
+    TERTIO_CHECK(partitioner.AddBlocks(blocks, 0.0).ok(), "add failed");
+    TERTIO_CHECK(partitioner.Flush().ok(), "flush failed");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 50000);
+}
+BENCHMARK(BM_RealPartitioner)->Unit(benchmark::kMillisecond);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    tape::TapeVolume tape("t", kBlock);
+    rel::GeneratorConfig config;
+    config.tuple_count = 10000;
+    benchmark::DoNotOptimize(rel::GenerateOnTape(config, &tape));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SyntheticGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tertio
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file bench_util.h
+/// Shared scaffolding for the paper-reproduction harnesses.
+///
+/// Every bench binary reproduces one table or figure of the paper at the
+/// paper's own parameters, in timing-only (phantom) mode: blocks are
+/// accounted and devices charge virtual time, but no tuple bytes move, so a
+/// 10 GB join runs in seconds of wall-clock.
+
+#include <cstdio>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "exec/experiment.h"
+#include "exec/machine.h"
+#include "exec/report.h"
+#include "join/join_method.h"
+#include "util/string_util.h"
+
+namespace tertio::bench {
+
+/// The paper's base data compressibility. Section 6 enables drive
+/// compression on synthetic data; Experiment 3's base run uses
+/// 25%-compressible data, which we adopt everywhere unless a figure varies
+/// it (Figures 10/11 use 0% and 50%).
+inline constexpr double kBaseCompressibility = 0.25;
+
+/// Prints the bench banner.
+inline void Banner(const char* experiment, const char* paper_ref, const char* expectation) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper: %s\n", paper_ref);
+  std::printf("Expected shape: %s\n", expectation);
+  std::printf("=============================================================\n");
+}
+
+/// Runs a phantom (timing-only) join at paper scale; aborts the bench on
+/// setup errors, returns an errored Result for per-point infeasibility.
+inline Result<join::JoinStats> RunPaperJoin(ByteCount s_bytes, ByteCount r_bytes,
+                                            ByteCount disk_bytes, ByteCount memory_bytes,
+                                            JoinMethodId method,
+                                            double compressibility = kBaseCompressibility) {
+  exec::MachineConfig machine = exec::MachineConfig::PaperTestbed(disk_bytes, memory_bytes);
+  exec::WorkloadConfig workload;
+  workload.r_bytes = r_bytes;
+  workload.s_bytes = s_bytes;
+  workload.compressibility = compressibility;
+  workload.phantom = true;
+  return exec::RunJoinExperiment(machine, workload, method);
+}
+
+/// Bare sequential read time of both relations on one drive after the other
+/// (Table 3's "Read S + R" column).
+inline SimSeconds BareReadSeconds(ByteCount s_bytes, ByteCount r_bytes, double compressibility,
+                                  const tape::TapeDriveModel& model) {
+  return model.TransferSeconds(s_bytes, compressibility) +
+         model.TransferSeconds(r_bytes, compressibility);
+}
+
+}  // namespace tertio::bench

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file exp3_common.h
+/// Shared sweep for Figures 6–11 (Experiment 3: Large S, Small R).
+///
+/// |S| = 1,000 MB, |R| = 18 MB, D = 50 MB; memory varies from a small
+/// fraction of |R| up to |R|. The five disk–tape methods are compared; the
+/// optimum join time is the bare tape transfer of S. Figures 9–11 repeat
+/// the sweep at different data compressibilities (0.25 / 0 / 0.5), which
+/// changes the effective tape speed and therefore the optimum.
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace tertio::bench {
+
+inline constexpr ByteCount kExp3R = 18 * kMB;
+inline constexpr ByteCount kExp3S = 1000 * kMB;
+inline constexpr ByteCount kExp3D = 50 * kMB;
+
+inline const std::vector<double>& Exp3MemoryFractions() {
+  static const std::vector<double> kFractions = {0.05, 0.1, 0.15, 0.2, 0.3, 0.4,
+                                                 0.5,  0.6, 0.7,  0.8, 0.9, 1.0};
+  return kFractions;
+}
+
+inline const std::vector<JoinMethodId>& Exp3Methods() {
+  static const std::vector<JoinMethodId> kMethods = {
+      JoinMethodId::kDtNb, JoinMethodId::kCdtNbMb, JoinMethodId::kCdtNbDb,
+      JoinMethodId::kDtGh, JoinMethodId::kCdtGh};
+  return kMethods;
+}
+
+inline std::vector<std::string> Exp3Labels(const char* suffix) {
+  std::vector<std::string> labels;
+  for (JoinMethodId method : Exp3Methods()) {
+    labels.push_back(std::string(JoinMethodName(method)) + suffix);
+  }
+  return labels;
+}
+
+/// One full sweep: stats per (fraction, method); errored entries are
+/// infeasible points.
+struct Exp3Sweep {
+  std::vector<double> fractions;
+  // [point][method]
+  std::vector<std::vector<Result<join::JoinStats>>> runs;
+  /// Bare tape transfer time of S — the optimum join time of Section 9.
+  SimSeconds optimum_seconds = 0.0;
+};
+
+inline Exp3Sweep RunExp3Sweep(double compressibility) {
+  Exp3Sweep sweep;
+  sweep.fractions = Exp3MemoryFractions();
+  sweep.optimum_seconds =
+      tape::TapeDriveModel::DLT4000().TransferSeconds(kExp3S, compressibility);
+  for (double f : sweep.fractions) {
+    auto memory = static_cast<ByteCount>(f * kExp3R);
+    std::vector<Result<join::JoinStats>> row;
+    for (JoinMethodId method : Exp3Methods()) {
+      row.push_back(RunPaperJoin(kExp3S, kExp3R, kExp3D, memory, method, compressibility));
+    }
+    sweep.runs.push_back(std::move(row));
+  }
+  return sweep;
+}
+
+/// Prints one metric of the sweep as a figure series.
+template <typename MetricFn>
+void PrintExp3Series(const Exp3Sweep& sweep, const char* x_label, const char* suffix,
+                     MetricFn metric, int precision = 0,
+                     std::vector<std::string> extra_labels = {},
+                     std::vector<double> extra_values = {}) {
+  std::vector<std::string> labels = Exp3Labels(suffix);
+  labels.insert(labels.end(), extra_labels.begin(), extra_labels.end());
+  exec::SeriesReport series(x_label, labels);
+  for (size_t i = 0; i < sweep.fractions.size(); ++i) {
+    std::vector<double> values;
+    for (const auto& run : sweep.runs[i]) {
+      values.push_back(run.ok() ? metric(run.value()) : std::nan(""));
+    }
+    values.insert(values.end(), extra_values.begin(), extra_values.end());
+    series.AddPoint(sweep.fractions[i], values);
+  }
+  series.Print(precision);
+}
+
+}  // namespace tertio::bench

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file overhead_common.h
+/// Shared driver for Figures 9–11: relative join overhead
+/// (response/optimum - 1, in %) vs memory size at a given compressibility.
+
+#include "bench/exp3_common.h"
+
+namespace tertio::bench {
+
+inline int RunOverheadFigure(const char* title, const char* paper_ref, const char* expectation,
+                             double compressibility) {
+  Banner(title, paper_ref, expectation);
+  Exp3Sweep sweep = RunExp3Sweep(compressibility);
+  std::printf("Effective tape rate: %.2f MB/s; optimum join time: %.0f s\n\n",
+              tape::TapeDriveModel::DLT4000().EffectiveRate(compressibility) / 1e6,
+              sweep.optimum_seconds);
+  PrintExp3Series(sweep, "M/|R|", " (%)", [&](const join::JoinStats& stats) {
+    return 100.0 * (stats.response_seconds / sweep.optimum_seconds - 1.0);
+  });
+  return 0;
+}
+
+}  // namespace tertio::bench

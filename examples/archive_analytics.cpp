@@ -1,0 +1,96 @@
+/// \file archive_analytics.cpp
+/// A complete analytics query over tape-resident data using the query
+/// layer: join the archived sales facts (tape S) with the product dimension
+/// (tape R), filter, and aggregate — with the join output pipelined straight
+/// into the aggregation, never touching storage (Section 3.2's model).
+///
+/// Conceptually:
+///   SELECT bucket(product_key), COUNT(*), SUM(product_key)
+///   FROM sales JOIN product ON sales.product_key = product.key
+///   WHERE product.key < 150
+///   GROUP BY bucket(product_key)
+
+#include <cstdio>
+
+#include "exec/machine.h"
+#include "query/query.h"
+#include "relation/generator.h"
+#include "util/string_util.h"
+
+using namespace tertio;
+using namespace tertio::query;
+
+int main() {
+  exec::MachineConfig config;
+  config.block_bytes = 8 * kKiB;
+  config.disk_space_bytes = 8 * kMB;
+  config.memory_bytes = 1 * kMB;
+  exec::Machine machine(config);
+
+  // The archive: a product dimension and a sales fact, both on tape.
+  rel::GeneratorConfig product_config;
+  product_config.name = "product";
+  product_config.tuple_count = 300;
+  product_config.keys = rel::KeySequence::kSequentialUnique;
+  auto product = rel::GenerateOnTape(product_config, &machine.tape_r());
+  rel::GeneratorConfig sales_config;
+  sales_config.name = "sales";
+  sales_config.tuple_count = 20000;
+  sales_config.keys = rel::KeySequence::kZipf;  // skewed: some products sell more
+  sales_config.key_domain = 300;
+  sales_config.zipf_theta = 0.8;
+  sales_config.seed = 2026;
+  auto sales = rel::GenerateOnTape(sales_config, &machine.tape_s());
+  if (!product.ok() || !sales.ok()) return 1;
+  machine.MountTapes();
+
+  std::printf("Archive: %llu products (%s), %llu sales (%s)\n",
+              (unsigned long long)product->tuple_count, FormatBytes(product->bytes()).c_str(),
+              (unsigned long long)sales->tuple_count, FormatBytes(sales->bytes()).c_str());
+
+  // Joined row layout: [product.key, product.payload, sales.key, sales.payload].
+  // Pipeline: WHERE product.key < 150, GROUP BY key/50, COUNT + SUM(key).
+  CollectSink result;
+  std::vector<ExprPtr> group;
+  // Coarse bucket: three boolean splits make 4 ordered groups of 50 keys.
+  group.push_back(Add(Add(Lt(Col(0), Lit(std::int64_t{50})),
+                          Lt(Col(0), Lit(std::int64_t{100}))),
+                      Lt(Col(0), Lit(std::int64_t{150}))));
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSpec{AggKind::kCount, nullptr});
+  aggs.push_back(AggSpec{AggKind::kSum, Col(0)});
+  AggregateSink aggregate(std::move(group), std::move(aggs), &result);
+  FilterSink filter(Lt(Col(0), Lit(std::int64_t{150})), &aggregate);
+
+  TertiaryQuery query;
+  query.r = &product.value();
+  query.s = &sales.value();
+  query.pipeline = &filter;
+
+  join::JoinContext ctx = machine.context();
+  auto stats = ExecuteQuery(query, ctx);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Advisor chose %s; join response %s (virtual)\n",
+              std::string(JoinMethodName(stats->method)).c_str(),
+              FormatDuration(stats->join.response_seconds).c_str());
+  std::printf("%llu joined rows flowed through the pipeline; %llu passed the filter.\n\n",
+              (unsigned long long)stats->join.output_tuples,
+              (unsigned long long)filter.rows_out());
+  std::printf("key range      sales   sum(key)\n");
+  std::printf("--------------------------------\n");
+  const char* ranges[] = {"[100,150)", "[50,100)", "[0,50)"};
+  for (const Row& row : result.rows()) {
+    auto bucket = std::get<std::int64_t>(row.values[0]);
+    auto count = std::get<std::int64_t>(row.values[1]);
+    auto sum = std::get<double>(row.values[2]);
+    const char* label = bucket >= 1 && bucket <= 3 ? ranges[bucket - 1] : "?";
+    std::printf("%-12s %7lld   %8.0f\n", label, (long long)count, sum);
+  }
+  std::printf("\n(The Zipf skew shows: low keys are scrambled across the domain, so\n");
+  std::printf("counts differ per range while the join handled the skewed buckets.)\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// \file capacity_planning.cpp
+/// Using the analytical cost model for capacity planning: "this join must
+/// finish overnight — how much disk and memory does the workstation need,
+/// and which method should run?"
+///
+/// Sweeps a disk x memory grid, asks the advisor for the best method and
+/// estimate in each cell, and marks the cells that meet the deadline.
+
+#include <cstdio>
+#include <vector>
+
+#include "disk/disk_model.h"
+#include "exec/report.h"
+#include "join/advisor.h"
+#include "tape/tape_model.h"
+#include "util/string_util.h"
+
+using namespace tertio;
+
+int main() {
+  // The join to plan: 4 GB fact against a 1 GB dimension, both on tape.
+  constexpr ByteCount kRBytes = 1000 * kMB;
+  constexpr ByteCount kSBytes = 4000 * kMB;
+  constexpr double kDeadlineHours = 8.0;
+  constexpr ByteCount kBlock = kDefaultBlockBytes;
+
+  std::printf("Planning: %s JOIN %s, deadline %.0f h (overnight)\n\n",
+              FormatBytes(kRBytes).c_str(), FormatBytes(kSBytes).c_str(), kDeadlineHours);
+
+  const std::vector<ByteCount> disk_options = {100 * kMB, 500 * kMB, 1200 * kMB,
+                                               3000 * kMB, 4000 * kMB};
+  const std::vector<ByteCount> memory_options = {8 * kMB, 64 * kMB, 512 * kMB, 1200 * kMB};
+
+  exec::TableReport table({"disk \\ memory", "8 MB", "64 MB", "512 MB", "1.2 GB"});
+  for (ByteCount disk : disk_options) {
+    std::vector<std::string> row{FormatBytes(disk)};
+    for (ByteCount memory : memory_options) {
+      cost::CostParams params;
+      params.r_blocks = BytesToBlocks(kRBytes, kBlock);
+      params.s_blocks = BytesToBlocks(kSBytes, kBlock);
+      params.disk_blocks = BytesToBlocks(disk, kBlock);
+      params.memory_blocks = BytesToBlocks(memory, kBlock);
+      params.block_bytes = kBlock;
+      params.tape_rate_bps = tape::TapeDriveModel::DLT4000().EffectiveRate(0.25);
+      params.disk_rate_bps = 2 * disk::DiskModel::QuantumFireball1080().transfer_rate_bps;
+      params.disk_positioning_seconds =
+          disk::DiskModel::QuantumFireball1080().positioning_seconds;
+      auto advice = join::AdviseJoinMethod(params);
+      if (!advice.ok()) {
+        row.push_back("infeasible");
+        continue;
+      }
+      const auto& best = advice->best();
+      double hours = best.estimate.total_seconds / 3600.0;
+      row.push_back(StrFormat("%s %.1fh%s", std::string(JoinMethodName(best.method)).c_str(),
+                              hours, hours <= kDeadlineHours ? " *" : ""));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\n'*' meets the %.0f-hour deadline. Note the paper's conclusions appear\n",
+              kDeadlineHours);
+  std::printf("in the grid: tape-tape CTT-GH when disk < |R|, CDT-GH with ample disk\n");
+  std::printf("and tight memory, nested-block variants once memory approaches |R|.\n");
+  return 0;
+}

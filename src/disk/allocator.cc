@@ -1,0 +1,127 @@
+#include "disk/allocator.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace tertio::disk {
+
+DiskSpaceAllocator::DiskSpaceAllocator(std::vector<BlockCount> per_disk_capacity,
+                                       BlockCount stripe_unit)
+    : stripe_unit_(stripe_unit) {
+  TERTIO_CHECK(!per_disk_capacity.empty(), "allocator requires at least one disk");
+  TERTIO_CHECK(stripe_unit > 0, "stripe unit must be positive");
+  for (BlockCount cap : per_disk_capacity) {
+    FreeList list;
+    if (cap > 0) list.emplace(0, cap);
+    free_lists_.push_back(std::move(list));
+    free_per_disk_.push_back(cap);
+    capacity_ += cap;
+  }
+}
+
+BlockCount DiskSpaceAllocator::FreeBlocksOn(int disk) const {
+  return free_per_disk_[static_cast<size_t>(disk)];
+}
+
+Result<Extent> DiskSpaceAllocator::AllocateOn(int disk, BlockCount max_count) {
+  FreeList& list = free_lists_[static_cast<size_t>(disk)];
+  if (list.empty()) {
+    return Status::ResourceExhausted(StrFormat("disk %d has no free space", disk));
+  }
+  // First fit: prefer the lowest-addressed hole (keeps data packed and
+  // sequential requests adjacent).
+  auto it = list.begin();
+  BlockCount take = std::min(max_count, it->second);
+  Extent extent{disk, it->first, take};
+  BlockIndex new_start = it->first + take;
+  BlockCount remaining = it->second - take;
+  list.erase(it);
+  if (remaining > 0) list.emplace(new_start, remaining);
+  free_per_disk_[static_cast<size_t>(disk)] -= take;
+  return extent;
+}
+
+Result<ExtentList> DiskSpaceAllocator::Allocate(BlockCount count, SimSeconds now,
+                                                const std::string& tag,
+                                                const std::vector<bool>& disk_mask) {
+  if (count == 0) return ExtentList{};
+  const int n = static_cast<int>(free_lists_.size());
+  auto enabled = [&](int d) {
+    return disk_mask.empty() || (d < static_cast<int>(disk_mask.size()) && disk_mask[d]);
+  };
+  BlockCount available = 0;
+  for (int d = 0; d < n; ++d) {
+    if (enabled(d)) available += free_per_disk_[static_cast<size_t>(d)];
+  }
+  if (available < count) {
+    return Status::ResourceExhausted(
+        StrFormat("allocation of %llu blocks exceeds free space (%llu blocks, tag=%s)",
+                  static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(available), tag.c_str()));
+  }
+
+  ExtentList extents;
+  BlockCount remaining = count;
+  int guard = 0;
+  while (remaining > 0) {
+    TERTIO_CHECK(guard++ < 1'000'000, "allocator failed to converge");
+    int disk = rr_cursor_;
+    rr_cursor_ = (rr_cursor_ + 1) % n;
+    if (!enabled(disk) || free_per_disk_[static_cast<size_t>(disk)] == 0) continue;
+    BlockCount want = std::min(remaining, stripe_unit_);
+    auto extent = AllocateOn(disk, want);
+    if (!extent.ok()) continue;
+    remaining -= extent->count;
+    // Coalesce with the previous extent when contiguous on the same disk.
+    if (!extents.empty() && extents.back().disk == extent->disk &&
+        extents.back().start + extents.back().count == extent->start) {
+      extents.back().count += extent->count;
+    } else {
+      extents.push_back(*extent);
+    }
+  }
+  used_ += count;
+  Record(now, static_cast<std::int64_t>(count), tag);
+  return extents;
+}
+
+void DiskSpaceAllocator::FreeOn(const Extent& extent) {
+  FreeList& list = free_lists_[static_cast<size_t>(extent.disk)];
+  auto [it, inserted] = list.emplace(extent.start, extent.count);
+  TERTIO_CHECK(inserted, "double free of disk extent");
+  // Merge with successor.
+  auto next = std::next(it);
+  if (next != list.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    list.erase(next);
+  }
+  // Merge with predecessor.
+  if (it != list.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      list.erase(it);
+    }
+  }
+  free_per_disk_[static_cast<size_t>(extent.disk)] += extent.count;
+}
+
+Status DiskSpaceAllocator::Free(const ExtentList& extents, SimSeconds now,
+                                const std::string& tag) {
+  BlockCount total = TotalBlocks(extents);
+  if (total > used_) {
+    return Status::Internal("freeing more blocks than are allocated");
+  }
+  for (const Extent& extent : extents) FreeOn(extent);
+  used_ -= total;
+  Record(now, -static_cast<std::int64_t>(total), tag);
+  return Status::OK();
+}
+
+void DiskSpaceAllocator::Record(SimSeconds now, std::int64_t delta, const std::string& tag) {
+  if (!trace_enabled_) return;
+  trace_.push_back(UsageEvent{now, delta, used_, tag});
+}
+
+}  // namespace tertio::disk

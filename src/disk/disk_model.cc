@@ -1,0 +1,29 @@
+#include "disk/disk_model.h"
+
+namespace tertio::disk {
+
+DiskModel DiskModel::QuantumFireball1080() {
+  DiskModel m;
+  m.name = "Quantum Fireball 1080S";
+  m.transfer_rate_bps = 4.2e6;
+  m.positioning_seconds = 0.0145;  // ~10.5 ms seek + ~4 ms rotational (7200/2 rpm class)
+  return m;
+}
+
+DiskModel DiskModel::QuantumLightning540() {
+  DiskModel m;
+  m.name = "Quantum Lightning 540S";
+  m.transfer_rate_bps = 2.8e6;
+  m.positioning_seconds = 0.017;
+  return m;
+}
+
+DiskModel DiskModel::Ideal(double rate_bps) {
+  DiskModel m;
+  m.name = "ideal-disk";
+  m.transfer_rate_bps = rate_bps;
+  m.positioning_seconds = 0.0;
+  return m;
+}
+
+}  // namespace tertio::disk

@@ -1,0 +1,52 @@
+#include "disk/disk_volume.h"
+
+#include "util/string_util.h"
+
+namespace tertio::disk {
+
+Status DiskVolume::CheckRange(BlockIndex start, BlockCount count) const {
+  if (start + count > store_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("request [%llu, %llu) exceeds capacity of disk %s (%zu blocks)",
+                  static_cast<unsigned long long>(start),
+                  static_cast<unsigned long long>(start + count), name_.c_str(), store_.size()));
+  }
+  return Status::OK();
+}
+
+SimSeconds DiskVolume::RequestCost(BlockIndex start, BlockCount count) {
+  SimSeconds cost = model_.TransferSeconds(count * block_bytes_);
+  stats_.requests += 1;
+  if (!any_request_ || start != next_sequential_) {
+    cost += model_.positioning_seconds;
+    stats_.positioned_requests += 1;
+  }
+  any_request_ = true;
+  next_sequential_ = start + count;
+  return cost;
+}
+
+Result<sim::Interval> DiskVolume::Read(BlockIndex start, BlockCount count, SimSeconds ready,
+                                       std::vector<BlockPayload>* out) {
+  TERTIO_RETURN_IF_ERROR(CheckRange(start, count));
+  SimSeconds duration = RequestCost(start, count);
+  if (out != nullptr) {
+    out->reserve(out->size() + count);
+    for (BlockIndex i = start; i < start + count; ++i) out->push_back(store_[i]);
+  }
+  stats_.blocks_read += count;
+  return resource_->Schedule(ready, duration, count * block_bytes_, "disk.read");
+}
+
+Result<sim::Interval> DiskVolume::Write(BlockIndex start, BlockCount count, SimSeconds ready,
+                                        const BlockPayload* payloads) {
+  TERTIO_RETURN_IF_ERROR(CheckRange(start, count));
+  SimSeconds duration = RequestCost(start, count);
+  for (BlockCount i = 0; i < count; ++i) {
+    store_[start + i] = payloads != nullptr ? payloads[i] : nullptr;
+  }
+  stats_.blocks_written += count;
+  return resource_->Schedule(ready, duration, count * block_bytes_, "disk.write");
+}
+
+}  // namespace tertio::disk

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file disk_volume.h
+/// One random-access disk: block store plus a costed request interface.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "disk/disk_model.h"
+#include "sim/resource.h"
+#include "util/block_payload.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace tertio::disk {
+
+/// Cumulative per-disk activity counters.
+struct DiskStats {
+  BlockCount blocks_read = 0;
+  BlockCount blocks_written = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t positioned_requests = 0;  // requests that paid a seek
+};
+
+/// One disk drive bound to a sim::Resource. Requests are block-extent
+/// granular; a request sequentially continuing the previous one (same start
+/// as the previous end) pays no positioning time.
+class DiskVolume {
+ public:
+  DiskVolume(std::string name, DiskModel model, sim::Resource* resource,
+             BlockCount capacity_blocks, ByteCount block_bytes)
+      : name_(std::move(name)),
+        model_(model),
+        resource_(resource),
+        block_bytes_(block_bytes),
+        store_(capacity_blocks) {
+    TERTIO_CHECK(resource != nullptr, "disk requires a resource");
+    TERTIO_CHECK(block_bytes > 0, "block size must be positive");
+  }
+
+  const std::string& name() const { return name_; }
+  const DiskModel& model() const { return model_; }
+  sim::Resource* resource() { return resource_; }
+  const DiskStats& stats() const { return stats_; }
+  BlockCount capacity_blocks() const { return store_.size(); }
+  ByteCount block_bytes() const { return block_bytes_; }
+
+  /// Reads `count` blocks at `start` as one request. Payloads are appended to
+  /// `out` when non-null.
+  Result<sim::Interval> Read(BlockIndex start, BlockCount count, SimSeconds ready,
+                             std::vector<BlockPayload>* out = nullptr);
+
+  /// Writes `count` blocks at `start` as one request. `payloads`, when
+  /// non-null, must hold exactly `count` entries; null writes phantoms.
+  Result<sim::Interval> Write(BlockIndex start, BlockCount count, SimSeconds ready,
+                              const BlockPayload* payloads = nullptr);
+
+ private:
+  Status CheckRange(BlockIndex start, BlockCount count) const;
+  SimSeconds RequestCost(BlockIndex start, BlockCount count);
+
+  std::string name_;
+  DiskModel model_;
+  sim::Resource* resource_;
+  ByteCount block_bytes_;
+  std::vector<BlockPayload> store_;
+  BlockIndex next_sequential_ = 0;
+  bool any_request_ = false;
+  DiskStats stats_;
+};
+
+}  // namespace tertio::disk

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file extent.h
+/// A contiguous run of blocks on one disk of a striped group.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace tertio::disk {
+
+/// Contiguous blocks [start, start+count) on disk `disk`.
+struct Extent {
+  int disk = 0;
+  BlockIndex start = 0;
+  BlockCount count = 0;
+
+  bool operator==(const Extent&) const = default;
+};
+
+/// An allocation: ordered list of extents, possibly spanning several disks.
+using ExtentList = std::vector<Extent>;
+
+/// Total blocks covered by `extents`.
+inline BlockCount TotalBlocks(const ExtentList& extents) {
+  BlockCount total = 0;
+  for (const Extent& e : extents) total += e.count;
+  return total;
+}
+
+}  // namespace tertio::disk

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file striped_group.h
+/// The n-disk secondary-storage substrate of the system model.
+///
+/// The group owns its DiskVolumes and a DiskSpaceAllocator over them.
+/// Logical reads and writes address ExtentLists; per-disk pieces of one
+/// logical request are dispatched to their disks in parallel (each disk is
+/// its own sim::Resource), so a striped transfer approaches the aggregate
+/// rate X_D of Section 3.1 while two transfers directed at disjoint disks do
+/// not disturb each other — the "finer control over usage of disk arms" of
+/// Section 4.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "disk/allocator.h"
+#include "disk/disk_volume.h"
+#include "disk/extent.h"
+#include "sim/simulation.h"
+#include "util/status.h"
+
+namespace tertio::disk {
+
+/// Configuration of one disk group.
+struct DiskGroupConfig {
+  /// Model of each spindle (one entry per disk).
+  std::vector<DiskModel> disks;
+  /// Capacity per disk, blocks. Must match `disks` in length.
+  std::vector<BlockCount> per_disk_capacity;
+  ByteCount block_bytes = kDefaultBlockBytes;
+  /// Striping granularity in blocks.
+  BlockCount stripe_unit = 32;
+
+  /// `n` identical disks evenly sharing `total_capacity_blocks`.
+  static DiskGroupConfig Uniform(int n, DiskModel model, BlockCount total_capacity_blocks,
+                                 ByteCount block_bytes = kDefaultBlockBytes,
+                                 BlockCount stripe_unit = 32);
+};
+
+/// n disks + allocator, presented as one substrate.
+class StripedDiskGroup {
+ public:
+  /// Creates the group, registering one resource per disk in `sim`.
+  StripedDiskGroup(const DiskGroupConfig& config, sim::Simulation* sim);
+
+  int disk_count() const { return static_cast<int>(disks_.size()); }
+  DiskVolume* disk(int i) { return disks_[static_cast<size_t>(i)].get(); }
+  DiskSpaceAllocator& allocator() { return allocator_; }
+  const DiskSpaceAllocator& allocator() const { return allocator_; }
+  ByteCount block_bytes() const { return block_bytes_; }
+
+  /// Sum of per-disk sustained rates — the model's aggregate X_D.
+  double aggregate_rate_bps() const;
+
+  /// Reads every extent in `extents` (one disk request per extent, issued at
+  /// `ready`, parallel across disks). Payloads append to `out` in extent
+  /// order when non-null. \returns the hull of the per-disk intervals.
+  Result<sim::Interval> ReadExtents(const ExtentList& extents, SimSeconds ready,
+                                    std::vector<BlockPayload>* out = nullptr);
+
+  /// Writes blocks over `extents` in order. `payloads`, when non-null, must
+  /// hold exactly TotalBlocks(extents) entries; null writes phantoms.
+  Result<sim::Interval> WriteExtents(const ExtentList& extents, SimSeconds ready,
+                                     const std::vector<BlockPayload>* payloads = nullptr);
+
+  /// Aggregated statistics across all disks.
+  DiskStats TotalStats() const;
+
+ private:
+  std::vector<std::unique_ptr<DiskVolume>> disks_;
+  DiskSpaceAllocator allocator_;
+  ByteCount block_bytes_;
+};
+
+}  // namespace tertio::disk

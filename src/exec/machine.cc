@@ -1,0 +1,53 @@
+#include "exec/machine.h"
+
+namespace tertio::exec {
+
+MachineConfig MachineConfig::PaperTestbed(ByteCount disk_space_bytes, ByteCount memory_bytes) {
+  MachineConfig config;
+  config.block_bytes = kDefaultBlockBytes;
+  config.tape_model = tape::TapeDriveModel::DLT4000();
+  config.disk_count = 2;
+  config.disk_model = disk::DiskModel::QuantumFireball1080();
+  config.disk_space_bytes = disk_space_bytes;
+  config.memory_bytes = memory_bytes;
+  return config;
+}
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      memory_(BytesToBlocks(config.memory_bytes, config.block_bytes)) {
+  disk::DiskGroupConfig group_config = disk::DiskGroupConfig::Uniform(
+      config.disk_count, config.disk_model,
+      BytesToBlocks(config.disk_space_bytes, config.block_bytes), config.block_bytes,
+      config.stripe_unit);
+  disks_ = std::make_unique<disk::StripedDiskGroup>(group_config, &sim_);
+  drive_r_ = std::make_unique<tape::TapeDrive>("tapeR", config.tape_model,
+                                               sim_.CreateResource("tapeR"));
+  drive_s_ = std::make_unique<tape::TapeDrive>("tapeS", config.tape_model,
+                                               sim_.CreateResource("tapeS"));
+  tape_r_ = std::make_unique<tape::TapeVolume>("tape-R", config.block_bytes);
+  tape_s_ = std::make_unique<tape::TapeVolume>("tape-S", config.block_bytes);
+  if (config.with_library) {
+    library_ = std::make_unique<tape::TapeLibrary>(config.library_model,
+                                                   sim_.CreateResource("robot"));
+  }
+}
+
+BlockCount Machine::disk_blocks() const { return disks_->allocator().capacity_blocks(); }
+
+void Machine::MountTapes() {
+  drive_r_->ForceMount(tape_r_.get());
+  drive_s_->ForceMount(tape_s_.get());
+}
+
+join::JoinContext Machine::context() {
+  join::JoinContext ctx;
+  ctx.sim = &sim_;
+  ctx.drive_r = drive_r_.get();
+  ctx.drive_s = drive_s_.get();
+  ctx.disks = disks_.get();
+  ctx.memory = &memory_;
+  return ctx;
+}
+
+}  // namespace tertio::exec

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file machine.h
+/// Assembly of one simulated system per Section 3.1: two tape drives, n
+/// disks, M blocks of memory — plus an optional tape library.
+///
+/// A Machine owns the simulation, devices, volumes and memory budget, and
+/// hands executors a JoinContext. One Machine = one experiment run; create a
+/// fresh Machine (cheap) for independent timings.
+
+#include <memory>
+
+#include "disk/striped_group.h"
+#include "join/join_spec.h"
+#include "mem/memory_budget.h"
+#include "sim/simulation.h"
+#include "tape/tape_drive.h"
+#include "tape/tape_library.h"
+#include "util/units.h"
+
+namespace tertio::exec {
+
+/// Configuration of one machine.
+struct MachineConfig {
+  ByteCount block_bytes = kDefaultBlockBytes;
+  tape::TapeDriveModel tape_model = tape::TapeDriveModel::DLT4000();
+  int disk_count = 2;
+  disk::DiskModel disk_model = disk::DiskModel::QuantumFireball1080();
+  /// Total disk space D available to the join.
+  ByteCount disk_space_bytes = 500 * kMB;
+  /// Main memory M allocated to the join.
+  ByteCount memory_bytes = 16 * kMB;
+  BlockCount stripe_unit = 32;
+  /// Attach a robot library (media-exchange modeling) instead of
+  /// pre-loaded drives.
+  bool with_library = false;
+  tape::TapeLibraryModel library_model = tape::TapeLibraryModel::SmallAutoloader();
+
+  /// The paper's testbed (Section 6): two DLT-4000 drives, two disks, with
+  /// the experiment's D and M.
+  static MachineConfig PaperTestbed(ByteCount disk_space_bytes, ByteCount memory_bytes);
+};
+
+/// One simulated system.
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  const MachineConfig& config() const { return config_; }
+  sim::Simulation& sim() { return sim_; }
+  disk::StripedDiskGroup& disks() { return *disks_; }
+  mem::MemoryBudget& memory() { return memory_; }
+  tape::TapeDrive& drive_r() { return *drive_r_; }
+  tape::TapeDrive& drive_s() { return *drive_s_; }
+  tape::TapeVolume& tape_r() { return *tape_r_; }
+  tape::TapeVolume& tape_s() { return *tape_s_; }
+  tape::TapeLibrary* library() { return library_.get(); }
+
+  ByteCount block_bytes() const { return config_.block_bytes; }
+  BlockCount memory_blocks() const { return memory_.total_blocks(); }
+  BlockCount disk_blocks() const;
+
+  /// Mounts the R/S volumes uncosted ("the tapes have been inserted and
+  /// loaded into the tape drives before the join operation begins").
+  void MountTapes();
+
+  /// The context handed to join executors.
+  join::JoinContext context();
+
+  /// Effective tape rate (bytes/s) for data of the given compressibility.
+  double EffectiveTapeRate(double compressibility) const {
+    return config_.tape_model.EffectiveRate(compressibility);
+  }
+
+  /// Aggregate disk rate X_D (bytes/s).
+  double AggregateDiskRate() const { return disks_->aggregate_rate_bps(); }
+
+ private:
+  MachineConfig config_;
+  sim::Simulation sim_;
+  std::unique_ptr<disk::StripedDiskGroup> disks_;
+  mem::MemoryBudget memory_;
+  std::unique_ptr<tape::TapeDrive> drive_r_;
+  std::unique_ptr<tape::TapeDrive> drive_s_;
+  std::unique_ptr<tape::TapeVolume> tape_r_;
+  std::unique_ptr<tape::TapeVolume> tape_s_;
+  std::unique_ptr<tape::TapeLibrary> library_;
+};
+
+}  // namespace tertio::exec

@@ -1,0 +1,70 @@
+#include "exec/report.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace tertio::exec {
+
+TableReport::TableReport(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TableReport::AddRow(std::vector<std::string> cells) {
+  TERTIO_CHECK(cells.size() == headers_.size(), "row width must match headers");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableReport::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += StrFormat("%-*s", static_cast<int>(widths[c]) + 2, row[c].c_str());
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  size_t rule = 0;
+  for (size_t w : widths) rule += w + 2;
+  out += std::string(rule > 2 ? rule - 2 : rule, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TableReport::Print() const { std::fputs(Render().c_str(), stdout); }
+
+SeriesReport::SeriesReport(std::string x_label, std::vector<std::string> series_labels)
+    : x_label_(std::move(x_label)), labels_(std::move(series_labels)) {}
+
+void SeriesReport::AddPoint(double x, std::vector<double> values) {
+  TERTIO_CHECK(values.size() == labels_.size(), "point width must match series labels");
+  points_.push_back(Point{x, std::move(values)});
+}
+
+std::string SeriesReport::Render(int precision) const {
+  TableReport table([&] {
+    std::vector<std::string> headers{x_label_};
+    headers.insert(headers.end(), labels_.begin(), labels_.end());
+    return headers;
+  }());
+  for (const Point& point : points_) {
+    std::vector<std::string> row{FormatFixed(point.x, 2)};
+    for (double v : point.values) {
+      row.push_back(std::isnan(v) ? "-" : FormatFixed(v, precision));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.Render();
+}
+
+void SeriesReport::Print(int precision) const {
+  std::fputs(Render(precision).c_str(), stdout);
+}
+
+}  // namespace tertio::exec

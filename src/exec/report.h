@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file report.h
+/// Plain-text tables and series for the benchmark harnesses — each bench
+/// prints the same rows/series its paper table or figure reports.
+
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace tertio::exec {
+
+/// Fixed-column ASCII table.
+class TableReport {
+ public:
+  explicit TableReport(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with aligned columns and a header rule.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A figure as data: one x column, several named y series.
+class SeriesReport {
+ public:
+  SeriesReport(std::string x_label, std::vector<std::string> series_labels);
+
+  /// Adds one x position. `values` aligns with the series labels; NaN
+  /// renders as "-" (method infeasible at that point).
+  void AddPoint(double x, std::vector<double> values);
+
+  std::string Render(int precision = 2) const;
+  void Print(int precision = 2) const;
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> labels_;
+  struct Point {
+    double x;
+    std::vector<double> values;
+  };
+  std::vector<Point> points_;
+};
+
+}  // namespace tertio::exec

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file disk_partitioner.h
+/// Streaming hash partitioning of a relation into disk-resident buckets.
+///
+/// This is the Step-I/Step-II workhorse of every Grace-style method in the
+/// paper: input blocks arrive (from a tape read that completed at some
+/// virtual time), each tuple is hashed to a bucket, and per-bucket memory
+/// write buffers of w blocks batch the appends so each disk request is w
+/// blocks long (Section 6: "the buffer allows for larger disk writes which
+/// help reduce the seek penalty, as appending data to hash buckets on disk
+/// involves random I/O").
+///
+/// Features used by specific methods:
+///  * bucket-range filtering — CTT-GH/TT-GH Step I materializes only B/scans
+///    buckets per scan of R, dropping the rest (Section 5.2.1);
+///  * optional InterleavedBuffer gating — in the concurrent methods the
+///    bucket space on disk is the shared double buffer of Section 4, so a
+///    write may not begin before the consumer of the previous iteration has
+///    freed the blocks being overwritten;
+///  * phantom input — timing-only runs distribute blocks and tuple counts
+///    uniformly across buckets (the paper's uniform-hashing assumption).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "disk/striped_group.h"
+#include "mem/double_buffer.h"
+#include "relation/block.h"
+#include "relation/schema.h"
+#include "util/block_payload.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace tertio::hash {
+
+/// One materialized bucket on disk.
+struct DiskBucket {
+  disk::ExtentList extents;
+  BlockCount blocks = 0;
+  std::uint64_t tuples = 0;
+  /// Virtual time at which the bucket's last block hit the disk.
+  SimSeconds ready = 0.0;
+};
+
+/// Streaming partitioner writing buckets to a striped disk group.
+class DiskPartitioner {
+ public:
+  struct Options {
+    /// Schema of the input tuples; may be null for phantom-only input.
+    const rel::Schema* schema = nullptr;
+    /// Column index of the join key.
+    std::size_t key_column = 0;
+    /// Total bucket count B (the hash function's modulus).
+    std::uint32_t bucket_count = 1;
+    /// Per-bucket write-buffer size w, in blocks.
+    BlockCount write_buffer_blocks = 1;
+    /// Only buckets in [first_bucket, first_bucket + bucket_span) are
+    /// materialized; tuples hashing elsewhere are dropped.
+    std::uint32_t first_bucket = 0;
+    std::uint32_t bucket_span = 0;  // 0 = all buckets
+    /// Allocator tag for the buckets' disk space.
+    std::string alloc_tag = "buckets";
+    /// Restrict bucket space to these disks (empty = all).
+    std::vector<bool> disk_mask;
+    /// When set, flushes additionally wait for this shared buffer space
+    /// (interleaved double-buffering of Section 4) and claim blocks from it.
+    mem::InterleavedBuffer* space = nullptr;
+  };
+
+  DiskPartitioner(disk::StripedDiskGroup* disks, Options options);
+
+  /// Hashes every tuple of `blocks` (which became available at `ready`).
+  Status AddBlocks(std::span<const BlockPayload> blocks, SimSeconds ready);
+
+  /// Accounts `count` phantom blocks holding `tuples` tuples, spread
+  /// uniformly over all B buckets (available at `ready`).
+  Status AddPhantomBlocks(BlockCount count, std::uint64_t tuples, SimSeconds ready);
+
+  /// Flushes all partial write buffers. Must be called before buckets().
+  Status Flush();
+
+  /// Materialized buckets, indexed 0..bucket_span-1 (bucket `first_bucket+i`).
+  const std::vector<DiskBucket>& buckets() const { return buckets_; }
+  std::vector<DiskBucket>& buckets() { return buckets_; }
+
+  /// Completion time of the last flushed write.
+  SimSeconds last_write_end() const { return last_write_end_; }
+
+  /// Total blocks written to disk so far.
+  BlockCount blocks_written() const { return blocks_written_; }
+
+ private:
+  struct PendingBucket {
+    std::vector<BlockPayload> full_blocks;  // encoded, not yet flushed
+    std::unique_ptr<rel::BlockBuilder> builder;
+    BlockCount phantom_pending = 0;
+    std::uint64_t phantom_tuples_pending = 0;
+    SimSeconds data_ready = 0.0;
+  };
+
+  bool Materialized(std::uint32_t bucket) const;
+  /// Flushes `chunk` blocks (or whatever is pending if fewer and `final`).
+  Status MaybeFlush(std::uint32_t local, bool final);
+
+  disk::StripedDiskGroup* disks_;
+  Options options_;
+  std::uint32_t span_;
+  std::vector<PendingBucket> pending_;
+  std::vector<DiskBucket> buckets_;
+  SimSeconds last_write_end_ = 0.0;
+  BlockCount blocks_written_ = 0;
+  // Remainder accounting for spreading phantom blocks/tuples over buckets.
+  std::uint64_t phantom_block_carry_ = 0;
+  std::uint64_t phantom_tuple_carry_ = 0;
+  std::uint32_t phantom_cursor_ = 0;
+};
+
+}  // namespace tertio::hash

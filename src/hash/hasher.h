@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file hasher.h
+/// Join-key hashing and bucket assignment.
+///
+/// All hashing-based join methods must place a given key in the same bucket
+/// on both the R and S sides; BucketOf is that single shared mapping.
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace tertio::hash {
+
+/// 64-bit mix of a join key (splitmix64 finalizer — uniform for both
+/// sequential and random key sets).
+inline std::uint64_t HashKey(std::int64_t key) {
+  return SplitMix64(static_cast<std::uint64_t>(key));
+}
+
+/// Bucket index of `key` among `bucket_count` buckets.
+inline std::uint32_t BucketOf(std::int64_t key, std::uint32_t bucket_count) {
+  return static_cast<std::uint32_t>(HashKey(key) % bucket_count);
+}
+
+}  // namespace tertio::hash

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file tape_bucket_run.h
+/// A hashed copy of a relation stored as contiguous bucket runs on tape.
+///
+/// CTT-GH appends assembled buckets to the R tape; TT-GH writes R's buckets
+/// to the S tape and S's buckets to the R tape (Section 5.2). The run
+/// records where each bucket landed so Step II can stream them back.
+
+#include <cstdint>
+#include <vector>
+
+#include "tape/tape_volume.h"
+#include "util/units.h"
+
+namespace tertio::hash {
+
+/// Location of one bucket within a tape-resident hashed relation.
+struct TapeBucketRegion {
+  BlockIndex start = 0;
+  BlockCount blocks = 0;
+  std::uint64_t tuples = 0;
+};
+
+/// The whole hashed relation on tape: buckets stored contiguously, in
+/// bucket-index order (the order Step II consumes them).
+struct TapeBucketRun {
+  tape::TapeVolume* volume = nullptr;
+  double compressibility = 0.0;
+  std::vector<TapeBucketRegion> regions;
+
+  BlockCount total_blocks() const {
+    BlockCount total = 0;
+    for (const TapeBucketRegion& r : regions) total += r.blocks;
+    return total;
+  }
+};
+
+}  // namespace tertio::hash

@@ -1,0 +1,294 @@
+/// \file gh_methods.cc
+/// The disk–tape Grace Hash Join pair: DT-GH (Section 5.1.2) and CDT-GH
+/// (Section 5.1.4).
+///
+/// Step I partitions R from tape into B hash buckets on disk. Step II reads
+/// S from tape in slabs of d = D - |R| blocks, partitions each slab into S
+/// buckets on disk, and joins every (R-bucket, S-bucket) pair: the R bucket
+/// is read into memory as the build side, the S bucket streams through it.
+/// CDT-GH overlaps the tape read + hashing of slab i+1 with the join of slab
+/// i, double-buffering the S-bucket disk space through one shared
+/// interleaved buffer (Section 4).
+
+#include <algorithm>
+#include <vector>
+
+#include "hash/bucket_layout.h"
+#include "hash/disk_partitioner.h"
+#include "join/join_common.h"
+#include "join/join_method.h"
+#include "mem/double_buffer.h"
+#include "util/string_util.h"
+
+namespace tertio::join {
+namespace {
+
+/// Joins one R bucket (build) against one S bucket (probe), both disk-
+/// resident. Handles bucket overflow: if the R bucket exceeds the memory
+/// allowance, it is processed in memory-sized slices, re-scanning the S
+/// bucket per slice (the paper assumes uniform hashing and never overflows;
+/// tertio degrades gracefully on skew instead).
+Result<SimSeconds> JoinBucketPair(const JoinContext& ctx, const JoinSpec& spec,
+                                  const hash::DiskBucket& r_bucket,
+                                  const hash::DiskBucket& s_bucket,
+                                  BlockCount r_memory_allowance, BlockCount probe_chunk,
+                                  bool phantom, SimSeconds ready, JoinOutput* output,
+                                  std::uint64_t* overflow_slices) {
+  if (r_bucket.blocks == 0 || s_bucket.blocks == 0) {
+    // Still pay for reading whichever side exists (its tuples match nothing).
+    SimSeconds t = ready;
+    if (r_bucket.blocks > 0) {
+      TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
+                              ctx.disks->ReadExtents(r_bucket.extents, t, nullptr));
+      t = read.end;
+    }
+    if (s_bucket.blocks > 0) {
+      TERTIO_ASSIGN_OR_RETURN(
+          t, ScanDiskAndProbe(ctx, s_bucket.extents, probe_chunk, t, phantom, &spec.s->schema,
+                              spec.s_key_column, nullptr, output));
+    }
+    return t;
+  }
+
+  SimSeconds t = ready;
+  BlockCount offset = 0;
+  std::uint64_t slices = 0;
+  while (offset < r_bucket.blocks) {
+    BlockCount take = std::min<BlockCount>(r_memory_allowance, r_bucket.blocks - offset);
+    disk::ExtentList slice = SliceExtents(r_bucket.extents, offset, take);
+    std::vector<BlockPayload> r_blocks;
+    TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
+                            ctx.disks->ReadExtents(slice, std::max(t, r_bucket.ready),
+                                                   phantom ? nullptr : &r_blocks));
+    t = read.end;
+    HashJoinTable table(&spec.r->schema, spec.r_key_column, /*build_is_r=*/true,
+                        /*capture_records=*/output->has_sink());
+    if (!phantom) {
+      TERTIO_RETURN_IF_ERROR(table.AddBlocks(r_blocks));
+    }
+    TERTIO_ASSIGN_OR_RETURN(
+        t, ScanDiskAndProbe(ctx, s_bucket.extents, probe_chunk,
+                            std::max(t, s_bucket.ready), phantom, &spec.s->schema,
+                            spec.s_key_column, phantom ? nullptr : &table, output));
+    offset += take;
+    ++slices;
+  }
+  if (slices > 1 && overflow_slices != nullptr) *overflow_slices += slices - 1;
+  return t;
+}
+
+/// Step I shared by DT-GH / CDT-GH: partition R from tape into disk buckets.
+/// Sequential mode makes the tape wait for each flush; concurrent mode
+/// streams the tape and lets the disk writes trail.
+Result<SimSeconds> PartitionRToDisk(const JoinContext& ctx, const JoinSpec& spec,
+                                    const hash::BucketLayout& layout, bool concurrent,
+                                    SimSeconds start, hash::DiskPartitioner* partitioner) {
+  const rel::Relation& r = *spec.r;
+  const bool phantom = r.phantom;
+  BlockCount chunk = DefaultTapeChunk(r);
+  std::uint64_t tuples_per_block =
+      r.blocks > 0 ? (r.tuple_count + r.blocks - 1) / r.blocks : 0;
+  SimSeconds t = start;
+  for (BlockCount off = 0; off < r.blocks; off += chunk) {
+    BlockCount take = std::min<BlockCount>(chunk, r.blocks - off);
+    std::vector<BlockPayload> payloads;
+    TERTIO_ASSIGN_OR_RETURN(
+        sim::Interval read,
+        ctx.drive_r->Read(r.start_block + off, take, t, phantom ? nullptr : &payloads));
+    if (phantom) {
+      std::uint64_t tuples = std::min<std::uint64_t>(
+          static_cast<std::uint64_t>(take) * tuples_per_block,
+          r.tuple_count);
+      TERTIO_RETURN_IF_ERROR(partitioner->AddPhantomBlocks(take, tuples, read.end));
+    } else {
+      TERTIO_RETURN_IF_ERROR(partitioner->AddBlocks(payloads, read.end));
+    }
+    t = concurrent ? read.end : std::max(read.end, partitioner->last_write_end());
+  }
+  TERTIO_RETURN_IF_ERROR(partitioner->Flush());
+  (void)layout;
+  return std::max(t, partitioner->last_write_end());
+}
+
+enum class GhMode { kSequential, kConcurrent };
+
+Result<hash::BucketLayout> PlanGh(const JoinSpec& spec, const JoinContext& ctx) {
+  // Real hashing makes bucket sizes fluctuate around |R|/B; plan with a 25%
+  // margin so the in-memory bucket allowance absorbs the variance instead of
+  // falling back to overflow slices (which re-scan the S bucket).
+  BlockCount planned = spec.r->phantom ? spec.r->blocks
+                                       : spec.r->blocks + spec.r->blocks / 4 + 1;
+  return hash::BucketLayout::Plan(planned, ctx.memory->total_blocks(),
+                                  spec.options.preferred_write_buffer);
+}
+
+Result<JoinStats> ExecuteGh(GhMode mode, JoinMethodId id, const JoinSpec& spec,
+                            const JoinContext& ctx) {
+  TERTIO_RETURN_IF_ERROR(ValidateSpecAndContext(spec, ctx));
+  TERTIO_ASSIGN_OR_RETURN(hash::BucketLayout layout, PlanGh(spec, ctx));
+  const rel::Relation& r = *spec.r;
+  const rel::Relation& s = *spec.s;
+  const bool phantom = r.phantom;
+  const bool concurrent = mode == GhMode::kConcurrent;
+
+  BlockCount disk_free = ctx.disks->allocator().free_blocks();
+  if (disk_free <= r.blocks) {
+    return Status::ResourceExhausted(
+        StrFormat("%s needs disk space beyond |R| (=%llu blocks) to buffer S; only %llu free",
+                  std::string(JoinMethodName(id)).c_str(),
+                  static_cast<unsigned long long>(r.blocks),
+                  static_cast<unsigned long long>(disk_free)));
+  }
+  // Real tuples re-encode into fresh blocks; partitioned R can exceed |R| by
+  // one partial block per bucket, and each S slab needs the same slack.
+  if (!phantom && disk_free <= r.blocks + 2 * static_cast<BlockCount>(layout.bucket_count)) {
+    return Status::ResourceExhausted(
+        "full-data mode needs |R| plus two blocks per bucket of disk space");
+  }
+  TERTIO_RETURN_IF_ERROR(ctx.memory->Reserve(layout.memory_blocks, "gh/memory"));
+
+  StatsScope scope(ctx);
+  JoinStats stats;
+  stats.method = std::string(JoinMethodName(id));
+
+  // ---- Step I: hash R from tape into disk buckets.
+  hash::DiskPartitioner::Options r_options;
+  r_options.schema = phantom ? nullptr : &r.schema;
+  r_options.key_column = spec.r_key_column;
+  r_options.bucket_count = layout.bucket_count;
+  r_options.write_buffer_blocks = layout.write_buffer_blocks;
+  r_options.alloc_tag = "R-buckets";
+  hash::DiskPartitioner r_partitioner(ctx.disks, r_options);
+  TERTIO_ASSIGN_OR_RETURN(
+      SimSeconds step1_end,
+      PartitionRToDisk(ctx, spec, layout, concurrent, scope.start(), &r_partitioner));
+  stats.step1_seconds = step1_end - scope.start();
+  stats.peak_disk_blocks = ctx.disks->allocator().used_blocks();
+
+  // ---- Step II: slabs of S. The S buffer d is whatever disk space the
+  // partitioned R left free (the paper's d = D - |R|).
+  BlockCount d = ctx.disks->allocator().free_blocks();
+  BlockCount slab = d;
+  if (!phantom) {
+    TERTIO_CHECK(d > layout.bucket_count, "disk margin check failed");
+    slab = d - layout.bucket_count;
+  }
+  JoinOutput output;
+  if (!phantom && spec.match_sink) output.set_sink(spec.match_sink);
+  std::uint64_t overflow_slices = 0;
+  mem::InterleavedBuffer space(d);
+  SimSeconds tape_cursor = step1_end;
+  SimSeconds join_cursor = step1_end;
+  BlockCount s_chunk = std::min<BlockCount>(DefaultTapeChunk(s), slab);
+  std::uint64_t s_tuples_per_block = s.blocks > 0 ? (s.tuple_count + s.blocks - 1) / s.blocks : 0;
+
+  for (BlockCount off = 0; off < s.blocks; off += slab) {
+    BlockCount take_slab = std::min<BlockCount>(slab, s.blocks - off);
+    hash::DiskPartitioner::Options s_options;
+    s_options.schema = phantom ? nullptr : &s.schema;
+    s_options.key_column = spec.s_key_column;
+    s_options.bucket_count = layout.bucket_count;
+    s_options.write_buffer_blocks = layout.write_buffer_blocks;
+    s_options.alloc_tag = stats.iterations % 2 == 0 ? "S-iter-even" : "S-iter-odd";
+    s_options.space = &space;
+    hash::DiskPartitioner s_partitioner(ctx.disks, s_options);
+
+    // Hash process: stream this slab from tape S into disk buckets.
+    for (BlockCount done = 0; done < take_slab; done += s_chunk) {
+      BlockCount take = std::min<BlockCount>(s_chunk, take_slab - done);
+      std::vector<BlockPayload> payloads;
+      TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
+                              ctx.drive_s->Read(s.start_block + off + done, take, tape_cursor,
+                                                phantom ? nullptr : &payloads));
+      if (phantom) {
+        TERTIO_RETURN_IF_ERROR(s_partitioner.AddPhantomBlocks(
+            take, static_cast<std::uint64_t>(take) * s_tuples_per_block, read.end));
+      } else {
+        TERTIO_RETURN_IF_ERROR(s_partitioner.AddBlocks(payloads, read.end));
+      }
+      tape_cursor = concurrent ? read.end
+                               : std::max(read.end, s_partitioner.last_write_end());
+    }
+    TERTIO_RETURN_IF_ERROR(s_partitioner.Flush());
+    if (!concurrent) {
+      tape_cursor = std::max(tape_cursor, s_partitioner.last_write_end());
+      join_cursor = std::max(join_cursor, tape_cursor);
+    }
+
+    // Join process: every bucket pair of this slab.
+    for (std::uint32_t b = 0; b < layout.bucket_count; ++b) {
+      const hash::DiskBucket& rb = r_partitioner.buckets()[b];
+      hash::DiskBucket& sb = s_partitioner.buckets()[b];
+      TERTIO_ASSIGN_OR_RETURN(
+          join_cursor,
+          JoinBucketPair(ctx, spec, rb, sb, layout.r_bucket_blocks,
+                         layout.write_buffer_blocks, phantom, join_cursor, &output,
+                         &overflow_slices));
+      if (sb.blocks > 0) {
+        TERTIO_RETURN_IF_ERROR(
+            ctx.disks->allocator().Free(sb.extents, join_cursor, s_options.alloc_tag));
+        TERTIO_RETURN_IF_ERROR(space.Release(sb.blocks, join_cursor));
+        sb.extents.clear();
+      }
+    }
+    if (!concurrent) tape_cursor = std::max(tape_cursor, join_cursor);
+    stats.iterations += 1;
+  }
+
+  SimSeconds finish = std::max(join_cursor, tape_cursor);
+  stats.step2_seconds = finish - step1_end;
+  stats.bucket_overflow_slices = overflow_slices;
+  stats.r_scans = stats.iterations;  // R's buckets are re-read per slab
+  scope.Fill(&stats);
+  stats.response_seconds = std::max(stats.response_seconds, finish - scope.start());
+  stats.output_valid = !phantom;
+  stats.output_tuples = output.tuples();
+  stats.output_checksum = output.checksum();
+  stats.peak_disk_blocks =
+      std::max(stats.peak_disk_blocks, ctx.disks->allocator().used_blocks());
+
+  // Restore scratch state.
+  for (hash::DiskBucket& rb : r_partitioner.buckets()) {
+    if (!rb.extents.empty()) {
+      TERTIO_RETURN_IF_ERROR(ctx.disks->allocator().Free(rb.extents, finish, "R-buckets"));
+    }
+  }
+  TERTIO_RETURN_IF_ERROR(ctx.memory->ReleaseAll("gh/memory"));
+  return stats;
+}
+
+class GhJoinMethod final : public JoinMethod {
+ public:
+  GhJoinMethod(JoinMethodId id, GhMode mode) : id_(id), mode_(mode) {}
+
+  JoinMethodId id() const override { return id_; }
+
+  Result<ResourceRequirements> Requirements(const JoinSpec& spec,
+                                            const JoinContext& ctx) const override {
+    TERTIO_ASSIGN_OR_RETURN(hash::BucketLayout layout, PlanGh(spec, ctx));
+    ResourceRequirements req;
+    req.memory_blocks = layout.memory_blocks;
+    req.disk_blocks = spec.r->blocks +
+                      (spec.r->phantom ? 1 : layout.bucket_count + 1);
+    return req;
+  }
+
+  Result<JoinStats> Execute(const JoinSpec& spec, const JoinContext& ctx) const override {
+    return ExecuteGh(mode_, id_, spec, ctx);
+  }
+
+ private:
+  JoinMethodId id_;
+  GhMode mode_;
+};
+
+}  // namespace
+
+std::unique_ptr<JoinMethod> MakeDtGh() {
+  return std::make_unique<GhJoinMethod>(JoinMethodId::kDtGh, GhMode::kSequential);
+}
+std::unique_ptr<JoinMethod> MakeCdtGh() {
+  return std::make_unique<GhJoinMethod>(JoinMethodId::kCdtGh, GhMode::kConcurrent);
+}
+
+}  // namespace tertio::join

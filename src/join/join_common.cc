@@ -1,0 +1,203 @@
+#include "join/join_common.h"
+
+#include <algorithm>
+
+#include "relation/block.h"
+#include "relation/tuple.h"
+#include "util/string_util.h"
+
+namespace tertio::join {
+
+disk::ExtentList SliceExtents(const disk::ExtentList& extents, BlockCount offset,
+                              BlockCount count) {
+  disk::ExtentList out;
+  BlockCount pos = 0;
+  for (const disk::Extent& e : extents) {
+    if (count == 0) break;
+    BlockCount ext_end = pos + e.count;
+    if (ext_end <= offset) {
+      pos = ext_end;
+      continue;
+    }
+    BlockCount skip = offset > pos ? offset - pos : 0;
+    BlockCount avail = e.count - skip;
+    BlockCount take = std::min<BlockCount>(avail, count);
+    out.push_back(disk::Extent{e.disk, e.start + skip, take});
+    count -= take;
+    offset += take;
+    pos = ext_end;
+  }
+  TERTIO_CHECK(count == 0, "extent slice out of range");
+  return out;
+}
+
+Status HashJoinTable::AddBlocks(std::span<const BlockPayload> blocks) {
+  for (const BlockPayload& payload : blocks) {
+    TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
+                            rel::BlockReader::Open(payload, build_schema_));
+    for (BlockCount i = 0; i < reader.record_count(); ++i) {
+      rel::Tuple tuple(reader.record(i), build_schema_);
+      Entry entry{HashBytes(tuple.bytes()), {}};
+      if (capture_records_) {
+        entry.bytes.assign(tuple.bytes().begin(), tuple.bytes().end());
+      }
+      entries_.emplace(tuple.GetInt64(build_key_), std::move(entry));
+    }
+  }
+  return Status::OK();
+}
+
+Status HashJoinTable::Probe(std::span<const BlockPayload> blocks,
+                            const rel::Schema* probe_schema, std::size_t probe_key_column,
+                            JoinOutput* out) const {
+  const bool pipeline = capture_records_ && out->has_sink();
+  for (const BlockPayload& payload : blocks) {
+    TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
+                            rel::BlockReader::Open(payload, probe_schema));
+    for (BlockCount i = 0; i < reader.record_count(); ++i) {
+      rel::Tuple tuple(reader.record(i), probe_schema);
+      std::int64_t key = tuple.GetInt64(probe_key_column);
+      std::uint64_t probe_digest = HashBytes(tuple.bytes());
+      auto [begin, end] = entries_.equal_range(key);
+      for (auto it = begin; it != end; ++it) {
+        if (pipeline) {
+          rel::Tuple build_tuple(it->second.bytes, build_schema_);
+          const rel::Tuple& r = build_is_r_ ? build_tuple : tuple;
+          const rel::Tuple& s = build_is_r_ ? tuple : build_tuple;
+          TERTIO_RETURN_IF_ERROR(out->AddMatchWithRows(key, r, s));
+        } else if (build_is_r_) {
+          out->AddMatch(key, it->second.digest, probe_digest);
+        } else {
+          out->AddMatch(key, probe_digest, it->second.digest);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateSpecAndContext(const JoinSpec& spec, const JoinContext& ctx) {
+  if (spec.r == nullptr || spec.s == nullptr) {
+    return Status::InvalidArgument("join spec requires both relations");
+  }
+  if (ctx.sim == nullptr || ctx.drive_r == nullptr || ctx.drive_s == nullptr ||
+      ctx.disks == nullptr || ctx.memory == nullptr) {
+    return Status::InvalidArgument("join context is incomplete");
+  }
+  if (spec.r->blocks == 0 || spec.s->blocks == 0) {
+    return Status::InvalidArgument("cannot join empty relations");
+  }
+  if (spec.r->blocks > spec.s->blocks) {
+    return Status::InvalidArgument("R must be the smaller relation (swap the inputs)");
+  }
+  if (spec.r->phantom != spec.s->phantom) {
+    return Status::InvalidArgument("relations must both be real or both be phantom");
+  }
+  if (ctx.drive_r->volume() != spec.r->volume) {
+    return Status::FailedPrecondition("tape R is not mounted in drive R");
+  }
+  if (ctx.drive_s->volume() != spec.s->volume) {
+    return Status::FailedPrecondition("tape S is not mounted in drive S");
+  }
+  if (spec.r->block_bytes != ctx.disks->block_bytes() ||
+      spec.s->block_bytes != ctx.disks->block_bytes()) {
+    return Status::InvalidArgument("relation and disk block sizes disagree");
+  }
+  return Status::OK();
+}
+
+StatsScope::StatsScope(const JoinContext& ctx)
+    : ctx_(ctx),
+      start_(ctx.sim->Horizon()),
+      tape_r_before_(ctx.drive_r->stats()),
+      tape_s_before_(ctx.drive_s->stats()),
+      disk_before_(ctx.disks->TotalStats()) {}
+
+void StatsScope::Fill(JoinStats* stats) const {
+  const tape::TapeDriveStats& r = ctx_.drive_r->stats();
+  const tape::TapeDriveStats& s = ctx_.drive_s->stats();
+  disk::DiskStats d = ctx_.disks->TotalStats();
+  stats->tape_blocks_read =
+      (r.blocks_read - tape_r_before_.blocks_read) + (s.blocks_read - tape_s_before_.blocks_read);
+  stats->tape_blocks_written = (r.blocks_written - tape_r_before_.blocks_written) +
+                               (s.blocks_written - tape_s_before_.blocks_written);
+  stats->disk_blocks_read = d.blocks_read - disk_before_.blocks_read;
+  stats->disk_blocks_written = d.blocks_written - disk_before_.blocks_written;
+  stats->disk_requests = d.requests - disk_before_.requests;
+  stats->response_seconds = ctx_.sim->Horizon() - start_;
+  stats->peak_memory_blocks = ctx_.memory->peak_reserved_blocks();
+}
+
+Result<StagedRelation> StageRelationToDisk(const JoinContext& ctx, tape::TapeDrive* drive,
+                                           const rel::Relation& relation,
+                                           BlockCount chunk_blocks, bool concurrent,
+                                           const std::string& alloc_tag, SimSeconds start) {
+  if (chunk_blocks == 0) chunk_blocks = 1;
+  TERTIO_ASSIGN_OR_RETURN(disk::ExtentList extents,
+                          ctx.disks->allocator().Allocate(relation.blocks, start, alloc_tag));
+  StagedRelation staged;
+  staged.extents = std::move(extents);
+
+  SimSeconds cursor = start;          // sequential process cursor
+  SimSeconds last_write_end = start;  // concurrent: writes trail reads
+  BlockCount offset = 0;
+  while (offset < relation.blocks) {
+    BlockCount take = std::min<BlockCount>(chunk_blocks, relation.blocks - offset);
+    std::vector<BlockPayload> payloads;
+    std::vector<BlockPayload>* out = relation.phantom ? nullptr : &payloads;
+    TERTIO_ASSIGN_OR_RETURN(
+        sim::Interval read,
+        drive->Read(relation.start_block + offset, take, cursor, out));
+    disk::ExtentList slice = SliceExtents(staged.extents, offset, take);
+    TERTIO_ASSIGN_OR_RETURN(sim::Interval write,
+                            ctx.disks->WriteExtents(slice, read.end,
+                                                    relation.phantom ? nullptr : &payloads));
+    if (concurrent) {
+      // Next tape read streams on; writes complete in their own time.
+      cursor = read.end;
+      last_write_end = std::max(last_write_end, write.end);
+    } else {
+      // Sequential: the single process waits for the write.
+      cursor = write.end;
+      last_write_end = write.end;
+    }
+    offset += take;
+  }
+  staged.done = std::max(cursor, last_write_end);
+  return staged;
+}
+
+Result<SimSeconds> ScanDiskAndProbe(const JoinContext& ctx, const disk::ExtentList& extents,
+                                    BlockCount chunk_blocks, SimSeconds ready, bool phantom,
+                                    const rel::Schema* probe_schema, std::size_t probe_key,
+                                    const HashJoinTable* table, JoinOutput* out) {
+  if (chunk_blocks == 0) chunk_blocks = 1;
+  BlockCount total = disk::TotalBlocks(extents);
+  BlockCount offset = 0;
+  SimSeconds cursor = ready;
+  while (offset < total) {
+    BlockCount take = std::min<BlockCount>(chunk_blocks, total - offset);
+    disk::ExtentList slice = SliceExtents(extents, offset, take);
+    std::vector<BlockPayload> payloads;
+    TERTIO_ASSIGN_OR_RETURN(
+        sim::Interval read,
+        ctx.disks->ReadExtents(slice, cursor, phantom ? nullptr : &payloads));
+    cursor = read.end;
+    if (!phantom && table != nullptr) {
+      TERTIO_RETURN_IF_ERROR(table->Probe(payloads, probe_schema, probe_key, out));
+    }
+    offset += take;
+  }
+  return cursor;
+}
+
+BlockCount DefaultTapeChunk(const rel::Relation& relation) {
+  // Stream in ~1/64ths of the relation, clamped to a sensible request size.
+  BlockCount chunk = relation.blocks / 64;
+  if (chunk < 8) chunk = 8;
+  if (chunk > 2048) chunk = 2048;
+  if (chunk > relation.blocks) chunk = relation.blocks;
+  return chunk;
+}
+
+}  // namespace tertio::join

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file join_common.h
+/// Machinery shared by the seven join-method executors.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "join/join_output.h"
+#include "join/join_spec.h"
+#include "util/status.h"
+
+namespace tertio::join {
+
+/// \returns the sub-range of `extents` covering blocks
+/// [offset, offset + count) of the logical sequence they describe.
+disk::ExtentList SliceExtents(const disk::ExtentList& extents, BlockCount offset,
+                              BlockCount count);
+
+/// In-memory hash table over the build side of one (sub-)join.
+///
+/// Stores, per key, the digest of every build record, so probes can emit the
+/// exact pair set without keeping full tuples around. `build_is_r` fixes
+/// which side of the output pair the build records occupy. When
+/// `capture_records` is set the full build records are retained so that
+/// probes can pipeline whole joined rows to a MatchSink (the build side is
+/// memory-resident by construction — that is the join methods' invariant).
+class HashJoinTable {
+ public:
+  HashJoinTable(const rel::Schema* build_schema, std::size_t build_key_column, bool build_is_r,
+                bool capture_records = false)
+      : build_schema_(build_schema),
+        build_key_(build_key_column),
+        build_is_r_(build_is_r),
+        capture_records_(capture_records) {}
+
+  /// Adds every tuple in `blocks` to the table.
+  Status AddBlocks(std::span<const BlockPayload> blocks);
+
+  /// Probes every tuple in `blocks` (from the other relation), emitting all
+  /// matching pairs into `out`.
+  Status Probe(std::span<const BlockPayload> blocks, const rel::Schema* probe_schema,
+               std::size_t probe_key_column, JoinOutput* out) const;
+
+  std::uint64_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    std::uint64_t digest;
+    std::vector<std::uint8_t> bytes;  // filled only when capture_records_
+  };
+
+  const rel::Schema* build_schema_;
+  std::size_t build_key_;
+  bool build_is_r_;
+  bool capture_records_;
+  std::unordered_multimap<std::int64_t, Entry> entries_;
+};
+
+/// Validates a spec against a context: relations present, |R| <= |S|, both
+/// real or both phantom, tapes mounted in the right drives.
+Status ValidateSpecAndContext(const JoinSpec& spec, const JoinContext& ctx);
+
+/// Captures device statistics at construction; Fill() writes the deltas
+/// (traffic, requests, response time since construction) into a JoinStats.
+class StatsScope {
+ public:
+  explicit StatsScope(const JoinContext& ctx);
+
+  /// Virtual time at which this scope (join) began — the horizon when it was
+  /// constructed. All of the join's operations start at or after this.
+  SimSeconds start() const { return start_; }
+
+  /// Fills traffic/request deltas and response time (horizon - start).
+  void Fill(JoinStats* stats) const;
+
+ private:
+  const JoinContext& ctx_;
+  SimSeconds start_;
+  tape::TapeDriveStats tape_r_before_;
+  tape::TapeDriveStats tape_s_before_;
+  disk::DiskStats disk_before_;
+};
+
+/// Result of staging (copying) a relation from tape to disk.
+struct StagedRelation {
+  disk::ExtentList extents;  // in tape order
+  SimSeconds done = 0.0;
+};
+
+/// Copies `relation` from the drive currently holding it to disk.
+/// Sequential mode alternates tape read / disk write; concurrent mode
+/// streams the tape while writes trail behind (CDT variants' Step I).
+Result<StagedRelation> StageRelationToDisk(const JoinContext& ctx, tape::TapeDrive* drive,
+                                           const rel::Relation& relation,
+                                           BlockCount chunk_blocks, bool concurrent,
+                                           const std::string& alloc_tag, SimSeconds start);
+
+/// Scans `extents` (a disk-resident relation) in `chunk_blocks` requests
+/// starting no earlier than `ready`; when `table` is non-null each chunk is
+/// probed into `out`. \returns the completion time of the scan.
+Result<SimSeconds> ScanDiskAndProbe(const JoinContext& ctx, const disk::ExtentList& extents,
+                                    BlockCount chunk_blocks, SimSeconds ready, bool phantom,
+                                    const rel::Schema* probe_schema, std::size_t probe_key,
+                                    const HashJoinTable* table, JoinOutput* out);
+
+/// Default tape read chunk for streaming a relation (blocks).
+BlockCount DefaultTapeChunk(const rel::Relation& relation);
+
+}  // namespace tertio::join

@@ -1,0 +1,34 @@
+#include "join/join_method.h"
+
+namespace tertio::join {
+
+// Defined in nb_methods.cc / gh_methods.cc / tt_methods.cc.
+std::unique_ptr<JoinMethod> MakeDtNb();
+std::unique_ptr<JoinMethod> MakeCdtNbMb();
+std::unique_ptr<JoinMethod> MakeCdtNbDb();
+std::unique_ptr<JoinMethod> MakeDtGh();
+std::unique_ptr<JoinMethod> MakeCdtGh();
+std::unique_ptr<JoinMethod> MakeCttGh();
+std::unique_ptr<JoinMethod> MakeTtGh();
+
+std::unique_ptr<JoinMethod> CreateJoinMethod(JoinMethodId id) {
+  switch (id) {
+    case JoinMethodId::kDtNb:
+      return MakeDtNb();
+    case JoinMethodId::kCdtNbMb:
+      return MakeCdtNbMb();
+    case JoinMethodId::kCdtNbDb:
+      return MakeCdtNbDb();
+    case JoinMethodId::kDtGh:
+      return MakeDtGh();
+    case JoinMethodId::kCdtGh:
+      return MakeCdtGh();
+    case JoinMethodId::kCttGh:
+      return MakeCttGh();
+    case JoinMethodId::kTtGh:
+      return MakeTtGh();
+  }
+  return nullptr;
+}
+
+}  // namespace tertio::join

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file join_method.h
+/// The public interface of the seven tertiary join methods (Section 5).
+///
+/// Usage:
+///   auto method = CreateJoinMethod(JoinMethodId::kCttGh);
+///   TERTIO_ASSIGN_OR_RETURN(JoinStats stats, method->Execute(spec, ctx));
+///
+/// Execute runs the *whole* algorithm against the simulated devices in the
+/// context: it moves the actual relation blocks, charges every I/O to the
+/// device timelines, and returns both the join result digest and the
+/// response-time breakdown. Scratch state (disk allocations, tape scratch
+/// appends, memory reservations) is restored before returning, so the same
+/// context can run several joins back to back.
+
+#include <memory>
+#include <string_view>
+
+#include "cost/method_id.h"
+#include "join/join_spec.h"
+#include "util/status.h"
+
+namespace tertio::join {
+
+/// One of the paper's join algorithms.
+class JoinMethod {
+ public:
+  virtual ~JoinMethod() = default;
+
+  virtual JoinMethodId id() const = 0;
+  std::string_view name() const { return JoinMethodName(id()); }
+
+  /// Table 2: the minimum resources this method needs for `spec` in `ctx`
+  /// (sizes that depend on |S_i| are evaluated against the context's actual
+  /// memory and disk).
+  virtual Result<ResourceRequirements> Requirements(const JoinSpec& spec,
+                                                    const JoinContext& ctx) const = 0;
+
+  /// Runs the join. Fails without side effects if the context cannot satisfy
+  /// Requirements().
+  virtual Result<JoinStats> Execute(const JoinSpec& spec, const JoinContext& ctx) const = 0;
+};
+
+/// Factory for the seven methods.
+std::unique_ptr<JoinMethod> CreateJoinMethod(JoinMethodId id);
+
+}  // namespace tertio::join

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file join_output.h
+/// Join result accumulation and the cross-method result digest.
+///
+/// The paper assumes query output is pipelined to a consumer and charges no
+/// I/O for it (Section 3.2); tertio therefore accumulates a count and an
+/// order-independent checksum instead of materializing pairs. Two join
+/// methods computed the same join iff their (tuples, checksum) agree — the
+/// property the correctness tests assert for all seven methods against the
+/// in-memory reference join.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "relation/tuple.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace tertio::join {
+
+/// Consumer of joined pairs. The paper's Section 3.2 assumes query output is
+/// "pipelined to an unrelated process capable of receiving and processing
+/// data at the output rate" — a MatchSink is that process. Pairs arrive in
+/// an arbitrary, method-dependent order.
+using MatchSink = std::function<Status(const rel::Tuple& r, const rel::Tuple& s)>;
+
+/// FNV-1a over raw bytes (payload digests entering the pair checksum).
+inline std::uint64_t HashBytes(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Accumulator for joined pairs, with an optional pipelined consumer.
+class JoinOutput {
+ public:
+  /// Records the pair (r_tuple, s_tuple); digests are HashBytes of the full
+  /// records. Addition is commutative, so methods may emit pairs in any
+  /// order.
+  void AddMatch(std::int64_t key, std::uint64_t r_digest, std::uint64_t s_digest) {
+    ++tuples_;
+    checksum_ += SplitMix64(SplitMix64(static_cast<std::uint64_t>(key)) ^
+                            (r_digest * 0x9E3779B97F4A7C15ULL) ^ s_digest);
+  }
+
+  /// Records the pair and forwards the full tuples to the sink (if set).
+  Status AddMatchWithRows(std::int64_t key, const rel::Tuple& r, const rel::Tuple& s) {
+    AddMatch(key, HashBytes(r.bytes()), HashBytes(s.bytes()));
+    if (sink_) return sink_(r, s);
+    return Status::OK();
+  }
+
+  /// Attaches a pipelined consumer; pairs flow to it as they are produced.
+  void set_sink(MatchSink sink) { sink_ = std::move(sink); }
+  bool has_sink() const { return static_cast<bool>(sink_); }
+
+  std::uint64_t tuples() const { return tuples_; }
+  std::uint64_t checksum() const { return checksum_; }
+
+  void MergeFrom(const JoinOutput& other) {
+    tuples_ += other.tuples_;
+    checksum_ += other.checksum_;
+  }
+
+ private:
+  std::uint64_t tuples_ = 0;
+  std::uint64_t checksum_ = 0;
+  MatchSink sink_;
+};
+
+}  // namespace tertio::join

@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file join_spec.h
+/// Inputs, outputs, and device context of one tertiary join execution.
+
+#include <cstdint>
+#include <string>
+
+#include "cost/method_id.h"
+#include "join/join_output.h"
+#include "disk/striped_group.h"
+#include "mem/memory_budget.h"
+#include "relation/relation.h"
+#include "sim/simulation.h"
+#include "tape/tape_drive.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace tertio::join {
+
+/// Tuning knobs shared by all executors.
+struct ExecutionOptions {
+  /// Preferred hash write-buffer size w (blocks per bucket flush; the
+  /// planner shrinks it under memory pressure).
+  BlockCount preferred_write_buffer = 8;
+  /// Fraction of M the NB methods reserve for scanning R (paper: 10%).
+  double nb_r_fraction = 0.1;
+  /// Sub-chunks per buffer for interleaved double-buffering granularity.
+  int interleave_slices = 8;
+  /// On drives implementing SCSI READ REVERSE, let CTT-GH alternate scan
+  /// direction over the hashed R run (the paper's footnote 2: bi-directional
+  /// drives make repositioning between iterations unnecessary).
+  bool use_read_reverse = true;
+};
+
+/// The join to compute: R |><| S on an equality key.
+struct JoinSpec {
+  const rel::Relation* r = nullptr;
+  const rel::Relation* s = nullptr;
+  std::size_t r_key_column = 0;
+  std::size_t s_key_column = 0;
+  ExecutionOptions options;
+  /// Optional pipelined consumer of the joined pairs (Section 3.2's
+  /// "pipelined to an unrelated process"). Ignored in phantom runs.
+  MatchSink match_sink;
+};
+
+/// The devices and memory the join may use (Section 3.1's configuration).
+struct JoinContext {
+  sim::Simulation* sim = nullptr;
+  /// Drive holding (and with scratch space for) tape R.
+  tape::TapeDrive* drive_r = nullptr;
+  /// Drive holding tape S.
+  tape::TapeDrive* drive_s = nullptr;
+  disk::StripedDiskGroup* disks = nullptr;
+  mem::MemoryBudget* memory = nullptr;
+};
+
+/// Everything a run reports. Timing is virtual; tuple counts are exact in
+/// full-data mode and zero in timing-only (phantom) mode.
+struct JoinStats {
+  std::string method;
+  /// Total response time (Steps I + II), seconds of virtual time.
+  SimSeconds response_seconds = 0.0;
+  SimSeconds step1_seconds = 0.0;
+  SimSeconds step2_seconds = 0.0;
+
+  /// True when the run moved real tuples and `output_*` are meaningful.
+  bool output_valid = false;
+  std::uint64_t output_tuples = 0;
+  /// Order-independent digest over all joined pairs; equal digests across
+  /// methods mean identical join results.
+  std::uint64_t output_checksum = 0;
+
+  BlockCount disk_blocks_read = 0;
+  BlockCount disk_blocks_written = 0;
+  BlockCount tape_blocks_read = 0;
+  BlockCount tape_blocks_written = 0;
+  std::uint64_t disk_requests = 0;
+
+  /// Full passes over R (from any medium).
+  std::uint64_t r_scans = 0;
+  std::uint64_t iterations = 0;
+  /// Extra build-side slices forced by hash-bucket overflow (0 under the
+  /// paper's uniform-hashing assumption; >0 signals key skew absorbed by
+  /// the graceful-degradation path).
+  std::uint64_t bucket_overflow_slices = 0;
+
+  /// Peak reservations observed during the run.
+  BlockCount peak_memory_blocks = 0;
+  BlockCount peak_disk_blocks = 0;
+
+  BlockCount disk_traffic_blocks() const { return disk_blocks_read + disk_blocks_written; }
+  BlockCount tape_traffic_blocks() const { return tape_blocks_read + tape_blocks_written; }
+};
+
+/// Table 2: what a method needs before it can run.
+struct ResourceRequirements {
+  BlockCount memory_blocks = 0;
+  BlockCount disk_blocks = 0;
+  BlockCount tape_scratch_r_blocks = 0;
+  BlockCount tape_scratch_s_blocks = 0;
+};
+
+}  // namespace tertio::join

@@ -1,0 +1,319 @@
+/// \file nb_methods.cc
+/// The Nested Block Join family: DT-NB (Section 5.1.1), CDT-NB/MB and
+/// CDT-NB/DB (Section 5.1.3).
+///
+/// All three stage R on disk (Step I) and then iterate over S in memory-
+/// sized chunks, scanning R from disk per chunk (Step II). They differ only
+/// in how the S chunks are buffered:
+///   DT-NB      — one memory buffer, strictly sequential;
+///   CDT-NB/MB  — two half-size memory buffers, tape read of chunk i+1
+///                overlaps the join of chunk i;
+///   CDT-NB/DB  — one full-size chunk staged through an interleaved
+///                double-buffered disk ring (Section 4), tape-to-disk
+///                refill overlaps the join.
+
+#include <algorithm>
+#include <vector>
+
+#include "join/join_common.h"
+#include "join/join_method.h"
+#include "mem/double_buffer.h"
+#include "util/string_util.h"
+
+namespace tertio::join {
+namespace {
+
+enum class NbMode { kSequential, kMemoryBuffered, kDiskBuffered };
+
+/// Geometry shared by the NB methods: Mr blocks for scanning R, Ms per
+/// S chunk.
+struct NbGeometry {
+  BlockCount mr = 0;
+  BlockCount ms = 0;
+  BlockCount memory_needed = 0;
+  BlockCount disk_needed = 0;
+};
+
+Result<NbGeometry> PlanNb(NbMode mode, const JoinSpec& spec, const JoinContext& ctx) {
+  BlockCount m = ctx.memory->total_blocks();
+  auto mr = static_cast<BlockCount>(spec.options.nb_r_fraction * static_cast<double>(m));
+  if (mr == 0) mr = 1;
+  if (m <= mr) {
+    return Status::ResourceExhausted("memory too small for a nested-block join");
+  }
+  BlockCount ms_space = m - mr;
+  NbGeometry g;
+  g.mr = mr;
+  g.ms = mode == NbMode::kMemoryBuffered ? ms_space / 2 : ms_space;
+  if (g.ms == 0) {
+    return Status::ResourceExhausted("memory too small to hold an S chunk");
+  }
+  g.memory_needed = mr + (mode == NbMode::kMemoryBuffered ? 2 * g.ms : g.ms);
+  g.disk_needed = spec.r->blocks + (mode == NbMode::kDiskBuffered ? g.ms : 0);
+  return g;
+}
+
+/// Joins one memory-resident S chunk against disk-resident R: builds a hash
+/// table over the chunk and streams R through it in Mr-block requests.
+Result<SimSeconds> JoinChunkAgainstR(const JoinContext& ctx, const JoinSpec& spec,
+                                     const disk::ExtentList& r_extents, BlockCount mr,
+                                     const std::vector<BlockPayload>& chunk, bool phantom,
+                                     SimSeconds ready, JoinOutput* output) {
+  HashJoinTable table(&spec.s->schema, spec.s_key_column, /*build_is_r=*/false,
+                      /*capture_records=*/output->has_sink());
+  if (!phantom) {
+    TERTIO_RETURN_IF_ERROR(table.AddBlocks(chunk));
+  }
+  return ScanDiskAndProbe(ctx, r_extents, mr, ready, phantom, &spec.r->schema,
+                          spec.r_key_column, phantom ? nullptr : &table, output);
+}
+
+Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
+                            const JoinContext& ctx) {
+  TERTIO_RETURN_IF_ERROR(ValidateSpecAndContext(spec, ctx));
+  TERTIO_ASSIGN_OR_RETURN(NbGeometry g, PlanNb(mode, spec, ctx));
+  const rel::Relation& r = *spec.r;
+  const rel::Relation& s = *spec.s;
+  const bool phantom = r.phantom;
+  if (ctx.disks->allocator().free_blocks() < g.disk_needed) {
+    return Status::ResourceExhausted(
+        StrFormat("%s needs %llu disk blocks, %llu free",
+                  std::string(JoinMethodName(id)).c_str(),
+                  static_cast<unsigned long long>(g.disk_needed),
+                  static_cast<unsigned long long>(ctx.disks->allocator().free_blocks())));
+  }
+  TERTIO_RETURN_IF_ERROR(ctx.memory->Reserve(g.mr, "nb/r-scan"));
+  TERTIO_RETURN_IF_ERROR(
+      ctx.memory->Reserve(g.memory_needed - g.mr, "nb/s-buffer"));
+
+  StatsScope scope(ctx);
+  JoinStats stats;
+  stats.method = std::string(JoinMethodName(id));
+
+  // ---- Step I: copy R from tape to disk.
+  TERTIO_ASSIGN_OR_RETURN(
+      StagedRelation staged,
+      StageRelationToDisk(ctx, ctx.drive_r, r, g.ms, mode != NbMode::kSequential, "R-copy",
+                          scope.start()));
+  stats.step1_seconds = staged.done - scope.start();
+  stats.peak_disk_blocks = ctx.disks->allocator().used_blocks();
+
+  JoinOutput output;
+  if (!phantom && spec.match_sink) output.set_sink(spec.match_sink);
+  SimSeconds finish = staged.done;
+
+  // ---- Step II: iterate over S.
+  if (mode == NbMode::kSequential) {
+    SimSeconds t = staged.done;
+    for (BlockCount off = 0; off < s.blocks; off += g.ms) {
+      BlockCount take = std::min<BlockCount>(g.ms, s.blocks - off);
+      std::vector<BlockPayload> chunk;
+      TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
+                              ctx.drive_s->Read(s.start_block + off, take, t,
+                                                phantom ? nullptr : &chunk));
+      t = read.end;
+      TERTIO_ASSIGN_OR_RETURN(
+          t, JoinChunkAgainstR(ctx, spec, staged.extents, g.mr, chunk, phantom, t, &output));
+      stats.iterations += 1;
+    }
+    finish = t;
+  } else if (mode == NbMode::kMemoryBuffered) {
+    mem::SplitDoubleBuffer buffers;
+    SimSeconds t_join = staged.done;
+    std::uint64_t i = 0;
+    for (BlockCount off = 0; off < s.blocks; off += g.ms, ++i) {
+      BlockCount take = std::min<BlockCount>(g.ms, s.blocks - off);
+      std::vector<BlockPayload> chunk;
+      SimSeconds ready = std::max(buffers.FreeAt(i), staged.done);
+      TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
+                              ctx.drive_s->Read(s.start_block + off, take, ready,
+                                                phantom ? nullptr : &chunk));
+      SimSeconds join_start = std::max(read.end, t_join);
+      TERTIO_ASSIGN_OR_RETURN(t_join, JoinChunkAgainstR(ctx, spec, staged.extents, g.mr, chunk,
+                                                        phantom, join_start, &output));
+      buffers.SetBusyUntil(i, t_join);
+      stats.iterations += 1;
+    }
+    finish = t_join;
+  } else {  // kDiskBuffered
+    // Interleaved double-buffered disk ring of Ms blocks (Section 4).
+    TERTIO_ASSIGN_OR_RETURN(
+        disk::ExtentList ring_extents,
+        ctx.disks->allocator().Allocate(g.ms, staged.done, "S-ring"));
+    stats.peak_disk_blocks = ctx.disks->allocator().used_blocks();
+    mem::InterleavedBuffer ring(g.ms);
+    BlockCount sub = std::max<BlockCount>(
+        1, g.ms / static_cast<BlockCount>(std::max(1, spec.options.interleave_slices)));
+
+    struct Piece {
+      BlockCount ring_off = 0;
+      BlockCount count = 0;
+      SimSeconds write_end = 0.0;
+    };
+    BlockCount ring_pos = 0;
+
+    // Writes `count` blocks into the ring (splitting on wrap-around).
+    auto ring_write = [&](BlockCount count, SimSeconds ready,
+                          const std::vector<BlockPayload>* payloads) -> Result<Piece> {
+      Piece piece{ring_pos, count, ready};
+      BlockCount first = std::min<BlockCount>(count, g.ms - ring_pos);
+      disk::ExtentList slice = SliceExtents(ring_extents, ring_pos, first);
+      std::vector<BlockPayload> head, tail;
+      const std::vector<BlockPayload>* head_ptr = nullptr;
+      const std::vector<BlockPayload>* tail_ptr = nullptr;
+      if (payloads != nullptr) {
+        head.assign(payloads->begin(), payloads->begin() + static_cast<long>(first));
+        head_ptr = &head;
+      }
+      TERTIO_ASSIGN_OR_RETURN(sim::Interval w1, ctx.disks->WriteExtents(slice, ready, head_ptr));
+      piece.write_end = w1.end;
+      if (first < count) {
+        disk::ExtentList wrap = SliceExtents(ring_extents, 0, count - first);
+        if (payloads != nullptr) {
+          tail.assign(payloads->begin() + static_cast<long>(first), payloads->end());
+          tail_ptr = &tail;
+        }
+        TERTIO_ASSIGN_OR_RETURN(sim::Interval w2, ctx.disks->WriteExtents(wrap, ready, tail_ptr));
+        piece.write_end = std::max(piece.write_end, w2.end);
+      }
+      ring_pos = (ring_pos + count) % g.ms;
+      return piece;
+    };
+
+    auto ring_read = [&](const Piece& piece, SimSeconds ready,
+                         std::vector<BlockPayload>* out) -> Result<SimSeconds> {
+      BlockCount first = std::min<BlockCount>(piece.count, g.ms - piece.ring_off);
+      TERTIO_ASSIGN_OR_RETURN(
+          sim::Interval r1,
+          ctx.disks->ReadExtents(SliceExtents(ring_extents, piece.ring_off, first), ready, out));
+      SimSeconds end = r1.end;
+      if (first < piece.count) {
+        TERTIO_ASSIGN_OR_RETURN(
+            sim::Interval r2,
+            ctx.disks->ReadExtents(SliceExtents(ring_extents, 0, piece.count - first), ready,
+                                   out));
+        end = std::max(end, r2.end);
+      }
+      return end;
+    };
+
+    // Produces the sub-chunk at S offset `off` (`take` blocks): waits for
+    // ring space, reads tape, writes the ring.
+    auto produce_piece = [&](BlockCount off, BlockCount take) -> Result<Piece> {
+      TERTIO_ASSIGN_OR_RETURN(SimSeconds space_ready, ring.AcquireFree(take));
+      std::vector<BlockPayload> payloads;
+      TERTIO_ASSIGN_OR_RETURN(
+          sim::Interval read,
+          ctx.drive_s->Read(s.start_block + off, take,
+                            std::max(space_ready, staged.done),
+                            phantom ? nullptr : &payloads));
+      return ring_write(take, read.end, phantom ? nullptr : &payloads);
+    };
+
+    // Splits chunk [off, off+take) into sub-chunk descriptors.
+    auto sub_offsets = [&](BlockCount off, BlockCount take) {
+      std::vector<std::pair<BlockCount, BlockCount>> subs;
+      for (BlockCount done = 0; done < take; done += sub) {
+        subs.emplace_back(off + done, std::min<BlockCount>(sub, take - done));
+      }
+      return subs;
+    };
+
+    SimSeconds t_join = staged.done;
+    BlockCount off = 0;
+    BlockCount take = std::min<BlockCount>(g.ms, s.blocks);
+    std::vector<Piece> current;
+    for (auto [o, n] : sub_offsets(off, take)) {
+      TERTIO_ASSIGN_OR_RETURN(Piece piece, produce_piece(o, n));
+      current.push_back(piece);
+    }
+
+    while (take > 0) {
+      BlockCount next_off = off + take;
+      BlockCount next_take =
+          next_off < s.blocks ? std::min<BlockCount>(g.ms, s.blocks - next_off) : 0;
+      auto next_subs = sub_offsets(next_off, next_take);
+
+      // Consume current chunk piece-by-piece, producing the next chunk into
+      // the space each piece frees (the interleaving of Section 4).
+      std::vector<BlockPayload> chunk;
+      std::vector<Piece> next;
+      size_t piece_count = std::max(current.size(), next_subs.size());
+      SimSeconds t = t_join;
+      for (size_t j = 0; j < piece_count; ++j) {
+        if (j < current.size()) {
+          TERTIO_ASSIGN_OR_RETURN(
+              t, ring_read(current[j], std::max(t, current[j].write_end),
+                           phantom ? nullptr : &chunk));
+          TERTIO_RETURN_IF_ERROR(ring.Release(current[j].count, t));
+        }
+        if (j < next_subs.size()) {
+          TERTIO_ASSIGN_OR_RETURN(Piece piece,
+                                  produce_piece(next_subs[j].first, next_subs[j].second));
+          next.push_back(piece);
+        }
+      }
+      TERTIO_ASSIGN_OR_RETURN(
+          t_join, JoinChunkAgainstR(ctx, spec, staged.extents, g.mr, chunk, phantom, t, &output));
+      stats.iterations += 1;
+      current = std::move(next);
+      off = next_off;
+      take = next_take;
+    }
+    finish = t_join;
+    TERTIO_RETURN_IF_ERROR(ctx.disks->allocator().Free(ring_extents, finish, "S-ring"));
+  }
+
+  stats.step2_seconds = finish - staged.done;
+  stats.r_scans = stats.iterations;
+  scope.Fill(&stats);
+  stats.response_seconds = std::max(stats.response_seconds, finish - scope.start());
+  stats.output_valid = !phantom;
+  stats.output_tuples = output.tuples();
+  stats.output_checksum = output.checksum();
+  stats.peak_disk_blocks = std::max(stats.peak_disk_blocks, ctx.disks->allocator().used_blocks());
+
+  // Restore scratch state.
+  TERTIO_RETURN_IF_ERROR(ctx.disks->allocator().Free(staged.extents, finish, "R-copy"));
+  TERTIO_RETURN_IF_ERROR(ctx.memory->ReleaseAll("nb/r-scan"));
+  TERTIO_RETURN_IF_ERROR(ctx.memory->ReleaseAll("nb/s-buffer"));
+  return stats;
+}
+
+class NbJoinMethod final : public JoinMethod {
+ public:
+  NbJoinMethod(JoinMethodId id, NbMode mode) : id_(id), mode_(mode) {}
+
+  JoinMethodId id() const override { return id_; }
+
+  Result<ResourceRequirements> Requirements(const JoinSpec& spec,
+                                            const JoinContext& ctx) const override {
+    TERTIO_ASSIGN_OR_RETURN(NbGeometry g, PlanNb(mode_, spec, ctx));
+    ResourceRequirements req;
+    req.memory_blocks = g.memory_needed;
+    req.disk_blocks = g.disk_needed;
+    return req;
+  }
+
+  Result<JoinStats> Execute(const JoinSpec& spec, const JoinContext& ctx) const override {
+    return ExecuteNb(mode_, id_, spec, ctx);
+  }
+
+ private:
+  JoinMethodId id_;
+  NbMode mode_;
+};
+
+}  // namespace
+
+std::unique_ptr<JoinMethod> MakeDtNb() {
+  return std::make_unique<NbJoinMethod>(JoinMethodId::kDtNb, NbMode::kSequential);
+}
+std::unique_ptr<JoinMethod> MakeCdtNbMb() {
+  return std::make_unique<NbJoinMethod>(JoinMethodId::kCdtNbMb, NbMode::kMemoryBuffered);
+}
+std::unique_ptr<JoinMethod> MakeCdtNbDb() {
+  return std::make_unique<NbJoinMethod>(JoinMethodId::kCdtNbDb, NbMode::kDiskBuffered);
+}
+
+}  // namespace tertio::join

@@ -1,0 +1,465 @@
+/// \file tt_methods.cc
+/// The tape–tape Grace Hash Joins: CTT-GH (Section 5.2.1) and TT-GH
+/// (Section 5.2.2) — the methods that work when D < |R|.
+///
+/// CTT-GH Step I builds a hashed copy of R *on the R tape*: R is scanned
+/// ceil(|R|/D) times; each scan assembles a fraction of the buckets, in
+/// full, on disk and appends them to the R tape. Step II then buffers S
+/// buckets on disk (all D blocks, double-buffered) and streams the
+/// tape-resident R buckets past them once per iteration.
+///
+/// TT-GH hashes R onto the S tape and S onto the R tape (eliminating tape
+/// seeks between source and destination), then joins bucket pairs by
+/// streaming both hashed tapes in parallel — at the price of also hashing S
+/// from tape to tape, the setup cost that rules it out for large |S|.
+
+#include <algorithm>
+#include <vector>
+
+#include "hash/bucket_layout.h"
+#include "hash/disk_partitioner.h"
+#include "hash/tape_bucket_run.h"
+#include "join/join_common.h"
+#include "join/join_method.h"
+#include "mem/double_buffer.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace tertio::join {
+namespace {
+
+/// Plans the bucket layout for a tape–tape method. Buckets of the largest
+/// relation that must be *assembled on disk* have to fit the assembly area:
+/// CTT-GH assembles only R's buckets (B >= ceil(|R|/D)), TT-GH assembles S's
+/// as well (B >= ceil(|S|/D)). Full-data mode keeps one block of partial-
+/// block slack per assembled bucket.
+Result<hash::BucketLayout> PlanTt(const JoinSpec& spec, const JoinContext& ctx,
+                                  BlockCount disk_free, BlockCount assembled_blocks) {
+  BlockCount slack = spec.r->phantom ? 0 : 1;
+  if (disk_free <= slack) {
+    return Status::ResourceExhausted("tape-tape joins need some disk assembly space");
+  }
+  // Real hashing makes bucket sizes fluctuate around |rel|/B; plan with a
+  // 25% margin so the largest bucket still fits both the disk assembly area
+  // and the in-memory bucket allowance (avoiding overflow slices).
+  BlockCount planned = spec.r->phantom ? assembled_blocks
+                                       : assembled_blocks + assembled_blocks / 4;
+  auto min_buckets =
+      static_cast<std::uint32_t>(CeilDiv<std::uint64_t>(planned, disk_free - slack));
+  BlockCount planned_r =
+      spec.r->phantom ? spec.r->blocks : spec.r->blocks + spec.r->blocks / 4 + 1;
+  return hash::BucketLayout::Plan(planned_r, ctx.memory->total_blocks(),
+                                  spec.options.preferred_write_buffer, min_buckets);
+}
+
+/// Hashes `relation` (read on `source`) into a contiguous bucket run
+/// appended to the tape in `target`. Scans the relation once per bucket
+/// group; each scan materializes as many full buckets as fit on disk.
+/// \returns the completion time.
+Result<SimSeconds> HashRelationToTape(const JoinContext& ctx, const rel::Relation& relation,
+                                      std::size_t key_column, tape::TapeDrive* source,
+                                      tape::TapeDrive* target,
+                                      const hash::BucketLayout& layout, SimSeconds start,
+                                      hash::TapeBucketRun* run, std::uint64_t* scan_count) {
+  const bool phantom = relation.phantom;
+  BlockCount disk_free = ctx.disks->allocator().free_blocks();
+  // Each bucket needs its expected size plus one partial block of slack in
+  // full-data mode.
+  BlockCount per_bucket = CeilDiv<std::uint64_t>(relation.blocks, layout.bucket_count) +
+                          (phantom ? 0 : 1);
+  auto per_scan = static_cast<std::uint32_t>(disk_free / per_bucket);
+  if (per_scan == 0) {
+    return Status::ResourceExhausted(
+        StrFormat("disk space of %llu blocks cannot assemble even one bucket (%llu blocks)",
+                  static_cast<unsigned long long>(disk_free),
+                  static_cast<unsigned long long>(per_bucket)));
+  }
+  per_scan = std::min(per_scan, layout.bucket_count);
+
+  run->volume = target->volume();
+  run->compressibility = relation.compressibility;
+  run->regions.resize(layout.bucket_count);
+
+  BlockCount chunk = DefaultTapeChunk(relation);
+  std::uint64_t tuples_per_block =
+      relation.blocks > 0 ? (relation.tuple_count + relation.blocks - 1) / relation.blocks : 0;
+  SimSeconds cursor = start;
+  std::uint64_t scans = 0;
+  for (std::uint32_t first = 0; first < layout.bucket_count; first += per_scan, ++scans) {
+    std::uint32_t span = std::min(per_scan, layout.bucket_count - first);
+    hash::DiskPartitioner::Options options;
+    options.schema = phantom ? nullptr : &relation.schema;
+    options.key_column = key_column;
+    options.bucket_count = layout.bucket_count;
+    options.write_buffer_blocks = layout.write_buffer_blocks;
+    options.first_bucket = first;
+    options.bucket_span = span;
+    options.alloc_tag = "tape-assembly";
+    hash::DiskPartitioner partitioner(ctx.disks, options);
+
+    // Scan the relation end to end (the source drive seeks back on demand).
+    for (BlockCount off = 0; off < relation.blocks; off += chunk) {
+      BlockCount take = std::min<BlockCount>(chunk, relation.blocks - off);
+      std::vector<BlockPayload> payloads;
+      TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
+                              source->Read(relation.start_block + off, take, cursor,
+                                           phantom ? nullptr : &payloads));
+      if (phantom) {
+        TERTIO_RETURN_IF_ERROR(partitioner.AddPhantomBlocks(
+            take, static_cast<std::uint64_t>(take) * tuples_per_block, read.end));
+      } else {
+        TERTIO_RETURN_IF_ERROR(partitioner.AddBlocks(payloads, read.end));
+      }
+      cursor = read.end;  // hashing to disk overlaps the tape scan
+    }
+    TERTIO_RETURN_IF_ERROR(partitioner.Flush());
+
+    // Append the materialized buckets, in bucket order, to the target tape.
+    SimSeconds append_cursor = cursor;
+    for (std::uint32_t local = 0; local < span; ++local) {
+      hash::DiskBucket& bucket = partitioner.buckets()[local];
+      hash::TapeBucketRegion& region = run->regions[first + local];
+      region.start = target->volume()->size_blocks();
+      region.blocks = bucket.blocks;
+      region.tuples = bucket.tuples;
+      if (bucket.blocks == 0) continue;
+      std::vector<BlockPayload> payloads;
+      TERTIO_ASSIGN_OR_RETURN(
+          sim::Interval readback,
+          ctx.disks->ReadExtents(bucket.extents,
+                                 std::max(append_cursor, bucket.ready),
+                                 phantom ? nullptr : &payloads));
+      sim::Interval append;
+      if (phantom) {
+        TERTIO_ASSIGN_OR_RETURN(append, target->AppendPhantom(bucket.blocks,
+                                                              relation.compressibility,
+                                                              readback.end));
+      } else {
+        TERTIO_ASSIGN_OR_RETURN(
+            append, target->Append(payloads, relation.compressibility, readback.end));
+      }
+      append_cursor = append.end;
+      TERTIO_RETURN_IF_ERROR(
+          ctx.disks->allocator().Free(bucket.extents, append.end, "tape-assembly"));
+      bucket.extents.clear();
+    }
+    cursor = append_cursor;
+  }
+  if (scan_count != nullptr) *scan_count += scans;
+  return cursor;
+}
+
+// ---------------------------------------------------------------- CTT-GH --
+
+Result<JoinStats> ExecuteCttGh(const JoinSpec& spec, const JoinContext& ctx) {
+  TERTIO_RETURN_IF_ERROR(ValidateSpecAndContext(spec, ctx));
+  const rel::Relation& r = *spec.r;
+  const rel::Relation& s = *spec.s;
+  const bool phantom = r.phantom;
+  BlockCount disk_free = ctx.disks->allocator().free_blocks();
+  TERTIO_ASSIGN_OR_RETURN(hash::BucketLayout layout, PlanTt(spec, ctx, disk_free, spec.r->blocks));
+  TERTIO_RETURN_IF_ERROR(ctx.memory->Reserve(layout.memory_blocks, "ctt/memory"));
+  BlockCount r_tape_size_before = r.volume->size_blocks();
+
+  StatsScope scope(ctx);
+  JoinStats stats;
+  stats.method = std::string(JoinMethodName(JoinMethodId::kCttGh));
+
+  // ---- Step I: hashed copy of R appended to the R tape.
+  hash::TapeBucketRun run;
+  std::uint64_t scans = 0;
+  TERTIO_ASSIGN_OR_RETURN(
+      SimSeconds step1_end,
+      HashRelationToTape(ctx, r, spec.r_key_column, ctx.drive_r, ctx.drive_r, layout,
+                         scope.start(), &run, &scans));
+  stats.step1_seconds = step1_end - scope.start();
+  stats.r_scans = scans;
+
+  // ---- Step II: S buckets on disk (all of D, double-buffered); R buckets
+  // streamed from tape once per iteration.
+  JoinOutput output;
+  if (!phantom && spec.match_sink) output.set_sink(spec.match_sink);
+  std::uint64_t overflow_slices = 0;
+  BlockCount d = ctx.disks->allocator().free_blocks();
+  BlockCount slab = d;
+  if (!phantom) {
+    if (d <= layout.bucket_count) {
+      return Status::ResourceExhausted(
+          "S buffer space must exceed one block per bucket in full-data mode");
+    }
+    slab = d - layout.bucket_count;
+  }
+  mem::InterleavedBuffer space(d);
+  SimSeconds tape_s_cursor = step1_end;
+  SimSeconds join_cursor = step1_end;
+  BlockCount s_chunk = std::min<BlockCount>(DefaultTapeChunk(s), slab);
+  std::uint64_t s_tuples_per_block =
+      s.blocks > 0 ? (s.tuple_count + s.blocks - 1) / s.blocks : 0;
+
+  for (BlockCount off = 0; off < s.blocks; off += slab) {
+    BlockCount take_slab = std::min<BlockCount>(slab, s.blocks - off);
+    hash::DiskPartitioner::Options s_options;
+    s_options.schema = phantom ? nullptr : &s.schema;
+    s_options.key_column = spec.s_key_column;
+    s_options.bucket_count = layout.bucket_count;
+    s_options.write_buffer_blocks = layout.write_buffer_blocks;
+    s_options.alloc_tag = stats.iterations % 2 == 0 ? "S-iter-even" : "S-iter-odd";
+    s_options.space = &space;
+    hash::DiskPartitioner s_partitioner(ctx.disks, s_options);
+
+    for (BlockCount done = 0; done < take_slab; done += s_chunk) {
+      BlockCount take = std::min<BlockCount>(s_chunk, take_slab - done);
+      std::vector<BlockPayload> payloads;
+      TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
+                              ctx.drive_s->Read(s.start_block + off + done, take,
+                                                tape_s_cursor, phantom ? nullptr : &payloads));
+      if (phantom) {
+        TERTIO_RETURN_IF_ERROR(s_partitioner.AddPhantomBlocks(
+            take, static_cast<std::uint64_t>(take) * s_tuples_per_block, read.end));
+      } else {
+        TERTIO_RETURN_IF_ERROR(s_partitioner.AddBlocks(payloads, read.end));
+      }
+      tape_s_cursor = read.end;
+    }
+    TERTIO_RETURN_IF_ERROR(s_partitioner.Flush());
+
+    // Join: stream R's tape-resident buckets past the disk-resident S
+    // buckets — one full pass over hashed R per iteration. On drives with
+    // READ REVERSE (the paper's footnote 2, after Knuth), odd iterations
+    // walk the bucket run backwards so no locate back to the run's start is
+    // ever needed; otherwise every iteration seeks back and reads forward.
+    const bool reverse_pass = ctx.drive_r->model().supports_read_reverse &&
+                              spec.options.use_read_reverse && stats.iterations % 2 == 1;
+    for (std::uint32_t bi = 0; bi < layout.bucket_count; ++bi) {
+      std::uint32_t b = reverse_pass ? layout.bucket_count - 1 - bi : bi;
+      const hash::TapeBucketRegion& region = run.regions[b];
+      hash::DiskBucket& sb = s_partitioner.buckets()[b];
+      SimSeconds t = join_cursor;
+      if (region.blocks > 0 && reverse_pass && region.blocks <= layout.r_bucket_blocks) {
+        // Backward read of the whole bucket (head is already at its end when
+        // buckets are visited in descending order).
+        if (ctx.drive_r->head_position() != region.start + region.blocks) {
+          TERTIO_ASSIGN_OR_RETURN(sim::Interval seek,
+                                  ctx.drive_r->Locate(region.start + region.blocks, t));
+          t = seek.end;
+        }
+        std::vector<BlockPayload> r_blocks;
+        TERTIO_ASSIGN_OR_RETURN(
+            sim::Interval read,
+            ctx.drive_r->ReadReverse(region.blocks, t, phantom ? nullptr : &r_blocks));
+        t = read.end;
+        HashJoinTable table(&r.schema, spec.r_key_column, /*build_is_r=*/true,
+                            /*capture_records=*/output.has_sink());
+        if (!phantom) {
+          TERTIO_RETURN_IF_ERROR(table.AddBlocks(r_blocks));
+        }
+        if (sb.blocks > 0) {
+          TERTIO_ASSIGN_OR_RETURN(
+              t, ScanDiskAndProbe(ctx, sb.extents, layout.write_buffer_blocks,
+                                  std::max(t, sb.ready), phantom, &s.schema,
+                                  spec.s_key_column, phantom ? nullptr : &table, &output));
+        }
+      } else if (region.blocks > 0) {
+        // Forward read into memory, possibly in slices on overflow.
+        BlockCount offset = 0;
+        std::uint64_t slices = 0;
+        while (offset < region.blocks) {
+          BlockCount take =
+              std::min<BlockCount>(layout.r_bucket_blocks, region.blocks - offset);
+          std::vector<BlockPayload> r_blocks;
+          TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
+                                  ctx.drive_r->Read(region.start + offset, take, t,
+                                                    phantom ? nullptr : &r_blocks));
+          t = read.end;
+          HashJoinTable table(&r.schema, spec.r_key_column, /*build_is_r=*/true,
+                              /*capture_records=*/output.has_sink());
+          if (!phantom) {
+            TERTIO_RETURN_IF_ERROR(table.AddBlocks(r_blocks));
+          }
+          if (sb.blocks > 0) {
+            TERTIO_ASSIGN_OR_RETURN(
+                t, ScanDiskAndProbe(ctx, sb.extents, layout.write_buffer_blocks,
+                                    std::max(t, sb.ready), phantom, &s.schema,
+                                    spec.s_key_column, phantom ? nullptr : &table, &output));
+          }
+          offset += take;
+          ++slices;
+        }
+        if (slices > 1) overflow_slices += slices - 1;
+      } else if (sb.blocks > 0) {
+        TERTIO_ASSIGN_OR_RETURN(
+            t, ScanDiskAndProbe(ctx, sb.extents, layout.write_buffer_blocks,
+                                std::max(t, sb.ready), phantom, &s.schema, spec.s_key_column,
+                                nullptr, &output));
+      }
+      join_cursor = t;
+      if (sb.blocks > 0) {
+        TERTIO_RETURN_IF_ERROR(
+            ctx.disks->allocator().Free(sb.extents, join_cursor, s_options.alloc_tag));
+        TERTIO_RETURN_IF_ERROR(space.Release(sb.blocks, join_cursor));
+        sb.extents.clear();
+      }
+    }
+    stats.iterations += 1;
+    stats.r_scans += 1;  // one pass over hashed R per iteration
+  }
+
+  SimSeconds finish = std::max(join_cursor, tape_s_cursor);
+  stats.step2_seconds = finish - step1_end;
+  stats.bucket_overflow_slices = overflow_slices;
+  scope.Fill(&stats);
+  stats.response_seconds = std::max(stats.response_seconds, finish - scope.start());
+  stats.output_valid = !phantom;
+  stats.output_tuples = output.tuples();
+  stats.output_checksum = output.checksum();
+  stats.peak_disk_blocks = ctx.disks->allocator().used_blocks();
+
+  // Reclaim the scratch region appended to the R tape.
+  TERTIO_RETURN_IF_ERROR(r.volume->Truncate(r_tape_size_before));
+  TERTIO_RETURN_IF_ERROR(ctx.memory->ReleaseAll("ctt/memory"));
+  return stats;
+}
+
+// ----------------------------------------------------------------- TT-GH --
+
+Result<JoinStats> ExecuteTtGh(const JoinSpec& spec, const JoinContext& ctx) {
+  TERTIO_RETURN_IF_ERROR(ValidateSpecAndContext(spec, ctx));
+  const rel::Relation& r = *spec.r;
+  const rel::Relation& s = *spec.s;
+  const bool phantom = r.phantom;
+  BlockCount disk_free = ctx.disks->allocator().free_blocks();
+  TERTIO_ASSIGN_OR_RETURN(hash::BucketLayout layout, PlanTt(spec, ctx, disk_free, spec.s->blocks));
+  TERTIO_RETURN_IF_ERROR(ctx.memory->Reserve(layout.memory_blocks, "tt/memory"));
+  BlockCount r_tape_size_before = r.volume->size_blocks();
+  BlockCount s_tape_size_before = s.volume->size_blocks();
+
+  StatsScope scope(ctx);
+  JoinStats stats;
+  stats.method = std::string(JoinMethodName(JoinMethodId::kTtGh));
+
+  // ---- Step I: hash R onto the S tape, then S onto the R tape.
+  hash::TapeBucketRun r_run, s_run;
+  std::uint64_t scans = 0;
+  TERTIO_ASSIGN_OR_RETURN(
+      SimSeconds r_hashed,
+      HashRelationToTape(ctx, r, spec.r_key_column, ctx.drive_r, ctx.drive_s, layout,
+                         scope.start(), &r_run, &scans));
+  stats.r_scans = scans;
+  TERTIO_ASSIGN_OR_RETURN(
+      SimSeconds step1_end,
+      HashRelationToTape(ctx, s, spec.s_key_column, ctx.drive_s, ctx.drive_r, layout, r_hashed,
+                         &s_run, nullptr));
+  stats.step1_seconds = step1_end - scope.start();
+  stats.iterations = CeilDiv<std::uint64_t>(r.blocks, std::max<BlockCount>(disk_free, 1)) +
+                     CeilDiv<std::uint64_t>(s.blocks, std::max<BlockCount>(disk_free, 1));
+
+  // ---- Step II: stream bucket pairs — R buckets from the S tape (drive S),
+  // S buckets from the R tape (drive R) — in parallel.
+  JoinOutput output;
+  if (!phantom && spec.match_sink) output.set_sink(spec.match_sink);
+  std::uint64_t overflow_slices = 0;
+  SimSeconds drive_s_cursor = step1_end;  // reads R buckets
+  SimSeconds drive_r_cursor = step1_end;  // reads S buckets
+  BlockCount probe_chunk = std::max<BlockCount>(layout.write_buffer_blocks, 1);
+  for (std::uint32_t b = 0; b < layout.bucket_count; ++b) {
+    const hash::TapeBucketRegion& rb = r_run.regions[b];
+    const hash::TapeBucketRegion& sb = s_run.regions[b];
+    SimSeconds table_ready = drive_s_cursor;
+    HashJoinTable table(&r.schema, spec.r_key_column, /*build_is_r=*/true,
+                        /*capture_records=*/output.has_sink());
+    std::uint64_t slices = 0;
+    BlockCount r_off = 0;
+    do {
+      BlockCount r_take = std::min<BlockCount>(layout.r_bucket_blocks, rb.blocks - r_off);
+      if (rb.blocks > 0) {
+        std::vector<BlockPayload> r_blocks;
+        TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
+                                ctx.drive_s->Read(rb.start + r_off, r_take, drive_s_cursor,
+                                                  phantom ? nullptr : &r_blocks));
+        drive_s_cursor = read.end;
+        table_ready = read.end;
+        table.Clear();
+        if (!phantom) {
+          TERTIO_RETURN_IF_ERROR(table.AddBlocks(r_blocks));
+        }
+        ++slices;
+      }
+      // Stream the S bucket from the R tape through the table.
+      SimSeconds t = std::max(drive_r_cursor, table_ready);
+      for (BlockCount s_off = 0; s_off < sb.blocks; s_off += probe_chunk) {
+        BlockCount s_take = std::min<BlockCount>(probe_chunk, sb.blocks - s_off);
+        std::vector<BlockPayload> s_blocks;
+        TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
+                                ctx.drive_r->Read(sb.start + s_off, s_take, t,
+                                                  phantom ? nullptr : &s_blocks));
+        t = read.end;
+        if (!phantom && rb.blocks > 0) {
+          TERTIO_RETURN_IF_ERROR(
+              table.Probe(s_blocks, &s.schema, spec.s_key_column, &output));
+        }
+      }
+      drive_r_cursor = t;
+      r_off += r_take;
+    } while (r_off < rb.blocks);
+    if (slices > 1) overflow_slices += slices - 1;
+  }
+
+  SimSeconds finish = std::max(drive_r_cursor, drive_s_cursor);
+  stats.step2_seconds = finish - step1_end;
+  stats.bucket_overflow_slices = overflow_slices;
+  stats.r_scans += 1;  // the Step II pass over hashed R
+  scope.Fill(&stats);
+  stats.response_seconds = std::max(stats.response_seconds, finish - scope.start());
+  stats.output_valid = !phantom;
+  stats.output_tuples = output.tuples();
+  stats.output_checksum = output.checksum();
+  stats.peak_disk_blocks = ctx.disks->allocator().used_blocks();
+
+  TERTIO_RETURN_IF_ERROR(r.volume->Truncate(r_tape_size_before));
+  TERTIO_RETURN_IF_ERROR(s.volume->Truncate(s_tape_size_before));
+  TERTIO_RETURN_IF_ERROR(ctx.memory->ReleaseAll("tt/memory"));
+  return stats;
+}
+
+class TtJoinMethod final : public JoinMethod {
+ public:
+  explicit TtJoinMethod(JoinMethodId id) : id_(id) {}
+
+  JoinMethodId id() const override { return id_; }
+
+  Result<ResourceRequirements> Requirements(const JoinSpec& spec,
+                                            const JoinContext& ctx) const override {
+    BlockCount disk_free = ctx.disks->allocator().free_blocks();
+    TERTIO_ASSIGN_OR_RETURN(hash::BucketLayout layout, PlanTt(spec, ctx, disk_free,
+                            id_ == JoinMethodId::kCttGh ? spec.r->blocks : spec.s->blocks));
+    ResourceRequirements req;
+    req.memory_blocks = layout.memory_blocks;
+    req.disk_blocks = CeilDiv<std::uint64_t>(spec.r->blocks, layout.bucket_count) +
+                      (spec.r->phantom ? 0 : 1);
+    if (id_ == JoinMethodId::kCttGh) {
+      req.tape_scratch_r_blocks = spec.r->blocks;
+    } else {
+      req.tape_scratch_r_blocks = spec.s->blocks;
+      req.tape_scratch_s_blocks = spec.r->blocks;
+    }
+    return req;
+  }
+
+  Result<JoinStats> Execute(const JoinSpec& spec, const JoinContext& ctx) const override {
+    return id_ == JoinMethodId::kCttGh ? ExecuteCttGh(spec, ctx) : ExecuteTtGh(spec, ctx);
+  }
+
+ private:
+  JoinMethodId id_;
+};
+
+}  // namespace
+
+std::unique_ptr<JoinMethod> MakeCttGh() {
+  return std::make_unique<TtJoinMethod>(JoinMethodId::kCttGh);
+}
+std::unique_ptr<JoinMethod> MakeTtGh() {
+  return std::make_unique<TtJoinMethod>(JoinMethodId::kTtGh);
+}
+
+}  // namespace tertio::join

@@ -1,0 +1,50 @@
+#include "mem/double_buffer.h"
+
+#include "util/string_util.h"
+
+namespace tertio::mem {
+
+Result<SimSeconds> InterleavedBuffer::AcquireFree(BlockCount count) {
+  if (occupied_ + count > capacity_) {
+    return Status::ResourceExhausted(
+        StrFormat("buffer acquire of %llu blocks exceeds capacity (%llu occupied of %llu)",
+                  static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(occupied_),
+                  static_cast<unsigned long long>(capacity_)));
+  }
+  SimSeconds ready = 0.0;
+  BlockCount remaining = count;
+  while (remaining > 0) {
+    TERTIO_CHECK(!free_segments_.empty(), "buffer accounting out of sync");
+    Segment& seg = free_segments_.front();
+    if (seg.free_at > ready) ready = seg.free_at;
+    BlockCount take = seg.count < remaining ? seg.count : remaining;
+    seg.count -= take;
+    remaining -= take;
+    if (seg.count == 0) free_segments_.pop_front();
+  }
+  occupied_ += count;
+  return ready;
+}
+
+Status InterleavedBuffer::Release(BlockCount count, SimSeconds when) {
+  if (count > occupied_) {
+    return Status::InvalidArgument(
+        StrFormat("release of %llu blocks exceeds occupancy (%llu)",
+                  static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(occupied_)));
+  }
+  if (when < last_release_) {
+    return Status::InvalidArgument("buffer releases must carry non-decreasing times");
+  }
+  last_release_ = when;
+  occupied_ -= count;
+  if (!free_segments_.empty() && free_segments_.back().free_at == when) {
+    free_segments_.back().count += count;
+  } else {
+    free_segments_.push_back(Segment{when, count});
+  }
+  return Status::OK();
+}
+
+}  // namespace tertio::mem

@@ -1,0 +1,48 @@
+#include "mem/memory_budget.h"
+
+#include "util/string_util.h"
+
+namespace tertio::mem {
+
+Status MemoryBudget::Reserve(BlockCount count, const std::string& tag) {
+  if (reserved_ + count > total_) {
+    return Status::ResourceExhausted(
+        StrFormat("memory reservation '%s' of %llu blocks exceeds budget "
+                  "(%llu of %llu blocks in use)",
+                  tag.c_str(), static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(reserved_),
+                  static_cast<unsigned long long>(total_)));
+  }
+  reserved_ += count;
+  by_tag_[tag] += count;
+  if (reserved_ > peak_) peak_ = reserved_;
+  return Status::OK();
+}
+
+Status MemoryBudget::Release(BlockCount count, const std::string& tag) {
+  auto it = by_tag_.find(tag);
+  if (it == by_tag_.end() || it->second < count) {
+    return Status::InvalidArgument(
+        StrFormat("release of %llu blocks under '%s' exceeds its reservation",
+                  static_cast<unsigned long long>(count), tag.c_str()));
+  }
+  it->second -= count;
+  if (it->second == 0) by_tag_.erase(it);
+  reserved_ -= count;
+  return Status::OK();
+}
+
+Status MemoryBudget::ReleaseAll(const std::string& tag) {
+  auto it = by_tag_.find(tag);
+  if (it == by_tag_.end()) return Status::OK();
+  reserved_ -= it->second;
+  by_tag_.erase(it);
+  return Status::OK();
+}
+
+BlockCount MemoryBudget::ReservedUnder(const std::string& tag) const {
+  auto it = by_tag_.find(tag);
+  return it == by_tag_.end() ? 0 : it->second;
+}
+
+}  // namespace tertio::mem

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file memory_budget.h
+/// Accounting for the fixed main-memory allotment M of the system model.
+///
+/// The paper allocates a fixed M blocks of main memory to the join (Section
+/// 3.1) and charges every buffer against it — including the per-bucket write
+/// buffers of the hashing methods, which "become significant" when the
+/// bucket count is large (Section 6). MemoryBudget enforces that no join
+/// method silently uses more memory than its Table 2 entry.
+
+#include <map>
+#include <string>
+
+#include "util/status.h"
+#include "util/units.h"
+
+namespace tertio::mem {
+
+/// Block-granular budget with named reservations.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(BlockCount total_blocks) : total_(total_blocks) {}
+
+  BlockCount total_blocks() const { return total_; }
+  BlockCount reserved_blocks() const { return reserved_; }
+  BlockCount free_blocks() const { return total_ - reserved_; }
+
+  /// Reserves `count` blocks under `tag`; fails if the budget is exceeded.
+  Status Reserve(BlockCount count, const std::string& tag);
+
+  /// Releases `count` blocks from `tag`; fails on over-release.
+  Status Release(BlockCount count, const std::string& tag);
+
+  /// Releases everything held under `tag`.
+  Status ReleaseAll(const std::string& tag);
+
+  /// Blocks currently reserved under `tag`.
+  BlockCount ReservedUnder(const std::string& tag) const;
+
+  /// Largest reserved_blocks() ever observed — the method's true memory
+  /// footprint, compared against Table 2 in tests.
+  BlockCount peak_reserved_blocks() const { return peak_; }
+
+ private:
+  BlockCount total_;
+  BlockCount reserved_ = 0;
+  BlockCount peak_ = 0;
+  std::map<std::string, BlockCount> by_tag_;
+};
+
+}  // namespace tertio::mem

@@ -1,0 +1,163 @@
+#include "query/expr.h"
+
+#include "util/string_util.h"
+
+namespace tertio::query {
+
+std::unique_ptr<Expr> Expr::MakeColumn(std::size_t index) {
+  auto expr = std::unique_ptr<Expr>(new Expr(ExprKind::kColumn));
+  expr->column_ = index;
+  return expr;
+}
+
+std::unique_ptr<Expr> Expr::MakeLiteral(Value value) {
+  auto expr = std::unique_ptr<Expr>(new Expr(ExprKind::kLiteral));
+  expr->literal_ = std::move(value);
+  return expr;
+}
+
+std::unique_ptr<Expr> Expr::MakeBinary(ExprKind kind, std::unique_ptr<Expr> lhs,
+                                       std::unique_ptr<Expr> rhs) {
+  TERTIO_CHECK(lhs != nullptr && rhs != nullptr, "binary expression requires two operands");
+  auto expr = std::unique_ptr<Expr>(new Expr(kind));
+  expr->children_.push_back(std::move(lhs));
+  expr->children_.push_back(std::move(rhs));
+  return expr;
+}
+
+std::unique_ptr<Expr> Expr::MakeNot(std::unique_ptr<Expr> operand) {
+  TERTIO_CHECK(operand != nullptr, "NOT requires an operand");
+  auto expr = std::unique_ptr<Expr>(new Expr(ExprKind::kNot));
+  expr->children_.push_back(std::move(operand));
+  return expr;
+}
+
+namespace {
+
+Result<bool> AsBool(const Value& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) return *i != 0;
+  return Status::InvalidArgument("boolean context requires an integer value");
+}
+
+/// Compares two values; mixed int/double comparisons promote to double.
+Result<int> Compare(const Value& a, const Value& b) {
+  const bool a_str = std::holds_alternative<std::string>(a);
+  const bool b_str = std::holds_alternative<std::string>(b);
+  if (a_str != b_str) {
+    return Status::InvalidArgument("cannot compare a string with a number");
+  }
+  if (a_str) {
+    const auto& sa = std::get<std::string>(a);
+    const auto& sb = std::get<std::string>(b);
+    return sa < sb ? -1 : (sa == sb ? 0 : 1);
+  }
+  TERTIO_ASSIGN_OR_RETURN(double da, ValueAsDouble(a));
+  TERTIO_ASSIGN_OR_RETURN(double db, ValueAsDouble(b));
+  return da < db ? -1 : (da == db ? 0 : 1);
+}
+
+Result<Value> Arithmetic(ExprKind kind, const Value& a, const Value& b) {
+  // Integer op integer stays integral; anything else promotes to double.
+  if (std::holds_alternative<std::int64_t>(a) && std::holds_alternative<std::int64_t>(b)) {
+    std::int64_t x = std::get<std::int64_t>(a);
+    std::int64_t y = std::get<std::int64_t>(b);
+    switch (kind) {
+      case ExprKind::kAdd:
+        return Value{x + y};
+      case ExprKind::kSub:
+        return Value{x - y};
+      case ExprKind::kMul:
+        return Value{x * y};
+      default:
+        break;
+    }
+  }
+  TERTIO_ASSIGN_OR_RETURN(double x, ValueAsDouble(a));
+  TERTIO_ASSIGN_OR_RETURN(double y, ValueAsDouble(b));
+  switch (kind) {
+    case ExprKind::kAdd:
+      return Value{x + y};
+    case ExprKind::kSub:
+      return Value{x - y};
+    case ExprKind::kMul:
+      return Value{x * y};
+    default:
+      return Status::Internal("non-arithmetic kind in Arithmetic");
+  }
+}
+
+}  // namespace
+
+Result<Value> Expr::Eval(const Row& row) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      if (column_ >= row.values.size()) {
+        return Status::InvalidArgument(
+            StrFormat("column %zu out of range (row has %zu columns)", column_,
+                      row.values.size()));
+      }
+      return row.values[column_];
+    case ExprKind::kLiteral:
+      return literal_;
+    case ExprKind::kEq:
+    case ExprKind::kNe:
+    case ExprKind::kLt:
+    case ExprKind::kLe:
+    case ExprKind::kGt:
+    case ExprKind::kGe: {
+      TERTIO_ASSIGN_OR_RETURN(Value lhs, children_[0]->Eval(row));
+      TERTIO_ASSIGN_OR_RETURN(Value rhs, children_[1]->Eval(row));
+      TERTIO_ASSIGN_OR_RETURN(int cmp, Compare(lhs, rhs));
+      bool result = false;
+      switch (kind_) {
+        case ExprKind::kEq:
+          result = cmp == 0;
+          break;
+        case ExprKind::kNe:
+          result = cmp != 0;
+          break;
+        case ExprKind::kLt:
+          result = cmp < 0;
+          break;
+        case ExprKind::kLe:
+          result = cmp <= 0;
+          break;
+        case ExprKind::kGt:
+          result = cmp > 0;
+          break;
+        case ExprKind::kGe:
+          result = cmp >= 0;
+          break;
+        default:
+          break;
+      }
+      return Value{static_cast<std::int64_t>(result)};
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      TERTIO_ASSIGN_OR_RETURN(Value lhs, children_[0]->Eval(row));
+      TERTIO_ASSIGN_OR_RETURN(bool lb, AsBool(lhs));
+      // Short-circuit evaluation.
+      if (kind_ == ExprKind::kAnd && !lb) return Value{std::int64_t{0}};
+      if (kind_ == ExprKind::kOr && lb) return Value{std::int64_t{1}};
+      TERTIO_ASSIGN_OR_RETURN(Value rhs, children_[1]->Eval(row));
+      TERTIO_ASSIGN_OR_RETURN(bool rb, AsBool(rhs));
+      return Value{static_cast<std::int64_t>(rb)};
+    }
+    case ExprKind::kNot: {
+      TERTIO_ASSIGN_OR_RETURN(Value operand, children_[0]->Eval(row));
+      TERTIO_ASSIGN_OR_RETURN(bool b, AsBool(operand));
+      return Value{static_cast<std::int64_t>(!b)};
+    }
+    case ExprKind::kAdd:
+    case ExprKind::kSub:
+    case ExprKind::kMul: {
+      TERTIO_ASSIGN_OR_RETURN(Value lhs, children_[0]->Eval(row));
+      TERTIO_ASSIGN_OR_RETURN(Value rhs, children_[1]->Eval(row));
+      return Arithmetic(kind_, lhs, rhs);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace tertio::query

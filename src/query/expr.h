@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file expr.h
+/// Scalar expressions over rows: column references, literals, comparisons,
+/// boolean connectives and arithmetic. Built with the free functions at the
+/// bottom, e.g.
+///
+///   auto pred = And(Ge(Col(2), Lit(100.0)), Eq(Col(0), Lit(int64_t{42})));
+
+#include <memory>
+#include <vector>
+
+#include "query/row.h"
+#include "util/status.h"
+
+namespace tertio::query {
+
+enum class ExprKind : uint8_t {
+  kColumn,
+  kLiteral,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kAdd,
+  kSub,
+  kMul,
+};
+
+/// Immutable expression tree node.
+class Expr {
+ public:
+  /// Evaluates against `row`. Type errors (e.g. adding strings) surface as
+  /// InvalidArgument.
+  Result<Value> Eval(const Row& row) const;
+
+  ExprKind kind() const { return kind_; }
+
+  // Node constructors (prefer the free builder functions below).
+  static std::unique_ptr<Expr> MakeColumn(std::size_t index);
+  static std::unique_ptr<Expr> MakeLiteral(Value value);
+  static std::unique_ptr<Expr> MakeBinary(ExprKind kind, std::unique_ptr<Expr> lhs,
+                                          std::unique_ptr<Expr> rhs);
+  static std::unique_ptr<Expr> MakeNot(std::unique_ptr<Expr> operand);
+
+ private:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+  ExprKind kind_;
+  std::size_t column_ = 0;
+  Value literal_;
+  std::vector<std::unique_ptr<Expr>> children_;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+inline ExprPtr Col(std::size_t index) { return Expr::MakeColumn(index); }
+inline ExprPtr Lit(std::int64_t v) { return Expr::MakeLiteral(Value{v}); }
+inline ExprPtr Lit(double v) { return Expr::MakeLiteral(Value{v}); }
+inline ExprPtr Lit(std::string v) { return Expr::MakeLiteral(Value{std::move(v)}); }
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(ExprKind::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(ExprKind::kNe, std::move(a), std::move(b));
+}
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(ExprKind::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(ExprKind::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(ExprKind::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(ExprKind::kGe, std::move(a), std::move(b));
+}
+inline ExprPtr And(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(ExprKind::kAnd, std::move(a), std::move(b));
+}
+inline ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(ExprKind::kOr, std::move(a), std::move(b));
+}
+inline ExprPtr Not(ExprPtr a) { return Expr::MakeNot(std::move(a)); }
+inline ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(ExprKind::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(ExprKind::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(ExprKind::kMul, std::move(a), std::move(b));
+}
+
+}  // namespace tertio::query

@@ -1,0 +1,63 @@
+#include "query/query.h"
+
+namespace tertio::query {
+
+cost::CostParams CostParamsFromContext(const join::JoinContext& ctx, const rel::Relation& r,
+                                       const rel::Relation& s) {
+  cost::CostParams params;
+  params.r_blocks = r.blocks;
+  params.s_blocks = s.blocks;
+  params.block_bytes = r.block_bytes;
+  params.memory_blocks = ctx.memory->total_blocks();
+  params.disk_blocks = ctx.disks->allocator().capacity_blocks();
+  // Both drives share a model in tertio machines; S dominates the transfer
+  // volume, so its compressibility sets the effective rate.
+  params.tape_rate_bps = ctx.drive_s->model().EffectiveRate(s.compressibility);
+  params.disk_rate_bps = ctx.disks->aggregate_rate_bps();
+  if (ctx.disks->disk_count() > 0) {
+    params.disk_positioning_seconds = ctx.disks->disk(0)->model().positioning_seconds;
+  }
+  return params;
+}
+
+Result<QueryStats> ExecuteQuery(const TertiaryQuery& query, const join::JoinContext& ctx) {
+  if (query.r == nullptr || query.s == nullptr) {
+    return Status::InvalidArgument("query requires both relations");
+  }
+  if (query.pipeline == nullptr) {
+    return Status::InvalidArgument("query requires a sink pipeline");
+  }
+  if (query.r->phantom || query.s->phantom) {
+    return Status::InvalidArgument("queries need full-data relations (phantom is timing-only)");
+  }
+
+  JoinMethodId method_id;
+  if (query.method.has_value()) {
+    method_id = *query.method;
+  } else {
+    TERTIO_ASSIGN_OR_RETURN(
+        join::AdvisorReport advice,
+        join::AdviseJoinMethod(CostParamsFromContext(ctx, *query.r, *query.s)));
+    method_id = advice.best().method;
+  }
+
+  join::JoinSpec spec;
+  spec.r = query.r;
+  spec.s = query.s;
+  spec.r_key_column = query.r_key_column;
+  spec.s_key_column = query.s_key_column;
+  spec.options = query.options;
+  RowSink* pipeline = query.pipeline;
+  spec.match_sink = [pipeline](const rel::Tuple& r_tuple, const rel::Tuple& s_tuple) {
+    return pipeline->Consume(RowFromMatch(r_tuple, s_tuple));
+  };
+
+  auto method = join::CreateJoinMethod(method_id);
+  QueryStats stats;
+  stats.method = method_id;
+  TERTIO_ASSIGN_OR_RETURN(stats.join, method->Execute(spec, ctx));
+  TERTIO_RETURN_IF_ERROR(query.pipeline->Finish());
+  return stats;
+}
+
+}  // namespace tertio::query

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file query.h
+/// End-to-end query execution: a tertiary join feeding a sink pipeline.
+///
+///   CollectSink result;
+///   FilterSink filter(Gt(Col(3), Lit(100.0)), &result);
+///   TertiaryQuery query;
+///   query.r = &dim; query.s = &fact; query.pipeline = &filter;
+///   auto stats = ExecuteQuery(query, ctx);
+///
+/// The join method is chosen by the advisor unless pinned; joined rows are
+/// pushed through the pipeline as they are produced (never staged), matching
+/// the paper's Section 3.2 output model.
+
+#include <optional>
+
+#include "join/advisor.h"
+#include "join/join_method.h"
+#include "query/sinks.h"
+
+namespace tertio::query {
+
+/// One query: R join S, then the row pipeline.
+struct TertiaryQuery {
+  const rel::Relation* r = nullptr;
+  const rel::Relation* s = nullptr;
+  std::size_t r_key_column = 0;
+  std::size_t s_key_column = 0;
+  /// Head of the sink pipeline receiving joined rows.
+  RowSink* pipeline = nullptr;
+  /// Pin a join method; unset = advisor's choice.
+  std::optional<JoinMethodId> method;
+  join::ExecutionOptions options;
+};
+
+/// Result: join statistics plus the method that ran.
+struct QueryStats {
+  JoinMethodId method;
+  join::JoinStats join;
+};
+
+/// Derives analytical cost parameters from a live context (device rates,
+/// memory and disk budgets) — what the advisor needs to plan a join on this
+/// machine. Exposed for planners and tests.
+cost::CostParams CostParamsFromContext(const join::JoinContext& ctx, const rel::Relation& r,
+                                       const rel::Relation& s);
+
+/// Runs the query. Rows flow through `query.pipeline`; Finish() is invoked
+/// at end-of-stream. Requires full-data (non-phantom) relations.
+Result<QueryStats> ExecuteQuery(const TertiaryQuery& query, const join::JoinContext& ctx);
+
+}  // namespace tertio::query

@@ -1,0 +1,66 @@
+#include "query/row.h"
+
+#include "util/string_util.h"
+
+namespace tertio::query {
+
+RowSchema RowSchema::Joined(const rel::Schema& r, const std::string& r_alias,
+                            const rel::Schema& s, const std::string& s_alias) {
+  RowSchema schema;
+  for (std::size_t i = 0; i < r.column_count(); ++i) {
+    schema.columns.push_back(Column{r_alias + "." + r.column(i).name, r.column(i).type});
+  }
+  for (std::size_t i = 0; i < s.column_count(); ++i) {
+    schema.columns.push_back(Column{s_alias + "." + s.column(i).name, s.column(i).type});
+  }
+  return schema;
+}
+
+Value ValueFromColumn(const rel::Tuple& tuple, std::size_t column) {
+  switch (tuple.schema().column(column).type) {
+    case rel::ColumnType::kInt64:
+      return tuple.GetInt64(column);
+    case rel::ColumnType::kDouble:
+      return tuple.GetDouble(column);
+    case rel::ColumnType::kFixedChar: {
+      std::string_view raw = tuple.GetFixedChar(column);
+      std::size_t nul = raw.find('\0');
+      return std::string(nul == std::string_view::npos ? raw : raw.substr(0, nul));
+    }
+  }
+  return std::int64_t{0};
+}
+
+Row RowFromMatch(const rel::Tuple& r, const rel::Tuple& s) {
+  Row row;
+  row.values.reserve(r.schema().column_count() + s.schema().column_count());
+  for (std::size_t i = 0; i < r.schema().column_count(); ++i) {
+    row.values.push_back(ValueFromColumn(r, i));
+  }
+  for (std::size_t i = 0; i < s.schema().column_count(); ++i) {
+    row.values.push_back(ValueFromColumn(s, i));
+  }
+  return row;
+}
+
+std::string ValueToString(const Value& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    return StrFormat("%lld", static_cast<long long>(*i));
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    return StrFormat("%g", *d);
+  }
+  return std::get<std::string>(value);
+}
+
+bool ValueEquals(const Value& a, const Value& b) { return a == b; }
+
+bool ValueLess(const Value& a, const Value& b) { return a < b; }
+
+Result<double> ValueAsDouble(const Value& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) return static_cast<double>(*i);
+  if (const auto* d = std::get_if<double>(&value)) return *d;
+  return Status::InvalidArgument("string value where a number is required");
+}
+
+}  // namespace tertio::query

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file row.h
+/// Runtime rows flowing through the query-operator layer.
+///
+/// The paper's output-cost discussion (Section 3.2) assumes the join
+/// "pipelines its output to an aggregate operator or an operator with high
+/// selectivity". tertio::query is that downstream pipeline: push-based
+/// operators that consume joined rows as the tertiary join produces them, so
+/// no join output is ever materialized to storage.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "util/status.h"
+
+namespace tertio::query {
+
+/// One scalar value. Fixed-char columns surface as std::string (trimmed at
+/// the first NUL).
+using Value = std::variant<std::int64_t, double, std::string>;
+
+/// One row: positional values.
+struct Row {
+  std::vector<Value> values;
+};
+
+/// Descriptor of the rows a pipeline stage produces.
+struct RowSchema {
+  struct Column {
+    std::string name;
+    rel::ColumnType type;
+  };
+  std::vector<Column> columns;
+
+  /// Index of the column named `name`.
+  Result<std::size_t> Find(const std::string& name) const {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == name) return i;
+    }
+    return Status::NotFound("no column named '" + name + "'");
+  }
+
+  /// Concatenation of two relation schemas, with columns prefixed
+  /// "<alias>.<column>" — the shape of a joined row.
+  static RowSchema Joined(const rel::Schema& r, const std::string& r_alias,
+                          const rel::Schema& s, const std::string& s_alias);
+};
+
+/// Converts one tuple column to a Value.
+Value ValueFromColumn(const rel::Tuple& tuple, std::size_t column);
+
+/// Builds the joined row (R columns then S columns) from a match pair.
+Row RowFromMatch(const rel::Tuple& r, const rel::Tuple& s);
+
+/// Human-readable rendering (for examples and diagnostics).
+std::string ValueToString(const Value& value);
+
+/// True if two values are of the same alternative and equal.
+bool ValueEquals(const Value& a, const Value& b);
+
+/// Total order within a single alternative; mixed alternatives order by
+/// alternative index (used by MinMax aggregates and sorting).
+bool ValueLess(const Value& a, const Value& b);
+
+/// Numeric view of a value (int64/double); strings are an error.
+Result<double> ValueAsDouble(const Value& value);
+
+}  // namespace tertio::query

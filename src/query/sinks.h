@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file sinks.h
+/// Push-based query operators.
+///
+/// A pipeline is a chain of RowSinks; the tertiary join pushes each joined
+/// row into the head as it is produced, and Finish() flushes blocking
+/// operators (aggregation) at end-of-stream. Because rows flow as the join
+/// runs, the pipeline honors the paper's Section 3.2 assumption — the output
+/// is consumed at production rate, never staged on storage.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "query/expr.h"
+#include "query/row.h"
+#include "util/status.h"
+
+namespace tertio::query {
+
+/// Consumer interface of one pipeline stage.
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+
+  /// Accepts one row.
+  virtual Status Consume(const Row& row) = 0;
+
+  /// End of stream: blocking operators emit downstream here.
+  virtual Status Finish() { return Status::OK(); }
+};
+
+/// WHERE: forwards rows whose predicate evaluates to a non-zero integer.
+class FilterSink final : public RowSink {
+ public:
+  FilterSink(ExprPtr predicate, RowSink* next);
+
+  Status Consume(const Row& row) override;
+  Status Finish() override { return next_->Finish(); }
+
+  std::uint64_t rows_in() const { return rows_in_; }
+  std::uint64_t rows_out() const { return rows_out_; }
+
+ private:
+  ExprPtr predicate_;
+  RowSink* next_;
+  std::uint64_t rows_in_ = 0;
+  std::uint64_t rows_out_ = 0;
+};
+
+/// SELECT: maps each row through a list of expressions.
+class ProjectSink final : public RowSink {
+ public:
+  ProjectSink(std::vector<ExprPtr> exprs, RowSink* next);
+
+  Status Consume(const Row& row) override;
+  Status Finish() override { return next_->Finish(); }
+
+ private:
+  std::vector<ExprPtr> exprs_;
+  RowSink* next_;
+};
+
+enum class AggKind : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+/// One aggregate: kind + input expression (ignored for kCount).
+struct AggSpec {
+  AggKind kind;
+  ExprPtr input;  // may be null for kCount
+};
+
+/// GROUP BY + aggregates. Blocking: groups accumulate in memory (the paper's
+/// premise is precisely that aggregation shrinks the output, so group state
+/// is small); Finish() emits one row per group — group keys first, then
+/// aggregate values — ordered by group key.
+class AggregateSink final : public RowSink {
+ public:
+  AggregateSink(std::vector<ExprPtr> group_by, std::vector<AggSpec> aggregates, RowSink* next);
+
+  Status Consume(const Row& row) override;
+  Status Finish() override;
+
+  std::uint64_t group_count() const { return groups_.size(); }
+
+ private:
+  struct GroupState {
+    std::vector<std::int64_t> counts;
+    std::vector<double> sums;
+    std::vector<Value> mins;
+    std::vector<Value> maxs;
+    bool initialized = false;
+  };
+
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggSpec> aggregates_;
+  RowSink* next_;
+  std::map<std::vector<Value>, GroupState> groups_;
+};
+
+/// Terminal: materializes every row (tests / small results).
+class CollectSink final : public RowSink {
+ public:
+  Status Consume(const Row& row) override {
+    rows_.push_back(row);
+    return Status::OK();
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// Terminal: counts rows only.
+class CountSink final : public RowSink {
+ public:
+  Status Consume(const Row&) override {
+    ++count_;
+    return Status::OK();
+  }
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// LIMIT: forwards at most `limit` rows, then silently drops the rest.
+class LimitSink final : public RowSink {
+ public:
+  LimitSink(std::uint64_t limit, RowSink* next) : limit_(limit), next_(next) {
+    TERTIO_CHECK(next != nullptr, "limit requires a downstream sink");
+  }
+
+  Status Consume(const Row& row) override {
+    if (forwarded_ >= limit_) return Status::OK();
+    ++forwarded_;
+    return next_->Consume(row);
+  }
+  Status Finish() override { return next_->Finish(); }
+
+ private:
+  std::uint64_t limit_;
+  RowSink* next_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace tertio::query

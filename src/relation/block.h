@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file block.h
+/// Fixed-size block codec: packing records into BlockPayloads and back.
+///
+/// Layout: a small header (magic + record count) followed by densely packed
+/// fixed-width records. Blocks are the unit of all simulated I/O; the codec
+/// is the boundary between the storage substrates (which move opaque
+/// payloads) and the relational layer (which sees tuples).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "relation/schema.h"
+#include "util/block_payload.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace tertio::rel {
+
+inline constexpr ByteCount kBlockHeaderBytes = 8;
+inline constexpr uint32_t kBlockMagic = 0x74424C4B;  // "tBLK"
+
+/// Accumulates records and emits full blocks.
+class BlockBuilder {
+ public:
+  BlockBuilder(const Schema* schema, ByteCount block_bytes);
+
+  /// True if no record has been appended since the last Finish().
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == capacity_; }
+  BlockCount capacity() const { return capacity_; }
+  BlockCount record_count() const { return count_; }
+
+  /// Appends one record (must be exactly schema->record_bytes() long).
+  Status Append(std::span<const uint8_t> record);
+
+  /// Emits the current (possibly partial) block and resets. The emitted
+  /// block is always block_bytes long (zero-padded).
+  BlockPayload Finish();
+
+ private:
+  const Schema* schema_;
+  ByteCount block_bytes_;
+  BlockCount capacity_;
+  BlockCount count_ = 0;
+  std::vector<uint8_t> buffer_;
+};
+
+/// Decodes records from one block payload.
+class BlockReader {
+ public:
+  /// The payload must have been produced by BlockBuilder with `schema`.
+  static Result<BlockReader> Open(const BlockPayload& payload, const Schema* schema);
+
+  BlockCount record_count() const { return count_; }
+
+  /// Raw bytes of record `i`.
+  std::span<const uint8_t> record(BlockCount i) const;
+
+ private:
+  BlockReader(BlockPayload payload, const Schema* schema, BlockCount count)
+      : payload_(std::move(payload)), schema_(schema), count_(count) {}
+
+  BlockPayload payload_;
+  const Schema* schema_;
+  BlockCount count_;
+};
+
+}  // namespace tertio::rel

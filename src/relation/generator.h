@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file generator.h
+/// Synthetic relation generation (the paper's Section 6 workloads).
+///
+/// The paper's experiments use synthetic relations whose *sizes* and data
+/// *compressibility* are the controlled variables. The generator writes a
+/// relation onto a tape volume uncosted (the paper assumes the input tapes
+/// already exist) in one of two modes:
+///
+///  * real tuples (`phantom = false`): every block holds packed records with
+///    a controllable join-key distribution, so joins can be verified
+///    tuple-by-tuple against a reference join;
+///  * phantom (`phantom = true`): only block accounting, for timing-only
+///    runs at the paper's multi-GB scales.
+
+#include <cstdint>
+#include <string>
+
+#include "relation/relation.h"
+#include "tape/tape_volume.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace tertio::rel {
+
+/// How join keys are drawn.
+enum class KeySequence : uint8_t {
+  /// key = 0, 1, 2, ... (unique) — the canonical dimension relation R.
+  kSequentialUnique,
+  /// key uniform over [0, key_domain) — the canonical fact relation S
+  /// referencing R; with R sequential-unique over the same domain, every S
+  /// tuple matches exactly one R tuple.
+  kForeignKeyUniform,
+  /// key uniform over [0, key_domain), duplicates allowed on both sides.
+  kUniformRandom,
+  /// key Zipf-distributed over [0, key_domain) — skew stress for the hash
+  /// partitioner's overflow handling (the paper assumes uniform hashing).
+  kZipf,
+};
+
+/// Parameters of one synthetic relation.
+struct GeneratorConfig {
+  std::string name = "rel";
+  /// Total record width; must exceed the 8-byte key.
+  ByteCount record_bytes = 100;
+  uint64_t tuple_count = 0;
+  /// Fraction of each block the tape drive's compressor removes, in [0, 1).
+  double compressibility = 0.25;
+  uint64_t seed = 42;
+  KeySequence keys = KeySequence::kSequentialUnique;
+  /// Key domain for the non-sequential sequences (0 = tuple_count).
+  uint64_t key_domain = 0;
+  /// Zipf exponent (only for kZipf).
+  double zipf_theta = 1.0;
+  /// Generate phantom blocks (timing-only).
+  bool phantom = false;
+};
+
+/// Appends the generated relation to `volume` (uncosted — experiment setup)
+/// and returns its descriptor. The volume's block size is used.
+Result<Relation> GenerateOnTape(const GeneratorConfig& config, tape::TapeVolume* volume);
+
+/// Key sampler shared by the generator and tests.
+class KeySampler {
+ public:
+  KeySampler(KeySequence sequence, uint64_t key_domain, double zipf_theta, uint64_t seed);
+
+  /// The `index`-th key (sequential) or the next sampled key (random draws).
+  int64_t Next(uint64_t index);
+
+ private:
+  KeySequence sequence_;
+  uint64_t domain_;
+  double theta_;
+  Rng rng_;
+  std::vector<double> zipf_cdf_;  // built lazily for kZipf
+};
+
+}  // namespace tertio::rel

@@ -1,0 +1,22 @@
+#include "relation/relation.h"
+
+namespace tertio::rel {
+
+Status ForEachTuple(std::span<const BlockPayload> payloads, const Schema* schema,
+                    const std::function<void(const Tuple&)>& fn) {
+  for (const BlockPayload& payload : payloads) {
+    TERTIO_ASSIGN_OR_RETURN(BlockReader reader, BlockReader::Open(payload, schema));
+    for (BlockCount i = 0; i < reader.record_count(); ++i) {
+      fn(Tuple(reader.record(i), schema));
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> CountTuples(std::span<const BlockPayload> payloads, const Schema* schema) {
+  uint64_t count = 0;
+  TERTIO_RETURN_IF_ERROR(ForEachTuple(payloads, schema, [&](const Tuple&) { ++count; }));
+  return count;
+}
+
+}  // namespace tertio::rel

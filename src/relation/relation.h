@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file relation.h
+/// Descriptor of a stored relation and helpers to scan it.
+///
+/// A Relation records where a relation's blocks live (a tape volume region),
+/// its schema, cardinality, and the data properties the device models need
+/// (compressibility). The descriptor does not own the volume.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "relation/block.h"
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "tape/tape_volume.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace tertio::rel {
+
+/// A relation stored contiguously on one tape volume.
+struct Relation {
+  std::string name;
+  Schema schema;
+  uint64_t tuple_count = 0;
+  /// Blocks occupied on the medium (the paper's |R| / |S|).
+  BlockCount blocks = 0;
+  double compressibility = 0.0;
+  ByteCount block_bytes = kDefaultBlockBytes;
+  /// True when the blocks are phantom (timing-only runs).
+  bool phantom = false;
+
+  /// Home tape and position of the first block.
+  tape::TapeVolume* volume = nullptr;
+  BlockIndex start_block = 0;
+
+  ByteCount bytes() const { return blocks * block_bytes; }
+};
+
+/// Invokes `fn` for every tuple in `payloads` (in order). Fails on phantom
+/// or malformed blocks.
+Status ForEachTuple(std::span<const BlockPayload> payloads, const Schema* schema,
+                    const std::function<void(const Tuple&)>& fn);
+
+/// Counts tuples across `payloads`.
+Result<uint64_t> CountTuples(std::span<const BlockPayload> payloads, const Schema* schema);
+
+}  // namespace tertio::rel

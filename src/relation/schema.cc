@@ -1,0 +1,66 @@
+#include "relation/schema.h"
+
+#include "relation/block.h"
+#include "util/string_util.h"
+
+namespace tertio::rel {
+
+Result<Schema> Schema::Create(std::vector<Column> columns) {
+  if (columns.empty()) return Status::InvalidArgument("schema requires at least one column");
+  Schema schema;
+  uint32_t offset = 0;
+  for (Column& col : columns) {
+    switch (col.type) {
+      case ColumnType::kInt64:
+      case ColumnType::kDouble:
+        col.width = 8;
+        break;
+      case ColumnType::kFixedChar:
+        if (col.width == 0) {
+          return Status::InvalidArgument(
+              StrFormat("fixed-char column '%s' requires a positive width", col.name.c_str()));
+        }
+        break;
+    }
+    schema.offsets_.push_back(offset);
+    offset += col.width;
+    schema.columns_.push_back(std::move(col));
+  }
+  schema.record_bytes_ = offset;
+  return schema;
+}
+
+Schema Schema::KeyPayload(ByteCount record_bytes) {
+  TERTIO_CHECK(record_bytes > 8, "record must be wider than the 8-byte key");
+  auto schema = Create({Column{"key", ColumnType::kInt64, 8},
+                        Column{"payload", ColumnType::kFixedChar,
+                               static_cast<uint32_t>(record_bytes - 8)}});
+  return std::move(schema).value();
+}
+
+Result<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound(StrFormat("no column named '%s'", name.c_str()));
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type ||
+        columns_[i].width != other.columns_[i].width) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BlockCount TuplesPerBlock(const Schema& schema, ByteCount block_bytes) {
+  TERTIO_CHECK(block_bytes > kBlockHeaderBytes + schema.record_bytes(),
+               "block too small for one record");
+  return (block_bytes - kBlockHeaderBytes) / schema.record_bytes();
+}
+
+}  // namespace tertio::rel

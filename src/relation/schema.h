@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file schema.h
+/// Fixed-width relational schemas.
+///
+/// tertio relations use fixed-width records: an 8-byte signed integer, an
+/// 8-byte double, or a fixed-length character field per column. Fixed widths
+/// keep block packing exact, which is what the paper's block-count arithmetic
+/// assumes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/units.h"
+
+namespace tertio::rel {
+
+enum class ColumnType : uint8_t { kInt64, kDouble, kFixedChar };
+
+/// One column: name, type, and byte width (fixed by type except kFixedChar).
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  /// Width in bytes; meaningful for kFixedChar, derived otherwise.
+  uint32_t width = 8;
+};
+
+/// An ordered list of columns with precomputed record offsets.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; fixed-char columns must carry a positive width.
+  static Result<Schema> Create(std::vector<Column> columns);
+
+  /// Convenience: the canonical experiment schema — an int64 join key plus a
+  /// fixed-char payload padding the record to `record_bytes`.
+  static Schema KeyPayload(ByteCount record_bytes);
+
+  size_t column_count() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  uint32_t offset(size_t i) const { return offsets_[i]; }
+  ByteCount record_bytes() const { return record_bytes_; }
+
+  /// Index of the column named `name`.
+  Result<size_t> FindColumn(const std::string& name) const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<uint32_t> offsets_;
+  ByteCount record_bytes_ = 0;
+};
+
+/// Records that fit in one block after the block header.
+BlockCount TuplesPerBlock(const Schema& schema, ByteCount block_bytes);
+
+}  // namespace tertio::rel

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file tuple.h
+/// Typed access to fixed-width records.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace tertio::rel {
+
+/// Read-only typed view over one record's bytes. The underlying storage must
+/// outlive the view.
+class Tuple {
+ public:
+  Tuple(std::span<const uint8_t> bytes, const Schema* schema) : bytes_(bytes), schema_(schema) {}
+
+  const Schema& schema() const { return *schema_; }
+  std::span<const uint8_t> bytes() const { return bytes_; }
+
+  int64_t GetInt64(size_t col) const {
+    int64_t v;
+    std::memcpy(&v, bytes_.data() + schema_->offset(col), sizeof(v));
+    return v;
+  }
+
+  double GetDouble(size_t col) const {
+    double v;
+    std::memcpy(&v, bytes_.data() + schema_->offset(col), sizeof(v));
+    return v;
+  }
+
+  std::string_view GetFixedChar(size_t col) const {
+    return std::string_view(reinterpret_cast<const char*>(bytes_.data() + schema_->offset(col)),
+                            schema_->column(col).width);
+  }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  const Schema* schema_;
+};
+
+/// Builds one record into an internal buffer.
+class TupleBuilder {
+ public:
+  explicit TupleBuilder(const Schema* schema)
+      : schema_(schema), buffer_(schema->record_bytes(), 0) {}
+
+  TupleBuilder& SetInt64(size_t col, int64_t v) {
+    std::memcpy(buffer_.data() + schema_->offset(col), &v, sizeof(v));
+    return *this;
+  }
+
+  TupleBuilder& SetDouble(size_t col, double v) {
+    std::memcpy(buffer_.data() + schema_->offset(col), &v, sizeof(v));
+    return *this;
+  }
+
+  /// Copies `s` (truncated / zero-padded) into a fixed-char column.
+  TupleBuilder& SetFixedChar(size_t col, std::string_view s) {
+    uint32_t width = schema_->column(col).width;
+    size_t n = s.size() < width ? s.size() : width;
+    std::memset(buffer_.data() + schema_->offset(col), 0, width);
+    std::memcpy(buffer_.data() + schema_->offset(col), s.data(), n);
+    return *this;
+  }
+
+  std::span<const uint8_t> bytes() const { return buffer_; }
+
+ private:
+  const Schema* schema_;
+  std::vector<uint8_t> buffer_;
+};
+
+}  // namespace tertio::rel

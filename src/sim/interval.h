@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file interval.h
+/// A half-open span of virtual time [start, end).
+
+#include "util/units.h"
+
+namespace tertio::sim {
+
+/// The virtual-time span occupied by one scheduled operation.
+struct Interval {
+  SimSeconds start = 0.0;
+  SimSeconds end = 0.0;
+
+  SimSeconds duration() const { return end - start; }
+
+  /// Interval covering both `a` and `b`.
+  static Interval Hull(const Interval& a, const Interval& b) {
+    return Interval{a.start < b.start ? a.start : b.start, a.end > b.end ? a.end : b.end};
+  }
+
+  /// A zero-length interval at time `t` (used for free operations).
+  static Interval At(SimSeconds t) { return Interval{t, t}; }
+};
+
+}  // namespace tertio::sim

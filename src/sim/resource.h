@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file resource.h
+/// A simulated device timeline.
+///
+/// Every physical device in the system model of Section 3 — each tape drive,
+/// each disk arm, the robot of a tape library, optionally the CPU — is a
+/// Resource. A Resource serves operations one at a time, in the order they
+/// are issued (a FIFO device queue): an operation issued with ready time `r`
+/// and duration `d` starts at max(r, time the previous operation finished)
+/// and occupies the device for `d` seconds.
+///
+/// Concurrency between devices (the paper's "parallel I/O") arises naturally:
+/// operations on *different* resources with overlapping intervals proceed in
+/// parallel; the join executor threads completion times between them to
+/// express data dependencies.
+///
+/// Because operations are served strictly in issue order, executors must
+/// issue operations per resource in their logical order. All join methods in
+/// tertio do this by construction (they model sequential device queues).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/interval.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace tertio::sim {
+
+/// One completed operation, retained when tracing is enabled.
+struct OpRecord {
+  Interval interval;
+  ByteCount bytes = 0;
+  /// Short static label, e.g. "tape.read", "disk.write".
+  std::string tag;
+};
+
+/// Aggregate counters maintained for every resource, trace or no trace.
+struct ResourceStats {
+  std::uint64_t op_count = 0;
+  ByteCount bytes_transferred = 0;
+  SimSeconds busy_seconds = 0.0;
+  /// End of the last scheduled operation.
+  SimSeconds horizon = 0.0;
+};
+
+/// A device timeline. Not thread-safe; the simulation is single-threaded by
+/// design (deterministic).
+class Resource {
+ public:
+  explicit Resource(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Schedules an operation that becomes eligible at `ready` and occupies the
+  /// device for `duration` seconds. \returns the interval it occupies.
+  Interval Schedule(SimSeconds ready, SimSeconds duration, ByteCount bytes = 0,
+                    const char* tag = "");
+
+  /// Time at which the device becomes free.
+  SimSeconds available_at() const { return available_; }
+
+  const ResourceStats& stats() const { return stats_; }
+
+  /// Fraction of [0, until] the device was busy. `until` defaults to the
+  /// device's own horizon.
+  double Utilization(SimSeconds until = -1.0) const;
+
+  /// Enables retention of per-operation records (off by default: traces for
+  /// multi-GB joins are large).
+  void EnableTrace(bool enabled = true) { trace_enabled_ = enabled; }
+  const std::vector<OpRecord>& trace() const { return trace_; }
+
+  /// Clears the timeline, statistics and trace.
+  void Reset();
+
+ private:
+  std::string name_;
+  SimSeconds available_ = 0.0;
+  ResourceStats stats_;
+  bool trace_enabled_ = false;
+  std::vector<OpRecord> trace_;
+};
+
+}  // namespace tertio::sim

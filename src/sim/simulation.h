@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file simulation.h
+/// Registry of the resources participating in one simulated system.
+///
+/// A Simulation owns nothing but names: modules register the Resources they
+/// create so that experiments can reset the whole system between runs and
+/// report per-device utilization in one place.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/resource.h"
+
+namespace tertio::sim {
+
+/// Owns the resources of one simulated machine.
+class Simulation {
+ public:
+  /// Creates and registers a resource.
+  Resource* CreateResource(std::string name) {
+    resources_.push_back(std::make_unique<Resource>(std::move(name)));
+    return resources_.back().get();
+  }
+
+  /// Latest horizon across all resources — the response time of whatever was
+  /// scheduled, measured from time zero.
+  SimSeconds Horizon() const {
+    SimSeconds h = 0.0;
+    for (const auto& r : resources_) {
+      if (r->stats().horizon > h) h = r->stats().horizon;
+    }
+    return h;
+  }
+
+  /// Resets every registered resource to time zero.
+  void Reset() {
+    for (auto& r : resources_) r->Reset();
+  }
+
+  const std::vector<std::unique_ptr<Resource>>& resources() const { return resources_; }
+
+ private:
+  std::vector<std::unique_ptr<Resource>> resources_;
+};
+
+}  // namespace tertio::sim

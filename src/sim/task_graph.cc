@@ -1,0 +1,33 @@
+#include "sim/task_graph.h"
+
+#include "util/string_util.h"
+
+namespace tertio::sim {
+
+TaskId TaskGraph::Add(Resource* resource, SimSeconds duration, std::vector<TaskId> deps,
+                      const char* tag, std::function<void()> action, ByteCount bytes) {
+  TERTIO_CHECK(resource != nullptr, "task requires a resource");
+  tasks_.push_back(Task{resource, duration, std::move(deps), tag, std::move(action), bytes, {}});
+  return tasks_.size() - 1;
+}
+
+Result<SimSeconds> TaskGraph::Run() {
+  SimSeconds makespan = 0.0;
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    Task& task = tasks_[id];
+    SimSeconds ready = 0.0;
+    for (TaskId dep : task.deps) {
+      if (dep >= id) {
+        return Status::InvalidArgument(
+            StrFormat("task %zu depends on task %zu which is not scheduled before it", id, dep));
+      }
+      if (tasks_[dep].interval.end > ready) ready = tasks_[dep].interval.end;
+    }
+    if (task.action) task.action();
+    task.interval = task.resource->Schedule(ready, task.duration, task.bytes, task.tag);
+    if (task.interval.end > makespan) makespan = task.interval.end;
+  }
+  return makespan;
+}
+
+}  // namespace tertio::sim

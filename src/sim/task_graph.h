@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file task_graph.h
+/// Declarative scheduling of dependent operations onto resources.
+///
+/// Most tertio join executors thread completion times imperatively, but some
+/// pipelines (and several tests and ablations) are easier to express as an
+/// explicit DAG: each task names a resource, a duration, and the tasks that
+/// must finish before it may start. TaskGraph::Run computes the resulting
+/// schedule with list scheduling in task-insertion order, which matches the
+/// FIFO device-queue semantics of Resource.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/resource.h"
+#include "util/status.h"
+
+namespace tertio::sim {
+
+using TaskId = std::size_t;
+
+/// A DAG of operations over a set of resources.
+class TaskGraph {
+ public:
+  /// Adds a task occupying `resource` for `duration` seconds once all `deps`
+  /// have finished. Dependencies must refer to previously added tasks.
+  /// `action`, if provided, runs when the task is dispatched (in dependency
+  /// order) — this is where executors perform the real data movement.
+  TaskId Add(Resource* resource, SimSeconds duration, std::vector<TaskId> deps,
+             const char* tag = "", std::function<void()> action = nullptr,
+             ByteCount bytes = 0);
+
+  /// Schedules every task. Tasks are dispatched in insertion order; a task's
+  /// start is max(finish of deps, resource availability). \returns the
+  /// makespan (latest finish time), or an error for malformed dependencies.
+  Result<SimSeconds> Run();
+
+  /// Interval assigned to `id` by Run().
+  Interval interval(TaskId id) const { return tasks_[id].interval; }
+
+  std::size_t size() const { return tasks_.size(); }
+
+ private:
+  struct Task {
+    Resource* resource;
+    SimSeconds duration;
+    std::vector<TaskId> deps;
+    const char* tag;
+    std::function<void()> action;
+    ByteCount bytes;
+    Interval interval;
+  };
+  std::vector<Task> tasks_;
+};
+
+}  // namespace tertio::sim

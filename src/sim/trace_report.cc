@@ -1,0 +1,66 @@
+#include "sim/trace_report.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace tertio::sim {
+
+std::string RenderGantt(const Simulation& sim, const GanttOptions& options) {
+  SimSeconds t0 = options.window_start;
+  SimSeconds t1 = options.window_end > options.window_start ? options.window_end
+                                                            : sim.Horizon();
+  int width = options.width < 10 ? 10 : options.width;
+  if (t1 <= t0) return "(empty window)\n";
+  double cell = (t1 - t0) / width;
+
+  // Column widths for the resource labels.
+  std::size_t label_width = 0;
+  for (const auto& resource : sim.resources()) {
+    label_width = std::max(label_width, resource->name().size());
+  }
+
+  std::string out = StrFormat("%-*s  %.1fs", static_cast<int>(label_width), "", t0);
+  out += std::string(width > 12 ? static_cast<size_t>(width - 12) : 0, ' ');
+  out += StrFormat("%.1fs\n", t1);
+  for (const auto& resource : sim.resources()) {
+    out += StrFormat("%-*s  ", static_cast<int>(label_width), resource->name().c_str());
+    if (resource->trace().empty() && resource->stats().op_count > 0) {
+      out += "(no trace)\n";
+      continue;
+    }
+    std::vector<double> busy(static_cast<size_t>(width), 0.0);
+    for (const OpRecord& op : resource->trace()) {
+      double s = std::max(op.interval.start, t0);
+      double e = std::min(op.interval.end, t1);
+      if (e <= s) continue;
+      int first = static_cast<int>((s - t0) / cell);
+      int last = static_cast<int>((e - t0) / cell);
+      last = std::min(last, width - 1);
+      for (int c = first; c <= last; ++c) {
+        double cs = t0 + c * cell;
+        double ce = cs + cell;
+        busy[static_cast<size_t>(c)] += std::max(0.0, std::min(e, ce) - std::max(s, cs));
+      }
+    }
+    for (int c = 0; c < width; ++c) {
+      double fraction = busy[static_cast<size_t>(c)] / cell;
+      out += fraction >= 0.5 ? '#' : (fraction > 0.01 ? '+' : '.');
+    }
+    out += StrFormat("  %4.0f%%\n", 100.0 * resource->Utilization(t1));
+  }
+  return out;
+}
+
+void WriteTraceCsv(const Simulation& sim, std::ostream& out) {
+  out << "resource,tag,start,end,bytes\n";
+  for (const auto& resource : sim.resources()) {
+    for (const OpRecord& op : resource->trace()) {
+      out << resource->name() << ',' << op.tag << ',' << op.interval.start << ','
+          << op.interval.end << ',' << op.bytes << '\n';
+    }
+  }
+}
+
+}  // namespace tertio::sim

@@ -1,0 +1,72 @@
+#include "tape/spanned_volume.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace tertio::tape {
+
+Result<SpannedVolumeSet> SpannedVolumeSet::Create(TapeLibrary* library, std::vector<int> slots) {
+  if (library == nullptr) return Status::InvalidArgument("spanned set requires a library");
+  if (slots.empty()) return Status::InvalidArgument("spanned set requires at least one slot");
+  SpannedVolumeSet set;
+  set.library_ = library;
+  set.slots_ = std::move(slots);
+  for (int slot : set.slots_) {
+    TERTIO_ASSIGN_OR_RETURN(TapeVolume * volume, library->CartridgeAt(slot));
+    set.sizes_.push_back(volume->size_blocks());
+    set.total_blocks_ += volume->size_blocks();
+  }
+  return set;
+}
+
+Result<SpannedVolumeSet::Location> SpannedVolumeSet::Resolve(BlockIndex logical) const {
+  BlockIndex offset = logical;
+  for (size_t member = 0; member < sizes_.size(); ++member) {
+    if (offset < sizes_[member]) {
+      return Location{static_cast<int>(member), offset};
+    }
+    offset -= sizes_[member];
+  }
+  return Status::InvalidArgument(
+      StrFormat("logical block %llu beyond spanned set of %llu blocks",
+                static_cast<unsigned long long>(logical),
+                static_cast<unsigned long long>(total_blocks_)));
+}
+
+Result<sim::Interval> SpannedReader::Read(BlockIndex start, BlockCount count, SimSeconds ready,
+                                          std::vector<BlockPayload>* out) {
+  if (count == 0) return sim::Interval::At(ready);
+  if (start + count > set_->total_blocks()) {
+    return Status::InvalidArgument("spanned read beyond end of set");
+  }
+  sim::Interval hull = sim::Interval::At(ready);
+  bool first = true;
+  SimSeconds cursor = ready;
+  BlockIndex logical = start;
+  BlockCount remaining = count;
+  while (remaining > 0) {
+    TERTIO_ASSIGN_OR_RETURN(SpannedVolumeSet::Location loc, set_->Resolve(logical));
+    int slot = set_->slot_of(loc.member);
+    TERTIO_ASSIGN_OR_RETURN(TapeVolume * volume, set_->library()->CartridgeAt(slot));
+    if (drive_->volume() != volume) {
+      TERTIO_ASSIGN_OR_RETURN(sim::Interval mounted,
+                              set_->library()->Mount(slot, drive_, cursor));
+      cursor = mounted.end;
+      ++exchanges_;
+    }
+    BlockCount take =
+        std::min<BlockCount>(remaining, set_->blocks_of(loc.member) - loc.local);
+    TERTIO_ASSIGN_OR_RETURN(sim::Interval read, drive_->Read(loc.local, take, cursor, out));
+    cursor = read.end;
+    hull = first ? read : sim::Interval::Hull(hull, read);
+    hull.start = std::min(hull.start, ready);
+    first = false;
+    logical += take;
+    remaining -= take;
+  }
+  hull.end = cursor;
+  return hull;
+}
+
+}  // namespace tertio::tape

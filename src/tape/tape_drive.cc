@@ -1,0 +1,131 @@
+#include "tape/tape_drive.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace tertio::tape {
+
+Status TapeDrive::CheckLoaded() const {
+  if (volume_ == nullptr) {
+    return Status::FailedPrecondition(StrFormat("drive %s has no tape loaded", name_.c_str()));
+  }
+  return Status::OK();
+}
+
+SimSeconds TapeDrive::SeekCost(BlockIndex target) {
+  if (target == head_) return 0.0;
+  ByteCount distance_bytes =
+      (target > head_ ? target - head_ : head_ - target) * volume_->block_bytes();
+  stats_.locate_count += 1;
+  stats_.reposition_count += 1;
+  return model_.locate_base_seconds +
+         model_.locate_seconds_per_byte * static_cast<double>(distance_bytes) +
+         model_.reposition_seconds;
+}
+
+Result<sim::Interval> TapeDrive::Load(TapeVolume* volume, SimSeconds ready) {
+  if (volume == nullptr) return Status::InvalidArgument("cannot load a null volume");
+  volume_ = volume;
+  head_ = 0;
+  stats_.load_count += 1;
+  return resource_->Schedule(ready, model_.load_seconds, 0, "tape.load");
+}
+
+Result<sim::Interval> TapeDrive::Unload(SimSeconds ready) {
+  TERTIO_RETURN_IF_ERROR(CheckLoaded());
+  volume_ = nullptr;
+  head_ = 0;
+  return resource_->Schedule(ready, model_.load_seconds, 0, "tape.unload");
+}
+
+Result<sim::Interval> TapeDrive::Read(BlockIndex start, BlockCount count, SimSeconds ready,
+                                      std::vector<BlockPayload>* out) {
+  TERTIO_RETURN_IF_ERROR(CheckLoaded());
+  TERTIO_ASSIGN_OR_RETURN(double mean_c, volume_->MeanCompressibility(start, count));
+  SimSeconds duration = SeekCost(start);
+  ByteCount bytes = count * volume_->block_bytes();
+  duration += model_.TransferSeconds(bytes, mean_c);
+  if (out != nullptr) {
+    out->reserve(out->size() + count);
+    for (BlockIndex i = start; i < start + count; ++i) {
+      TERTIO_ASSIGN_OR_RETURN(BlockPayload payload, volume_->ReadBlock(i));
+      out->push_back(std::move(payload));
+    }
+  }
+  head_ = start + count;
+  stats_.blocks_read += count;
+  return resource_->Schedule(ready, duration, bytes, "tape.read");
+}
+
+Result<sim::Interval> TapeDrive::Append(const std::vector<BlockPayload>& payloads,
+                                        double compressibility, SimSeconds ready) {
+  TERTIO_RETURN_IF_ERROR(CheckLoaded());
+  BlockIndex end = volume_->size_blocks();
+  SimSeconds duration = SeekCost(end);
+  for (const BlockPayload& payload : payloads) {
+    TERTIO_RETURN_IF_ERROR(volume_->Append(payload, compressibility));
+  }
+  ByteCount bytes = payloads.size() * volume_->block_bytes();
+  duration += model_.TransferSeconds(bytes, compressibility);
+  head_ = volume_->size_blocks();
+  stats_.blocks_written += payloads.size();
+  return resource_->Schedule(ready, duration, bytes, "tape.write");
+}
+
+Result<sim::Interval> TapeDrive::AppendPhantom(BlockCount count, double compressibility,
+                                               SimSeconds ready) {
+  TERTIO_RETURN_IF_ERROR(CheckLoaded());
+  BlockIndex end = volume_->size_blocks();
+  SimSeconds duration = SeekCost(end);
+  TERTIO_RETURN_IF_ERROR(volume_->AppendPhantom(count, compressibility));
+  ByteCount bytes = count * volume_->block_bytes();
+  duration += model_.TransferSeconds(bytes, compressibility);
+  head_ = volume_->size_blocks();
+  stats_.blocks_written += count;
+  return resource_->Schedule(ready, duration, bytes, "tape.write");
+}
+
+Result<sim::Interval> TapeDrive::Locate(BlockIndex target, SimSeconds ready) {
+  TERTIO_RETURN_IF_ERROR(CheckLoaded());
+  if (target > volume_->size_blocks()) {
+    return Status::InvalidArgument("locate target beyond end of data");
+  }
+  SimSeconds duration = SeekCost(target);
+  head_ = target;
+  return resource_->Schedule(ready, duration, 0, "tape.locate");
+}
+
+Result<sim::Interval> TapeDrive::Rewind(SimSeconds ready) {
+  TERTIO_RETURN_IF_ERROR(CheckLoaded());
+  head_ = 0;
+  stats_.rewind_count += 1;
+  return resource_->Schedule(ready, model_.rewind_seconds, 0, "tape.rewind");
+}
+
+Result<sim::Interval> TapeDrive::ReadReverse(BlockCount count, SimSeconds ready,
+                                             std::vector<BlockPayload>* out) {
+  TERTIO_RETURN_IF_ERROR(CheckLoaded());
+  if (!model_.supports_read_reverse) {
+    return Status::Unimplemented(
+        StrFormat("drive %s does not implement READ REVERSE", name_.c_str()));
+  }
+  if (count > head_) {
+    return Status::InvalidArgument("read-reverse would cross beginning-of-tape");
+  }
+  BlockIndex start = head_ - count;
+  TERTIO_ASSIGN_OR_RETURN(double mean_c, volume_->MeanCompressibility(start, count));
+  ByteCount bytes = count * volume_->block_bytes();
+  SimSeconds duration = model_.TransferSeconds(bytes, mean_c);
+  if (out != nullptr) {
+    for (BlockIndex i = head_; i-- > start;) {
+      TERTIO_ASSIGN_OR_RETURN(BlockPayload payload, volume_->ReadBlock(i));
+      out->push_back(std::move(payload));
+    }
+  }
+  head_ = start;
+  stats_.blocks_read += count;
+  return resource_->Schedule(ready, duration, bytes, "tape.read-reverse");
+}
+
+}  // namespace tertio::tape

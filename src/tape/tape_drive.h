@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file tape_drive.h
+/// A simulated tape drive: head position, streaming state, and costed I/O.
+///
+/// The drive binds a TapeDriveModel to a sim::Resource (its device timeline).
+/// All operations take the virtual time at which the request becomes ready
+/// and return the interval the drive was occupied, so executors can overlap
+/// tape I/O with disk I/O on other resources — the parallel I/O at the heart
+/// of the paper's concurrent join methods.
+///
+/// Streaming semantics: a read or append that continues exactly where the
+/// head stopped streams at the sustained rate; any discontiguous access pays
+/// a locate (distance-dependent) plus a repositioning penalty. The drive's
+/// internal buffer is assumed large enough to hide producer/consumer stalls
+/// during contiguous access (Section 3.2 of the paper).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/resource.h"
+#include "tape/tape_model.h"
+#include "tape/tape_volume.h"
+#include "util/status.h"
+
+namespace tertio::tape {
+
+/// Cumulative drive activity counters.
+struct TapeDriveStats {
+  BlockCount blocks_read = 0;
+  BlockCount blocks_written = 0;
+  std::uint64_t locate_count = 0;
+  std::uint64_t reposition_count = 0;
+  std::uint64_t rewind_count = 0;
+  std::uint64_t load_count = 0;
+};
+
+/// One simulated drive. Mount volumes either directly via Load() (the
+/// paper's setup: "tapes have been inserted and loaded before the join
+/// begins") or through a TapeLibrary robot.
+class TapeDrive {
+ public:
+  TapeDrive(std::string name, TapeDriveModel model, sim::Resource* resource)
+      : name_(std::move(name)), model_(model), resource_(resource) {
+    TERTIO_CHECK(resource != nullptr, "tape drive requires a resource");
+  }
+
+  const std::string& name() const { return name_; }
+  const TapeDriveModel& model() const { return model_; }
+  sim::Resource* resource() { return resource_; }
+  const TapeDriveStats& stats() const { return stats_; }
+
+  bool loaded() const { return volume_ != nullptr; }
+  TapeVolume* volume() { return volume_; }
+  BlockIndex head_position() const { return head_; }
+
+  /// Inserts and loads `volume`; the head is left at block 0.
+  Result<sim::Interval> Load(TapeVolume* volume, SimSeconds ready);
+
+  /// Ejects the current volume (costed as a load).
+  Result<sim::Interval> Unload(SimSeconds ready);
+
+  /// Reads `count` blocks starting at `start`. If `out` is non-null the
+  /// payloads are appended to it (phantom blocks append nullptr).
+  Result<sim::Interval> Read(BlockIndex start, BlockCount count, SimSeconds ready,
+                             std::vector<BlockPayload>* out = nullptr);
+
+  /// Appends real blocks at end-of-data.
+  Result<sim::Interval> Append(const std::vector<BlockPayload>& payloads, double compressibility,
+                               SimSeconds ready);
+
+  /// Appends `count` phantom blocks at end-of-data.
+  Result<sim::Interval> AppendPhantom(BlockCount count, double compressibility, SimSeconds ready);
+
+  /// Rewinds to block 0 (serpentine: cheap and size-independent).
+  Result<sim::Interval> Rewind(SimSeconds ready);
+
+  /// Positions the head at `target` without transferring data (SCSI
+  /// LOCATE). No-op if already there.
+  Result<sim::Interval> Locate(BlockIndex target, SimSeconds ready);
+
+  /// Reads `count` blocks *backwards*, ending at the current head position
+  /// (SCSI READ REVERSE). Errors with kUnimplemented if the model lacks it.
+  Result<sim::Interval> ReadReverse(BlockCount count, SimSeconds ready,
+                                    std::vector<BlockPayload>* out = nullptr);
+
+  /// Used by TapeLibrary: swap cartridges without charging drive time (the
+  /// robot charges its own exchange time).
+  void ForceMount(TapeVolume* volume) {
+    volume_ = volume;
+    head_ = 0;
+  }
+
+ private:
+  Status CheckLoaded() const;
+
+  /// Seconds to move the head to `target` (0 if already there), charging a
+  /// locate + reposition when the access is discontiguous.
+  SimSeconds SeekCost(BlockIndex target);
+
+  std::string name_;
+  TapeDriveModel model_;
+  sim::Resource* resource_;
+  TapeVolume* volume_ = nullptr;
+  BlockIndex head_ = 0;
+  TapeDriveStats stats_;
+};
+
+}  // namespace tertio::tape

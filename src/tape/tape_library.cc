@@ -1,0 +1,70 @@
+#include "tape/tape_library.h"
+
+#include "util/string_util.h"
+
+namespace tertio::tape {
+
+Result<int> TapeLibrary::AddCartridge(std::unique_ptr<TapeVolume> volume) {
+  if (volume == nullptr) return Status::InvalidArgument("cannot add a null cartridge");
+  if (static_cast<int>(slots_.size()) >= model_.slots) {
+    return Status::ResourceExhausted(
+        StrFormat("library %s is full (%d slots)", model_.name.c_str(), model_.slots));
+  }
+  slots_.push_back(Slot{std::move(volume), nullptr});
+  return static_cast<int>(slots_.size()) - 1;
+}
+
+Result<TapeVolume*> TapeLibrary::CartridgeAt(int slot) {
+  if (slot < 0 || slot >= static_cast<int>(slots_.size())) {
+    return Status::NotFound(StrFormat("no cartridge in slot %d", slot));
+  }
+  return slots_[static_cast<size_t>(slot)].volume.get();
+}
+
+Result<int> TapeLibrary::FindSlotOf(const TapeDrive* drive) const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].mounted_in == drive) return static_cast<int>(i);
+  }
+  return Status::NotFound(
+      StrFormat("drive %s holds no cartridge from this library", drive->name().c_str()));
+}
+
+Result<sim::Interval> TapeLibrary::Mount(int slot, TapeDrive* drive, SimSeconds ready) {
+  if (drive == nullptr) return Status::InvalidArgument("cannot mount into a null drive");
+  if (slot < 0 || slot >= static_cast<int>(slots_.size())) {
+    return Status::NotFound(StrFormat("no cartridge in slot %d", slot));
+  }
+  Slot& target = slots_[static_cast<size_t>(slot)];
+  if (target.mounted_in != nullptr && target.mounted_in != drive) {
+    return Status::FailedPrecondition(
+        StrFormat("cartridge in slot %d is mounted in drive %s", slot,
+                  target.mounted_in->name().c_str()));
+  }
+  if (target.mounted_in == drive) {
+    return sim::Interval::At(ready);  // Already mounted: no-op.
+  }
+
+  SimSeconds cursor = ready;
+  // If the drive holds one of our cartridges, return it first.
+  if (auto home = FindSlotOf(drive); home.ok()) {
+    slots_[static_cast<size_t>(home.value())].mounted_in = nullptr;
+    drive->ForceMount(nullptr);
+    sim::Interval eject = robot_->Schedule(cursor, model_.exchange_seconds, 0, "robot.eject");
+    cursor = eject.end;
+  }
+  sim::Interval inject = robot_->Schedule(cursor, model_.exchange_seconds, 0, "robot.inject");
+  target.mounted_in = drive;
+  TERTIO_ASSIGN_OR_RETURN(sim::Interval load, drive->Load(target.volume.get(), inject.end));
+  return sim::Interval{ready, load.end};
+}
+
+Result<sim::Interval> TapeLibrary::Dismount(TapeDrive* drive, SimSeconds ready) {
+  if (drive == nullptr) return Status::InvalidArgument("cannot dismount a null drive");
+  TERTIO_ASSIGN_OR_RETURN(int home, FindSlotOf(drive));
+  TERTIO_ASSIGN_OR_RETURN(sim::Interval unload, drive->Unload(ready));
+  sim::Interval stow = robot_->Schedule(unload.end, model_.exchange_seconds, 0, "robot.stow");
+  slots_[static_cast<size_t>(home)].mounted_in = nullptr;
+  return sim::Interval{ready, stow.end};
+}
+
+}  // namespace tertio::tape

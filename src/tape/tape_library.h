@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file tape_library.h
+/// An automated tape library: cartridge slots plus a robot arm.
+///
+/// The paper's cost model argues that media-exchange delays (~30 s) are
+/// negligible against full-tape transfer times and excludes them; the library
+/// model exists so that this claim is *checked* by tests and so that
+/// multi-cartridge relations (a relation spanning several tapes) can be
+/// simulated. The robot is a resource of its own: exchanges on one drive can
+/// overlap transfers on another.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/resource.h"
+#include "tape/tape_drive.h"
+#include "tape/tape_model.h"
+#include "tape/tape_volume.h"
+#include "util/status.h"
+
+namespace tertio::tape {
+
+/// Slots, robot, and mount bookkeeping for a set of drives.
+class TapeLibrary {
+ public:
+  TapeLibrary(TapeLibraryModel model, sim::Resource* robot)
+      : model_(std::move(model)), robot_(robot) {
+    TERTIO_CHECK(robot != nullptr, "tape library requires a robot resource");
+  }
+
+  const TapeLibraryModel& model() const { return model_; }
+
+  /// Inserts `volume` into the first free slot. \returns the slot index.
+  Result<int> AddCartridge(std::unique_ptr<TapeVolume> volume);
+
+  /// The volume in `slot` (may be mounted in a drive).
+  Result<TapeVolume*> CartridgeAt(int slot);
+
+  /// Mounts the cartridge in `slot` into `drive`. If the drive holds another
+  /// cartridge it is exchanged (one robot trip to return it, one to fetch the
+  /// new one) and returned to its home slot. \returns the interval covering
+  /// robot motion plus drive load.
+  Result<sim::Interval> Mount(int slot, TapeDrive* drive, SimSeconds ready);
+
+  /// Returns the cartridge in `drive` to its home slot.
+  Result<sim::Interval> Dismount(TapeDrive* drive, SimSeconds ready);
+
+  int slot_count() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  struct Slot {
+    std::unique_ptr<TapeVolume> volume;
+    TapeDrive* mounted_in = nullptr;
+  };
+
+  Result<int> FindSlotOf(const TapeDrive* drive) const;
+
+  TapeLibraryModel model_;
+  sim::Resource* robot_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace tertio::tape

@@ -1,0 +1,43 @@
+#include "tape/tape_model.h"
+
+namespace tertio::tape {
+
+TapeDriveModel TapeDriveModel::DLT4000() {
+  TapeDriveModel m;
+  m.name = "Quantum DLT-4000 (20GB mode)";
+  m.native_rate_bps = 1.5e6;
+  m.max_compression_gain = 2.0;
+  m.compression_enabled = true;
+  m.reposition_seconds = 1.0;
+  m.locate_base_seconds = 8.0;
+  m.locate_seconds_per_byte = 2.5e-9;
+  m.rewind_seconds = 10.0;
+  m.load_seconds = 25.0;
+  m.supports_read_reverse = false;
+  return m;
+}
+
+TapeDriveModel TapeDriveModel::Ideal(double rate_bps) {
+  TapeDriveModel m;
+  m.name = "ideal-tape";
+  m.native_rate_bps = rate_bps;
+  m.max_compression_gain = 1.0;
+  m.compression_enabled = false;
+  m.reposition_seconds = 0.0;
+  m.locate_base_seconds = 0.0;
+  m.locate_seconds_per_byte = 0.0;
+  m.rewind_seconds = 0.0;
+  m.load_seconds = 0.0;
+  m.supports_read_reverse = true;
+  return m;
+}
+
+TapeLibraryModel TapeLibraryModel::SmallAutoloader() {
+  TapeLibraryModel m;
+  m.name = "autoloader-16";
+  m.exchange_seconds = 30.0;
+  m.slots = 16;
+  return m;
+}
+
+}  // namespace tertio::tape

@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file tape_model.h
+/// Performance model of a magnetic tape drive and of a tape robot.
+///
+/// The paper's experiments use Quantum DLT-4000 drives (20 GB density mode,
+/// compression enabled) behind Fast SCSI-2. The model below captures the
+/// effects the paper's cost model names explicitly (Section 3.2):
+///
+///  * a constant sustained transfer rate X_T, scaled by data compressibility
+///    when compression is enabled (Sections 6, 9: compressible data raises
+///    the *effective* user-data rate, up to the drive's maximum compression
+///    gain);
+///  * streaming vs stop/start operation: a repositioning penalty is charged
+///    when the head must move to a non-contiguous position or reverse
+///    direction, while back-to-back sequential transfers stream freely (the
+///    drive's internal buffer is assumed to hide short producer/consumer
+///    stalls, as the paper assumes);
+///  * serpentine geometry: rewind/locate of large files costs seconds, not
+///    hours (the paper: "a 5 GB tape file might take an hour to read but only
+///    10 seconds to rewind");
+///  * media load/unload and robot exchange delays (~30 s per exchange),
+///    modeled by TapeLibrary even though the studied joins read tapes
+///    end-to-end and amortize them to negligibility — having them in the
+///    model lets tests *check* that claim instead of assuming it.
+
+#include <string>
+
+#include "util/math_util.h"
+#include "util/units.h"
+
+namespace tertio::tape {
+
+/// Static performance characteristics of one tape drive.
+struct TapeDriveModel {
+  std::string name = "generic-tape";
+
+  /// Sustained native (uncompressed) transfer rate, bytes/second.
+  double native_rate_bps = 1.5e6;
+
+  /// Maximum effective-rate multiplier achievable through compression
+  /// (DLT-4000 advertises 2:1).
+  double max_compression_gain = 2.0;
+
+  /// Whether hardware compression is enabled (paper: enabled).
+  bool compression_enabled = true;
+
+  /// Penalty for leaving streaming mode: reposition after a head seek,
+  /// direction change, or interleaved write/read at a different position.
+  SimSeconds reposition_seconds = 0.5;
+
+  /// Constant component of a locate/seek to an arbitrary block.
+  SimSeconds locate_base_seconds = 5.0;
+
+  /// Additional locate cost per byte of distance travelled (serpentine
+  /// tracks make this much faster than reading).
+  double locate_seconds_per_byte = 2.0e-9;
+
+  /// Full rewind of a serpentine cartridge.
+  SimSeconds rewind_seconds = 10.0;
+
+  /// Loading a cartridge that is already in the drive mouth.
+  SimSeconds load_seconds = 20.0;
+
+  /// Whether the drive implements SCSI READ REVERSE (optional per the
+  /// standard; the studied algorithms do not require it).
+  bool supports_read_reverse = false;
+
+  /// Effective user-data transfer rate for data with the given
+  /// compressibility in [0,1). 0.25-compressible data stores only 75% of its
+  /// bytes on the medium, so user data moves 1/0.75x faster, capped at
+  /// max_compression_gain.
+  double EffectiveRate(double compressibility) const {
+    if (!compression_enabled || compressibility <= 0.0) return native_rate_bps;
+    double gain = 1.0 / (1.0 - compressibility);
+    if (gain > max_compression_gain) gain = max_compression_gain;
+    return native_rate_bps * gain;
+  }
+
+  /// Seconds to transfer `bytes` of user data with the given compressibility.
+  SimSeconds TransferSeconds(ByteCount bytes, double compressibility) const {
+    return static_cast<double>(bytes) / EffectiveRate(compressibility);
+  }
+
+  /// Quantum DLT-4000 in 20 GB density mode, compression on — the drive used
+  /// throughout the paper's evaluation (Section 6).
+  static TapeDriveModel DLT4000();
+
+  /// An idealized drive with no penalties — useful for isolating algorithmic
+  /// cost in tests.
+  static TapeDriveModel Ideal(double rate_bps);
+};
+
+/// Static characteristics of a tape library (robot).
+struct TapeLibraryModel {
+  std::string name = "generic-library";
+  /// One media exchange: eject, move, inject (paper: ~30 s).
+  SimSeconds exchange_seconds = 30.0;
+  /// Number of cartridge slots.
+  int slots = 16;
+
+  static TapeLibraryModel SmallAutoloader();
+};
+
+}  // namespace tertio::tape

@@ -1,0 +1,54 @@
+#include "tape/tape_scheduler.h"
+
+#include <algorithm>
+
+namespace tertio::tape {
+
+void TapeScheduler::Order(std::vector<TapeReadRequest>* batch) const {
+  switch (policy_) {
+    case SchedulePolicy::kFifo:
+      return;
+    case SchedulePolicy::kSortedAscending:
+      std::stable_sort(batch->begin(), batch->end(),
+                       [](const TapeReadRequest& a, const TapeReadRequest& b) {
+                         return a.start < b.start;
+                       });
+      return;
+    case SchedulePolicy::kElevator: {
+      std::stable_sort(batch->begin(), batch->end(),
+                       [](const TapeReadRequest& a, const TapeReadRequest& b) {
+                         return a.start < b.start;
+                       });
+      // Rotate so the sweep starts at the first request at or after the
+      // current head position.
+      BlockIndex head = drive_->head_position();
+      auto pivot = std::find_if(batch->begin(), batch->end(),
+                                [head](const TapeReadRequest& r) { return r.start >= head; });
+      std::rotate(batch->begin(), pivot, batch->end());
+      return;
+    }
+  }
+}
+
+Result<std::vector<TapeReadCompletion>> TapeScheduler::ExecuteBatch(SimSeconds ready,
+                                                                    bool capture) {
+  std::vector<TapeReadRequest> batch = std::move(pending_);
+  pending_.clear();
+  Order(&batch);
+  std::vector<TapeReadCompletion> completions;
+  completions.reserve(batch.size());
+  SimSeconds cursor = ready;
+  for (const TapeReadRequest& request : batch) {
+    TapeReadCompletion completion;
+    completion.id = request.id;
+    TERTIO_ASSIGN_OR_RETURN(
+        completion.interval,
+        drive_->Read(request.start, request.count, cursor,
+                     capture ? &completion.payloads : nullptr));
+    cursor = completion.interval.end;
+    completions.push_back(std::move(completion));
+  }
+  return completions;
+}
+
+}  // namespace tertio::tape

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file tape_scheduler.h
+/// Batching and reordering of random tape read requests.
+///
+/// The paper's related work (Section 2) describes how Postgres [15,16] and
+/// Paradise [19] improve tape efficiency by collecting the I/O references of
+/// pre-executed queries and *reordering* them before touching the drive —
+/// complementary to tertio's join methods, whose access patterns are already
+/// sequential. TapeScheduler provides that facility for workloads that are
+/// not: callers submit block-range reads in arrival order and the scheduler
+/// executes the batch in an order that minimizes head movement.
+
+#include <cstdint>
+#include <vector>
+
+#include "tape/tape_drive.h"
+#include "util/status.h"
+
+namespace tertio::tape {
+
+/// How a batch is ordered before execution.
+enum class SchedulePolicy : uint8_t {
+  /// Arrival order (the unscheduled baseline).
+  kFifo,
+  /// Ascending start position (one sweep from beginning of tape).
+  kSortedAscending,
+  /// Elevator: continue from the current head position to end-of-tape, then
+  /// wrap to the lowest remaining request.
+  kElevator,
+};
+
+/// One submitted request.
+struct TapeReadRequest {
+  std::uint64_t id = 0;
+  BlockIndex start = 0;
+  BlockCount count = 0;
+};
+
+/// One finished request.
+struct TapeReadCompletion {
+  std::uint64_t id = 0;
+  sim::Interval interval;
+  std::vector<BlockPayload> payloads;  // filled when capture was requested
+};
+
+/// Collects requests and executes them as ordered batches on one drive.
+class TapeScheduler {
+ public:
+  TapeScheduler(TapeDrive* drive, SchedulePolicy policy) : drive_(drive), policy_(policy) {
+    TERTIO_CHECK(drive != nullptr, "scheduler requires a drive");
+  }
+
+  SchedulePolicy policy() const { return policy_; }
+  std::size_t pending() const { return pending_.size(); }
+
+  /// Queues one read (validated against the mounted volume at execution).
+  void Submit(const TapeReadRequest& request) { pending_.push_back(request); }
+
+  /// Executes every pending request, earliest start `ready`. Completions are
+  /// returned in execution order. `capture` fills payloads.
+  Result<std::vector<TapeReadCompletion>> ExecuteBatch(SimSeconds ready, bool capture = false);
+
+ private:
+  /// Orders `batch` in place according to the policy.
+  void Order(std::vector<TapeReadRequest>* batch) const;
+
+  TapeDrive* drive_;
+  SchedulePolicy policy_;
+  std::vector<TapeReadRequest> pending_;
+};
+
+}  // namespace tertio::tape

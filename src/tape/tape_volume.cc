@@ -1,0 +1,73 @@
+#include "tape/tape_volume.h"
+
+#include "util/string_util.h"
+
+namespace tertio::tape {
+
+Status TapeVolume::Append(BlockPayload payload, double compressibility) {
+  if (compressibility < 0.0 || compressibility >= 1.0) {
+    return Status::InvalidArgument("compressibility must be in [0, 1)");
+  }
+  if (capacity_blocks_ != 0 && blocks_.size() >= capacity_blocks_) {
+    return Status::ResourceExhausted(
+        StrFormat("tape %s is full (%llu blocks)", name_.c_str(),
+                  static_cast<unsigned long long>(capacity_blocks_)));
+  }
+  blocks_.push_back(Entry{std::move(payload), static_cast<float>(compressibility)});
+  return Status::OK();
+}
+
+Status TapeVolume::AppendPhantom(BlockCount count, double compressibility) {
+  if (compressibility < 0.0 || compressibility >= 1.0) {
+    return Status::InvalidArgument("compressibility must be in [0, 1)");
+  }
+  if (capacity_blocks_ != 0 && blocks_.size() + count > capacity_blocks_) {
+    return Status::ResourceExhausted(
+        StrFormat("tape %s cannot hold %llu more blocks", name_.c_str(),
+                  static_cast<unsigned long long>(count)));
+  }
+  blocks_.insert(blocks_.end(), count, Entry{nullptr, static_cast<float>(compressibility)});
+  return Status::OK();
+}
+
+Result<BlockPayload> TapeVolume::ReadBlock(BlockIndex index) const {
+  TERTIO_RETURN_IF_ERROR(CheckRange(index, 1));
+  return blocks_[index].payload;
+}
+
+Result<double> TapeVolume::Compressibility(BlockIndex index) const {
+  TERTIO_RETURN_IF_ERROR(CheckRange(index, 1));
+  return static_cast<double>(blocks_[index].compressibility);
+}
+
+Result<double> TapeVolume::MeanCompressibility(BlockIndex start, BlockCount count) const {
+  TERTIO_RETURN_IF_ERROR(CheckRange(start, count));
+  if (count == 0) return 0.0;
+  double sum = 0.0;
+  for (BlockIndex i = start; i < start + count; ++i) {
+    sum += blocks_[i].compressibility;
+  }
+  return sum / static_cast<double>(count);
+}
+
+Status TapeVolume::Truncate(BlockCount new_size) {
+  if (new_size > blocks_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("cannot truncate tape %s to %llu blocks: only %zu recorded", name_.c_str(),
+                  static_cast<unsigned long long>(new_size), blocks_.size()));
+  }
+  blocks_.resize(new_size);
+  return Status::OK();
+}
+
+Status TapeVolume::CheckRange(BlockIndex start, BlockCount count) const {
+  if (start + count > blocks_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("range [%llu, %llu) out of bounds on tape %s (%zu blocks)",
+                  static_cast<unsigned long long>(start),
+                  static_cast<unsigned long long>(start + count), name_.c_str(), blocks_.size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace tertio::tape

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file tape_volume.h
+/// The recorded content of one tape cartridge.
+///
+/// A TapeVolume is an append-only sequence of fixed-size blocks. Each block
+/// carries an optional real payload (full-data runs) and the compressibility
+/// of its data, which determines the effective transfer rate when the block
+/// moves through a compressing drive. Volumes can be truncated back to a
+/// logical end-of-data marker, which is how scratch space on the R and S
+/// tapes (the paper's T_R and T_S) is reclaimed between experiments.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/block_payload.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace tertio::tape {
+
+/// Content of one cartridge. Thread-compatible, not thread-safe.
+class TapeVolume {
+ public:
+  /// \param name label for diagnostics, e.g. "tape-R".
+  /// \param block_bytes size of every block on this volume.
+  /// \param capacity_blocks maximum number of blocks (0 = unlimited).
+  TapeVolume(std::string name, ByteCount block_bytes, BlockCount capacity_blocks = 0)
+      : name_(std::move(name)), block_bytes_(block_bytes), capacity_blocks_(capacity_blocks) {
+    TERTIO_CHECK(block_bytes > 0, "block size must be positive");
+  }
+
+  const std::string& name() const { return name_; }
+  ByteCount block_bytes() const { return block_bytes_; }
+  BlockCount capacity_blocks() const { return capacity_blocks_; }
+  BlockCount size_blocks() const { return blocks_.size(); }
+  ByteCount size_bytes() const { return size_blocks() * block_bytes_; }
+
+  /// Appends one block with a real payload.
+  Status Append(BlockPayload payload, double compressibility);
+
+  /// Appends `count` phantom blocks (timing-only data).
+  Status AppendPhantom(BlockCount count, double compressibility);
+
+  /// Payload of block `index` (nullptr for phantom blocks).
+  Result<BlockPayload> ReadBlock(BlockIndex index) const;
+
+  /// Compressibility of block `index`.
+  Result<double> Compressibility(BlockIndex index) const;
+
+  /// Mean compressibility over [start, start+count) — used by the drive to
+  /// cost a multi-block transfer.
+  Result<double> MeanCompressibility(BlockIndex start, BlockCount count) const;
+
+  /// Discards all blocks at and after `new_size` (rewriting scratch space).
+  Status Truncate(BlockCount new_size);
+
+ private:
+  struct Entry {
+    BlockPayload payload;  // nullptr = phantom
+    float compressibility;
+  };
+
+  Status CheckRange(BlockIndex start, BlockCount count) const;
+
+  std::string name_;
+  ByteCount block_bytes_;
+  BlockCount capacity_blocks_;
+  std::vector<Entry> blocks_;
+};
+
+}  // namespace tertio::tape

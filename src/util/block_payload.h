@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file block_payload.h
+/// The opaque unit of data held by simulated storage devices.
+///
+/// Tape and disk volumes store sequences of blocks. A block's payload is
+/// either *real* (a byte buffer produced by the relation layer — used in
+/// full-data runs, where joins are verified tuple-by-tuple) or *phantom*
+/// (nullptr — used in timing-only runs at the paper's multi-GB scales, where
+/// only block accounting matters). Payloads are shared immutably, so copying
+/// a relation from tape to disk in the simulator costs virtual time but not
+/// physical memory.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tertio {
+
+/// Immutable byte buffer backing one block; nullptr means phantom.
+using BlockPayload = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+/// \returns a payload owning a copy of `bytes`.
+inline BlockPayload MakePayload(std::vector<std::uint8_t> bytes) {
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+}
+
+}  // namespace tertio

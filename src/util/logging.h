@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file logging.h
+/// Minimal leveled logger. Off by default above kWarning so that benchmark
+/// output stays clean; tests and examples can raise the level.
+
+#include <sstream>
+#include <string>
+
+namespace tertio {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted to stderr.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const char* file, int line, const std::string& message);
+
+/// Stream-style log statement collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tertio
+
+#define TERTIO_LOG(level)                                                            \
+  if (static_cast<int>(::tertio::LogLevel::level) < static_cast<int>(::tertio::GetLogLevel())) \
+    ;                                                                                \
+  else                                                                               \
+    ::tertio::internal::LogMessage(::tertio::LogLevel::level, __FILE__, __LINE__).stream()

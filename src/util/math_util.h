@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file math_util.h
+/// Small arithmetic helpers shared across modules.
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace tertio {
+
+/// \returns ceil(a / b). `b` must be nonzero.
+template <typename T>
+constexpr T CeilDiv(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// \returns a clamped to [lo, hi].
+template <typename T>
+constexpr T Clamp(T v, T lo, T hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// True if `a` and `b` are within `rel` relative tolerance of each other
+/// (or both within `abs_tol` of zero).
+inline bool ApproxEqual(double a, double b, double rel = 1e-9, double abs_tol = 1e-12) {
+  double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= rel * scale;
+}
+
+/// \returns the smallest integer n such that n*n >= x.
+inline std::uint64_t CeilSqrt(std::uint64_t x) {
+  if (x == 0) return 0;
+  auto r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(x)));
+  while (r * r < x) ++r;
+  while (r > 0 && (r - 1) * (r - 1) >= x) --r;
+  return r;
+}
+
+}  // namespace tertio

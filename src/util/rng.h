@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic pseudo-random number generation.
+///
+/// All randomness in tertio (synthetic data, skewed key distributions) flows
+/// through Rng so that experiments and tests are exactly reproducible from a
+/// seed. The generator is xoshiro256**, seeded via splitmix64.
+
+#include <cstdint>
+
+namespace tertio {
+
+/// \returns a well-mixed 64-bit value for input `x` (splitmix64 finalizer).
+/// Also used as the tuple-key hash in tertio::hash.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic xoshiro256** generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed = SplitMix64(seed);
+      word = seed;
+    }
+  }
+
+  /// \returns a uniform 64-bit value.
+  std::uint64_t Next() {
+    auto rotl = [](std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); };
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// \returns a uniform value in [0, bound). `bound` must be nonzero.
+  std::uint64_t NextBelow(std::uint64_t bound) { return Next() % bound; }
+
+  /// \returns a uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace tertio

@@ -1,0 +1,55 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tertio {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal {
+
+void DieBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "tertio: accessed value of errored Result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+void DieCheckFailure(const char* file, int line, const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "tertio: CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace tertio

@@ -1,0 +1,48 @@
+#include "util/string_util.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace tertio {
+
+std::string FormatBytes(ByteCount bytes) {
+  if (bytes >= kGB) return StrFormat("%.2f GB", static_cast<double>(bytes) / kGB);
+  if (bytes >= kMB) return StrFormat("%.1f MB", static_cast<double>(bytes) / kMB);
+  if (bytes >= kKB) return StrFormat("%.1f KB", static_cast<double>(bytes) / kKB);
+  return StrFormat("%llu bytes", static_cast<unsigned long long>(bytes));
+}
+
+std::string FormatDuration(SimSeconds seconds) {
+  if (seconds < 0) return "-" + FormatDuration(-seconds);
+  if (seconds < 1.0) return StrFormat("%.0f ms", seconds * 1000.0);
+  if (seconds < 120.0) return StrFormat("%.1f s", seconds);
+  auto total = static_cast<long long>(std::llround(seconds));
+  long long h = total / 3600;
+  long long m = (total % 3600) / 60;
+  long long s = total % 60;
+  if (h > 0) return StrFormat("%lldh %02lldm %02llds", h, m, s);
+  return StrFormat("%lldm %02llds", m, s);
+}
+
+std::string FormatFixed(double value, int digits) {
+  return StrFormat("%.*f", digits, value);
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace tertio

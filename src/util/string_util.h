@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file string_util.h
+/// Human-readable formatting used by reports, logs and error messages.
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+
+namespace tertio {
+
+/// "1.25 GB", "512.0 MB", "384 bytes" (decimal units, matching the paper).
+std::string FormatBytes(ByteCount bytes);
+
+/// "2h 13m 05s", "45.2 s", "730 ms".
+std::string FormatDuration(SimSeconds seconds);
+
+/// Fixed-point with `digits` decimals, e.g. FormatFixed(6.94, 1) == "6.9".
+std::string FormatFixed(double value, int digits);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace tertio

@@ -1,0 +1,257 @@
+// Unit tests for tertio_cost: formula sanity, Table 2 resource shapes,
+// feasibility boundaries, and the Section 5.3 figure properties.
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "cost/method_id.h"
+#include "tape/tape_model.h"
+
+namespace tertio::cost {
+namespace {
+
+/// Section 5.3's configuration: |S| = 10|R|, D = 32M, X_D = 2X_T.
+CostParams Section53Params(double r_over_m, BlockCount m = 2000) {
+  CostParams p;
+  p.memory_blocks = m;
+  p.r_blocks = static_cast<BlockCount>(r_over_m * static_cast<double>(m));
+  p.s_blocks = 10 * p.r_blocks;
+  p.disk_blocks = 32 * m;
+  p.tape_rate_bps = 1.5e6;
+  p.disk_rate_bps = 3.0e6;
+  p.disk_positioning_seconds = 0.0;
+  return p;
+}
+
+TEST(MethodIdTest, NamesAndPredicates) {
+  EXPECT_EQ(JoinMethodName(JoinMethodId::kCdtNbMb), "CDT-NB/MB");
+  EXPECT_EQ(JoinMethodName(JoinMethodId::kCttGh), "CTT-GH");
+  EXPECT_TRUE(IsConcurrentMethod(JoinMethodId::kCdtGh));
+  EXPECT_FALSE(IsConcurrentMethod(JoinMethodId::kTtGh));
+  EXPECT_TRUE(IsDiskTapeMethod(JoinMethodId::kDtNb));
+  EXPECT_FALSE(IsDiskTapeMethod(JoinMethodId::kCttGh));
+  EXPECT_TRUE(IsHashMethod(JoinMethodId::kDtGh));
+  EXPECT_FALSE(IsHashMethod(JoinMethodId::kCdtNbDb));
+}
+
+TEST(CostModelTest, AllMethodsFeasibleInComfortableConfig) {
+  CostParams p = Section53Params(2.0);
+  for (JoinMethodId method : kAllJoinMethods) {
+    auto estimate = Estimate(method, p);
+    ASSERT_TRUE(estimate.ok()) << JoinMethodName(method) << ": " << estimate.status();
+    EXPECT_GT(estimate->total_seconds, 0.0) << JoinMethodName(method);
+    EXPECT_NEAR(estimate->step1_seconds + estimate->step2_seconds, estimate->total_seconds,
+                1e-9);
+    // Any method must at least read both relations once.
+    EXPECT_GE(estimate->total_seconds, OptimumJoinSeconds(p)) << JoinMethodName(method);
+  }
+}
+
+TEST(CostModelTest, InvalidParamsRejected) {
+  CostParams p = Section53Params(2.0);
+  p.r_blocks = 0;
+  EXPECT_FALSE(Estimate(JoinMethodId::kDtNb, p).ok());
+  p = Section53Params(2.0);
+  p.r_blocks = p.s_blocks + 1;
+  EXPECT_FALSE(Estimate(JoinMethodId::kDtNb, p).ok());
+  p = Section53Params(2.0);
+  p.memory_blocks = 0;
+  EXPECT_FALSE(Estimate(JoinMethodId::kDtNb, p).ok());
+  p = Section53Params(2.0);
+  p.tape_rate_bps = 0.0;
+  EXPECT_FALSE(Estimate(JoinMethodId::kDtNb, p).ok());
+}
+
+TEST(CostModelTest, DiskTapeMethodsInfeasibleBeyondDisk) {
+  // |R| > D: only the tape-tape methods remain (Figure 3's regime).
+  CostParams p = Section53Params(50.0);
+  ASSERT_GT(p.r_blocks, p.disk_blocks);
+  for (JoinMethodId method :
+       {JoinMethodId::kDtNb, JoinMethodId::kCdtNbMb, JoinMethodId::kCdtNbDb,
+        JoinMethodId::kDtGh, JoinMethodId::kCdtGh}) {
+    EXPECT_EQ(Estimate(method, p).status().code(), StatusCode::kResourceExhausted)
+        << JoinMethodName(method);
+  }
+  EXPECT_TRUE(Estimate(JoinMethodId::kCttGh, p).ok());
+  EXPECT_TRUE(Estimate(JoinMethodId::kTtGh, p).ok());
+}
+
+TEST(CostModelTest, ConcurrentVariantsNeverSlower) {
+  for (double x : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+    CostParams p = Section53Params(x);
+    auto dt_nb = Estimate(JoinMethodId::kDtNb, p);
+    auto db = Estimate(JoinMethodId::kCdtNbDb, p);
+    auto dt_gh = Estimate(JoinMethodId::kDtGh, p);
+    auto cdt_gh = Estimate(JoinMethodId::kCdtGh, p);
+    if (dt_nb.ok() && db.ok()) {
+      // CDT-NB/DB routes S through disk, so at |R| ~ M its extra disk passes
+      // can slightly outweigh the overlap (visible in Figure 1 as well).
+      EXPECT_LE(db->total_seconds, dt_nb->total_seconds * 1.15) << "x=" << x;
+    }
+    if (dt_gh.ok() && cdt_gh.ok()) {
+      EXPECT_LE(cdt_gh->total_seconds, dt_gh->total_seconds * 1.01) << "x=" << x;
+    }
+  }
+}
+
+TEST(CostModelTest, Figure1Shape_NbRisesHashFlat) {
+  auto at = [&](JoinMethodId m, double x) {
+    return Estimate(m, Section53Params(x)).value().total_seconds /
+           OptimumJoinSeconds(Section53Params(x));
+  };
+  // NB methods rise steeply with |R|/M (iteration count ~ |R|/M).
+  EXPECT_GT(at(JoinMethodId::kDtNb, 5.0), 1.8 * at(JoinMethodId::kDtNb, 1.0));
+  EXPECT_GT(at(JoinMethodId::kCdtNbMb, 5.0), 2.5 * at(JoinMethodId::kCdtNbMb, 1.0));
+  // Hash methods stay within a narrow band over the same range.
+  EXPECT_LT(at(JoinMethodId::kDtGh, 5.0), 1.25 * at(JoinMethodId::kDtGh, 1.0));
+  EXPECT_LT(at(JoinMethodId::kCttGh, 5.0), 2.0 * at(JoinMethodId::kCttGh, 1.0));
+}
+
+TEST(CostModelTest, Figure2Shape_DiskTapeHashExplodesNearD) {
+  // As |R| -> D = 32M the S buffer shrinks and iteration counts soar.
+  auto comfortable = Estimate(JoinMethodId::kCdtGh, Section53Params(16.0));
+  auto squeezed = Estimate(JoinMethodId::kCdtGh, Section53Params(31.5));
+  ASSERT_TRUE(comfortable.ok() && squeezed.ok());
+  EXPECT_GT(squeezed->total_seconds, 3.0 * comfortable->total_seconds);
+  // CTT-GH is "largely unaffected by the increased size of R".
+  auto ctt_a = Estimate(JoinMethodId::kCttGh, Section53Params(16.0));
+  auto ctt_b = Estimate(JoinMethodId::kCttGh, Section53Params(31.5));
+  ASSERT_TRUE(ctt_a.ok() && ctt_b.ok());
+  EXPECT_LT(ctt_b->total_seconds, 2.5 * ctt_a->total_seconds);
+}
+
+TEST(CostModelTest, Figure3Shape_CttScalesTtDoesNot) {
+  auto opt = [](double x) { return OptimumJoinSeconds(Section53Params(x)); };
+  auto ctt = Estimate(JoinMethodId::kCttGh, Section53Params(150.0));
+  auto tt = Estimate(JoinMethodId::kTtGh, Section53Params(150.0));
+  ASSERT_TRUE(ctt.ok() && tt.ok());
+  EXPECT_LT(ctt->total_seconds / opt(150.0), 8.0);   // graceful
+  EXPECT_GT(tt->total_seconds / opt(150.0), 20.0);   // setup cost explodes
+  EXPECT_GT(tt->total_seconds, 3.0 * ctt->total_seconds);
+}
+
+TEST(CostModelTest, TtGhStepTwoIsParallelTapeStreams) {
+  CostParams p = Section53Params(2.0);
+  auto tt = Estimate(JoinMethodId::kTtGh, p);
+  ASSERT_TRUE(tt.ok());
+  // Step II streams both hashed tapes in parallel: max, not sum.
+  double expected = static_cast<double>(p.s_blocks) * p.block_bytes / p.tape_rate_bps;
+  EXPECT_NEAR(tt->step2_seconds, expected, expected * 0.01);
+}
+
+TEST(CostModelTest, Table2ResourceShapes) {
+  CostParams p = Section53Params(4.0);
+  auto dt_nb = Estimate(JoinMethodId::kDtNb, p).value();
+  auto db = Estimate(JoinMethodId::kCdtNbDb, p).value();
+  auto dt_gh = Estimate(JoinMethodId::kDtGh, p).value();
+  auto ctt = Estimate(JoinMethodId::kCttGh, p).value();
+  auto tt = Estimate(JoinMethodId::kTtGh, p).value();
+  // DT-NB needs exactly |R| of disk; CDT-NB/DB adds the S chunk.
+  EXPECT_EQ(dt_nb.disk_space_blocks, p.r_blocks);
+  EXPECT_GT(db.disk_space_blocks, p.r_blocks);
+  // Grace disk-tape methods use all of D.
+  EXPECT_EQ(dt_gh.disk_space_blocks, p.disk_blocks);
+  // Tape-tape methods need tape scratch: CTT-GH |R| on tape R; TT-GH
+  // crosses: |S| on tape R, |R| on tape S.
+  EXPECT_EQ(ctt.tape_scratch_r_blocks, p.r_blocks);
+  EXPECT_EQ(ctt.tape_scratch_s_blocks, 0u);
+  EXPECT_EQ(tt.tape_scratch_r_blocks, p.s_blocks);
+  EXPECT_EQ(tt.tape_scratch_s_blocks, p.r_blocks);
+  // Memory: hash methods need ~sqrt(|R|), NB methods only a few blocks.
+  EXPECT_LT(dt_nb.memory_required_blocks, 4u);
+  EXPECT_GT(dt_gh.memory_required_blocks, 100u);
+}
+
+TEST(CostModelTest, Figure7Property_GraceTrafficIndependentOfMemory) {
+  CostParams small = Section53Params(4.0, 1000);
+  CostParams large = small;
+  large.memory_blocks = 4000;  // same |R|, more memory
+  small.r_blocks = large.r_blocks = 4000;
+  small.s_blocks = large.s_blocks = 40000;
+  auto t_small = Estimate(JoinMethodId::kDtGh, small);
+  auto t_large = Estimate(JoinMethodId::kDtGh, large);
+  ASSERT_TRUE(t_small.ok() && t_large.ok());
+  EXPECT_EQ(t_small->disk_traffic_blocks, t_large->disk_traffic_blocks);
+  // NB traffic falls with memory (fewer iterations).
+  auto nb_small = Estimate(JoinMethodId::kDtNb, small);
+  auto nb_large = Estimate(JoinMethodId::kDtNb, large);
+  ASSERT_TRUE(nb_small.ok() && nb_large.ok());
+  EXPECT_GT(nb_small->disk_traffic_blocks, nb_large->disk_traffic_blocks);
+}
+
+TEST(CostModelTest, FasterTapeLeavesConcurrentResponseUnchanged) {
+  // Section 9: concurrent methods are disk-bound, so tape speed moves the
+  // optimum but not the response.
+  CostParams base;
+  base.r_blocks = 2304;   // 18 MB in 8 KiB blocks
+  base.s_blocks = 128000; // 1,000 MB
+  base.memory_blocks = 230;
+  base.disk_blocks = 6400;
+  base.tape_rate_bps = 1.5e6;
+  base.disk_rate_bps = 8.4e6;
+  base.disk_positioning_seconds = 0.0145;
+  CostParams fast = base;
+  fast.tape_rate_bps = 3.0e6;
+  auto slow_est = Estimate(JoinMethodId::kCdtGh, base);
+  auto fast_est = Estimate(JoinMethodId::kCdtGh, fast);
+  ASSERT_TRUE(slow_est.ok() && fast_est.ok());
+  // Disk-bound: response barely changes...
+  EXPECT_NEAR(fast_est->total_seconds, slow_est->total_seconds,
+              slow_est->total_seconds * 0.15);
+  // ...while the optimum halves, so overhead rises.
+  EXPECT_GT(RelativeJoinOverhead(fast_est->total_seconds, fast),
+            RelativeJoinOverhead(slow_est->total_seconds, base));
+}
+
+TEST(CostModelTest, OptimumAndOverhead) {
+  CostParams p = Section53Params(2.0);
+  double optimum = OptimumJoinSeconds(p);
+  EXPECT_NEAR(optimum, static_cast<double>(p.s_blocks) * p.block_bytes / p.tape_rate_bps, 1e-9);
+  EXPECT_NEAR(RelativeJoinOverhead(optimum * 1.3, p), 0.3, 1e-9);
+  EXPECT_NEAR(RelativeJoinOverhead(optimum, p), 0.0, 1e-9);
+}
+
+TEST(CostModelTest, MediaExchangeIsNegligibleAtScale) {
+  // Section 3.2's claim, checked: a 30 s media exchange against the transfer
+  // time of a full 20 GB cartridge is < 1%.
+  tape::TapeDriveModel drive = tape::TapeDriveModel::DLT4000();
+  double full_read = drive.TransferSeconds(20 * kGB, 0.0);
+  EXPECT_LT(30.0 / full_read, 0.01);
+  // Rewind too: "a 5 GB tape file might take an hour to read but only 10
+  // seconds to rewind".
+  EXPECT_GT(drive.TransferSeconds(5 * kGB, 0.0), 3000.0);
+  EXPECT_LE(drive.rewind_seconds, 10.0);
+}
+
+}  // namespace
+}  // namespace tertio::cost
+
+namespace tertio::cost {
+namespace {
+
+TEST(LocalOutputTest, StoringOutputLocallySlowsDiskBoundMethods) {
+  CostParams base = Section53Params(4.0);
+  auto heavy = WithLocalOutput(base, 0.4);
+  ASSERT_TRUE(heavy.ok());
+  EXPECT_NEAR(heavy->disk_rate_bps, base.disk_rate_bps * 0.6, 1e-6);
+  auto base_est = Estimate(JoinMethodId::kCdtGh, base);
+  auto heavy_est = Estimate(JoinMethodId::kCdtGh, *heavy);
+  ASSERT_TRUE(base_est.ok() && heavy_est.ok());
+  // Less disk bandwidth for the join itself -> never faster.
+  EXPECT_GE(heavy_est->total_seconds, base_est->total_seconds);
+  // TT-GH Step II uses no disk: its step2 is insensitive to the share.
+  auto tt_base = Estimate(JoinMethodId::kTtGh, base);
+  auto tt_heavy = Estimate(JoinMethodId::kTtGh, *heavy);
+  ASSERT_TRUE(tt_base.ok() && tt_heavy.ok());
+  EXPECT_DOUBLE_EQ(tt_heavy->step2_seconds, tt_base->step2_seconds);
+}
+
+TEST(LocalOutputTest, InvalidShareRejected) {
+  CostParams base = Section53Params(2.0);
+  EXPECT_FALSE(WithLocalOutput(base, -0.1).ok());
+  EXPECT_FALSE(WithLocalOutput(base, 1.0).ok());
+  EXPECT_TRUE(WithLocalOutput(base, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace tertio::cost

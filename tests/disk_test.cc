@@ -1,0 +1,208 @@
+// Unit tests for tertio_disk: disk model, volume, allocator, striped group.
+
+#include <gtest/gtest.h>
+
+#include "disk/allocator.h"
+#include "disk/disk_model.h"
+#include "disk/disk_volume.h"
+#include "disk/striped_group.h"
+#include "sim/simulation.h"
+
+namespace tertio::disk {
+namespace {
+
+constexpr ByteCount kBlock = 1000;
+
+TEST(DiskModelTest, TransferSeconds) {
+  DiskModel m = DiskModel::Ideal(1000.0);
+  EXPECT_DOUBLE_EQ(m.TransferSeconds(5000), 5.0);
+}
+
+TEST(DiskVolumeTest, SequentialRequestsSkipPositioning) {
+  sim::Simulation sim;
+  DiskModel m = DiskModel::QuantumFireball1080();
+  DiskVolume disk("d0", m, sim.CreateResource("d0"), 100, kBlock);
+  auto a = disk.Write(0, 10, 0.0);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NEAR(a->duration(), m.positioning_seconds + m.TransferSeconds(10 * kBlock), 1e-12);
+  auto b = disk.Write(10, 10, a->end);  // continues sequentially
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(b->duration(), m.TransferSeconds(10 * kBlock), 1e-12);
+  EXPECT_EQ(disk.stats().positioned_requests, 1u);
+  EXPECT_EQ(disk.stats().requests, 2u);
+}
+
+TEST(DiskVolumeTest, DiscontiguousRequestPaysPositioning) {
+  sim::Simulation sim;
+  DiskModel m = DiskModel::QuantumFireball1080();
+  DiskVolume disk("d0", m, sim.CreateResource("d0"), 100, kBlock);
+  ASSERT_TRUE(disk.Write(0, 10, 0.0).ok());
+  auto b = disk.Read(50, 10, 100.0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(b->duration(), m.positioning_seconds + m.TransferSeconds(10 * kBlock), 1e-12);
+  EXPECT_EQ(disk.stats().positioned_requests, 2u);
+}
+
+TEST(DiskVolumeTest, ThirtyBlockRequestsMakePositioningNegligible) {
+  // The paper's Section 3.2 claim: with requests of >= 30 blocks, seek and
+  // rotational latency play "a relatively minor role" against transfer cost.
+  DiskModel m = DiskModel::QuantumFireball1080();
+  double transfer = m.TransferSeconds(30 * kDefaultBlockBytes);
+  EXPECT_LT(m.positioning_seconds / (transfer + m.positioning_seconds), 0.25);
+}
+
+TEST(DiskVolumeTest, DataRoundTrips) {
+  sim::Simulation sim;
+  DiskVolume disk("d0", DiskModel::Ideal(1e6), sim.CreateResource("d0"), 10, kBlock);
+  std::vector<BlockPayload> payloads{MakePayload(std::vector<uint8_t>(kBlock, 0xAA)),
+                                     MakePayload(std::vector<uint8_t>(kBlock, 0xBB))};
+  ASSERT_TRUE(disk.Write(3, 2, 0.0, payloads.data()).ok());
+  std::vector<BlockPayload> out;
+  ASSERT_TRUE(disk.Read(3, 2, 1.0, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ((*out[0])[0], 0xAA);
+  EXPECT_EQ((*out[1])[0], 0xBB);
+}
+
+TEST(DiskVolumeTest, OutOfRangeRejected) {
+  sim::Simulation sim;
+  DiskVolume disk("d0", DiskModel::Ideal(1e6), sim.CreateResource("d0"), 10, kBlock);
+  EXPECT_FALSE(disk.Read(5, 6, 0.0).ok());
+  EXPECT_FALSE(disk.Write(10, 1, 0.0).ok());
+}
+
+TEST(AllocatorTest, StripesAcrossDisks) {
+  DiskSpaceAllocator alloc({100, 100}, /*stripe_unit=*/10);
+  auto extents = alloc.Allocate(40, 0.0, "buf");
+  ASSERT_TRUE(extents.ok());
+  EXPECT_EQ(TotalBlocks(*extents), 40u);
+  // Round-robin in 10-block stripes over 2 disks: 20 blocks on each.
+  BlockCount on_disk[2] = {0, 0};
+  for (const Extent& e : *extents) on_disk[e.disk] += e.count;
+  EXPECT_EQ(on_disk[0], 20u);
+  EXPECT_EQ(on_disk[1], 20u);
+  EXPECT_EQ(alloc.used_blocks(), 40u);
+  EXPECT_EQ(alloc.free_blocks(), 160u);
+}
+
+TEST(AllocatorTest, ExhaustionRejected) {
+  DiskSpaceAllocator alloc({10, 10}, 4);
+  EXPECT_FALSE(alloc.Allocate(21, 0.0, "big").ok());
+  ASSERT_TRUE(alloc.Allocate(20, 0.0, "fits").ok());
+  EXPECT_FALSE(alloc.Allocate(1, 0.0, "one").ok());
+}
+
+TEST(AllocatorTest, FreeCoalescesAndReuses) {
+  DiskSpaceAllocator alloc({100}, 10);
+  auto a = alloc.Allocate(30, 0.0, "a");
+  auto b = alloc.Allocate(30, 0.0, "b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(alloc.Free(*a, 1.0, "a").ok());
+  ASSERT_TRUE(alloc.Free(*b, 2.0, "b").ok());
+  EXPECT_EQ(alloc.used_blocks(), 0u);
+  // After coalescing, the full 100 blocks are allocatable again.
+  auto c = alloc.Allocate(100, 3.0, "c");
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(AllocatorTest, DiskMaskDedicatesDisks) {
+  DiskSpaceAllocator alloc({50, 50}, 10);
+  std::vector<bool> only_disk1{false, true};
+  auto extents = alloc.Allocate(30, 0.0, "buf", only_disk1);
+  ASSERT_TRUE(extents.ok());
+  for (const Extent& e : *extents) EXPECT_EQ(e.disk, 1);
+  // Mask restricts capacity too.
+  EXPECT_FALSE(alloc.Allocate(30, 0.0, "too-big", only_disk1).ok());
+}
+
+TEST(AllocatorTest, TraceRecordsUtilization) {
+  DiskSpaceAllocator alloc({100}, 10);
+  alloc.EnableTrace();
+  auto a = alloc.Allocate(40, 1.0, "iter-0");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(alloc.Free(*a, 5.0, "iter-0").ok());
+  ASSERT_EQ(alloc.trace().size(), 2u);
+  EXPECT_DOUBLE_EQ(alloc.trace()[0].time, 1.0);
+  EXPECT_EQ(alloc.trace()[0].delta_blocks, 40);
+  EXPECT_EQ(alloc.trace()[0].used_after, 40u);
+  EXPECT_EQ(alloc.trace()[1].delta_blocks, -40);
+  EXPECT_EQ(alloc.trace()[1].used_after, 0u);
+  EXPECT_EQ(alloc.trace()[1].tag, "iter-0");
+}
+
+TEST(AllocatorTest, FirstFitKeepsDataPacked) {
+  DiskSpaceAllocator alloc({100}, 100);
+  auto a = alloc.Allocate(10, 0.0, "a");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(alloc.Free(*a, 1.0, "a").ok());
+  auto b = alloc.Allocate(10, 2.0, "b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)[0].start, 0u);  // reuses the lowest hole
+}
+
+TEST(StripedGroupTest, UniformConfigSplitsCapacity) {
+  DiskGroupConfig config =
+      DiskGroupConfig::Uniform(3, DiskModel::Ideal(1e6), 99, kBlock, /*stripe_unit=*/8);
+  EXPECT_EQ(config.disks.size(), 3u);
+  EXPECT_EQ(config.per_disk_capacity[0], 33u);
+}
+
+TEST(StripedGroupTest, StripedReadUsesAllArmsInParallel) {
+  sim::Simulation sim;
+  DiskGroupConfig config = DiskGroupConfig::Uniform(2, DiskModel::Ideal(1000.0 * kBlock), 1000,
+                                                    kBlock, /*stripe_unit=*/10);
+  StripedDiskGroup group(config, &sim);
+  auto extents = group.allocator().Allocate(100, 0.0, "data");
+  ASSERT_TRUE(extents.ok());
+  auto wiv = group.WriteExtents(*extents, 0.0);
+  ASSERT_TRUE(wiv.ok());
+  // 100 blocks at 1000 blocks/s/disk over 2 disks: ~0.05 s, not 0.1 s.
+  EXPECT_NEAR(wiv->duration(), 0.05, 1e-9);
+  auto riv = group.ReadExtents(*extents, wiv->end);
+  ASSERT_TRUE(riv.ok());
+  EXPECT_NEAR(riv->duration(), 0.05, 1e-9);
+  EXPECT_DOUBLE_EQ(group.aggregate_rate_bps(), 2.0 * 1000.0 * kBlock);
+}
+
+TEST(StripedGroupTest, PayloadsRoundTripInExtentOrder) {
+  sim::Simulation sim;
+  DiskGroupConfig config = DiskGroupConfig::Uniform(2, DiskModel::Ideal(1e6), 100, kBlock, 4);
+  StripedDiskGroup group(config, &sim);
+  auto extents = group.allocator().Allocate(10, 0.0, "data");
+  ASSERT_TRUE(extents.ok());
+  std::vector<BlockPayload> payloads;
+  for (uint8_t i = 0; i < 10; ++i) {
+    payloads.push_back(MakePayload(std::vector<uint8_t>(kBlock, i)));
+  }
+  ASSERT_TRUE(group.WriteExtents(*extents, 0.0, &payloads).ok());
+  std::vector<BlockPayload> out;
+  ASSERT_TRUE(group.ReadExtents(*extents, 1.0, &out).ok());
+  ASSERT_EQ(out.size(), 10u);
+  for (uint8_t i = 0; i < 10; ++i) EXPECT_EQ((*out[i])[0], i);
+}
+
+TEST(StripedGroupTest, PayloadCountMismatchRejected) {
+  sim::Simulation sim;
+  DiskGroupConfig config = DiskGroupConfig::Uniform(1, DiskModel::Ideal(1e6), 100, kBlock, 4);
+  StripedDiskGroup group(config, &sim);
+  auto extents = group.allocator().Allocate(10, 0.0, "data");
+  ASSERT_TRUE(extents.ok());
+  std::vector<BlockPayload> wrong(3);
+  EXPECT_FALSE(group.WriteExtents(*extents, 0.0, &wrong).ok());
+}
+
+TEST(StripedGroupTest, TotalStatsAggregate) {
+  sim::Simulation sim;
+  DiskGroupConfig config = DiskGroupConfig::Uniform(2, DiskModel::Ideal(1e6), 100, kBlock, 4);
+  StripedDiskGroup group(config, &sim);
+  auto extents = group.allocator().Allocate(20, 0.0, "data");
+  ASSERT_TRUE(extents.ok());
+  ASSERT_TRUE(group.WriteExtents(*extents, 0.0).ok());
+  ASSERT_TRUE(group.ReadExtents(*extents, 1.0).ok());
+  DiskStats stats = group.TotalStats();
+  EXPECT_EQ(stats.blocks_written, 20u);
+  EXPECT_EQ(stats.blocks_read, 20u);
+}
+
+}  // namespace
+}  // namespace tertio::disk

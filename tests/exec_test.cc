@@ -1,0 +1,128 @@
+// Tests for tertio_exec: machine assembly, workload preparation, experiment
+// driving, report rendering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/experiment.h"
+#include "exec/machine.h"
+#include "exec/report.h"
+
+namespace tertio::exec {
+namespace {
+
+TEST(MachineTest, PaperTestbedShape) {
+  MachineConfig config = MachineConfig::PaperTestbed(500 * kMB, 16 * kMB);
+  Machine machine(config);
+  EXPECT_EQ(machine.disks().disk_count(), 2);
+  EXPECT_EQ(machine.memory_blocks(), BytesToBlocks(16 * kMB, kDefaultBlockBytes));
+  EXPECT_GE(machine.disk_blocks(), BytesToBlocks(500 * kMB, kDefaultBlockBytes));
+  EXPECT_FALSE(machine.drive_r().loaded());
+  machine.MountTapes();
+  EXPECT_TRUE(machine.drive_r().loaded());
+  EXPECT_TRUE(machine.drive_s().loaded());
+  EXPECT_EQ(machine.library(), nullptr);
+}
+
+TEST(MachineTest, EffectiveRatesFollowModels) {
+  Machine machine(MachineConfig::PaperTestbed(100 * kMB, 16 * kMB));
+  EXPECT_DOUBLE_EQ(machine.EffectiveTapeRate(0.0), 1.5e6);
+  EXPECT_NEAR(machine.EffectiveTapeRate(0.25), 2.0e6, 1e3);
+  EXPECT_NEAR(machine.AggregateDiskRate(), 2 * 4.2e6, 1.0);
+}
+
+TEST(MachineTest, LibraryAttachesWhenRequested) {
+  MachineConfig config = MachineConfig::PaperTestbed(100 * kMB, 16 * kMB);
+  config.with_library = true;
+  Machine machine(config);
+  ASSERT_NE(machine.library(), nullptr);
+  EXPECT_EQ(machine.library()->slot_count(), 0);
+}
+
+TEST(WorkloadTest, PreparePlacesRelationsOnTapes) {
+  Machine machine(MachineConfig::PaperTestbed(100 * kMB, 16 * kMB));
+  WorkloadConfig workload;
+  workload.r_bytes = 10 * kMB;
+  workload.s_bytes = 40 * kMB;
+  workload.phantom = true;
+  auto prepared = PrepareWorkload(&machine, workload);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->r.volume, &machine.tape_r());
+  EXPECT_EQ(prepared->s.volume, &machine.tape_s());
+  EXPECT_EQ(prepared->r.blocks, BytesToBlocks(10 * kMB, kDefaultBlockBytes));
+  EXPECT_EQ(prepared->s.blocks, BytesToBlocks(40 * kMB, kDefaultBlockBytes));
+  EXPECT_TRUE(machine.drive_r().loaded());
+  // Drives were mounted uncosted: no virtual time has passed.
+  EXPECT_DOUBLE_EQ(machine.sim().Horizon(), 0.0);
+}
+
+TEST(WorkloadTest, InvalidWorkloadRejected) {
+  Machine machine(MachineConfig::PaperTestbed(100 * kMB, 16 * kMB));
+  WorkloadConfig workload;
+  EXPECT_FALSE(PrepareWorkload(&machine, workload).ok());  // empty sizes
+  EXPECT_FALSE(PrepareWorkload(nullptr, workload).ok());
+}
+
+TEST(WorkloadTest, FullDataKeysReferenceR) {
+  Machine machine(MachineConfig::PaperTestbed(100 * kMB, 16 * kMB));
+  WorkloadConfig workload;
+  workload.r_bytes = 200 * kKB;
+  workload.s_bytes = 800 * kKB;
+  workload.phantom = false;
+  auto prepared = PrepareWorkload(&machine, workload);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_GT(prepared->r.tuple_count, 0u);
+  EXPECT_FALSE(prepared->r.phantom);
+}
+
+TEST(ExperimentTest, RunJoinExperimentEndToEnd) {
+  MachineConfig config = MachineConfig::PaperTestbed(60 * kMB, 4 * kMB);
+  WorkloadConfig workload;
+  workload.r_bytes = 10 * kMB;
+  workload.s_bytes = 50 * kMB;
+  workload.phantom = true;
+  auto stats = RunJoinExperiment(config, workload, JoinMethodId::kCdtGh);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->response_seconds, 0.0);
+  EXPECT_EQ(stats->method, "CDT-GH");
+}
+
+TEST(ExperimentTest, CostParamsMatchMachine) {
+  Machine machine(MachineConfig::PaperTestbed(500 * kMB, 16 * kMB));
+  WorkloadConfig workload;
+  workload.r_bytes = 100 * kMB;
+  workload.s_bytes = 400 * kMB;
+  workload.compressibility = 0.25;
+  auto params = CostParamsFor(machine, workload);
+  EXPECT_EQ(params.r_blocks, BytesToBlocks(100 * kMB, kDefaultBlockBytes));
+  EXPECT_EQ(params.memory_blocks, machine.memory_blocks());
+  EXPECT_NEAR(params.tape_rate_bps, 2.0e6, 1e3);
+  EXPECT_NEAR(params.disk_rate_bps, 8.4e6, 1.0);
+}
+
+TEST(ReportTest, TableAlignsColumns) {
+  TableReport table({"a", "method"});
+  table.AddRow({"1", "CTT-GH"});
+  table.AddRow({"22", "x"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("a   method"), std::string::npos);
+  EXPECT_NE(out.find("22  x"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ReportTest, SeriesRendersNanAsDash) {
+  SeriesReport series("x", {"y1", "y2"});
+  series.AddPoint(1.0, {2.5, std::nan("")});
+  std::string out = series.Render(1);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(ReportTest, MismatchedRowAborts) {
+  TableReport table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace tertio::exec

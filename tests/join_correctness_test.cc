@@ -1,0 +1,324 @@
+// Correctness tests: every join method must produce exactly the same join
+// result (tuple count + order-independent checksum) as the in-memory
+// reference join, across key distributions, selectivities and geometries.
+
+#include <gtest/gtest.h>
+
+#include "exec/experiment.h"
+#include "exec/machine.h"
+#include "join/advisor.h"
+#include "join/join_method.h"
+#include "join/reference_join.h"
+#include "relation/generator.h"
+
+namespace tertio::join {
+namespace {
+
+constexpr ByteCount kBlock = 1024;
+
+struct Workload {
+  rel::GeneratorConfig r;
+  rel::GeneratorConfig s;
+};
+
+/// Small machine where all seven methods are feasible.
+exec::MachineConfig SmallMachine(ByteCount disk_bytes = 64 * kBlock,
+                                 ByteCount memory_bytes = 16 * kBlock) {
+  exec::MachineConfig config;
+  config.block_bytes = kBlock;
+  config.disk_space_bytes = disk_bytes;
+  config.memory_bytes = memory_bytes;
+  config.stripe_unit = 4;
+  return config;
+}
+
+Workload DefaultWorkload() {
+  Workload w;
+  w.r.name = "R";
+  w.r.tuple_count = 400;  // 40 blocks at 10 tuples/block
+  w.r.keys = rel::KeySequence::kSequentialUnique;
+  w.r.compressibility = 0.25;
+  w.r.seed = 11;
+  w.s.name = "S";
+  w.s.tuple_count = 2000;  // 200 blocks
+  w.s.keys = rel::KeySequence::kForeignKeyUniform;
+  w.s.key_domain = 400;
+  w.s.compressibility = 0.25;
+  w.s.seed = 12;
+  return w;
+}
+
+struct RunResult {
+  JoinStats stats;
+  JoinOutput reference;
+};
+
+Result<RunResult> RunAndReference(const exec::MachineConfig& machine_config,
+                                  const Workload& workload, JoinMethodId method) {
+  exec::Machine machine(machine_config);
+  RunResult result;
+  rel::Relation r, s;
+  TERTIO_ASSIGN_OR_RETURN(r, rel::GenerateOnTape(workload.r, &machine.tape_r()));
+  TERTIO_ASSIGN_OR_RETURN(s, rel::GenerateOnTape(workload.s, &machine.tape_s()));
+  machine.MountTapes();
+  TERTIO_ASSIGN_OR_RETURN(result.reference, ReferenceJoin(r, s, 0, 0));
+  JoinSpec spec;
+  spec.r = &r;
+  spec.s = &s;
+  auto executor = CreateJoinMethod(method);
+  join::JoinContext ctx = machine.context();
+  TERTIO_ASSIGN_OR_RETURN(result.stats, executor->Execute(spec, ctx));
+  return result;
+}
+
+class AllMethodsTest : public ::testing::TestWithParam<JoinMethodId> {};
+
+TEST_P(AllMethodsTest, MatchesReferenceOnForeignKeyWorkload) {
+  auto result = RunAndReference(SmallMachine(), DefaultWorkload(), GetParam());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->stats.output_valid);
+  // FK-uniform S over unique R keys: every S tuple matches exactly once.
+  EXPECT_EQ(result->reference.tuples(), 2000u);
+  EXPECT_EQ(result->stats.output_tuples, result->reference.tuples());
+  EXPECT_EQ(result->stats.output_checksum, result->reference.checksum());
+}
+
+TEST_P(AllMethodsTest, MatchesReferenceOnManyToManyWorkload) {
+  Workload w = DefaultWorkload();
+  w.r.keys = rel::KeySequence::kUniformRandom;  // duplicate keys on both sides
+  w.r.key_domain = 120;
+  w.s.key_domain = 120;
+  auto result = RunAndReference(SmallMachine(), w, GetParam());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->reference.tuples(), 2000u);  // duplicates multiply matches
+  EXPECT_EQ(result->stats.output_tuples, result->reference.tuples());
+  EXPECT_EQ(result->stats.output_checksum, result->reference.checksum());
+}
+
+TEST_P(AllMethodsTest, MatchesReferenceOnZipfSkew) {
+  Workload w = DefaultWorkload();
+  w.s.keys = rel::KeySequence::kZipf;
+  w.s.key_domain = 400;
+  w.s.zipf_theta = 1.0;
+  auto result = RunAndReference(SmallMachine(), w, GetParam());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.output_tuples, result->reference.tuples());
+  EXPECT_EQ(result->stats.output_checksum, result->reference.checksum());
+}
+
+TEST_P(AllMethodsTest, MatchesReferenceOnLowSelectivity) {
+  Workload w = DefaultWorkload();
+  // S keys drawn from a domain 10x wider than R: ~10% of S tuples match.
+  w.s.key_domain = 4000;
+  auto result = RunAndReference(SmallMachine(), w, GetParam());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LT(result->reference.tuples(), 500u);
+  EXPECT_GT(result->reference.tuples(), 50u);
+  EXPECT_EQ(result->stats.output_tuples, result->reference.tuples());
+  EXPECT_EQ(result->stats.output_checksum, result->reference.checksum());
+}
+
+TEST_P(AllMethodsTest, MatchesReferenceWhenRelationsEqualSize) {
+  Workload w = DefaultWorkload();
+  w.s.tuple_count = w.r.tuple_count;
+  auto result = RunAndReference(SmallMachine(), w, GetParam());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.output_tuples, result->reference.tuples());
+  EXPECT_EQ(result->stats.output_checksum, result->reference.checksum());
+}
+
+TEST_P(AllMethodsTest, TimingInvariantsHold) {
+  auto result = RunAndReference(SmallMachine(), DefaultWorkload(), GetParam());
+  ASSERT_TRUE(result.ok()) << result.status();
+  const JoinStats& stats = result->stats;
+  EXPECT_GT(stats.response_seconds, 0.0);
+  EXPECT_GE(stats.step1_seconds, 0.0);
+  EXPECT_GE(stats.step2_seconds, 0.0);
+  EXPECT_NEAR(stats.step1_seconds + stats.step2_seconds, stats.response_seconds,
+              stats.response_seconds * 0.05 + 1e-6);
+  EXPECT_GE(stats.r_scans, 1u);
+  EXPECT_GE(stats.iterations, 1u);
+  // Both relations are read off tape at least once.
+  EXPECT_GE(stats.tape_blocks_read, 40u + 200u);
+}
+
+TEST_P(AllMethodsTest, ScratchStateRestoredAfterRun) {
+  exec::Machine machine(SmallMachine());
+  Workload w = DefaultWorkload();
+  auto r = rel::GenerateOnTape(w.r, &machine.tape_r());
+  auto s = rel::GenerateOnTape(w.s, &machine.tape_s());
+  ASSERT_TRUE(r.ok() && s.ok());
+  machine.MountTapes();
+  BlockCount tape_r_size = machine.tape_r().size_blocks();
+  BlockCount tape_s_size = machine.tape_s().size_blocks();
+  JoinSpec spec;
+  spec.r = &r.value();
+  spec.s = &s.value();
+  auto executor = CreateJoinMethod(GetParam());
+  join::JoinContext ctx = machine.context();
+  auto stats = executor->Execute(spec, ctx);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(machine.memory().reserved_blocks(), 0u);
+  EXPECT_EQ(machine.disks().allocator().used_blocks(), 0u);
+  EXPECT_EQ(machine.tape_r().size_blocks(), tape_r_size);
+  EXPECT_EQ(machine.tape_s().size_blocks(), tape_s_size);
+}
+
+TEST_P(AllMethodsTest, BackToBackRunsAgree) {
+  // Two consecutive runs on the same machine must produce identical results
+  // and (since scratch state is restored) identical response times.
+  exec::Machine machine(SmallMachine());
+  Workload w = DefaultWorkload();
+  auto r = rel::GenerateOnTape(w.r, &machine.tape_r());
+  auto s = rel::GenerateOnTape(w.s, &machine.tape_s());
+  ASSERT_TRUE(r.ok() && s.ok());
+  machine.MountTapes();
+  JoinSpec spec;
+  spec.r = &r.value();
+  spec.s = &s.value();
+  auto executor = CreateJoinMethod(GetParam());
+  join::JoinContext ctx = machine.context();
+  auto first = executor->Execute(spec, ctx);
+  ASSERT_TRUE(first.ok()) << first.status();
+  // The second run pays a head locate back to the relations' start (the
+  // first run found the heads parked there), so compare steady-state runs.
+  auto second = executor->Execute(spec, ctx);
+  ASSERT_TRUE(second.ok()) << second.status();
+  auto third = executor->Execute(spec, ctx);
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_EQ(first->output_checksum, second->output_checksum);
+  EXPECT_EQ(second->output_checksum, third->output_checksum);
+  EXPECT_NEAR(second->response_seconds, third->response_seconds,
+              second->response_seconds * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSeven, AllMethodsTest, ::testing::ValuesIn(kAllJoinMethods),
+                         [](const ::testing::TestParamInfo<JoinMethodId>& info) {
+                           std::string name(JoinMethodName(info.param));
+                           for (char& c : name) {
+                             if (c == '-' || c == '/') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(TapeTapeOnlyTest, TapeTapeMethodsWorkWithDiskSmallerThanR) {
+  // D = 24 blocks < |R| = 40 blocks: the defining regime of Section 5.2.
+  exec::MachineConfig config = SmallMachine(/*disk_bytes=*/24 * kBlock);
+  for (JoinMethodId method : {JoinMethodId::kCttGh, JoinMethodId::kTtGh}) {
+    auto result = RunAndReference(config, DefaultWorkload(), method);
+    ASSERT_TRUE(result.ok()) << JoinMethodName(method) << ": " << result.status();
+    EXPECT_EQ(result->stats.output_tuples, result->reference.tuples());
+    EXPECT_EQ(result->stats.output_checksum, result->reference.checksum());
+  }
+}
+
+TEST(TapeTapeOnlyTest, DiskTapeMethodsRejectDiskSmallerThanR) {
+  exec::MachineConfig config = SmallMachine(/*disk_bytes=*/24 * kBlock);
+  for (JoinMethodId method : {JoinMethodId::kDtNb, JoinMethodId::kCdtNbMb,
+                              JoinMethodId::kCdtNbDb, JoinMethodId::kDtGh,
+                              JoinMethodId::kCdtGh}) {
+    auto result = RunAndReference(config, DefaultWorkload(), method);
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+        << JoinMethodName(method);
+  }
+}
+
+TEST(ValidationTest, SwappedRelationsRejected) {
+  exec::Machine machine(SmallMachine());
+  Workload w = DefaultWorkload();
+  auto r = rel::GenerateOnTape(w.r, &machine.tape_r());
+  auto s = rel::GenerateOnTape(w.s, &machine.tape_s());
+  ASSERT_TRUE(r.ok() && s.ok());
+  machine.MountTapes();
+  JoinSpec spec;
+  spec.r = &s.value();  // swapped: |R| > |S|
+  spec.s = &r.value();
+  auto executor = CreateJoinMethod(JoinMethodId::kCttGh);
+  join::JoinContext ctx = machine.context();
+  EXPECT_FALSE(executor->Execute(spec, ctx).ok());
+}
+
+TEST(ValidationTest, UnmountedTapesRejected) {
+  exec::Machine machine(SmallMachine());
+  Workload w = DefaultWorkload();
+  auto r = rel::GenerateOnTape(w.r, &machine.tape_r());
+  auto s = rel::GenerateOnTape(w.s, &machine.tape_s());
+  ASSERT_TRUE(r.ok() && s.ok());
+  // Tapes never mounted.
+  JoinSpec spec;
+  spec.r = &r.value();
+  spec.s = &s.value();
+  auto executor = CreateJoinMethod(JoinMethodId::kDtNb);
+  join::JoinContext ctx = machine.context();
+  EXPECT_EQ(executor->Execute(spec, ctx).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidationTest, MixedPhantomRealRejected) {
+  exec::Machine machine(SmallMachine());
+  Workload w = DefaultWorkload();
+  w.r.phantom = true;
+  auto r = rel::GenerateOnTape(w.r, &machine.tape_r());
+  auto s = rel::GenerateOnTape(w.s, &machine.tape_s());
+  ASSERT_TRUE(r.ok() && s.ok());
+  machine.MountTapes();
+  JoinSpec spec;
+  spec.r = &r.value();
+  spec.s = &s.value();
+  auto executor = CreateJoinMethod(JoinMethodId::kDtGh);
+  join::JoinContext ctx = machine.context();
+  EXPECT_FALSE(executor->Execute(spec, ctx).ok());
+}
+
+TEST(ReferenceJoinTest, RejectsPhantoms) {
+  exec::Machine machine(SmallMachine());
+  Workload w = DefaultWorkload();
+  w.r.phantom = true;
+  w.s.phantom = true;
+  auto r = rel::GenerateOnTape(w.r, &machine.tape_r());
+  auto s = rel::GenerateOnTape(w.s, &machine.tape_s());
+  ASSERT_TRUE(r.ok() && s.ok());
+  EXPECT_FALSE(ReferenceJoin(r.value(), s.value(), 0, 0).ok());
+}
+
+}  // namespace
+}  // namespace tertio::join
+
+namespace tertio::join {
+namespace {
+
+TEST(SkewHandlingTest, ExtremeSkewTriggersOverflowPathButStaysCorrect) {
+  // All S keys identical and one R key heavily duplicated: one bucket holds
+  // far more than |R|/B blocks, forcing the overflow (bucket slicing) path.
+  exec::Machine machine(SmallMachine(/*disk_bytes=*/96 * kBlock, /*memory_bytes=*/16 * kBlock));
+  Workload w = DefaultWorkload();
+  w.r.keys = rel::KeySequence::kUniformRandom;
+  w.r.key_domain = 3;  // three keys over 400 tuples: giant buckets
+  w.s.key_domain = 3;
+  w.s.tuple_count = 600;
+  rel::Relation r = rel::GenerateOnTape(w.r, &machine.tape_r()).value();
+  rel::Relation s = rel::GenerateOnTape(w.s, &machine.tape_s()).value();
+  machine.MountTapes();
+  auto reference = ReferenceJoin(r, s, 0, 0);
+  ASSERT_TRUE(reference.ok());
+  JoinSpec spec;
+  spec.r = &r;
+  spec.s = &s;
+  join::JoinContext ctx = machine.context();
+  for (JoinMethodId method : {JoinMethodId::kDtGh, JoinMethodId::kCdtGh,
+                              JoinMethodId::kCttGh}) {
+    auto stats = CreateJoinMethod(method)->Execute(spec, ctx);
+    ASSERT_TRUE(stats.ok()) << JoinMethodName(method) << ": " << stats.status();
+    EXPECT_GT(stats->bucket_overflow_slices, 0u) << JoinMethodName(method);
+    EXPECT_EQ(stats->output_tuples, reference->tuples()) << JoinMethodName(method);
+    EXPECT_EQ(stats->output_checksum, reference->checksum()) << JoinMethodName(method);
+  }
+}
+
+TEST(SkewHandlingTest, UniformKeysNeverOverflow) {
+  auto result = RunAndReference(SmallMachine(), DefaultWorkload(), JoinMethodId::kCdtGh);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.bucket_overflow_slices, 0u);
+}
+
+}  // namespace
+}  // namespace tertio::join

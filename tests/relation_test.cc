@@ -1,0 +1,269 @@
+// Unit tests for tertio_relation: schema, block codec, tuples, generator.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "relation/block.h"
+#include "relation/generator.h"
+#include "relation/relation.h"
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "tape/tape_volume.h"
+
+namespace tertio::rel {
+namespace {
+
+constexpr ByteCount kBlock = 1024;
+
+TEST(SchemaTest, OffsetsAndRecordBytes) {
+  auto schema = Schema::Create({{"a", ColumnType::kInt64, 0},
+                                {"b", ColumnType::kDouble, 0},
+                                {"c", ColumnType::kFixedChar, 12}});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->record_bytes(), 28u);
+  EXPECT_EQ(schema->offset(0), 0u);
+  EXPECT_EQ(schema->offset(1), 8u);
+  EXPECT_EQ(schema->offset(2), 16u);
+  EXPECT_EQ(schema->FindColumn("c").value(), 2u);
+  EXPECT_FALSE(schema->FindColumn("missing").ok());
+}
+
+TEST(SchemaTest, EmptyAndZeroWidthRejected) {
+  EXPECT_FALSE(Schema::Create({}).ok());
+  EXPECT_FALSE(Schema::Create({{"bad", ColumnType::kFixedChar, 0}}).ok());
+}
+
+TEST(SchemaTest, KeyPayloadHasRequestedWidth) {
+  Schema schema = Schema::KeyPayload(100);
+  EXPECT_EQ(schema.record_bytes(), 100u);
+  EXPECT_EQ(schema.column(0).name, "key");
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_TRUE(Schema::KeyPayload(100) == Schema::KeyPayload(100));
+  EXPECT_FALSE(Schema::KeyPayload(100) == Schema::KeyPayload(99));
+}
+
+TEST(SchemaTest, TuplesPerBlockAccountsForHeader) {
+  Schema schema = Schema::KeyPayload(100);
+  // (1024 - 8) / 100 = 10
+  EXPECT_EQ(TuplesPerBlock(schema, kBlock), 10u);
+}
+
+TEST(TupleTest, BuilderRoundTrips) {
+  auto schema = Schema::Create({{"k", ColumnType::kInt64, 0},
+                                {"v", ColumnType::kDouble, 0},
+                                {"s", ColumnType::kFixedChar, 8}});
+  ASSERT_TRUE(schema.ok());
+  TupleBuilder builder(&schema.value());
+  builder.SetInt64(0, -42).SetDouble(1, 2.5).SetFixedChar(2, "hi");
+  Tuple tuple(builder.bytes(), &schema.value());
+  EXPECT_EQ(tuple.GetInt64(0), -42);
+  EXPECT_DOUBLE_EQ(tuple.GetDouble(1), 2.5);
+  EXPECT_EQ(tuple.GetFixedChar(2).substr(0, 2), "hi");
+  EXPECT_EQ(tuple.GetFixedChar(2)[2], '\0');  // zero padded
+}
+
+TEST(TupleTest, FixedCharTruncatesLongInput) {
+  auto schema = Schema::Create({{"s", ColumnType::kFixedChar, 4}});
+  ASSERT_TRUE(schema.ok());
+  TupleBuilder builder(&schema.value());
+  builder.SetFixedChar(0, "abcdefgh");
+  Tuple tuple(builder.bytes(), &schema.value());
+  EXPECT_EQ(tuple.GetFixedChar(0), "abcd");
+}
+
+TEST(BlockTest, BuildAndReadBack) {
+  Schema schema = Schema::KeyPayload(100);
+  BlockBuilder builder(&schema, kBlock);
+  EXPECT_EQ(builder.capacity(), 10u);
+  TupleBuilder tuple(&schema);
+  for (int i = 0; i < 7; ++i) {
+    tuple.SetInt64(0, i * 11);
+    ASSERT_TRUE(builder.Append(tuple.bytes()).ok());
+  }
+  BlockPayload payload = builder.Finish();
+  EXPECT_EQ(payload->size(), kBlock);
+  auto reader = BlockReader::Open(payload, &schema);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->record_count(), 7u);
+  Tuple third(reader->record(2), &schema);
+  EXPECT_EQ(third.GetInt64(0), 22);
+}
+
+TEST(BlockTest, BuilderResetsAfterFinish) {
+  Schema schema = Schema::KeyPayload(100);
+  BlockBuilder builder(&schema, kBlock);
+  TupleBuilder tuple(&schema);
+  ASSERT_TRUE(builder.Append(tuple.bytes()).ok());
+  builder.Finish();
+  EXPECT_TRUE(builder.empty());
+  ASSERT_TRUE(builder.Append(tuple.bytes()).ok());
+  auto reader = BlockReader::Open(builder.Finish(), &schema);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->record_count(), 1u);
+}
+
+TEST(BlockTest, FullBlockRejectsAppend) {
+  Schema schema = Schema::KeyPayload(100);
+  BlockBuilder builder(&schema, kBlock);
+  TupleBuilder tuple(&schema);
+  for (BlockCount i = 0; i < builder.capacity(); ++i) {
+    ASSERT_TRUE(builder.Append(tuple.bytes()).ok());
+  }
+  EXPECT_TRUE(builder.full());
+  EXPECT_EQ(builder.Append(tuple.bytes()).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BlockTest, WrongRecordSizeRejected) {
+  Schema schema = Schema::KeyPayload(100);
+  BlockBuilder builder(&schema, kBlock);
+  std::vector<uint8_t> wrong(99);
+  EXPECT_FALSE(builder.Append(wrong).ok());
+}
+
+TEST(BlockTest, ReaderRejectsGarbage) {
+  Schema schema = Schema::KeyPayload(100);
+  EXPECT_FALSE(BlockReader::Open(nullptr, &schema).ok());  // phantom
+  EXPECT_FALSE(BlockReader::Open(MakePayload(std::vector<uint8_t>(4, 0)), &schema).ok());
+  EXPECT_FALSE(
+      BlockReader::Open(MakePayload(std::vector<uint8_t>(kBlock, 0xFF)), &schema).ok());
+}
+
+TEST(GeneratorTest, SequentialKeysAreUnique) {
+  tape::TapeVolume vol("t", kBlock);
+  GeneratorConfig config;
+  config.name = "r";
+  config.tuple_count = 250;
+  config.keys = KeySequence::kSequentialUnique;
+  config.compressibility = 0.0;
+  auto relation = GenerateOnTape(config, &vol);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->tuple_count, 250u);
+  EXPECT_EQ(relation->blocks, 25u);  // 10 tuples per 1 KiB block
+  EXPECT_EQ(vol.size_blocks(), 25u);
+
+  std::vector<BlockPayload> blocks;
+  for (BlockIndex i = 0; i < vol.size_blocks(); ++i) {
+    blocks.push_back(vol.ReadBlock(i).value());
+  }
+  std::set<int64_t> keys;
+  ASSERT_TRUE(ForEachTuple(blocks, &relation->schema, [&](const Tuple& t) {
+                keys.insert(t.GetInt64(0));
+              }).ok());
+  EXPECT_EQ(keys.size(), 250u);
+  EXPECT_EQ(*keys.begin(), 0);
+  EXPECT_EQ(*keys.rbegin(), 249);
+}
+
+TEST(GeneratorTest, ForeignKeysStayInDomain) {
+  tape::TapeVolume vol("t", kBlock);
+  GeneratorConfig config;
+  config.tuple_count = 1000;
+  config.keys = KeySequence::kForeignKeyUniform;
+  config.key_domain = 50;
+  auto relation = GenerateOnTape(config, &vol);
+  ASSERT_TRUE(relation.ok());
+  std::vector<BlockPayload> blocks;
+  for (BlockIndex i = 0; i < vol.size_blocks(); ++i) {
+    blocks.push_back(vol.ReadBlock(i).value());
+  }
+  std::map<int64_t, int> histogram;
+  ASSERT_TRUE(ForEachTuple(blocks, &relation->schema, [&](const Tuple& t) {
+                histogram[t.GetInt64(0)]++;
+              }).ok());
+  for (const auto& [key, count] : histogram) {
+    EXPECT_GE(key, 0);
+    EXPECT_LT(key, 50);
+  }
+  // Uniform: every key should appear (1000 draws over 50 keys).
+  EXPECT_EQ(histogram.size(), 50u);
+}
+
+TEST(GeneratorTest, ZipfIsSkewed) {
+  tape::TapeVolume vol("t", kBlock);
+  GeneratorConfig config;
+  config.tuple_count = 5000;
+  config.keys = KeySequence::kZipf;
+  config.key_domain = 1000;
+  config.zipf_theta = 1.0;
+  auto relation = GenerateOnTape(config, &vol);
+  ASSERT_TRUE(relation.ok());
+  std::vector<BlockPayload> blocks;
+  for (BlockIndex i = 0; i < vol.size_blocks(); ++i) {
+    blocks.push_back(vol.ReadBlock(i).value());
+  }
+  std::map<int64_t, uint64_t> histogram;
+  ASSERT_TRUE(ForEachTuple(blocks, &relation->schema, [&](const Tuple& t) {
+                histogram[t.GetInt64(0)]++;
+              }).ok());
+  uint64_t max_count = 0;
+  for (const auto& [key, count] : histogram) max_count = std::max(max_count, count);
+  // The hottest key is far above the uniform expectation of 5 per key.
+  EXPECT_GT(max_count, 50u);
+}
+
+TEST(GeneratorTest, PhantomModeWritesNoBytes) {
+  tape::TapeVolume vol("t", kBlock);
+  GeneratorConfig config;
+  config.tuple_count = 10'000'000;  // 10M tuples: instant in phantom mode
+  config.phantom = true;
+  auto relation = GenerateOnTape(config, &vol);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_TRUE(relation->phantom);
+  EXPECT_EQ(relation->blocks, vol.size_blocks());
+  EXPECT_EQ(vol.ReadBlock(0).value(), nullptr);
+}
+
+TEST(GeneratorTest, DeterministicAcrossRuns) {
+  GeneratorConfig config;
+  config.tuple_count = 100;
+  config.keys = KeySequence::kUniformRandom;
+  config.key_domain = 1000;
+  config.seed = 7;
+  tape::TapeVolume v1("a", kBlock), v2("b", kBlock);
+  ASSERT_TRUE(GenerateOnTape(config, &v1).ok());
+  ASSERT_TRUE(GenerateOnTape(config, &v2).ok());
+  for (BlockIndex i = 0; i < v1.size_blocks(); ++i) {
+    EXPECT_EQ(*v1.ReadBlock(i).value(), *v2.ReadBlock(i).value());
+  }
+}
+
+TEST(GeneratorTest, StartBlockTracksAppendPosition) {
+  tape::TapeVolume vol("t", kBlock);
+  ASSERT_TRUE(vol.AppendPhantom(17, 0.0).ok());
+  GeneratorConfig config;
+  config.tuple_count = 30;
+  auto relation = GenerateOnTape(config, &vol);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->start_block, 17u);
+}
+
+TEST(GeneratorTest, InvalidConfigRejected) {
+  tape::TapeVolume vol("t", kBlock);
+  GeneratorConfig config;
+  config.record_bytes = 8;  // no room for payload
+  EXPECT_FALSE(GenerateOnTape(config, &vol).ok());
+  config = GeneratorConfig{};
+  config.compressibility = 1.0;
+  EXPECT_FALSE(GenerateOnTape(config, &vol).ok());
+  EXPECT_FALSE(GenerateOnTape(GeneratorConfig{}, nullptr).ok());
+}
+
+TEST(GeneratorTest, CountTuplesMatchesDescriptor) {
+  tape::TapeVolume vol("t", kBlock);
+  GeneratorConfig config;
+  config.tuple_count = 123;
+  auto relation = GenerateOnTape(config, &vol);
+  ASSERT_TRUE(relation.ok());
+  std::vector<BlockPayload> blocks;
+  for (BlockIndex i = 0; i < vol.size_blocks(); ++i) {
+    blocks.push_back(vol.ReadBlock(i).value());
+  }
+  EXPECT_EQ(CountTuples(blocks, &relation->schema).value(), 123u);
+}
+
+}  // namespace
+}  // namespace tertio::rel

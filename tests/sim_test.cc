@@ -1,0 +1,220 @@
+// Unit tests for tertio_sim: resource timelines, task graphs, simulation.
+
+#include <gtest/gtest.h>
+
+#include "sim/interval.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+#include "sim/task_graph.h"
+
+namespace tertio::sim {
+namespace {
+
+TEST(IntervalTest, DurationAndHull) {
+  Interval a{1.0, 3.0};
+  Interval b{2.0, 5.0};
+  EXPECT_DOUBLE_EQ(a.duration(), 2.0);
+  Interval h = Interval::Hull(a, b);
+  EXPECT_DOUBLE_EQ(h.start, 1.0);
+  EXPECT_DOUBLE_EQ(h.end, 5.0);
+  EXPECT_DOUBLE_EQ(Interval::At(4.0).duration(), 0.0);
+}
+
+TEST(ResourceTest, FifoSerialization) {
+  Resource r("dev");
+  Interval a = r.Schedule(0.0, 10.0);
+  Interval b = r.Schedule(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(a.start, 0.0);
+  EXPECT_DOUBLE_EQ(a.end, 10.0);
+  EXPECT_DOUBLE_EQ(b.start, 10.0);  // queued behind a
+  EXPECT_DOUBLE_EQ(b.end, 15.0);
+  EXPECT_DOUBLE_EQ(r.available_at(), 15.0);
+}
+
+TEST(ResourceTest, ReadyTimeDelaysStart) {
+  Resource r("dev");
+  Interval a = r.Schedule(100.0, 5.0);
+  EXPECT_DOUBLE_EQ(a.start, 100.0);
+  EXPECT_DOUBLE_EQ(a.end, 105.0);
+  // Device idles between ops when the next op is not ready.
+  Interval b = r.Schedule(200.0, 1.0);
+  EXPECT_DOUBLE_EQ(b.start, 200.0);
+}
+
+TEST(ResourceTest, StatsAccumulate) {
+  Resource r("dev");
+  r.Schedule(0.0, 2.0, 1000, "read");
+  r.Schedule(10.0, 3.0, 2000, "write");
+  EXPECT_EQ(r.stats().op_count, 2u);
+  EXPECT_EQ(r.stats().bytes_transferred, 3000u);
+  EXPECT_DOUBLE_EQ(r.stats().busy_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(r.stats().horizon, 13.0);
+}
+
+TEST(ResourceTest, UtilizationAgainstHorizonAndFixedSpan) {
+  Resource r("dev");
+  r.Schedule(0.0, 4.0);
+  r.Schedule(6.0, 4.0);  // horizon 10, busy 8
+  EXPECT_DOUBLE_EQ(r.Utilization(), 0.8);
+  EXPECT_DOUBLE_EQ(r.Utilization(20.0), 0.4);
+  EXPECT_DOUBLE_EQ(Resource("idle").Utilization(), 0.0);
+}
+
+TEST(ResourceTest, TraceRecordsOps) {
+  Resource r("dev");
+  r.EnableTrace();
+  r.Schedule(0.0, 1.0, 10, "a");
+  r.Schedule(0.0, 2.0, 20, "b");
+  ASSERT_EQ(r.trace().size(), 2u);
+  EXPECT_EQ(r.trace()[0].tag, "a");
+  EXPECT_EQ(r.trace()[1].bytes, 20u);
+  EXPECT_DOUBLE_EQ(r.trace()[1].interval.start, 1.0);
+}
+
+TEST(ResourceTest, TraceOffByDefault) {
+  Resource r("dev");
+  r.Schedule(0.0, 1.0);
+  EXPECT_TRUE(r.trace().empty());
+}
+
+TEST(ResourceTest, ResetClearsEverything) {
+  Resource r("dev");
+  r.EnableTrace();
+  r.Schedule(0.0, 5.0, 100, "x");
+  r.Reset();
+  EXPECT_DOUBLE_EQ(r.available_at(), 0.0);
+  EXPECT_EQ(r.stats().op_count, 0u);
+  EXPECT_TRUE(r.trace().empty());
+}
+
+TEST(TaskGraphTest, IndependentTasksOnDistinctResourcesOverlap) {
+  Resource tape("tape"), disk("disk");
+  TaskGraph g;
+  g.Add(&tape, 10.0, {});
+  g.Add(&disk, 4.0, {});
+  auto makespan = g.Run();
+  ASSERT_TRUE(makespan.ok());
+  EXPECT_DOUBLE_EQ(makespan.value(), 10.0);  // parallel, not 14
+}
+
+TEST(TaskGraphTest, DependencyForcesSequencing) {
+  Resource tape("tape"), disk("disk");
+  TaskGraph g;
+  TaskId read = g.Add(&tape, 10.0, {});
+  g.Add(&disk, 4.0, {read});
+  auto makespan = g.Run();
+  ASSERT_TRUE(makespan.ok());
+  EXPECT_DOUBLE_EQ(makespan.value(), 14.0);
+  EXPECT_DOUBLE_EQ(g.interval(1).start, 10.0);
+}
+
+TEST(TaskGraphTest, ResourceContentionSerializes) {
+  Resource disk("disk");
+  TaskGraph g;
+  g.Add(&disk, 3.0, {});
+  g.Add(&disk, 3.0, {});
+  auto makespan = g.Run();
+  ASSERT_TRUE(makespan.ok());
+  EXPECT_DOUBLE_EQ(makespan.value(), 6.0);
+}
+
+TEST(TaskGraphTest, PipelineOverlapsStages) {
+  // Classic two-stage pipeline: producer (tape) feeds consumer (disk),
+  // 4 chunks, producer 5 s/chunk, consumer 3 s/chunk.
+  Resource tape("tape"), disk("disk");
+  TaskGraph g;
+  TaskId prev_read = 0;
+  for (int i = 0; i < 4; ++i) {
+    TaskId read = g.Add(&tape, 5.0, {});
+    g.Add(&disk, 3.0, {read});
+    prev_read = read;
+  }
+  (void)prev_read;
+  auto makespan = g.Run();
+  ASSERT_TRUE(makespan.ok());
+  // Producer finishes at 20; last consume starts at 20, ends at 23.
+  EXPECT_DOUBLE_EQ(makespan.value(), 23.0);
+}
+
+TEST(TaskGraphTest, ForwardDependencyRejected) {
+  Resource r("dev");
+  TaskGraph g;
+  g.Add(&r, 1.0, {5});  // depends on a task that does not exist yet
+  EXPECT_FALSE(g.Run().ok());
+}
+
+TEST(TaskGraphTest, ActionsRunInDispatchOrder) {
+  Resource r("dev");
+  TaskGraph g;
+  std::vector<int> order;
+  g.Add(&r, 1.0, {}, "t0", [&] { order.push_back(0); });
+  g.Add(&r, 1.0, {0}, "t1", [&] { order.push_back(1); });
+  ASSERT_TRUE(g.Run().ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(SimulationTest, HorizonSpansResources) {
+  Simulation sim;
+  Resource* a = sim.CreateResource("a");
+  Resource* b = sim.CreateResource("b");
+  a->Schedule(0.0, 7.0);
+  b->Schedule(0.0, 11.0);
+  EXPECT_DOUBLE_EQ(sim.Horizon(), 11.0);
+  sim.Reset();
+  EXPECT_DOUBLE_EQ(sim.Horizon(), 0.0);
+  EXPECT_EQ(sim.resources().size(), 2u);
+}
+
+}  // namespace
+}  // namespace tertio::sim
+
+// ---- Trace report ----------------------------------------------------------
+
+#include <sstream>
+
+#include "sim/trace_report.h"
+
+namespace tertio::sim {
+namespace {
+
+TEST(TraceReportTest, GanttShowsBusyAndIdle) {
+  Simulation sim;
+  Resource* tape = sim.CreateResource("tape");
+  Resource* disk = sim.CreateResource("disk");
+  tape->EnableTrace();
+  disk->EnableTrace();
+  tape->Schedule(0.0, 50.0, 0, "read");   // busy first half
+  disk->Schedule(50.0, 50.0, 0, "write"); // busy second half
+  GanttOptions options;
+  options.width = 10;
+  std::string gantt = RenderGantt(sim, options);
+  // tape: #####.....  disk: .....#####
+  EXPECT_NE(gantt.find("tape  #####....."), std::string::npos) << gantt;
+  EXPECT_NE(gantt.find("disk  .....#####"), std::string::npos) << gantt;
+  EXPECT_NE(gantt.find("50%"), std::string::npos);
+}
+
+TEST(TraceReportTest, UntracedResourceIsFlagged) {
+  Simulation sim;
+  Resource* r = sim.CreateResource("quiet");
+  r->Schedule(0.0, 10.0);
+  std::string gantt = RenderGantt(sim);
+  EXPECT_NE(gantt.find("(no trace)"), std::string::npos);
+}
+
+TEST(TraceReportTest, CsvListsEveryOp) {
+  Simulation sim;
+  Resource* r = sim.CreateResource("dev");
+  r->EnableTrace();
+  r->Schedule(0.0, 1.0, 100, "a");
+  r->Schedule(0.0, 2.0, 200, "b");
+  std::ostringstream out;
+  WriteTraceCsv(sim, out);
+  std::string csv = out.str();
+  EXPECT_NE(csv.find("resource,tag,start,end,bytes"), std::string::npos);
+  EXPECT_NE(csv.find("dev,a,0,1,100"), std::string::npos);
+  EXPECT_NE(csv.find("dev,b,1,3,200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tertio::sim

@@ -1,0 +1,499 @@
+// Unit tests for tertio_tape: volumes, drives, compression, library robot.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/simulation.h"
+#include "tape/tape_drive.h"
+#include "tape/tape_library.h"
+#include "tape/tape_scheduler.h"
+#include "tape/tape_model.h"
+#include "tape/tape_volume.h"
+
+namespace tertio::tape {
+namespace {
+
+constexpr ByteCount kBlock = 1000;  // 1 KB blocks for readable arithmetic
+
+BlockPayload MakeBlock(uint8_t fill) {
+  return MakePayload(std::vector<uint8_t>(kBlock, fill));
+}
+
+TEST(TapeVolumeTest, AppendAndRead) {
+  TapeVolume vol("t", kBlock);
+  ASSERT_TRUE(vol.Append(MakeBlock(1), 0.0).ok());
+  ASSERT_TRUE(vol.Append(MakeBlock(2), 0.0).ok());
+  EXPECT_EQ(vol.size_blocks(), 2u);
+  EXPECT_EQ(vol.size_bytes(), 2 * kBlock);
+  auto p = vol.ReadBlock(1);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p.value())[0], 2);
+}
+
+TEST(TapeVolumeTest, PhantomBlocksReadAsNull) {
+  TapeVolume vol("t", kBlock);
+  ASSERT_TRUE(vol.AppendPhantom(100, 0.25).ok());
+  EXPECT_EQ(vol.size_blocks(), 100u);
+  auto p = vol.ReadBlock(50);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value(), nullptr);
+  EXPECT_DOUBLE_EQ(vol.Compressibility(50).value(), 0.25);
+}
+
+TEST(TapeVolumeTest, CapacityEnforced) {
+  TapeVolume vol("t", kBlock, /*capacity_blocks=*/2);
+  ASSERT_TRUE(vol.AppendPhantom(2, 0.0).ok());
+  EXPECT_EQ(vol.AppendPhantom(1, 0.0).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(vol.Append(MakeBlock(1), 0.0).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(TapeVolumeTest, OutOfRangeReadRejected) {
+  TapeVolume vol("t", kBlock);
+  ASSERT_TRUE(vol.AppendPhantom(5, 0.0).ok());
+  EXPECT_FALSE(vol.ReadBlock(5).ok());
+  EXPECT_FALSE(vol.MeanCompressibility(3, 3).ok());
+}
+
+TEST(TapeVolumeTest, InvalidCompressibilityRejected) {
+  TapeVolume vol("t", kBlock);
+  EXPECT_FALSE(vol.AppendPhantom(1, -0.1).ok());
+  EXPECT_FALSE(vol.AppendPhantom(1, 1.0).ok());
+}
+
+TEST(TapeVolumeTest, TruncateReclaimsScratchSpace) {
+  TapeVolume vol("t", kBlock);
+  ASSERT_TRUE(vol.AppendPhantom(10, 0.0).ok());
+  ASSERT_TRUE(vol.Truncate(4).ok());
+  EXPECT_EQ(vol.size_blocks(), 4u);
+  EXPECT_FALSE(vol.Truncate(5).ok());
+}
+
+TEST(TapeVolumeTest, MeanCompressibilityAverages) {
+  TapeVolume vol("t", kBlock);
+  ASSERT_TRUE(vol.AppendPhantom(2, 0.0).ok());
+  ASSERT_TRUE(vol.AppendPhantom(2, 0.5).ok());
+  EXPECT_NEAR(vol.MeanCompressibility(0, 4).value(), 0.25, 1e-9);
+}
+
+TEST(TapeModelTest, CompressionRaisesEffectiveRate) {
+  TapeDriveModel m = TapeDriveModel::DLT4000();
+  EXPECT_DOUBLE_EQ(m.EffectiveRate(0.0), m.native_rate_bps);
+  EXPECT_NEAR(m.EffectiveRate(0.25), m.native_rate_bps / 0.75, 1e-6);
+  // 50%-compressible hits the 2:1 cap exactly.
+  EXPECT_NEAR(m.EffectiveRate(0.5), m.native_rate_bps * 2.0, 1e-6);
+  // Beyond-cap compressibility stays capped.
+  EXPECT_NEAR(m.EffectiveRate(0.9), m.native_rate_bps * 2.0, 1e-6);
+}
+
+TEST(TapeModelTest, CompressionDisabledIgnoresCompressibility) {
+  TapeDriveModel m = TapeDriveModel::DLT4000();
+  m.compression_enabled = false;
+  EXPECT_DOUBLE_EQ(m.EffectiveRate(0.5), m.native_rate_bps);
+}
+
+class TapeDriveTest : public ::testing::Test {
+ protected:
+  TapeDriveTest()
+      : vol_("t", kBlock),
+        drive_("drv", TapeDriveModel::Ideal(/*rate_bps=*/1000.0), sim_.CreateResource("tape")) {}
+
+  sim::Simulation sim_;
+  TapeVolume vol_;
+  TapeDrive drive_;
+};
+
+TEST_F(TapeDriveTest, ReadRequiresLoadedTape) {
+  EXPECT_EQ(drive_.Read(0, 1, 0.0).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(drive_.Rewind(0.0).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TapeDriveTest, SequentialReadCostsTransferTime) {
+  ASSERT_TRUE(vol_.AppendPhantom(10, 0.0).ok());
+  ASSERT_TRUE(drive_.Load(&vol_, 0.0).ok());
+  // 10 blocks * 1000 B at 1000 B/s = 10 s.
+  auto iv = drive_.Read(0, 10, 0.0);
+  ASSERT_TRUE(iv.ok());
+  EXPECT_DOUBLE_EQ(iv->duration(), 10.0);
+  EXPECT_EQ(drive_.head_position(), 10u);
+  EXPECT_EQ(drive_.stats().blocks_read, 10u);
+}
+
+TEST_F(TapeDriveTest, ContiguousReadsStreamWithoutPenalty) {
+  ASSERT_TRUE(vol_.AppendPhantom(10, 0.0).ok());
+  ASSERT_TRUE(drive_.Load(&vol_, 0.0).ok());
+  ASSERT_TRUE(drive_.Read(0, 5, 0.0).ok());
+  auto iv = drive_.Read(5, 5, 100.0);  // idle gap, but contiguous: no reposition
+  ASSERT_TRUE(iv.ok());
+  EXPECT_DOUBLE_EQ(iv->duration(), 5.0);
+  EXPECT_EQ(drive_.stats().reposition_count, 0u);
+}
+
+TEST_F(TapeDriveTest, AppendReadsBackCorrectly) {
+  ASSERT_TRUE(drive_.Load(&vol_, 0.0).ok());
+  std::vector<BlockPayload> blocks{MakeBlock(7), MakeBlock(8)};
+  ASSERT_TRUE(drive_.Append(blocks, 0.0, 0.0).ok());
+  std::vector<BlockPayload> out;
+  ASSERT_TRUE(drive_.Read(0, 2, 10.0, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ((*out[0])[0], 7);
+  EXPECT_EQ((*out[1])[0], 8);
+}
+
+TEST_F(TapeDriveTest, RewindResetsHead) {
+  ASSERT_TRUE(vol_.AppendPhantom(10, 0.0).ok());
+  ASSERT_TRUE(drive_.Load(&vol_, 0.0).ok());
+  ASSERT_TRUE(drive_.Read(0, 10, 0.0).ok());
+  ASSERT_TRUE(drive_.Rewind(0.0).ok());
+  EXPECT_EQ(drive_.head_position(), 0u);
+  EXPECT_EQ(drive_.stats().rewind_count, 1u);
+}
+
+TEST_F(TapeDriveTest, ReadReverseWhenSupported) {
+  ASSERT_TRUE(vol_.Append(MakeBlock(1), 0.0).ok());
+  ASSERT_TRUE(vol_.Append(MakeBlock(2), 0.0).ok());
+  ASSERT_TRUE(drive_.Load(&vol_, 0.0).ok());
+  ASSERT_TRUE(drive_.Read(0, 2, 0.0).ok());
+  std::vector<BlockPayload> out;
+  auto iv = drive_.ReadReverse(2, 0.0, &out);
+  ASSERT_TRUE(iv.ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ((*out[0])[0], 2);  // reverse order
+  EXPECT_EQ((*out[1])[0], 1);
+  EXPECT_EQ(drive_.head_position(), 0u);
+}
+
+TEST_F(TapeDriveTest, ReadReverseBeyondBotRejected) {
+  ASSERT_TRUE(vol_.AppendPhantom(2, 0.0).ok());
+  ASSERT_TRUE(drive_.Load(&vol_, 0.0).ok());
+  ASSERT_TRUE(drive_.Read(0, 1, 0.0).ok());
+  EXPECT_FALSE(drive_.ReadReverse(2, 0.0).ok());
+}
+
+TEST(TapeDriveRealisticTest, SeekChargesLocateAndReposition) {
+  sim::Simulation sim;
+  TapeDriveModel model = TapeDriveModel::DLT4000();
+  TapeVolume vol("t", kBlock);
+  ASSERT_TRUE(vol.AppendPhantom(1000, 0.0).ok());
+  TapeDrive drive("drv", model, sim.CreateResource("tape"));
+  ASSERT_TRUE(drive.Load(&vol, 0.0).ok());
+  ASSERT_TRUE(drive.Read(0, 10, 0.0).ok());
+  auto iv = drive.Read(500, 10, 1000.0);  // discontiguous: locate + reposition
+  ASSERT_TRUE(iv.ok());
+  double transfer = 10 * kBlock / model.native_rate_bps;
+  double locate = model.locate_base_seconds +
+                  model.locate_seconds_per_byte * (500.0 - 10.0) * kBlock +
+                  model.reposition_seconds;
+  EXPECT_NEAR(iv->duration(), transfer + locate, 1e-9);
+  EXPECT_EQ(drive.stats().reposition_count, 1u);
+  EXPECT_EQ(drive.stats().locate_count, 1u);
+}
+
+TEST(TapeDriveRealisticTest, ReadReverseUnimplementedOnDlt) {
+  sim::Simulation sim;
+  TapeVolume vol("t", kBlock);
+  ASSERT_TRUE(vol.AppendPhantom(10, 0.0).ok());
+  TapeDrive drive("drv", TapeDriveModel::DLT4000(), sim.CreateResource("tape"));
+  ASSERT_TRUE(drive.Load(&vol, 0.0).ok());
+  ASSERT_TRUE(drive.Read(0, 10, 0.0).ok());
+  EXPECT_EQ(drive.ReadReverse(5, 0.0).status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(TapeDriveRealisticTest, CompressibleDataTransfersFaster) {
+  sim::Simulation sim;
+  TapeDriveModel model = TapeDriveModel::DLT4000();
+  TapeVolume vol("t", kBlock);
+  ASSERT_TRUE(vol.AppendPhantom(100, 0.25).ok());
+  TapeDrive drive("drv", model, sim.CreateResource("tape"));
+  ASSERT_TRUE(drive.Load(&vol, 0.0).ok());
+  auto iv = drive.Read(0, 100, 0.0);
+  ASSERT_TRUE(iv.ok());
+  double expected = 100.0 * kBlock / (model.native_rate_bps / 0.75);
+  EXPECT_NEAR(iv->duration(), expected, 1e-9);
+}
+
+TEST(TapeLibraryTest, MountChargesRobotAndLoad) {
+  sim::Simulation sim;
+  TapeLibraryModel lm = TapeLibraryModel::SmallAutoloader();
+  TapeLibrary library(lm, sim.CreateResource("robot"));
+  auto slot = library.AddCartridge(std::make_unique<TapeVolume>("t0", kBlock));
+  ASSERT_TRUE(slot.ok());
+  TapeDriveModel dm = TapeDriveModel::DLT4000();
+  TapeDrive drive("drv", dm, sim.CreateResource("tape"));
+  auto iv = library.Mount(slot.value(), &drive, 0.0);
+  ASSERT_TRUE(iv.ok());
+  EXPECT_DOUBLE_EQ(iv->end, lm.exchange_seconds + dm.load_seconds);
+  EXPECT_TRUE(drive.loaded());
+}
+
+TEST(TapeLibraryTest, RemountIsNoOp) {
+  sim::Simulation sim;
+  TapeLibrary library(TapeLibraryModel::SmallAutoloader(), sim.CreateResource("robot"));
+  auto slot = library.AddCartridge(std::make_unique<TapeVolume>("t0", kBlock));
+  TapeDrive drive("drv", TapeDriveModel::Ideal(1000), sim.CreateResource("tape"));
+  ASSERT_TRUE(library.Mount(slot.value(), &drive, 0.0).ok());
+  auto again = library.Mount(slot.value(), &drive, 50.0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_DOUBLE_EQ(again->duration(), 0.0);
+}
+
+TEST(TapeLibraryTest, ExchangeReturnsPreviousCartridge) {
+  sim::Simulation sim;
+  TapeLibraryModel lm = TapeLibraryModel::SmallAutoloader();
+  TapeLibrary library(lm, sim.CreateResource("robot"));
+  auto s0 = library.AddCartridge(std::make_unique<TapeVolume>("t0", kBlock));
+  auto s1 = library.AddCartridge(std::make_unique<TapeVolume>("t1", kBlock));
+  TapeDrive drive("drv", TapeDriveModel::Ideal(1000), sim.CreateResource("tape"));
+  ASSERT_TRUE(library.Mount(s0.value(), &drive, 0.0).ok());
+  auto iv = library.Mount(s1.value(), &drive, 100.0);
+  ASSERT_TRUE(iv.ok());
+  // eject trip + inject trip
+  EXPECT_DOUBLE_EQ(iv->end, 100.0 + 2 * lm.exchange_seconds);
+  // Old cartridge is home again: can be mounted into another drive.
+  TapeDrive drive2("drv2", TapeDriveModel::Ideal(1000), sim.CreateResource("tape2"));
+  EXPECT_TRUE(library.Mount(s0.value(), &drive2, 300.0).ok());
+}
+
+TEST(TapeLibraryTest, MountedElsewhereRejected) {
+  sim::Simulation sim;
+  TapeLibrary library(TapeLibraryModel::SmallAutoloader(), sim.CreateResource("robot"));
+  auto s0 = library.AddCartridge(std::make_unique<TapeVolume>("t0", kBlock));
+  TapeDrive a("a", TapeDriveModel::Ideal(1000), sim.CreateResource("ta"));
+  TapeDrive b("b", TapeDriveModel::Ideal(1000), sim.CreateResource("tb"));
+  ASSERT_TRUE(library.Mount(s0.value(), &a, 0.0).ok());
+  EXPECT_EQ(library.Mount(s0.value(), &b, 0.0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TapeLibraryTest, DismountStowsCartridge) {
+  sim::Simulation sim;
+  TapeLibrary library(TapeLibraryModel::SmallAutoloader(), sim.CreateResource("robot"));
+  auto s0 = library.AddCartridge(std::make_unique<TapeVolume>("t0", kBlock));
+  TapeDrive drive("drv", TapeDriveModel::Ideal(1000), sim.CreateResource("tape"));
+  ASSERT_TRUE(library.Mount(s0.value(), &drive, 0.0).ok());
+  ASSERT_TRUE(library.Dismount(&drive, 10.0).ok());
+  EXPECT_FALSE(drive.loaded());
+  // Exchange-time claim of Section 3.2: one exchange is seconds, reading a
+  // full cartridge is hours — checked in cost_test at full scale.
+}
+
+TEST(TapeLibraryTest, SlotLimitEnforced) {
+  sim::Simulation sim;
+  TapeLibraryModel lm;
+  lm.slots = 1;
+  TapeLibrary library(lm, sim.CreateResource("robot"));
+  ASSERT_TRUE(library.AddCartridge(std::make_unique<TapeVolume>("t0", kBlock)).ok());
+  EXPECT_EQ(library.AddCartridge(std::make_unique<TapeVolume>("t1", kBlock)).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace tertio::tape
+
+// ---- TapeScheduler ---------------------------------------------------------
+
+namespace tertio::tape {
+namespace {
+
+class TapeSchedulerTest : public ::testing::Test {
+ protected:
+  TapeSchedulerTest()
+      : vol_("t", kBlock),
+        drive_("drv", TapeDriveModel::DLT4000(), sim_.CreateResource("tape")) {
+    // 1000 blocks of distinguishable real data.
+    for (int i = 0; i < 1000; ++i) {
+      TERTIO_CHECK(vol_.Append(MakeBlock(static_cast<uint8_t>(i & 0xFF)), 0.0).ok(), "");
+    }
+    TERTIO_CHECK(drive_.Load(&vol_, 0.0).ok(), "");
+  }
+
+  // Scattered requests in a deliberately bad arrival order.
+  std::vector<TapeReadRequest> ScatteredRequests() {
+    return {{1, 800, 10}, {2, 100, 10}, {3, 600, 10}, {4, 50, 10},
+            {5, 900, 10}, {6, 300, 10}, {7, 450, 10}, {8, 10, 10}};
+  }
+
+  sim::Simulation sim_;
+  TapeVolume vol_;
+  TapeDrive drive_;
+};
+
+TEST_F(TapeSchedulerTest, SortedBatchBeatsFifo) {
+  SimSeconds fifo_time, sorted_time;
+  std::uint64_t fifo_repos, sorted_repos;
+  {
+    sim::Simulation sim;
+    TapeDrive drive("f", TapeDriveModel::DLT4000(), sim.CreateResource("t"));
+    ASSERT_TRUE(drive.Load(&vol_, 0.0).ok());
+    TapeScheduler fifo(&drive, SchedulePolicy::kFifo);
+    for (const auto& r : ScatteredRequests()) fifo.Submit(r);
+    auto done = fifo.ExecuteBatch(0.0);
+    ASSERT_TRUE(done.ok());
+    fifo_time = done->back().interval.end;
+    fifo_repos = drive.stats().reposition_count;
+  }
+  {
+    sim::Simulation sim;
+    TapeDrive drive("s", TapeDriveModel::DLT4000(), sim.CreateResource("t"));
+    ASSERT_TRUE(drive.Load(&vol_, 0.0).ok());
+    TapeScheduler sorted(&drive, SchedulePolicy::kSortedAscending);
+    for (const auto& r : ScatteredRequests()) sorted.Submit(r);
+    auto done = sorted.ExecuteBatch(0.0);
+    ASSERT_TRUE(done.ok());
+    sorted_time = done->back().interval.end;
+    sorted_repos = drive.stats().reposition_count;
+  }
+  EXPECT_LT(sorted_time, fifo_time);
+  EXPECT_LE(sorted_repos, fifo_repos);
+}
+
+TEST_F(TapeSchedulerTest, ElevatorContinuesFromHead) {
+  // Head at 500; elevator serves >= 500 first, then wraps.
+  ASSERT_TRUE(drive_.Read(490, 10, 0.0).ok());
+  TapeScheduler elevator(&drive_, SchedulePolicy::kElevator);
+  for (const auto& r : ScatteredRequests()) elevator.Submit(r);
+  auto done = elevator.ExecuteBatch(1000.0);
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done->size(), 8u);
+  // First served request starts at or after the head (600 is the first).
+  EXPECT_EQ(done->front().id, 3u);
+  // Wrapped tail is ascending from the lowest start.
+  EXPECT_EQ(done->back().id, 7u);
+}
+
+TEST_F(TapeSchedulerTest, PoliciesReturnIdenticalData) {
+  auto run = [&](SchedulePolicy policy) {
+    sim::Simulation sim;
+    TapeDrive drive("d", TapeDriveModel::DLT4000(), sim.CreateResource("t"));
+    TERTIO_CHECK(drive.Load(&vol_, 0.0).ok(), "");
+    TapeScheduler scheduler(&drive, policy);
+    for (const auto& r : ScatteredRequests()) scheduler.Submit(r);
+    auto done = scheduler.ExecuteBatch(0.0, /*capture=*/true);
+    TERTIO_CHECK(done.ok(), "");
+    // Collate payload first-bytes by request id.
+    std::map<uint64_t, std::vector<uint8_t>> by_id;
+    for (const auto& completion : *done) {
+      for (const auto& payload : completion.payloads) {
+        by_id[completion.id].push_back((*payload)[0]);
+      }
+    }
+    return by_id;
+  };
+  auto fifo = run(SchedulePolicy::kFifo);
+  auto sorted = run(SchedulePolicy::kSortedAscending);
+  auto elevator = run(SchedulePolicy::kElevator);
+  EXPECT_EQ(fifo, sorted);
+  EXPECT_EQ(fifo, elevator);
+}
+
+TEST_F(TapeSchedulerTest, BatchDrainsPendingQueue) {
+  TapeScheduler scheduler(&drive_, SchedulePolicy::kFifo);
+  scheduler.Submit({1, 0, 5});
+  EXPECT_EQ(scheduler.pending(), 1u);
+  ASSERT_TRUE(scheduler.ExecuteBatch(0.0).ok());
+  EXPECT_EQ(scheduler.pending(), 0u);
+  auto empty = scheduler.ExecuteBatch(0.0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+}  // namespace
+}  // namespace tertio::tape
+
+// ---- Spanned (multi-cartridge) volumes -------------------------------------
+
+#include "tape/spanned_volume.h"
+
+namespace tertio::tape {
+namespace {
+
+class SpannedVolumeTest : public ::testing::Test {
+ protected:
+  SpannedVolumeTest()
+      : library_(TapeLibraryModel::SmallAutoloader(), sim_.CreateResource("robot")),
+        drive_("drv", TapeDriveModel::DLT4000(), sim_.CreateResource("tape")) {
+    // Three cartridges of 100 / 50 / 70 distinguishable blocks.
+    int sizes[] = {100, 50, 70};
+    uint8_t fill = 0;
+    for (int size : sizes) {
+      auto volume = std::make_unique<TapeVolume>("cart", kBlock);
+      for (int b = 0; b < size; ++b) {
+        TERTIO_CHECK(volume->Append(MakeBlock(fill++), 0.0).ok(), "");
+      }
+      slots_.push_back(library_.AddCartridge(std::move(volume)).value());
+    }
+  }
+
+  sim::Simulation sim_;
+  TapeLibrary library_;
+  TapeDrive drive_;
+  std::vector<int> slots_;
+};
+
+TEST_F(SpannedVolumeTest, ResolveMapsAcrossCartridges) {
+  auto set = SpannedVolumeSet::Create(&library_, slots_);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->total_blocks(), 220u);
+  EXPECT_EQ(set->cartridge_count(), 3);
+  auto a = set->Resolve(0);
+  EXPECT_EQ(a->member, 0);
+  EXPECT_EQ(a->local, 0u);
+  auto b = set->Resolve(99);
+  EXPECT_EQ(b->member, 0);
+  EXPECT_EQ(b->local, 99u);
+  auto c = set->Resolve(100);
+  EXPECT_EQ(c->member, 1);
+  EXPECT_EQ(c->local, 0u);
+  auto d = set->Resolve(219);
+  EXPECT_EQ(d->member, 2);
+  EXPECT_EQ(d->local, 69u);
+  EXPECT_FALSE(set->Resolve(220).ok());
+}
+
+TEST_F(SpannedVolumeTest, ReadCrossesBoundariesWithExchanges) {
+  auto set = SpannedVolumeSet::Create(&library_, slots_);
+  ASSERT_TRUE(set.ok());
+  SpannedReader reader(&set.value(), &drive_);
+  std::vector<BlockPayload> out;
+  // Read 80..180: tail of cartridge 0, all of 1, head of 2.
+  auto interval = reader.Read(80, 100, 0.0, &out);
+  ASSERT_TRUE(interval.ok()) << interval.status();
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ((*out[static_cast<size_t>(i)])[0], static_cast<uint8_t>(80 + i));
+  }
+  EXPECT_EQ(reader.exchanges(), 3u);  // initial mount + two boundary crossings
+}
+
+TEST_F(SpannedVolumeTest, SequentialReadsReuseMountedCartridge) {
+  auto set = SpannedVolumeSet::Create(&library_, slots_);
+  ASSERT_TRUE(set.ok());
+  SpannedReader reader(&set.value(), &drive_);
+  ASSERT_TRUE(reader.Read(0, 10, 0.0).ok());
+  ASSERT_TRUE(reader.Read(10, 10, 0.0).ok());
+  EXPECT_EQ(reader.exchanges(), 1u);  // same cartridge, no robot trips
+}
+
+TEST_F(SpannedVolumeTest, ExchangeCostIsChargedButAmortized) {
+  auto set = SpannedVolumeSet::Create(&library_, slots_);
+  ASSERT_TRUE(set.ok());
+  SpannedReader reader(&set.value(), &drive_);
+  auto interval = reader.Read(0, set->total_blocks(), 0.0);
+  ASSERT_TRUE(interval.ok());
+  // Three exchanges at >= 30 s each appear in the response...
+  double exchange_floor = 3 * library_.model().exchange_seconds;
+  EXPECT_GT(interval->end, exchange_floor);
+  // ...but transfer still dominates at realistic cartridge sizes — here the
+  // tiny test cartridges make exchanges visible, which is the point: the
+  // cost is charged, not assumed away.
+  EXPECT_GT(interval->end, 0.0);
+}
+
+TEST_F(SpannedVolumeTest, InvalidConstructionRejected) {
+  EXPECT_FALSE(SpannedVolumeSet::Create(nullptr, {0}).ok());
+  EXPECT_FALSE(SpannedVolumeSet::Create(&library_, {}).ok());
+  EXPECT_FALSE(SpannedVolumeSet::Create(&library_, {99}).ok());
+}
+
+}  // namespace
+}  // namespace tertio::tape

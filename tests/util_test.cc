@@ -1,0 +1,206 @@
+// Unit tests for tertio_util: Status/Result, units, math, RNG, formatting.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/units.h"
+
+namespace tertio {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad block count");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad block count");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad block count");
+}
+
+TEST(StatusTest, OkCodeWithMessageNormalizes) {
+  Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kResourceExhausted,
+        StatusCode::kNotFound, StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kUnimplemented}) {
+    EXPECT_FALSE(StatusCodeToString(code).empty());
+    EXPECT_NE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterViaMacro(int x) {
+  TERTIO_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  TERTIO_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(QuarterViaMacro(8).value(), 2);
+  EXPECT_FALSE(QuarterViaMacro(6).ok());
+  EXPECT_FALSE(QuarterViaMacro(5).ok());
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status ChainViaMacro(int x) {
+  TERTIO_RETURN_IF_ERROR(FailIfNegative(x));
+  TERTIO_RETURN_IF_ERROR(FailIfNegative(x - 10));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(ChainViaMacro(15).ok());
+  EXPECT_FALSE(ChainViaMacro(5).ok());
+  EXPECT_FALSE(ChainViaMacro(-1).ok());
+}
+
+TEST(UnitsTest, BytesToBlocksRoundsUp) {
+  EXPECT_EQ(BytesToBlocks(0, 4096), 0u);
+  EXPECT_EQ(BytesToBlocks(1, 4096), 1u);
+  EXPECT_EQ(BytesToBlocks(4096, 4096), 1u);
+  EXPECT_EQ(BytesToBlocks(4097, 4096), 2u);
+  EXPECT_EQ(BlocksToBytes(3, 4096), 12288u);
+}
+
+TEST(UnitsTest, DecimalAndBinaryPrefixes) {
+  EXPECT_EQ(kMB, 1'000'000u);
+  EXPECT_EQ(kMiB, 1'048'576u);
+  EXPECT_EQ(kGB, 1'000'000'000u);
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv<uint64_t>(10, 3), 4u);
+  EXPECT_EQ(CeilDiv<uint64_t>(9, 3), 3u);
+  EXPECT_EQ(CeilDiv<uint64_t>(1, 100), 1u);
+}
+
+TEST(MathTest, CeilSqrt) {
+  EXPECT_EQ(CeilSqrt(0), 0u);
+  EXPECT_EQ(CeilSqrt(1), 1u);
+  EXPECT_EQ(CeilSqrt(2), 2u);
+  EXPECT_EQ(CeilSqrt(4), 2u);
+  EXPECT_EQ(CeilSqrt(5), 3u);
+  EXPECT_EQ(CeilSqrt(1'000'000), 1000u);
+  EXPECT_EQ(CeilSqrt(1'000'001), 1001u);
+}
+
+TEST(MathTest, ApproxEqual) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0));
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+  EXPECT_TRUE(ApproxEqual(0.0, 0.0));
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextBelow(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit over 1000 draws
+}
+
+TEST(SplitMixTest, IsWellMixed) {
+  // Consecutive inputs produce values differing in many bits.
+  std::set<uint64_t> values;
+  for (uint64_t i = 0; i < 1000; ++i) values.insert(SplitMix64(i));
+  EXPECT_EQ(values.size(), 1000u);
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512 bytes");
+  EXPECT_EQ(FormatBytes(1500), "1.5 KB");
+  EXPECT_EQ(FormatBytes(2'500'000), "2.5 MB");
+  EXPECT_EQ(FormatBytes(10'000'000'000ull), "10.00 GB");
+}
+
+TEST(FormatTest, Duration) {
+  EXPECT_EQ(FormatDuration(0.5), "500 ms");
+  EXPECT_EQ(FormatDuration(45.25), "45.2 s");
+  EXPECT_EQ(FormatDuration(125), "2m 05s");
+  EXPECT_EQ(FormatDuration(7325), "2h 02m 05s");
+}
+
+TEST(FormatTest, Fixed) {
+  EXPECT_EQ(FormatFixed(6.94, 1), "6.9");
+  EXPECT_EQ(FormatFixed(6.96, 1), "7.0");
+}
+
+TEST(FormatTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+}  // namespace
+}  // namespace tertio

@@ -1,0 +1,258 @@
+/// \file tertio_cli.cc
+/// Command-line front end to the tertio library.
+///
+///   tertio_cli advise   --r-mb 2500 --s-mb 10000 --disk-mb 500 --memory-mb 16
+///   tertio_cli estimate --method CTT-GH --r-mb 2500 --s-mb 10000 --disk-mb 500 --memory-mb 16
+///   tertio_cli run      --method CTT-GH --r-mb 2500 --s-mb 10000 --disk-mb 500 --memory-mb 16
+///   tertio_cli sweep    --r-mb 18 --s-mb 1000 --disk-mb 50   (Experiment-3 style M sweep)
+///
+/// Common flags: --compressibility F (default 0.25), --gantt (run only:
+/// print the device timeline; small joins only — traces are large).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "exec/experiment.h"
+#include "exec/machine.h"
+#include "exec/report.h"
+#include "join/advisor.h"
+#include "join/join_method.h"
+#include "sim/trace_report.h"
+#include "util/string_util.h"
+
+using namespace tertio;
+
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+  bool gantt = false;
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::atof(it->second.c_str());
+  }
+  std::string GetString(const std::string& key, const std::string& fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tertio_cli <advise|estimate|run|sweep> --r-mb N --s-mb N "
+               "--disk-mb N --memory-mb N [--method NAME] [--compressibility F] [--gantt]\n"
+               "methods: DT-NB CDT-NB/MB CDT-NB/DB DT-GH CDT-GH CTT-GH TT-GH\n");
+  return 2;
+}
+
+Result<Flags> Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--gantt") {
+      flags.gantt = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) return Status::InvalidArgument("unexpected argument " + arg);
+    if (i + 1 >= argc) return Status::InvalidArgument("flag " + arg + " needs a value");
+    flags.values[arg.substr(2)] = argv[++i];
+  }
+  for (const char* required : {"r-mb", "s-mb", "disk-mb", "memory-mb"}) {
+    if (!flags.Has(required)) {
+      return Status::InvalidArgument(std::string("missing --") + required);
+    }
+  }
+  return flags;
+}
+
+cost::CostParams ParamsFrom(const Flags& flags) {
+  cost::CostParams params;
+  params.r_blocks = BytesToBlocks(
+      static_cast<ByteCount>(flags.GetDouble("r-mb", 0) * kMB), kDefaultBlockBytes);
+  params.s_blocks = BytesToBlocks(
+      static_cast<ByteCount>(flags.GetDouble("s-mb", 0) * kMB), kDefaultBlockBytes);
+  params.disk_blocks = BytesToBlocks(
+      static_cast<ByteCount>(flags.GetDouble("disk-mb", 0) * kMB), kDefaultBlockBytes);
+  params.memory_blocks = BytesToBlocks(
+      static_cast<ByteCount>(flags.GetDouble("memory-mb", 0) * kMB), kDefaultBlockBytes);
+  double c = flags.GetDouble("compressibility", 0.25);
+  params.tape_rate_bps = tape::TapeDriveModel::DLT4000().EffectiveRate(c);
+  params.disk_rate_bps = 2 * disk::DiskModel::QuantumFireball1080().transfer_rate_bps;
+  params.disk_positioning_seconds =
+      disk::DiskModel::QuantumFireball1080().positioning_seconds;
+  return params;
+}
+
+std::string Seconds(SimSeconds s) {
+  return StrFormat("%s (%.0f s)", FormatDuration(s).c_str(), s);
+}
+
+int CmdAdvise(const Flags& flags) {
+  auto report = join::AdviseJoinMethod(ParamsFrom(flags));
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  exec::TableReport table({"rank", "method", "est. response", "Step I", "iterations",
+                           "disk traffic (MB)"});
+  int rank = 1;
+  for (const auto& choice : report->ranked) {
+    table.AddRow({StrFormat("%d", rank++), std::string(JoinMethodName(choice.method)),
+                  FormatDuration(choice.estimate.total_seconds),
+                  FormatDuration(choice.estimate.step1_seconds),
+                  StrFormat("%llu", (unsigned long long)choice.estimate.iterations),
+                  StrFormat("%.0f",
+                            static_cast<double>(BlocksToBytes(
+                                choice.estimate.disk_traffic_blocks, kDefaultBlockBytes)) /
+                                kMB)});
+  }
+  table.Print();
+  for (const auto& rejection : report->rejected) {
+    std::printf("%-10s infeasible: %s\n", std::string(JoinMethodName(rejection.method)).c_str(),
+                rejection.reason.message().c_str());
+  }
+  return 0;
+}
+
+int CmdEstimate(const Flags& flags) {
+  JoinMethodId method;
+  if (!ParseJoinMethodName(flags.GetString("method", ""), &method)) {
+    std::fprintf(stderr, "unknown or missing --method\n");
+    return 2;
+  }
+  auto estimate = cost::Estimate(method, ParamsFrom(flags));
+  if (!estimate.ok()) {
+    std::fprintf(stderr, "%s\n", estimate.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("method           %s\n", std::string(JoinMethodName(method)).c_str());
+  std::printf("Step I           %s\n", Seconds(estimate->step1_seconds).c_str());
+  std::printf("Step II          %s\n", Seconds(estimate->step2_seconds).c_str());
+  std::printf("total            %s\n", Seconds(estimate->total_seconds).c_str());
+  std::printf("optimum (read S) %s\n",
+              Seconds(cost::OptimumJoinSeconds(ParamsFrom(flags))).c_str());
+  std::printf("overhead         %.0f%%\n",
+              100.0 * cost::RelativeJoinOverhead(estimate->total_seconds, ParamsFrom(flags)));
+  std::printf("iterations       %llu, R scans %llu\n",
+              (unsigned long long)estimate->iterations, (unsigned long long)estimate->r_scans);
+  std::printf("disk traffic     %s, tape traffic %s\n",
+              FormatBytes(BlocksToBytes(estimate->disk_traffic_blocks, kDefaultBlockBytes))
+                  .c_str(),
+              FormatBytes(BlocksToBytes(estimate->tape_traffic_blocks, kDefaultBlockBytes))
+                  .c_str());
+  std::printf("needs            M >= %s, D >= %s, T_R %s, T_S %s\n",
+              FormatBytes(BlocksToBytes(estimate->memory_required_blocks, kDefaultBlockBytes))
+                  .c_str(),
+              FormatBytes(BlocksToBytes(estimate->disk_space_blocks, kDefaultBlockBytes))
+                  .c_str(),
+              FormatBytes(BlocksToBytes(estimate->tape_scratch_r_blocks, kDefaultBlockBytes))
+                  .c_str(),
+              FormatBytes(BlocksToBytes(estimate->tape_scratch_s_blocks, kDefaultBlockBytes))
+                  .c_str());
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  JoinMethodId method;
+  if (!ParseJoinMethodName(flags.GetString("method", ""), &method)) {
+    std::fprintf(stderr, "unknown or missing --method\n");
+    return 2;
+  }
+  exec::MachineConfig config = exec::MachineConfig::PaperTestbed(
+      static_cast<ByteCount>(flags.GetDouble("disk-mb", 0) * kMB),
+      static_cast<ByteCount>(flags.GetDouble("memory-mb", 0) * kMB));
+  exec::Machine machine(config);
+  if (flags.gantt) {
+    for (const auto& resource : machine.sim().resources()) resource->EnableTrace();
+  }
+  exec::WorkloadConfig workload;
+  workload.r_bytes = static_cast<ByteCount>(flags.GetDouble("r-mb", 0) * kMB);
+  workload.s_bytes = static_cast<ByteCount>(flags.GetDouble("s-mb", 0) * kMB);
+  workload.compressibility = flags.GetDouble("compressibility", 0.25);
+  workload.phantom = true;
+  auto prepared = exec::PrepareWorkload(&machine, workload);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  join::JoinSpec spec;
+  spec.r = &prepared->r;
+  spec.s = &prepared->s;
+  auto executor = join::CreateJoinMethod(method);
+  join::JoinContext ctx = machine.context();
+  auto stats = executor->Execute(spec, ctx);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("method       %s (simulated at paper scale)\n", stats->method.c_str());
+  std::printf("Step I       %s\n", Seconds(stats->step1_seconds).c_str());
+  std::printf("Step II      %s\n", Seconds(stats->step2_seconds).c_str());
+  std::printf("response     %s\n", Seconds(stats->response_seconds).c_str());
+  std::printf("iterations   %llu, R scans %llu\n", (unsigned long long)stats->iterations,
+              (unsigned long long)stats->r_scans);
+  std::printf("tape         %s read, %s written\n",
+              FormatBytes(BlocksToBytes(stats->tape_blocks_read, config.block_bytes)).c_str(),
+              FormatBytes(BlocksToBytes(stats->tape_blocks_written, config.block_bytes))
+                  .c_str());
+  std::printf("disk         %s moved in %llu requests\n",
+              FormatBytes(BlocksToBytes(stats->disk_traffic_blocks(), config.block_bytes))
+                  .c_str(),
+              (unsigned long long)stats->disk_requests);
+  if (flags.gantt) {
+    std::printf("\n%s", sim::RenderGantt(machine.sim()).c_str());
+  }
+  return 0;
+}
+
+int CmdSweep(const Flags& flags) {
+  auto r_bytes = static_cast<ByteCount>(flags.GetDouble("r-mb", 0) * kMB);
+  auto s_bytes = static_cast<ByteCount>(flags.GetDouble("s-mb", 0) * kMB);
+  auto d_bytes = static_cast<ByteCount>(flags.GetDouble("disk-mb", 0) * kMB);
+  double c = flags.GetDouble("compressibility", 0.25);
+  exec::SeriesReport series("M/|R|", {"DT-NB", "CDT-NB/MB", "CDT-NB/DB", "DT-GH", "CDT-GH"});
+  for (double f : {0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    std::vector<double> row;
+    for (JoinMethodId method : {JoinMethodId::kDtNb, JoinMethodId::kCdtNbMb,
+                                JoinMethodId::kCdtNbDb, JoinMethodId::kDtGh,
+                                JoinMethodId::kCdtGh}) {
+      exec::MachineConfig config = exec::MachineConfig::PaperTestbed(
+          d_bytes, static_cast<ByteCount>(f * static_cast<double>(r_bytes)));
+      exec::WorkloadConfig workload;
+      workload.r_bytes = r_bytes;
+      workload.s_bytes = s_bytes;
+      workload.compressibility = c;
+      workload.phantom = true;
+      auto stats = exec::RunJoinExperiment(config, workload, method);
+      row.push_back(stats.ok() ? stats->response_seconds
+                               : std::numeric_limits<double>::quiet_NaN());
+    }
+    series.AddPoint(f, row);
+  }
+  series.Print(0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  auto flags = Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return Usage();
+  }
+  if (command == "advise") return CmdAdvise(*flags);
+  if (command == "estimate") return CmdEstimate(*flags);
+  if (command == "run") return CmdRun(*flags);
+  if (command == "sweep") return CmdSweep(*flags);
+  return Usage();
+}
