@@ -1,0 +1,31 @@
+#include "disk/extent.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace tertio::disk {
+
+ExtentList SliceExtents(const ExtentList& extents, BlockCount offset, BlockCount count) {
+  ExtentList out;
+  BlockCount pos = 0;
+  for (const Extent& e : extents) {
+    if (count == 0) break;
+    BlockCount ext_end = pos + e.count;
+    if (ext_end <= offset) {
+      pos = ext_end;
+      continue;
+    }
+    BlockCount skip = offset > pos ? offset - pos : 0;
+    BlockCount avail = e.count - skip;
+    BlockCount take = std::min<BlockCount>(avail, count);
+    out.push_back(Extent{e.disk, e.start + skip, take});
+    count -= take;
+    offset += take;
+    pos = ext_end;
+  }
+  TERTIO_CHECK(count == 0, "extent slice out of range");
+  return out;
+}
+
+}  // namespace tertio::disk

@@ -29,4 +29,9 @@ inline BlockCount TotalBlocks(const ExtentList& extents) {
   return total;
 }
 
+/// \returns the sub-range of `extents` covering blocks
+/// [offset, offset + count) of the logical sequence they describe. Checks
+/// that the requested range lies within the sequence.
+ExtentList SliceExtents(const ExtentList& extents, BlockCount offset, BlockCount count);
+
 }  // namespace tertio::disk

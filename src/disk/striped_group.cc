@@ -82,6 +82,36 @@ Result<sim::Interval> StripedDiskGroup::WriteExtents(const ExtentList& extents, 
   return hull;
 }
 
+Result<sim::StageId> StripedDiskGroup::IssueRead(sim::Pipeline& pipe, std::string_view phase,
+                                                 std::span<const sim::StageId> deps,
+                                                 const ExtentList& extents,
+                                                 std::vector<BlockPayload>* out) {
+  BlockCount blocks = TotalBlocks(extents);
+  return pipe.Stage(phase, "disks", deps, blocks, blocks * block_bytes_,
+                    [&](SimSeconds ready) { return ReadExtents(extents, ready, out); });
+}
+
+Result<sim::StageId> StripedDiskGroup::IssueWrite(sim::Pipeline& pipe, std::string_view phase,
+                                                  std::span<const sim::StageId> deps,
+                                                  const ExtentList& extents,
+                                                  const std::vector<BlockPayload>* payloads) {
+  BlockCount blocks = TotalBlocks(extents);
+  return pipe.Stage(phase, "disks", deps, blocks, blocks * block_bytes_,
+                    [&](SimSeconds ready) { return WriteExtents(extents, ready, payloads); });
+}
+
+Result<sim::Interval> ExtentReadSource::Read(BlockCount offset, BlockCount count,
+                                             SimSeconds ready,
+                                             std::vector<BlockPayload>* out) {
+  return group_->ReadExtents(SliceExtents(*extents_, offset, count), ready, out);
+}
+
+Result<sim::Interval> ExtentWriteSink::Write(BlockCount offset, BlockCount count,
+                                             SimSeconds ready,
+                                             std::vector<BlockPayload>* payloads) {
+  return group_->WriteExtents(SliceExtents(*extents_, offset, count), ready, payloads);
+}
+
 DiskStats StripedDiskGroup::TotalStats() const {
   DiskStats total;
   for (const auto& d : disks_) {

@@ -18,6 +18,7 @@
 #include "disk/allocator.h"
 #include "disk/disk_volume.h"
 #include "disk/extent.h"
+#include "sim/pipeline.h"
 #include "sim/simulation.h"
 #include "util/status.h"
 
@@ -68,10 +69,69 @@ class StripedDiskGroup {
   /// Aggregated statistics across all disks.
   DiskStats TotalStats() const;
 
+  /// Emits a whole-extent-list read as one pipeline stage ready after
+  /// `deps`. \returns the stage.
+  Result<sim::StageId> IssueRead(sim::Pipeline& pipe, std::string_view phase,
+                                 std::span<const sim::StageId> deps, const ExtentList& extents,
+                                 std::vector<BlockPayload>* out = nullptr);
+  Result<sim::StageId> IssueRead(sim::Pipeline& pipe, std::string_view phase,
+                                 std::initializer_list<sim::StageId> deps,
+                                 const ExtentList& extents,
+                                 std::vector<BlockPayload>* out = nullptr) {
+    return IssueRead(pipe, phase, std::span<const sim::StageId>(deps.begin(), deps.size()),
+                     extents, out);
+  }
+
+  /// Emits a whole-extent-list write as one pipeline stage ready after
+  /// `deps`. `payloads` null writes phantoms.
+  Result<sim::StageId> IssueWrite(sim::Pipeline& pipe, std::string_view phase,
+                                  std::span<const sim::StageId> deps, const ExtentList& extents,
+                                  const std::vector<BlockPayload>* payloads = nullptr);
+  Result<sim::StageId> IssueWrite(sim::Pipeline& pipe, std::string_view phase,
+                                  std::initializer_list<sim::StageId> deps,
+                                  const ExtentList& extents,
+                                  const std::vector<BlockPayload>* payloads = nullptr) {
+    return IssueWrite(pipe, phase, std::span<const sim::StageId>(deps.begin(), deps.size()),
+                      extents, payloads);
+  }
+
  private:
   std::vector<std::unique_ptr<DiskVolume>> disks_;
   DiskSpaceAllocator allocator_;
   ByteCount block_bytes_;
+};
+
+/// Pipeline source streaming a disk-resident logical sequence: block
+/// [offset, offset+count) of a Transfer maps to SliceExtents(extents,
+/// offset, count). The ExtentList must outlive the source.
+class ExtentReadSource final : public sim::BlockSource {
+ public:
+  ExtentReadSource(StripedDiskGroup* group, const ExtentList* extents)
+      : group_(group), extents_(extents) {}
+
+  Result<sim::Interval> Read(BlockCount offset, BlockCount count, SimSeconds ready,
+                             std::vector<BlockPayload>* out) override;
+  std::string_view device() const override { return "disks"; }
+
+ private:
+  StripedDiskGroup* group_;
+  const ExtentList* extents_;
+};
+
+/// Pipeline sink writing a Transfer's chunks over a pre-allocated extent
+/// list, sliced the same way.
+class ExtentWriteSink final : public sim::BlockSink {
+ public:
+  ExtentWriteSink(StripedDiskGroup* group, const ExtentList* extents)
+      : group_(group), extents_(extents) {}
+
+  Result<sim::Interval> Write(BlockCount offset, BlockCount count, SimSeconds ready,
+                              std::vector<BlockPayload>* payloads) override;
+  std::string_view device() const override { return "disks"; }
+
+ private:
+  StripedDiskGroup* group_;
+  const ExtentList* extents_;
 };
 
 }  // namespace tertio::disk

@@ -47,6 +47,7 @@ join::JoinContext Machine::context() {
   ctx.drive_s = drive_s_.get();
   ctx.disks = disks_.get();
   ctx.memory = &memory_;
+  ctx.robot = library_ != nullptr ? library_->robot() : nullptr;
   return ctx;
 }
 

@@ -67,4 +67,19 @@ void SeriesReport::Print(int precision) const {
   std::fputs(Render(precision).c_str(), stdout);
 }
 
+TableReport SpanSummaryTable(const sim::SpanTrace& trace, bool include_markers) {
+  TableReport table({"phase", "device", "stages", "blocks", "busy(s)", "start(s)", "end(s)"});
+  for (const sim::PhaseSummary& phase : trace.phases()) {
+    if (!include_markers && phase.busy_seconds == 0.0 && phase.blocks == 0) continue;
+    table.AddRow({phase.phase,
+                  phase.device.empty() ? "*" : phase.device,
+                  StrFormat("%llu", static_cast<unsigned long long>(phase.stage_count)),
+                  StrFormat("%llu", static_cast<unsigned long long>(phase.blocks)),
+                  FormatFixed(phase.busy_seconds, 2),
+                  FormatFixed(phase.window.start, 2),
+                  FormatFixed(phase.window.end, 2)});
+  }
+  return table;
+}
+
 }  // namespace tertio::exec

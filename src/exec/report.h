@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/pipeline.h"
 #include "util/units.h"
 
 namespace tertio::exec {
@@ -50,5 +51,11 @@ class SeriesReport {
   };
   std::vector<Point> points_;
 };
+
+/// Per-phase table over a join's span trace: phase, device, stages, blocks,
+/// busy seconds, and the phase window — the tabular companion of
+/// sim::RenderSpanGantt. Skips zero-duration marker phases (events,
+/// barriers) unless `include_markers`.
+TableReport SpanSummaryTable(const sim::SpanTrace& trace, bool include_markers = false);
 
 }  // namespace tertio::exec

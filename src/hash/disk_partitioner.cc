@@ -140,4 +140,27 @@ Status DiskPartitioner::Flush() {
   return Status::OK();
 }
 
+Result<sim::Interval> PartitionerSink::Write(BlockCount offset, BlockCount count,
+                                             SimSeconds ready,
+                                             std::vector<BlockPayload>* payloads) {
+  (void)offset;
+  if (payloads == nullptr) {
+    std::uint64_t tuples =
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(count) * tuples_per_block_,
+                                chunk_tuple_cap_);
+    TERTIO_RETURN_IF_ERROR(partitioner_->AddPhantomBlocks(count, tuples, ready));
+  } else {
+    TERTIO_RETURN_IF_ERROR(partitioner_->AddBlocks(*payloads, ready));
+  }
+  return sim::Interval{ready, std::max(ready, partitioner_->last_write_end())};
+}
+
+Result<sim::StageId> PartitionerSink::IssueFlush(sim::Pipeline& pipe, std::string_view phase,
+                                                 std::initializer_list<sim::StageId> deps) {
+  return pipe.Stage(phase, "disks", deps, 0, 0, [&](SimSeconds ready) -> Result<sim::Interval> {
+    TERTIO_RETURN_IF_ERROR(partitioner_->Flush());
+    return sim::Interval{ready, std::max(ready, partitioner_->last_write_end())};
+  });
+}
+
 }  // namespace tertio::hash

@@ -30,6 +30,7 @@
 #include "mem/double_buffer.h"
 #include "relation/block.h"
 #include "relation/schema.h"
+#include "sim/pipeline.h"
 #include "util/block_payload.h"
 #include "util/status.h"
 #include "util/units.h"
@@ -116,6 +117,36 @@ class DiskPartitioner {
   std::uint64_t phantom_block_carry_ = 0;
   std::uint64_t phantom_tuple_carry_ = 0;
   std::uint32_t phantom_cursor_ = 0;
+};
+
+/// Pipeline sink hashing a Transfer's chunks into disk buckets. Real chunks
+/// feed AddBlocks; phantom chunks (null payloads) feed AddPhantomBlocks
+/// with `tuples_per_block` tuples each, capped at `chunk_tuple_cap` per
+/// chunk. The sink's write interval ends at the partitioner's trailing
+/// flush, so a lock-step Transfer reproduces the sequential methods'
+/// "tape waits for the hash writes" structure while a streaming Transfer
+/// lets the writes trail (the concurrent methods).
+class PartitionerSink final : public sim::BlockSink {
+ public:
+  PartitionerSink(DiskPartitioner* partitioner, std::uint64_t tuples_per_block,
+                  std::uint64_t chunk_tuple_cap = std::numeric_limits<std::uint64_t>::max())
+      : partitioner_(partitioner),
+        tuples_per_block_(tuples_per_block),
+        chunk_tuple_cap_(chunk_tuple_cap) {}
+
+  Result<sim::Interval> Write(BlockCount offset, BlockCount count, SimSeconds ready,
+                              std::vector<BlockPayload>* payloads) override;
+  std::string_view device() const override { return "disks"; }
+
+  /// Flushes trailing write buffers as a pipeline stage; its interval ends
+  /// when the last buffered bucket write hits the disk.
+  Result<sim::StageId> IssueFlush(sim::Pipeline& pipe, std::string_view phase,
+                                  std::initializer_list<sim::StageId> deps);
+
+ private:
+  DiskPartitioner* partitioner_;
+  std::uint64_t tuples_per_block_;
+  std::uint64_t chunk_tuple_cap_;
 };
 
 }  // namespace tertio::hash

@@ -9,6 +9,11 @@
 /// CDT-GH overlaps the tape read + hashing of slab i+1 with the join of slab
 /// i, double-buffering the S-bucket disk space through one shared
 /// interleaved buffer (Section 4).
+///
+/// Both steps are declared sim::Pipeline transfers: the sequential variant's
+/// "tape waits for the hash writes" is the lock-step dependency shape, the
+/// concurrent variant's overlap is the streaming shape, and bucket readiness
+/// enters the stage graph as events.
 
 #include <algorithm>
 #include <vector>
@@ -27,49 +32,52 @@ namespace {
 /// resident. Handles bucket overflow: if the R bucket exceeds the memory
 /// allowance, it is processed in memory-sized slices, re-scanning the S
 /// bucket per slice (the paper assumes uniform hashing and never overflows;
-/// tertio degrades gracefully on skew instead).
-Result<SimSeconds> JoinBucketPair(const JoinContext& ctx, const JoinSpec& spec,
-                                  const hash::DiskBucket& r_bucket,
-                                  const hash::DiskBucket& s_bucket,
-                                  BlockCount r_memory_allowance, BlockCount probe_chunk,
-                                  bool phantom, SimSeconds ready, JoinOutput* output,
-                                  std::uint64_t* overflow_slices) {
+/// tertio degrades gracefully on skew instead). \returns the stage
+/// completing the pair.
+Result<sim::StageId> JoinBucketPair(const JoinContext& ctx, const JoinSpec& spec,
+                                    sim::Pipeline& pipe, const hash::DiskBucket& r_bucket,
+                                    const hash::DiskBucket& s_bucket,
+                                    BlockCount r_memory_allowance, BlockCount probe_chunk,
+                                    bool phantom, sim::StageId ready, JoinOutput* output,
+                                    std::uint64_t* overflow_slices) {
   if (r_bucket.blocks == 0 || s_bucket.blocks == 0) {
     // Still pay for reading whichever side exists (its tuples match nothing).
-    SimSeconds t = ready;
+    sim::StageId t = ready;
     if (r_bucket.blocks > 0) {
-      TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
-                              ctx.disks->ReadExtents(r_bucket.extents, t, nullptr));
-      t = read.end;
+      TERTIO_ASSIGN_OR_RETURN(
+          t, ctx.disks->IssueRead(pipe, "r-bucket-read", {t}, r_bucket.extents, nullptr));
     }
     if (s_bucket.blocks > 0) {
       TERTIO_ASSIGN_OR_RETURN(
-          t, ScanDiskAndProbe(ctx, s_bucket.extents, probe_chunk, t, phantom, &spec.s->schema,
-                              spec.s_key_column, nullptr, output));
+          t, ScanDiskAndProbe(ctx, pipe, "s-bucket-scan", s_bucket.extents, probe_chunk, {t},
+                              phantom, &spec.s->schema, spec.s_key_column, nullptr, output));
     }
     return t;
   }
 
-  SimSeconds t = ready;
+  sim::StageId t = ready;
   BlockCount offset = 0;
   std::uint64_t slices = 0;
   while (offset < r_bucket.blocks) {
     BlockCount take = std::min<BlockCount>(r_memory_allowance, r_bucket.blocks - offset);
     disk::ExtentList slice = SliceExtents(r_bucket.extents, offset, take);
     std::vector<BlockPayload> r_blocks;
-    TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
-                            ctx.disks->ReadExtents(slice, std::max(t, r_bucket.ready),
-                                                   phantom ? nullptr : &r_blocks));
-    t = read.end;
+    TERTIO_ASSIGN_OR_RETURN(
+        sim::StageId read,
+        ctx.disks->IssueRead(pipe, "r-bucket-read",
+                             {t, pipe.Event("r-bucket-ready", r_bucket.ready)}, slice,
+                             phantom ? nullptr : &r_blocks));
+    t = read;
     HashJoinTable table(&spec.r->schema, spec.r_key_column, /*build_is_r=*/true,
                         /*capture_records=*/output->has_sink());
     if (!phantom) {
       TERTIO_RETURN_IF_ERROR(table.AddBlocks(r_blocks));
     }
     TERTIO_ASSIGN_OR_RETURN(
-        t, ScanDiskAndProbe(ctx, s_bucket.extents, probe_chunk,
-                            std::max(t, s_bucket.ready), phantom, &spec.s->schema,
-                            spec.s_key_column, phantom ? nullptr : &table, output));
+        t, ScanDiskAndProbe(ctx, pipe, "s-bucket-scan", s_bucket.extents, probe_chunk,
+                            {t, pipe.Event("s-bucket-ready", s_bucket.ready)}, phantom,
+                            &spec.s->schema, spec.s_key_column, phantom ? nullptr : &table,
+                            output));
     offset += take;
     ++slices;
   }
@@ -78,36 +86,29 @@ Result<SimSeconds> JoinBucketPair(const JoinContext& ctx, const JoinSpec& spec,
 }
 
 /// Step I shared by DT-GH / CDT-GH: partition R from tape into disk buckets.
-/// Sequential mode makes the tape wait for each flush; concurrent mode
-/// streams the tape and lets the disk writes trail.
-Result<SimSeconds> PartitionRToDisk(const JoinContext& ctx, const JoinSpec& spec,
-                                    const hash::BucketLayout& layout, bool concurrent,
-                                    SimSeconds start, hash::DiskPartitioner* partitioner) {
+/// Sequential mode makes the tape wait for each flush (lock-step transfer);
+/// concurrent mode streams the tape and lets the disk writes trail.
+/// \returns the stage completing the partitioning (trailing flush included).
+Result<sim::StageId> PartitionRToDisk(const JoinContext& ctx, const JoinSpec& spec,
+                                      sim::Pipeline& pipe, bool concurrent,
+                                      hash::DiskPartitioner* partitioner) {
   const rel::Relation& r = *spec.r;
   const bool phantom = r.phantom;
-  BlockCount chunk = DefaultTapeChunk(r);
   std::uint64_t tuples_per_block =
       r.blocks > 0 ? (r.tuple_count + r.blocks - 1) / r.blocks : 0;
-  SimSeconds t = start;
-  for (BlockCount off = 0; off < r.blocks; off += chunk) {
-    BlockCount take = std::min<BlockCount>(chunk, r.blocks - off);
-    std::vector<BlockPayload> payloads;
-    TERTIO_ASSIGN_OR_RETURN(
-        sim::Interval read,
-        ctx.drive_r->Read(r.start_block + off, take, t, phantom ? nullptr : &payloads));
-    if (phantom) {
-      std::uint64_t tuples = std::min<std::uint64_t>(
-          static_cast<std::uint64_t>(take) * tuples_per_block,
-          r.tuple_count);
-      TERTIO_RETURN_IF_ERROR(partitioner->AddPhantomBlocks(take, tuples, read.end));
-    } else {
-      TERTIO_RETURN_IF_ERROR(partitioner->AddBlocks(payloads, read.end));
-    }
-    t = concurrent ? read.end : std::max(read.end, partitioner->last_write_end());
-  }
-  TERTIO_RETURN_IF_ERROR(partitioner->Flush());
-  (void)layout;
-  return std::max(t, partitioner->last_write_end());
+  tape::TapeReadSource source(ctx.drive_r, r.start_block);
+  hash::PartitionerSink sink(partitioner, tuples_per_block, r.tuple_count);
+  sim::Pipeline::TransferPlan plan;
+  plan.read_phase = "r-hash-read";
+  plan.write_phase = "r-hash-write";
+  plan.total = r.blocks;
+  plan.chunk = DefaultTapeChunk(r);
+  plan.streaming = concurrent;
+  plan.move_payloads = !phantom;
+  TERTIO_ASSIGN_OR_RETURN(sim::Pipeline::TransferResult result,
+                          pipe.Transfer(plan, source, sink, {}));
+  return sink.IssueFlush(pipe, "r-hash-flush",
+                         {concurrent ? result.last_read : result.last_write});
 }
 
 enum class GhMode { kSequential, kConcurrent };
@@ -145,11 +146,13 @@ Result<JoinStats> ExecuteGh(GhMode mode, JoinMethodId id, const JoinSpec& spec,
     return Status::ResourceExhausted(
         "full-data mode needs |R| plus two blocks per bucket of disk space");
   }
+  StatsScope scope(ctx);
   TERTIO_RETURN_IF_ERROR(ctx.memory->Reserve(layout.memory_blocks, "gh/memory"));
 
-  StatsScope scope(ctx);
   JoinStats stats;
   stats.method = std::string(JoinMethodName(id));
+  stats.spans.set_retain(ctx.retain_spans);
+  sim::Pipeline pipe(scope.start(), &stats.spans);
 
   // ---- Step I: hash R from tape into disk buckets.
   hash::DiskPartitioner::Options r_options;
@@ -159,9 +162,9 @@ Result<JoinStats> ExecuteGh(GhMode mode, JoinMethodId id, const JoinSpec& spec,
   r_options.write_buffer_blocks = layout.write_buffer_blocks;
   r_options.alloc_tag = "R-buckets";
   hash::DiskPartitioner r_partitioner(ctx.disks, r_options);
-  TERTIO_ASSIGN_OR_RETURN(
-      SimSeconds step1_end,
-      PartitionRToDisk(ctx, spec, layout, concurrent, scope.start(), &r_partitioner));
+  TERTIO_ASSIGN_OR_RETURN(sim::StageId step1_stage,
+                          PartitionRToDisk(ctx, spec, pipe, concurrent, &r_partitioner));
+  SimSeconds step1_end = pipe.end(step1_stage);
   stats.step1_seconds = step1_end - scope.start();
   stats.peak_disk_blocks = ctx.disks->allocator().used_blocks();
 
@@ -177,8 +180,8 @@ Result<JoinStats> ExecuteGh(GhMode mode, JoinMethodId id, const JoinSpec& spec,
   if (!phantom && spec.match_sink) output.set_sink(spec.match_sink);
   std::uint64_t overflow_slices = 0;
   mem::InterleavedBuffer space(d);
-  SimSeconds tape_cursor = step1_end;
-  SimSeconds join_cursor = step1_end;
+  sim::StageId tape_chain = step1_stage;
+  sim::StageId join_chain = step1_stage;
   BlockCount s_chunk = std::min<BlockCount>(DefaultTapeChunk(s), slab);
   std::uint64_t s_tuples_per_block = s.blocks > 0 ? (s.tuple_count + s.blocks - 1) / s.blocks : 0;
 
@@ -194,25 +197,23 @@ Result<JoinStats> ExecuteGh(GhMode mode, JoinMethodId id, const JoinSpec& spec,
     hash::DiskPartitioner s_partitioner(ctx.disks, s_options);
 
     // Hash process: stream this slab from tape S into disk buckets.
-    for (BlockCount done = 0; done < take_slab; done += s_chunk) {
-      BlockCount take = std::min<BlockCount>(s_chunk, take_slab - done);
-      std::vector<BlockPayload> payloads;
-      TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
-                              ctx.drive_s->Read(s.start_block + off + done, take, tape_cursor,
-                                                phantom ? nullptr : &payloads));
-      if (phantom) {
-        TERTIO_RETURN_IF_ERROR(s_partitioner.AddPhantomBlocks(
-            take, static_cast<std::uint64_t>(take) * s_tuples_per_block, read.end));
-      } else {
-        TERTIO_RETURN_IF_ERROR(s_partitioner.AddBlocks(payloads, read.end));
-      }
-      tape_cursor = concurrent ? read.end
-                               : std::max(read.end, s_partitioner.last_write_end());
-    }
-    TERTIO_RETURN_IF_ERROR(s_partitioner.Flush());
+    tape::TapeReadSource s_source(ctx.drive_s, s.start_block + off);
+    hash::PartitionerSink s_sink(&s_partitioner, s_tuples_per_block);
+    sim::Pipeline::TransferPlan plan;
+    plan.read_phase = "s-hash-read";
+    plan.write_phase = "s-hash-write";
+    plan.total = take_slab;
+    plan.chunk = s_chunk;
+    plan.streaming = concurrent;
+    plan.move_payloads = !phantom;
+    TERTIO_ASSIGN_OR_RETURN(sim::Pipeline::TransferResult slab_result,
+                            pipe.Transfer(plan, s_source, s_sink, {tape_chain}));
+    tape_chain = concurrent ? slab_result.last_read : slab_result.last_write;
+    TERTIO_ASSIGN_OR_RETURN(sim::StageId flush,
+                            s_sink.IssueFlush(pipe, "s-hash-flush", {tape_chain}));
     if (!concurrent) {
-      tape_cursor = std::max(tape_cursor, s_partitioner.last_write_end());
-      join_cursor = std::max(join_cursor, tape_cursor);
+      tape_chain = flush;
+      join_chain = pipe.Barrier("slab-hashed", {join_chain, tape_chain});
     }
 
     // Join process: every bucket pair of this slab.
@@ -220,22 +221,22 @@ Result<JoinStats> ExecuteGh(GhMode mode, JoinMethodId id, const JoinSpec& spec,
       const hash::DiskBucket& rb = r_partitioner.buckets()[b];
       hash::DiskBucket& sb = s_partitioner.buckets()[b];
       TERTIO_ASSIGN_OR_RETURN(
-          join_cursor,
-          JoinBucketPair(ctx, spec, rb, sb, layout.r_bucket_blocks,
-                         layout.write_buffer_blocks, phantom, join_cursor, &output,
+          join_chain,
+          JoinBucketPair(ctx, spec, pipe, rb, sb, layout.r_bucket_blocks,
+                         layout.write_buffer_blocks, phantom, join_chain, &output,
                          &overflow_slices));
       if (sb.blocks > 0) {
         TERTIO_RETURN_IF_ERROR(
-            ctx.disks->allocator().Free(sb.extents, join_cursor, s_options.alloc_tag));
-        TERTIO_RETURN_IF_ERROR(space.Release(sb.blocks, join_cursor));
+            ctx.disks->allocator().Free(sb.extents, pipe.end(join_chain), s_options.alloc_tag));
+        TERTIO_RETURN_IF_ERROR(space.Release(sb.blocks, pipe.end(join_chain)));
         sb.extents.clear();
       }
     }
-    if (!concurrent) tape_cursor = std::max(tape_cursor, join_cursor);
+    if (!concurrent) tape_chain = pipe.Barrier("slab-joined", {tape_chain, join_chain});
     stats.iterations += 1;
   }
 
-  SimSeconds finish = std::max(join_cursor, tape_cursor);
+  SimSeconds finish = std::max(pipe.end(join_chain), pipe.end(tape_chain));
   stats.step2_seconds = finish - step1_end;
   stats.bucket_overflow_slices = overflow_slices;
   stats.r_scans = stats.iterations;  // R's buckets are re-read per slab

@@ -8,29 +8,6 @@
 
 namespace tertio::join {
 
-disk::ExtentList SliceExtents(const disk::ExtentList& extents, BlockCount offset,
-                              BlockCount count) {
-  disk::ExtentList out;
-  BlockCount pos = 0;
-  for (const disk::Extent& e : extents) {
-    if (count == 0) break;
-    BlockCount ext_end = pos + e.count;
-    if (ext_end <= offset) {
-      pos = ext_end;
-      continue;
-    }
-    BlockCount skip = offset > pos ? offset - pos : 0;
-    BlockCount avail = e.count - skip;
-    BlockCount take = std::min<BlockCount>(avail, count);
-    out.push_back(disk::Extent{e.disk, e.start + skip, take});
-    count -= take;
-    offset += take;
-    pos = ext_end;
-  }
-  TERTIO_CHECK(count == 0, "extent slice out of range");
-  return out;
-}
-
 Status HashJoinTable::AddBlocks(std::span<const BlockPayload> blocks) {
   for (const BlockPayload& payload : blocks) {
     TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
@@ -76,6 +53,16 @@ Status HashJoinTable::Probe(std::span<const BlockPayload> blocks,
   return Status::OK();
 }
 
+Result<sim::Interval> ProbeSink::Write(BlockCount offset, BlockCount count, SimSeconds ready,
+                                       std::vector<BlockPayload>* payloads) {
+  (void)offset;
+  (void)count;
+  if (payloads != nullptr && table_ != nullptr) {
+    TERTIO_RETURN_IF_ERROR(table_->Probe(*payloads, schema_, key_, out_));
+  }
+  return sim::Interval::At(ready);
+}
+
 Status ValidateSpecAndContext(const JoinSpec& spec, const JoinContext& ctx) {
   if (spec.r == nullptr || spec.s == nullptr) {
     return Status::InvalidArgument("join spec requires both relations");
@@ -111,7 +98,9 @@ StatsScope::StatsScope(const JoinContext& ctx)
       start_(ctx.sim->Horizon()),
       tape_r_before_(ctx.drive_r->stats()),
       tape_s_before_(ctx.drive_s->stats()),
-      disk_before_(ctx.disks->TotalStats()) {}
+      disk_before_(ctx.disks->TotalStats()),
+      mem_reserved_before_(ctx.memory->reserved_blocks()),
+      robot_ops_before_(ctx.robot != nullptr ? ctx.robot->stats().op_count : 0) {}
 
 void StatsScope::Fill(JoinStats* stats) const {
   const tape::TapeDriveStats& r = ctx_.drive_r->stats();
@@ -126,69 +115,62 @@ void StatsScope::Fill(JoinStats* stats) const {
   stats->disk_requests = d.requests - disk_before_.requests;
   stats->response_seconds = ctx_.sim->Horizon() - start_;
   stats->peak_memory_blocks = ctx_.memory->peak_reserved_blocks();
+  BlockCount reserved = ctx_.memory->reserved_blocks();
+  stats->memory_occupied_blocks =
+      reserved > mem_reserved_before_ ? reserved - mem_reserved_before_ : 0;
+  stats->robot_exchanges =
+      ctx_.robot != nullptr ? ctx_.robot->stats().op_count - robot_ops_before_ : 0;
 }
 
-Result<StagedRelation> StageRelationToDisk(const JoinContext& ctx, tape::TapeDrive* drive,
+Result<StagedRelation> StageRelationToDisk(const JoinContext& ctx, sim::Pipeline& pipe,
+                                           tape::TapeDrive* drive,
                                            const rel::Relation& relation,
                                            BlockCount chunk_blocks, bool concurrent,
-                                           const std::string& alloc_tag, SimSeconds start) {
+                                           const std::string& alloc_tag,
+                                           std::span<const sim::StageId> deps) {
   if (chunk_blocks == 0) chunk_blocks = 1;
   TERTIO_ASSIGN_OR_RETURN(disk::ExtentList extents,
-                          ctx.disks->allocator().Allocate(relation.blocks, start, alloc_tag));
+                          ctx.disks->allocator().Allocate(relation.blocks, pipe.ReadyAfter(deps),
+                                                          alloc_tag));
   StagedRelation staged;
   staged.extents = std::move(extents);
 
-  SimSeconds cursor = start;          // sequential process cursor
-  SimSeconds last_write_end = start;  // concurrent: writes trail reads
-  BlockCount offset = 0;
-  while (offset < relation.blocks) {
-    BlockCount take = std::min<BlockCount>(chunk_blocks, relation.blocks - offset);
-    std::vector<BlockPayload> payloads;
-    std::vector<BlockPayload>* out = relation.phantom ? nullptr : &payloads;
-    TERTIO_ASSIGN_OR_RETURN(
-        sim::Interval read,
-        drive->Read(relation.start_block + offset, take, cursor, out));
-    disk::ExtentList slice = SliceExtents(staged.extents, offset, take);
-    TERTIO_ASSIGN_OR_RETURN(sim::Interval write,
-                            ctx.disks->WriteExtents(slice, read.end,
-                                                    relation.phantom ? nullptr : &payloads));
-    if (concurrent) {
-      // Next tape read streams on; writes complete in their own time.
-      cursor = read.end;
-      last_write_end = std::max(last_write_end, write.end);
-    } else {
-      // Sequential: the single process waits for the write.
-      cursor = write.end;
-      last_write_end = write.end;
-    }
-    offset += take;
-  }
-  staged.done = std::max(cursor, last_write_end);
+  tape::TapeReadSource source(drive, relation.start_block);
+  disk::ExtentWriteSink sink(ctx.disks, &staged.extents);
+  sim::Pipeline::TransferPlan plan;
+  plan.read_phase = "stage:tape-read";
+  plan.write_phase = "stage:disk-write";
+  plan.total = relation.blocks;
+  plan.chunk = chunk_blocks;
+  plan.streaming = concurrent;
+  plan.move_payloads = !relation.phantom;
+  TERTIO_ASSIGN_OR_RETURN(sim::Pipeline::TransferResult result,
+                          pipe.Transfer(plan, source, sink, deps));
+  staged.done_stage = pipe.Event("stage:done", result.done);
+  staged.done = pipe.end(staged.done_stage);
   return staged;
 }
 
-Result<SimSeconds> ScanDiskAndProbe(const JoinContext& ctx, const disk::ExtentList& extents,
-                                    BlockCount chunk_blocks, SimSeconds ready, bool phantom,
-                                    const rel::Schema* probe_schema, std::size_t probe_key,
-                                    const HashJoinTable* table, JoinOutput* out) {
+Result<sim::StageId> ScanDiskAndProbe(const JoinContext& ctx, sim::Pipeline& pipe,
+                                      std::string_view phase, const disk::ExtentList& extents,
+                                      BlockCount chunk_blocks,
+                                      std::span<const sim::StageId> deps, bool phantom,
+                                      const rel::Schema* probe_schema, std::size_t probe_key,
+                                      const HashJoinTable* table, JoinOutput* out) {
   if (chunk_blocks == 0) chunk_blocks = 1;
-  BlockCount total = disk::TotalBlocks(extents);
-  BlockCount offset = 0;
-  SimSeconds cursor = ready;
-  while (offset < total) {
-    BlockCount take = std::min<BlockCount>(chunk_blocks, total - offset);
-    disk::ExtentList slice = SliceExtents(extents, offset, take);
-    std::vector<BlockPayload> payloads;
-    TERTIO_ASSIGN_OR_RETURN(
-        sim::Interval read,
-        ctx.disks->ReadExtents(slice, cursor, phantom ? nullptr : &payloads));
-    cursor = read.end;
-    if (!phantom && table != nullptr) {
-      TERTIO_RETURN_IF_ERROR(table->Probe(payloads, probe_schema, probe_key, out));
-    }
-    offset += take;
-  }
-  return cursor;
+  disk::ExtentReadSource source(ctx.disks, &extents);
+  ProbeSink sink(table, probe_schema, probe_key, out);
+  sim::Pipeline::TransferPlan plan;
+  plan.read_phase = phase;
+  plan.write_phase = "probe";
+  plan.total = disk::TotalBlocks(extents);
+  plan.chunk = chunk_blocks;
+  plan.streaming = true;  // reads chain read-to-read; probing is free
+  plan.move_payloads = !phantom;
+  TERTIO_ASSIGN_OR_RETURN(sim::Pipeline::TransferResult result,
+                          pipe.Transfer(plan, source, sink, deps));
+  if (result.last_read == sim::kNoStage) return pipe.Barrier(phase, deps);
+  return result.last_read;
 }
 
 BlockCount DefaultTapeChunk(const rel::Relation& relation) {

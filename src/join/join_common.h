@@ -6,19 +6,22 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "disk/extent.h"
 #include "join/join_output.h"
 #include "join/join_spec.h"
+#include "sim/pipeline.h"
 #include "util/status.h"
 
 namespace tertio::join {
 
 /// \returns the sub-range of `extents` covering blocks
 /// [offset, offset + count) of the logical sequence they describe.
-disk::ExtentList SliceExtents(const disk::ExtentList& extents, BlockCount offset,
-                              BlockCount count);
+/// (Lives in disk/extent.h; re-exported for the executors.)
+using disk::SliceExtents;
 
 /// In-memory hash table over the build side of one (sub-)join.
 ///
@@ -61,12 +64,35 @@ class HashJoinTable {
   std::unordered_multimap<std::int64_t, Entry> entries_;
 };
 
+/// Pipeline sink probing a Transfer's chunks through a hash table — the
+/// "consumer is the CPU" end of a scan. Probing is free in the system model
+/// (Section 3.2); the sink exists so consumption is a declared stage.
+class ProbeSink final : public sim::BlockSink {
+ public:
+  /// `table` may be null (scan without probing, e.g. an empty build side).
+  ProbeSink(const HashJoinTable* table, const rel::Schema* probe_schema,
+            std::size_t probe_key_column, JoinOutput* out)
+      : table_(table), schema_(probe_schema), key_(probe_key_column), out_(out) {}
+
+  Result<sim::Interval> Write(BlockCount offset, BlockCount count, SimSeconds ready,
+                              std::vector<BlockPayload>* payloads) override;
+  std::string_view device() const override { return "mem"; }
+
+ private:
+  const HashJoinTable* table_;
+  const rel::Schema* schema_;
+  std::size_t key_;
+  JoinOutput* out_;
+};
+
 /// Validates a spec against a context: relations present, |R| <= |S|, both
 /// real or both phantom, tapes mounted in the right drives.
 Status ValidateSpecAndContext(const JoinSpec& spec, const JoinContext& ctx);
 
 /// Captures device statistics at construction; Fill() writes the deltas
 /// (traffic, requests, response time since construction) into a JoinStats.
+/// Construct it *before* the method reserves memory so the occupancy delta
+/// attributes the method's own reservations.
 class StatsScope {
  public:
   explicit StatsScope(const JoinContext& ctx);
@@ -84,29 +110,60 @@ class StatsScope {
   tape::TapeDriveStats tape_r_before_;
   tape::TapeDriveStats tape_s_before_;
   disk::DiskStats disk_before_;
+  BlockCount mem_reserved_before_;
+  std::uint64_t robot_ops_before_;
 };
 
 /// Result of staging (copying) a relation from tape to disk.
 struct StagedRelation {
   disk::ExtentList extents;  // in tape order
+  /// Stage marking the copy complete (last read and last write done).
+  sim::StageId done_stage = sim::kNoStage;
   SimSeconds done = 0.0;
 };
 
-/// Copies `relation` from the drive currently holding it to disk.
-/// Sequential mode alternates tape read / disk write; concurrent mode
-/// streams the tape while writes trail behind (CDT variants' Step I).
-Result<StagedRelation> StageRelationToDisk(const JoinContext& ctx, tape::TapeDrive* drive,
+/// Copies `relation` from the drive currently holding it to disk, as a
+/// declared Transfer starting no earlier than `deps`. Sequential mode
+/// alternates tape read / disk write; concurrent mode streams the tape while
+/// writes trail behind (CDT variants' Step I).
+Result<StagedRelation> StageRelationToDisk(const JoinContext& ctx, sim::Pipeline& pipe,
+                                           tape::TapeDrive* drive,
                                            const rel::Relation& relation,
                                            BlockCount chunk_blocks, bool concurrent,
-                                           const std::string& alloc_tag, SimSeconds start);
+                                           const std::string& alloc_tag,
+                                           std::span<const sim::StageId> deps);
+inline Result<StagedRelation> StageRelationToDisk(const JoinContext& ctx, sim::Pipeline& pipe,
+                                                  tape::TapeDrive* drive,
+                                                  const rel::Relation& relation,
+                                                  BlockCount chunk_blocks, bool concurrent,
+                                                  const std::string& alloc_tag,
+                                                  std::initializer_list<sim::StageId> deps) {
+  return StageRelationToDisk(ctx, pipe, drive, relation, chunk_blocks, concurrent, alloc_tag,
+                             std::span<const sim::StageId>(deps.begin(), deps.size()));
+}
 
 /// Scans `extents` (a disk-resident relation) in `chunk_blocks` requests
-/// starting no earlier than `ready`; when `table` is non-null each chunk is
-/// probed into `out`. \returns the completion time of the scan.
-Result<SimSeconds> ScanDiskAndProbe(const JoinContext& ctx, const disk::ExtentList& extents,
-                                    BlockCount chunk_blocks, SimSeconds ready, bool phantom,
-                                    const rel::Schema* probe_schema, std::size_t probe_key,
-                                    const HashJoinTable* table, JoinOutput* out);
+/// starting no earlier than `deps`; when `table` is non-null each chunk is
+/// probed into `out`. Reads stream (chunk i+1 follows chunk i). \returns the
+/// stage completing the scan.
+Result<sim::StageId> ScanDiskAndProbe(const JoinContext& ctx, sim::Pipeline& pipe,
+                                      std::string_view phase, const disk::ExtentList& extents,
+                                      BlockCount chunk_blocks,
+                                      std::span<const sim::StageId> deps, bool phantom,
+                                      const rel::Schema* probe_schema, std::size_t probe_key,
+                                      const HashJoinTable* table, JoinOutput* out);
+inline Result<sim::StageId> ScanDiskAndProbe(const JoinContext& ctx, sim::Pipeline& pipe,
+                                             std::string_view phase,
+                                             const disk::ExtentList& extents,
+                                             BlockCount chunk_blocks,
+                                             std::initializer_list<sim::StageId> deps,
+                                             bool phantom, const rel::Schema* probe_schema,
+                                             std::size_t probe_key, const HashJoinTable* table,
+                                             JoinOutput* out) {
+  return ScanDiskAndProbe(ctx, pipe, phase, extents, chunk_blocks,
+                          std::span<const sim::StageId>(deps.begin(), deps.size()), phantom,
+                          probe_schema, probe_key, table, out);
+}
 
 /// Default tape read chunk for streaming a relation (blocks).
 BlockCount DefaultTapeChunk(const rel::Relation& relation);

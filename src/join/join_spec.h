@@ -11,6 +11,7 @@
 #include "disk/striped_group.h"
 #include "mem/memory_budget.h"
 #include "relation/relation.h"
+#include "sim/pipeline.h"
 #include "sim/simulation.h"
 #include "tape/tape_drive.h"
 #include "util/status.h"
@@ -54,6 +55,11 @@ struct JoinContext {
   tape::TapeDrive* drive_s = nullptr;
   disk::StripedDiskGroup* disks = nullptr;
   mem::MemoryBudget* memory = nullptr;
+  /// Robot resource when the machine has a tape library (exchange counting).
+  sim::Resource* robot = nullptr;
+  /// Retain every pipeline span in JoinStats::spans (per-phase summaries are
+  /// always collected; full span lists of paper-scale joins are large).
+  bool retain_spans = false;
 };
 
 /// Everything a run reports. Timing is virtual; tuple counts are exact in
@@ -89,6 +95,17 @@ struct JoinStats {
   /// Peak reservations observed during the run.
   BlockCount peak_memory_blocks = 0;
   BlockCount peak_disk_blocks = 0;
+
+  /// Memory blocks this join still held when its stats were collected (the
+  /// method's working reservation, excluding pre-existing reservations).
+  BlockCount memory_occupied_blocks = 0;
+  /// Robot operations (cartridge exchange trips) during the join.
+  std::uint64_t robot_exchanges = 0;
+
+  /// Per-phase pipeline spans of the run (always carries per-phase
+  /// summaries; individual spans when JoinContext::retain_spans was set).
+  /// Rendered by exec/report and sim/trace_report.
+  sim::SpanTrace spans;
 
   BlockCount disk_traffic_blocks() const { return disk_blocks_read + disk_blocks_written; }
   BlockCount tape_traffic_blocks() const { return tape_blocks_read + tape_blocks_written; }

@@ -11,6 +11,11 @@
 ///   CDT-NB/DB  — one full-size chunk staged through an interleaved
 ///                double-buffered disk ring (Section 4), tape-to-disk
 ///                refill overlaps the join.
+///
+/// All scheduling runs on sim::Pipeline: every tape read, disk transfer and
+/// join pass is a stage, and the overlap of the concurrent variants comes
+/// from the declared dependencies (buffer-free stages, staging-done stage)
+/// instead of hand-threaded completion times.
 
 #include <algorithm>
 #include <vector>
@@ -18,6 +23,7 @@
 #include "join/join_common.h"
 #include "join/join_method.h"
 #include "mem/double_buffer.h"
+#include "mem/pipeline_buffers.h"
 #include "util/string_util.h"
 
 namespace tertio::join {
@@ -55,16 +61,19 @@ Result<NbGeometry> PlanNb(NbMode mode, const JoinSpec& spec, const JoinContext& 
 
 /// Joins one memory-resident S chunk against disk-resident R: builds a hash
 /// table over the chunk and streams R through it in Mr-block requests.
-Result<SimSeconds> JoinChunkAgainstR(const JoinContext& ctx, const JoinSpec& spec,
-                                     const disk::ExtentList& r_extents, BlockCount mr,
-                                     const std::vector<BlockPayload>& chunk, bool phantom,
-                                     SimSeconds ready, JoinOutput* output) {
+/// \returns the stage completing the pass over R.
+Result<sim::StageId> JoinChunkAgainstR(const JoinContext& ctx, const JoinSpec& spec,
+                                       sim::Pipeline& pipe,
+                                       const disk::ExtentList& r_extents, BlockCount mr,
+                                       const std::vector<BlockPayload>& chunk, bool phantom,
+                                       std::initializer_list<sim::StageId> deps,
+                                       JoinOutput* output) {
   HashJoinTable table(&spec.s->schema, spec.s_key_column, /*build_is_r=*/false,
                       /*capture_records=*/output->has_sink());
   if (!phantom) {
     TERTIO_RETURN_IF_ERROR(table.AddBlocks(chunk));
   }
-  return ScanDiskAndProbe(ctx, r_extents, mr, ready, phantom, &spec.r->schema,
+  return ScanDiskAndProbe(ctx, pipe, "r-scan", r_extents, mr, deps, phantom, &spec.r->schema,
                           spec.r_key_column, phantom ? nullptr : &table, output);
 }
 
@@ -82,59 +91,63 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
                   static_cast<unsigned long long>(g.disk_needed),
                   static_cast<unsigned long long>(ctx.disks->allocator().free_blocks())));
   }
+  StatsScope scope(ctx);
   TERTIO_RETURN_IF_ERROR(ctx.memory->Reserve(g.mr, "nb/r-scan"));
   TERTIO_RETURN_IF_ERROR(
       ctx.memory->Reserve(g.memory_needed - g.mr, "nb/s-buffer"));
 
-  StatsScope scope(ctx);
   JoinStats stats;
   stats.method = std::string(JoinMethodName(id));
+  stats.spans.set_retain(ctx.retain_spans);
+  sim::Pipeline pipe(scope.start(), &stats.spans);
 
   // ---- Step I: copy R from tape to disk.
   TERTIO_ASSIGN_OR_RETURN(
       StagedRelation staged,
-      StageRelationToDisk(ctx, ctx.drive_r, r, g.ms, mode != NbMode::kSequential, "R-copy",
-                          scope.start()));
+      StageRelationToDisk(ctx, pipe, ctx.drive_r, r, g.ms, mode != NbMode::kSequential,
+                          "R-copy", {}));
   stats.step1_seconds = staged.done - scope.start();
   stats.peak_disk_blocks = ctx.disks->allocator().used_blocks();
 
   JoinOutput output;
   if (!phantom && spec.match_sink) output.set_sink(spec.match_sink);
-  SimSeconds finish = staged.done;
+  sim::StageId finish_stage = staged.done_stage;
 
   // ---- Step II: iterate over S.
   if (mode == NbMode::kSequential) {
-    SimSeconds t = staged.done;
+    sim::StageId chain = staged.done_stage;
     for (BlockCount off = 0; off < s.blocks; off += g.ms) {
       BlockCount take = std::min<BlockCount>(g.ms, s.blocks - off);
       std::vector<BlockPayload> chunk;
-      TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
-                              ctx.drive_s->Read(s.start_block + off, take, t,
-                                                phantom ? nullptr : &chunk));
-      t = read.end;
       TERTIO_ASSIGN_OR_RETURN(
-          t, JoinChunkAgainstR(ctx, spec, staged.extents, g.mr, chunk, phantom, t, &output));
+          sim::StageId read,
+          ctx.drive_s->IssueRead(pipe, "s-read", {chain}, s.start_block + off, take,
+                                 phantom ? nullptr : &chunk));
+      TERTIO_ASSIGN_OR_RETURN(chain, JoinChunkAgainstR(ctx, spec, pipe, staged.extents, g.mr,
+                                                       chunk, phantom, {read}, &output));
       stats.iterations += 1;
     }
-    finish = t;
+    finish_stage = chain;
   } else if (mode == NbMode::kMemoryBuffered) {
-    mem::SplitDoubleBuffer buffers;
-    SimSeconds t_join = staged.done;
+    // Two half-size buffers: the tape read of chunk i waits only for the
+    // join that drained buffer i%2, overlapping with the join of chunk i-1.
+    mem::SplitBufferStages buffers;
+    sim::StageId join_chain = staged.done_stage;
     std::uint64_t i = 0;
     for (BlockCount off = 0; off < s.blocks; off += g.ms, ++i) {
       BlockCount take = std::min<BlockCount>(g.ms, s.blocks - off);
       std::vector<BlockPayload> chunk;
-      SimSeconds ready = std::max(buffers.FreeAt(i), staged.done);
-      TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
-                              ctx.drive_s->Read(s.start_block + off, take, ready,
-                                                phantom ? nullptr : &chunk));
-      SimSeconds join_start = std::max(read.end, t_join);
-      TERTIO_ASSIGN_OR_RETURN(t_join, JoinChunkAgainstR(ctx, spec, staged.extents, g.mr, chunk,
-                                                        phantom, join_start, &output));
-      buffers.SetBusyUntil(i, t_join);
+      TERTIO_ASSIGN_OR_RETURN(
+          sim::StageId read,
+          ctx.drive_s->IssueRead(pipe, "s-read", {staged.done_stage, buffers.FreeStage(i)},
+                                 s.start_block + off, take, phantom ? nullptr : &chunk));
+      TERTIO_ASSIGN_OR_RETURN(
+          join_chain, JoinChunkAgainstR(ctx, spec, pipe, staged.extents, g.mr, chunk, phantom,
+                                        {read, join_chain}, &output));
+      buffers.SetBusyUntil(i, join_chain);
       stats.iterations += 1;
     }
-    finish = t_join;
+    finish_stage = join_chain;
   } else {  // kDiskBuffered
     // Interleaved double-buffered disk ring of Ms blocks (Section 4).
     TERTIO_ASSIGN_OR_RETURN(
@@ -148,14 +161,15 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
     struct Piece {
       BlockCount ring_off = 0;
       BlockCount count = 0;
-      SimSeconds write_end = 0.0;
+      sim::StageId write_stage = sim::kNoStage;
     };
     BlockCount ring_pos = 0;
 
-    // Writes `count` blocks into the ring (splitting on wrap-around).
-    auto ring_write = [&](BlockCount count, SimSeconds ready,
+    // Writes `count` blocks into the ring (splitting on wrap-around); both
+    // halves depend only on the producing read.
+    auto ring_write = [&](BlockCount count, sim::StageId read,
                           const std::vector<BlockPayload>* payloads) -> Result<Piece> {
-      Piece piece{ring_pos, count, ready};
+      Piece piece{ring_pos, count, sim::kNoStage};
       BlockCount first = std::min<BlockCount>(count, g.ms - ring_pos);
       disk::ExtentList slice = SliceExtents(ring_extents, ring_pos, first);
       std::vector<BlockPayload> head, tail;
@@ -165,49 +179,52 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
         head.assign(payloads->begin(), payloads->begin() + static_cast<long>(first));
         head_ptr = &head;
       }
-      TERTIO_ASSIGN_OR_RETURN(sim::Interval w1, ctx.disks->WriteExtents(slice, ready, head_ptr));
-      piece.write_end = w1.end;
+      TERTIO_ASSIGN_OR_RETURN(sim::StageId w1,
+                              ctx.disks->IssueWrite(pipe, "ring-write", {read}, slice, head_ptr));
+      piece.write_stage = w1;
       if (first < count) {
         disk::ExtentList wrap = SliceExtents(ring_extents, 0, count - first);
         if (payloads != nullptr) {
           tail.assign(payloads->begin() + static_cast<long>(first), payloads->end());
           tail_ptr = &tail;
         }
-        TERTIO_ASSIGN_OR_RETURN(sim::Interval w2, ctx.disks->WriteExtents(wrap, ready, tail_ptr));
-        piece.write_end = std::max(piece.write_end, w2.end);
+        TERTIO_ASSIGN_OR_RETURN(
+            sim::StageId w2, ctx.disks->IssueWrite(pipe, "ring-write", {read}, wrap, tail_ptr));
+        piece.write_stage = pipe.Barrier("ring-piece", {w1, w2});
       }
       ring_pos = (ring_pos + count) % g.ms;
       return piece;
     };
 
-    auto ring_read = [&](const Piece& piece, SimSeconds ready,
-                         std::vector<BlockPayload>* out) -> Result<SimSeconds> {
+    // Reads a piece back; both halves of a wrapped piece start together.
+    auto ring_read = [&](const Piece& piece, std::initializer_list<sim::StageId> deps,
+                         std::vector<BlockPayload>* out) -> Result<sim::StageId> {
       BlockCount first = std::min<BlockCount>(piece.count, g.ms - piece.ring_off);
       TERTIO_ASSIGN_OR_RETURN(
-          sim::Interval r1,
-          ctx.disks->ReadExtents(SliceExtents(ring_extents, piece.ring_off, first), ready, out));
-      SimSeconds end = r1.end;
+          sim::StageId r1,
+          ctx.disks->IssueRead(pipe, "ring-read", deps,
+                               SliceExtents(ring_extents, piece.ring_off, first), out));
       if (first < piece.count) {
         TERTIO_ASSIGN_OR_RETURN(
-            sim::Interval r2,
-            ctx.disks->ReadExtents(SliceExtents(ring_extents, 0, piece.count - first), ready,
-                                   out));
-        end = std::max(end, r2.end);
+            sim::StageId r2,
+            ctx.disks->IssueRead(pipe, "ring-read", deps,
+                                 SliceExtents(ring_extents, 0, piece.count - first), out));
+        return pipe.Barrier("ring-piece", {r1, r2});
       }
-      return end;
+      return r1;
     };
 
     // Produces the sub-chunk at S offset `off` (`take` blocks): waits for
-    // ring space, reads tape, writes the ring.
+    // ring space (an event stage), reads tape, writes the ring.
     auto produce_piece = [&](BlockCount off, BlockCount take) -> Result<Piece> {
-      TERTIO_ASSIGN_OR_RETURN(SimSeconds space_ready, ring.AcquireFree(take));
+      TERTIO_ASSIGN_OR_RETURN(sim::StageId space,
+                              mem::AcquireFreeStage(ring, pipe, "ring-space", take));
       std::vector<BlockPayload> payloads;
       TERTIO_ASSIGN_OR_RETURN(
-          sim::Interval read,
-          ctx.drive_s->Read(s.start_block + off, take,
-                            std::max(space_ready, staged.done),
-                            phantom ? nullptr : &payloads));
-      return ring_write(take, read.end, phantom ? nullptr : &payloads);
+          sim::StageId read,
+          ctx.drive_s->IssueRead(pipe, "s-read", {space, staged.done_stage},
+                                 s.start_block + off, take, phantom ? nullptr : &payloads));
+      return ring_write(take, read, phantom ? nullptr : &payloads);
     };
 
     // Splits chunk [off, off+take) into sub-chunk descriptors.
@@ -219,7 +236,7 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
       return subs;
     };
 
-    SimSeconds t_join = staged.done;
+    sim::StageId join_chain = staged.done_stage;
     BlockCount off = 0;
     BlockCount take = std::min<BlockCount>(g.ms, s.blocks);
     std::vector<Piece> current;
@@ -239,13 +256,13 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
       std::vector<BlockPayload> chunk;
       std::vector<Piece> next;
       size_t piece_count = std::max(current.size(), next_subs.size());
-      SimSeconds t = t_join;
+      sim::StageId t = join_chain;
       for (size_t j = 0; j < piece_count; ++j) {
         if (j < current.size()) {
           TERTIO_ASSIGN_OR_RETURN(
-              t, ring_read(current[j], std::max(t, current[j].write_end),
+              t, ring_read(current[j], {t, current[j].write_stage},
                            phantom ? nullptr : &chunk));
-          TERTIO_RETURN_IF_ERROR(ring.Release(current[j].count, t));
+          TERTIO_RETURN_IF_ERROR(ring.Release(current[j].count, pipe.end(t)));
         }
         if (j < next_subs.size()) {
           TERTIO_ASSIGN_OR_RETURN(Piece piece,
@@ -253,17 +270,20 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
           next.push_back(piece);
         }
       }
-      TERTIO_ASSIGN_OR_RETURN(
-          t_join, JoinChunkAgainstR(ctx, spec, staged.extents, g.mr, chunk, phantom, t, &output));
+      TERTIO_ASSIGN_OR_RETURN(join_chain,
+                              JoinChunkAgainstR(ctx, spec, pipe, staged.extents, g.mr, chunk,
+                                                phantom, {t}, &output));
       stats.iterations += 1;
       current = std::move(next);
       off = next_off;
       take = next_take;
     }
-    finish = t_join;
-    TERTIO_RETURN_IF_ERROR(ctx.disks->allocator().Free(ring_extents, finish, "S-ring"));
+    finish_stage = join_chain;
+    TERTIO_RETURN_IF_ERROR(
+        ctx.disks->allocator().Free(ring_extents, pipe.end(finish_stage), "S-ring"));
   }
 
+  SimSeconds finish = pipe.end(finish_stage);
   stats.step2_seconds = finish - staged.done;
   stats.r_scans = stats.iterations;
   scope.Fill(&stats);

@@ -12,6 +12,11 @@
 /// seeks between source and destination), then joins bucket pairs by
 /// streaming both hashed tapes in parallel — at the price of also hashing S
 /// from tape to tape, the setup cost that rules it out for large |S|.
+///
+/// Scheduling runs on sim::Pipeline: tape scans, bucket assembly, appends
+/// and the dual-drive Step II streams are stages; per-drive chains are
+/// StageIds and externally-computed readiness (bucket flush times) enters
+/// the graph as events.
 
 #include <algorithm>
 #include <vector>
@@ -55,12 +60,12 @@ Result<hash::BucketLayout> PlanTt(const JoinSpec& spec, const JoinContext& ctx,
 /// Hashes `relation` (read on `source`) into a contiguous bucket run
 /// appended to the tape in `target`. Scans the relation once per bucket
 /// group; each scan materializes as many full buckets as fit on disk.
-/// \returns the completion time.
-Result<SimSeconds> HashRelationToTape(const JoinContext& ctx, const rel::Relation& relation,
-                                      std::size_t key_column, tape::TapeDrive* source,
-                                      tape::TapeDrive* target,
-                                      const hash::BucketLayout& layout, SimSeconds start,
-                                      hash::TapeBucketRun* run, std::uint64_t* scan_count) {
+/// \returns the stage completing the run.
+Result<sim::StageId> HashRelationToTape(const JoinContext& ctx, sim::Pipeline& pipe,
+                                        const rel::Relation& relation, std::size_t key_column,
+                                        tape::TapeDrive* source, tape::TapeDrive* target,
+                                        const hash::BucketLayout& layout, sim::StageId start,
+                                        hash::TapeBucketRun* run, std::uint64_t* scan_count) {
   const bool phantom = relation.phantom;
   BlockCount disk_free = ctx.disks->allocator().free_blocks();
   // Each bucket needs its expected size plus one partial block of slack in
@@ -83,7 +88,7 @@ Result<SimSeconds> HashRelationToTape(const JoinContext& ctx, const rel::Relatio
   BlockCount chunk = DefaultTapeChunk(relation);
   std::uint64_t tuples_per_block =
       relation.blocks > 0 ? (relation.tuple_count + relation.blocks - 1) / relation.blocks : 0;
-  SimSeconds cursor = start;
+  sim::StageId cursor = start;
   std::uint64_t scans = 0;
   for (std::uint32_t first = 0; first < layout.bucket_count; first += per_scan, ++scans) {
     std::uint32_t span = std::min(per_scan, layout.bucket_count - first);
@@ -97,25 +102,25 @@ Result<SimSeconds> HashRelationToTape(const JoinContext& ctx, const rel::Relatio
     options.alloc_tag = "tape-assembly";
     hash::DiskPartitioner partitioner(ctx.disks, options);
 
-    // Scan the relation end to end (the source drive seeks back on demand).
-    for (BlockCount off = 0; off < relation.blocks; off += chunk) {
-      BlockCount take = std::min<BlockCount>(chunk, relation.blocks - off);
-      std::vector<BlockPayload> payloads;
-      TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
-                              source->Read(relation.start_block + off, take, cursor,
-                                           phantom ? nullptr : &payloads));
-      if (phantom) {
-        TERTIO_RETURN_IF_ERROR(partitioner.AddPhantomBlocks(
-            take, static_cast<std::uint64_t>(take) * tuples_per_block, read.end));
-      } else {
-        TERTIO_RETURN_IF_ERROR(partitioner.AddBlocks(payloads, read.end));
-      }
-      cursor = read.end;  // hashing to disk overlaps the tape scan
-    }
-    TERTIO_RETURN_IF_ERROR(partitioner.Flush());
+    // Scan the relation end to end (the source drive seeks back on demand);
+    // hashing to disk streams behind the tape.
+    tape::TapeReadSource scan_source(source, relation.start_block);
+    hash::PartitionerSink scan_sink(&partitioner, tuples_per_block);
+    sim::Pipeline::TransferPlan plan;
+    plan.read_phase = "assemble-read";
+    plan.write_phase = "assemble-write";
+    plan.total = relation.blocks;
+    plan.chunk = chunk;
+    plan.streaming = true;
+    plan.move_payloads = !phantom;
+    TERTIO_ASSIGN_OR_RETURN(sim::Pipeline::TransferResult result,
+                            pipe.Transfer(plan, scan_source, scan_sink, {cursor}));
+    TERTIO_ASSIGN_OR_RETURN(sim::StageId flush,
+                            scan_sink.IssueFlush(pipe, "assemble-flush", {result.last_read}));
+    (void)flush;  // bucket readiness enters below as per-bucket events
 
     // Append the materialized buckets, in bucket order, to the target tape.
-    SimSeconds append_cursor = cursor;
+    sim::StageId append_chain = result.last_read;
     for (std::uint32_t local = 0; local < span; ++local) {
       hash::DiskBucket& bucket = partitioner.buckets()[local];
       hash::TapeBucketRegion& region = run->regions[first + local];
@@ -125,25 +130,27 @@ Result<SimSeconds> HashRelationToTape(const JoinContext& ctx, const rel::Relatio
       if (bucket.blocks == 0) continue;
       std::vector<BlockPayload> payloads;
       TERTIO_ASSIGN_OR_RETURN(
-          sim::Interval readback,
-          ctx.disks->ReadExtents(bucket.extents,
-                                 std::max(append_cursor, bucket.ready),
-                                 phantom ? nullptr : &payloads));
-      sim::Interval append;
-      if (phantom) {
-        TERTIO_ASSIGN_OR_RETURN(append, target->AppendPhantom(bucket.blocks,
-                                                              relation.compressibility,
-                                                              readback.end));
-      } else {
-        TERTIO_ASSIGN_OR_RETURN(
-            append, target->Append(payloads, relation.compressibility, readback.end));
-      }
-      append_cursor = append.end;
+          sim::StageId readback,
+          ctx.disks->IssueRead(pipe, "assemble-readback",
+                               {append_chain, pipe.Event("bucket-ready", bucket.ready)},
+                               bucket.extents, phantom ? nullptr : &payloads));
+      TERTIO_ASSIGN_OR_RETURN(
+          sim::StageId append,
+          pipe.Stage("tape-append", target->name(), {readback}, bucket.blocks,
+                     bucket.blocks * relation.block_bytes,
+                     [&](SimSeconds ready) -> Result<sim::Interval> {
+                       if (phantom) {
+                         return target->AppendPhantom(bucket.blocks, relation.compressibility,
+                                                      ready);
+                       }
+                       return target->Append(payloads, relation.compressibility, ready);
+                     }));
+      append_chain = append;
       TERTIO_RETURN_IF_ERROR(
-          ctx.disks->allocator().Free(bucket.extents, append.end, "tape-assembly"));
+          ctx.disks->allocator().Free(bucket.extents, pipe.end(append), "tape-assembly"));
       bucket.extents.clear();
     }
-    cursor = append_cursor;
+    cursor = append_chain;
   }
   if (scan_count != nullptr) *scan_count += scans;
   return cursor;
@@ -158,20 +165,24 @@ Result<JoinStats> ExecuteCttGh(const JoinSpec& spec, const JoinContext& ctx) {
   const bool phantom = r.phantom;
   BlockCount disk_free = ctx.disks->allocator().free_blocks();
   TERTIO_ASSIGN_OR_RETURN(hash::BucketLayout layout, PlanTt(spec, ctx, disk_free, spec.r->blocks));
+  StatsScope scope(ctx);
   TERTIO_RETURN_IF_ERROR(ctx.memory->Reserve(layout.memory_blocks, "ctt/memory"));
   BlockCount r_tape_size_before = r.volume->size_blocks();
 
-  StatsScope scope(ctx);
   JoinStats stats;
   stats.method = std::string(JoinMethodName(JoinMethodId::kCttGh));
+  stats.spans.set_retain(ctx.retain_spans);
+  sim::Pipeline pipe(scope.start(), &stats.spans);
+  sim::StageId origin = pipe.Event("start", scope.start());
 
   // ---- Step I: hashed copy of R appended to the R tape.
   hash::TapeBucketRun run;
   std::uint64_t scans = 0;
   TERTIO_ASSIGN_OR_RETURN(
-      SimSeconds step1_end,
-      HashRelationToTape(ctx, r, spec.r_key_column, ctx.drive_r, ctx.drive_r, layout,
-                         scope.start(), &run, &scans));
+      sim::StageId step1_stage,
+      HashRelationToTape(ctx, pipe, r, spec.r_key_column, ctx.drive_r, ctx.drive_r, layout,
+                         origin, &run, &scans));
+  SimSeconds step1_end = pipe.end(step1_stage);
   stats.step1_seconds = step1_end - scope.start();
   stats.r_scans = scans;
 
@@ -190,8 +201,8 @@ Result<JoinStats> ExecuteCttGh(const JoinSpec& spec, const JoinContext& ctx) {
     slab = d - layout.bucket_count;
   }
   mem::InterleavedBuffer space(d);
-  SimSeconds tape_s_cursor = step1_end;
-  SimSeconds join_cursor = step1_end;
+  sim::StageId tape_s_chain = step1_stage;
+  sim::StageId join_chain = step1_stage;
   BlockCount s_chunk = std::min<BlockCount>(DefaultTapeChunk(s), slab);
   std::uint64_t s_tuples_per_block =
       s.blocks > 0 ? (s.tuple_count + s.blocks - 1) / s.blocks : 0;
@@ -207,21 +218,22 @@ Result<JoinStats> ExecuteCttGh(const JoinSpec& spec, const JoinContext& ctx) {
     s_options.space = &space;
     hash::DiskPartitioner s_partitioner(ctx.disks, s_options);
 
-    for (BlockCount done = 0; done < take_slab; done += s_chunk) {
-      BlockCount take = std::min<BlockCount>(s_chunk, take_slab - done);
-      std::vector<BlockPayload> payloads;
-      TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
-                              ctx.drive_s->Read(s.start_block + off + done, take,
-                                                tape_s_cursor, phantom ? nullptr : &payloads));
-      if (phantom) {
-        TERTIO_RETURN_IF_ERROR(s_partitioner.AddPhantomBlocks(
-            take, static_cast<std::uint64_t>(take) * s_tuples_per_block, read.end));
-      } else {
-        TERTIO_RETURN_IF_ERROR(s_partitioner.AddBlocks(payloads, read.end));
-      }
-      tape_s_cursor = read.end;
-    }
-    TERTIO_RETURN_IF_ERROR(s_partitioner.Flush());
+    // Hash process: stream this slab from tape S into disk buckets.
+    tape::TapeReadSource s_source(ctx.drive_s, s.start_block + off);
+    hash::PartitionerSink s_sink(&s_partitioner, s_tuples_per_block);
+    sim::Pipeline::TransferPlan plan;
+    plan.read_phase = "s-hash-read";
+    plan.write_phase = "s-hash-write";
+    plan.total = take_slab;
+    plan.chunk = s_chunk;
+    plan.streaming = true;  // the hash process trails the tape
+    plan.move_payloads = !phantom;
+    TERTIO_ASSIGN_OR_RETURN(sim::Pipeline::TransferResult slab_result,
+                            pipe.Transfer(plan, s_source, s_sink, {tape_s_chain}));
+    tape_s_chain = slab_result.last_read;
+    TERTIO_ASSIGN_OR_RETURN(sim::StageId flush,
+                            s_sink.IssueFlush(pipe, "s-hash-flush", {tape_s_chain}));
+    (void)flush;  // bucket readiness enters below as events
 
     // Join: stream R's tape-resident buckets past the disk-resident S
     // buckets — one full pass over hashed R per iteration. On drives with
@@ -234,20 +246,25 @@ Result<JoinStats> ExecuteCttGh(const JoinSpec& spec, const JoinContext& ctx) {
       std::uint32_t b = reverse_pass ? layout.bucket_count - 1 - bi : bi;
       const hash::TapeBucketRegion& region = run.regions[b];
       hash::DiskBucket& sb = s_partitioner.buckets()[b];
-      SimSeconds t = join_cursor;
+      sim::StageId t = join_chain;
       if (region.blocks > 0 && reverse_pass && region.blocks <= layout.r_bucket_blocks) {
         // Backward read of the whole bucket (head is already at its end when
         // buckets are visited in descending order).
         if (ctx.drive_r->head_position() != region.start + region.blocks) {
-          TERTIO_ASSIGN_OR_RETURN(sim::Interval seek,
-                                  ctx.drive_r->Locate(region.start + region.blocks, t));
-          t = seek.end;
+          TERTIO_ASSIGN_OR_RETURN(
+              t, pipe.Stage("r-run-locate", ctx.drive_r->name(), {t}, 0, 0,
+                            [&](SimSeconds ready) {
+                              return ctx.drive_r->Locate(region.start + region.blocks, ready);
+                            }));
         }
         std::vector<BlockPayload> r_blocks;
         TERTIO_ASSIGN_OR_RETURN(
-            sim::Interval read,
-            ctx.drive_r->ReadReverse(region.blocks, t, phantom ? nullptr : &r_blocks));
-        t = read.end;
+            t, pipe.Stage("r-run-read", ctx.drive_r->name(), {t}, region.blocks,
+                          region.blocks * r.block_bytes,
+                          [&](SimSeconds ready) {
+                            return ctx.drive_r->ReadReverse(region.blocks, ready,
+                                                            phantom ? nullptr : &r_blocks);
+                          }));
         HashJoinTable table(&r.schema, spec.r_key_column, /*build_is_r=*/true,
                             /*capture_records=*/output.has_sink());
         if (!phantom) {
@@ -255,9 +272,11 @@ Result<JoinStats> ExecuteCttGh(const JoinSpec& spec, const JoinContext& ctx) {
         }
         if (sb.blocks > 0) {
           TERTIO_ASSIGN_OR_RETURN(
-              t, ScanDiskAndProbe(ctx, sb.extents, layout.write_buffer_blocks,
-                                  std::max(t, sb.ready), phantom, &s.schema,
-                                  spec.s_key_column, phantom ? nullptr : &table, &output));
+              t, ScanDiskAndProbe(ctx, pipe, "s-bucket-scan", sb.extents,
+                                  layout.write_buffer_blocks,
+                                  {t, pipe.Event("s-bucket-ready", sb.ready)}, phantom,
+                                  &s.schema, spec.s_key_column, phantom ? nullptr : &table,
+                                  &output));
         }
       } else if (region.blocks > 0) {
         // Forward read into memory, possibly in slices on overflow.
@@ -267,10 +286,11 @@ Result<JoinStats> ExecuteCttGh(const JoinSpec& spec, const JoinContext& ctx) {
           BlockCount take =
               std::min<BlockCount>(layout.r_bucket_blocks, region.blocks - offset);
           std::vector<BlockPayload> r_blocks;
-          TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
-                                  ctx.drive_r->Read(region.start + offset, take, t,
-                                                    phantom ? nullptr : &r_blocks));
-          t = read.end;
+          TERTIO_ASSIGN_OR_RETURN(
+              sim::StageId read,
+              ctx.drive_r->IssueRead(pipe, "r-run-read", {t}, region.start + offset, take,
+                                     phantom ? nullptr : &r_blocks));
+          t = read;
           HashJoinTable table(&r.schema, spec.r_key_column, /*build_is_r=*/true,
                               /*capture_records=*/output.has_sink());
           if (!phantom) {
@@ -278,9 +298,11 @@ Result<JoinStats> ExecuteCttGh(const JoinSpec& spec, const JoinContext& ctx) {
           }
           if (sb.blocks > 0) {
             TERTIO_ASSIGN_OR_RETURN(
-                t, ScanDiskAndProbe(ctx, sb.extents, layout.write_buffer_blocks,
-                                    std::max(t, sb.ready), phantom, &s.schema,
-                                    spec.s_key_column, phantom ? nullptr : &table, &output));
+                t, ScanDiskAndProbe(ctx, pipe, "s-bucket-scan", sb.extents,
+                                    layout.write_buffer_blocks,
+                                    {t, pipe.Event("s-bucket-ready", sb.ready)}, phantom,
+                                    &s.schema, spec.s_key_column,
+                                    phantom ? nullptr : &table, &output));
           }
           offset += take;
           ++slices;
@@ -288,15 +310,16 @@ Result<JoinStats> ExecuteCttGh(const JoinSpec& spec, const JoinContext& ctx) {
         if (slices > 1) overflow_slices += slices - 1;
       } else if (sb.blocks > 0) {
         TERTIO_ASSIGN_OR_RETURN(
-            t, ScanDiskAndProbe(ctx, sb.extents, layout.write_buffer_blocks,
-                                std::max(t, sb.ready), phantom, &s.schema, spec.s_key_column,
-                                nullptr, &output));
+            t, ScanDiskAndProbe(ctx, pipe, "s-bucket-scan", sb.extents,
+                                layout.write_buffer_blocks,
+                                {t, pipe.Event("s-bucket-ready", sb.ready)}, phantom,
+                                &s.schema, spec.s_key_column, nullptr, &output));
       }
-      join_cursor = t;
+      join_chain = t;
       if (sb.blocks > 0) {
         TERTIO_RETURN_IF_ERROR(
-            ctx.disks->allocator().Free(sb.extents, join_cursor, s_options.alloc_tag));
-        TERTIO_RETURN_IF_ERROR(space.Release(sb.blocks, join_cursor));
+            ctx.disks->allocator().Free(sb.extents, pipe.end(join_chain), s_options.alloc_tag));
+        TERTIO_RETURN_IF_ERROR(space.Release(sb.blocks, pipe.end(join_chain)));
         sb.extents.clear();
       }
     }
@@ -304,7 +327,7 @@ Result<JoinStats> ExecuteCttGh(const JoinSpec& spec, const JoinContext& ctx) {
     stats.r_scans += 1;  // one pass over hashed R per iteration
   }
 
-  SimSeconds finish = std::max(join_cursor, tape_s_cursor);
+  SimSeconds finish = std::max(pipe.end(join_chain), pipe.end(tape_s_chain));
   stats.step2_seconds = finish - step1_end;
   stats.bucket_overflow_slices = overflow_slices;
   scope.Fill(&stats);
@@ -329,26 +352,30 @@ Result<JoinStats> ExecuteTtGh(const JoinSpec& spec, const JoinContext& ctx) {
   const bool phantom = r.phantom;
   BlockCount disk_free = ctx.disks->allocator().free_blocks();
   TERTIO_ASSIGN_OR_RETURN(hash::BucketLayout layout, PlanTt(spec, ctx, disk_free, spec.s->blocks));
+  StatsScope scope(ctx);
   TERTIO_RETURN_IF_ERROR(ctx.memory->Reserve(layout.memory_blocks, "tt/memory"));
   BlockCount r_tape_size_before = r.volume->size_blocks();
   BlockCount s_tape_size_before = s.volume->size_blocks();
 
-  StatsScope scope(ctx);
   JoinStats stats;
   stats.method = std::string(JoinMethodName(JoinMethodId::kTtGh));
+  stats.spans.set_retain(ctx.retain_spans);
+  sim::Pipeline pipe(scope.start(), &stats.spans);
+  sim::StageId origin = pipe.Event("start", scope.start());
 
   // ---- Step I: hash R onto the S tape, then S onto the R tape.
   hash::TapeBucketRun r_run, s_run;
   std::uint64_t scans = 0;
   TERTIO_ASSIGN_OR_RETURN(
-      SimSeconds r_hashed,
-      HashRelationToTape(ctx, r, spec.r_key_column, ctx.drive_r, ctx.drive_s, layout,
-                         scope.start(), &r_run, &scans));
+      sim::StageId r_hashed,
+      HashRelationToTape(ctx, pipe, r, spec.r_key_column, ctx.drive_r, ctx.drive_s, layout,
+                         origin, &r_run, &scans));
   stats.r_scans = scans;
   TERTIO_ASSIGN_OR_RETURN(
-      SimSeconds step1_end,
-      HashRelationToTape(ctx, s, spec.s_key_column, ctx.drive_s, ctx.drive_r, layout, r_hashed,
-                         &s_run, nullptr));
+      sim::StageId step1_stage,
+      HashRelationToTape(ctx, pipe, s, spec.s_key_column, ctx.drive_s, ctx.drive_r, layout,
+                         r_hashed, &s_run, nullptr));
+  SimSeconds step1_end = pipe.end(step1_stage);
   stats.step1_seconds = step1_end - scope.start();
   stats.iterations = CeilDiv<std::uint64_t>(r.blocks, std::max<BlockCount>(disk_free, 1)) +
                      CeilDiv<std::uint64_t>(s.blocks, std::max<BlockCount>(disk_free, 1));
@@ -358,13 +385,13 @@ Result<JoinStats> ExecuteTtGh(const JoinSpec& spec, const JoinContext& ctx) {
   JoinOutput output;
   if (!phantom && spec.match_sink) output.set_sink(spec.match_sink);
   std::uint64_t overflow_slices = 0;
-  SimSeconds drive_s_cursor = step1_end;  // reads R buckets
-  SimSeconds drive_r_cursor = step1_end;  // reads S buckets
+  sim::StageId drive_s_chain = step1_stage;  // reads R buckets
+  sim::StageId drive_r_chain = step1_stage;  // reads S buckets
   BlockCount probe_chunk = std::max<BlockCount>(layout.write_buffer_blocks, 1);
   for (std::uint32_t b = 0; b < layout.bucket_count; ++b) {
     const hash::TapeBucketRegion& rb = r_run.regions[b];
     const hash::TapeBucketRegion& sb = s_run.regions[b];
-    SimSeconds table_ready = drive_s_cursor;
+    sim::StageId table_ready = drive_s_chain;
     HashJoinTable table(&r.schema, spec.r_key_column, /*build_is_r=*/true,
                         /*capture_records=*/output.has_sink());
     std::uint64_t slices = 0;
@@ -373,38 +400,40 @@ Result<JoinStats> ExecuteTtGh(const JoinSpec& spec, const JoinContext& ctx) {
       BlockCount r_take = std::min<BlockCount>(layout.r_bucket_blocks, rb.blocks - r_off);
       if (rb.blocks > 0) {
         std::vector<BlockPayload> r_blocks;
-        TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
-                                ctx.drive_s->Read(rb.start + r_off, r_take, drive_s_cursor,
-                                                  phantom ? nullptr : &r_blocks));
-        drive_s_cursor = read.end;
-        table_ready = read.end;
+        TERTIO_ASSIGN_OR_RETURN(
+            sim::StageId read,
+            ctx.drive_s->IssueRead(pipe, "r-bucket-read", {drive_s_chain}, rb.start + r_off,
+                                   r_take, phantom ? nullptr : &r_blocks));
+        drive_s_chain = read;
+        table_ready = read;
         table.Clear();
         if (!phantom) {
           TERTIO_RETURN_IF_ERROR(table.AddBlocks(r_blocks));
         }
         ++slices;
       }
-      // Stream the S bucket from the R tape through the table.
-      SimSeconds t = std::max(drive_r_cursor, table_ready);
-      for (BlockCount s_off = 0; s_off < sb.blocks; s_off += probe_chunk) {
-        BlockCount s_take = std::min<BlockCount>(probe_chunk, sb.blocks - s_off);
-        std::vector<BlockPayload> s_blocks;
-        TERTIO_ASSIGN_OR_RETURN(sim::Interval read,
-                                ctx.drive_r->Read(sb.start + s_off, s_take, t,
-                                                  phantom ? nullptr : &s_blocks));
-        t = read.end;
-        if (!phantom && rb.blocks > 0) {
-          TERTIO_RETURN_IF_ERROR(
-              table.Probe(s_blocks, &s.schema, spec.s_key_column, &output));
-        }
-      }
-      drive_r_cursor = t;
+      // Stream the S bucket from the R tape through the table; the first
+      // read waits for both the drive's queue and the build table.
+      sim::StageId t = pipe.Barrier("pair-sync", {drive_r_chain, table_ready});
+      tape::TapeReadSource sb_source(ctx.drive_r, sb.start);
+      ProbeSink sink(phantom || rb.blocks == 0 ? nullptr : &table, &s.schema,
+                     spec.s_key_column, &output);
+      sim::Pipeline::TransferPlan plan;
+      plan.read_phase = "s-bucket-read";
+      plan.write_phase = "probe";
+      plan.total = sb.blocks;
+      plan.chunk = probe_chunk;
+      plan.streaming = true;
+      plan.move_payloads = !phantom;
+      TERTIO_ASSIGN_OR_RETURN(sim::Pipeline::TransferResult result,
+                              pipe.Transfer(plan, sb_source, sink, {t}));
+      drive_r_chain = result.last_read == sim::kNoStage ? t : result.last_read;
       r_off += r_take;
     } while (r_off < rb.blocks);
     if (slices > 1) overflow_slices += slices - 1;
   }
 
-  SimSeconds finish = std::max(drive_r_cursor, drive_s_cursor);
+  SimSeconds finish = std::max(pipe.end(drive_r_chain), pipe.end(drive_s_chain));
   stats.step2_seconds = finish - step1_end;
   stats.bucket_overflow_slices = overflow_slices;
   stats.r_scans += 1;  // the Step II pass over hashed R

@@ -1,0 +1,11 @@
+#include "mem/pipeline_buffers.h"
+
+namespace tertio::mem {
+
+Result<sim::StageId> AcquireFreeStage(InterleavedBuffer& buffer, sim::Pipeline& pipe,
+                                      std::string_view phase, BlockCount count) {
+  TERTIO_ASSIGN_OR_RETURN(SimSeconds free_at, buffer.AcquireFree(count));
+  return pipe.Event(phase, free_at);
+}
+
+}  // namespace tertio::mem

@@ -1,0 +1,117 @@
+#include "sim/pipeline.h"
+
+#include <algorithm>
+
+namespace tertio::sim {
+
+void SpanTrace::Record(std::string_view phase, std::string_view device, BlockCount blocks,
+                       ByteCount bytes, Interval interval) {
+  if (retain_) {
+    spans_.push_back(Span{std::string(phase), std::string(device), blocks, bytes, interval});
+  }
+  auto [it, inserted] = phase_index_.try_emplace(std::string(phase), phases_.size());
+  if (inserted) {
+    PhaseSummary summary;
+    summary.phase = std::string(phase);
+    summary.device = std::string(device);
+    summary.window = interval;
+    phases_.push_back(std::move(summary));
+  }
+  PhaseSummary& summary = phases_[it->second];
+  if (summary.device != device) summary.device = "";
+  summary.stage_count += 1;
+  summary.blocks += blocks;
+  summary.bytes += bytes;
+  summary.busy_seconds += interval.duration();
+  summary.window = Interval::Hull(summary.window, interval);
+  window_ = has_window_ ? Interval::Hull(window_, interval) : interval;
+  has_window_ = true;
+}
+
+void SpanTrace::Clear() {
+  spans_.clear();
+  phases_.clear();
+  phase_index_.clear();
+  window_ = Interval{};
+  has_window_ = false;
+}
+
+SimSeconds Pipeline::ReadyAfter(std::span<const StageId> deps) const {
+  SimSeconds ready = start_;
+  for (StageId dep : deps) {
+    if (dep == kNoStage) continue;
+    TERTIO_CHECK(dep < intervals_.size(), "pipeline stage depends on an undispatched stage");
+    if (intervals_[dep].end > ready) ready = intervals_[dep].end;
+  }
+  return ready;
+}
+
+StageId Pipeline::Commit(std::string_view phase, std::string_view device, BlockCount blocks,
+                         ByteCount bytes, Interval interval) {
+  intervals_.push_back(interval);
+  if (!any_stage_ || interval.end > horizon_) horizon_ = std::max(horizon_, interval.end);
+  any_stage_ = true;
+  if (trace_ != nullptr) trace_->Record(phase, device, blocks, bytes, interval);
+  return intervals_.size() - 1;
+}
+
+Result<StageId> Pipeline::Stage(std::string_view phase, std::string_view device,
+                                std::span<const StageId> deps, BlockCount blocks,
+                                ByteCount bytes, const StageOp& op) {
+  SimSeconds ready = ReadyAfter(deps);
+  TERTIO_ASSIGN_OR_RETURN(Interval interval, op(ready));
+  return Commit(phase, device, blocks, bytes, interval);
+}
+
+StageId Pipeline::Event(std::string_view phase, SimSeconds when) {
+  return Commit(phase, "", 0, 0, Interval::At(std::max(start_, when)));
+}
+
+StageId Pipeline::Barrier(std::string_view phase, std::span<const StageId> deps) {
+  return Commit(phase, "", 0, 0, Interval::At(ReadyAfter(deps)));
+}
+
+Result<Pipeline::TransferResult> Pipeline::Transfer(const TransferPlan& plan,
+                                                    BlockSource& source, BlockSink& sink,
+                                                    std::span<const StageId> deps) {
+  BlockCount chunk = plan.chunk == 0 ? 1 : plan.chunk;
+  TransferResult result;
+  result.source_done = ReadyAfter(deps);
+  result.done = result.source_done;
+  std::vector<StageId> read_deps(deps.begin(), deps.end());
+  read_deps.push_back(kNoStage);  // slot for the chaining dependency
+  for (BlockCount offset = 0; offset < plan.total; offset += chunk) {
+    BlockCount take = std::min<BlockCount>(chunk, plan.total - offset);
+    std::vector<BlockPayload> payloads;
+    std::vector<BlockPayload>* moved = plan.move_payloads ? &payloads : nullptr;
+    // Streaming: chunk i+1's read follows read i. Lock-step: it waits for
+    // write i (the paper's sequential single-process structure).
+    read_deps.back() = plan.streaming ? result.last_read : result.last_write;
+    TERTIO_ASSIGN_OR_RETURN(
+        StageId read,
+        Stage(plan.read_phase, source.device(), std::span<const StageId>(read_deps), take, 0,
+              [&](SimSeconds ready) { return source.Read(offset, take, ready, moved); }));
+    TERTIO_ASSIGN_OR_RETURN(
+        StageId write,
+        Stage(plan.write_phase, sink.device(), {read}, take, 0,
+              [&](SimSeconds ready) { return sink.Write(offset, take, ready, moved); }));
+    if (result.first_read == kNoStage) result.first_read = read;
+    result.last_read = read;
+    result.last_write = write;
+    result.source_done = end(read);
+    result.done = std::max(result.done, std::max(end(read), end(write)));
+  }
+  return result;
+}
+
+Result<Interval> CollectSink::Write(BlockCount offset, BlockCount count, SimSeconds ready,
+                                    std::vector<BlockPayload>* payloads) {
+  (void)offset;
+  (void)count;
+  if (out_ != nullptr && payloads != nullptr) {
+    out_->insert(out_->end(), payloads->begin(), payloads->end());
+  }
+  return Interval::At(ready);
+}
+
+}  // namespace tertio::sim

@@ -13,6 +13,7 @@ Interval Resource::Schedule(SimSeconds ready, SimSeconds duration, ByteCount byt
   stats_.bytes_transferred += bytes;
   stats_.busy_seconds += duration;
   if (interval.end > stats_.horizon) stats_.horizon = interval.end;
+  if (horizon_cell_ != nullptr && interval.end > *horizon_cell_) *horizon_cell_ = interval.end;
   if (trace_enabled_) trace_.push_back(OpRecord{interval, bytes, tag});
   return interval;
 }

@@ -76,10 +76,15 @@ class Resource {
   /// Clears the timeline, statistics and trace.
   void Reset();
 
+  /// Registers a max-horizon cell maintained on every Schedule() — the
+  /// Simulation's O(1) Horizon() cache. The cell must outlive the resource.
+  void BindHorizonCell(SimSeconds* cell) { horizon_cell_ = cell; }
+
  private:
   std::string name_;
   SimSeconds available_ = 0.0;
   ResourceStats stats_;
+  SimSeconds* horizon_cell_ = nullptr;
   bool trace_enabled_ = false;
   std::vector<OpRecord> trace_;
 };

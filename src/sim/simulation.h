@@ -16,33 +16,40 @@
 namespace tertio::sim {
 
 /// Owns the resources of one simulated machine.
+///
+/// Not copyable or movable: registered resources hold a pointer into the
+/// simulation's cached horizon cell.
 class Simulation {
  public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
   /// Creates and registers a resource.
   Resource* CreateResource(std::string name) {
     resources_.push_back(std::make_unique<Resource>(std::move(name)));
+    resources_.back()->BindHorizonCell(&horizon_);
     return resources_.back().get();
   }
 
   /// Latest horizon across all resources — the response time of whatever was
-  /// scheduled, measured from time zero.
-  SimSeconds Horizon() const {
-    SimSeconds h = 0.0;
-    for (const auto& r : resources_) {
-      if (r->stats().horizon > h) h = r->stats().horizon;
-    }
-    return h;
-  }
+  /// scheduled, measured from time zero. O(1): maintained incrementally on
+  /// every operation commit (StatsScope and the bench loops poll this on
+  /// their hot paths). Resetting an individual registered Resource directly
+  /// leaves the cache stale; reset the whole system through Reset().
+  SimSeconds Horizon() const { return horizon_; }
 
-  /// Resets every registered resource to time zero.
+  /// Resets every registered resource (and the cached horizon) to time zero.
   void Reset() {
     for (auto& r : resources_) r->Reset();
+    horizon_ = 0.0;
   }
 
   const std::vector<std::unique_ptr<Resource>>& resources() const { return resources_; }
 
  private:
   std::vector<std::unique_ptr<Resource>> resources_;
+  SimSeconds horizon_ = 0.0;
 };
 
 }  // namespace tertio::sim

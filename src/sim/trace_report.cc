@@ -53,6 +53,77 @@ std::string RenderGantt(const Simulation& sim, const GanttOptions& options) {
   return out;
 }
 
+std::string RenderSpanGantt(const SpanTrace& trace, const GanttOptions& options) {
+  if (trace.empty()) return "(no spans)\n";
+  SimSeconds t0 = options.window_start;
+  SimSeconds t1 = options.window_end > options.window_start ? options.window_end
+                                                            : trace.window().end;
+  int width = options.width < 10 ? 10 : options.width;
+  if (t1 <= t0) return "(empty window)\n";
+  double cell = (t1 - t0) / width;
+
+  std::size_t label_width = 0;
+  for (const PhaseSummary& phase : trace.phases()) {
+    label_width = std::max(label_width, phase.phase.size());
+  }
+
+  std::string out = StrFormat("%-*s  %.1fs", static_cast<int>(label_width), "", t0);
+  out += std::string(width > 12 ? static_cast<size_t>(width - 12) : 0, ' ');
+  out += StrFormat("%.1fs\n", t1);
+  for (const PhaseSummary& phase : trace.phases()) {
+    out += StrFormat("%-*s  ", static_cast<int>(label_width), phase.phase.c_str());
+    std::vector<double> busy(static_cast<size_t>(width), 0.0);
+    auto accumulate = [&](SimSeconds span_start, SimSeconds span_end, double density) {
+      double s = std::max(span_start, t0);
+      double e = std::min(span_end, t1);
+      if (e <= s) return;
+      int first = static_cast<int>((s - t0) / cell);
+      int last = std::min(static_cast<int>((e - t0) / cell), width - 1);
+      for (int c = first; c <= last; ++c) {
+        double cs = t0 + c * cell;
+        double ce = cs + cell;
+        busy[static_cast<size_t>(c)] +=
+            density * std::max(0.0, std::min(e, ce) - std::max(s, cs));
+      }
+    };
+    bool approximate = !trace.retain();
+    if (approximate) {
+      // Spread the phase's busy time uniformly over its window.
+      double window = phase.window.duration();
+      double density = window > 0.0 ? phase.busy_seconds / window : 1.0;
+      accumulate(phase.window.start, phase.window.end, density);
+    } else {
+      for (const Span& span : trace.spans()) {
+        if (span.phase != phase.phase) continue;
+        accumulate(span.interval.start, span.interval.end, 1.0);
+      }
+    }
+    for (int c = 0; c < width; ++c) {
+      double fraction = busy[static_cast<size_t>(c)] / cell;
+      char mark = fraction >= 0.5 ? '#' : (fraction > 0.01 ? '+' : '.');
+      if (approximate && mark == '#') mark = '~';
+      out += mark;
+    }
+    out += StrFormat("  %6.1fs busy\n", phase.busy_seconds);
+  }
+  return out;
+}
+
+void WriteSpanCsv(const SpanTrace& trace, std::ostream& out) {
+  out << "phase,device,start,end,blocks,bytes\n";
+  if (trace.retain()) {
+    for (const Span& span : trace.spans()) {
+      out << span.phase << ',' << span.device << ',' << span.interval.start << ','
+          << span.interval.end << ',' << span.blocks << ',' << span.bytes << '\n';
+    }
+    return;
+  }
+  for (const PhaseSummary& phase : trace.phases()) {
+    out << phase.phase << ',' << phase.device << ',' << phase.window.start << ','
+        << phase.window.end << ',' << phase.blocks << ',' << phase.bytes << '\n';
+  }
+}
+
 void WriteTraceCsv(const Simulation& sim, std::ostream& out) {
   out << "resource,tag,start,end,bytes\n";
   for (const auto& resource : sim.resources()) {

@@ -11,6 +11,7 @@
 #include <ostream>
 #include <string>
 
+#include "sim/pipeline.h"
 #include "sim/simulation.h"
 
 namespace tertio::sim {
@@ -31,5 +32,16 @@ std::string RenderGantt(const Simulation& sim, const GanttOptions& options = {})
 
 /// Writes "resource,tag,start,end,bytes" rows for every traced operation.
 void WriteTraceCsv(const Simulation& sim, std::ostream& out);
+
+/// Renders a pipeline span trace as one Gantt row per phase — the
+/// per-method phase timeline (Figure 4 generalized to every join method).
+/// Uses individual spans when the trace retained them, otherwise each
+/// phase's busy time is spread uniformly over its window (marked '~').
+std::string RenderSpanGantt(const SpanTrace& trace, const GanttOptions& options = {});
+
+/// Writes "phase,device,start,end,blocks,bytes" rows for every retained
+/// span (falls back to one summary row per phase when spans were not
+/// retained).
+void WriteSpanCsv(const SpanTrace& trace, std::ostream& out);
 
 }  // namespace tertio::sim

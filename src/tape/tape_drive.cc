@@ -128,4 +128,12 @@ Result<sim::Interval> TapeDrive::ReadReverse(BlockCount count, SimSeconds ready,
   return resource_->Schedule(ready, duration, bytes, "tape.read-reverse");
 }
 
+Result<sim::StageId> TapeDrive::IssueRead(sim::Pipeline& pipe, std::string_view phase,
+                                          std::span<const sim::StageId> deps, BlockIndex start,
+                                          BlockCount count, std::vector<BlockPayload>* out) {
+  ByteCount bytes = volume_ != nullptr ? count * volume_->block_bytes() : 0;
+  return pipe.Stage(phase, name_, deps, count, bytes,
+                    [&](SimSeconds ready) { return Read(start, count, ready, out); });
+}
+
 }  // namespace tertio::tape

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/pipeline.h"
 #include "sim/resource.h"
 #include "tape/tape_model.h"
 #include "tape/tape_volume.h"
@@ -92,6 +93,18 @@ class TapeDrive {
     head_ = 0;
   }
 
+  /// Emits a read of [start, start+count) as one pipeline stage ready after
+  /// `deps`. \returns the stage.
+  Result<sim::StageId> IssueRead(sim::Pipeline& pipe, std::string_view phase,
+                                 std::span<const sim::StageId> deps, BlockIndex start,
+                                 BlockCount count, std::vector<BlockPayload>* out = nullptr);
+  Result<sim::StageId> IssueRead(sim::Pipeline& pipe, std::string_view phase,
+                                 std::initializer_list<sim::StageId> deps, BlockIndex start,
+                                 BlockCount count, std::vector<BlockPayload>* out = nullptr) {
+    return IssueRead(pipe, phase, std::span<const sim::StageId>(deps.begin(), deps.size()),
+                     start, count, out);
+  }
+
  private:
   Status CheckLoaded() const;
 
@@ -105,6 +118,42 @@ class TapeDrive {
   TapeVolume* volume_ = nullptr;
   BlockIndex head_ = 0;
   TapeDriveStats stats_;
+};
+
+/// Pipeline source streaming a tape-resident relation: block offset k of a
+/// Transfer maps to tape block base + k on `drive`.
+class TapeReadSource final : public sim::BlockSource {
+ public:
+  TapeReadSource(TapeDrive* drive, BlockIndex base) : drive_(drive), base_(base) {}
+
+  Result<sim::Interval> Read(BlockCount offset, BlockCount count, SimSeconds ready,
+                             std::vector<BlockPayload>* out) override {
+    return drive_->Read(base_ + offset, count, ready, out);
+  }
+  std::string_view device() const override { return drive_->name(); }
+
+ private:
+  TapeDrive* drive_;
+  BlockIndex base_;
+};
+
+/// Pipeline sink appending a Transfer's chunks at end-of-data on `drive`.
+class TapeAppendSink final : public sim::BlockSink {
+ public:
+  TapeAppendSink(TapeDrive* drive, double compressibility)
+      : drive_(drive), compressibility_(compressibility) {}
+
+  Result<sim::Interval> Write(BlockCount offset, BlockCount count, SimSeconds ready,
+                              std::vector<BlockPayload>* payloads) override {
+    (void)offset;
+    if (payloads == nullptr) return drive_->AppendPhantom(count, compressibility_, ready);
+    return drive_->Append(*payloads, compressibility_, ready);
+  }
+  std::string_view device() const override { return drive_->name(); }
+
+ private:
+  TapeDrive* drive_;
+  double compressibility_;
 };
 
 }  // namespace tertio::tape

@@ -31,6 +31,7 @@ class TapeLibrary {
   }
 
   const TapeLibraryModel& model() const { return model_; }
+  sim::Resource* robot() { return robot_; }
 
   /// Inserts `volume` into the first free slot. \returns the slot index.
   Result<int> AddCartridge(std::unique_ptr<TapeVolume> volume);

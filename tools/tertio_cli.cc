@@ -7,7 +7,8 @@
 ///   tertio_cli sweep    --r-mb 18 --s-mb 1000 --disk-mb 50   (Experiment-3 style M sweep)
 ///
 /// Common flags: --compressibility F (default 0.25), --gantt (run only:
-/// print the device timeline; small joins only — traces are large).
+/// print the device timeline; small joins only — traces are large),
+/// --spans (run only: print the per-phase span table and phase timeline).
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +33,7 @@ namespace {
 struct Flags {
   std::map<std::string, std::string> values;
   bool gantt = false;
+  bool spans = false;
 
   double GetDouble(const std::string& key, double fallback) const {
     auto it = values.find(key);
@@ -47,7 +49,8 @@ struct Flags {
 int Usage() {
   std::fprintf(stderr,
                "usage: tertio_cli <advise|estimate|run|sweep> --r-mb N --s-mb N "
-               "--disk-mb N --memory-mb N [--method NAME] [--compressibility F] [--gantt]\n"
+               "--disk-mb N --memory-mb N [--method NAME] [--compressibility F] "
+               "[--gantt] [--spans]\n"
                "methods: DT-NB CDT-NB/MB CDT-NB/DB DT-GH CDT-GH CTT-GH TT-GH\n");
   return 2;
 }
@@ -58,6 +61,10 @@ Result<Flags> Parse(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--gantt") {
       flags.gantt = true;
+      continue;
+    }
+    if (arg == "--spans") {
+      flags.spans = true;
       continue;
     }
     if (arg.rfind("--", 0) != 0) return Status::InvalidArgument("unexpected argument " + arg);
@@ -187,6 +194,7 @@ int CmdRun(const Flags& flags) {
   spec.s = &prepared->s;
   auto executor = join::CreateJoinMethod(method);
   join::JoinContext ctx = machine.context();
+  ctx.retain_spans = flags.spans;
   auto stats = executor->Execute(spec, ctx);
   if (!stats.ok()) {
     std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
@@ -206,6 +214,11 @@ int CmdRun(const Flags& flags) {
               FormatBytes(BlocksToBytes(stats->disk_traffic_blocks(), config.block_bytes))
                   .c_str(),
               (unsigned long long)stats->disk_requests);
+  if (flags.spans) {
+    std::printf("\n");
+    exec::SpanSummaryTable(stats->spans).Print();
+    std::printf("\n%s", sim::RenderSpanGantt(stats->spans).c_str());
+  }
   if (flags.gantt) {
     std::printf("\n%s", sim::RenderGantt(machine.sim()).c_str());
   }
