@@ -48,8 +48,8 @@ int Run() {
           scheduler.Submit({static_cast<std::uint64_t>(issued), start, kRequestBlocks});
         }
         auto done = scheduler.ExecuteBatch(cursor);
-        TERTIO_CHECK(done.ok(), done.status().ToString());
-        cursor = done->back().interval.end;
+        TERTIO_CHECK(done.ok(), done.status.ToString());
+        cursor = done.completions.back().interval.end;
       }
       if (row.policy == tape::SchedulePolicy::kFifo) fifo_response = cursor;
       table.AddRow({row.name, StrFormat("%d", batch), StrFormat("%.0f", cursor),

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "disk/disk_model.h"
+#include "sim/fault.h"
 #include "sim/resource.h"
 #include "util/block_payload.h"
 #include "util/status.h"
@@ -46,6 +47,12 @@ class DiskVolume {
   BlockCount capacity_blocks() const { return store_.size(); }
   ByteCount block_bytes() const { return block_bytes_; }
 
+  /// Attaches a fault source (not owned; may be null). Reads then draw
+  /// transient errors and latent bad blocks from it; with no injector (or a
+  /// disabled one) the costing path is untouched.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+  sim::FaultInjector* fault_injector() const { return faults_; }
+
   /// Reads `count` blocks at `start` as one request. Payloads are appended to
   /// `out` when non-null.
   Result<sim::Interval> Read(BlockIndex start, BlockCount count, SimSeconds ready,
@@ -68,6 +75,7 @@ class DiskVolume {
   BlockIndex next_sequential_ = 0;
   bool any_request_ = false;
   DiskStats stats_;
+  sim::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace tertio::disk

@@ -6,7 +6,7 @@
 
 namespace tertio::disk {
 
-ExtentList SliceExtents(const ExtentList& extents, BlockCount offset, BlockCount count) {
+Result<ExtentList> SliceExtents(const ExtentList& extents, BlockCount offset, BlockCount count) {
   ExtentList out;
   BlockCount pos = 0;
   for (const Extent& e : extents) {
@@ -24,7 +24,11 @@ ExtentList SliceExtents(const ExtentList& extents, BlockCount offset, BlockCount
     offset += take;
     pos = ext_end;
   }
-  TERTIO_CHECK(count == 0, "extent slice out of range");
+  if (count != 0) {
+    return Status::InvalidArgument("extent slice out of range: " + std::to_string(count) +
+                                   " blocks past the end of a " +
+                                   std::to_string(TotalBlocks(extents)) + "-block sequence");
+  }
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/status.h"
 #include "util/units.h"
 
 namespace tertio::disk {
@@ -30,8 +31,9 @@ inline BlockCount TotalBlocks(const ExtentList& extents) {
 }
 
 /// \returns the sub-range of `extents` covering blocks
-/// [offset, offset + count) of the logical sequence they describe. Checks
-/// that the requested range lies within the sequence.
-ExtentList SliceExtents(const ExtentList& extents, BlockCount offset, BlockCount count);
+/// [offset, offset + count) of the logical sequence they describe, or
+/// InvalidArgument when the requested range extends past the sequence —
+/// callers degrade gracefully instead of crashing the process.
+Result<ExtentList> SliceExtents(const ExtentList& extents, BlockCount offset, BlockCount count);
 
 }  // namespace tertio::disk

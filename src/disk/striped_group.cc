@@ -85,10 +85,20 @@ Result<sim::Interval> StripedDiskGroup::WriteExtents(const ExtentList& extents, 
 Result<sim::StageId> StripedDiskGroup::IssueRead(sim::Pipeline& pipe, std::string_view phase,
                                                  std::span<const sim::StageId> deps,
                                                  const ExtentList& extents,
-                                                 std::vector<BlockPayload>* out) {
+                                                 std::vector<BlockPayload>* out,
+                                                 int retry_limit) {
   BlockCount blocks = TotalBlocks(extents);
-  return pipe.Stage(phase, "disks", deps, blocks, blocks * block_bytes_,
-                    [&](SimSeconds ready) { return ReadExtents(extents, ready, out); });
+  // A mid-extent-list failure may already have delivered the earlier
+  // extents' payloads; drop them at the top of every attempt so a retry
+  // produces the list exactly once.
+  const std::size_t restore = out != nullptr ? out->size() : 0;
+  return pipe.StageWithRetry(
+      phase, "disks", deps, blocks, blocks * block_bytes_,
+      [&](SimSeconds ready) {
+        if (out != nullptr) out->resize(restore);
+        return ReadExtents(extents, ready, out);
+      },
+      retry_limit);
 }
 
 Result<sim::StageId> StripedDiskGroup::IssueWrite(sim::Pipeline& pipe, std::string_view phase,
@@ -103,13 +113,15 @@ Result<sim::StageId> StripedDiskGroup::IssueWrite(sim::Pipeline& pipe, std::stri
 Result<sim::Interval> ExtentReadSource::Read(BlockCount offset, BlockCount count,
                                              SimSeconds ready,
                                              std::vector<BlockPayload>* out) {
-  return group_->ReadExtents(SliceExtents(*extents_, offset, count), ready, out);
+  TERTIO_ASSIGN_OR_RETURN(ExtentList slice, SliceExtents(*extents_, offset, count));
+  return group_->ReadExtents(slice, ready, out);
 }
 
 Result<sim::Interval> ExtentWriteSink::Write(BlockCount offset, BlockCount count,
                                              SimSeconds ready,
                                              std::vector<BlockPayload>* payloads) {
-  return group_->WriteExtents(SliceExtents(*extents_, offset, count), ready, payloads);
+  TERTIO_ASSIGN_OR_RETURN(ExtentList slice, SliceExtents(*extents_, offset, count));
+  return group_->WriteExtents(slice, ready, payloads);
 }
 
 DiskStats StripedDiskGroup::TotalStats() const {
@@ -119,6 +131,14 @@ DiskStats StripedDiskGroup::TotalStats() const {
     total.blocks_written += d->stats().blocks_written;
     total.requests += d->stats().requests;
     total.positioned_requests += d->stats().positioned_requests;
+  }
+  return total;
+}
+
+sim::FaultStats StripedDiskGroup::TotalFaultStats() const {
+  sim::FaultStats total;
+  for (const auto& d : disks_) {
+    if (d->fault_injector() != nullptr) total.Add(d->fault_injector()->stats());
   }
   return total;
 }

@@ -69,17 +69,24 @@ class StripedDiskGroup {
   /// Aggregated statistics across all disks.
   DiskStats TotalStats() const;
 
+  /// Aggregated fault/recovery counters across all disks (zero when no disk
+  /// carries an injector).
+  sim::FaultStats TotalFaultStats() const;
+
   /// Emits a whole-extent-list read as one pipeline stage ready after
-  /// `deps`. \returns the stage.
+  /// `deps`, re-attempted in place up to `retry_limit` times on kDeviceError
+  /// (payloads delivered by a failed attempt's earlier extents are discarded
+  /// before the re-read). \returns the stage.
   Result<sim::StageId> IssueRead(sim::Pipeline& pipe, std::string_view phase,
                                  std::span<const sim::StageId> deps, const ExtentList& extents,
-                                 std::vector<BlockPayload>* out = nullptr);
+                                 std::vector<BlockPayload>* out = nullptr, int retry_limit = 0);
   Result<sim::StageId> IssueRead(sim::Pipeline& pipe, std::string_view phase,
                                  std::initializer_list<sim::StageId> deps,
                                  const ExtentList& extents,
-                                 std::vector<BlockPayload>* out = nullptr) {
+                                 std::vector<BlockPayload>* out = nullptr,
+                                 int retry_limit = 0) {
     return IssueRead(pipe, phase, std::span<const sim::StageId>(deps.begin(), deps.size()),
-                     extents, out);
+                     extents, out, retry_limit);
   }
 
   /// Emits a whole-extent-list write as one pipeline stage ready after

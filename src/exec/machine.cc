@@ -31,6 +31,31 @@ Machine::Machine(const MachineConfig& config)
     library_ = std::make_unique<tape::TapeLibrary>(config.library_model,
                                                    sim_.CreateResource("robot"));
   }
+  if (config.faults.enabled()) {
+    // One injector per device, each with a seed derived from the plan seed
+    // and the device name, so per-device fault streams are independent yet
+    // exactly reproducible.
+    auto attach = [&](const sim::FaultProfile& profile, const std::string& device) {
+      injectors_.push_back(
+          std::make_unique<sim::FaultInjector>(profile, config.faults.seed, device));
+      return injectors_.back().get();
+    };
+    drive_r_->set_fault_injector(attach(config.faults.tape, drive_r_->name()));
+    drive_s_->set_fault_injector(attach(config.faults.tape, drive_s_->name()));
+    for (int i = 0; i < disks_->disk_count(); ++i) {
+      disk::DiskVolume* d = disks_->disk(i);
+      d->set_fault_injector(attach(config.faults.disk, d->name()));
+    }
+    if (library_ != nullptr) {
+      library_->set_fault_injector(attach(config.faults.robot, "robot"));
+    }
+  }
+}
+
+sim::FaultStats Machine::TotalFaultStats() const {
+  sim::FaultStats total;
+  for (const auto& injector : injectors_) total.Add(injector->stats());
+  return total;
 }
 
 BlockCount Machine::disk_blocks() const { return disks_->allocator().capacity_blocks(); }

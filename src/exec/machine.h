@@ -9,10 +9,12 @@
 /// fresh Machine (cheap) for independent timings.
 
 #include <memory>
+#include <vector>
 
 #include "disk/striped_group.h"
 #include "join/join_spec.h"
 #include "mem/memory_budget.h"
+#include "sim/fault.h"
 #include "sim/simulation.h"
 #include "tape/tape_drive.h"
 #include "tape/tape_library.h"
@@ -35,6 +37,10 @@ struct MachineConfig {
   /// pre-loaded drives.
   bool with_library = false;
   tape::TapeLibraryModel library_model = tape::TapeLibraryModel::SmallAutoloader();
+  /// Fault model of the machine's devices (sim/fault.h). Disabled by
+  /// default: no injectors are created and device timings are bit-identical
+  /// to a fault-free build.
+  sim::FaultPlan faults;
 
   /// The paper's testbed (Section 6): two DLT-4000 drives, two disks, with
   /// the experiment's D and M.
@@ -75,6 +81,12 @@ class Machine {
   /// Aggregate disk rate X_D (bytes/s).
   double AggregateDiskRate() const { return disks_->aggregate_rate_bps(); }
 
+  /// Whether this machine injects faults.
+  bool faults_enabled() const { return config_.faults.enabled(); }
+
+  /// Machine-wide fault/recovery counters (zero with faults disabled).
+  sim::FaultStats TotalFaultStats() const;
+
  private:
   MachineConfig config_;
   sim::Simulation sim_;
@@ -85,6 +97,8 @@ class Machine {
   std::unique_ptr<tape::TapeVolume> tape_r_;
   std::unique_ptr<tape::TapeVolume> tape_s_;
   std::unique_ptr<tape::TapeLibrary> library_;
+  /// One injector per device, owned here; devices hold raw pointers.
+  std::vector<std::unique_ptr<sim::FaultInjector>> injectors_;
 };
 
 }  // namespace tertio::exec

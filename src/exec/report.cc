@@ -82,4 +82,18 @@ TableReport SpanSummaryTable(const sim::SpanTrace& trace, bool include_markers) 
   return table;
 }
 
+TableReport FaultSummaryTable(const sim::FaultStats& stats) {
+  TableReport table({"counter", "value"});
+  auto count = [](std::uint64_t v) {
+    return StrFormat("%llu", static_cast<unsigned long long>(v));
+  };
+  table.AddRow({"transient read faults", count(stats.transient_faults)});
+  table.AddRow({"bad blocks remapped", count(stats.bad_blocks_remapped)});
+  table.AddRow({"robot exchange faults", count(stats.exchange_faults)});
+  table.AddRow({"device retries (recovered)", count(stats.retries)});
+  table.AddRow({"hard failures (chunk-retried)", count(stats.hard_failures)});
+  table.AddRow({"recovery time (s)", FormatFixed(stats.recovery_seconds, 2)});
+  return table;
+}
+
 }  // namespace tertio::exec

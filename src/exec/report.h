@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault.h"
 #include "sim/pipeline.h"
 #include "util/units.h"
 
@@ -57,5 +58,9 @@ class SeriesReport {
 /// sim::RenderSpanGantt. Skips zero-duration marker phases (events,
 /// barriers) unless `include_markers`.
 TableReport SpanSummaryTable(const sim::SpanTrace& trace, bool include_markers = false);
+
+/// One-row-per-counter table over a FaultStats aggregate: faults injected,
+/// recoveries, remaps, hard failures, and the recovery time they cost.
+TableReport FaultSummaryTable(const sim::FaultStats& stats);
 
 }  // namespace tertio::exec

@@ -45,7 +45,8 @@ Result<sim::StageId> JoinBucketPair(const JoinContext& ctx, const JoinSpec& spec
     sim::StageId t = ready;
     if (r_bucket.blocks > 0) {
       TERTIO_ASSIGN_OR_RETURN(
-          t, ctx.disks->IssueRead(pipe, "r-bucket-read", {t}, r_bucket.extents, nullptr));
+          t, ctx.disks->IssueRead(pipe, "r-bucket-read", {t}, r_bucket.extents, nullptr,
+                                  ctx.chunk_retry_limit));
     }
     if (s_bucket.blocks > 0) {
       TERTIO_ASSIGN_OR_RETURN(
@@ -60,13 +61,14 @@ Result<sim::StageId> JoinBucketPair(const JoinContext& ctx, const JoinSpec& spec
   std::uint64_t slices = 0;
   while (offset < r_bucket.blocks) {
     BlockCount take = std::min<BlockCount>(r_memory_allowance, r_bucket.blocks - offset);
-    disk::ExtentList slice = SliceExtents(r_bucket.extents, offset, take);
+    TERTIO_ASSIGN_OR_RETURN(disk::ExtentList slice,
+                            SliceExtents(r_bucket.extents, offset, take));
     std::vector<BlockPayload> r_blocks;
     TERTIO_ASSIGN_OR_RETURN(
         sim::StageId read,
         ctx.disks->IssueRead(pipe, "r-bucket-read",
                              {t, pipe.Event("r-bucket-ready", r_bucket.ready)}, slice,
-                             phantom ? nullptr : &r_blocks));
+                             phantom ? nullptr : &r_blocks, ctx.chunk_retry_limit));
     t = read;
     HashJoinTable table(&spec.r->schema, spec.r_key_column, /*build_is_r=*/true,
                         /*capture_records=*/output->has_sink());
@@ -105,6 +107,7 @@ Result<sim::StageId> PartitionRToDisk(const JoinContext& ctx, const JoinSpec& sp
   plan.chunk = DefaultTapeChunk(r);
   plan.streaming = concurrent;
   plan.move_payloads = !phantom;
+  plan.chunk_retry_limit = ctx.chunk_retry_limit;
   TERTIO_ASSIGN_OR_RETURN(sim::Pipeline::TransferResult result,
                           pipe.Transfer(plan, source, sink, {}));
   return sink.IssueFlush(pipe, "r-hash-flush",
@@ -206,6 +209,7 @@ Result<JoinStats> ExecuteGh(GhMode mode, JoinMethodId id, const JoinSpec& spec,
     plan.chunk = s_chunk;
     plan.streaming = concurrent;
     plan.move_payloads = !phantom;
+    plan.chunk_retry_limit = ctx.chunk_retry_limit;
     TERTIO_ASSIGN_OR_RETURN(sim::Pipeline::TransferResult slab_result,
                             pipe.Transfer(plan, s_source, s_sink, {tape_chain}));
     tape_chain = concurrent ? slab_result.last_read : slab_result.last_write;
@@ -240,6 +244,7 @@ Result<JoinStats> ExecuteGh(GhMode mode, JoinMethodId id, const JoinSpec& spec,
   stats.step2_seconds = finish - step1_end;
   stats.bucket_overflow_slices = overflow_slices;
   stats.r_scans = stats.iterations;  // R's buckets are re-read per slab
+  stats.chunk_retries = pipe.chunk_retries();
   scope.Fill(&stats);
   stats.response_seconds = std::max(stats.response_seconds, finish - scope.start());
   stats.output_valid = !phantom;

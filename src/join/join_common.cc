@@ -93,6 +93,19 @@ Status ValidateSpecAndContext(const JoinSpec& spec, const JoinContext& ctx) {
   return Status::OK();
 }
 
+sim::FaultStats ContextFaultStats(const JoinContext& ctx) {
+  sim::FaultStats total;
+  if (ctx.drive_r != nullptr && ctx.drive_r->fault_injector() != nullptr) {
+    total.Add(ctx.drive_r->fault_injector()->stats());
+  }
+  if (ctx.drive_s != nullptr && ctx.drive_s->fault_injector() != nullptr &&
+      ctx.drive_s != ctx.drive_r) {
+    total.Add(ctx.drive_s->fault_injector()->stats());
+  }
+  if (ctx.disks != nullptr) total.Add(ctx.disks->TotalFaultStats());
+  return total;
+}
+
 StatsScope::StatsScope(const JoinContext& ctx)
     : ctx_(ctx),
       start_(ctx.sim->Horizon()),
@@ -100,7 +113,8 @@ StatsScope::StatsScope(const JoinContext& ctx)
       tape_s_before_(ctx.drive_s->stats()),
       disk_before_(ctx.disks->TotalStats()),
       mem_reserved_before_(ctx.memory->reserved_blocks()),
-      robot_ops_before_(ctx.robot != nullptr ? ctx.robot->stats().op_count : 0) {}
+      robot_ops_before_(ctx.robot != nullptr ? ctx.robot->stats().op_count : 0),
+      faults_before_(ContextFaultStats(ctx)) {}
 
 void StatsScope::Fill(JoinStats* stats) const {
   const tape::TapeDriveStats& r = ctx_.drive_r->stats();
@@ -120,6 +134,11 @@ void StatsScope::Fill(JoinStats* stats) const {
       reserved > mem_reserved_before_ ? reserved - mem_reserved_before_ : 0;
   stats->robot_exchanges =
       ctx_.robot != nullptr ? ctx_.robot->stats().op_count - robot_ops_before_ : 0;
+  sim::FaultStats faults = ContextFaultStats(ctx_);
+  stats->faults_injected = faults.faults() - faults_before_.faults();
+  stats->fault_retries = faults.retries - faults_before_.retries;
+  stats->blocks_remapped = faults.bad_blocks_remapped - faults_before_.bad_blocks_remapped;
+  stats->recovery_seconds = faults.recovery_seconds - faults_before_.recovery_seconds;
 }
 
 Result<StagedRelation> StageRelationToDisk(const JoinContext& ctx, sim::Pipeline& pipe,
@@ -144,6 +163,7 @@ Result<StagedRelation> StageRelationToDisk(const JoinContext& ctx, sim::Pipeline
   plan.chunk = chunk_blocks;
   plan.streaming = concurrent;
   plan.move_payloads = !relation.phantom;
+  plan.chunk_retry_limit = ctx.chunk_retry_limit;
   TERTIO_ASSIGN_OR_RETURN(sim::Pipeline::TransferResult result,
                           pipe.Transfer(plan, source, sink, deps));
   staged.done_stage = pipe.Event("stage:done", result.done);
@@ -167,6 +187,7 @@ Result<sim::StageId> ScanDiskAndProbe(const JoinContext& ctx, sim::Pipeline& pip
   plan.chunk = chunk_blocks;
   plan.streaming = true;  // reads chain read-to-read; probing is free
   plan.move_payloads = !phantom;
+  plan.chunk_retry_limit = ctx.chunk_retry_limit;
   TERTIO_ASSIGN_OR_RETURN(sim::Pipeline::TransferResult result,
                           pipe.Transfer(plan, source, sink, deps));
   if (result.last_read == sim::kNoStage) return pipe.Barrier(phase, deps);

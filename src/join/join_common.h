@@ -112,7 +112,12 @@ class StatsScope {
   disk::DiskStats disk_before_;
   BlockCount mem_reserved_before_;
   std::uint64_t robot_ops_before_;
+  sim::FaultStats faults_before_;
 };
+
+/// Aggregated fault counters of every device in `ctx` (drives + disks);
+/// zero when no device carries an injector.
+sim::FaultStats ContextFaultStats(const JoinContext& ctx);
 
 /// Result of staging (copying) a relation from tape to disk.
 struct StagedRelation {

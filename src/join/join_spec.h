@@ -60,6 +60,11 @@ struct JoinContext {
   /// Retain every pipeline span in JoinStats::spans (per-phase summaries are
   /// always collected; full span lists of paper-scale joins are large).
   bool retain_spans = false;
+  /// Chunk-level re-attempts the shared transfer helpers grant after a
+  /// kDeviceError (a device fault that survived the device's own bounded
+  /// retries). Every method inherits this recovery through
+  /// StageRelationToDisk / ScanDiskAndProbe.
+  int chunk_retry_limit = 3;
 };
 
 /// Everything a run reports. Timing is virtual; tuple counts are exact in
@@ -101,6 +106,20 @@ struct JoinStats {
   BlockCount memory_occupied_blocks = 0;
   /// Robot operations (cartridge exchange trips) during the join.
   std::uint64_t robot_exchanges = 0;
+
+  /// Fault-model counters (sim/fault.h), all zero in a fault-free run.
+  /// Faults injected into this join's device operations (transient read
+  /// errors + bad blocks discovered + robot exchange failures).
+  std::uint64_t faults_injected = 0;
+  /// Device-level bounded re-attempts that recovered.
+  std::uint64_t fault_retries = 0;
+  /// Latent bad blocks discovered and skip-and-remapped.
+  std::uint64_t blocks_remapped = 0;
+  /// Chunk-granular transfer re-issues after a hard device error (the
+  /// pipeline's checkpoint-resume recovery).
+  std::uint64_t chunk_retries = 0;
+  /// Device time spent detecting and recovering from faults.
+  SimSeconds recovery_seconds = 0.0;
 
   /// Per-phase pipeline spans of the run (always carries per-phase
   /// summaries; individual spans when JoinContext::retain_spans was set).

@@ -122,7 +122,7 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
       TERTIO_ASSIGN_OR_RETURN(
           sim::StageId read,
           ctx.drive_s->IssueRead(pipe, "s-read", {chain}, s.start_block + off, take,
-                                 phantom ? nullptr : &chunk));
+                                 phantom ? nullptr : &chunk, ctx.chunk_retry_limit));
       TERTIO_ASSIGN_OR_RETURN(chain, JoinChunkAgainstR(ctx, spec, pipe, staged.extents, g.mr,
                                                        chunk, phantom, {read}, &output));
       stats.iterations += 1;
@@ -140,7 +140,8 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
       TERTIO_ASSIGN_OR_RETURN(
           sim::StageId read,
           ctx.drive_s->IssueRead(pipe, "s-read", {staged.done_stage, buffers.FreeStage(i)},
-                                 s.start_block + off, take, phantom ? nullptr : &chunk));
+                                 s.start_block + off, take, phantom ? nullptr : &chunk,
+                                 ctx.chunk_retry_limit));
       TERTIO_ASSIGN_OR_RETURN(
           join_chain, JoinChunkAgainstR(ctx, spec, pipe, staged.extents, g.mr, chunk, phantom,
                                         {read, join_chain}, &output));
@@ -171,7 +172,8 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
                           const std::vector<BlockPayload>* payloads) -> Result<Piece> {
       Piece piece{ring_pos, count, sim::kNoStage};
       BlockCount first = std::min<BlockCount>(count, g.ms - ring_pos);
-      disk::ExtentList slice = SliceExtents(ring_extents, ring_pos, first);
+      TERTIO_ASSIGN_OR_RETURN(disk::ExtentList slice,
+                              SliceExtents(ring_extents, ring_pos, first));
       std::vector<BlockPayload> head, tail;
       const std::vector<BlockPayload>* head_ptr = nullptr;
       const std::vector<BlockPayload>* tail_ptr = nullptr;
@@ -183,7 +185,8 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
                               ctx.disks->IssueWrite(pipe, "ring-write", {read}, slice, head_ptr));
       piece.write_stage = w1;
       if (first < count) {
-        disk::ExtentList wrap = SliceExtents(ring_extents, 0, count - first);
+        TERTIO_ASSIGN_OR_RETURN(disk::ExtentList wrap,
+                                SliceExtents(ring_extents, 0, count - first));
         if (payloads != nullptr) {
           tail.assign(payloads->begin() + static_cast<long>(first), payloads->end());
           tail_ptr = &tail;
@@ -200,15 +203,17 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
     auto ring_read = [&](const Piece& piece, std::initializer_list<sim::StageId> deps,
                          std::vector<BlockPayload>* out) -> Result<sim::StageId> {
       BlockCount first = std::min<BlockCount>(piece.count, g.ms - piece.ring_off);
-      TERTIO_ASSIGN_OR_RETURN(
-          sim::StageId r1,
-          ctx.disks->IssueRead(pipe, "ring-read", deps,
-                               SliceExtents(ring_extents, piece.ring_off, first), out));
+      TERTIO_ASSIGN_OR_RETURN(disk::ExtentList head_slice,
+                              SliceExtents(ring_extents, piece.ring_off, first));
+      TERTIO_ASSIGN_OR_RETURN(sim::StageId r1,
+                              ctx.disks->IssueRead(pipe, "ring-read", deps, head_slice, out,
+                                                   ctx.chunk_retry_limit));
       if (first < piece.count) {
-        TERTIO_ASSIGN_OR_RETURN(
-            sim::StageId r2,
-            ctx.disks->IssueRead(pipe, "ring-read", deps,
-                                 SliceExtents(ring_extents, 0, piece.count - first), out));
+        TERTIO_ASSIGN_OR_RETURN(disk::ExtentList wrap_slice,
+                                SliceExtents(ring_extents, 0, piece.count - first));
+        TERTIO_ASSIGN_OR_RETURN(sim::StageId r2,
+                                ctx.disks->IssueRead(pipe, "ring-read", deps, wrap_slice, out,
+                                                     ctx.chunk_retry_limit));
         return pipe.Barrier("ring-piece", {r1, r2});
       }
       return r1;
@@ -223,7 +228,8 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
       TERTIO_ASSIGN_OR_RETURN(
           sim::StageId read,
           ctx.drive_s->IssueRead(pipe, "s-read", {space, staged.done_stage},
-                                 s.start_block + off, take, phantom ? nullptr : &payloads));
+                                 s.start_block + off, take, phantom ? nullptr : &payloads,
+                                 ctx.chunk_retry_limit));
       return ring_write(take, read, phantom ? nullptr : &payloads);
     };
 
@@ -286,6 +292,7 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
   SimSeconds finish = pipe.end(finish_stage);
   stats.step2_seconds = finish - staged.done;
   stats.r_scans = stats.iterations;
+  stats.chunk_retries = pipe.chunk_retries();
   scope.Fill(&stats);
   stats.response_seconds = std::max(stats.response_seconds, finish - scope.start());
   stats.output_valid = !phantom;

@@ -113,6 +113,7 @@ Result<sim::StageId> HashRelationToTape(const JoinContext& ctx, sim::Pipeline& p
     plan.chunk = chunk;
     plan.streaming = true;
     plan.move_payloads = !phantom;
+    plan.chunk_retry_limit = ctx.chunk_retry_limit;
     TERTIO_ASSIGN_OR_RETURN(sim::Pipeline::TransferResult result,
                             pipe.Transfer(plan, scan_source, scan_sink, {cursor}));
     TERTIO_ASSIGN_OR_RETURN(sim::StageId flush,
@@ -133,7 +134,8 @@ Result<sim::StageId> HashRelationToTape(const JoinContext& ctx, sim::Pipeline& p
           sim::StageId readback,
           ctx.disks->IssueRead(pipe, "assemble-readback",
                                {append_chain, pipe.Event("bucket-ready", bucket.ready)},
-                               bucket.extents, phantom ? nullptr : &payloads));
+                               bucket.extents, phantom ? nullptr : &payloads,
+                               ctx.chunk_retry_limit));
       TERTIO_ASSIGN_OR_RETURN(
           sim::StageId append,
           pipe.Stage("tape-append", target->name(), {readback}, bucket.blocks,
@@ -228,6 +230,7 @@ Result<JoinStats> ExecuteCttGh(const JoinSpec& spec, const JoinContext& ctx) {
     plan.chunk = s_chunk;
     plan.streaming = true;  // the hash process trails the tape
     plan.move_payloads = !phantom;
+    plan.chunk_retry_limit = ctx.chunk_retry_limit;
     TERTIO_ASSIGN_OR_RETURN(sim::Pipeline::TransferResult slab_result,
                             pipe.Transfer(plan, s_source, s_sink, {tape_s_chain}));
     tape_s_chain = slab_result.last_read;
@@ -289,7 +292,7 @@ Result<JoinStats> ExecuteCttGh(const JoinSpec& spec, const JoinContext& ctx) {
           TERTIO_ASSIGN_OR_RETURN(
               sim::StageId read,
               ctx.drive_r->IssueRead(pipe, "r-run-read", {t}, region.start + offset, take,
-                                     phantom ? nullptr : &r_blocks));
+                                     phantom ? nullptr : &r_blocks, ctx.chunk_retry_limit));
           t = read;
           HashJoinTable table(&r.schema, spec.r_key_column, /*build_is_r=*/true,
                               /*capture_records=*/output.has_sink());
@@ -330,6 +333,7 @@ Result<JoinStats> ExecuteCttGh(const JoinSpec& spec, const JoinContext& ctx) {
   SimSeconds finish = std::max(pipe.end(join_chain), pipe.end(tape_s_chain));
   stats.step2_seconds = finish - step1_end;
   stats.bucket_overflow_slices = overflow_slices;
+  stats.chunk_retries = pipe.chunk_retries();
   scope.Fill(&stats);
   stats.response_seconds = std::max(stats.response_seconds, finish - scope.start());
   stats.output_valid = !phantom;
@@ -403,7 +407,8 @@ Result<JoinStats> ExecuteTtGh(const JoinSpec& spec, const JoinContext& ctx) {
         TERTIO_ASSIGN_OR_RETURN(
             sim::StageId read,
             ctx.drive_s->IssueRead(pipe, "r-bucket-read", {drive_s_chain}, rb.start + r_off,
-                                   r_take, phantom ? nullptr : &r_blocks));
+                                   r_take, phantom ? nullptr : &r_blocks,
+                                   ctx.chunk_retry_limit));
         drive_s_chain = read;
         table_ready = read;
         table.Clear();
@@ -425,6 +430,7 @@ Result<JoinStats> ExecuteTtGh(const JoinSpec& spec, const JoinContext& ctx) {
       plan.chunk = probe_chunk;
       plan.streaming = true;
       plan.move_payloads = !phantom;
+      plan.chunk_retry_limit = ctx.chunk_retry_limit;
       TERTIO_ASSIGN_OR_RETURN(sim::Pipeline::TransferResult result,
                               pipe.Transfer(plan, sb_source, sink, {t}));
       drive_r_chain = result.last_read == sim::kNoStage ? t : result.last_read;
@@ -437,6 +443,7 @@ Result<JoinStats> ExecuteTtGh(const JoinSpec& spec, const JoinContext& ctx) {
   stats.step2_seconds = finish - step1_end;
   stats.bucket_overflow_slices = overflow_slices;
   stats.r_scans += 1;  // the Step II pass over hashed R
+  stats.chunk_retries = pipe.chunk_retries();
   scope.Fill(&stats);
   stats.response_seconds = std::max(stats.response_seconds, finish - scope.start());
   stats.output_valid = !phantom;

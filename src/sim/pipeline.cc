@@ -63,6 +63,26 @@ Result<StageId> Pipeline::Stage(std::string_view phase, std::string_view device,
   return Commit(phase, device, blocks, bytes, interval);
 }
 
+Result<StageId> Pipeline::StageWithRetry(std::string_view phase, std::string_view device,
+                                         std::span<const StageId> deps, BlockCount blocks,
+                                         ByteCount bytes, const StageOp& op, int retry_limit) {
+  int attempts = 0;
+  for (;;) {
+    Result<StageId> stage = Stage(phase, device, deps, blocks, bytes, op);
+    if (stage.ok()) return stage;
+    // The device model has already charged the failed attempt's time; a
+    // kDeviceError is retryable in place. Anything else propagates.
+    if (stage.status().code() != StatusCode::kDeviceError || attempts >= retry_limit) {
+      return stage;
+    }
+    ++attempts;
+    ++chunk_retries_;
+    if (trace_ != nullptr) {
+      trace_->Record("recovery:chunk-retry", device, blocks, 0, Interval::At(ReadyAfter(deps)));
+    }
+  }
+}
+
 StageId Pipeline::Event(std::string_view phase, SimSeconds when) {
   return Commit(phase, "", 0, 0, Interval::At(std::max(start_, when)));
 }
@@ -80,26 +100,53 @@ Result<Pipeline::TransferResult> Pipeline::Transfer(const TransferPlan& plan,
   result.done = result.source_done;
   std::vector<StageId> read_deps(deps.begin(), deps.end());
   read_deps.push_back(kNoStage);  // slot for the chaining dependency
-  for (BlockCount offset = 0; offset < plan.total; offset += chunk) {
+  // A resumed transfer (checkpoint from an earlier failed attempt) skips
+  // chunks that already completed both their read and their write.
+  const BlockCount resume_at = plan.checkpoint != nullptr ? plan.checkpoint->completed_blocks : 0;
+  for (BlockCount offset = resume_at; offset < plan.total; offset += chunk) {
     BlockCount take = std::min<BlockCount>(chunk, plan.total - offset);
-    std::vector<BlockPayload> payloads;
-    std::vector<BlockPayload>* moved = plan.move_payloads ? &payloads : nullptr;
     // Streaming: chunk i+1's read follows read i. Lock-step: it waits for
     // write i (the paper's sequential single-process structure).
     read_deps.back() = plan.streaming ? result.last_read : result.last_write;
-    TERTIO_ASSIGN_OR_RETURN(
-        StageId read,
-        Stage(plan.read_phase, source.device(), std::span<const StageId>(read_deps), take, 0,
-              [&](SimSeconds ready) { return source.Read(offset, take, ready, moved); }));
-    TERTIO_ASSIGN_OR_RETURN(
-        StageId write,
-        Stage(plan.write_phase, sink.device(), {read}, take, 0,
-              [&](SimSeconds ready) { return sink.Write(offset, take, ready, moved); }));
-    if (result.first_read == kNoStage) result.first_read = read;
-    result.last_read = read;
-    result.last_write = write;
-    result.source_done = end(read);
-    result.done = std::max(result.done, std::max(end(read), end(write)));
+    int attempts = 0;
+    for (;;) {
+      std::vector<BlockPayload> payloads;
+      std::vector<BlockPayload>* moved = plan.move_payloads ? &payloads : nullptr;
+      Result<StageId> read =
+          Stage(plan.read_phase, source.device(), std::span<const StageId>(read_deps), take, 0,
+                [&](SimSeconds ready) { return source.Read(offset, take, ready, moved); });
+      Result<StageId> write = Status::Internal("unreached");
+      if (read.ok()) {
+        write = Stage(plan.write_phase, sink.device(), {*read}, take, 0,
+                      [&](SimSeconds ready) { return sink.Write(offset, take, ready, moved); });
+      }
+      if (read.ok() && write.ok()) {
+        if (result.first_read == kNoStage) result.first_read = *read;
+        result.last_read = *read;
+        result.last_write = *write;
+        result.source_done = end(*read);
+        result.done = std::max(result.done, std::max(end(*read), end(*write)));
+        break;
+      }
+      // The device model has already charged the failed attempt's time.
+      // A kDeviceError is retryable at chunk granularity: re-issue this
+      // chunk's read and write (a failed-mid-chunk read delivered nothing,
+      // so the re-read produces the full chunk). Anything else propagates.
+      const Status failure = read.ok() ? write.status() : read.status();
+      if (failure.code() != StatusCode::kDeviceError || attempts >= plan.chunk_retry_limit) {
+        return failure;
+      }
+      ++attempts;
+      ++chunk_retries_;
+      if (plan.checkpoint != nullptr) ++plan.checkpoint->chunk_retries;
+      // Surface the recovery in the span trace (a marker, not a stage: the
+      // failed attempt's device time is inside the device's own timeline).
+      if (trace_ != nullptr) {
+        trace_->Record("recovery:chunk-retry", source.device(), take, 0,
+                       Interval::At(ReadyAfter(std::span<const StageId>(read_deps))));
+      }
+    }
+    if (plan.checkpoint != nullptr) plan.checkpoint->completed_blocks = offset + take;
   }
   return result;
 }

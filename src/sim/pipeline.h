@@ -167,6 +167,16 @@ class Pipeline {
                  bytes, op);
   }
 
+  /// Stage() with bounded in-place re-attempts after kDeviceError: the
+  /// failed attempt's device time is already charged by the device model, so
+  /// a retry simply re-runs `op` (which must be re-runnable — device reads
+  /// deliver no payloads on failure). Other error codes propagate
+  /// immediately. This is the chunk-recovery primitive behind Transfer();
+  /// executors issuing bare scan stages use it directly.
+  Result<StageId> StageWithRetry(std::string_view phase, std::string_view device,
+                                 std::span<const StageId> deps, BlockCount blocks,
+                                 ByteCount bytes, const StageOp& op, int retry_limit);
+
   /// A zero-duration marker at max(start(), when): lets externally-computed
   /// readiness (a bucket's flush time, buffer-space availability) enter the
   /// dependency graph as a stage.
@@ -188,6 +198,22 @@ class Pipeline {
 
   std::size_t size() const { return intervals_.size(); }
 
+  /// Chunk re-attempts performed by Transfer() across this pipeline's
+  /// lifetime (kDeviceError recoveries at transfer granularity).
+  std::uint64_t chunk_retries() const { return chunk_retries_; }
+
+  /// Resumable progress of one Transfer. A caller that passes a checkpoint
+  /// can re-issue a Transfer that failed with kDeviceError and have it pick
+  /// up at the first incomplete chunk instead of re-running the whole pass —
+  /// the join-level recovery unit of the fault model (fault.h).
+  struct TransferCheckpoint {
+    /// Blocks whose read AND write stages completed. A resumed Transfer
+    /// starts its chunk loop here.
+    BlockCount completed_blocks = 0;
+    /// Chunk re-attempts spent so far (in-place retries after kDeviceError).
+    std::uint64_t chunk_retries = 0;
+  };
+
   /// One declared chunked transfer from `source` to `sink`.
   struct TransferPlan {
     /// Span labels for the producer/consumer stages.
@@ -202,6 +228,15 @@ class Pipeline {
     bool streaming = false;
     /// Move real payloads from source to sink (false = timing-only).
     bool move_payloads = false;
+    /// In-place re-attempts per chunk after a kDeviceError before the error
+    /// propagates. The failed attempt's device time is already charged by the
+    /// device model; the retry simply re-issues the chunk's read and write.
+    /// Other error codes always propagate immediately.
+    int chunk_retry_limit = 0;
+    /// Optional resume point: when non-null the transfer starts at
+    /// `checkpoint->completed_blocks` and keeps the struct current after
+    /// every completed chunk, so the caller can re-issue on failure.
+    TransferCheckpoint* checkpoint = nullptr;
   };
 
   struct TransferResult {
@@ -234,6 +269,7 @@ class Pipeline {
   std::vector<Interval> intervals_;
   SimSeconds horizon_ = 0.0;
   bool any_stage_ = false;
+  std::uint64_t chunk_retries_ = 0;
 };
 
 /// A zero-cost sink that collects payloads in memory — the "consumer is the

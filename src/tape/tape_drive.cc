@@ -43,6 +43,39 @@ Result<sim::Interval> TapeDrive::Read(BlockIndex start, BlockCount count, SimSec
                                       std::vector<BlockPayload>* out) {
   TERTIO_RETURN_IF_ERROR(CheckLoaded());
   TERTIO_ASSIGN_OR_RETURN(double mean_c, volume_->MeanCompressibility(start, count));
+  if (faults_ != nullptr && faults_->enabled()) {
+    sim::FaultInjector::ReadOutcome outcome =
+        faults_->SimulateRead(start, count, model_.TransferSeconds(volume_->block_bytes(), mean_c),
+                              model_.reposition_seconds);
+    if (!outcome.completed) {
+      // Unrecoverable media error: charge the seek, the blocks streamed
+      // before the fault, and the recovery time burned retrying; deliver
+      // nothing and leave the head at the failed position. A chunk-level
+      // retry (pipeline) will reposition and re-read from `start`.
+      ByteCount clean_bytes = outcome.clean_blocks * volume_->block_bytes();
+      SimSeconds wasted = SeekCost(start) + model_.TransferSeconds(clean_bytes, mean_c) +
+                          outcome.recovery_seconds;
+      head_ = outcome.failed_block;
+      stats_.blocks_read += outcome.clean_blocks;
+      resource_->Schedule(ready, wasted, clean_bytes, "tape.read-failed");
+      return Status::DeviceError(
+          StrFormat("drive %s: unrecoverable read error at block %llu", name_.c_str(),
+                    static_cast<unsigned long long>(outcome.failed_block)));
+    }
+    SimSeconds duration = SeekCost(start);
+    ByteCount bytes = count * volume_->block_bytes();
+    duration += model_.TransferSeconds(bytes, mean_c) + outcome.recovery_seconds;
+    if (out != nullptr) {
+      out->reserve(out->size() + count);
+      for (BlockIndex i = start; i < start + count; ++i) {
+        TERTIO_ASSIGN_OR_RETURN(BlockPayload payload, volume_->ReadBlock(i));
+        out->push_back(std::move(payload));
+      }
+    }
+    head_ = start + count;
+    stats_.blocks_read += count;
+    return resource_->Schedule(ready, duration, bytes, "tape.read");
+  }
   SimSeconds duration = SeekCost(start);
   ByteCount bytes = count * volume_->block_bytes();
   duration += model_.TransferSeconds(bytes, mean_c);
@@ -130,10 +163,12 @@ Result<sim::Interval> TapeDrive::ReadReverse(BlockCount count, SimSeconds ready,
 
 Result<sim::StageId> TapeDrive::IssueRead(sim::Pipeline& pipe, std::string_view phase,
                                           std::span<const sim::StageId> deps, BlockIndex start,
-                                          BlockCount count, std::vector<BlockPayload>* out) {
+                                          BlockCount count, std::vector<BlockPayload>* out,
+                                          int retry_limit) {
   ByteCount bytes = volume_ != nullptr ? count * volume_->block_bytes() : 0;
-  return pipe.Stage(phase, name_, deps, count, bytes,
-                    [&](SimSeconds ready) { return Read(start, count, ready, out); });
+  return pipe.StageWithRetry(
+      phase, name_, deps, count, bytes,
+      [&](SimSeconds ready) { return Read(start, count, ready, out); }, retry_limit);
 }
 
 }  // namespace tertio::tape

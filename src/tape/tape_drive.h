@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault.h"
 #include "sim/pipeline.h"
 #include "sim/resource.h"
 #include "tape/tape_model.h"
@@ -55,6 +56,12 @@ class TapeDrive {
   bool loaded() const { return volume_ != nullptr; }
   TapeVolume* volume() { return volume_; }
   BlockIndex head_position() const { return head_; }
+
+  /// Attaches a fault source (not owned; may be null). Reads then draw
+  /// transient errors and latent bad blocks from it; with no injector (or a
+  /// disabled one) the costing path is untouched.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+  sim::FaultInjector* fault_injector() const { return faults_; }
 
   /// Inserts and loads `volume`; the head is left at block 0.
   Result<sim::Interval> Load(TapeVolume* volume, SimSeconds ready);
@@ -94,15 +101,19 @@ class TapeDrive {
   }
 
   /// Emits a read of [start, start+count) as one pipeline stage ready after
-  /// `deps`. \returns the stage.
+  /// `deps`, re-attempted in place up to `retry_limit` times on kDeviceError
+  /// (a failed read delivers nothing, so a re-read is clean). \returns the
+  /// stage.
   Result<sim::StageId> IssueRead(sim::Pipeline& pipe, std::string_view phase,
                                  std::span<const sim::StageId> deps, BlockIndex start,
-                                 BlockCount count, std::vector<BlockPayload>* out = nullptr);
+                                 BlockCount count, std::vector<BlockPayload>* out = nullptr,
+                                 int retry_limit = 0);
   Result<sim::StageId> IssueRead(sim::Pipeline& pipe, std::string_view phase,
                                  std::initializer_list<sim::StageId> deps, BlockIndex start,
-                                 BlockCount count, std::vector<BlockPayload>* out = nullptr) {
+                                 BlockCount count, std::vector<BlockPayload>* out = nullptr,
+                                 int retry_limit = 0) {
     return IssueRead(pipe, phase, std::span<const sim::StageId>(deps.begin(), deps.size()),
-                     start, count, out);
+                     start, count, out, retry_limit);
   }
 
  private:
@@ -118,6 +129,7 @@ class TapeDrive {
   TapeVolume* volume_ = nullptr;
   BlockIndex head_ = 0;
   TapeDriveStats stats_;
+  sim::FaultInjector* faults_ = nullptr;
 };
 
 /// Pipeline source streaming a tape-resident relation: block offset k of a

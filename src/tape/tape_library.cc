@@ -29,6 +29,24 @@ Result<int> TapeLibrary::FindSlotOf(const TapeDrive* drive) const {
       StrFormat("drive %s holds no cartridge from this library", drive->name().c_str()));
 }
 
+Result<sim::Interval> TapeLibrary::RobotTrip(const char* tag, SimSeconds ready) {
+  if (faults_ != nullptr && faults_->enabled()) {
+    sim::FaultInjector::ExchangeOutcome outcome =
+        faults_->SimulateExchange(model_.exchange_seconds);
+    for (int i = 0; i < outcome.failed_attempts; ++i) {
+      // Each failed trip occupies the robot for a full exchange.
+      sim::Interval failed =
+          robot_->Schedule(ready, model_.exchange_seconds, 0, "robot.exchange-failed");
+      ready = failed.end;
+    }
+    if (!outcome.completed) {
+      return Status::DeviceError(
+          StrFormat("library %s: robot exchange kept failing", model_.name.c_str()));
+    }
+  }
+  return robot_->Schedule(ready, model_.exchange_seconds, 0, tag);
+}
+
 Result<sim::Interval> TapeLibrary::Mount(int slot, TapeDrive* drive, SimSeconds ready) {
   if (drive == nullptr) return Status::InvalidArgument("cannot mount into a null drive");
   if (slot < 0 || slot >= static_cast<int>(slots_.size())) {
@@ -45,24 +63,30 @@ Result<sim::Interval> TapeLibrary::Mount(int slot, TapeDrive* drive, SimSeconds 
   }
 
   SimSeconds cursor = ready;
-  // If the drive holds one of our cartridges, return it first.
+  // If the drive holds one of our cartridges, return it first: the drive
+  // rewinds and unloads (charged on the drive's own timeline), then the
+  // robot makes the eject trip. Slot state changes only after each physical
+  // step succeeds, so a failure leaves the bookkeeping consistent.
   if (auto home = FindSlotOf(drive); home.ok()) {
+    TERTIO_ASSIGN_OR_RETURN(sim::Interval rewind, drive->Rewind(cursor));
+    TERTIO_ASSIGN_OR_RETURN(sim::Interval unload, drive->Unload(rewind.end));
+    TERTIO_ASSIGN_OR_RETURN(sim::Interval eject, RobotTrip("robot.eject", unload.end));
     slots_[static_cast<size_t>(home.value())].mounted_in = nullptr;
-    drive->ForceMount(nullptr);
-    sim::Interval eject = robot_->Schedule(cursor, model_.exchange_seconds, 0, "robot.eject");
     cursor = eject.end;
   }
-  sim::Interval inject = robot_->Schedule(cursor, model_.exchange_seconds, 0, "robot.inject");
-  target.mounted_in = drive;
+  TERTIO_ASSIGN_OR_RETURN(sim::Interval inject, RobotTrip("robot.inject", cursor));
   TERTIO_ASSIGN_OR_RETURN(sim::Interval load, drive->Load(target.volume.get(), inject.end));
+  // Only now is the cartridge actually in the drive.
+  target.mounted_in = drive;
   return sim::Interval{ready, load.end};
 }
 
 Result<sim::Interval> TapeLibrary::Dismount(TapeDrive* drive, SimSeconds ready) {
   if (drive == nullptr) return Status::InvalidArgument("cannot dismount a null drive");
   TERTIO_ASSIGN_OR_RETURN(int home, FindSlotOf(drive));
-  TERTIO_ASSIGN_OR_RETURN(sim::Interval unload, drive->Unload(ready));
-  sim::Interval stow = robot_->Schedule(unload.end, model_.exchange_seconds, 0, "robot.stow");
+  TERTIO_ASSIGN_OR_RETURN(sim::Interval rewind, drive->Rewind(ready));
+  TERTIO_ASSIGN_OR_RETURN(sim::Interval unload, drive->Unload(rewind.end));
+  TERTIO_ASSIGN_OR_RETURN(sim::Interval stow, RobotTrip("robot.stow", unload.end));
   slots_[static_cast<size_t>(home)].mounted_in = nullptr;
   return sim::Interval{ready, stow.end};
 }

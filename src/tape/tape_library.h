@@ -33,6 +33,10 @@ class TapeLibrary {
   const TapeLibraryModel& model() const { return model_; }
   sim::Resource* robot() { return robot_; }
 
+  /// Attaches a fault source for robot exchanges (not owned; may be null).
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+  sim::FaultInjector* fault_injector() const { return faults_; }
+
   /// Inserts `volume` into the first free slot. \returns the slot index.
   Result<int> AddCartridge(std::unique_ptr<TapeVolume> volume);
 
@@ -58,9 +62,14 @@ class TapeLibrary {
 
   Result<int> FindSlotOf(const TapeDrive* drive) const;
 
+  /// One robot exchange trip at `ready`, drawing exchange failures from the
+  /// injector (each failed trip occupies the robot for a full exchange).
+  Result<sim::Interval> RobotTrip(const char* tag, SimSeconds ready);
+
   TapeLibraryModel model_;
   sim::Resource* robot_;
   std::vector<Slot> slots_;
+  sim::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace tertio::tape

@@ -30,25 +30,34 @@ void TapeScheduler::Order(std::vector<TapeReadRequest>* batch) const {
   }
 }
 
-Result<std::vector<TapeReadCompletion>> TapeScheduler::ExecuteBatch(SimSeconds ready,
-                                                                    bool capture) {
+TapeScheduler::BatchResult TapeScheduler::ExecuteBatch(SimSeconds ready, bool capture) {
   std::vector<TapeReadRequest> batch = std::move(pending_);
   pending_.clear();
   Order(&batch);
-  std::vector<TapeReadCompletion> completions;
-  completions.reserve(batch.size());
+  BatchResult result;
+  result.completions.reserve(batch.size());
   SimSeconds cursor = ready;
-  for (const TapeReadRequest& request : batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const TapeReadRequest& request = batch[i];
     TapeReadCompletion completion;
     completion.id = request.id;
-    TERTIO_ASSIGN_OR_RETURN(
-        completion.interval,
-        drive_->Read(request.start, request.count, cursor,
-                     capture ? &completion.payloads : nullptr));
+    Result<sim::Interval> interval = drive_->Read(request.start, request.count, cursor,
+                                                  capture ? &completion.payloads : nullptr);
+    if (!interval.ok()) {
+      // Don't lose the rest of the batch: the failed request and every
+      // unexecuted one go back to the head of the pending queue, ahead of
+      // anything submitted since this batch was taken.
+      result.status = interval.status();
+      result.requeued = batch.size() - i;
+      pending_.insert(pending_.begin(), batch.begin() + static_cast<std::ptrdiff_t>(i),
+                      batch.end());
+      return result;
+    }
+    completion.interval = *interval;
     cursor = completion.interval.end;
-    completions.push_back(std::move(completion));
+    result.completions.push_back(std::move(completion));
   }
-  return completions;
+  return result;
 }
 
 }  // namespace tertio::tape

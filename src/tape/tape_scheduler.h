@@ -57,9 +57,23 @@ class TapeScheduler {
   /// Queues one read (validated against the mounted volume at execution).
   void Submit(const TapeReadRequest& request) { pending_.push_back(request); }
 
+  /// Outcome of one batch execution. A mid-batch device error does not lose
+  /// work: the completions executed before the failure are returned, and the
+  /// failed request plus every unexecuted one are back in the pending queue
+  /// (ahead of later submissions), so the caller can retry with another
+  /// ExecuteBatch once it has handled `status`.
+  struct BatchResult {
+    std::vector<TapeReadCompletion> completions;
+    Status status;
+    /// Requests returned to the pending queue (0 when status is OK).
+    std::size_t requeued = 0;
+
+    bool ok() const { return status.ok(); }
+  };
+
   /// Executes every pending request, earliest start `ready`. Completions are
   /// returned in execution order. `capture` fills payloads.
-  Result<std::vector<TapeReadCompletion>> ExecuteBatch(SimSeconds ready, bool capture = false);
+  BatchResult ExecuteBatch(SimSeconds ready, bool capture = false);
 
  private:
   /// Orders `batch` in place according to the policy.

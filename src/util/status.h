@@ -35,6 +35,11 @@ enum class StatusCode : int8_t {
   /// The requested feature is valid but not implemented by this device or
   /// mode (e.g. read-reverse on a drive that lacks it).
   kUnimplemented,
+  /// A device fault that survived the device's own bounded retries (an
+  /// unrecoverable media error, a robot exchange that kept failing). Unlike
+  /// the codes above this one is *retryable at a coarser granularity*: the
+  /// pipeline may re-issue the failed chunk, resuming from its checkpoint.
+  kDeviceError,
 };
 
 /// \returns the canonical spelling of a status code, e.g. "InvalidArgument".
@@ -67,6 +72,9 @@ class Status {
   static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeviceError(std::string msg) {
+    return Status(StatusCode::kDeviceError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -162,7 +162,7 @@ TEST(SchedulerFuzzTest, OrderingPoliciesNeverLoseOrDuplicateRequests) {
       ASSERT_TRUE(done.ok());
       // Completions are time-ordered and cover exactly the submissions.
       SimSeconds last = 0.0;
-      for (const auto& completion : *done) {
+      for (const auto& completion : done.completions) {
         EXPECT_GE(completion.interval.end, last);
         last = completion.interval.end;
         ASSERT_EQ(submitted.erase(completion.id), 1u);

@@ -161,31 +161,37 @@ class SliceExtentsTest : public ::testing::Test {
 };
 
 TEST_F(SliceExtentsTest, ZeroCountSliceIsEmpty) {
-  EXPECT_TRUE(disk::SliceExtents(extents_, 0, 0).empty());
-  EXPECT_TRUE(disk::SliceExtents(extents_, 4, 0).empty());
-  EXPECT_TRUE(disk::SliceExtents(extents_, 8, 0).empty());
+  EXPECT_TRUE(disk::SliceExtents(extents_, 0, 0)->empty());
+  EXPECT_TRUE(disk::SliceExtents(extents_, 4, 0)->empty());
+  EXPECT_TRUE(disk::SliceExtents(extents_, 8, 0)->empty());
 }
 
 TEST_F(SliceExtentsTest, SliceWithinOneExtent) {
-  disk::ExtentList slice = disk::SliceExtents(extents_, 1, 3);
-  ASSERT_EQ(slice.size(), 1u);
-  EXPECT_EQ(slice[0], (disk::Extent{0, 11, 3}));
+  auto slice = disk::SliceExtents(extents_, 1, 3);
+  ASSERT_TRUE(slice.ok());
+  ASSERT_EQ(slice->size(), 1u);
+  EXPECT_EQ((*slice)[0], (disk::Extent{0, 11, 3}));
 }
 
 TEST_F(SliceExtentsTest, SliceSpansExtentBoundary) {
-  disk::ExtentList slice = disk::SliceExtents(extents_, 3, 4);
-  ASSERT_EQ(slice.size(), 2u);
-  EXPECT_EQ(slice[0], (disk::Extent{0, 13, 2}));
-  EXPECT_EQ(slice[1], (disk::Extent{1, 0, 2}));
+  auto slice = disk::SliceExtents(extents_, 3, 4);
+  ASSERT_TRUE(slice.ok());
+  ASSERT_EQ(slice->size(), 2u);
+  EXPECT_EQ((*slice)[0], (disk::Extent{0, 13, 2}));
+  EXPECT_EQ((*slice)[1], (disk::Extent{1, 0, 2}));
 }
 
 TEST_F(SliceExtentsTest, FullSliceReturnsWholeList) {
-  EXPECT_EQ(disk::SliceExtents(extents_, 0, 8), extents_);
+  EXPECT_EQ(*disk::SliceExtents(extents_, 0, 8), extents_);
 }
 
-TEST_F(SliceExtentsTest, OffsetPastEndDies) {
-  EXPECT_DEATH(disk::SliceExtents(extents_, 6, 5), "extent slice out of range");
-  EXPECT_DEATH(disk::SliceExtents(extents_, 9, 1), "extent slice out of range");
+TEST_F(SliceExtentsTest, OffsetPastEndReturnsInvalidArgument) {
+  auto past_end = disk::SliceExtents(extents_, 6, 5);
+  ASSERT_FALSE(past_end.ok());
+  EXPECT_EQ(past_end.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(past_end.status().message().find("extent slice out of range"), std::string::npos);
+  EXPECT_EQ(disk::SliceExtents(extents_, 9, 1).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

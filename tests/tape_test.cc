@@ -329,7 +329,7 @@ TEST_F(TapeSchedulerTest, SortedBatchBeatsFifo) {
     for (const auto& r : ScatteredRequests()) fifo.Submit(r);
     auto done = fifo.ExecuteBatch(0.0);
     ASSERT_TRUE(done.ok());
-    fifo_time = done->back().interval.end;
+    fifo_time = done.completions.back().interval.end;
     fifo_repos = drive.stats().reposition_count;
   }
   {
@@ -340,7 +340,7 @@ TEST_F(TapeSchedulerTest, SortedBatchBeatsFifo) {
     for (const auto& r : ScatteredRequests()) sorted.Submit(r);
     auto done = sorted.ExecuteBatch(0.0);
     ASSERT_TRUE(done.ok());
-    sorted_time = done->back().interval.end;
+    sorted_time = done.completions.back().interval.end;
     sorted_repos = drive.stats().reposition_count;
   }
   EXPECT_LT(sorted_time, fifo_time);
@@ -354,11 +354,11 @@ TEST_F(TapeSchedulerTest, ElevatorContinuesFromHead) {
   for (const auto& r : ScatteredRequests()) elevator.Submit(r);
   auto done = elevator.ExecuteBatch(1000.0);
   ASSERT_TRUE(done.ok());
-  ASSERT_EQ(done->size(), 8u);
+  ASSERT_EQ(done.completions.size(), 8u);
   // First served request starts at or after the head (600 is the first).
-  EXPECT_EQ(done->front().id, 3u);
+  EXPECT_EQ(done.completions.front().id, 3u);
   // Wrapped tail is ascending from the lowest start.
-  EXPECT_EQ(done->back().id, 7u);
+  EXPECT_EQ(done.completions.back().id, 7u);
 }
 
 TEST_F(TapeSchedulerTest, PoliciesReturnIdenticalData) {
@@ -372,7 +372,7 @@ TEST_F(TapeSchedulerTest, PoliciesReturnIdenticalData) {
     TERTIO_CHECK(done.ok(), "");
     // Collate payload first-bytes by request id.
     std::map<uint64_t, std::vector<uint8_t>> by_id;
-    for (const auto& completion : *done) {
+    for (const auto& completion : done.completions) {
       for (const auto& payload : completion.payloads) {
         by_id[completion.id].push_back((*payload)[0]);
       }
@@ -394,7 +394,7 @@ TEST_F(TapeSchedulerTest, BatchDrainsPendingQueue) {
   EXPECT_EQ(scheduler.pending(), 0u);
   auto empty = scheduler.ExecuteBatch(0.0);
   ASSERT_TRUE(empty.ok());
-  EXPECT_TRUE(empty->empty());
+  EXPECT_TRUE(empty.completions.empty());
 }
 
 }  // namespace

@@ -50,8 +50,11 @@ int Usage() {
   std::fprintf(stderr,
                "usage: tertio_cli <advise|estimate|run|sweep> --r-mb N --s-mb N "
                "--disk-mb N --memory-mb N [--method NAME] [--compressibility F] "
-               "[--gantt] [--spans]\n"
-               "methods: DT-NB CDT-NB/MB CDT-NB/DB DT-GH CDT-GH CTT-GH TT-GH\n");
+               "[--faults SPEC] [--gantt] [--spans]\n"
+               "methods: DT-NB CDT-NB/MB CDT-NB/DB DT-GH CDT-GH CTT-GH TT-GH\n"
+               "faults:  comma list, e.g. "
+               "seed=7,tape-transient=1e-4,tape-bad=1e-6,disk-transient=1e-5,"
+               "exchange=0.01,retries=4,backoff=0.1,remap=2\n");
   return 2;
 }
 
@@ -68,6 +71,11 @@ Result<Flags> Parse(int argc, char** argv) {
       continue;
     }
     if (arg.rfind("--", 0) != 0) return Status::InvalidArgument("unexpected argument " + arg);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      continue;
+    }
     if (i + 1 >= argc) return Status::InvalidArgument("flag " + arg + " needs a value");
     flags.values[arg.substr(2)] = argv[++i];
   }
@@ -175,6 +183,14 @@ int CmdRun(const Flags& flags) {
   exec::MachineConfig config = exec::MachineConfig::PaperTestbed(
       static_cast<ByteCount>(flags.GetDouble("disk-mb", 0) * kMB),
       static_cast<ByteCount>(flags.GetDouble("memory-mb", 0) * kMB));
+  if (flags.Has("faults")) {
+    auto plan = sim::FaultPlan::Parse(flags.GetString("faults", ""));
+    if (!plan.ok()) {
+      std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+      return 2;
+    }
+    config.faults = *plan;
+  }
   exec::Machine machine(config);
   if (flags.gantt) {
     for (const auto& resource : machine.sim().resources()) resource->EnableTrace();
@@ -214,6 +230,16 @@ int CmdRun(const Flags& flags) {
               FormatBytes(BlocksToBytes(stats->disk_traffic_blocks(), config.block_bytes))
                   .c_str(),
               (unsigned long long)stats->disk_requests);
+  if (machine.faults_enabled()) {
+    std::printf("faults       %llu injected, %llu retries, %llu chunk retries, "
+                "%s recovering\n",
+                (unsigned long long)stats->faults_injected,
+                (unsigned long long)stats->fault_retries,
+                (unsigned long long)stats->chunk_retries,
+                FormatDuration(stats->recovery_seconds).c_str());
+    std::printf("\n");
+    exec::FaultSummaryTable(machine.TotalFaultStats()).Print();
+  }
   if (flags.spans) {
     std::printf("\n");
     exec::SpanSummaryTable(stats->spans).Print();

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full verify flow: tier-1 build + tests (RelWithDebInfo), then the
+# ASan+UBSan preset over the fault/error-path tests so every recovery
+# branch runs sanitizer-checked. Presets live in CMakePresets.json.
+#
+# Usage: tools/verify.sh [--fast]
+#   --fast   skip the sanitizer pass (tier-1 only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== tier-1: configure + build + ctest (preset: default) =="
+cmake --preset default
+cmake --build --preset default -j"$(nproc)"
+ctest --preset default -j"$(nproc)"
+
+if [[ "$FAST" == 1 ]]; then
+  echo "== --fast: skipping sanitizer pass =="
+  exit 0
+fi
+
+echo "== sanitizers: ASan+UBSan build + fault-labelled tests (preset: asan) =="
+cmake --preset asan
+cmake --build --preset asan -j"$(nproc)"
+ctest --preset asan -L faults -j"$(nproc)"
+
+echo "== verify OK =="
