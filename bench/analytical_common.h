@@ -12,37 +12,63 @@
 
 namespace tertio::bench {
 
-/// Prints the relative-response series over the given |R|/M values.
-inline void RunAnalyticalSweep(const std::vector<double>& r_over_m) {
+/// Sweeps the cost model over the given |R|/M values, prints the
+/// relative-response series, and records each method's absolute estimated
+/// seconds into the bench record. \returns the recorder's exit code.
+inline int RunAnalyticalSweep(const char* bench_name, const std::vector<double>& r_over_m,
+                              int argc, char** argv) {
   // Section 5.3 is a pure transfer-only analysis; concrete scales cancel in
   // the relative metric. M = 2,000 blocks keeps all ratios integral.
   constexpr BlockCount kM = 2000;
   constexpr double kTapeRate = 1.5e6;
+
+  BenchRecorder recorder(bench_name, argc, argv);
+
+  struct Row {
+    double optimum = 0.0;
+    std::vector<Result<cost::CostBreakdown>> estimates;
+  };
+  std::vector<Row> rows = exec::ParallelSweep(
+      r_over_m,
+      [&](double x) {
+        cost::CostParams params;
+        params.r_blocks = static_cast<BlockCount>(x * kM);
+        params.s_blocks = 10 * params.r_blocks;
+        params.memory_blocks = kM;
+        params.disk_blocks = 32 * kM;
+        params.tape_rate_bps = kTapeRate;
+        params.disk_rate_bps = 2.0 * kTapeRate;  // X_D = 2 X_T
+        params.disk_positioning_seconds = 0.0;   // the paper's transfer-only model
+        Row row;
+        row.optimum = cost::OptimumJoinSeconds(params);
+        for (JoinMethodId method : kAllJoinMethods) {
+          row.estimates.push_back(cost::Estimate(method, params));
+        }
+        return row;
+      },
+      recorder.threads());
 
   std::vector<std::string> labels;
   for (JoinMethodId method : kAllJoinMethods) {
     labels.emplace_back(JoinMethodName(method));
   }
   exec::SeriesReport series("|R|/M", labels);
-  for (double x : r_over_m) {
-    cost::CostParams params;
-    params.r_blocks = static_cast<BlockCount>(x * kM);
-    params.s_blocks = 10 * params.r_blocks;
-    params.memory_blocks = kM;
-    params.disk_blocks = 32 * kM;
-    params.tape_rate_bps = kTapeRate;
-    params.disk_rate_bps = 2.0 * kTapeRate;  // X_D = 2 X_T
-    params.disk_positioning_seconds = 0.0;   // the paper's transfer-only model
-    double optimum = cost::OptimumJoinSeconds(params);
+  for (std::size_t i = 0; i < r_over_m.size(); ++i) {
     std::vector<double> values;
-    for (JoinMethodId method : kAllJoinMethods) {
-      auto estimate = cost::Estimate(method, params);
-      values.push_back(estimate.ok() ? estimate->total_seconds / optimum
+    for (std::size_t m = 0; m < rows[i].estimates.size(); ++m) {
+      const auto& estimate = rows[i].estimates[m];
+      values.push_back(estimate.ok() ? estimate->total_seconds / rows[i].optimum
                                      : std::nan(""));
+      recorder.RecordSim(
+          StrFormat("R/M=%g/%s", r_over_m[i],
+                    std::string(JoinMethodName(kAllJoinMethods[m])).c_str()),
+          estimate.ok() ? estimate->total_seconds
+                        : std::numeric_limits<double>::quiet_NaN());
     }
-    series.AddPoint(x, values);
+    series.AddPoint(r_over_m[i], values);
   }
   series.Print();
+  return recorder.Finish();
 }
 
 }  // namespace tertio::bench

@@ -14,19 +14,36 @@
 namespace tertio::bench {
 namespace {
 
-void AblationDoubleBuffering() {
+void AblationDoubleBuffering(BenchRecorder& recorder) {
   std::printf("\n--- Ablation 1: interleaved vs split double-buffering ---\n");
   std::printf("Same memory budget; CDT-NB/MB splits it into two half-size S\n");
   std::printf("buffers (the scheme Section 4 rejects for disk), CDT-NB/DB keeps\n");
   std::printf("full-size chunks through one interleaved disk ring.\n\n");
   exec::TableReport table({"M/|R|", "MB iterations", "DB iterations", "MB resp (s)",
                            "DB resp (s)"});
-  for (double f : {0.2, 0.4, 0.8}) {
-    auto m = static_cast<ByteCount>(f * 18 * kMB);
-    auto mb = RunPaperJoin(1000 * kMB, 18 * kMB, 50 * kMB, m, JoinMethodId::kCdtNbMb);
-    auto db = RunPaperJoin(1000 * kMB, 18 * kMB, 50 * kMB, m, JoinMethodId::kCdtNbDb);
+  const std::vector<double> fractions = {0.2, 0.4, 0.8};
+  struct Pair {
+    Result<join::JoinStats> mb;
+    Result<join::JoinStats> db;
+  };
+  std::vector<Pair> results = exec::ParallelSweep(
+      fractions,
+      [](double f) {
+        auto m = static_cast<ByteCount>(f * 18 * kMB);
+        return Pair{RunPaperJoin(1000 * kMB, 18 * kMB, 50 * kMB, m, JoinMethodId::kCdtNbMb),
+                    RunPaperJoin(1000 * kMB, 18 * kMB, 50 * kMB, m, JoinMethodId::kCdtNbDb)};
+      },
+      recorder.threads());
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    const auto& mb = results[i].mb;
+    const auto& db = results[i].db;
     TERTIO_CHECK(mb.ok() && db.ok(), "ablation runs failed");
-    table.AddRow({FormatFixed(f, 2), StrFormat("%llu", (unsigned long long)mb->iterations),
+    recorder.RecordSim(StrFormat("dbl-buffer M/R=%.2f/MB", fractions[i]),
+                       mb->response_seconds);
+    recorder.RecordSim(StrFormat("dbl-buffer M/R=%.2f/DB", fractions[i]),
+                       db->response_seconds);
+    table.AddRow({FormatFixed(fractions[i], 2),
+                  StrFormat("%llu", (unsigned long long)mb->iterations),
                   StrFormat("%llu", (unsigned long long)db->iterations),
                   StrFormat("%.0f", mb->response_seconds),
                   StrFormat("%.0f", db->response_seconds)});
@@ -36,97 +53,139 @@ void AblationDoubleBuffering() {
   std::printf("re-scans R, which is what hurts at small M.\n");
 }
 
-void AblationPositioningModel() {
+void AblationPositioningModel(BenchRecorder& recorder) {
   std::printf("\n--- Ablation 2: disk positioning model on/off ---\n");
   std::printf("CDT-GH at small memory: tiny per-bucket write buffers degrade to\n");
   std::printf("random I/O only if the model charges positioning per request.\n\n");
   exec::TableReport table({"M/|R|", "with positioning (s)", "transfer-only (s)"});
-  for (double f : {0.05, 0.1, 0.3}) {
-    auto m = static_cast<ByteCount>(f * 18 * kMB);
-    exec::MachineConfig real = exec::MachineConfig::PaperTestbed(50 * kMB, m);
-    exec::MachineConfig ideal = real;
-    ideal.disk_model = disk::DiskModel::Ideal(real.disk_model.transfer_rate_bps);
-    exec::WorkloadConfig workload;
-    workload.r_bytes = 18 * kMB;
-    workload.s_bytes = 1000 * kMB;
-    workload.phantom = true;
-    auto with = exec::RunJoinExperiment(real, workload, JoinMethodId::kCdtGh);
-    auto without = exec::RunJoinExperiment(ideal, workload, JoinMethodId::kCdtGh);
+  const std::vector<double> fractions = {0.05, 0.1, 0.3};
+  struct Pair {
+    Result<join::JoinStats> with;
+    Result<join::JoinStats> without;
+  };
+  std::vector<Pair> results = exec::ParallelSweep(
+      fractions,
+      [](double f) {
+        auto m = static_cast<ByteCount>(f * 18 * kMB);
+        exec::MachineConfig real = exec::MachineConfig::PaperTestbed(50 * kMB, m);
+        exec::MachineConfig ideal = real;
+        ideal.disk_model = disk::DiskModel::Ideal(real.disk_model.transfer_rate_bps);
+        exec::WorkloadConfig workload;
+        workload.r_bytes = 18 * kMB;
+        workload.s_bytes = 1000 * kMB;
+        workload.phantom = true;
+        return Pair{exec::RunJoinExperiment(real, workload, JoinMethodId::kCdtGh),
+                    exec::RunJoinExperiment(ideal, workload, JoinMethodId::kCdtGh)};
+      },
+      recorder.threads());
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    const auto& with = results[i].with;
+    const auto& without = results[i].without;
     TERTIO_CHECK(with.ok() && without.ok(), "ablation runs failed");
-    table.AddRow({FormatFixed(f, 2), StrFormat("%.0f", with->response_seconds),
+    recorder.RecordSim(StrFormat("positioning M/R=%.2f/on", fractions[i]),
+                       with->response_seconds);
+    recorder.RecordSim(StrFormat("positioning M/R=%.2f/off", fractions[i]),
+                       without->response_seconds);
+    table.AddRow({FormatFixed(fractions[i], 2), StrFormat("%.0f", with->response_seconds),
                   StrFormat("%.0f", without->response_seconds)});
   }
   table.Print();
   std::printf("The small-M uptick of Figures 8-9 exists only with positioning.\n");
 }
 
-void AblationWriteBuffer() {
+void AblationWriteBuffer(BenchRecorder& recorder) {
   std::printf("\n--- Ablation 3: hash write-buffer size w ---\n");
   std::printf("DT-GH with the write buffer forced to w blocks per bucket\n");
   std::printf("(memory permitting): bigger flushes, fewer seeks.\n\n");
   exec::TableReport table({"w (blocks)", "disk requests", "response (s)"});
-  for (BlockCount w : {1u, 2u, 4u, 8u}) {
-    exec::MachineConfig machine = exec::MachineConfig::PaperTestbed(50 * kMB, 9 * kMB);
-    exec::WorkloadConfig workload;
-    workload.r_bytes = 18 * kMB;
-    workload.s_bytes = 1000 * kMB;
-    workload.phantom = true;
-    exec::Machine m(machine);
-    auto prepared = exec::PrepareWorkload(&m, workload);
-    TERTIO_CHECK(prepared.ok(), "setup failed");
-    join::JoinSpec spec;
-    spec.r = &prepared->r;
-    spec.s = &prepared->s;
-    spec.options.preferred_write_buffer = w;
-    auto method = join::CreateJoinMethod(JoinMethodId::kDtGh);
-    join::JoinContext ctx = m.context();
-    auto stats = method->Execute(spec, ctx);
+  const std::vector<BlockCount> widths = {1, 2, 4, 8};
+  std::vector<Result<join::JoinStats>> results = exec::ParallelSweep(
+      widths,
+      [](BlockCount w) -> Result<join::JoinStats> {
+        exec::MachineConfig machine = exec::MachineConfig::PaperTestbed(50 * kMB, 9 * kMB);
+        exec::WorkloadConfig workload;
+        workload.r_bytes = 18 * kMB;
+        workload.s_bytes = 1000 * kMB;
+        workload.phantom = true;
+        exec::Machine m(machine);
+        auto prepared = exec::PrepareWorkload(&m, workload);
+        TERTIO_CHECK(prepared.ok(), "setup failed");
+        join::JoinSpec spec;
+        spec.r = &prepared->r;
+        spec.s = &prepared->s;
+        spec.options.preferred_write_buffer = w;
+        auto method = join::CreateJoinMethod(JoinMethodId::kDtGh);
+        join::JoinContext ctx = m.context();
+        return method->Execute(spec, ctx);
+      },
+      recorder.threads());
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const auto& stats = results[i];
     TERTIO_CHECK(stats.ok(), stats.status().ToString());
-    table.AddRow({StrFormat("%llu", (unsigned long long)w),
+    recorder.RecordSim(StrFormat("write-buffer w=%llu", (unsigned long long)widths[i]),
+                       stats->response_seconds);
+    table.AddRow({StrFormat("%llu", (unsigned long long)widths[i]),
                   StrFormat("%llu", (unsigned long long)stats->disk_requests),
                   StrFormat("%.0f", stats->response_seconds)});
   }
   table.Print();
 }
 
-void AblationPhantomVsReal() {
+void AblationPhantomVsReal(BenchRecorder& recorder) {
   std::printf("\n--- Ablation 4: timing-only (phantom) vs full-data execution ---\n");
   std::printf("Same geometry run both ways; virtual times should agree closely\n");
   std::printf("(full-data re-encodes tuples into blocks, so counts shift a little).\n\n");
   exec::TableReport table({"method", "phantom (s)", "full-data (s)", "delta"});
-  for (JoinMethodId method : {JoinMethodId::kDtNb, JoinMethodId::kCdtGh,
-                              JoinMethodId::kCttGh}) {
-    exec::MachineConfig machine;
-    machine.block_bytes = 8 * kKiB;
-    machine.disk_space_bytes = 24 * kMB;
-    machine.memory_bytes = 4 * kMB;
-    exec::WorkloadConfig workload;
-    workload.r_bytes = 8 * kMB;
-    workload.s_bytes = 60 * kMB;
-    workload.phantom = true;
-    auto phantom = exec::RunJoinExperiment(machine, workload, method);
-    workload.phantom = false;
-    auto real = exec::RunJoinExperiment(machine, workload, method);
+  const std::vector<JoinMethodId> methods = {JoinMethodId::kDtNb, JoinMethodId::kCdtGh,
+                                             JoinMethodId::kCttGh};
+  struct Pair {
+    Result<join::JoinStats> phantom;
+    Result<join::JoinStats> real;
+  };
+  std::vector<Pair> results = exec::ParallelSweep(
+      methods,
+      [](JoinMethodId method) {
+        exec::MachineConfig machine;
+        machine.block_bytes = 8 * kKiB;
+        machine.disk_space_bytes = 24 * kMB;
+        machine.memory_bytes = 4 * kMB;
+        exec::WorkloadConfig workload;
+        workload.r_bytes = 8 * kMB;
+        workload.s_bytes = 60 * kMB;
+        workload.phantom = true;
+        auto phantom = exec::RunJoinExperiment(machine, workload, method);
+        workload.phantom = false;
+        auto real = exec::RunJoinExperiment(machine, workload, method);
+        return Pair{std::move(phantom), std::move(real)};
+      },
+      recorder.threads());
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    const auto& phantom = results[i].phantom;
+    const auto& real = results[i].real;
     TERTIO_CHECK(phantom.ok() && real.ok(), "ablation runs failed");
+    const std::string name(JoinMethodName(methods[i]));
+    recorder.RecordSim(StrFormat("phantom/%s", name.c_str()), phantom->response_seconds);
+    recorder.RecordSim(StrFormat("full-data/%s", name.c_str()), real->response_seconds);
     double delta = real->response_seconds / phantom->response_seconds - 1.0;
-    table.AddRow({std::string(JoinMethodName(method)),
+    table.AddRow({std::string(JoinMethodName(methods[i])),
                   StrFormat("%.1f", phantom->response_seconds),
                   StrFormat("%.1f", real->response_seconds), StrFormat("%+.1f%%", 100 * delta)});
   }
   table.Print();
 }
 
-int Run() {
+int Run(int argc, char** argv) {
+  BenchRecorder recorder("ablations", argc, argv);
   Banner("Ablations — the design choices behind the reproduction",
          "DESIGN.md section 5", "each choice changes the outcome it claims to");
-  AblationDoubleBuffering();
-  AblationPositioningModel();
-  AblationWriteBuffer();
-  AblationPhantomVsReal();
-  return 0;
+  AblationDoubleBuffering(recorder);
+  AblationPositioningModel(recorder);
+  AblationWriteBuffer(recorder);
+  AblationPhantomVsReal(recorder);
+  return recorder.Finish();
 }
 
 }  // namespace
 }  // namespace tertio::bench
 
-int main() { return tertio::bench::Run(); }
+int main(int argc, char** argv) { return tertio::bench::Run(argc, argv); }

@@ -47,7 +47,8 @@ Result<join::JoinStats> RunWithFaults(JoinMethodId method, double error_rate) {
   return exec::RunJoinExperiment(machine, workload, method);
 }
 
-int Run() {
+int Run(int argc, char** argv) {
+  BenchRecorder recorder("fault_degradation", argc, argv);
   Banner("Fault degradation — response time vs per-block error rate (all methods)",
          "fault-model extension (not a paper figure)",
          "smooth degradation; recovery cost proportional to device traffic");
@@ -55,15 +56,33 @@ int Run() {
   for (JoinMethodId method : kMethods) headers.emplace_back(JoinMethodName(method));
   exec::TableReport response(headers);
   exec::TableReport recovery(headers);
-  for (double rate : {0.0, 1e-5, 1e-4, 3e-4, 1e-3, 3e-3}) {
-    std::vector<std::string> seconds{StrFormat("%g", rate)};
-    std::vector<std::string> recovered{StrFormat("%g", rate)};
-    for (JoinMethodId method : kMethods) {
-      auto stats = RunWithFaults(method, rate);
+
+  const std::vector<double> rates = {0.0, 1e-5, 1e-4, 3e-4, 1e-3, 3e-3};
+  constexpr std::size_t kMethodCount = sizeof(kMethods) / sizeof(kMethods[0]);
+  struct Point {
+    double rate;
+    JoinMethodId method;
+  };
+  std::vector<Point> points;
+  for (double rate : rates) {
+    for (JoinMethodId method : kMethods) points.push_back({rate, method});
+  }
+  std::vector<Result<join::JoinStats>> results = exec::ParallelSweep(
+      points, [](const Point& point) { return RunWithFaults(point.method, point.rate); },
+      recorder.threads());
+
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    std::vector<std::string> seconds{StrFormat("%g", rates[r])};
+    std::vector<std::string> recovered{StrFormat("%g", rates[r])};
+    for (std::size_t m = 0; m < kMethodCount; ++m) {
+      const Result<join::JoinStats>& stats = results[r * kMethodCount + m];
       seconds.push_back(stats.ok() ? StrFormat("%.0f", stats->response_seconds)
                                    : std::string("-"));
       recovered.push_back(stats.ok() ? StrFormat("%.1f", stats->recovery_seconds)
                                      : std::string("-"));
+      recorder.RecordJoin(StrFormat("rate=%g/%s", rates[r],
+                                    std::string(JoinMethodName(kMethods[m])).c_str()),
+                          stats);
     }
     response.AddRow(std::move(seconds));
     recovery.AddRow(std::move(recovered));
@@ -72,10 +91,10 @@ int Run() {
   response.Print();
   std::printf("\nRecovery time (s) vs per-block error rate:\n");
   recovery.Print();
-  return 0;
+  return recorder.Finish();
 }
 
 }  // namespace
 }  // namespace tertio::bench
 
-int main() { return tertio::bench::Run(); }
+int main(int argc, char** argv) { return tertio::bench::Run(argc, argv); }

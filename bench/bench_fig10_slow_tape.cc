@@ -6,10 +6,11 @@
 
 #include "bench/overhead_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return tertio::bench::RunOverheadFigure(
+      "fig10_slow_tape",
       "Figure 10 — relative join overhead, slower tape (0% compressible)",
       "Section 9, Figure 10",
       "overheads fall vs Figure 9; concurrent methods fall the most",
-      /*compressibility=*/0.0);
+      /*compressibility=*/0.0, argc, argv);
 }

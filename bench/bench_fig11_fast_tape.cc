@@ -6,10 +6,11 @@
 
 #include "bench/overhead_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return tertio::bench::RunOverheadFigure(
+      "fig11_fast_tape",
       "Figure 11 — relative join overhead, faster tape (50% compressible)",
       "Section 9, Figure 11",
       "overheads rise vs Figure 9; concurrent methods rise the most",
-      /*compressibility=*/0.5);
+      /*compressibility=*/0.5, argc, argv);
 }

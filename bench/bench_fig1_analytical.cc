@@ -6,10 +6,10 @@
 
 #include "bench/analytical_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   tertio::bench::Banner("Figure 1 — analytical response, small |R| (|R|/M in [1,5])",
                         "Section 5.3, Figure 1",
                         "NB methods rise with |R|/M; hashing methods nearly constant");
-  tertio::bench::RunAnalyticalSweep({1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0});
-  return 0;
+  return tertio::bench::RunAnalyticalSweep(
+      "fig1_analytical", {1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0}, argc, argv);
 }

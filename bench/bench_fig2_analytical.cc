@@ -6,10 +6,10 @@
 
 #include "bench/analytical_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   tertio::bench::Banner("Figure 2 — analytical response, medium |R| (|R|/M in [5,35])",
                         "Section 5.3, Figure 2",
                         "DT-GH/CDT-GH explode as |R| -> D (=32M); CTT-GH flat");
-  tertio::bench::RunAnalyticalSweep({5, 8, 11, 14, 17, 20, 23, 26, 29, 31, 32, 33, 35});
-  return 0;
+  return tertio::bench::RunAnalyticalSweep(
+      "fig2_analytical", {5, 8, 11, 14, 17, 20, 23, 26, 29, 31, 32, 33, 35}, argc, argv);
 }

@@ -6,10 +6,10 @@
 
 #include "bench/analytical_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   tertio::bench::Banner("Figure 3 — analytical response, large |R| (|R|/M in [10,150])",
                         "Section 5.3, Figure 3",
                         "CTT-GH scales gracefully; disk-tape methods infeasible beyond D");
-  tertio::bench::RunAnalyticalSweep({10, 30, 50, 70, 90, 110, 130, 150});
-  return 0;
+  return tertio::bench::RunAnalyticalSweep("fig3_analytical",
+                                           {10, 30, 50, 70, 90, 110, 130, 150}, argc, argv);
 }

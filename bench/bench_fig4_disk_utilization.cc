@@ -16,7 +16,8 @@
 namespace tertio::bench {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  BenchRecorder recorder("fig4_disk_utilization", argc, argv);
   Banner("Figure 4 — disk space utilization in CTT-GH Step II (Join III)",
          "Section 7, Figure 4",
          "even/odd iteration usage alternates (shark teeth); total ~100%");
@@ -38,6 +39,7 @@ int Run() {
   join::JoinContext ctx = machine.context();
   auto stats = executor->Execute(spec, ctx);
   TERTIO_CHECK(stats.ok(), stats.status().ToString());
+  recorder.RecordSim("CTT-GH Join III", stats->response_seconds);
 
   // Replay the allocator trace over the Step II window, tracking usage by
   // iteration parity. Events are recorded in issue order; the virtual-time
@@ -82,10 +84,12 @@ int Run() {
   series.Print(1);
   std::printf("\nSteady-state mean total utilization: %.1f%% (paper: at or near 100%%)\n",
               counted > 0 ? mean_util / counted : 0.0);
-  return 0;
+  recorder.RecordMetric("steady_state_mean_utilization_pct",
+                        counted > 0 ? mean_util / counted : 0.0);
+  return recorder.Finish();
 }
 
 }  // namespace
 }  // namespace tertio::bench
 
-int main() { return tertio::bench::Run(); }
+int main(int argc, char** argv) { return tertio::bench::Run(argc, argv); }

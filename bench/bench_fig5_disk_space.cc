@@ -14,34 +14,54 @@
 namespace tertio::bench {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  BenchRecorder recorder("fig5_disk_space", argc, argv);
   Banner("Figure 5 — impact of disk space on CDT-GH vs CTT-GH (Experiment 2)",
          "Section 8, Figure 5",
          "CDT-GH explodes as D -> |R| (500 R-scans at D=20MB); CTT-GH flat (50)");
   constexpr ByteCount kR = 18 * kMB;
   constexpr ByteCount kS = 1000 * kMB;
   const ByteCount memory = static_cast<ByteCount>(0.1 * kR);
+  const std::vector<double> d_over_r_values = {3.0,  2.5,  2.0,  1.75, 1.5, 1.35, 1.25,
+                                               1.15, 1.10, 1.05, 1.0,  0.75, 0.5};
+  const std::vector<JoinMethodId> methods = {JoinMethodId::kCdtGh, JoinMethodId::kCttGh};
+
+  struct Point {
+    ByteCount disk;
+    JoinMethodId method;
+  };
+  std::vector<Point> points;
+  for (double d_over_r : d_over_r_values) {
+    for (JoinMethodId method : methods) {
+      points.push_back({static_cast<ByteCount>(d_over_r * kR), method});
+    }
+  }
+  std::vector<Result<join::JoinStats>> results = exec::ParallelSweep(
+      points,
+      [&](const Point& point) { return RunPaperJoin(kS, kR, point.disk, memory, point.method); },
+      recorder.threads());
 
   exec::SeriesReport series("D (MB)", {"CDT-GH (s)", "CTT-GH (s)", "CDT-GH R-scans",
                                        "CTT-GH R-scans"});
-  for (double d_over_r : {3.0, 2.5, 2.0, 1.75, 1.5, 1.35, 1.25, 1.15, 1.10, 1.05, 1.0, 0.75,
-                          0.5}) {
-    auto disk = static_cast<ByteCount>(d_over_r * kR);
+  for (std::size_t i = 0; i < d_over_r_values.size(); ++i) {
     std::vector<double> seconds, scans;
-    for (JoinMethodId method : {JoinMethodId::kCdtGh, JoinMethodId::kCttGh}) {
-      auto stats = RunPaperJoin(kS, kR, disk, memory, method);
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      const Result<join::JoinStats>& stats = results[i * methods.size() + m];
       seconds.push_back(stats.ok() ? stats->response_seconds : std::nan(""));
       scans.push_back(stats.ok() ? static_cast<double>(stats->r_scans) : std::nan(""));
+      recorder.RecordJoin(StrFormat("D/R=%.2f/%s", d_over_r_values[i],
+                                    std::string(JoinMethodName(methods[m])).c_str()),
+                          stats);
     }
-    series.AddPoint(static_cast<double>(disk) / kMB,
+    series.AddPoint(static_cast<double>(points[i * methods.size()].disk) / kMB,
                     {seconds[0], seconds[1], scans[0], scans[1]});
   }
   series.Print(0);
   std::printf("\n'-' marks infeasible points (CDT-GH requires D > |R| = 18 MB).\n");
-  return 0;
+  return recorder.Finish();
 }
 
 }  // namespace
 }  // namespace tertio::bench
 
-int main() { return tertio::bench::Run(); }
+int main(int argc, char** argv) { return tertio::bench::Run(argc, argv); }

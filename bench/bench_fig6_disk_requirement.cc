@@ -10,7 +10,8 @@
 namespace tertio::bench {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  BenchRecorder recorder("fig6_disk_requirement", argc, argv);
   Banner("Figure 6 — disk space requirement vs memory size (Experiment 3)",
          "Section 9, Figure 6 + Table 2",
          "NB: |R| flat; CDT-NB/DB grows with M; DT-GH/CDT-GH fixed at D");
@@ -62,10 +63,10 @@ int Run() {
                   StrFormat("%llu", (unsigned long long)req->tape_scratch_s_blocks)});
   }
   table.Print();
-  return 0;
+  return recorder.Finish();
 }
 
 }  // namespace
 }  // namespace tertio::bench
 
-int main() { return tertio::bench::Run(); }
+int main(int argc, char** argv) { return tertio::bench::Run(argc, argv); }

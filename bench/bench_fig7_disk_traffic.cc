@@ -11,19 +11,21 @@
 namespace tertio::bench {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  BenchRecorder recorder("fig7_disk_traffic", argc, argv);
   Banner("Figure 7 — disk I/O traffic vs memory size (Experiment 3)",
          "Section 9, Figure 7",
          "NB traffic explodes at small M; GH constant ~3,000 MB");
-  Exp3Sweep sweep = RunExp3Sweep(kBaseCompressibility);
+  Exp3Sweep sweep = RunExp3Sweep(kBaseCompressibility, recorder.threads());
   PrintExp3Series(sweep, "M/|R|", " (MB)", [](const join::JoinStats& stats) {
     return static_cast<double>(BlocksToBytes(stats.disk_traffic_blocks(), kDefaultBlockBytes)) /
            kMB;
   });
-  return 0;
+  RecordExp3Sweep(recorder, sweep);
+  return recorder.Finish();
 }
 
 }  // namespace
 }  // namespace tertio::bench
 
-int main() { return tertio::bench::Run(); }
+int main(int argc, char** argv) { return tertio::bench::Run(argc, argv); }

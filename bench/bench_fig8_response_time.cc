@@ -12,19 +12,21 @@
 namespace tertio::bench {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  BenchRecorder recorder("fig8_response_time", argc, argv);
   Banner("Figure 8 — response time vs memory size (Experiment 3, base tape speed)",
          "Section 9, Figure 8",
          "NB explodes at small M; CDT-GH flat; crossover near M = 0.7|R|");
-  Exp3Sweep sweep = RunExp3Sweep(kBaseCompressibility);
+  Exp3Sweep sweep = RunExp3Sweep(kBaseCompressibility, recorder.threads());
   PrintExp3Series(
       sweep, "M/|R|", " (s)",
       [](const join::JoinStats& stats) { return stats.response_seconds; }, 0,
       {"Optimum (s)"}, {sweep.optimum_seconds});
-  return 0;
+  RecordExp3Sweep(recorder, sweep);
+  return recorder.Finish();
 }
 
 }  // namespace
 }  // namespace tertio::bench
 
-int main() { return tertio::bench::Run(); }
+int main(int argc, char** argv) { return tertio::bench::Run(argc, argv); }

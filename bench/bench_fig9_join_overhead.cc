@@ -5,9 +5,10 @@
 
 #include "bench/overhead_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return tertio::bench::RunOverheadFigure(
+      "fig9_join_overhead",
       "Figure 9 — relative join overhead (base tape speed, 25% compressible)",
       "Section 9, Figure 9", "CDT-GH lowest at small/medium M; NB best at large M",
-      /*compressibility=*/0.25);
+      /*compressibility=*/0.25, argc, argv);
 }

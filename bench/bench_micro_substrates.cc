@@ -1,15 +1,26 @@
 /// \file bench_micro_substrates.cc
 /// google-benchmark microbenchmarks of the substrate hot paths: block codec,
-/// key hashing, hash partitioning, the disk allocator, and resource
-/// scheduling. These bound how fast paper-scale phantom simulations run.
+/// key hashing, hash partitioning, the disk allocator, resource scheduling,
+/// and the join table build/probe paths (flat open-addressing table vs the
+/// seed's multimap, kept as LegacyMultimapJoinTable for comparison). These
+/// bound how fast paper-scale simulations run.
+///
+/// After the google-benchmark run, main() times a fixed build+probe workload
+/// on both table substrates and records tuples/sec plus the flat-vs-multimap
+/// speedup into BENCH_joins.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench/bench_util.h"
 #include "disk/allocator.h"
 #include "disk/striped_group.h"
 #include "hash/disk_partitioner.h"
 #include "hash/hasher.h"
+#include "join/flat_table.h"
 #include "join/join_output.h"
+#include "join/legacy_table.h"
 #include "relation/block.h"
 #include "relation/generator.h"
 #include "relation/tuple.h"
@@ -21,6 +32,108 @@ namespace tertio {
 namespace {
 
 constexpr ByteCount kBlock = 8 * kKiB;
+
+/// Materialized build/probe workload for the join-table benches: R is
+/// sequential-unique (the canonical build side), S draws foreign keys over
+/// R's domain, so every probe tuple matches exactly one build tuple.
+///
+/// Records are narrow (16 bytes) and the table is far larger than L2, so
+/// the measurement isolates the table substrate — slot placement and the
+/// dependent cache miss per tuple — rather than record decoding.
+struct TableWorkload {
+  rel::Schema schema;
+  std::uint64_t build_tuples = 0;
+  std::uint64_t probe_tuples = 0;
+  std::vector<BlockPayload> build_blocks;
+  std::vector<BlockPayload> probe_blocks;
+};
+
+std::vector<BlockPayload> ReadAll(tape::TapeVolume* tape) {
+  std::vector<BlockPayload> blocks;
+  for (BlockIndex i = 0; i < tape->size_blocks(); ++i) {
+    blocks.push_back(tape->ReadBlock(i).value());
+  }
+  return blocks;
+}
+
+const TableWorkload& JoinTableWorkload() {
+  static const TableWorkload workload = [] {
+    TableWorkload w;
+    w.build_tuples = 1u << 20;
+    w.probe_tuples = 1u << 21;
+    tape::TapeVolume r_tape("r", kBlock);
+    rel::GeneratorConfig r_config;
+    r_config.name = "R";
+    r_config.record_bytes = 16;
+    r_config.tuple_count = w.build_tuples;
+    // Uniform keys, not sequential: std::hash<int64> is the identity, so a
+    // 0..N build side would hand the multimap artificially perfect bucket
+    // locality that no real R exhibits.
+    r_config.keys = rel::KeySequence::kUniformRandom;
+    r_config.key_domain = 4 * w.build_tuples;
+    auto r = rel::GenerateOnTape(r_config, &r_tape);
+    TERTIO_CHECK(r.ok(), "R generation failed");
+    w.schema = r->schema;
+    w.build_blocks = ReadAll(&r_tape);
+    tape::TapeVolume s_tape("s", kBlock);
+    rel::GeneratorConfig s_config;
+    s_config.name = "S";
+    s_config.record_bytes = 16;
+    s_config.tuple_count = w.probe_tuples;
+    s_config.keys = rel::KeySequence::kForeignKeyUniform;
+    s_config.key_domain = 4 * w.build_tuples;
+    s_config.seed = 17;
+    auto s = rel::GenerateOnTape(s_config, &s_tape);
+    TERTIO_CHECK(s.ok(), "S generation failed");
+    w.probe_blocks = ReadAll(&s_tape);
+    return w;
+  }();
+  return workload;
+}
+
+template <typename Table>
+void JoinTableBuildBench(benchmark::State& state) {
+  const TableWorkload& w = JoinTableWorkload();
+  for (auto _ : state) {
+    Table table(&w.schema, 0, /*build_is_r=*/true);
+    TERTIO_CHECK(table.AddBlocks(w.build_blocks).ok(), "build failed");
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * w.build_tuples));
+}
+
+template <typename Table>
+void JoinTableProbeBench(benchmark::State& state) {
+  const TableWorkload& w = JoinTableWorkload();
+  Table table(&w.schema, 0, /*build_is_r=*/true);
+  TERTIO_CHECK(table.AddBlocks(w.build_blocks).ok(), "build failed");
+  for (auto _ : state) {
+    join::JoinOutput out;
+    TERTIO_CHECK(table.Probe(w.probe_blocks, &w.schema, 0, &out).ok(), "probe failed");
+    benchmark::DoNotOptimize(out.checksum());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * w.probe_tuples));
+}
+
+void BM_FlatTableBuild(benchmark::State& state) {
+  JoinTableBuildBench<join::FlatJoinTable>(state);
+}
+BENCHMARK(BM_FlatTableBuild)->Unit(benchmark::kMillisecond);
+
+void BM_LegacyTableBuild(benchmark::State& state) {
+  JoinTableBuildBench<join::LegacyMultimapJoinTable>(state);
+}
+BENCHMARK(BM_LegacyTableBuild)->Unit(benchmark::kMillisecond);
+
+void BM_FlatTableProbe(benchmark::State& state) {
+  JoinTableProbeBench<join::FlatJoinTable>(state);
+}
+BENCHMARK(BM_FlatTableProbe)->Unit(benchmark::kMillisecond);
+
+void BM_LegacyTableProbe(benchmark::State& state) {
+  JoinTableProbeBench<join::LegacyMultimapJoinTable>(state);
+}
+BENCHMARK(BM_LegacyTableProbe)->Unit(benchmark::kMillisecond);
 
 void BM_BlockBuilderAppend(benchmark::State& state) {
   rel::Schema schema = rel::Schema::KeyPayload(100);
@@ -165,7 +278,51 @@ void BM_SyntheticGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_SyntheticGeneration)->Unit(benchmark::kMillisecond);
 
+/// Best-of-`reps` wall-clock seconds of one build+probe pass.
+template <typename Table>
+double TimedBuildProbeSeconds(int reps) {
+  const TableWorkload& w = JoinTableWorkload();
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    Table table(&w.schema, 0, /*build_is_r=*/true);
+    TERTIO_CHECK(table.AddBlocks(w.build_blocks).ok(), "build failed");
+    join::JoinOutput out;
+    TERTIO_CHECK(table.Probe(w.probe_blocks, &w.schema, 0, &out).ok(), "probe failed");
+    benchmark::DoNotOptimize(out.checksum());
+    double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                         .count();
+    if (seconds < best) best = seconds;
+  }
+  return best;
+}
+
 }  // namespace
 }  // namespace tertio
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  tertio::bench::BenchRecorder recorder("micro_substrates", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Headline comparison for BENCH_joins.json: one build+probe pass over the
+  // same workload on both table substrates (best of 3).
+  using tertio::JoinTableWorkload;
+  const tertio::TableWorkload& w = JoinTableWorkload();
+  const double tuples =
+      static_cast<double>(w.build_tuples) + static_cast<double>(w.probe_tuples);
+  double flat = tertio::TimedBuildProbeSeconds<tertio::join::FlatJoinTable>(3);
+  double legacy = tertio::TimedBuildProbeSeconds<tertio::join::LegacyMultimapJoinTable>(3);
+  std::printf("\nJoin-table build+probe (%llu build + %llu probe tuples, best of 3):\n",
+              (unsigned long long)w.build_tuples, (unsigned long long)w.probe_tuples);
+  std::printf("  flat table:     %.1f ms  (%.1f M tuples/s)\n", 1e3 * flat,
+              tuples / flat / 1e6);
+  std::printf("  multimap table: %.1f ms  (%.1f M tuples/s)\n", 1e3 * legacy,
+              tuples / legacy / 1e6);
+  std::printf("  speedup: %.2fx\n", legacy / flat);
+  recorder.RecordMetric("flat_build_probe_tuples_per_sec", tuples / flat);
+  recorder.RecordMetric("multimap_build_probe_tuples_per_sec", tuples / legacy);
+  recorder.RecordMetric("flat_vs_multimap_speedup", legacy / flat);
+  return recorder.Finish();
+}

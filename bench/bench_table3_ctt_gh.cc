@@ -30,21 +30,34 @@ constexpr Row kRows[] = {
     {"Join IV", 10000, 2500, 500, 6.8, 7468, 10260, 50565},
 };
 
-int Run() {
+int Run(int argc, char** argv) {
+  BenchRecorder recorder("table3_ctt_gh", argc, argv);
   Banner("Table 3 — CTT-GH at 1–10 GB (Experiment 1: Large S, Large R)",
          "Section 7, Table 3",
          "relative cost ~7-8, decreasing as |S| grows (setup amortized)");
   exec::TableReport table({"join", "|S| MB", "|R| MB", "D MB", "read S+R", "Step I",
                            "Steps I+II", "rel.cost", "paper rel.cost"});
   tape::TapeDriveModel drive = tape::TapeDriveModel::DLT4000();
-  for (const Row& row : kRows) {
+  constexpr std::size_t kRowCount = sizeof(kRows) / sizeof(kRows[0]);
+  std::vector<std::size_t> indices(kRowCount);
+  for (std::size_t i = 0; i < kRowCount; ++i) indices[i] = i;
+  std::vector<Result<join::JoinStats>> results = exec::ParallelSweep(
+      indices,
+      [&](std::size_t i) {
+        const Row& row = kRows[i];
+        return RunPaperJoin(row.s_mb * kMB, row.r_mb * kMB, row.d_mb * kMB, 16 * kMB,
+                            JoinMethodId::kCttGh);
+      },
+      recorder.threads());
+  for (std::size_t i = 0; i < kRowCount; ++i) {
+    const Row& row = kRows[i];
     SimSeconds bare = BareReadSeconds(row.s_mb * kMB, row.r_mb * kMB, kBaseCompressibility, drive);
-    auto stats = RunPaperJoin(row.s_mb * kMB, row.r_mb * kMB, row.d_mb * kMB, 16 * kMB,
-                              JoinMethodId::kCttGh);
+    const Result<join::JoinStats>& stats = results[i];
     if (!stats.ok()) {
       std::printf("%s failed: %s\n", row.name, stats.status().ToString().c_str());
       return 1;
     }
+    recorder.RecordSim(row.name, stats->response_seconds);
     double rel_cost = stats->response_seconds / bare;
     table.AddRow({row.name, StrFormat("%llu", (unsigned long long)row.s_mb),
                   StrFormat("%llu", (unsigned long long)row.r_mb),
@@ -58,10 +71,10 @@ int Run() {
       "\nPaper measured (seconds): read 895/2237/4475/7468, Step I 2765/5598/10260/10260,\n"
       "total 7112/16227/30783/50565. Absolute seconds differ with device calibration;\n"
       "the relative-cost column is the paper's headline comparison.\n");
-  return 0;
+  return recorder.Finish();
 }
 
 }  // namespace
 }  // namespace tertio::bench
 
-int main() { return tertio::bench::Run(); }
+int main(int argc, char** argv) { return tertio::bench::Run(argc, argv); }

@@ -8,17 +8,102 @@
 /// accounted and devices charge virtual time, but no tuple bytes move, so a
 /// 10 GB join runs in seconds of wall-clock.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cost/cost_model.h"
 #include "exec/experiment.h"
 #include "exec/machine.h"
+#include "exec/parallel_sweep.h"
 #include "exec/report.h"
 #include "join/join_method.h"
+#include "util/bench_json.h"
 #include "util/string_util.h"
 
 namespace tertio::bench {
+
+/// Path the bench records merge into: $TERTIO_BENCH_JSON, else
+/// BENCH_joins.json in the working directory.
+inline std::string BenchJsonPath() {
+  const char* env = std::getenv("TERTIO_BENCH_JSON");
+  return env != nullptr && *env != '\0' ? env : "BENCH_joins.json";
+}
+
+/// Per-binary record of one bench invocation: wall-clock, worker count, the
+/// simulated seconds of every join the bench ran, and free-form metrics
+/// (tuples/sec and the like). Finish() merges the record into
+/// BENCH_joins.json so the whole suite accumulates one machine-readable
+/// perf file (see EXPERIMENTS.md for the schema).
+class BenchRecorder {
+ public:
+  /// Parses --threads=N from argv (0 = all hardware threads).
+  BenchRecorder(std::string name, int argc, char** argv)
+      : name_(std::move(name)),
+        threads_(exec::EffectiveSweepThreads(exec::ParseSweepThreads(argc, argv))),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// Worker count the bench's ParallelSweep calls should use.
+  int threads() const { return threads_; }
+
+  /// Records the simulated response time of one join run.
+  void RecordSim(const std::string& label, SimSeconds sim_seconds) {
+    runs_.emplace_back(label, sim_seconds);
+  }
+
+  /// Records a run that may have been infeasible; errors record null.
+  void RecordJoin(const std::string& label, const Result<join::JoinStats>& stats) {
+    RecordSim(label, stats.ok() ? stats->response_seconds
+                                : std::numeric_limits<double>::quiet_NaN());
+  }
+
+  /// Records a named scalar (throughputs, speedups, ...).
+  void RecordMetric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Writes the record. \returns 0 on success (bench main's exit code).
+  int Finish() {
+    double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    std::string json = "{ \"name\": \"" + JsonEscape(name_) + "\",\n";
+    json += "      \"wall_seconds\": " + JsonNumber(wall) + ",\n";
+    json += "      \"threads\": " + std::to_string(threads_) + ",\n";
+    json += "      \"runs\": [";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      if (i != 0) json += ",";
+      json += "\n        { \"label\": \"" + JsonEscape(runs_[i].first) +
+              "\", \"sim_seconds\": " + JsonNumber(runs_[i].second) + " }";
+    }
+    json += runs_.empty() ? "],\n" : "\n      ],\n";
+    json += "      \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i != 0) json += ",";
+      json += "\n        \"" + JsonEscape(metrics_[i].first) +
+              "\": " + JsonNumber(metrics_[i].second);
+    }
+    json += metrics_.empty() ? "} }" : "\n      } }";
+    Status status = MergeBenchRecord(BenchJsonPath(), name_, json);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench record write failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\n[%s] wall %.2f s, %d thread%s -> %s\n", name_.c_str(), wall, threads_,
+                threads_ == 1 ? "" : "s", BenchJsonPath().c_str());
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  int threads_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, double>> runs_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /// The paper's base data compressibility. Section 6 enables drive
 /// compression on synthetic data; Experiment 3's base run uses

@@ -51,20 +51,50 @@ struct Exp3Sweep {
   SimSeconds optimum_seconds = 0.0;
 };
 
-inline Exp3Sweep RunExp3Sweep(double compressibility) {
+/// Runs the (fraction x method) grid across `threads` workers (0 = all
+/// hardware threads, 1 = the seed's serial path). Every point builds a
+/// fresh Machine, so simulated times are independent of the thread count.
+inline Exp3Sweep RunExp3Sweep(double compressibility, int threads = 1) {
   Exp3Sweep sweep;
   sweep.fractions = Exp3MemoryFractions();
   sweep.optimum_seconds =
       tape::TapeDriveModel::DLT4000().TransferSeconds(kExp3S, compressibility);
+
+  struct Point {
+    double fraction;
+    JoinMethodId method;
+  };
+  std::vector<Point> points;
   for (double f : sweep.fractions) {
-    auto memory = static_cast<ByteCount>(f * kExp3R);
-    std::vector<Result<join::JoinStats>> row;
     for (JoinMethodId method : Exp3Methods()) {
-      row.push_back(RunPaperJoin(kExp3S, kExp3R, kExp3D, memory, method, compressibility));
+      points.push_back({f, method});
     }
-    sweep.runs.push_back(std::move(row));
+  }
+  std::vector<Result<join::JoinStats>> results = exec::ParallelSweep(
+      points,
+      [&](const Point& p) {
+        auto memory = static_cast<ByteCount>(p.fraction * kExp3R);
+        return RunPaperJoin(kExp3S, kExp3R, kExp3D, memory, p.method, compressibility);
+      },
+      threads);
+  const std::size_t methods = Exp3Methods().size();
+  for (std::size_t i = 0; i < sweep.fractions.size(); ++i) {
+    sweep.runs.emplace_back(
+        std::make_move_iterator(results.begin() + static_cast<std::ptrdiff_t>(i * methods)),
+        std::make_move_iterator(results.begin() + static_cast<std::ptrdiff_t>((i + 1) * methods)));
   }
   return sweep;
+}
+
+/// Adds every run of the sweep to a bench record, labelled "M/R=f/<method>".
+inline void RecordExp3Sweep(BenchRecorder& recorder, const Exp3Sweep& sweep) {
+  for (std::size_t i = 0; i < sweep.fractions.size(); ++i) {
+    for (std::size_t m = 0; m < sweep.runs[i].size(); ++m) {
+      recorder.RecordJoin(StrFormat("M/R=%.2f/%s", sweep.fractions[i],
+                                    std::string(JoinMethodName(Exp3Methods()[m])).c_str()),
+                          sweep.runs[i][m]);
+    }
+  }
 }
 
 /// Prints one metric of the sweep as a figure series.

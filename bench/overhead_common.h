@@ -8,17 +8,20 @@
 
 namespace tertio::bench {
 
-inline int RunOverheadFigure(const char* title, const char* paper_ref, const char* expectation,
-                             double compressibility) {
+inline int RunOverheadFigure(const char* bench_name, const char* title, const char* paper_ref,
+                             const char* expectation, double compressibility, int argc,
+                             char** argv) {
+  BenchRecorder recorder(bench_name, argc, argv);
   Banner(title, paper_ref, expectation);
-  Exp3Sweep sweep = RunExp3Sweep(compressibility);
+  Exp3Sweep sweep = RunExp3Sweep(compressibility, recorder.threads());
   std::printf("Effective tape rate: %.2f MB/s; optimum join time: %.0f s\n\n",
               tape::TapeDriveModel::DLT4000().EffectiveRate(compressibility) / 1e6,
               sweep.optimum_seconds);
   PrintExp3Series(sweep, "M/|R|", " (%)", [&](const join::JoinStats& stats) {
     return 100.0 * (stats.response_seconds / sweep.optimum_seconds - 1.0);
   });
-  return 0;
+  RecordExp3Sweep(recorder, sweep);
+  return recorder.Finish();
 }
 
 }  // namespace tertio::bench

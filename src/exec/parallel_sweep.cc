@@ -1,0 +1,61 @@
+#include "exec/parallel_sweep.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace tertio::exec {
+
+int EffectiveSweepThreads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int ParseSweepThreads(int argc, char** argv) {
+  constexpr const char kFlag[] = "--threads=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      long value = std::strtol(argv[i] + sizeof(kFlag) - 1, nullptr, 10);
+      if (value > 0) return static_cast<int>(value);
+    }
+  }
+  return 0;
+}
+
+void ParallelFor(std::size_t count, int threads, const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  std::size_t workers = static_cast<std::size_t>(EffectiveSweepThreads(threads));
+  if (workers > count) workers = count;
+  if (workers <= 1) {
+    // The seed's serial path, on the calling thread.
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto run = [&](std::size_t worker) {
+    for (std::size_t i = worker; i < count; i += workers) {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    pool.emplace_back(run, w);
+  }
+  run(0);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tertio::exec

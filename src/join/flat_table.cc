@@ -1,0 +1,191 @@
+#include "join/flat_table.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "relation/block.h"
+#include "relation/tuple.h"
+
+namespace tertio::join {
+namespace {
+
+/// Slots ahead of the current record whose cache lines are prefetched.
+constexpr std::size_t kPrefetchDistance = 8;
+
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/1);
+#else
+  (void)p;
+#endif
+}
+
+inline void PrefetchWrite(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/1, /*locality=*/1);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace
+
+void FlatJoinTable::Rehash(std::size_t new_capacity) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_capacity, Slot{});
+  mask_ = new_capacity - 1;
+  for (const Slot& slot : old) {
+    if (slot.digest != 0) InsertSlot(slot);
+  }
+}
+
+void FlatJoinTable::InsertSlot(const Slot& slot) {
+  std::size_t idx = static_cast<std::size_t>(slot.digest) & mask_;
+  while (slots_[idx].digest != 0) {
+    idx = (idx + 1) & mask_;
+  }
+  slots_[idx] = slot;
+}
+
+void FlatJoinTable::Reserve(std::uint64_t entries) {
+  // Max load factor 0.7: capacity is the next power of two above
+  // entries / 0.7, never below 16.
+  std::size_t capacity = slots_.empty() ? 16 : slots_.size();
+  while (static_cast<double>(entries) > 0.7 * static_cast<double>(capacity)) {
+    capacity *= 2;
+  }
+  if (capacity != slots_.size()) Rehash(capacity);
+}
+
+void FlatJoinTable::Clear() {
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+  size_ = 0;
+  arena_.clear();
+}
+
+Status FlatJoinTable::AddBlocks(std::span<const BlockPayload> blocks) {
+  // One reservation for the whole batch (block headers are cheap to parse
+  // twice): no rehash can happen mid-insert, so the prefetched slot
+  // addresses below stay valid, and a chunk-sized batch grows the slot
+  // array once instead of once per doubling.
+  std::uint64_t incoming = 0;
+  for (const BlockPayload& payload : blocks) {
+    TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
+                            rel::BlockReader::Open(payload, build_schema_));
+    incoming += reader.record_count();
+  }
+  Reserve(size_ + incoming);
+  for (const BlockPayload& payload : blocks) {
+    TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
+                            rel::BlockReader::Open(payload, build_schema_));
+    const BlockCount n = reader.record_count();
+    if (n == 0) continue;
+
+    // Software-prefetch pipeline: digests run kPrefetchDistance records
+    // ahead of the inserts, so the slot line of record i is (usually) in
+    // cache by the time its insert scan starts.
+    std::uint64_t digests[kPrefetchDistance];
+    const BlockCount lead = std::min<BlockCount>(n, kPrefetchDistance);
+    for (BlockCount i = 0; i < lead; ++i) {
+      rel::Tuple tuple(reader.record(i), build_schema_);
+      std::uint64_t digest = DigestOf(tuple.GetInt64(build_key_));
+      digests[i % kPrefetchDistance] = digest;
+      PrefetchWrite(&slots_[static_cast<std::size_t>(digest) & mask_]);
+    }
+    for (BlockCount i = 0; i < n; ++i) {
+      // Read the current record's digest out of the ring before the
+      // lookahead below reuses the same ring position (i + D ≡ i mod D).
+      const std::uint64_t current_digest = digests[i % kPrefetchDistance];
+      if (i + kPrefetchDistance < n) {
+        rel::Tuple ahead(reader.record(i + kPrefetchDistance), build_schema_);
+        std::uint64_t digest = DigestOf(ahead.GetInt64(build_key_));
+        digests[i % kPrefetchDistance] = digest;
+        PrefetchWrite(&slots_[static_cast<std::size_t>(digest) & mask_]);
+      }
+      rel::Tuple tuple(reader.record(i), build_schema_);
+      Slot slot;
+      slot.digest = current_digest;
+      slot.key = tuple.GetInt64(build_key_);
+      slot.record_digest = HashBytes(tuple.bytes());
+      if (capture_records_) {
+        std::span<const std::uint8_t> bytes = tuple.bytes();
+        if (arena_.size() + bytes.size() >
+            static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
+          return Status::ResourceExhausted("flat table arena exceeds 4 GiB of build records");
+        }
+        slot.record_offset = static_cast<std::uint32_t>(arena_.size());
+        slot.record_length = static_cast<std::uint32_t>(bytes.size());
+        arena_.insert(arena_.end(), bytes.begin(), bytes.end());
+      }
+      InsertSlot(slot);
+      ++size_;
+    }
+  }
+  return Status::OK();
+}
+
+Status FlatJoinTable::Probe(std::span<const BlockPayload> blocks,
+                            const rel::Schema* probe_schema, std::size_t probe_key_column,
+                            JoinOutput* out) const {
+  if (size_ == 0) return Status::OK();
+  const bool pipeline = capture_records_ && out->has_sink();
+  for (const BlockPayload& payload : blocks) {
+    TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
+                            rel::BlockReader::Open(payload, probe_schema));
+    const BlockCount n = reader.record_count();
+    std::uint64_t digests[kPrefetchDistance];
+    const BlockCount lead = std::min<BlockCount>(n, kPrefetchDistance);
+    for (BlockCount i = 0; i < lead; ++i) {
+      rel::Tuple tuple(reader.record(i), probe_schema);
+      std::uint64_t digest = DigestOf(tuple.GetInt64(probe_key_column));
+      digests[i % kPrefetchDistance] = digest;
+      PrefetchRead(&slots_[static_cast<std::size_t>(digest) & mask_]);
+    }
+    for (BlockCount i = 0; i < n; ++i) {
+      // Read before the lookahead reuses this ring position (i + D ≡ i).
+      const std::uint64_t digest = digests[i % kPrefetchDistance];
+      if (i + kPrefetchDistance < n) {
+        rel::Tuple ahead(reader.record(i + kPrefetchDistance), probe_schema);
+        std::uint64_t ahead_digest = DigestOf(ahead.GetInt64(probe_key_column));
+        digests[i % kPrefetchDistance] = ahead_digest;
+        PrefetchRead(&slots_[static_cast<std::size_t>(ahead_digest) & mask_]);
+      }
+      rel::Tuple tuple(reader.record(i), probe_schema);
+      const std::int64_t key = tuple.GetInt64(probe_key_column);
+      // The probe record's digest enters the pair checksum; computed lazily
+      // on the first match so unmatched probes cost one slot load only.
+      std::uint64_t probe_digest = 0;
+      bool have_probe_digest = false;
+      std::size_t idx = static_cast<std::size_t>(digest) & mask_;
+      while (slots_[idx].digest != 0) {
+        const Slot& slot = slots_[idx];
+        // Digest first, key bytes only on digest equality: an (injected)
+        // digest collision between unequal keys falls through to the key
+        // compare and is rejected there.
+        if (slot.digest == digest && slot.key == key) {
+          if (!have_probe_digest) {
+            probe_digest = HashBytes(tuple.bytes());
+            have_probe_digest = true;
+          }
+          if (pipeline) {
+            rel::Tuple build_tuple(
+                std::span<const std::uint8_t>(arena_.data() + slot.record_offset,
+                                              slot.record_length),
+                build_schema_);
+            const rel::Tuple& r = build_is_r_ ? build_tuple : tuple;
+            const rel::Tuple& s = build_is_r_ ? tuple : build_tuple;
+            TERTIO_RETURN_IF_ERROR(out->AddMatchWithRows(slot.key, r, s));
+          } else if (build_is_r_) {
+            out->AddMatch(slot.key, slot.record_digest, probe_digest);
+          } else {
+            out->AddMatch(slot.key, probe_digest, slot.record_digest);
+          }
+        }
+        idx = (idx + 1) & mask_;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tertio::join

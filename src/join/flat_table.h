@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file flat_table.h
+/// Cache-friendly build/probe substrate of the full-data join paths.
+///
+/// FlatJoinTable replaces the original std::unordered_multimap table: slots
+/// live in one contiguous open-addressed array (linear probing) keyed by the
+/// splitmix64 digest of the join key (hash/hasher.h), and captured build
+/// records are packed back-to-back in a per-table arena addressed by
+/// (offset, length) handles — no per-entry heap allocation, no node pointer
+/// chases. AddBlocks and Probe run a short software-prefetch pipeline over
+/// the slot array, so the dependent cache miss per tuple largely overlaps
+/// with decoding the next records.
+///
+/// Probes compare the stored 64-bit key digest first and the key itself only
+/// on digest equality; a digest collision between unequal keys therefore
+/// never produces a match (see FlatTableDigestCollision in
+/// tests/join_correctness_test.cc).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hash/hasher.h"
+#include "join/join_output.h"
+#include "relation/schema.h"
+#include "util/block_payload.h"
+#include "util/status.h"
+
+namespace tertio::join {
+
+/// Hash of a join key, used for slot placement and the digest-first probe
+/// compare. Injectable so tests can force digest collisions; production code
+/// always uses hash::HashKey (a 64-bit bijection).
+using KeyHashFn = std::uint64_t (*)(std::int64_t);
+
+/// In-memory hash table over the build side of one (sub-)join.
+///
+/// Stores, per key, the digest of every build record, so probes can emit the
+/// exact pair set without keeping full tuples around. `build_is_r` fixes
+/// which side of the output pair the build records occupy. When
+/// `capture_records` is set the full build records are retained (in the
+/// arena) so that probes can pipeline whole joined rows to a MatchSink (the
+/// build side is memory-resident by construction — that is the join methods'
+/// invariant).
+class FlatJoinTable {
+ public:
+  FlatJoinTable(const rel::Schema* build_schema, std::size_t build_key_column, bool build_is_r,
+                bool capture_records = false, KeyHashFn key_hash = nullptr)
+      : build_schema_(build_schema),
+        build_key_(build_key_column),
+        build_is_r_(build_is_r),
+        capture_records_(capture_records),
+        key_hash_(key_hash != nullptr ? key_hash : &hash::HashKey) {}
+
+  /// Adds every tuple in `blocks` to the table.
+  Status AddBlocks(std::span<const BlockPayload> blocks);
+
+  /// Probes every tuple in `blocks` (from the other relation), emitting all
+  /// matching pairs into `out`.
+  Status Probe(std::span<const BlockPayload> blocks, const rel::Schema* probe_schema,
+               std::size_t probe_key_column, JoinOutput* out) const;
+
+  std::uint64_t size() const { return size_; }
+
+  /// Drops all entries but keeps the slot array and arena capacity (the
+  /// tape-tape methods rebuild per bucket slice).
+  void Clear();
+
+  /// Grows the slot array so `entries` fit without rehashing mid-insert.
+  void Reserve(std::uint64_t entries);
+
+ private:
+  /// One slot: 32 bytes, two per cache line. digest == 0 marks an empty
+  /// slot; key digests are remapped off 0 in DigestOf.
+  struct Slot {
+    std::uint64_t digest = 0;
+    std::int64_t key = 0;
+    /// HashBytes of the full build record (enters the pair checksum).
+    std::uint64_t record_digest = 0;
+    /// Arena handle of the captured record bytes (capture_records_ only).
+    std::uint32_t record_offset = 0;
+    std::uint32_t record_length = 0;
+  };
+
+  std::uint64_t DigestOf(std::int64_t key) const {
+    std::uint64_t digest = key_hash_(key);
+    // 0 is the empty-slot marker; remap to a fixed odd constant.
+    return digest != 0 ? digest : 0x9E3779B97F4A7C15ULL;
+  }
+
+  void Rehash(std::size_t new_capacity);
+  void InsertSlot(const Slot& slot);
+
+  const rel::Schema* build_schema_;
+  std::size_t build_key_;
+  bool build_is_r_;
+  bool capture_records_;
+  KeyHashFn key_hash_;
+
+  std::vector<Slot> slots_;  // power-of-two size, linear probing
+  std::size_t mask_ = 0;
+  std::uint64_t size_ = 0;
+  std::vector<std::uint8_t> arena_;  // captured record bytes, back-to-back
+};
+
+}  // namespace tertio::join

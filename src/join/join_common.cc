@@ -8,51 +8,6 @@
 
 namespace tertio::join {
 
-Status HashJoinTable::AddBlocks(std::span<const BlockPayload> blocks) {
-  for (const BlockPayload& payload : blocks) {
-    TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
-                            rel::BlockReader::Open(payload, build_schema_));
-    for (BlockCount i = 0; i < reader.record_count(); ++i) {
-      rel::Tuple tuple(reader.record(i), build_schema_);
-      Entry entry{HashBytes(tuple.bytes()), {}};
-      if (capture_records_) {
-        entry.bytes.assign(tuple.bytes().begin(), tuple.bytes().end());
-      }
-      entries_.emplace(tuple.GetInt64(build_key_), std::move(entry));
-    }
-  }
-  return Status::OK();
-}
-
-Status HashJoinTable::Probe(std::span<const BlockPayload> blocks,
-                            const rel::Schema* probe_schema, std::size_t probe_key_column,
-                            JoinOutput* out) const {
-  const bool pipeline = capture_records_ && out->has_sink();
-  for (const BlockPayload& payload : blocks) {
-    TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
-                            rel::BlockReader::Open(payload, probe_schema));
-    for (BlockCount i = 0; i < reader.record_count(); ++i) {
-      rel::Tuple tuple(reader.record(i), probe_schema);
-      std::int64_t key = tuple.GetInt64(probe_key_column);
-      std::uint64_t probe_digest = HashBytes(tuple.bytes());
-      auto [begin, end] = entries_.equal_range(key);
-      for (auto it = begin; it != end; ++it) {
-        if (pipeline) {
-          rel::Tuple build_tuple(it->second.bytes, build_schema_);
-          const rel::Tuple& r = build_is_r_ ? build_tuple : tuple;
-          const rel::Tuple& s = build_is_r_ ? tuple : build_tuple;
-          TERTIO_RETURN_IF_ERROR(out->AddMatchWithRows(key, r, s));
-        } else if (build_is_r_) {
-          out->AddMatch(key, it->second.digest, probe_digest);
-        } else {
-          out->AddMatch(key, probe_digest, it->second.digest);
-        }
-      }
-    }
-  }
-  return Status::OK();
-}
-
 Result<sim::Interval> ProbeSink::Write(BlockCount offset, BlockCount count, SimSeconds ready,
                                        std::vector<BlockPayload>* payloads) {
   (void)offset;

@@ -7,10 +7,10 @@
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "disk/extent.h"
+#include "join/flat_table.h"
 #include "join/join_output.h"
 #include "join/join_spec.h"
 #include "sim/pipeline.h"
@@ -23,46 +23,10 @@ namespace tertio::join {
 /// (Lives in disk/extent.h; re-exported for the executors.)
 using disk::SliceExtents;
 
-/// In-memory hash table over the build side of one (sub-)join.
-///
-/// Stores, per key, the digest of every build record, so probes can emit the
-/// exact pair set without keeping full tuples around. `build_is_r` fixes
-/// which side of the output pair the build records occupy. When
-/// `capture_records` is set the full build records are retained so that
-/// probes can pipeline whole joined rows to a MatchSink (the build side is
-/// memory-resident by construction — that is the join methods' invariant).
-class HashJoinTable {
- public:
-  HashJoinTable(const rel::Schema* build_schema, std::size_t build_key_column, bool build_is_r,
-                bool capture_records = false)
-      : build_schema_(build_schema),
-        build_key_(build_key_column),
-        build_is_r_(build_is_r),
-        capture_records_(capture_records) {}
-
-  /// Adds every tuple in `blocks` to the table.
-  Status AddBlocks(std::span<const BlockPayload> blocks);
-
-  /// Probes every tuple in `blocks` (from the other relation), emitting all
-  /// matching pairs into `out`.
-  Status Probe(std::span<const BlockPayload> blocks, const rel::Schema* probe_schema,
-               std::size_t probe_key_column, JoinOutput* out) const;
-
-  std::uint64_t size() const { return entries_.size(); }
-  void Clear() { entries_.clear(); }
-
- private:
-  struct Entry {
-    std::uint64_t digest;
-    std::vector<std::uint8_t> bytes;  // filled only when capture_records_
-  };
-
-  const rel::Schema* build_schema_;
-  std::size_t build_key_;
-  bool build_is_r_;
-  bool capture_records_;
-  std::unordered_multimap<std::int64_t, Entry> entries_;
-};
+/// The build/probe table of every executor: the flat open-addressed table
+/// (flat_table.h). The name survives from the seed's multimap implementation
+/// (now tests-only, legacy_table.h).
+using HashJoinTable = FlatJoinTable;
 
 /// Pipeline sink probing a Transfer's chunks through a hash table — the
 /// "consumer is the CPU" end of a scan. Probing is free in the system model

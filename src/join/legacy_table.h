@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file legacy_table.h
+/// The seed's std::unordered_multimap join table, kept verbatim as a
+/// compile-time reference implementation.
+///
+/// Production code uses FlatJoinTable (flat_table.h). This header exists so
+/// that (a) tests/join_correctness_test.cc can assert the two substrates
+/// compute identical match sets over generated workloads and (b)
+/// bench_micro_substrates can report the flat table's build/probe speedup
+/// against the node-per-entry baseline it replaced. Do not use it in
+/// executors.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "join/join_output.h"
+#include "relation/block.h"
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "util/block_payload.h"
+#include "util/status.h"
+
+namespace tertio::join {
+
+/// The pre-flat-table implementation: one multimap node plus (when records
+/// are captured) one heap-allocated byte vector per build tuple.
+class LegacyMultimapJoinTable {
+ public:
+  LegacyMultimapJoinTable(const rel::Schema* build_schema, std::size_t build_key_column,
+                          bool build_is_r, bool capture_records = false)
+      : build_schema_(build_schema),
+        build_key_(build_key_column),
+        build_is_r_(build_is_r),
+        capture_records_(capture_records) {}
+
+  Status AddBlocks(std::span<const BlockPayload> blocks) {
+    for (const BlockPayload& payload : blocks) {
+      TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
+                              rel::BlockReader::Open(payload, build_schema_));
+      for (BlockCount i = 0; i < reader.record_count(); ++i) {
+        rel::Tuple tuple(reader.record(i), build_schema_);
+        Entry entry{HashBytes(tuple.bytes()), {}};
+        if (capture_records_) {
+          entry.bytes.assign(tuple.bytes().begin(), tuple.bytes().end());
+        }
+        entries_.emplace(tuple.GetInt64(build_key_), std::move(entry));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Probe(std::span<const BlockPayload> blocks, const rel::Schema* probe_schema,
+               std::size_t probe_key_column, JoinOutput* out) const {
+    const bool pipeline = capture_records_ && out->has_sink();
+    for (const BlockPayload& payload : blocks) {
+      TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
+                              rel::BlockReader::Open(payload, probe_schema));
+      for (BlockCount i = 0; i < reader.record_count(); ++i) {
+        rel::Tuple tuple(reader.record(i), probe_schema);
+        std::int64_t key = tuple.GetInt64(probe_key_column);
+        std::uint64_t probe_digest = HashBytes(tuple.bytes());
+        auto [begin, end] = entries_.equal_range(key);
+        for (auto it = begin; it != end; ++it) {
+          if (pipeline) {
+            rel::Tuple build_tuple(it->second.bytes, build_schema_);
+            const rel::Tuple& r = build_is_r_ ? build_tuple : tuple;
+            const rel::Tuple& s = build_is_r_ ? tuple : build_tuple;
+            TERTIO_RETURN_IF_ERROR(out->AddMatchWithRows(key, r, s));
+          } else if (build_is_r_) {
+            out->AddMatch(key, it->second.digest, probe_digest);
+          } else {
+            out->AddMatch(key, probe_digest, it->second.digest);
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  std::uint64_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    std::uint64_t digest;
+    std::vector<std::uint8_t> bytes;  // filled only when capture_records_
+  };
+
+  const rel::Schema* build_schema_;
+  std::size_t build_key_;
+  bool build_is_r_;
+  bool capture_records_;
+  std::unordered_multimap<std::int64_t, Entry> entries_;
+};
+
+}  // namespace tertio::join

@@ -1,8 +1,44 @@
 #include "query/sinks.h"
 
+#include <algorithm>
+#include <cstring>
 #include <limits>
 
+#include "hash/hasher.h"
+
 namespace tertio::query {
+namespace {
+
+/// 64-bit digest of one group-key vector. Each element mixes its variant
+/// alternative and content through splitmix64 (hash::HashKey), so keys that
+/// differ only in type ((int64)1 vs 1.0) digest apart.
+std::uint64_t HashKeyVector(const std::vector<Value>& key) {
+  std::uint64_t digest = hash::HashKey(static_cast<std::int64_t>(key.size()));
+  for (const Value& value : key) {
+    std::uint64_t element = hash::HashKey(static_cast<std::int64_t>(value.index()));
+    if (const auto* i = std::get_if<std::int64_t>(&value)) {
+      element ^= hash::HashKey(*i);
+    } else if (const auto* d = std::get_if<double>(&value)) {
+      std::int64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(*d));
+      std::memcpy(&bits, d, sizeof(bits));
+      element ^= hash::HashKey(bits);
+    } else {
+      // FNV-1a over the string bytes, then one splitmix64 finalizer.
+      const auto& s = std::get<std::string>(value);
+      std::uint64_t fnv = 1469598103934665603ULL;
+      for (char c : s) {
+        fnv ^= static_cast<std::uint8_t>(c);
+        fnv *= 1099511628211ULL;
+      }
+      element ^= hash::HashKey(static_cast<std::int64_t>(fnv));
+    }
+    digest = hash::HashKey(static_cast<std::int64_t>(digest ^ element));
+  }
+  return digest;
+}
+
+}  // namespace
 
 FilterSink::FilterSink(ExprPtr predicate, RowSink* next)
     : predicate_(std::move(predicate)), next_(next) {
@@ -56,7 +92,20 @@ Status AggregateSink::Consume(const Row& row) {
     TERTIO_ASSIGN_OR_RETURN(Value value, expr->Eval(row));
     key.push_back(std::move(value));
   }
-  GroupState& state = groups_[key];
+  std::vector<Group>& chain = groups_[HashKeyVector(key)];
+  Group* group = nullptr;
+  for (Group& candidate : chain) {
+    if (candidate.key == key) {
+      group = &candidate;
+      break;
+    }
+  }
+  if (group == nullptr) {
+    chain.push_back(Group{std::move(key), GroupState{}});
+    group = &chain.back();
+    ++group_count_;
+  }
+  GroupState& state = group->state;
   if (!state.initialized) {
     state.counts.assign(aggregates_.size(), 0);
     state.sums.assign(aggregates_.size(), 0.0);
@@ -95,9 +144,19 @@ Status AggregateSink::Consume(const Row& row) {
 }
 
 Status AggregateSink::Finish() {
-  for (const auto& [key, state] : groups_) {
+  // Hash order is arbitrary; sort so the output order matches the ordered
+  // map this hash table replaced (lexicographic on the key vector).
+  std::vector<const Group*> ordered;
+  ordered.reserve(group_count_);
+  for (const auto& [digest, chain] : groups_) {
+    for (const Group& group : chain) ordered.push_back(&group);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Group* a, const Group* b) { return a->key < b->key; });
+  for (const Group* group : ordered) {
+    const GroupState& state = group->state;
     Row out;
-    out.values = key;
+    out.values = group->key;
     for (std::size_t i = 0; i < aggregates_.size(); ++i) {
       switch (aggregates_[i].kind) {
         case AggKind::kCount:

@@ -9,8 +9,8 @@
 /// runs, the pipeline honors the paper's Section 3.2 assumption — the output
 /// is consumed at production rate, never staged on storage.
 
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "query/expr.h"
@@ -74,6 +74,12 @@ struct AggSpec {
 /// premise is precisely that aggregation shrinks the output, so group state
 /// is small); Finish() emits one row per group — group keys first, then
 /// aggregate values — ordered by group key.
+///
+/// Groups live in a hash map keyed by a 64-bit digest of the key vector
+/// (O(1) per row instead of an O(log n) vector-of-variant comparison chain);
+/// digest collisions fall back to key equality, and Finish() sorts the
+/// surviving groups so the emitted order is identical to the ordered-map
+/// implementation this replaced.
 class AggregateSink final : public RowSink {
  public:
   AggregateSink(std::vector<ExprPtr> group_by, std::vector<AggSpec> aggregates, RowSink* next);
@@ -81,7 +87,7 @@ class AggregateSink final : public RowSink {
   Status Consume(const Row& row) override;
   Status Finish() override;
 
-  std::uint64_t group_count() const { return groups_.size(); }
+  std::uint64_t group_count() const { return group_count_; }
 
  private:
   struct GroupState {
@@ -91,11 +97,17 @@ class AggregateSink final : public RowSink {
     std::vector<Value> maxs;
     bool initialized = false;
   };
+  struct Group {
+    std::vector<Value> key;
+    GroupState state;
+  };
 
   std::vector<ExprPtr> group_by_;
   std::vector<AggSpec> aggregates_;
   RowSink* next_;
-  std::map<std::vector<Value>, GroupState> groups_;
+  /// Key-vector digest -> groups sharing it (singleton chains in practice).
+  std::unordered_map<std::uint64_t, std::vector<Group>> groups_;
+  std::uint64_t group_count_ = 0;
 };
 
 /// Terminal: materializes every row (tests / small results).

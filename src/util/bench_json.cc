@@ -1,0 +1,193 @@
+#include "util/bench_json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tertio {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::vector<std::string> SplitTopLevelJsonObjects(std::string_view array_body) {
+  std::vector<std::string> objects;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  std::size_t start = std::string_view::npos;
+  for (std::size_t i = 0; i < array_body.size(); ++i) {
+    char c = array_body[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      if (depth == 0 && c == '{') start = i;
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      if (depth == 0 && c == '}' && start != std::string_view::npos) {
+        objects.emplace_back(array_body.substr(start, i - start + 1));
+        start = std::string_view::npos;
+      }
+    }
+  }
+  return objects;
+}
+
+std::optional<std::string> ExtractJsonStringField(std::string_view object,
+                                                  std::string_view key) {
+  std::string needle = "\"" + std::string(key) + "\"";
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (std::size_t i = 0; i < object.size(); ++i) {
+    char c = object[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '{':
+      case '[':
+        ++depth;
+        continue;
+      case '}':
+      case ']':
+        --depth;
+        continue;
+      case '"':
+        break;
+      default:
+        continue;
+    }
+    // At an opening quote outside nested containers (depth 1 == inside the
+    // object itself): check whether it starts the key we want.
+    if (depth == 1 && object.substr(i, needle.size()) == needle) {
+      std::size_t colon = object.find(':', i + needle.size());
+      if (colon == std::string_view::npos) return std::nullopt;
+      std::size_t open = object.find('"', colon + 1);
+      if (open == std::string_view::npos) return std::nullopt;
+      std::string value;
+      for (std::size_t j = open + 1; j < object.size(); ++j) {
+        if (object[j] == '\\' && j + 1 < object.size()) {
+          value += object[j + 1];
+          ++j;
+        } else if (object[j] == '"') {
+          return value;
+        } else {
+          value += object[j];
+        }
+      }
+      return std::nullopt;
+    }
+    in_string = true;
+  }
+  return std::nullopt;
+}
+
+Status MergeBenchRecord(const std::string& path, const std::string& name,
+                        const std::string& record_json) {
+  std::vector<std::string> records;
+  std::ifstream in(path);
+  if (in.good()) {
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string content = buffer.str();
+    std::size_t open = content.find('[');
+    std::size_t close = content.rfind(']');
+    if (content.find("\"benches\"") == std::string::npos || open == std::string::npos ||
+        close == std::string::npos || close < open) {
+      // Tolerate an empty/placeholder file; refuse to clobber anything else.
+      std::string stripped;
+      for (char c : content) {
+        if (!std::isspace(static_cast<unsigned char>(c))) stripped += c;
+      }
+      if (!stripped.empty() && stripped != "{}") {
+        return Status::InvalidArgument(path + " exists but is not a bench-record file");
+      }
+    } else {
+      records = SplitTopLevelJsonObjects(
+          std::string_view(content).substr(open + 1, close - open - 1));
+    }
+  }
+  in.close();
+
+  bool replaced = false;
+  for (std::string& record : records) {
+    if (ExtractJsonStringField(record, "name") == name) {
+      record = record_json;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) records.push_back(record_json);
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return Status::Internal("cannot write " + path);
+  out << "{\n  \"benches\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out << "    " << records[i];
+    if (i + 1 < records.size()) out << ",";
+    out << "\n";
+  }
+  out << "  ]\n}\n";
+  out.close();
+  if (!out.good()) return Status::Internal("failed writing " + path);
+  return Status::OK();
+}
+
+}  // namespace tertio

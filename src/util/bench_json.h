@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file bench_json.h
+/// Machine-readable benchmark records: a tiny JSON emitter plus a
+/// merge-by-name store for BENCH_*.json files.
+///
+/// Every bench binary contributes one record (wall-clock, thread count,
+/// per-run simulated seconds, free-form metrics) to a shared file of the
+/// shape
+///
+///   { "benches": [ { "name": "...", ... }, ... ] }
+///
+/// MergeBenchRecord replaces the record with the same name and appends new
+/// ones, so re-running any subset of the suite keeps one current record per
+/// bench — the perf trajectory across commits stays diffable.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tertio {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes excluded).
+std::string JsonEscape(std::string_view s);
+
+/// Formats a double as JSON (finite shortest-ish form; NaN/inf become null).
+std::string JsonNumber(double value);
+
+/// Splits the body of a JSON array (text between '[' and ']') into its
+/// top-level objects, honoring nested braces/brackets and string literals.
+/// Non-object tokens are skipped.
+std::vector<std::string> SplitTopLevelJsonObjects(std::string_view array_body);
+
+/// \returns the string value of the top-level `"key"` in `object`, if any.
+std::optional<std::string> ExtractJsonStringField(std::string_view object,
+                                                  std::string_view key);
+
+/// Merges `record_json` — a complete JSON object that carries
+/// `"name": "<name>"` — into the "benches" array of the file at `path`,
+/// replacing any existing record of the same name. Creates the file if
+/// missing; a malformed existing file is an error (nothing is overwritten).
+Status MergeBenchRecord(const std::string& path, const std::string& name,
+                        const std::string& record_json);
+
+}  // namespace tertio

@@ -7,9 +7,14 @@
 #include "exec/experiment.h"
 #include "exec/machine.h"
 #include "join/advisor.h"
+#include "join/flat_table.h"
 #include "join/join_method.h"
+#include "join/legacy_table.h"
 #include "join/reference_join.h"
+#include "relation/block.h"
 #include "relation/generator.h"
+#include "relation/tuple.h"
+#include "tape/tape_volume.h"
 
 namespace tertio::join {
 namespace {
@@ -318,6 +323,136 @@ TEST(SkewHandlingTest, UniformKeysNeverOverflow) {
   auto result = RunAndReference(SmallMachine(), DefaultWorkload(), JoinMethodId::kCdtGh);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->stats.bucket_overflow_slices, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Flat open-addressing table vs the seed's multimap table
+// ---------------------------------------------------------------------------
+
+struct GeneratedBlocks {
+  rel::Relation relation;
+  std::vector<BlockPayload> blocks;
+};
+
+GeneratedBlocks GenerateBlocks(const rel::GeneratorConfig& config) {
+  GeneratedBlocks g;
+  tape::TapeVolume tape(config.name, kBlock);
+  g.relation = rel::GenerateOnTape(config, &tape).value();
+  for (BlockIndex i = 0; i < tape.size_blocks(); ++i) {
+    g.blocks.push_back(tape.ReadBlock(i).value());
+  }
+  return g;
+}
+
+/// Both table substrates must emit the identical pair multiset over the
+/// property-test workload generator, across key distributions.
+TEST(FlatTableEquivalenceTest, MatchesLegacyMultimapOnGeneratedWorkloads) {
+  struct Case {
+    const char* name;
+    rel::KeySequence r_keys;
+    rel::KeySequence s_keys;
+    std::uint64_t key_domain;
+  };
+  const Case cases[] = {
+      {"foreign-key", rel::KeySequence::kSequentialUnique,
+       rel::KeySequence::kForeignKeyUniform, 400},
+      {"many-to-many", rel::KeySequence::kUniformRandom, rel::KeySequence::kUniformRandom,
+       120},
+      {"zipf-skew", rel::KeySequence::kSequentialUnique, rel::KeySequence::kZipf, 400},
+      {"low-selectivity", rel::KeySequence::kSequentialUnique,
+       rel::KeySequence::kForeignKeyUniform, 4000},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    rel::GeneratorConfig r_config;
+    r_config.name = "R";
+    r_config.tuple_count = 400;
+    r_config.keys = c.r_keys;
+    r_config.key_domain = c.key_domain;
+    r_config.seed = 101;
+    rel::GeneratorConfig s_config;
+    s_config.name = "S";
+    s_config.tuple_count = 1500;
+    s_config.keys = c.s_keys;
+    s_config.key_domain = c.key_domain;
+    s_config.seed = 202;
+    GeneratedBlocks r = GenerateBlocks(r_config);
+    GeneratedBlocks s = GenerateBlocks(s_config);
+
+    FlatJoinTable flat(&r.relation.schema, 0, /*build_is_r=*/true);
+    LegacyMultimapJoinTable legacy(&r.relation.schema, 0, /*build_is_r=*/true);
+    ASSERT_TRUE(flat.AddBlocks(r.blocks).ok());
+    ASSERT_TRUE(legacy.AddBlocks(r.blocks).ok());
+    EXPECT_EQ(flat.size(), legacy.size());
+
+    JoinOutput flat_out, legacy_out;
+    ASSERT_TRUE(flat.Probe(s.blocks, &s.relation.schema, 0, &flat_out).ok());
+    ASSERT_TRUE(legacy.Probe(s.blocks, &s.relation.schema, 0, &legacy_out).ok());
+    EXPECT_EQ(flat_out.tuples(), legacy_out.tuples());
+    EXPECT_EQ(flat_out.checksum(), legacy_out.checksum());
+
+    // Clear() keeps capacity but must drop every entry (the tape-tape
+    // methods rebuild per bucket slice); a rebuilt table agrees again.
+    flat.Clear();
+    EXPECT_EQ(flat.size(), 0u);
+    ASSERT_TRUE(flat.AddBlocks(r.blocks).ok());
+    JoinOutput rebuilt_out;
+    ASSERT_TRUE(flat.Probe(s.blocks, &s.relation.schema, 0, &rebuilt_out).ok());
+    EXPECT_EQ(rebuilt_out.tuples(), legacy_out.tuples());
+    EXPECT_EQ(rebuilt_out.checksum(), legacy_out.checksum());
+  }
+}
+
+std::vector<BlockPayload> BlocksForKeys(const rel::Schema* schema,
+                                        const std::vector<std::int64_t>& keys) {
+  std::vector<BlockPayload> blocks;
+  rel::BlockBuilder builder(schema, kBlock);
+  rel::TupleBuilder tuple(schema);
+  for (std::int64_t key : keys) {
+    if (builder.full()) blocks.push_back(builder.Finish());
+    tuple.SetInt64(0, key).SetFixedChar(1, "payload");
+    TERTIO_CHECK(builder.Append(tuple.bytes()).ok(), "append failed");
+  }
+  if (builder.record_count() > 0) blocks.push_back(builder.Finish());
+  return blocks;
+}
+
+std::uint64_t CollidingKeyHash(std::int64_t) { return 42; }
+
+/// Regression: the flat table places slots by key digest and compares the
+/// digest before the key bytes. With a degenerate hash that maps every key
+/// to the same digest, unequal keys collide in every slot — and must still
+/// never match. (hash::HashKey is a bijection, so a real collision cannot be
+/// constructed without injecting the hash.)
+TEST(FlatTableDigestCollision, UnequalKeysWithEqualDigestsDoNotMatch) {
+  rel::Schema schema = rel::Schema::KeyPayload(100);
+  std::vector<std::int64_t> build_keys;
+  for (std::int64_t k = 0; k < 64; ++k) build_keys.push_back(k);
+  std::vector<BlockPayload> build = BlocksForKeys(&schema, build_keys);
+
+  FlatJoinTable colliding(&schema, 0, /*build_is_r=*/true, /*capture_records=*/false,
+                          &CollidingKeyHash);
+  ASSERT_TRUE(colliding.AddBlocks(build).ok());
+  ASSERT_EQ(colliding.size(), build_keys.size());
+
+  // Absent keys share the digest of every stored key; none may match.
+  JoinOutput miss_out;
+  std::vector<BlockPayload> misses = BlocksForKeys(&schema, {64, 100, -1, 1 << 20});
+  ASSERT_TRUE(colliding.Probe(misses, &schema, 0, &miss_out).ok());
+  EXPECT_EQ(miss_out.tuples(), 0u);
+
+  // Present keys must still match exactly once each, and produce the same
+  // pair set as a table using the production hash.
+  std::vector<std::int64_t> probe_keys = {0, 7, 63, 31};
+  std::vector<BlockPayload> hits = BlocksForKeys(&schema, probe_keys);
+  JoinOutput collide_out, production_out;
+  ASSERT_TRUE(colliding.Probe(hits, &schema, 0, &collide_out).ok());
+  FlatJoinTable production(&schema, 0, /*build_is_r=*/true);
+  ASSERT_TRUE(production.AddBlocks(build).ok());
+  ASSERT_TRUE(production.Probe(hits, &schema, 0, &production_out).ok());
+  EXPECT_EQ(collide_out.tuples(), probe_keys.size());
+  EXPECT_EQ(collide_out.tuples(), production_out.tuples());
+  EXPECT_EQ(collide_out.checksum(), production_out.checksum());
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Full verify flow: tier-1 build + tests (RelWithDebInfo), then the
-# ASan+UBSan preset over the fault/error-path tests so every recovery
-# branch runs sanitizer-checked. Presets live in CMakePresets.json.
+# Full verify flow: tier-1 build + tests (RelWithDebInfo), a bench smoke run
+# that must produce BENCH_joins.json, then the sanitizer passes — ASan+UBSan
+# over the fault/error-path tests and TSan over the parallel-sweep tests —
+# so every recovery branch and every sweep-driver interleaving runs
+# sanitizer-checked. Presets live in CMakePresets.json.
 #
 # Usage: tools/verify.sh [--fast]
-#   --fast   skip the sanitizer pass (tier-1 only)
+#   --fast   skip the sanitizer passes (tier-1 + bench smoke only)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,8 +18,18 @@ cmake --preset default
 cmake --build --preset default -j"$(nproc)"
 ctest --preset default -j"$(nproc)"
 
+echo "== bench smoke: one parallel figure sweep must emit BENCH_joins.json =="
+SMOKE_JSON="$(mktemp -t bench_joins.XXXXXX.json)"
+rm -f "$SMOKE_JSON"
+TERTIO_BENCH_JSON="$SMOKE_JSON" ./build/bench/bench_fig8_response_time >/dev/null
+if [[ ! -s "$SMOKE_JSON" ]]; then
+  echo "FAIL: bench run did not produce BENCH_joins.json" >&2
+  exit 1
+fi
+rm -f "$SMOKE_JSON"
+
 if [[ "$FAST" == 1 ]]; then
-  echo "== --fast: skipping sanitizer pass =="
+  echo "== --fast: skipping sanitizer passes =="
   exit 0
 fi
 
@@ -25,5 +37,10 @@ echo "== sanitizers: ASan+UBSan build + fault-labelled tests (preset: asan) =="
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"
 ctest --preset asan -L faults -j"$(nproc)"
+
+echo "== sanitizers: TSan build + parallel-sweep tests (preset: tsan) =="
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)"
+ctest --preset tsan -L parallel -j"$(nproc)"
 
 echo "== verify OK =="
