@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/auditor.h"
 #include "util/string_util.h"
 
 namespace tertio::disk {
@@ -111,6 +112,12 @@ Status DiskSpaceAllocator::Free(const ExtentList& extents, SimSeconds now,
                                 const std::string& tag) {
   BlockCount total = TotalBlocks(extents);
   if (total > used_) {
+    if (auditor_ != nullptr) {
+      auditor_->OnDiskOverfree(
+          tag, StrFormat("free of %llu blocks exceeds the %llu currently allocated",
+                         static_cast<unsigned long long>(total),
+                         static_cast<unsigned long long>(used_)));
+    }
     return Status::Internal("freeing more blocks than are allocated");
   }
   for (const Extent& extent : extents) FreeOn(extent);
@@ -120,6 +127,7 @@ Status DiskSpaceAllocator::Free(const ExtentList& extents, SimSeconds now,
 }
 
 void DiskSpaceAllocator::Record(SimSeconds now, std::int64_t delta, const std::string& tag) {
+  if (auditor_ != nullptr) auditor_->OnDiskUsage(tag, now, used_, capacity_);
   if (!trace_enabled_) return;
   trace_.push_back(UsageEvent{now, delta, used_, tag});
 }

@@ -22,6 +22,10 @@
 #include "util/status.h"
 #include "util/units.h"
 
+namespace tertio::sim {
+class Auditor;
+}
+
 namespace tertio::disk {
 
 /// One allocate (+delta) or free (-delta) event, timestamped in virtual time.
@@ -61,6 +65,11 @@ class DiskSpaceAllocator {
   /// Largest count that a single Allocate can currently satisfy.
   BlockCount FreeBlocksOn(int disk) const;
 
+  /// Registers a SimSan auditor (sim/auditor.h): every occupancy change is
+  /// checked against the group capacity D and over-frees are reported. Null
+  /// detaches.
+  void BindAuditor(sim::Auditor* auditor) { auditor_ = auditor; }
+
  private:
   // start -> length, non-overlapping, coalesced.
   using FreeList = std::map<BlockIndex, BlockCount>;
@@ -75,6 +84,7 @@ class DiskSpaceAllocator {
   BlockCount capacity_ = 0;
   BlockCount used_ = 0;
   int rr_cursor_ = 0;
+  sim::Auditor* auditor_ = nullptr;
   bool trace_enabled_ = false;
   std::vector<UsageEvent> trace_;
 };

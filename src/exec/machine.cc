@@ -50,6 +50,23 @@ Machine::Machine(const MachineConfig& config)
       library_->set_fault_injector(attach(config.faults.robot, "robot"));
     }
   }
+  // Under TERTIO_SIMSAN the Simulation constructed itself audited; bind the
+  // non-Resource layers (budget, allocator, scratch volumes) to the same
+  // auditor. In other builds this is a no-op until EnableAudit().
+  if (sim_.auditor() != nullptr) BindAuditor(sim_.auditor());
+}
+
+sim::Auditor* Machine::EnableAudit() {
+  sim::Auditor* auditor = sim_.EnableAudit();
+  BindAuditor(auditor);
+  return auditor;
+}
+
+void Machine::BindAuditor(sim::Auditor* auditor) {
+  memory_.BindAuditor(auditor);
+  disks_->allocator().BindAuditor(auditor);
+  tape_r_->BindAuditor(auditor);
+  tape_s_->BindAuditor(auditor);
 }
 
 sim::FaultStats Machine::TotalFaultStats() const {

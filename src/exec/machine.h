@@ -87,7 +87,18 @@ class Machine {
   /// Machine-wide fault/recovery counters (zero with faults disabled).
   sim::FaultStats TotalFaultStats() const;
 
+  /// Enables SimSan (sim/auditor.h) on this machine: the simulation's
+  /// auditor observes every device timeline, the memory budget, the disk
+  /// allocator and both scratch tapes. Idempotent; automatic in
+  /// TERTIO_SIMSAN builds. \returns the auditor.
+  sim::Auditor* EnableAudit();
+
+  /// The machine's auditor, or nullptr when auditing is not enabled.
+  sim::Auditor* auditor() const { return sim_.auditor(); }
+
  private:
+  void BindAuditor(sim::Auditor* auditor);
+
   MachineConfig config_;
   sim::Simulation sim_;
   std::unique_ptr<disk::StripedDiskGroup> disks_;

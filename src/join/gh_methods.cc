@@ -155,7 +155,7 @@ Result<JoinStats> ExecuteGh(GhMode mode, JoinMethodId id, const JoinSpec& spec,
   JoinStats stats;
   stats.method = std::string(JoinMethodName(id));
   stats.spans.set_retain(ctx.retain_spans);
-  sim::Pipeline pipe(scope.start(), &stats.spans);
+  sim::Pipeline pipe(scope.start(), &stats.spans, ctx.sim->auditor());
 
   // ---- Step I: hash R from tape into disk buckets.
   hash::DiskPartitioner::Options r_options;

@@ -72,6 +72,9 @@ StatsScope::StatsScope(const JoinContext& ctx)
       faults_before_(ContextFaultStats(ctx)) {}
 
 void StatsScope::Fill(JoinStats* stats) const {
+  // SimSan: a join just finished — cross-check the O(1) horizon cache
+  // against a recomputation before reporting response time off it.
+  ctx_.sim->AuditHorizon();
   const tape::TapeDriveStats& r = ctx_.drive_r->stats();
   const tape::TapeDriveStats& s = ctx_.drive_s->stats();
   disk::DiskStats d = ctx_.disks->TotalStats();

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <span>
+// tertio-lint: allow(unordered-map) — this IS the multimap baseline.
 #include <unordered_map>
 #include <vector>
 
@@ -93,6 +94,7 @@ class LegacyMultimapJoinTable {
   std::size_t build_key_;
   bool build_is_r_;
   bool capture_records_;
+  // tertio-lint: allow(unordered-map) — the baseline under comparison.
   std::unordered_multimap<std::int64_t, Entry> entries_;
 };
 

@@ -99,7 +99,7 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
   JoinStats stats;
   stats.method = std::string(JoinMethodName(id));
   stats.spans.set_retain(ctx.retain_spans);
-  sim::Pipeline pipe(scope.start(), &stats.spans);
+  sim::Pipeline pipe(scope.start(), &stats.spans, ctx.sim->auditor());
 
   // ---- Step I: copy R from tape to disk.
   TERTIO_ASSIGN_OR_RETURN(

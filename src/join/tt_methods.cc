@@ -174,7 +174,7 @@ Result<JoinStats> ExecuteCttGh(const JoinSpec& spec, const JoinContext& ctx) {
   JoinStats stats;
   stats.method = std::string(JoinMethodName(JoinMethodId::kCttGh));
   stats.spans.set_retain(ctx.retain_spans);
-  sim::Pipeline pipe(scope.start(), &stats.spans);
+  sim::Pipeline pipe(scope.start(), &stats.spans, ctx.sim->auditor());
   sim::StageId origin = pipe.Event("start", scope.start());
 
   // ---- Step I: hashed copy of R appended to the R tape.
@@ -364,7 +364,7 @@ Result<JoinStats> ExecuteTtGh(const JoinSpec& spec, const JoinContext& ctx) {
   JoinStats stats;
   stats.method = std::string(JoinMethodName(JoinMethodId::kTtGh));
   stats.spans.set_retain(ctx.retain_spans);
-  sim::Pipeline pipe(scope.start(), &stats.spans);
+  sim::Pipeline pipe(scope.start(), &stats.spans, ctx.sim->auditor());
   sim::StageId origin = pipe.Event("start", scope.start());
 
   // ---- Step I: hash R onto the S tape, then S onto the R tape.

@@ -1,11 +1,15 @@
 #include "mem/memory_budget.h"
 
+#include "sim/auditor.h"
 #include "util/string_util.h"
 
 namespace tertio::mem {
 
 Status MemoryBudget::Reserve(BlockCount count, const std::string& tag) {
   if (reserved_ + count > total_) {
+    // Refused, nothing committed: occupancy never exceeded M, so this is an
+    // error for the caller but not an audit violation. The auditor hook
+    // below only ever sees committed occupancy.
     return Status::ResourceExhausted(
         StrFormat("memory reservation '%s' of %llu blocks exceeds budget "
                   "(%llu of %llu blocks in use)",
@@ -16,12 +20,15 @@ Status MemoryBudget::Reserve(BlockCount count, const std::string& tag) {
   reserved_ += count;
   by_tag_[tag] += count;
   if (reserved_ > peak_) peak_ = reserved_;
+  if (auditor_ != nullptr) auditor_->OnMemoryReserve(tag, count, reserved_, total_);
   return Status::OK();
 }
 
 Status MemoryBudget::Release(BlockCount count, const std::string& tag) {
   auto it = by_tag_.find(tag);
-  if (it == by_tag_.end() || it->second < count) {
+  BlockCount held = it == by_tag_.end() ? 0 : it->second;
+  if (auditor_ != nullptr) auditor_->OnMemoryRelease(tag, count, held);
+  if (held < count) {
     return Status::InvalidArgument(
         StrFormat("release of %llu blocks under '%s' exceeds its reservation",
                   static_cast<unsigned long long>(count), tag.c_str()));
@@ -35,6 +42,7 @@ Status MemoryBudget::Release(BlockCount count, const std::string& tag) {
 Status MemoryBudget::ReleaseAll(const std::string& tag) {
   auto it = by_tag_.find(tag);
   if (it == by_tag_.end()) return Status::OK();
+  if (auditor_ != nullptr) auditor_->OnMemoryRelease(tag, it->second, it->second);
   reserved_ -= it->second;
   by_tag_.erase(it);
   return Status::OK();

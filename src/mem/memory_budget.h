@@ -15,6 +15,10 @@
 #include "util/status.h"
 #include "util/units.h"
 
+namespace tertio::sim {
+class Auditor;
+}
+
 namespace tertio::mem {
 
 /// Block-granular budget with named reservations.
@@ -42,10 +46,16 @@ class MemoryBudget {
   /// footprint, compared against Table 2 in tests.
   BlockCount peak_reserved_blocks() const { return peak_; }
 
+  /// Registers a SimSan auditor (sim/auditor.h) observing every reserve and
+  /// release — occupancy ≤ M and release ≤ reservation become audited
+  /// invariants on top of the Status returns. Null detaches.
+  void BindAuditor(sim::Auditor* auditor) { auditor_ = auditor; }
+
  private:
   BlockCount total_;
   BlockCount reserved_ = 0;
   BlockCount peak_ = 0;
+  sim::Auditor* auditor_ = nullptr;
   std::map<std::string, BlockCount> by_tag_;
 };
 

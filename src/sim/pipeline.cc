@@ -2,22 +2,29 @@
 
 #include <algorithm>
 
+#include "sim/auditor.h"
+
 namespace tertio::sim {
+
+std::size_t SpanTrace::PhaseIndex(std::string_view phase, std::string_view device,
+                                  Interval interval) {
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].phase == phase) return i;
+  }
+  PhaseSummary summary;
+  summary.phase = std::string(phase);
+  summary.device = std::string(device);
+  summary.window = interval;
+  phases_.push_back(std::move(summary));
+  return phases_.size() - 1;
+}
 
 void SpanTrace::Record(std::string_view phase, std::string_view device, BlockCount blocks,
                        ByteCount bytes, Interval interval) {
   if (retain_) {
     spans_.push_back(Span{std::string(phase), std::string(device), blocks, bytes, interval});
   }
-  auto [it, inserted] = phase_index_.try_emplace(std::string(phase), phases_.size());
-  if (inserted) {
-    PhaseSummary summary;
-    summary.phase = std::string(phase);
-    summary.device = std::string(device);
-    summary.window = interval;
-    phases_.push_back(std::move(summary));
-  }
-  PhaseSummary& summary = phases_[it->second];
+  PhaseSummary& summary = phases_[PhaseIndex(phase, device, interval)];
   if (summary.device != device) summary.device = "";
   summary.stage_count += 1;
   summary.blocks += blocks;
@@ -31,7 +38,6 @@ void SpanTrace::Record(std::string_view phase, std::string_view device, BlockCou
 void SpanTrace::Clear() {
   spans_.clear();
   phases_.clear();
-  phase_index_.clear();
   window_ = Interval{};
   has_window_ = false;
 }
@@ -47,11 +53,12 @@ SimSeconds Pipeline::ReadyAfter(std::span<const StageId> deps) const {
 }
 
 StageId Pipeline::Commit(std::string_view phase, std::string_view device, BlockCount blocks,
-                         ByteCount bytes, Interval interval) {
+                         ByteCount bytes, SimSeconds ready, Interval interval) {
   intervals_.push_back(interval);
   if (!any_stage_ || interval.end > horizon_) horizon_ = std::max(horizon_, interval.end);
   any_stage_ = true;
   if (trace_ != nullptr) trace_->Record(phase, device, blocks, bytes, interval);
+  if (auditor_ != nullptr) auditor_->OnStage(phase, device, start_, ready, interval);
   return intervals_.size() - 1;
 }
 
@@ -60,7 +67,7 @@ Result<StageId> Pipeline::Stage(std::string_view phase, std::string_view device,
                                 ByteCount bytes, const StageOp& op) {
   SimSeconds ready = ReadyAfter(deps);
   TERTIO_ASSIGN_OR_RETURN(Interval interval, op(ready));
-  return Commit(phase, device, blocks, bytes, interval);
+  return Commit(phase, device, blocks, bytes, ready, interval);
 }
 
 Result<StageId> Pipeline::StageWithRetry(std::string_view phase, std::string_view device,
@@ -84,11 +91,13 @@ Result<StageId> Pipeline::StageWithRetry(std::string_view phase, std::string_vie
 }
 
 StageId Pipeline::Event(std::string_view phase, SimSeconds when) {
-  return Commit(phase, "", 0, 0, Interval::At(std::max(start_, when)));
+  SimSeconds at = std::max(start_, when);
+  return Commit(phase, "", 0, 0, at, Interval::At(at));
 }
 
 StageId Pipeline::Barrier(std::string_view phase, std::span<const StageId> deps) {
-  return Commit(phase, "", 0, 0, Interval::At(ReadyAfter(deps)));
+  SimSeconds at = ReadyAfter(deps);
+  return Commit(phase, "", 0, 0, at, Interval::At(at));
 }
 
 Result<Pipeline::TransferResult> Pipeline::Transfer(const TransferPlan& plan,
@@ -103,6 +112,11 @@ Result<Pipeline::TransferResult> Pipeline::Transfer(const TransferPlan& plan,
   // A resumed transfer (checkpoint from an earlier failed attempt) skips
   // chunks that already completed both their read and their write.
   const BlockCount resume_at = plan.checkpoint != nullptr ? plan.checkpoint->completed_blocks : 0;
+  // SimSan conservation ledger: every block handed to the source is either
+  // sunk (read and write both committed) or dropped to a chunk retry.
+  BlockCount issued_blocks = 0;
+  BlockCount sunk_blocks = 0;
+  BlockCount dropped_blocks = 0;
   for (BlockCount offset = resume_at; offset < plan.total; offset += chunk) {
     BlockCount take = std::min<BlockCount>(chunk, plan.total - offset);
     // Streaming: chunk i+1's read follows read i. Lock-step: it waits for
@@ -112,6 +126,7 @@ Result<Pipeline::TransferResult> Pipeline::Transfer(const TransferPlan& plan,
     for (;;) {
       std::vector<BlockPayload> payloads;
       std::vector<BlockPayload>* moved = plan.move_payloads ? &payloads : nullptr;
+      issued_blocks += take;
       Result<StageId> read =
           Stage(plan.read_phase, source.device(), std::span<const StageId>(read_deps), take, 0,
                 [&](SimSeconds ready) { return source.Read(offset, take, ready, moved); });
@@ -121,6 +136,7 @@ Result<Pipeline::TransferResult> Pipeline::Transfer(const TransferPlan& plan,
                       [&](SimSeconds ready) { return sink.Write(offset, take, ready, moved); });
       }
       if (read.ok() && write.ok()) {
+        sunk_blocks += take;
         if (result.first_read == kNoStage) result.first_read = *read;
         result.last_read = *read;
         result.last_write = *write;
@@ -138,6 +154,7 @@ Result<Pipeline::TransferResult> Pipeline::Transfer(const TransferPlan& plan,
       }
       ++attempts;
       ++chunk_retries_;
+      dropped_blocks += take;
       if (plan.checkpoint != nullptr) ++plan.checkpoint->chunk_retries;
       // Surface the recovery in the span trace (a marker, not a stage: the
       // failed attempt's device time is inside the device's own timeline).
@@ -147,6 +164,13 @@ Result<Pipeline::TransferResult> Pipeline::Transfer(const TransferPlan& plan,
       }
     }
     if (plan.checkpoint != nullptr) plan.checkpoint->completed_blocks = offset + take;
+  }
+  // Conservation is audited only for transfers that ran to completion; an
+  // aborted transfer returns above with its checkpoint mid-stream.
+  if (auditor_ != nullptr) {
+    BlockCount expected = plan.total > resume_at ? plan.total - resume_at : 0;
+    auditor_->OnTransferEnd(plan.read_phase, expected, sunk_blocks, issued_blocks,
+                            dropped_blocks);
   }
   return result;
 }

@@ -35,7 +35,6 @@
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/interval.h"
@@ -44,6 +43,8 @@
 #include "util/units.h"
 
 namespace tertio::sim {
+
+class Auditor;
 
 using StageId = std::size_t;
 
@@ -99,10 +100,15 @@ class SpanTrace {
   void Clear();
 
  private:
+  // Phase lookup is a linear scan over phases_ (first-appearance order):
+  // traces carry a few dozen distinct labels at most, and the scan keeps
+  // iteration deterministic — hashed containers are banned in src/sim
+  // (tertio_lint).
+  std::size_t PhaseIndex(std::string_view phase, std::string_view device, Interval interval);
+
   bool retain_ = false;
   std::vector<Span> spans_;
   std::vector<PhaseSummary> phases_;
-  std::unordered_map<std::string, std::size_t> phase_index_;
   Interval window_;
   bool has_window_ = false;
 };
@@ -146,8 +152,11 @@ class Pipeline {
 
   /// \param start virtual time before which no stage may begin.
   /// \param trace optional span collector (spans are dropped when null).
-  explicit Pipeline(SimSeconds start, SpanTrace* trace = nullptr)
-      : start_(start), trace_(trace) {}
+  /// \param auditor optional SimSan observer (sim/auditor.h): every
+  ///        committed stage is causality-checked and every completed
+  ///        Transfer's block accounting verified. Never alters scheduling.
+  explicit Pipeline(SimSeconds start, SpanTrace* trace = nullptr, Auditor* auditor = nullptr)
+      : start_(start), trace_(trace), auditor_(auditor) {}
 
   SimSeconds start() const { return start_; }
 
@@ -262,10 +271,11 @@ class Pipeline {
 
  private:
   StageId Commit(std::string_view phase, std::string_view device, BlockCount blocks,
-                 ByteCount bytes, Interval interval);
+                 ByteCount bytes, SimSeconds ready, Interval interval);
 
   SimSeconds start_;
   SpanTrace* trace_;
+  Auditor* auditor_ = nullptr;
   std::vector<Interval> intervals_;
   SimSeconds horizon_ = 0.0;
   bool any_stage_ = false;

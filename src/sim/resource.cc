@@ -1,5 +1,7 @@
 #include "sim/resource.h"
 
+#include "sim/auditor.h"
+
 namespace tertio::sim {
 
 Interval Resource::Schedule(SimSeconds ready, SimSeconds duration, ByteCount bytes,
@@ -13,8 +15,11 @@ Interval Resource::Schedule(SimSeconds ready, SimSeconds duration, ByteCount byt
   stats_.bytes_transferred += bytes;
   stats_.busy_seconds += duration;
   if (interval.end > stats_.horizon) stats_.horizon = interval.end;
-  if (horizon_cell_ != nullptr && interval.end > *horizon_cell_) *horizon_cell_ = interval.end;
+  if (horizon_cell_ != nullptr && interval.end > horizon_cell_->max_end) {
+    horizon_cell_->max_end = interval.end;
+  }
   if (trace_enabled_) trace_.push_back(OpRecord{interval, bytes, tag});
+  if (auditor_ != nullptr) auditor_->OnSchedule(name_, ready, interval, bytes);
   return interval;
 }
 
@@ -29,6 +34,10 @@ void Resource::Reset() {
   available_ = 0.0;
   stats_ = ResourceStats{};
   trace_.clear();
+  // The cell's cached maximum may rest on this resource's discarded
+  // timeline; only the owner of all bound resources can recompute it.
+  if (horizon_cell_ != nullptr) horizon_cell_->stale = true;
+  if (auditor_ != nullptr) auditor_->OnResourceReset(name_);
 }
 
 }  // namespace tertio::sim

@@ -29,6 +29,17 @@
 
 namespace tertio::sim {
 
+class Auditor;
+
+/// The Simulation's O(1) horizon cache. Resources bound to a cell push their
+/// operation end times into `max_end`; an individually reset resource cannot
+/// recompute the maximum alone, so Reset() marks the cell stale and the
+/// owner (Simulation::Horizon()) lazily recomputes from its resources.
+struct HorizonCell {
+  SimSeconds max_end = 0.0;
+  bool stale = false;
+};
+
 /// One completed operation, retained when tracing is enabled.
 struct OpRecord {
   Interval interval;
@@ -73,18 +84,26 @@ class Resource {
   void EnableTrace(bool enabled = true) { trace_enabled_ = enabled; }
   const std::vector<OpRecord>& trace() const { return trace_; }
 
-  /// Clears the timeline, statistics and trace.
+  /// Clears the timeline, statistics and trace. Marks any bound horizon
+  /// cell stale so the owning Simulation recomputes its cached horizon
+  /// instead of serving a value that includes this resource's old timeline.
   void Reset();
 
   /// Registers a max-horizon cell maintained on every Schedule() — the
   /// Simulation's O(1) Horizon() cache. The cell must outlive the resource.
-  void BindHorizonCell(SimSeconds* cell) { horizon_cell_ = cell; }
+  void BindHorizonCell(HorizonCell* cell) { horizon_cell_ = cell; }
+
+  /// Registers a SimSan auditor observing every Schedule()/Reset() (see
+  /// sim/auditor.h). Auditing never changes scheduling; a null pointer
+  /// detaches. The auditor must outlive the resource.
+  void BindAuditor(Auditor* auditor) { auditor_ = auditor; }
 
  private:
   std::string name_;
   SimSeconds available_ = 0.0;
   ResourceStats stats_;
-  SimSeconds* horizon_cell_ = nullptr;
+  HorizonCell* horizon_cell_ = nullptr;
+  Auditor* auditor_ = nullptr;
   bool trace_enabled_ = false;
   std::vector<OpRecord> trace_;
 };

@@ -5,12 +5,14 @@
 ///
 /// A Simulation owns nothing but names: modules register the Resources they
 /// create so that experiments can reset the whole system between runs and
-/// report per-device utilization in one place.
+/// report per-device utilization in one place. It also owns the optional
+/// SimSan auditor (sim/auditor.h) observing those resources.
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/auditor.h"
 #include "sim/resource.h"
 
 namespace tertio::sim {
@@ -21,35 +23,85 @@ namespace tertio::sim {
 /// simulation's cached horizon cell.
 class Simulation {
  public:
-  Simulation() = default;
+  Simulation() {
+    // Under the TERTIO_SIMSAN build option every simulated system is audited
+    // from birth; see ~Simulation() for the hard-fail.
+    if constexpr (kSimSanEnabled) EnableAudit();
+  }
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
+
+  ~Simulation() {
+    if constexpr (kSimSanEnabled) {
+      if (auditor_ != nullptr && !auditor_->clean()) {
+        internal::DieCheckFailure(__FILE__, __LINE__, "auditor->clean()",
+                                  auditor_->TraceString());
+      }
+    }
+  }
 
   /// Creates and registers a resource.
   Resource* CreateResource(std::string name) {
     resources_.push_back(std::make_unique<Resource>(std::move(name)));
     resources_.back()->BindHorizonCell(&horizon_);
+    resources_.back()->BindAuditor(auditor_.get());
     return resources_.back().get();
   }
 
   /// Latest horizon across all resources — the response time of whatever was
-  /// scheduled, measured from time zero. O(1): maintained incrementally on
-  /// every operation commit (StatsScope and the bench loops poll this on
-  /// their hot paths). Resetting an individual registered Resource directly
-  /// leaves the cache stale; reset the whole system through Reset().
-  SimSeconds Horizon() const { return horizon_; }
+  /// scheduled, measured from time zero. O(1) on the hot path: maintained
+  /// incrementally on every operation commit (StatsScope and the bench loops
+  /// poll this constantly). Resetting an individual registered Resource
+  /// marks the cache stale, and the next call recomputes it from the
+  /// surviving timelines — an O(resources) step that only follows a reset.
+  SimSeconds Horizon() const {
+    if (horizon_.stale) {
+      horizon_.max_end = 0.0;
+      for (const auto& r : resources_) {
+        if (r->stats().horizon > horizon_.max_end) horizon_.max_end = r->stats().horizon;
+      }
+      horizon_.stale = false;
+    }
+    return horizon_.max_end;
+  }
 
   /// Resets every registered resource (and the cached horizon) to time zero.
   void Reset() {
     for (auto& r : resources_) r->Reset();
-    horizon_ = 0.0;
+    horizon_ = HorizonCell{};
+  }
+
+  /// Creates the SimSan auditor (if absent) and binds it to every current
+  /// and future resource. Idempotent. Automatic under TERTIO_SIMSAN;
+  /// explicit in other builds (tests, harnesses). \returns the auditor.
+  Auditor* EnableAudit() {
+    if (auditor_ == nullptr) {
+      auditor_ = std::make_unique<Auditor>();
+      for (auto& r : resources_) r->BindAuditor(auditor_.get());
+    }
+    return auditor_.get();
+  }
+
+  /// The bound auditor, or nullptr when this simulation is not audited.
+  Auditor* auditor() const { return auditor_.get(); }
+
+  /// Verifies the cached horizon against a recomputation over all resources,
+  /// reporting any mismatch to the auditor. No-op when unaudited.
+  void AuditHorizon() const {
+    if (auditor_ == nullptr) return;
+    SimSeconds recomputed = 0.0;
+    for (const auto& r : resources_) {
+      if (r->stats().horizon > recomputed) recomputed = r->stats().horizon;
+    }
+    auditor_->OnHorizonCheck(Horizon(), recomputed);
   }
 
   const std::vector<std::unique_ptr<Resource>>& resources() const { return resources_; }
 
  private:
   std::vector<std::unique_ptr<Resource>> resources_;
-  SimSeconds horizon_ = 0.0;
+  std::unique_ptr<Auditor> auditor_;
+  mutable HorizonCell horizon_;
 };
 
 }  // namespace tertio::sim

@@ -1,5 +1,6 @@
 #include "tape/tape_volume.h"
 
+#include "sim/auditor.h"
 #include "util/string_util.h"
 
 namespace tertio::tape {
@@ -14,6 +15,7 @@ Status TapeVolume::Append(BlockPayload payload, double compressibility) {
                   static_cast<unsigned long long>(capacity_blocks_)));
   }
   blocks_.push_back(Entry{std::move(payload), static_cast<float>(compressibility)});
+  if (auditor_ != nullptr) auditor_->OnTapeOccupancy(name_, blocks_.size(), capacity_blocks_);
   return Status::OK();
 }
 
@@ -27,6 +29,7 @@ Status TapeVolume::AppendPhantom(BlockCount count, double compressibility) {
                   static_cast<unsigned long long>(count)));
   }
   blocks_.insert(blocks_.end(), count, Entry{nullptr, static_cast<float>(compressibility)});
+  if (auditor_ != nullptr) auditor_->OnTapeOccupancy(name_, blocks_.size(), capacity_blocks_);
   return Status::OK();
 }
 

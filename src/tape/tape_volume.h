@@ -18,6 +18,10 @@
 #include "util/status.h"
 #include "util/units.h"
 
+namespace tertio::sim {
+class Auditor;
+}
+
 namespace tertio::tape {
 
 /// Content of one cartridge. Thread-compatible, not thread-safe.
@@ -56,6 +60,11 @@ class TapeVolume {
   /// Discards all blocks at and after `new_size` (rewriting scratch space).
   Status Truncate(BlockCount new_size);
 
+  /// Registers a SimSan auditor (sim/auditor.h): every append is checked
+  /// against the volume capacity — the paper's T_R / T_S scratch bounds for
+  /// the R/S tapes. Null detaches.
+  void BindAuditor(sim::Auditor* auditor) { auditor_ = auditor; }
+
  private:
   struct Entry {
     BlockPayload payload;  // nullptr = phantom
@@ -67,6 +76,7 @@ class TapeVolume {
   std::string name_;
   ByteCount block_bytes_;
   BlockCount capacity_blocks_;
+  sim::Auditor* auditor_ = nullptr;
   std::vector<Entry> blocks_;
 };
 

@@ -48,7 +48,11 @@ std::string_view StatusCodeToString(StatusCode code);
 /// The result of an operation that can fail: a code plus a human-readable
 /// message. A default-constructed Status is OK. Statuses are cheap to copy
 /// when OK (no allocation).
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status swallows an error; call sites
+/// that legitimately ignore one must say so with an explicit (void) cast
+/// and a comment (tertio_lint audits those).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -98,7 +102,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 /// Either a value of type T or a non-OK Status explaining why the value is
 /// absent. Accessing the value of an errored Result aborts.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `return 42;`.
   Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

@@ -64,7 +64,9 @@ TEST(AdvisorTest, AmpleDiskLittleMemoryFavorsCdtGh) {
   for (JoinMethodId other : {JoinMethodId::kDtNb, JoinMethodId::kCdtNbMb,
                              JoinMethodId::kCdtNbDb, JoinMethodId::kDtGh}) {
     double estimate = estimate_of(other);
-    if (estimate > 0.0) EXPECT_LT(cdt_gh, estimate) << JoinMethodName(other);
+    if (estimate > 0.0) {
+      EXPECT_LT(cdt_gh, estimate) << JoinMethodName(other);
+    }
   }
 }
 

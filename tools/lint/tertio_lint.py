@@ -1,0 +1,284 @@
+#!/usr/bin/env python3
+"""tertio_lint — repo-specific static analysis for the tertio codebase.
+
+Three check families, all tuned to invariants the compiler cannot see:
+
+1. error-discipline: `Status` and `Result<T>` in src/util/status.h must be
+   declared [[nodiscard]] (the compiler then flags every discarded return;
+   this check keeps the attribute from regressing), and explicit `(void)`
+   discards of a call must carry a justifying comment on the same line.
+
+2. hot-path hygiene: the simulator and the join executors must stay
+   deterministic and allocation-predictable, so `std::unordered_map` /
+   `std::unordered_multimap` (iteration-order nondeterminism), `rand` /
+   `srand` (hidden global state) and wall-clock reads (`std::chrono` clocks,
+   `gettimeofday`, `clock_gettime`, `time(...)`) are banned in src/join and
+   src/sim. Waive a specific line with `// tertio-lint: allow(<rule>)` on
+   that line or the line above.
+
+3. span-registry: every pipeline phase label used by the join executors and
+   the pipeline engine must appear in src/sim/span_registry.h, and every
+   registry entry must be used somewhere (no orphans). Phase literals
+   special-cased by sim/trace_report.cc or src/exec/report.cc must be
+   registered too — a typo'd label silently forks a report row.
+
+Exit status: 0 with no findings, 1 otherwise. Output: `file:line: [rule] msg`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+
+REGISTRY = REPO / "src" / "sim" / "span_registry.h"
+STATUS_H = REPO / "src" / "util" / "status.h"
+
+# Directories whose sources are "hot path" for rule 2.
+HOT_DIRS = ("src/join", "src/sim")
+# Directories scanned for span-label usage (rule 3).
+SPAN_USE_DIRS = ("src/join", "src/sim")
+# Report renderers whose special-cased phase literals must be registered.
+REPORT_FILES = ("src/sim/trace_report.cc", "src/exec/report.cc")
+
+WAIVER_RE = re.compile(r"//\s*tertio-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+BANNED = [
+    # rule name, regex, message
+    ("unordered-map", re.compile(r"\bstd::unordered_(?:multi)?map\b"),
+     "hashed maps are banned in hot paths (nondeterministic iteration order); "
+     "use the flat table, std::map, or a vector"),
+    ("rand", re.compile(r"\b(?:std::)?s?rand\s*\("),
+     "rand()/srand() hide global state; use util/rng.h (seeded, per-stream)"),
+    ("wall-clock", re.compile(
+        r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b"
+        r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\b(?:std::)?time\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
+     "wall-clock reads in the simulator break virtual-time determinism; "
+     "thread SimSeconds through instead"),
+]
+
+# Call shapes that carry a pipeline phase label as their first string literal.
+PHASE_PATTERNS = [
+    re.compile(r"\b(?:Stage|StageWithRetry|Event|Barrier|Record)\(\s*\"([^\"]+)\""),
+    re.compile(r"\b(?:read_phase|write_phase)\s*=\s*\"([^\"]+)\""),
+    re.compile(r"\bIssue(?:Read|Write|Flush)\(\s*\w+,\s*\"([^\"]+)\""),
+    re.compile(r"\bScanDiskAndProbe\(\s*\w+,\s*\w+,\s*\"([^\"]+)\""),
+    re.compile(r"\bAcquireFreeStage\(\s*\w+,\s*\w+,\s*\"([^\"]+)\""),
+]
+
+# Phase literals compared or special-cased inside the report renderers.
+REPORT_PHASE_RE = re.compile(r"\bphase(?:\.phase)?\s*==\s*\"([^\"]+)\"")
+
+# A discarded *call* — `(void)Foo(...)`, `(void)obj.Method(...)`. Plain
+# `(void)name;` parameter silencers are fine and not matched.
+VOID_DISCARD_RE = re.compile(r"^\s*\(void\)\s*[A-Za-z_][\w:.>-]*\s*\(")
+
+
+class Finding:
+    def __init__(self, path: pathlib.Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO) if self.path.is_absolute() else self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out // and /* */ comments and string-free preprocessor noise,
+    preserving line structure so reported line numbers stay correct."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+            elif c == "'":
+                state = "char"
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state == "string":
+            if c == "\\":
+                out.append(c + nxt)
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+            out.append(c)
+        elif state == "char":
+            if c == "\\":
+                out.append(c + nxt)
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def waivers_for(lines: list[str], lineno: int) -> set[str]:
+    """Rules waived for 1-based `lineno` via allow() on it or the line above."""
+    waived: set[str] = set()
+    for candidate in (lineno - 1, lineno - 2):
+        if 0 <= candidate < len(lines):
+            m = WAIVER_RE.search(lines[candidate])
+            if m:
+                waived.update(r.strip() for r in m.group(1).split(","))
+    return waived
+
+
+def iter_sources(dirs: tuple[str, ...]):
+    for d in dirs:
+        root = REPO / d
+        for path in sorted(root.rglob("*")):
+            if path.suffix in (".h", ".cc", ".cpp") and path.is_file():
+                yield path
+
+
+def check_error_discipline(findings: list[Finding]) -> None:
+    text = STATUS_H.read_text()
+    if not re.search(r"class\s+\[\[nodiscard\]\]\s+Status\b", text):
+        findings.append(Finding(STATUS_H, 1, "nodiscard",
+                                "class Status must be declared [[nodiscard]]"))
+    if not re.search(r"class\s+\[\[nodiscard\]\]\s+Result\b", text):
+        findings.append(Finding(STATUS_H, 1, "nodiscard",
+                                "class Result<T> must be declared [[nodiscard]]"))
+    # Explicit discards must explain themselves.
+    for path in iter_sources(("src", "tools")):
+        raw_lines = path.read_text().splitlines()
+        stripped = strip_comments(path.read_text()).splitlines()
+        for idx, line in enumerate(stripped):
+            if VOID_DISCARD_RE.match(line):
+                raw = raw_lines[idx] if idx < len(raw_lines) else ""
+                if "//" not in raw and "discard" not in waivers_for(raw_lines, idx + 1):
+                    findings.append(Finding(
+                        path, idx + 1, "discard",
+                        "(void)-discard of a return value needs a justifying "
+                        "comment on the same line (or tertio-lint: allow(discard))"))
+
+
+def check_hot_paths(findings: list[Finding]) -> None:
+    for path in iter_sources(HOT_DIRS):
+        raw = path.read_text()
+        raw_lines = raw.splitlines()
+        stripped = strip_comments(raw).splitlines()
+        for idx, line in enumerate(stripped):
+            for rule, pattern, message in BANNED:
+                if pattern.search(line) and rule not in waivers_for(raw_lines, idx + 1):
+                    findings.append(Finding(path, idx + 1, rule, message))
+        # The include behind the banned containers, so a dormant include
+        # can't reintroduce them silently.
+        for idx, line in enumerate(stripped):
+            if re.search(r"#\s*include\s*<unordered_map>", line) \
+                    and "unordered-map" not in waivers_for(raw_lines, idx + 1):
+                findings.append(Finding(path, idx + 1, "unordered-map",
+                                        "#include <unordered_map> in a hot-path directory"))
+
+
+def load_registry(findings: list[Finding]) -> list[str]:
+    text = REGISTRY.read_text()
+    m = re.search(r"kRegisteredSpans\[\]\s*=\s*\{(.*?)\};", text, re.DOTALL)
+    if not m:
+        findings.append(Finding(REGISTRY, 1, "span-registry",
+                                "could not parse kRegisteredSpans"))
+        return []
+    body = strip_comments(m.group(1))
+    spans = re.findall(r"\"([^\"]+)\"", body)
+    if spans != sorted(spans):
+        findings.append(Finding(REGISTRY, 1, "span-registry",
+                                "kRegisteredSpans must be sorted (binary_search contract)"))
+    return spans
+
+
+def check_span_registry(findings: list[Finding]) -> None:
+    registered = load_registry(findings)
+    if not registered:
+        return
+    used: dict[str, tuple[pathlib.Path, int]] = {}
+    for path in iter_sources(SPAN_USE_DIRS):
+        if path == REGISTRY:
+            continue
+        stripped = strip_comments(path.read_text()).splitlines()
+        for idx, line in enumerate(stripped):
+            for pattern in PHASE_PATTERNS:
+                for label in pattern.findall(line):
+                    used.setdefault(label, (path, idx + 1))
+    for rel in REPORT_FILES:
+        path = REPO / rel
+        stripped = strip_comments(path.read_text()).splitlines()
+        for idx, line in enumerate(stripped):
+            for label in REPORT_PHASE_RE.findall(line):
+                used.setdefault(label, (path, idx + 1))
+
+    for label, (path, line) in sorted(used.items()):
+        if label not in registered:
+            findings.append(Finding(
+                path, line, "span-registry",
+                f'phase label "{label}" is not in src/sim/span_registry.h '
+                "(register it or fix the typo — unregistered labels fork report rows)"))
+    for label in registered:
+        if label not in used:
+            findings.append(Finding(
+                REGISTRY, 1, "span-registry",
+                f'registered span "{label}" is used nowhere in {", ".join(SPAN_USE_DIRS)} '
+                "(stale entry — remove it or restore the call site)"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--list-spans", action="store_true",
+                        help="print the parsed span registry and exit")
+    args = parser.parse_args()
+
+    findings: list[Finding] = []
+    if args.list_spans:
+        for span in load_registry(findings):
+            print(span)
+        return 0 if not findings else 1
+
+    check_error_discipline(findings)
+    check_hot_paths(findings)
+    check_span_registry(findings)
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"tertio_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("tertio_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,17 +1,32 @@
 #!/usr/bin/env bash
-# Full verify flow: tier-1 build + tests (RelWithDebInfo), a bench smoke run
+# Full verify flow: static analysis first (tertio_lint, and clang-tidy when
+# installed), then tier-1 build + tests (RelWithDebInfo), a bench smoke run
 # that must produce BENCH_joins.json, then the sanitizer passes — ASan+UBSan
-# over the fault/error-path tests and TSan over the parallel-sweep tests —
-# so every recovery branch and every sweep-driver interleaving runs
-# sanitizer-checked. Presets live in CMakePresets.json.
+# over the fault/error-path and SimSan tests and TSan over the parallel-sweep
+# tests — so every recovery branch and every sweep-driver interleaving runs
+# sanitizer-checked. The asan/tsan presets build with TERTIO_SIMSAN=ON, so
+# every test in those passes also runs under the simulation invariant
+# auditor (sim/auditor.h) with hard-fail at Simulation destruction.
+# Presets live in CMakePresets.json.
 #
 # Usage: tools/verify.sh [--fast]
-#   --fast   skip the sanitizer passes (tier-1 + bench smoke only)
+#   --fast   skip the sanitizer passes (lint + tier-1 + bench smoke only)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== static analysis: tertio_lint =="
+python3 tools/lint/tertio_lint.py
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== static analysis: clang-tidy (preset: tidy, warnings-as-errors) =="
+  cmake --preset tidy
+  cmake --build --preset tidy -j"$(nproc)"
+else
+  echo "== static analysis: clang-tidy not installed, skipping (CI runs it) =="
+fi
 
 echo "== tier-1: configure + build + ctest (preset: default) =="
 cmake --preset default
@@ -33,10 +48,10 @@ if [[ "$FAST" == 1 ]]; then
   exit 0
 fi
 
-echo "== sanitizers: ASan+UBSan build + fault-labelled tests (preset: asan) =="
+echo "== sanitizers: ASan+UBSan build + fault/simsan tests (preset: asan) =="
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"
-ctest --preset asan -L faults -j"$(nproc)"
+ctest --preset asan -L 'faults|simsan' -j"$(nproc)"
 
 echo "== sanitizers: TSan build + parallel-sweep tests (preset: tsan) =="
 cmake --preset tsan
