@@ -24,8 +24,10 @@
 #include "relation/block.h"
 #include "relation/generator.h"
 #include "relation/tuple.h"
+#include "sim/pipeline.h"
 #include "sim/resource.h"
 #include "sim/simulation.h"
+#include "tape/tape_drive.h"
 #include "tape/tape_volume.h"
 
 namespace tertio {
@@ -278,6 +280,67 @@ void BM_SyntheticGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_SyntheticGeneration)->Unit(benchmark::kMillisecond);
 
+// ---- Pipeline transfer: coalesced vs per-chunk -----------------------------
+
+/// Blocks per chunk of the transfer benches (device requests per chunk).
+constexpr BlockCount kTransferChunk = 8;
+
+struct TransferTiming {
+  double wall_seconds = 0.0;   ///< host wall-clock of the Transfer call
+  SimSeconds done = 0.0;       ///< simulated completion (must match both modes)
+  std::uint64_t ops = 0;       ///< device ops accounted (must match both modes)
+};
+
+/// Simulates one fault-free phantom tape->memory transfer of `chunks` chunks
+/// and times the Transfer call itself (setup excluded). With `coalesce` the
+/// steady state collapses into batched device commits; without it every chunk
+/// walks the full per-chunk scheduling path — the simulated outcome is
+/// bit-identical either way, only the host time differs.
+TransferTiming TimedTransfer(BlockCount chunks, bool coalesce) {
+  sim::Simulation sim;
+  tape::TapeVolume volume("t", kBlock);
+  TERTIO_CHECK(volume.AppendPhantom(chunks * kTransferChunk, 0.25).ok(), "append failed");
+  tape::TapeDrive drive("tape", tape::TapeDriveModel::DLT4000(), sim.CreateResource("tape"));
+  TERTIO_CHECK(drive.Load(&volume, 0.0).ok(), "load failed");
+  tape::TapeReadSource source(&drive, 0);
+  sim::CollectSink sink(nullptr);
+  sim::Pipeline pipe(0.0);
+  sim::Pipeline::TransferPlan plan;
+  plan.read_phase = "bench:read";
+  plan.write_phase = "bench:write";
+  plan.total = chunks * kTransferChunk;
+  plan.chunk = kTransferChunk;
+  plan.allow_coalescing = coalesce;
+  TransferTiming timing;
+  auto start = std::chrono::steady_clock::now();
+  auto result = pipe.Transfer(plan, source, sink);
+  timing.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  TERTIO_CHECK(result.ok(), "transfer failed");
+  timing.done = result->done;
+  timing.ops = drive.resource()->stats().op_count;
+  return timing;
+}
+
+void BM_PipelineTransfer(benchmark::State& state) {
+  const BlockCount chunks = static_cast<BlockCount>(state.range(0));
+  const bool coalesce = state.range(1) != 0;
+  for (auto _ : state) {
+    TransferTiming timing = TimedTransfer(chunks, coalesce);
+    // Count only the Transfer call: setup (volume append, drive load) is
+    // excluded without PauseTiming's per-iteration overhead.
+    state.SetIterationTime(timing.wall_seconds);
+    benchmark::DoNotOptimize(timing.done);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(chunks));
+}
+BENCHMARK(BM_PipelineTransfer)
+    ->ArgsProduct({{1 << 10, 1 << 12, 1 << 14}, {0, 1}})
+    ->ArgNames({"chunks", "coalesce"})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
 /// Best-of-`reps` wall-clock seconds of one build+probe pass.
 template <typename Table>
 double TimedBuildProbeSeconds(int reps) {
@@ -324,5 +387,29 @@ int main(int argc, char** argv) {
   recorder.RecordMetric("flat_build_probe_tuples_per_sec", tuples / flat);
   recorder.RecordMetric("multimap_build_probe_tuples_per_sec", tuples / legacy);
   recorder.RecordMetric("flat_vs_multimap_speedup", legacy / flat);
+
+  // Headline transfer comparison: one fault-free 10^5-chunk phantom transfer,
+  // coalesced vs forced-per-chunk (best of 3). The simulated outcome is
+  // bit-identical; only the host time to reach it differs.
+  constexpr tertio::BlockCount kChunks = 100000;
+  tertio::TransferTiming coalesced{}, per_chunk{};
+  coalesced.wall_seconds = std::numeric_limits<double>::infinity();
+  per_chunk.wall_seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    tertio::TransferTiming on = tertio::TimedTransfer(kChunks, /*coalesce=*/true);
+    tertio::TransferTiming off = tertio::TimedTransfer(kChunks, /*coalesce=*/false);
+    TERTIO_CHECK(on.done == off.done, "coalesced transfer diverged in simulated time");
+    TERTIO_CHECK(on.ops == off.ops, "coalesced transfer diverged in op count");
+    if (on.wall_seconds < coalesced.wall_seconds) coalesced = on;
+    if (off.wall_seconds < per_chunk.wall_seconds) per_chunk = off;
+  }
+  const double transfer_speedup = per_chunk.wall_seconds / coalesced.wall_seconds;
+  std::printf("\nPipeline transfer (%llu chunks, fault-free phantom, best of 3):\n",
+              (unsigned long long)kChunks);
+  std::printf("  coalesced: %.2f ms   per-chunk: %.2f ms   speedup: %.1fx\n",
+              1e3 * coalesced.wall_seconds, 1e3 * per_chunk.wall_seconds, transfer_speedup);
+  recorder.RecordMetric("pipeline_transfer_coalesced_seconds", coalesced.wall_seconds);
+  recorder.RecordMetric("pipeline_transfer_per_chunk_seconds", per_chunk.wall_seconds);
+  recorder.RecordMetric("pipeline_transfer_speedup", transfer_speedup);
   return recorder.Finish();
 }

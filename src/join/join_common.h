@@ -40,6 +40,13 @@ class ProbeSink final : public sim::BlockSink {
 
   Result<sim::Interval> Write(BlockCount offset, BlockCount count, SimSeconds ready,
                               std::vector<BlockPayload>* payloads) override;
+  /// Probing is free in the system model, so phantom chunks coalesce freely.
+  sim::ChunkCostProfile CostProfile(BlockCount offset, BlockCount chunk,
+                                    BlockCount max_chunks) override {
+    (void)offset;
+    (void)chunk;
+    return sim::ChunkCostProfile::Free(max_chunks);
+  }
   std::string_view device() const override { return "mem"; }
 
  private:

@@ -65,6 +65,11 @@ struct JoinContext {
   /// retries). Every method inherits this recovery through
   /// StageRelationToDisk / ScanDiskAndProbe.
   int chunk_retry_limit = 3;
+  /// Let eligible phantom transfers collapse their steady-state chunk
+  /// recurrence into batched device commits (sim/pipeline.h). Bit-identical
+  /// in simulated time and all aggregates; off forces the per-chunk path
+  /// (the equivalence tests' reference).
+  bool coalesce_transfers = true;
 };
 
 /// Everything a run reports. Timing is virtual; tuple counts are exact in

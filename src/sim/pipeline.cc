@@ -3,19 +3,22 @@
 #include <algorithm>
 
 #include "sim/auditor.h"
+#include "sim/resource.h"
 
 namespace tertio::sim {
 
 std::size_t SpanTrace::PhaseIndex(std::string_view phase, std::string_view device,
                                   Interval interval) {
-  for (std::size_t i = 0; i < phases_.size(); ++i) {
-    if (phases_[i].phase == phase) return i;
-  }
+  auto pos = std::lower_bound(
+      by_phase_.begin(), by_phase_.end(), phase,
+      [this](std::uint32_t index, std::string_view label) { return phases_[index].phase < label; });
+  if (pos != by_phase_.end() && phases_[*pos].phase == phase) return *pos;
   PhaseSummary summary;
   summary.phase = std::string(phase);
   summary.device = std::string(device);
   summary.window = interval;
   phases_.push_back(std::move(summary));
+  by_phase_.insert(pos, static_cast<std::uint32_t>(phases_.size() - 1));
   return phases_.size() - 1;
 }
 
@@ -35,11 +38,39 @@ void SpanTrace::Record(std::string_view phase, std::string_view device, BlockCou
   has_window_ = true;
 }
 
+void SpanTrace::RecordBatch(std::string_view phase, std::string_view device, BlockCount blocks,
+                            ByteCount bytes, Interval hull, std::uint64_t stages,
+                            std::span<const SimSeconds> stage_durations) {
+  TERTIO_CHECK(!retain_, "a coalesced batch cannot be recorded into a retained span list");
+  TERTIO_CHECK(stage_durations.size() == stages,
+               "a coalesced batch needs one duration per stage");
+  PhaseSummary& summary = phases_[PhaseIndex(phase, device, hull)];
+  if (summary.device != device) summary.device = "";
+  summary.stage_count += stages;
+  summary.blocks += blocks;
+  summary.bytes += bytes;
+  // Term by term: the phase's busy accumulator must see the same float
+  // additions, in the same order, as `stages` individual Record() calls.
+  for (SimSeconds duration : stage_durations) summary.busy_seconds += duration;
+  summary.window = Interval::Hull(summary.window, hull);
+  window_ = has_window_ ? Interval::Hull(window_, hull) : hull;
+  has_window_ = true;
+}
+
 void SpanTrace::Clear() {
   spans_.clear();
   phases_.clear();
+  by_phase_.clear();
   window_ = Interval{};
   has_window_ = false;
+}
+
+ChunkCostProfile ChunkCostProfile::Free(BlockCount max_chunks) {
+  ChunkCostProfile profile;
+  profile.chunks = max_chunks;
+  profile.cycle = 1;
+  profile.ops_per_chunk = {0};
+  return profile;
 }
 
 SimSeconds Pipeline::ReadyAfter(std::span<const StageId> deps) const {
@@ -59,6 +90,20 @@ StageId Pipeline::Commit(std::string_view phase, std::string_view device, BlockC
   any_stage_ = true;
   if (trace_ != nullptr) trace_->Record(phase, device, blocks, bytes, interval);
   if (auditor_ != nullptr) auditor_->OnStage(phase, device, start_, ready, interval);
+  return intervals_.size() - 1;
+}
+
+StageId Pipeline::CommitBatch(std::string_view phase, std::string_view device,
+                              BlockCount blocks, ByteCount bytes, SimSeconds ready,
+                              Interval hull, std::uint64_t stages,
+                              std::span<const SimSeconds> stage_durations) {
+  intervals_.push_back(hull);
+  if (!any_stage_ || hull.end > horizon_) horizon_ = std::max(horizon_, hull.end);
+  any_stage_ = true;
+  if (trace_ != nullptr) {
+    trace_->RecordBatch(phase, device, blocks, bytes, hull, stages, stage_durations);
+  }
+  if (auditor_ != nullptr) auditor_->OnStageBatch(phase, device, start_, ready, hull, stages);
   return intervals_.size() - 1;
 }
 
@@ -100,6 +145,211 @@ StageId Pipeline::Barrier(std::string_view phase, std::span<const StageId> deps)
   return Commit(phase, "", 0, 0, at, Interval::At(at));
 }
 
+namespace {
+
+BlockCount Gcd(BlockCount a, BlockCount b) {
+  while (b != 0) {
+    BlockCount t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Structural validity of a CostProfile answer. A malformed profile (an
+/// endpoint bug) silently falls back to the always-correct per-chunk path.
+bool ProfileShapeOk(const ChunkCostProfile& p) {
+  if (p.chunks == 0 || p.cycle == 0 || p.chunks % p.cycle != 0) return false;
+  if (p.ops_per_chunk.size() != static_cast<std::size_t>(p.cycle)) return false;
+  std::size_t total = 0;
+  for (std::uint32_t count : p.ops_per_chunk) total += count;
+  if (total != p.ops.size()) return false;
+  for (const ChunkCostProfile::Op& op : p.ops) {
+    if (op.resource == nullptr || !(op.seconds >= 0.0)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& source,
+                                    BlockSink& sink, std::span<const StageId> deps,
+                                    BlockCount offset, BlockCount chunk, BlockCount want,
+                                    TransferResult& result) {
+  ChunkCostProfile src = source.CostProfile(offset, chunk, want);
+  if (!ProfileShapeOk(src)) return 0;
+  ChunkCostProfile snk = sink.CostProfile(offset, chunk, want);
+  if (!ProfileShapeOk(snk)) return 0;
+  // The batch must cover whole pattern periods of both endpoints.
+  const BlockCount period = src.cycle / Gcd(src.cycle, snk.cycle) * snk.cycle;
+  BlockCount n = std::min({want, src.chunks, snk.chunks});
+  n -= n % period;
+  if (n < 2) return 0;
+
+  // Map every cycle op to a slot holding the live timeline of its resource.
+  // A resource may appear several times within a cycle (multiple pieces of
+  // one striped chunk) but never on both sides: the per-chunk schedule
+  // interleaves read and write operations on a shared device, which the
+  // two-sided batched replay cannot reproduce.
+  struct Slot {
+    Resource* resource = nullptr;
+    SimSeconds available = 0.0;
+    SimSeconds first_start = 0.0;
+    bool read_side = false;
+    bool any = false;
+  };
+  std::vector<Slot> slots;
+  auto slot_for = [&slots](Resource* resource, bool read_side) -> int {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].resource == resource) {
+        return slots[i].read_side == read_side ? static_cast<int>(i) : -1;
+      }
+    }
+    // A per-op trace cannot be reconstructed from a batch.
+    if (resource->trace_enabled()) return -1;
+    slots.push_back(Slot{resource, resource->available_at(), 0.0, read_side, false});
+    return static_cast<int>(slots.size() - 1);
+  };
+  std::vector<int> src_slot(src.ops.size());
+  std::vector<int> snk_slot(snk.ops.size());
+  for (std::size_t i = 0; i < src.ops.size(); ++i) {
+    if ((src_slot[i] = slot_for(src.ops[i].resource, true)) < 0) return 0;
+  }
+  for (std::size_t i = 0; i < snk.ops.size(); ++i) {
+    if ((snk_slot[i] = slot_for(snk.ops[i].resource, false)) < 0) return 0;
+  }
+
+  auto prefix_of = [](const ChunkCostProfile& p) {
+    std::vector<std::size_t> prefix(p.ops_per_chunk.size() + 1, 0);
+    for (std::size_t i = 0; i < p.ops_per_chunk.size(); ++i) {
+      prefix[i + 1] = prefix[i] + p.ops_per_chunk[i];
+    }
+    return prefix;
+  };
+  const std::vector<std::size_t> src_prefix = prefix_of(src);
+  const std::vector<std::size_t> snk_prefix = prefix_of(snk);
+
+  // --- The steady-state recurrence -----------------------------------------
+  // Replay, in plain scalar arithmetic, exactly the float operations the
+  // per-chunk loop would have issued: chunk k's read becomes ready at the
+  // chain end (read k-1 streaming, write k-1 lock-step) floored at the
+  // transfer's base ready; each device op starts at max(ready, device
+  // available) and occupies its constant duration; a chunk's interval is the
+  // hull of its ops (or a zero-length interval at ready for a free
+  // endpoint). Nothing is committed until the whole run is replayed.
+  const SimSeconds base_ready = ReadyAfter(deps);
+  bool have_read = result.last_read != kNoStage;
+  bool have_write = result.last_write != kNoStage;
+  SimSeconds read_chain = have_read ? end(result.last_read) : 0.0;
+  SimSeconds write_chain = have_write ? end(result.last_write) : 0.0;
+
+  std::vector<SimSeconds> read_durations;
+  std::vector<SimSeconds> write_durations;
+  read_durations.reserve(n);
+  write_durations.reserve(n);
+
+  auto run_chunk_ops = [&slots](const ChunkCostProfile& p,
+                                const std::vector<std::size_t>& prefix,
+                                const std::vector<int>& op_slot, BlockCount k,
+                                SimSeconds ready) {
+    const std::size_t cyc = static_cast<std::size_t>(k % p.cycle);
+    const std::size_t first = prefix[cyc];
+    const std::size_t last = prefix[cyc + 1];
+    if (first == last) return Interval::At(ready);
+    Interval hull;
+    for (std::size_t i = first; i < last; ++i) {
+      Slot& slot = slots[static_cast<std::size_t>(op_slot[i])];
+      SimSeconds start = ready > slot.available ? ready : slot.available;
+      Interval interval{start, start + p.ops[i].seconds};
+      slot.available = interval.end;
+      if (!slot.any) {
+        slot.first_start = start;
+        slot.any = true;
+      }
+      hull = i == first ? interval : Interval::Hull(hull, interval);
+    }
+    return hull;
+  };
+
+  Interval read_hull;
+  Interval write_hull;
+  SimSeconds first_read_ready = 0.0;
+  SimSeconds first_write_ready = 0.0;
+  for (BlockCount k = 0; k < n; ++k) {
+    SimSeconds ready = base_ready;
+    if (plan.streaming) {
+      if (have_read && read_chain > ready) ready = read_chain;
+    } else {
+      if (have_write && write_chain > ready) ready = write_chain;
+    }
+    Interval read_iv = run_chunk_ops(src, src_prefix, src_slot, k, ready);
+    read_durations.push_back(read_iv.duration());
+    read_hull = k == 0 ? read_iv : Interval::Hull(read_hull, read_iv);
+    have_read = true;
+    read_chain = read_iv.end;
+    // The write's ready is its read's end (ReadyAfter({read}), which the
+    // chain structure guarantees is at or after the pipeline origin).
+    Interval write_iv = run_chunk_ops(snk, snk_prefix, snk_slot, k, read_iv.end);
+    write_durations.push_back(write_iv.duration());
+    write_hull = k == 0 ? write_iv : Interval::Hull(write_hull, write_iv);
+    have_write = true;
+    write_chain = write_iv.end;
+    if (k == 0) {
+      first_read_ready = ready;
+      first_write_ready = read_iv.end;
+    }
+  }
+
+  // --- Commit --------------------------------------------------------------
+  // Device timelines first: one batch per resource. Each resource is
+  // single-side, so its own operation order (its cycle durations repeated
+  // n / period times) matches the per-chunk schedule exactly.
+  struct SlotBatch {
+    std::vector<SimSeconds> durations;
+    std::vector<ByteCount> bytes;
+    const char* tag = "";
+  };
+  std::vector<SlotBatch> batches(slots.size());
+  for (BlockCount k = 0; k < period; ++k) {
+    auto fold = [&batches, k](const ChunkCostProfile& p,
+                              const std::vector<std::size_t>& prefix,
+                              const std::vector<int>& op_slot) {
+      const std::size_t cyc = static_cast<std::size_t>(k % p.cycle);
+      for (std::size_t i = prefix[cyc]; i < prefix[cyc + 1]; ++i) {
+        SlotBatch& batch = batches[static_cast<std::size_t>(op_slot[i])];
+        batch.durations.push_back(p.ops[i].seconds);
+        batch.bytes.push_back(p.ops[i].bytes);
+        batch.tag = p.ops[i].tag;
+      }
+    };
+    fold(src, src_prefix, src_slot);
+    fold(snk, snk_prefix, snk_slot);
+  }
+  const std::uint64_t cycles = static_cast<std::uint64_t>(n / period);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i].any) continue;
+    slots[i].resource->ScheduleBatch(cycles, batches[i].durations, batches[i].bytes,
+                                     Interval{slots[i].first_start, slots[i].available},
+                                     batches[i].tag);
+  }
+  if (src.commit) src.commit(n);
+  if (snk.commit) snk.commit(n);
+
+  // Two batched stages, in the order the per-chunk loop first records the
+  // phases (read before write).
+  StageId read_stage = CommitBatch(plan.read_phase, source.device(), n * chunk, 0,
+                                   first_read_ready, read_hull, n, read_durations);
+  StageId write_stage = CommitBatch(plan.write_phase, sink.device(), n * chunk, 0,
+                                    first_write_ready, write_hull, n, write_durations);
+  if (result.first_read == kNoStage) result.first_read = read_stage;
+  result.last_read = read_stage;
+  result.last_write = write_stage;
+  result.source_done = end(read_stage);
+  result.done = std::max(result.done, std::max(read_hull.end, write_hull.end));
+  coalesced_chunks_ += n;
+  return n;
+}
+
 Result<Pipeline::TransferResult> Pipeline::Transfer(const TransferPlan& plan,
                                                     BlockSource& source, BlockSink& sink,
                                                     std::span<const StageId> deps) {
@@ -117,8 +367,32 @@ Result<Pipeline::TransferResult> Pipeline::Transfer(const TransferPlan& plan,
   BlockCount issued_blocks = 0;
   BlockCount sunk_blocks = 0;
   BlockCount dropped_blocks = 0;
+  // The coalesced fast path needs a plan with no per-chunk obligations:
+  // payload movement and checkpoints demand per-chunk work, retained spans
+  // demand per-chunk records, and distinct phases keep the batched
+  // busy-seconds accumulation order identical to the interleaved per-chunk
+  // one (reads and writes land in different phase summaries).
+  const bool plan_coalescible = plan.allow_coalescing && plan.checkpoint == nullptr &&
+                                !plan.move_payloads && plan.read_phase != plan.write_phase &&
+                                (trace_ == nullptr || !trace_->retain());
   for (BlockCount offset = resume_at; offset < plan.total; offset += chunk) {
     BlockCount take = std::min<BlockCount>(chunk, plan.total - offset);
+    // Re-attempt coalescing at every full-chunk offset: ineligible windows
+    // (a cold head position, a fresh allocation's first seek, a fault plan)
+    // run per-chunk below and the steady state re-arms after them.
+    if (plan_coalescible && take == chunk) {
+      BlockCount want = (plan.total - offset) / chunk;
+      if (want >= 2) {
+        BlockCount did = CoalesceChunks(plan, source, sink, deps, offset, chunk, want, result);
+        if (did > 0) {
+          issued_blocks += did * chunk;
+          sunk_blocks += did * chunk;
+          if (plan.checkpoint != nullptr) plan.checkpoint->completed_blocks = offset + did * chunk;
+          offset += (did - 1) * chunk;
+          continue;
+        }
+      }
+    }
     // Streaming: chunk i+1's read follows read i. Lock-step: it waits for
     // write i (the paper's sequential single-process structure).
     read_deps.back() = plan.streaming ? result.last_read : result.last_write;

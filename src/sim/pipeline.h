@@ -45,6 +45,7 @@
 namespace tertio::sim {
 
 class Auditor;
+class Resource;
 
 using StageId = std::size_t;
 
@@ -96,21 +97,72 @@ class SpanTrace {
   /// Hull of all recorded spans ([0,0] when nothing was recorded).
   Interval window() const { return window_; }
 
+  /// Records a coalesced batch of `stages` chunk stages sharing one phase as
+  /// one call: `blocks`/`bytes` are batch totals, `hull` covers every chunk's
+  /// interval, and `stage_durations` (one entry per chunk, in commit order)
+  /// feed the phase's busy-seconds accumulator term by term so the float sum
+  /// is bit-identical to `stages` individual Record() calls. Only valid when
+  /// spans are not retained (a batch has no per-chunk span records).
+  void RecordBatch(std::string_view phase, std::string_view device, BlockCount blocks,
+                   ByteCount bytes, Interval hull, std::uint64_t stages,
+                   std::span<const SimSeconds> stage_durations);
+
   bool empty() const { return phases_.empty(); }
   void Clear();
 
  private:
-  // Phase lookup is a linear scan over phases_ (first-appearance order):
-  // traces carry a few dozen distinct labels at most, and the scan keeps
-  // iteration deterministic — hashed containers are banned in src/sim
-  // (tertio_lint).
+  // Phase lookup goes through a sorted index over phases_ (by label):
+  // first-appearance order in phases_ itself is preserved for deterministic
+  // reports, while Record() pays O(log phases) instead of a linear scan per
+  // stage — hashed containers are banned in src/sim (tertio_lint).
   std::size_t PhaseIndex(std::string_view phase, std::string_view device, Interval interval);
 
   bool retain_ = false;
   std::vector<Span> spans_;
   std::vector<PhaseSummary> phases_;
+  /// Indices into phases_, sorted by phase label (the Record() lookup index).
+  std::vector<std::uint32_t> by_phase_;
   Interval window_;
   bool has_window_ = false;
+};
+
+/// Answer of a BlockSource/BlockSink to "what would a run of `max_chunks`
+/// equal-size chunks cost, and is that cost provably constant?" — the
+/// eligibility half of the pipeline's coalesced fast path (see
+/// Pipeline::TransferPlan::allow_coalescing). A default-constructed profile
+/// (chunks == 0) means "not coalescible": the transfer keeps the per-chunk
+/// path. Computing a profile must not mutate device state; the bookkeeping
+/// the per-chunk path would have applied (head positions, block counters,
+/// store contents) is deferred to `commit`.
+struct ChunkCostProfile {
+  /// One device operation of the cycle, issued at its chunk's ready time.
+  struct Op {
+    Resource* resource = nullptr;
+    SimSeconds seconds = 0.0;
+    ByteCount bytes = 0;
+    /// Static label for the device timeline, e.g. "tape.read".
+    const char* tag = "";
+  };
+
+  /// Chunks (from the queried offset) whose device cost is provably the
+  /// cycle below. 0 = not coalescible. Always a multiple of `cycle`.
+  BlockCount chunks = 0;
+  /// Pattern period in chunks: `ops` lists the operations of `cycle`
+  /// consecutive chunks (chunk-major; `ops_per_chunk[i]` entries for the
+  /// i-th chunk of the cycle). Striped layouts whose piece pattern rotates
+  /// across disks repeat with cycle > 1; single-device endpoints use 1.
+  BlockCount cycle = 1;
+  std::vector<std::uint32_t> ops_per_chunk;
+  std::vector<Op> ops;
+  /// Applies the endpoint's deferred bookkeeping for the `committed_chunks`
+  /// chunks actually batched (a multiple of `cycle`, at most `chunks`).
+  /// Called once, after the device timelines are committed. May be empty
+  /// for stateless endpoints.
+  std::function<void(BlockCount committed_chunks)> commit;
+
+  /// Profile of a free endpoint (zero-cost, stateless — a memory sink):
+  /// every chunk is a zero-duration operation at its ready time.
+  static ChunkCostProfile Free(BlockCount max_chunks);
 };
 
 /// Producer side of a Transfer: a logical sequence of blocks read in chunks.
@@ -128,6 +180,17 @@ class BlockSource {
 
   /// Device label for spans, e.g. "tapeR", "disks".
   virtual std::string_view device() const = 0;
+
+  /// Cost profile of a prospective coalesced run of up to `max_chunks`
+  /// chunks of `chunk` blocks each starting at `offset`. The default ("not
+  /// coalescible") keeps the per-chunk path.
+  virtual ChunkCostProfile CostProfile(BlockCount offset, BlockCount chunk,
+                                       BlockCount max_chunks) {
+    (void)offset;
+    (void)chunk;
+    (void)max_chunks;
+    return {};
+  }
 };
 
 /// Consumer side of a Transfer. `payloads` is null in timing-only runs.
@@ -139,6 +202,15 @@ class BlockSink {
                                  std::vector<BlockPayload>* payloads) = 0;
 
   virtual std::string_view device() const = 0;
+
+  /// See BlockSource::CostProfile.
+  virtual ChunkCostProfile CostProfile(BlockCount offset, BlockCount chunk,
+                                       BlockCount max_chunks) {
+    (void)offset;
+    (void)chunk;
+    (void)max_chunks;
+    return {};
+  }
 };
 
 /// The eager stage scheduler. One Pipeline spans one join execution (or one
@@ -211,6 +283,10 @@ class Pipeline {
   /// lifetime (kDeviceError recoveries at transfer granularity).
   std::uint64_t chunk_retries() const { return chunk_retries_; }
 
+  /// Chunks committed through the coalesced fast path across this
+  /// pipeline's lifetime (0 when every transfer ran per-chunk).
+  std::uint64_t coalesced_chunks() const { return coalesced_chunks_; }
+
   /// Resumable progress of one Transfer. A caller that passes a checkpoint
   /// can re-issue a Transfer that failed with kDeviceError and have it pick
   /// up at the first incomplete chunk instead of re-running the whole pass —
@@ -246,6 +322,17 @@ class Pipeline {
     /// `checkpoint->completed_blocks` and keeps the struct current after
     /// every completed chunk, so the caller can re-issue on failure.
     TransferCheckpoint* checkpoint = nullptr;
+    /// Allow the coalesced fast path: when both endpoints prove their
+    /// per-chunk cost constant over a run of full chunks (CostProfile) and
+    /// the plan moves no payloads, keeps no checkpoint, and retains no
+    /// per-span trace, the steady-state read/write recurrence is replayed in
+    /// closed O(chunks) scalar form and committed as ONE batched read stage
+    /// plus ONE batched write stage — bit-identical in simulated seconds and
+    /// every span/resource aggregate to the per-chunk loop. Ineligible
+    /// windows (fault plans, positioning boundaries, tail chunks) fall back
+    /// per-chunk and coalescing re-arms after them. Off forces per-chunk
+    /// scheduling for every chunk (A/B validation, tests).
+    bool allow_coalescing = true;
   };
 
   struct TransferResult {
@@ -272,6 +359,16 @@ class Pipeline {
  private:
   StageId Commit(std::string_view phase, std::string_view device, BlockCount blocks,
                  ByteCount bytes, SimSeconds ready, Interval interval);
+  StageId CommitBatch(std::string_view phase, std::string_view device, BlockCount blocks,
+                      ByteCount bytes, SimSeconds ready, Interval hull, std::uint64_t stages,
+                      std::span<const SimSeconds> stage_durations);
+
+  /// Attempts to commit `want` full chunks starting at `offset` through the
+  /// coalesced fast path. \returns the chunks committed (0 = ineligible;
+  /// the caller falls back per-chunk and may re-attempt at a later offset).
+  BlockCount CoalesceChunks(const TransferPlan& plan, BlockSource& source, BlockSink& sink,
+                            std::span<const StageId> deps, BlockCount offset, BlockCount chunk,
+                            BlockCount want, TransferResult& result);
 
   SimSeconds start_;
   SpanTrace* trace_;
@@ -280,6 +377,7 @@ class Pipeline {
   SimSeconds horizon_ = 0.0;
   bool any_stage_ = false;
   std::uint64_t chunk_retries_ = 0;
+  std::uint64_t coalesced_chunks_ = 0;
 };
 
 /// A zero-cost sink that collects payloads in memory — the "consumer is the
@@ -295,6 +393,15 @@ class CollectSink final : public BlockSink {
   Result<Interval> Write(BlockCount offset, BlockCount count, SimSeconds ready,
                          std::vector<BlockPayload>* payloads) override;
   std::string_view device() const override { return device_; }
+
+  /// Memory consumption is free and (in a non-moving transfer) stateless,
+  /// so any run of chunks is coalescible.
+  ChunkCostProfile CostProfile(BlockCount offset, BlockCount chunk,
+                               BlockCount max_chunks) override {
+    (void)offset;
+    (void)chunk;
+    return ChunkCostProfile::Free(max_chunks);
+  }
 
  private:
   std::vector<BlockPayload>* out_;

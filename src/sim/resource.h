@@ -20,6 +20,7 @@
 /// tertio do this by construction (they model sequential device queues).
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,8 +45,9 @@ struct HorizonCell {
 struct OpRecord {
   Interval interval;
   ByteCount bytes = 0;
-  /// Short static label, e.g. "tape.read", "disk.write".
-  std::string tag;
+  /// Short static label, e.g. "tape.read", "disk.write". Callers pass string
+  /// literals; the record does not own the storage.
+  const char* tag = "";
 };
 
 /// Aggregate counters maintained for every resource, trace or no trace.
@@ -70,6 +72,22 @@ class Resource {
   Interval Schedule(SimSeconds ready, SimSeconds duration, ByteCount bytes = 0,
                     const char* tag = "");
 
+  /// Commits `cycles` repetitions of a fixed cycle of back-to-back operations
+  /// as one batch — the device half of the pipeline's coalesced fast path
+  /// (pipeline.h). The caller has already replayed the per-operation
+  /// recurrence and supplies `hull` = [first operation's start, last
+  /// operation's end]; this call updates the timeline and the aggregate
+  /// counters exactly as `cycles * cycle_durations.size()` individual
+  /// Schedule() calls would have: op_count and bytes gain the full
+  /// multiplicity, and busy_seconds accumulates every per-operation duration
+  /// in commit order so the float sum is bit-identical to the per-op path.
+  /// Requires hull.start >= available_at() (the batch replay started from
+  /// this device's live timeline) and tracing disabled (a batch retains no
+  /// per-op records).
+  Interval ScheduleBatch(std::uint64_t cycles, std::span<const SimSeconds> cycle_durations,
+                         std::span<const ByteCount> cycle_bytes, Interval hull,
+                         const char* tag = "");
+
   /// Time at which the device becomes free.
   SimSeconds available_at() const { return available_; }
 
@@ -81,7 +99,11 @@ class Resource {
 
   /// Enables retention of per-operation records (off by default: traces for
   /// multi-GB joins are large).
-  void EnableTrace(bool enabled = true) { trace_enabled_ = enabled; }
+  void EnableTrace(bool enabled = true) {
+    trace_enabled_ = enabled;
+    if (enabled && trace_.capacity() == 0) trace_.reserve(kTraceReserve);
+  }
+  bool trace_enabled() const { return trace_enabled_; }
   const std::vector<OpRecord>& trace() const { return trace_; }
 
   /// Clears the timeline, statistics and trace. Marks any bound horizon
@@ -99,6 +121,10 @@ class Resource {
   void BindAuditor(Auditor* auditor) { auditor_ = auditor; }
 
  private:
+  /// Initial trace capacity: enough for every unit-test and report-tool
+  /// trace without regrowth, negligible when tracing stays off.
+  static constexpr std::size_t kTraceReserve = 1024;
+
   std::string name_;
   SimSeconds available_ = 0.0;
   ResourceStats stats_;

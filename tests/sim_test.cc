@@ -66,9 +66,37 @@ TEST(ResourceTest, TraceRecordsOps) {
   r.Schedule(0.0, 1.0, 10, "a");
   r.Schedule(0.0, 2.0, 20, "b");
   ASSERT_EQ(r.trace().size(), 2u);
-  EXPECT_EQ(r.trace()[0].tag, "a");
+  EXPECT_STREQ(r.trace()[0].tag, "a");
   EXPECT_EQ(r.trace()[1].bytes, 20u);
   EXPECT_DOUBLE_EQ(r.trace()[1].interval.start, 1.0);
+}
+
+// A coalesced batch must leave the resource in exactly the state the
+// equivalent per-op Schedule sequence would have: same availability, stats
+// (busy seconds accumulated in the same float order), and horizon.
+TEST(ResourceTest, ScheduleBatchMatchesPerOpSchedules) {
+  Resource per_op("dev");
+  std::vector<SimSeconds> durations{0.125, 0.25, 0.125, 0.25};
+  std::vector<ByteCount> bytes{100, 200, 100, 200};
+  Interval hull;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (std::size_t i = 0; i < durations.size(); ++i) {
+      Interval interval = per_op.Schedule(0.5, durations[i], bytes[i], "op");
+      if (cycle == 0 && i == 0) hull.start = interval.start;
+      hull.end = interval.end;
+    }
+  }
+  Resource batched("dev");
+  std::vector<SimSeconds> cycle_durations{durations[0], durations[1]};
+  std::vector<ByteCount> cycle_bytes{bytes[0], bytes[1]};
+  Interval got = batched.ScheduleBatch(6, cycle_durations, cycle_bytes, hull, "op");
+  EXPECT_DOUBLE_EQ(got.start, hull.start);
+  EXPECT_DOUBLE_EQ(got.end, hull.end);
+  EXPECT_DOUBLE_EQ(batched.available_at(), per_op.available_at());
+  EXPECT_EQ(batched.stats().op_count, per_op.stats().op_count);
+  EXPECT_EQ(batched.stats().bytes_transferred, per_op.stats().bytes_transferred);
+  EXPECT_EQ(batched.stats().busy_seconds, per_op.stats().busy_seconds);
+  EXPECT_DOUBLE_EQ(batched.stats().horizon, per_op.stats().horizon);
 }
 
 TEST(ResourceTest, TraceOffByDefault) {

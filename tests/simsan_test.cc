@@ -16,6 +16,7 @@
 
 #include "exec/experiment.h"
 #include "exec/machine.h"
+#include "join/join_common.h"
 #include "join/join_method.h"
 #include "sim/auditor.h"
 #include "sim/pipeline.h"
@@ -94,6 +95,98 @@ TEST(SimSanPositiveTest, AuditingNeverPerturbsSimulatedTime) {
   EXPECT_EQ(plain.step1_seconds, audited.step1_seconds);
   EXPECT_EQ(plain.tape_blocks_read, audited.tape_blocks_read);
   EXPECT_EQ(plain.disk_blocks_written, audited.disk_blocks_written);
+}
+
+// The PR-5 acceptance bar: with transfer coalescing on or off, every join
+// method reports bit-identical simulated time and span aggregates, and both
+// runs audit clean. (Coalescing on is the default; off forces the reference
+// per-chunk path.)
+TEST(SimSanCoalesceTest, AllSevenMethodsAreBitIdenticalWithCoalescingOnOrOff) {
+  for (JoinMethodId method : kAllJoinMethods) {
+    auto run = [&](bool coalesce) {
+      exec::MachineConfig config = exec::MachineConfig::PaperTestbed(50 * kMB, 5400 * kKB);
+      exec::Machine machine(config);
+      Auditor* auditor = machine.EnableAudit();
+      TERTIO_CHECK(auditor != nullptr, "audit must bind");
+      exec::WorkloadConfig workload;
+      workload.r_bytes = 18 * kMB;
+      workload.s_bytes = 1000 * kMB;
+      workload.phantom = true;
+      auto prepared = exec::PrepareWorkload(&machine, workload);
+      TERTIO_CHECK(prepared.ok(), "setup failed");
+      join::JoinSpec spec;
+      spec.r = &prepared->r;
+      spec.s = &prepared->s;
+      join::JoinContext ctx = machine.context();
+      ctx.coalesce_transfers = coalesce;
+      auto stats = join::CreateJoinMethod(method)->Execute(spec, ctx);
+      TERTIO_CHECK(stats.ok(), stats.status().ToString());
+      TERTIO_CHECK(auditor->clean(), auditor->TraceString());
+      return stats.value();
+    };
+    join::JoinStats on = run(true);
+    join::JoinStats off = run(false);
+    // Exact comparisons: the claim is bit-identity, not tolerance agreement.
+    EXPECT_EQ(on.response_seconds, off.response_seconds) << JoinMethodName(method);
+    EXPECT_EQ(on.step1_seconds, off.step1_seconds) << JoinMethodName(method);
+    EXPECT_EQ(on.step2_seconds, off.step2_seconds) << JoinMethodName(method);
+    EXPECT_EQ(on.tape_blocks_read, off.tape_blocks_read) << JoinMethodName(method);
+    EXPECT_EQ(on.tape_blocks_written, off.tape_blocks_written) << JoinMethodName(method);
+    EXPECT_EQ(on.disk_blocks_read, off.disk_blocks_read) << JoinMethodName(method);
+    EXPECT_EQ(on.disk_blocks_written, off.disk_blocks_written) << JoinMethodName(method);
+    EXPECT_EQ(on.disk_requests, off.disk_requests) << JoinMethodName(method);
+    EXPECT_EQ(on.peak_memory_blocks, off.peak_memory_blocks) << JoinMethodName(method);
+    EXPECT_EQ(on.peak_disk_blocks, off.peak_disk_blocks) << JoinMethodName(method);
+    ASSERT_EQ(on.spans.phases().size(), off.spans.phases().size()) << JoinMethodName(method);
+    for (std::size_t i = 0; i < on.spans.phases().size(); ++i) {
+      const PhaseSummary& a = on.spans.phases()[i];
+      const PhaseSummary& b = off.spans.phases()[i];
+      SCOPED_TRACE(std::string(JoinMethodName(method)) + " phase " + a.phase);
+      EXPECT_EQ(a.phase, b.phase);
+      EXPECT_EQ(a.device, b.device);
+      EXPECT_EQ(a.stage_count, b.stage_count);
+      EXPECT_EQ(a.blocks, b.blocks);
+      EXPECT_EQ(a.bytes, b.bytes);
+      EXPECT_EQ(a.busy_seconds, b.busy_seconds);
+      EXPECT_EQ(a.window.start, b.window.start);
+      EXPECT_EQ(a.window.end, b.window.end);
+    }
+  }
+}
+
+// Engagement, not just equivalence: on the real machine the shared transfer
+// helpers (tape-to-disk staging, disk scan-and-probe) must actually reach
+// the coalesced path for nearly every chunk after the per-chunk warm-up.
+TEST(SimSanCoalesceTest, SharedTransferHelpersEngageTheCoalescedPath) {
+  exec::MachineConfig config = exec::MachineConfig::PaperTestbed(50 * kMB, 5400 * kKB);
+  exec::Machine machine(config);
+  Auditor* auditor = machine.EnableAudit();
+  ASSERT_NE(auditor, nullptr);
+  exec::WorkloadConfig workload;
+  workload.r_bytes = 18 * kMB;
+  workload.s_bytes = 100 * kMB;
+  workload.phantom = true;
+  auto prepared = exec::PrepareWorkload(&machine, workload);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  join::JoinContext ctx = machine.context();
+
+  Pipeline pipe(ctx.sim->Horizon(), nullptr, ctx.sim->auditor());
+  BlockCount chunk = join::DefaultTapeChunk(prepared->r);
+  auto staged = join::StageRelationToDisk(ctx, pipe, ctx.drive_r, prepared->r, chunk,
+                                          /*concurrent=*/true, "engage-r", {});
+  ASSERT_TRUE(staged.ok()) << staged.status();
+  std::uint64_t after_staging = pipe.coalesced_chunks();
+  // The first chunk warms up per-chunk (tape locate, first disk seek);
+  // the steady state coalesces the rest.
+  BlockCount total_chunks = prepared->r.blocks / chunk;
+  EXPECT_GE(after_staging, total_chunks / 2);
+
+  auto scan = join::ScanDiskAndProbe(ctx, pipe, "r-scan", staged->extents, chunk,
+                                     {staged->done_stage}, /*phantom=*/true, nullptr, 0,
+                                     nullptr, nullptr);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_GT(pipe.coalesced_chunks(), after_staging);
+  EXPECT_TRUE(auditor->clean()) << auditor->TraceString();
 }
 
 TEST(SimSanPositiveTest, HorizonStaysCoherentAcrossIndividualResets) {
