@@ -21,6 +21,21 @@ DiskSpaceAllocator::DiskSpaceAllocator(std::vector<BlockCount> per_disk_capacity
   }
 }
 
+DiskSpaceAllocator::DiskSpaceAllocator(int disk_count, const ExtentList& region,
+                                       BlockCount stripe_unit)
+    : stripe_unit_(stripe_unit) {
+  TERTIO_CHECK(disk_count > 0, "allocator requires at least one disk");
+  TERTIO_CHECK(stripe_unit > 0, "stripe unit must be positive");
+  free_lists_.resize(static_cast<size_t>(disk_count));
+  free_per_disk_.assign(static_cast<size_t>(disk_count), 0);
+  for (const Extent& extent : region) {
+    TERTIO_CHECK(extent.disk >= 0 && extent.disk < disk_count,
+                 "region extent names a disk outside the group");
+    FreeOn(extent);  // coalesces adjacent carve pieces back together
+    capacity_ += extent.count;
+  }
+}
+
 BlockCount DiskSpaceAllocator::FreeBlocksOn(int disk) const {
   return free_per_disk_[static_cast<size_t>(disk)];
 }

@@ -44,6 +44,13 @@ class DiskSpaceAllocator {
   /// \param stripe_unit granularity (blocks) of round-robin striping.
   DiskSpaceAllocator(std::vector<BlockCount> per_disk_capacity, BlockCount stripe_unit);
 
+  /// Allocator whose free space is exactly `region` — extents on disks
+  /// [0, disk_count) previously carved from another allocator. The service
+  /// layer (exec/query_session.h) gives each query session a private
+  /// allocator over its carve, so the session's D_q bound is a locally
+  /// audited capacity while the underlying spindles stay shared.
+  DiskSpaceAllocator(int disk_count, const ExtentList& region, BlockCount stripe_unit);
+
   /// Allocates `count` blocks striped round-robin across the disks enabled in
   /// `disk_mask` (empty mask = all disks). The event is timestamped `now` in
   /// the utilization trace under `tag`.

@@ -31,10 +31,19 @@ StripedDiskGroup::StripedDiskGroup(const DiskGroupConfig& config, sim::Simulatio
   for (size_t i = 0; i < config.disks.size(); ++i) {
     std::string name = StrFormat("disk%zu", i);
     sim::Resource* resource = sim->CreateResource(name);
-    disks_.push_back(std::make_unique<DiskVolume>(name, config.disks[i], resource,
+    owned_.push_back(std::make_unique<DiskVolume>(name, config.disks[i], resource,
                                                   config.per_disk_capacity[i],
                                                   config.block_bytes));
+    disks_.push_back(owned_.back().get());
   }
+}
+
+StripedDiskGroup::StripedDiskGroup(std::vector<DiskVolume*> spindles, const ExtentList& region,
+                                   BlockCount stripe_unit, ByteCount block_bytes)
+    : disks_(std::move(spindles)),
+      allocator_(static_cast<int>(disks_.size()), region, stripe_unit),
+      block_bytes_(block_bytes) {
+  for (const auto* d : disks_) TERTIO_CHECK(d != nullptr, "session view requires live spindles");
 }
 
 double StripedDiskGroup::aggregate_rate_bps() const {

@@ -46,8 +46,15 @@ class StripedDiskGroup {
   /// Creates the group, registering one resource per disk in `sim`.
   StripedDiskGroup(const DiskGroupConfig& config, sim::Simulation* sim);
 
+  /// Session view over the spindles of an owning group: the device timelines
+  /// (and therefore contention) are shared with the owner, but the space
+  /// allocator is private and covers exactly `region` — the blocks a query
+  /// session leased from the site allocator (exec/query_session.h).
+  StripedDiskGroup(std::vector<DiskVolume*> spindles, const ExtentList& region,
+                   BlockCount stripe_unit, ByteCount block_bytes);
+
   int disk_count() const { return static_cast<int>(disks_.size()); }
-  DiskVolume* disk(int i) { return disks_[static_cast<size_t>(i)].get(); }
+  DiskVolume* disk(int i) { return disks_[static_cast<size_t>(i)]; }
   DiskSpaceAllocator& allocator() { return allocator_; }
   const DiskSpaceAllocator& allocator() const { return allocator_; }
   ByteCount block_bytes() const { return block_bytes_; }
@@ -114,7 +121,10 @@ class StripedDiskGroup {
   }
 
  private:
-  std::vector<std::unique_ptr<DiskVolume>> disks_;
+  /// Spindles owned by this group (empty in a session view).
+  std::vector<std::unique_ptr<DiskVolume>> owned_;
+  /// The spindles addressed by extents — owned or borrowed.
+  std::vector<DiskVolume*> disks_;
   DiskSpaceAllocator allocator_;
   ByteCount block_bytes_;
 };

@@ -13,84 +13,54 @@ MachineConfig MachineConfig::PaperTestbed(ByteCount disk_space_bytes, ByteCount 
   return config;
 }
 
-Machine::Machine(const MachineConfig& config)
-    : config_(config),
-      memory_(BytesToBlocks(config.memory_bytes, config.block_bytes)) {
-  disk::DiskGroupConfig group_config = disk::DiskGroupConfig::Uniform(
-      config.disk_count, config.disk_model,
-      BytesToBlocks(config.disk_space_bytes, config.block_bytes), config.block_bytes,
-      config.stripe_unit);
-  disks_ = std::make_unique<disk::StripedDiskGroup>(group_config, &sim_);
-  drive_r_ = std::make_unique<tape::TapeDrive>("tapeR", config.tape_model,
-                                               sim_.CreateResource("tapeR"));
-  drive_s_ = std::make_unique<tape::TapeDrive>("tapeS", config.tape_model,
-                                               sim_.CreateResource("tapeS"));
+SiteConfig MachineConfig::ToSiteConfig() const {
+  SiteConfig site;
+  site.block_bytes = block_bytes;
+  site.tape_model = tape_model;
+  site.drive_count = 2;
+  site.disk_count = disk_count;
+  site.disk_model = disk_model;
+  site.disk_space_bytes = disk_space_bytes;
+  site.memory_bytes = memory_bytes;
+  site.stripe_unit = stripe_unit;
+  site.with_library = with_library;
+  site.library_model = library_model;
+  site.faults = faults;
+  return site;
+}
+
+Status MachineConfig::Validate() const { return ToSiteConfig().Validate(); }
+
+Machine::Machine(const MachineConfig& config) : config_(config) {
+  Status valid = config.Validate();
+  TERTIO_CHECK(valid.ok(), "invalid machine configuration (call Validate() for the Status)");
+  site_ = std::make_unique<Site>(config.ToSiteConfig());
   tape_r_ = std::make_unique<tape::TapeVolume>("tape-R", config.block_bytes);
   tape_s_ = std::make_unique<tape::TapeVolume>("tape-S", config.block_bytes);
-  if (config.with_library) {
-    library_ = std::make_unique<tape::TapeLibrary>(config.library_model,
-                                                   sim_.CreateResource("robot"));
-  }
-  if (config.faults.enabled()) {
-    // One injector per device, each with a seed derived from the plan seed
-    // and the device name, so per-device fault streams are independent yet
-    // exactly reproducible.
-    auto attach = [&](const sim::FaultProfile& profile, const std::string& device) {
-      injectors_.push_back(
-          std::make_unique<sim::FaultInjector>(profile, config.faults.seed, device));
-      return injectors_.back().get();
-    };
-    drive_r_->set_fault_injector(attach(config.faults.tape, drive_r_->name()));
-    drive_s_->set_fault_injector(attach(config.faults.tape, drive_s_->name()));
-    for (int i = 0; i < disks_->disk_count(); ++i) {
-      disk::DiskVolume* d = disks_->disk(i);
-      d->set_fault_injector(attach(config.faults.disk, d->name()));
-    }
-    if (library_ != nullptr) {
-      library_->set_fault_injector(attach(config.faults.robot, "robot"));
-    }
-  }
-  // Under TERTIO_SIMSAN the Simulation constructed itself audited; bind the
-  // non-Resource layers (budget, allocator, scratch volumes) to the same
-  // auditor. In other builds this is a no-op until EnableAudit().
-  if (sim_.auditor() != nullptr) BindAuditor(sim_.auditor());
+  // One session leasing everything: drives 0/1, all of M, all of D. Its
+  // budget and allocator then behave exactly like the seed Machine's own.
+  SessionResources all;
+  all.name = "main";
+  all.memory_blocks = site_->memory_blocks();
+  all.disk_blocks = site_->disk_blocks();
+  Result<std::unique_ptr<QuerySession>> session = QuerySession::Open(site_.get(), all);
+  TERTIO_CHECK(session.ok(), "whole-site session lease cannot fail on a fresh site");
+  session_ = std::move(*session);
+  if (site_->auditor() != nullptr) BindAuditor(site_->auditor());
 }
 
 sim::Auditor* Machine::EnableAudit() {
-  sim::Auditor* auditor = sim_.EnableAudit();
+  sim::Auditor* auditor = site_->EnableAudit();
+  // The session opened before audit was enabled; bind its layers too.
+  session_->memory().BindAuditor(auditor);
+  session_->disks().allocator().BindAuditor(auditor);
   BindAuditor(auditor);
   return auditor;
 }
 
 void Machine::BindAuditor(sim::Auditor* auditor) {
-  memory_.BindAuditor(auditor);
-  disks_->allocator().BindAuditor(auditor);
   tape_r_->BindAuditor(auditor);
   tape_s_->BindAuditor(auditor);
-}
-
-sim::FaultStats Machine::TotalFaultStats() const {
-  sim::FaultStats total;
-  for (const auto& injector : injectors_) total.Add(injector->stats());
-  return total;
-}
-
-BlockCount Machine::disk_blocks() const { return disks_->allocator().capacity_blocks(); }
-
-void Machine::MountTapes() {
-  drive_r_->ForceMount(tape_r_.get());
-  drive_s_->ForceMount(tape_s_.get());
-}
-
-join::JoinContext Machine::context() {
-  join::JoinContext ctx;
-  ctx.sim = &sim_;
-  ctx.drive_r = drive_r_.get();
-  ctx.drive_s = drive_s_.get();
-  ctx.disks = disks_.get();
-  ctx.memory = &memory_;
-  ctx.robot = library_ != nullptr ? library_->robot() : nullptr;
-  return ctx;
 }
 
 }  // namespace tertio::exec

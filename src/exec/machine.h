@@ -1,23 +1,22 @@
 #pragma once
 
 /// \file machine.h
-/// Assembly of one simulated system per Section 3.1: two tape drives, n
-/// disks, M blocks of memory — plus an optional tape library.
+/// Single-query facade over the Site/QuerySession split (site.h,
+/// query_session.h): one simulated system per Section 3.1 — two tape
+/// drives, n disks, M blocks of memory, optional library — with the whole
+/// site leased to one session.
 ///
-/// A Machine owns the simulation, devices, volumes and memory budget, and
-/// hands executors a JoinContext. One Machine = one experiment run; create a
-/// fresh Machine (cheap) for independent timings.
+/// A Machine owns a Site plus one QuerySession that leases every drive,
+/// block of memory and block of disk, and hands executors that session's
+/// JoinContext. One Machine = one experiment run; create a fresh Machine
+/// (cheap) for independent timings. Multi-query workloads use Site +
+/// QueryScheduler directly.
 
 #include <memory>
-#include <vector>
 
-#include "disk/striped_group.h"
+#include "exec/query_session.h"
+#include "exec/site.h"
 #include "join/join_spec.h"
-#include "mem/memory_budget.h"
-#include "sim/fault.h"
-#include "sim/simulation.h"
-#include "tape/tape_drive.h"
-#include "tape/tape_library.h"
 #include "util/units.h"
 
 namespace tertio::exec {
@@ -45,6 +44,15 @@ struct MachineConfig {
   /// The paper's testbed (Section 6): two DLT-4000 drives, two disks, with
   /// the experiment's D and M.
   static MachineConfig PaperTestbed(ByteCount disk_space_bytes, ByteCount memory_bytes);
+
+  /// Rejects configurations that would otherwise fail obscurely downstream
+  /// (non-positive disk_count, memory smaller than one block, zero
+  /// stripe_unit, ...). The Machine constructor aborts on a bad config; call
+  /// this first to get a Status instead.
+  Status Validate() const;
+
+  /// The equivalent two-drive site configuration.
+  SiteConfig ToSiteConfig() const;
 };
 
 /// One simulated system.
@@ -53,25 +61,27 @@ class Machine {
   explicit Machine(const MachineConfig& config);
 
   const MachineConfig& config() const { return config_; }
-  sim::Simulation& sim() { return sim_; }
-  disk::StripedDiskGroup& disks() { return *disks_; }
-  mem::MemoryBudget& memory() { return memory_; }
-  tape::TapeDrive& drive_r() { return *drive_r_; }
-  tape::TapeDrive& drive_s() { return *drive_s_; }
+  Site& site() { return *site_; }
+  QuerySession& session() { return *session_; }
+  sim::Simulation& sim() { return site_->sim(); }
+  disk::StripedDiskGroup& disks() { return session_->disks(); }
+  mem::MemoryBudget& memory() { return session_->memory(); }
+  tape::TapeDrive& drive_r() { return *session_->drive_r(); }
+  tape::TapeDrive& drive_s() { return *session_->drive_s(); }
   tape::TapeVolume& tape_r() { return *tape_r_; }
   tape::TapeVolume& tape_s() { return *tape_s_; }
-  tape::TapeLibrary* library() { return library_.get(); }
+  tape::TapeLibrary* library() { return site_->library(); }
 
   ByteCount block_bytes() const { return config_.block_bytes; }
-  BlockCount memory_blocks() const { return memory_.total_blocks(); }
-  BlockCount disk_blocks() const;
+  BlockCount memory_blocks() const { return session_->memory().total_blocks(); }
+  BlockCount disk_blocks() const { return session_->disks().allocator().capacity_blocks(); }
 
   /// Mounts the R/S volumes uncosted ("the tapes have been inserted and
   /// loaded into the tape drives before the join operation begins").
-  void MountTapes();
+  void MountTapes() { session_->ForceMount(tape_r_.get(), tape_s_.get()); }
 
   /// The context handed to join executors.
-  join::JoinContext context();
+  join::JoinContext context() { return session_->context(); }
 
   /// Effective tape rate (bytes/s) for data of the given compressibility.
   double EffectiveTapeRate(double compressibility) const {
@@ -79,37 +89,33 @@ class Machine {
   }
 
   /// Aggregate disk rate X_D (bytes/s).
-  double AggregateDiskRate() const { return disks_->aggregate_rate_bps(); }
+  double AggregateDiskRate() const { return site_->AggregateDiskRate(); }
 
   /// Whether this machine injects faults.
   bool faults_enabled() const { return config_.faults.enabled(); }
 
   /// Machine-wide fault/recovery counters (zero with faults disabled).
-  sim::FaultStats TotalFaultStats() const;
+  sim::FaultStats TotalFaultStats() const { return site_->TotalFaultStats(); }
 
   /// Enables SimSan (sim/auditor.h) on this machine: the simulation's
-  /// auditor observes every device timeline, the memory budget, the disk
-  /// allocator and both scratch tapes. Idempotent; automatic in
+  /// auditor observes every device timeline, the memory budgets, the disk
+  /// allocators and both scratch tapes. Idempotent; automatic in
   /// TERTIO_SIMSAN builds. \returns the auditor.
   sim::Auditor* EnableAudit();
 
   /// The machine's auditor, or nullptr when auditing is not enabled.
-  sim::Auditor* auditor() const { return sim_.auditor(); }
+  sim::Auditor* auditor() const { return site_->auditor(); }
 
  private:
   void BindAuditor(sim::Auditor* auditor);
 
   MachineConfig config_;
-  sim::Simulation sim_;
-  std::unique_ptr<disk::StripedDiskGroup> disks_;
-  mem::MemoryBudget memory_;
-  std::unique_ptr<tape::TapeDrive> drive_r_;
-  std::unique_ptr<tape::TapeDrive> drive_s_;
+  std::unique_ptr<Site> site_;
   std::unique_ptr<tape::TapeVolume> tape_r_;
   std::unique_ptr<tape::TapeVolume> tape_s_;
-  std::unique_ptr<tape::TapeLibrary> library_;
-  /// One injector per device, owned here; devices hold raw pointers.
-  std::vector<std::unique_ptr<sim::FaultInjector>> injectors_;
+  /// The one session leasing the whole site. Declared after the volumes it
+  /// mounts, before anything that might use it.
+  std::unique_ptr<QuerySession> session_;
 };
 
 }  // namespace tertio::exec

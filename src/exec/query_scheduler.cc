@@ -1,0 +1,220 @@
+#include "exec/query_scheduler.h"
+
+#include <algorithm>
+
+#include "join/join_method.h"
+#include "util/string_util.h"
+
+namespace tertio::exec {
+
+QueryScheduler::QueryScheduler(Site* site, ServicePolicy policy)
+    : site_(site), policy_(policy) {
+  TERTIO_CHECK(site != nullptr, "scheduler requires a site");
+}
+
+Result<std::uint64_t> QueryScheduler::Submit(JoinRequest request) {
+  ++submitted_;
+  auto reject = [&](Status status) -> Result<std::uint64_t> {
+    ++rejected_;
+    return status;
+  };
+  if (request.spec.r == nullptr || request.spec.s == nullptr) {
+    return reject(Status::InvalidArgument("join request requires both relations"));
+  }
+  tape::TapeLibrary* library = site_->library();
+  if (library == nullptr) {
+    return reject(Status::FailedPrecondition(
+        "the query service needs a site with a tape library (relations are "
+        "addressed by cartridge)"));
+  }
+  Result<int> r_slot = library->SlotOf(request.spec.r->volume);
+  Result<int> s_slot = library->SlotOf(request.spec.s->volume);
+  if (!r_slot.ok() || !s_slot.ok()) {
+    return reject(Status::FailedPrecondition(
+        "a requested relation is not resident on a library cartridge"));
+  }
+  // Demands no schedule could ever satisfy are rejected now rather than
+  // queued forever; transient shortages are what the queue is for.
+  if (request.memory_blocks == 0 || request.memory_blocks > site_->memory_blocks()) {
+    return reject(Status::ResourceExhausted(
+        StrFormat("memory demand of %llu blocks exceeds the site's %llu",
+                  static_cast<unsigned long long>(request.memory_blocks),
+                  static_cast<unsigned long long>(site_->memory_blocks()))));
+  }
+  if (request.disk_blocks > site_->disk_blocks()) {
+    return reject(Status::ResourceExhausted(
+        StrFormat("disk demand of %llu blocks exceeds the site's %llu",
+                  static_cast<unsigned long long>(request.disk_blocks),
+                  static_cast<unsigned long long>(site_->disk_blocks()))));
+  }
+  if (request.id == 0) request.id = next_id_;
+  next_id_ = std::max(next_id_, request.id) + 1;
+  std::uint64_t id = request.id;
+  cartridge_queues_[*s_slot].push_back(id);
+  queue_.push_back(std::move(request));
+  return id;
+}
+
+std::size_t QueryScheduler::pending_on(int slot) const {
+  auto it = cartridge_queues_.find(slot);
+  return it == cartridge_queues_.end() ? 0 : it->second.size();
+}
+
+void QueryScheduler::Unindex(const JoinRequest& request) {
+  Result<int> slot = site_->library()->SlotOf(request.spec.s->volume);
+  if (!slot.ok()) return;
+  auto it = cartridge_queues_.find(*slot);
+  if (it == cartridge_queues_.end()) return;
+  auto pos = std::find(it->second.begin(), it->second.end(), request.id);
+  if (pos != it->second.end()) it->second.erase(pos);
+  if (it->second.empty()) cartridge_queues_.erase(it);
+}
+
+JoinRequest QueryScheduler::PopNext() {
+  auto best = std::min_element(queue_.begin(), queue_.end(),
+                               [](const JoinRequest& a, const JoinRequest& b) {
+                                 if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                                 return a.id < b.id;
+                               });
+  JoinRequest request = std::move(*best);
+  queue_.erase(best);
+  Unindex(request);
+  return request;
+}
+
+JoinRequest QueryScheduler::Take(std::uint64_t id) {
+  auto pos = std::find_if(queue_.begin(), queue_.end(),
+                          [id](const JoinRequest& r) { return r.id == id; });
+  TERTIO_CHECK(pos != queue_.end(), "taking a request that is not queued");
+  JoinRequest request = std::move(*pos);
+  queue_.erase(pos);
+  Unindex(request);
+  return request;
+}
+
+QueryOutcome QueryScheduler::ExecuteOne(JoinRequest request, bool scan_shared) {
+  QueryOutcome out;
+  out.id = request.id;
+  out.arrival = request.arrival;
+  out.scan_shared = scan_shared;
+
+  SessionResources res;
+  res.name = StrFormat("q%llu", static_cast<unsigned long long>(request.id));
+  res.memory_blocks = request.memory_blocks;
+  res.disk_blocks = request.disk_blocks;
+  Result<std::unique_ptr<QuerySession>> session = QuerySession::Open(site_, res);
+  if (!session.ok()) {
+    out.status = session.status();
+    out.completion = site_->sim().Horizon();
+    return out;
+  }
+
+  tape::TapeLibrary* library = site_->library();
+  Result<int> r_slot = library->SlotOf(request.spec.r->volume);
+  Result<int> s_slot = library->SlotOf(request.spec.s->volume);
+  // Admission checked residency; a cartridge cannot leave the library.
+  TERTIO_CHECK(r_slot.ok() && s_slot.ok(), "admitted relation left the library");
+  SimSeconds cursor = std::max(site_->sim().Horizon(), request.arrival);
+  Result<sim::Interval> mounted_r = (*session)->MountR(*r_slot, cursor);
+  Result<sim::Interval> mounted_s =
+      mounted_r.ok() ? (*session)->MountS(*s_slot, cursor) : mounted_r;
+  if (!mounted_s.ok()) {
+    out.status = mounted_s.status();
+    out.completion = site_->sim().Horizon();
+    return out;
+  }
+
+  join::JoinContext ctx = (*session)->context(request.arrival);
+  std::unique_ptr<join::JoinMethod> executor = join::CreateJoinMethod(request.method);
+  TERTIO_CHECK(executor != nullptr, "unknown join method");
+  // The join anchors exactly here (join_common.h StatsScope), so the
+  // service-level start is known before execution.
+  out.start = std::max(site_->sim().Horizon(), request.arrival);
+  Result<join::JoinStats> stats = executor->Execute(request.spec, ctx);
+  if (!stats.ok()) {
+    out.status = stats.status();
+    out.completion = site_->sim().Horizon();
+    return out;
+  }
+  out.stats = std::move(*stats);
+  out.completion = out.start + out.stats.response_seconds;
+  out.scan_shared = out.stats.tape_blocks_shared > 0;
+  return out;
+}
+
+Status QueryScheduler::Run() {
+  while (!queue_.empty()) {
+    JoinRequest leader = PopNext();
+    SimSeconds leader_start = std::max(site_->sim().Horizon(), leader.arrival);
+
+    // Under kSharedScan, queued joins on the leader's S cartridge that have
+    // already arrived ride its pass instead of paying their own.
+    std::vector<JoinRequest> followers;
+    if (policy_ == ServicePolicy::kSharedScan) {
+      Result<int> slot = site_->library()->SlotOf(leader.spec.s->volume);
+      if (slot.ok()) {
+        std::vector<std::uint64_t> ids;
+        if (auto it = cartridge_queues_.find(*slot); it != cartridge_queues_.end()) {
+          ids.assign(it->second.begin(), it->second.end());
+        }
+        for (std::uint64_t id : ids) {
+          auto pos = std::find_if(queue_.begin(), queue_.end(),
+                                  [id](const JoinRequest& r) { return r.id == id; });
+          if (pos != queue_.end() && pos->arrival <= leader_start) {
+            followers.push_back(Take(id));
+          }
+        }
+      }
+    }
+
+    const rel::Relation* leader_s = leader.spec.s;
+    QueryOutcome lead_out = ExecuteOne(std::move(leader), /*scan_shared=*/false);
+    bool lead_ok = lead_out.status.ok();
+    outcomes_.push_back(std::move(lead_out));
+    if (on_complete_) on_complete_(outcomes_.back());
+
+    if (!followers.empty()) {
+      // The leader's pass swept its S relation's blocks; declare them a
+      // shared window on the drive still holding the cartridge so the
+      // followers' S reads are multicast instead of re-read. (The window is
+      // drive state: it survives the followers' session churn as long as
+      // the cartridge stays mounted.)
+      tape::TapeDrive* holder = nullptr;
+      if (lead_ok) {
+        Result<int> slot = site_->library()->SlotOf(leader_s->volume);
+        if (slot.ok()) holder = site_->library()->MountedIn(*slot);
+      }
+      if (holder != nullptr) {
+        holder->SetSharedPassWindow(leader_s->start_block, leader_s->blocks);
+      }
+      for (JoinRequest& follower : followers) {
+        QueryOutcome out = ExecuteOne(std::move(follower), holder != nullptr);
+        outcomes_.push_back(std::move(out));
+        if (on_complete_) on_complete_(outcomes_.back());
+      }
+      if (holder != nullptr) holder->ClearSharedPassWindow();
+    }
+  }
+  makespan_ = site_->sim().Horizon();
+  return Status::OK();
+}
+
+ServiceStats QueryScheduler::service_stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_;
+  stats.rejected = rejected_;
+  stats.makespan = makespan_;
+  for (const QueryOutcome& out : outcomes_) {
+    if (out.status.ok()) {
+      ++stats.completed;
+    } else {
+      ++stats.failed;
+    }
+    if (out.scan_shared) ++stats.scan_shared_queries;
+    stats.tape_blocks_read += out.stats.tape_blocks_read;
+    stats.tape_blocks_shared += out.stats.tape_blocks_shared;
+  }
+  return stats;
+}
+
+}  // namespace tertio::exec

@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file query_scheduler.h
+/// Multi-query join service over one Site.
+///
+/// The scheduler accepts a stream of JoinRequests, admission-checks each
+/// against the site's memory/disk/drive budgets, and executes admitted
+/// queries against per-query sessions. Requests are indexed by the cartridge
+/// their outer (S) relation lives on; under the kSharedScan policy, queued
+/// joins whose S cartridge is about to be swept piggyback on the leader's
+/// sequential pass — their S reads are multicast from the one physical pass
+/// (tape/tape_drive.h shared-pass window) instead of re-reading the tape.
+/// This is the service-level counterpart of the Postgres/Paradise batching
+/// the paper cites in Section 2.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "cost/method_id.h"
+#include "exec/query_session.h"
+#include "exec/site.h"
+#include "join/join_spec.h"
+
+namespace tertio::exec {
+
+/// How the service orders and executes its queue.
+enum class ServicePolicy : std::uint8_t {
+  /// Strict arrival order, every query pays its own tape passes.
+  kFifo,
+  /// Arrival order for leaders, but queued joins on the leader's S
+  /// cartridge join its pass (scan sharing).
+  kSharedScan,
+};
+
+/// One join submitted to the service.
+struct JoinRequest {
+  /// Assigned by Submit() when left 0.
+  std::uint64_t id = 0;
+  /// Virtual time the query arrived; it can never start earlier.
+  SimSeconds arrival = 0.0;
+  join::JoinSpec spec;
+  JoinMethodId method = JoinMethodId::kCdtGh;
+  /// Memory partition M_q the query's session leases.
+  BlockCount memory_blocks = 0;
+  /// Disk carve D_q the query's session leases.
+  BlockCount disk_blocks = 0;
+};
+
+/// The service-level record of one finished (or failed) query.
+struct QueryOutcome {
+  std::uint64_t id = 0;
+  Status status;
+  join::JoinStats stats;
+  SimSeconds arrival = 0.0;
+  /// Virtual time the join itself was anchored (>= arrival).
+  SimSeconds start = 0.0;
+  /// Virtual time the join completed.
+  SimSeconds completion = 0.0;
+  /// True when this query's S scan rode another query's pass.
+  bool scan_shared = false;
+
+  /// Queue wait + execution, the latency the client observes.
+  SimSeconds response_seconds() const { return completion - arrival; }
+};
+
+/// Aggregates over one service run.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  /// Queries whose S scan was multicast from another query's pass.
+  std::uint64_t scan_shared_queries = 0;
+  BlockCount tape_blocks_read = 0;
+  BlockCount tape_blocks_shared = 0;
+  /// Horizon when the queue drained.
+  SimSeconds makespan = 0.0;
+};
+
+/// Admission control + per-cartridge queues + scan-shared execution.
+class QueryScheduler {
+ public:
+  QueryScheduler(Site* site, ServicePolicy policy);
+
+  ServicePolicy policy() const { return policy_; }
+
+  /// Admission control: the site must have a library holding both
+  /// relations' cartridges, and the request's M_q/D_q/drive demands must
+  /// fit the site outright (a demand no schedule could ever satisfy is
+  /// rejected now, not queued forever). \returns the request id.
+  Result<std::uint64_t> Submit(JoinRequest request);
+
+  /// Queries queued against the cartridge in `slot` (S side).
+  std::size_t pending_on(int slot) const;
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Called after each query completes, while the service is still
+  /// running — a closed-loop client submits its next query from here.
+  void set_on_complete(std::function<void(const QueryOutcome&)> fn) {
+    on_complete_ = std::move(fn);
+  }
+
+  /// Drains the queue (including queries submitted from on_complete),
+  /// executing admitted joins in arrival order. Per-query failures land in
+  /// their outcomes; Run itself fails only on service-level invariants.
+  Status Run();
+
+  const std::vector<QueryOutcome>& outcomes() const { return outcomes_; }
+  ServiceStats service_stats() const;
+
+ private:
+  /// Pops the earliest-arrived request (ties by id).
+  JoinRequest PopNext();
+  /// Removes request `id` from `queue_` and returns it.
+  JoinRequest Take(std::uint64_t id);
+  void Unindex(const JoinRequest& request);
+  /// Executes one query on its own session; fills and records the outcome.
+  QueryOutcome ExecuteOne(JoinRequest request, bool scan_shared);
+
+  Site* site_;
+  ServicePolicy policy_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  /// Admitted, not yet executed.
+  std::vector<JoinRequest> queue_;
+  /// S-cartridge slot -> queued request ids, arrival order.
+  std::map<int, std::deque<std::uint64_t>> cartridge_queues_;
+  std::vector<QueryOutcome> outcomes_;
+  SimSeconds makespan_ = 0.0;
+  std::function<void(const QueryOutcome&)> on_complete_;
+};
+
+}  // namespace tertio::exec

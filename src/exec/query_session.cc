@@ -1,0 +1,93 @@
+#include "exec/query_session.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace tertio::exec {
+
+Result<std::unique_ptr<QuerySession>> QuerySession::Open(Site* site,
+                                                         const SessionResources& res) {
+  if (site == nullptr) return Status::InvalidArgument("session requires a site");
+  if (res.memory_blocks == 0) {
+    return Status::InvalidArgument("a session needs at least one memory block");
+  }
+  std::string tag = StrFormat("session:%s", res.name.c_str());
+  TERTIO_ASSIGN_OR_RETURN(std::vector<int> drives, site->AcquireDrives(2));
+  Result<mem::BudgetLease> lease = mem::BudgetLease::Acquire(&site->memory(),
+                                                             res.memory_blocks, tag);
+  if (!lease.ok()) {
+    site->ReleaseDrives(drives);
+    return lease.status();
+  }
+  Result<disk::ExtentList> carve =
+      site->disks().allocator().Allocate(res.disk_blocks, site->sim().Horizon(), tag);
+  if (!carve.ok()) {
+    site->ReleaseDrives(drives);
+    return carve.status();
+  }
+  return std::unique_ptr<QuerySession>(new QuerySession(
+      site, res, std::move(drives), std::move(*lease), std::move(*carve)));
+}
+
+QuerySession::QuerySession(Site* site, SessionResources res, std::vector<int> drives,
+                           mem::BudgetLease lease, disk::ExtentList carve)
+    : site_(site),
+      name_(std::move(res.name)),
+      drive_indices_(std::move(drives)),
+      lease_(std::move(lease)),
+      memory_(res.memory_blocks),
+      carve_(std::move(carve)) {
+  std::vector<disk::DiskVolume*> spindles;
+  spindles.reserve(static_cast<size_t>(site_->disks().disk_count()));
+  for (int i = 0; i < site_->disks().disk_count(); ++i) {
+    spindles.push_back(site_->disks().disk(i));
+  }
+  disks_ = std::make_unique<disk::StripedDiskGroup>(std::move(spindles), carve_,
+                                                    site_->config().stripe_unit,
+                                                    site_->block_bytes());
+  if (site_->auditor() != nullptr) {
+    memory_.BindAuditor(site_->auditor());
+    disks_->allocator().BindAuditor(site_->auditor());
+  }
+}
+
+QuerySession::~QuerySession() {
+  Status freed = site_->disks().allocator().Free(carve_, site_->sim().Horizon(),
+                                                 StrFormat("session:%s", name_.c_str()));
+  TERTIO_CHECK(freed.ok(), "session failed to return its disk carve");
+  site_->ReleaseDrives(drive_indices_);
+}
+
+Result<sim::Interval> QuerySession::MountR(int slot, SimSeconds ready) {
+  if (site_->library() == nullptr) {
+    return Status::FailedPrecondition("site has no tape library");
+  }
+  return site_->library()->Mount(slot, drive_r(), ready);
+}
+
+Result<sim::Interval> QuerySession::MountS(int slot, SimSeconds ready) {
+  if (site_->library() == nullptr) {
+    return Status::FailedPrecondition("site has no tape library");
+  }
+  return site_->library()->Mount(slot, drive_s(), ready);
+}
+
+void QuerySession::ForceMount(tape::TapeVolume* r, tape::TapeVolume* s) {
+  drive_r()->ForceMount(r);
+  drive_s()->ForceMount(s);
+}
+
+join::JoinContext QuerySession::context(SimSeconds not_before) {
+  join::JoinContext ctx;
+  ctx.sim = &site_->sim();
+  ctx.drive_r = drive_r();
+  ctx.drive_s = drive_s();
+  ctx.disks = disks_.get();
+  ctx.memory = &memory_;
+  ctx.robot = site_->library() != nullptr ? site_->library()->robot() : nullptr;
+  ctx.not_before = not_before;
+  return ctx;
+}
+
+}  // namespace tertio::exec

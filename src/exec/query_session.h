@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file query_session.h
+/// The per-query half of the split Machine: a lease of site resources.
+///
+/// A QuerySession leases two tape drives, a memory partition M_q and a disk
+/// carve D_q from a Site and presents them as a join::JoinContext, so all
+/// seven executors run unchanged against a slice of a shared installation.
+/// The session's budget and allocator are its own objects — under SimSan
+/// the per-session bounds (occupancy <= M_q, disk usage <= D_q) are audited
+/// independently of the site-wide ones — while the disk spindles and the
+/// simulation are shared, so cross-session device contention is real.
+/// Closing the session returns everything to the site.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/site.h"
+#include "join/join_spec.h"
+#include "mem/memory_budget.h"
+
+namespace tertio::exec {
+
+/// What a session leases from the site.
+struct SessionResources {
+  /// Accounting tag; memory/disk reservations appear as "session:<name>".
+  std::string name = "main";
+  /// Memory partition M_q, blocks.
+  BlockCount memory_blocks = 0;
+  /// Disk carve D_q, blocks.
+  BlockCount disk_blocks = 0;
+};
+
+/// One open lease. Create with Open(); resources return on destruction.
+class QuerySession {
+ public:
+  /// Leases two drives, `memory_blocks` of M and `disk_blocks` of D from
+  /// `site`. Fails with ResourceExhausted when the site cannot cover the
+  /// lease (the scheduler's admission control surfaces this to clients).
+  static Result<std::unique_ptr<QuerySession>> Open(Site* site, const SessionResources& res);
+
+  ~QuerySession();
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  Site* site() { return site_; }
+  const std::string& name() const { return name_; }
+  tape::TapeDrive* drive_r() { return site_->drive(drive_indices_[0]); }
+  tape::TapeDrive* drive_s() { return site_->drive(drive_indices_[1]); }
+  mem::MemoryBudget& memory() { return memory_; }
+  disk::StripedDiskGroup& disks() { return *disks_; }
+
+  /// Mounts the cartridge in `slot` into the session's R (resp. S) drive via
+  /// the site robot, charged on the robot and drive timelines.
+  Result<sim::Interval> MountR(int slot, SimSeconds ready);
+  Result<sim::Interval> MountS(int slot, SimSeconds ready);
+
+  /// Uncosted mounts of loose (non-library) volumes — the paper's "tapes
+  /// have been inserted and loaded before the join begins" setup, used by
+  /// the single-query Machine facade.
+  void ForceMount(tape::TapeVolume* r, tape::TapeVolume* s);
+
+  /// The context handed to join executors. `not_before` anchors the join no
+  /// earlier than the given virtual time (a query must not start before it
+  /// arrived, even on an idle site).
+  join::JoinContext context(SimSeconds not_before = 0.0);
+
+ private:
+  QuerySession(Site* site, SessionResources res, std::vector<int> drives,
+               mem::BudgetLease lease, disk::ExtentList carve);
+
+  Site* site_;
+  std::string name_;
+  std::vector<int> drive_indices_;
+  mem::BudgetLease lease_;
+  /// Session-local budget over the leased M_q blocks.
+  mem::MemoryBudget memory_;
+  /// Blocks carved from the site allocator, freed back on close.
+  disk::ExtentList carve_;
+  /// Session view of the disk group: shared spindles, private allocator
+  /// over the carve.
+  std::unique_ptr<disk::StripedDiskGroup> disks_;
+};
+
+}  // namespace tertio::exec

@@ -1,0 +1,67 @@
+#include "exec/service_workload.h"
+
+#include <memory>
+
+#include "relation/generator.h"
+#include "util/string_util.h"
+
+namespace tertio::exec {
+
+Result<ServiceWorkload> PrepareServiceWorkload(Site* site,
+                                               const ServiceWorkloadConfig& config) {
+  if (site == nullptr) return Status::InvalidArgument("workload requires a site");
+  if (site->library() == nullptr) {
+    return Status::FailedPrecondition("service workload requires a site with a library");
+  }
+  if (config.s_cartridges <= 0 || config.r_relations <= 0 || config.s_bytes == 0 ||
+      config.r_bytes == 0) {
+    return Status::InvalidArgument("service workload needs positive relation counts and sizes");
+  }
+  ByteCount bb = site->block_bytes();
+  BlockCount tuples_per_block =
+      rel::TuplesPerBlock(rel::Schema::KeyPayload(config.record_bytes), bb);
+
+  ServiceWorkload workload;
+
+  // All R relations share one cartridge (GenerateOnTape appends), so every
+  // query's inner side mounts the same tape.
+  auto r_volume = std::make_unique<tape::TapeVolume>("cart-R", bb);
+  tape::TapeVolume* r_raw = r_volume.get();
+  std::uint64_t r_tuples = BytesToBlocks(config.r_bytes, bb) * tuples_per_block;
+  for (int j = 0; j < config.r_relations; ++j) {
+    rel::GeneratorConfig r_config;
+    r_config.name = StrFormat("R%d", j);
+    r_config.record_bytes = config.record_bytes;
+    r_config.compressibility = config.compressibility;
+    r_config.seed = config.seed + static_cast<std::uint64_t>(2 * j);
+    r_config.phantom = config.phantom;
+    r_config.keys = rel::KeySequence::kSequentialUnique;
+    r_config.tuple_count = r_tuples;
+    TERTIO_ASSIGN_OR_RETURN(rel::Relation relation, rel::GenerateOnTape(r_config, r_raw));
+    workload.r.push_back(std::move(relation));
+  }
+  TERTIO_ASSIGN_OR_RETURN(workload.r_slot, site->AddCartridge(std::move(r_volume)));
+
+  std::uint64_t s_tuples = BytesToBlocks(config.s_bytes, bb) * tuples_per_block;
+  for (int k = 0; k < config.s_cartridges; ++k) {
+    auto s_volume = std::make_unique<tape::TapeVolume>(StrFormat("cart-S%d", k), bb);
+    rel::GeneratorConfig s_config;
+    s_config.name = StrFormat("S%d", k);
+    s_config.record_bytes = config.record_bytes;
+    s_config.compressibility = config.compressibility;
+    s_config.seed = config.seed + 1 + static_cast<std::uint64_t>(2 * k);
+    s_config.phantom = config.phantom;
+    s_config.keys = rel::KeySequence::kForeignKeyUniform;
+    // Foreign keys reference the R key space, so every R_j |><| S_k join
+    // has real matches in full-data mode.
+    s_config.key_domain = r_tuples;
+    s_config.tuple_count = s_tuples;
+    TERTIO_ASSIGN_OR_RETURN(rel::Relation relation, rel::GenerateOnTape(s_config, s_volume.get()));
+    workload.s.push_back(std::move(relation));
+    TERTIO_ASSIGN_OR_RETURN(int slot, site->AddCartridge(std::move(s_volume)));
+    workload.s_slots.push_back(slot);
+  }
+  return workload;
+}
+
+}  // namespace tertio::exec

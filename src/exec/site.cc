@@ -1,0 +1,139 @@
+#include "exec/site.h"
+
+#include "util/string_util.h"
+
+namespace tertio::exec {
+
+Status SiteConfig::Validate() const {
+  if (block_bytes == 0) return Status::InvalidArgument("block_bytes must be positive");
+  if (drive_count < 2) {
+    return Status::InvalidArgument("a site needs at least two tape drives (R and S)");
+  }
+  if (disk_count <= 0) return Status::InvalidArgument("disk_count must be positive");
+  if (memory_bytes < block_bytes) {
+    return Status::InvalidArgument(
+        StrFormat("memory budget of %llu bytes is smaller than one %llu-byte block",
+                  static_cast<unsigned long long>(memory_bytes),
+                  static_cast<unsigned long long>(block_bytes)));
+  }
+  if (disk_space_bytes < block_bytes) {
+    return Status::InvalidArgument("disk space is smaller than one block");
+  }
+  if (stripe_unit == 0) return Status::InvalidArgument("stripe_unit must be positive");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Site>> Site::Create(const SiteConfig& config) {
+  TERTIO_RETURN_IF_ERROR(config.Validate());
+  return std::make_unique<Site>(config);
+}
+
+Site::Site(const SiteConfig& config)
+    : config_(config),
+      memory_(BytesToBlocks(config.memory_bytes, config.block_bytes)) {
+  Status valid = config.Validate();
+  TERTIO_CHECK(valid.ok(), "invalid site configuration (use Site::Create for the Status)");
+  // Resource creation order matters for reproducibility: disks, then the
+  // drive pool, then the robot — the order the seed Machine used, so a
+  // 2-drive site is device-for-device identical to it.
+  disk::DiskGroupConfig group_config = disk::DiskGroupConfig::Uniform(
+      config.disk_count, config.disk_model,
+      BytesToBlocks(config.disk_space_bytes, config.block_bytes), config.block_bytes,
+      config.stripe_unit);
+  disks_ = std::make_unique<disk::StripedDiskGroup>(group_config, &sim_);
+  for (int i = 0; i < config.drive_count; ++i) {
+    // Drives 0 and 1 keep the seed's names (and therefore fault-stream
+    // seeds); extra pool drives are numbered.
+    std::string name = i == 0 ? "tapeR" : i == 1 ? "tapeS" : StrFormat("tape%d", i);
+    drives_.push_back(
+        std::make_unique<tape::TapeDrive>(name, config.tape_model, sim_.CreateResource(name)));
+  }
+  drive_leased_.assign(drives_.size(), false);
+  if (config.with_library) {
+    library_ = std::make_unique<tape::TapeLibrary>(config.library_model,
+                                                   sim_.CreateResource("robot"));
+  }
+  if (config.faults.enabled()) {
+    // One injector per device, each with a seed derived from the plan seed
+    // and the device name, so per-device fault streams are independent yet
+    // exactly reproducible.
+    auto attach = [&](const sim::FaultProfile& profile, const std::string& device) {
+      injectors_.push_back(
+          std::make_unique<sim::FaultInjector>(profile, config.faults.seed, device));
+      return injectors_.back().get();
+    };
+    for (auto& drive : drives_) {
+      drive->set_fault_injector(attach(config.faults.tape, drive->name()));
+    }
+    for (int i = 0; i < disks_->disk_count(); ++i) {
+      disk::DiskVolume* d = disks_->disk(i);
+      d->set_fault_injector(attach(config.faults.disk, d->name()));
+    }
+    if (library_ != nullptr) {
+      library_->set_fault_injector(attach(config.faults.robot, "robot"));
+    }
+  }
+  // Under TERTIO_SIMSAN the Simulation constructed itself audited; bind the
+  // non-Resource layers to the same auditor.
+  if (sim_.auditor() != nullptr) BindAuditor(sim_.auditor());
+}
+
+sim::Auditor* Site::EnableAudit() {
+  sim::Auditor* auditor = sim_.EnableAudit();
+  BindAuditor(auditor);
+  return auditor;
+}
+
+void Site::BindAuditor(sim::Auditor* auditor) {
+  memory_.BindAuditor(auditor);
+  disks_->allocator().BindAuditor(auditor);
+  if (library_ != nullptr) {
+    for (int slot = 0; slot < library_->slot_count(); ++slot) {
+      Result<tape::TapeVolume*> cartridge = library_->CartridgeAt(slot);
+      if (cartridge.ok()) (*cartridge)->BindAuditor(auditor);
+    }
+  }
+}
+
+Result<int> Site::AddCartridge(std::unique_ptr<tape::TapeVolume> volume) {
+  if (library_ == nullptr) {
+    return Status::FailedPrecondition("site has no tape library to hold cartridges");
+  }
+  if (volume != nullptr && sim_.auditor() != nullptr) volume->BindAuditor(sim_.auditor());
+  return library_->AddCartridge(std::move(volume));
+}
+
+Result<std::vector<int>> Site::AcquireDrives(int n) {
+  std::vector<int> picked;
+  for (int i = 0; i < drive_count() && static_cast<int>(picked.size()) < n; ++i) {
+    if (!drive_leased_[static_cast<size_t>(i)]) picked.push_back(i);
+  }
+  if (static_cast<int>(picked.size()) < n) {
+    return Status::ResourceExhausted(
+        StrFormat("need %d free tape drives, %d available", n, free_drives()));
+  }
+  for (int i : picked) drive_leased_[static_cast<size_t>(i)] = true;
+  return picked;
+}
+
+void Site::ReleaseDrives(const std::vector<int>& indices) {
+  for (int i : indices) {
+    if (i >= 0 && i < drive_count()) drive_leased_[static_cast<size_t>(i)] = false;
+  }
+}
+
+int Site::free_drives() const {
+  int n = 0;
+  for (bool leased : drive_leased_) {
+    if (!leased) ++n;
+  }
+  return n;
+}
+
+sim::FaultStats Site::TotalFaultStats() const {
+  sim::FaultStats total;
+  for (const auto& injector : injectors_) total.Add(injector->stats());
+  return total;
+}
+
+}  // namespace tertio::exec

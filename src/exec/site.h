@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file site.h
+/// The shared half of the split Machine: one simulated installation whose
+/// devices serve many queries.
+///
+/// A Site owns the simulation, the tape library, a pool of drives, the
+/// striped disk group and the site-wide memory budget M. It executes
+/// nothing itself — queries lease slices of it through exec::QuerySession
+/// and a stream of queries is driven through exec::QueryScheduler. The
+/// legacy single-query Machine (machine.h) survives as a facade over a Site
+/// plus one session that leases everything.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "disk/striped_group.h"
+#include "mem/memory_budget.h"
+#include "sim/fault.h"
+#include "sim/simulation.h"
+#include "tape/tape_drive.h"
+#include "tape/tape_library.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace tertio::exec {
+
+/// Configuration of one site. The first two drives reproduce the paper's
+/// testbed (Section 3.1) exactly; extra drives extend the pool.
+struct SiteConfig {
+  ByteCount block_bytes = kDefaultBlockBytes;
+  tape::TapeDriveModel tape_model = tape::TapeDriveModel::DLT4000();
+  /// Tape drives in the pool; a join leases two (R and S).
+  int drive_count = 2;
+  int disk_count = 2;
+  disk::DiskModel disk_model = disk::DiskModel::QuantumFireball1080();
+  /// Total disk space D shared by all sessions.
+  ByteCount disk_space_bytes = 500 * kMB;
+  /// Site-wide main memory M, partitioned across sessions.
+  ByteCount memory_bytes = 16 * kMB;
+  BlockCount stripe_unit = 32;
+  /// Attach a robot library (media-exchange modeling). Required by the
+  /// query service, which addresses relations by cartridge slot.
+  bool with_library = false;
+  tape::TapeLibraryModel library_model = tape::TapeLibraryModel::SmallAutoloader();
+  /// Fault model of the site's devices (sim/fault.h).
+  sim::FaultPlan faults;
+
+  /// Rejects configurations that would otherwise fail obscurely downstream:
+  /// non-positive disk/drive counts, a memory budget smaller than one
+  /// block, a zero stripe unit or block size, disk space below one block.
+  Status Validate() const;
+};
+
+/// The shared installation: simulation + devices + site-wide budgets.
+class Site {
+ public:
+  /// Aborts (TERTIO_CHECK) on an invalid config; use Create() to get a
+  /// Status instead.
+  explicit Site(const SiteConfig& config);
+
+  /// Validating factory.
+  static Result<std::unique_ptr<Site>> Create(const SiteConfig& config);
+
+  const SiteConfig& config() const { return config_; }
+  sim::Simulation& sim() { return sim_; }
+  disk::StripedDiskGroup& disks() { return *disks_; }
+  mem::MemoryBudget& memory() { return memory_; }
+  tape::TapeLibrary* library() { return library_.get(); }
+
+  int drive_count() const { return static_cast<int>(drives_.size()); }
+  tape::TapeDrive* drive(int i) { return drives_[static_cast<size_t>(i)].get(); }
+
+  ByteCount block_bytes() const { return config_.block_bytes; }
+  BlockCount memory_blocks() const { return memory_.total_blocks(); }
+  BlockCount disk_blocks() const { return disks_->allocator().capacity_blocks(); }
+
+  /// Inserts a cartridge into the library (the site must have one); under
+  /// SimSan the cartridge's scratch bounds are audited like any volume.
+  Result<int> AddCartridge(std::unique_ptr<tape::TapeVolume> volume);
+
+  /// Leases the lowest-indexed `n` free drives. Fails with
+  /// ResourceExhausted when fewer are free.
+  Result<std::vector<int>> AcquireDrives(int n);
+  void ReleaseDrives(const std::vector<int>& indices);
+  int free_drives() const;
+
+  /// Effective tape rate (bytes/s) for data of the given compressibility.
+  double EffectiveTapeRate(double compressibility) const {
+    return config_.tape_model.EffectiveRate(compressibility);
+  }
+
+  /// Aggregate disk rate X_D (bytes/s).
+  double AggregateDiskRate() const { return disks_->aggregate_rate_bps(); }
+
+  bool faults_enabled() const { return config_.faults.enabled(); }
+
+  /// Site-wide fault/recovery counters (zero with faults disabled).
+  sim::FaultStats TotalFaultStats() const;
+
+  /// Enables SimSan on the site: every device timeline, the site budget,
+  /// the site allocator and every library cartridge become audited.
+  /// Idempotent; automatic in TERTIO_SIMSAN builds. \returns the auditor.
+  sim::Auditor* EnableAudit();
+  sim::Auditor* auditor() const { return sim_.auditor(); }
+
+ private:
+  void BindAuditor(sim::Auditor* auditor);
+
+  SiteConfig config_;
+  sim::Simulation sim_;
+  std::unique_ptr<disk::StripedDiskGroup> disks_;
+  mem::MemoryBudget memory_;
+  std::vector<std::unique_ptr<tape::TapeDrive>> drives_;
+  std::vector<bool> drive_leased_;
+  std::unique_ptr<tape::TapeLibrary> library_;
+  /// One injector per device, owned here; devices hold raw pointers.
+  std::vector<std::unique_ptr<sim::FaultInjector>> injectors_;
+};
+
+}  // namespace tertio::exec

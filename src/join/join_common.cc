@@ -63,7 +63,7 @@ sim::FaultStats ContextFaultStats(const JoinContext& ctx) {
 
 StatsScope::StatsScope(const JoinContext& ctx)
     : ctx_(ctx),
-      start_(ctx.sim->Horizon()),
+      start_(std::max(ctx.sim->Horizon(), ctx.not_before)),
       tape_r_before_(ctx.drive_r->stats()),
       tape_s_before_(ctx.drive_s->stats()),
       disk_before_(ctx.disks->TotalStats()),
@@ -82,6 +82,8 @@ void StatsScope::Fill(JoinStats* stats) const {
       (r.blocks_read - tape_r_before_.blocks_read) + (s.blocks_read - tape_s_before_.blocks_read);
   stats->tape_blocks_written = (r.blocks_written - tape_r_before_.blocks_written) +
                                (s.blocks_written - tape_s_before_.blocks_written);
+  stats->tape_blocks_shared = (r.blocks_shared - tape_r_before_.blocks_shared) +
+                              (s.blocks_shared - tape_s_before_.blocks_shared);
   stats->disk_blocks_read = d.blocks_read - disk_before_.blocks_read;
   stats->disk_blocks_written = d.blocks_written - disk_before_.blocks_written;
   stats->disk_requests = d.requests - disk_before_.requests;

@@ -57,6 +57,11 @@ struct JoinContext {
   mem::MemoryBudget* memory = nullptr;
   /// Robot resource when the machine has a tape library (exchange counting).
   sim::Resource* robot = nullptr;
+  /// Earliest virtual time the join may begin. The single-query path leaves
+  /// this 0 (the join anchors at the current horizon, the seed behavior);
+  /// the service layer sets it to the query's admission time so a join on an
+  /// idle site still starts no earlier than its arrival.
+  SimSeconds not_before = 0.0;
   /// Retain every pipeline span in JoinStats::spans (per-phase summaries are
   /// always collected; full span lists of paper-scale joins are large).
   bool retain_spans = false;
@@ -92,6 +97,10 @@ struct JoinStats {
   BlockCount disk_blocks_written = 0;
   BlockCount tape_blocks_read = 0;
   BlockCount tape_blocks_written = 0;
+  /// Tape blocks this join received by piggybacking on another query's
+  /// in-flight pass (scan sharing) instead of reading the tape itself.
+  /// Always 0 outside the multi-query service.
+  BlockCount tape_blocks_shared = 0;
   std::uint64_t disk_requests = 0;
 
   /// Full passes over R (from any medium).

@@ -53,4 +53,21 @@ BlockCount MemoryBudget::ReservedUnder(const std::string& tag) const {
   return it == by_tag_.end() ? 0 : it->second;
 }
 
+Result<BudgetLease> BudgetLease::Acquire(MemoryBudget* parent, BlockCount blocks,
+                                         std::string tag) {
+  if (parent == nullptr) return Status::InvalidArgument("budget lease requires a parent budget");
+  TERTIO_RETURN_IF_ERROR(parent->Reserve(blocks, tag));
+  return BudgetLease(parent, blocks, std::move(tag));
+}
+
+void BudgetLease::ReleaseNow() {
+  if (parent_ == nullptr) return;
+  Status released = parent_->Release(blocks_, tag_);
+  // A lease releases exactly what it reserved, so over-release is impossible
+  // unless the parent was mutated behind its back.
+  TERTIO_CHECK(released.ok(), "budget lease release failed");
+  parent_ = nullptr;
+  blocks_ = 0;
+}
+
 }  // namespace tertio::mem

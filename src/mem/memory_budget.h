@@ -11,6 +11,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 
 #include "util/status.h"
 #include "util/units.h"
@@ -21,7 +22,11 @@ class Auditor;
 
 namespace tertio::mem {
 
-/// Block-granular budget with named reservations.
+/// Block-granular budget with named reservations. A budget can be
+/// partitioned: the service layer (exec/site.h) carves each query session's
+/// M_q out of the site-wide budget with a BudgetLease and gives the session
+/// its own MemoryBudget over the leased blocks, so per-session occupancy
+/// bounds stay locally auditable while the site-wide sum can never exceed M.
 class MemoryBudget {
  public:
   explicit MemoryBudget(BlockCount total_blocks) : total_(total_blocks) {}
@@ -57,6 +62,47 @@ class MemoryBudget {
   BlockCount peak_ = 0;
   sim::Auditor* auditor_ = nullptr;
   std::map<std::string, BlockCount> by_tag_;
+};
+
+/// RAII partition of a parent budget: Acquire() reserves `blocks` under
+/// `tag` in the parent; destruction (or ReleaseNow) returns them. Move-only.
+class BudgetLease {
+ public:
+  BudgetLease() = default;
+  BudgetLease(const BudgetLease&) = delete;
+  BudgetLease& operator=(const BudgetLease&) = delete;
+  BudgetLease(BudgetLease&& other) noexcept { *this = std::move(other); }
+  BudgetLease& operator=(BudgetLease&& other) noexcept {
+    if (this != &other) {
+      ReleaseNow();
+      parent_ = other.parent_;
+      blocks_ = other.blocks_;
+      tag_ = std::move(other.tag_);
+      other.parent_ = nullptr;
+      other.blocks_ = 0;
+    }
+    return *this;
+  }
+  ~BudgetLease() { ReleaseNow(); }
+
+  /// Reserves `blocks` under `tag` in `parent`. Fails with the parent's
+  /// ResourceExhausted when the partition does not fit.
+  static Result<BudgetLease> Acquire(MemoryBudget* parent, BlockCount blocks, std::string tag);
+
+  bool active() const { return parent_ != nullptr; }
+  BlockCount blocks() const { return blocks_; }
+  const std::string& tag() const { return tag_; }
+
+  /// Returns the leased blocks to the parent. Idempotent.
+  void ReleaseNow();
+
+ private:
+  BudgetLease(MemoryBudget* parent, BlockCount blocks, std::string tag)
+      : parent_(parent), blocks_(blocks), tag_(std::move(tag)) {}
+
+  MemoryBudget* parent_ = nullptr;
+  BlockCount blocks_ = 0;
+  std::string tag_;
 };
 
 }  // namespace tertio::mem

@@ -28,6 +28,7 @@ Result<sim::Interval> TapeDrive::Load(TapeVolume* volume, SimSeconds ready) {
   if (volume == nullptr) return Status::InvalidArgument("cannot load a null volume");
   volume_ = volume;
   head_ = 0;
+  ClearSharedPassWindow();
   stats_.load_count += 1;
   return resource_->Schedule(ready, model_.load_seconds, 0, "tape.load");
 }
@@ -43,6 +44,21 @@ Result<sim::Interval> TapeDrive::Read(BlockIndex start, BlockCount count, SimSec
                                       std::vector<BlockPayload>* out) {
   TERTIO_RETURN_IF_ERROR(CheckLoaded());
   TERTIO_ASSIGN_OR_RETURN(double mean_c, volume_->MeanCompressibility(start, count));
+  if (InSharedPassWindow(start, count)) {
+    // The requested range is covered by another query's in-flight sequential
+    // pass: multicast its data instead of re-reading the tape. No head
+    // motion, no drive occupancy, no fault draw — the physical pass already
+    // paid (and drew) for these blocks.
+    if (out != nullptr) {
+      out->reserve(out->size() + count);
+      for (BlockIndex i = start; i < start + count; ++i) {
+        TERTIO_ASSIGN_OR_RETURN(BlockPayload payload, volume_->ReadBlock(i));
+        out->push_back(std::move(payload));
+      }
+    }
+    stats_.blocks_shared += count;
+    return sim::Interval::At(ready);
+  }
   if (faults_ != nullptr && faults_->enabled()) {
     sim::FaultInjector::ReadOutcome outcome =
         faults_->SimulateRead(start, count, model_.TransferSeconds(volume_->block_bytes(), mean_c),
@@ -168,6 +184,9 @@ sim::ChunkCostProfile TapeDrive::ReadCostProfile(BlockIndex start, BlockCount ch
   // from a seeded RNG stream whose consumption order is part of the
   // simulation's reproducibility contract.
   if (faults_ != nullptr && faults_->enabled()) return {};
+  // A shared-pass window forces the per-chunk path too: whether a chunk is
+  // multicast or physically read is decided per Read().
+  if (shared_pass_active()) return {};
   // The steady state replayed here begins with SeekCost(start) == 0; a cold
   // head runs one per-chunk read first and the caller re-attempts after it.
   if (head_ != start) return {};

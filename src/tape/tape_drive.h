@@ -32,6 +32,9 @@ namespace tertio::tape {
 struct TapeDriveStats {
   BlockCount blocks_read = 0;
   BlockCount blocks_written = 0;
+  /// Blocks delivered out of a shared-pass window (multicast from another
+  /// query's in-flight sequential pass) without occupying the drive.
+  BlockCount blocks_shared = 0;
   std::uint64_t locate_count = 0;
   std::uint64_t reposition_count = 0;
   std::uint64_t rewind_count = 0;
@@ -98,6 +101,26 @@ class TapeDrive {
   void ForceMount(TapeVolume* volume) {
     volume_ = volume;
     head_ = 0;
+    ClearSharedPassWindow();
+  }
+
+  /// Declares [start, start+count) of the mounted volume covered by an
+  /// in-flight sequential pass that other queries may piggyback on (the
+  /// service layer's scan sharing, exec/query_scheduler.h). While the window
+  /// is set, a Read fully inside it delivers payloads at zero drive cost —
+  /// the data is multicast from the one physical pass — counted in
+  /// stats().blocks_shared instead of blocks_read, without moving the head.
+  void SetSharedPassWindow(BlockIndex start, BlockCount count) {
+    shared_window_volume_ = volume_;
+    shared_window_start_ = start;
+    shared_window_count_ = count;
+  }
+  void ClearSharedPassWindow() {
+    shared_window_volume_ = nullptr;
+    shared_window_count_ = 0;
+  }
+  bool shared_pass_active() const {
+    return shared_window_volume_ != nullptr && shared_window_volume_ == volume_;
   }
 
   /// Steady-state cost profile for up to `max_chunks` sequential reads of
@@ -139,6 +162,12 @@ class TapeDrive {
   /// locate + reposition when the access is discontiguous.
   SimSeconds SeekCost(BlockIndex target);
 
+  /// True when [start, start+count) lies inside the active shared window.
+  bool InSharedPassWindow(BlockIndex start, BlockCount count) const {
+    return shared_pass_active() && start >= shared_window_start_ &&
+           start + count <= shared_window_start_ + shared_window_count_;
+  }
+
   std::string name_;
   TapeDriveModel model_;
   sim::Resource* resource_;
@@ -146,6 +175,11 @@ class TapeDrive {
   BlockIndex head_ = 0;
   TapeDriveStats stats_;
   sim::FaultInjector* faults_ = nullptr;
+  /// Shared-pass window state; valid only while the declaring volume stays
+  /// mounted (a Load/ForceMount of another cartridge invalidates it).
+  TapeVolume* shared_window_volume_ = nullptr;
+  BlockIndex shared_window_start_ = 0;
+  BlockCount shared_window_count_ = 0;
 };
 
 /// Pipeline source streaming a tape-resident relation: block offset k of a

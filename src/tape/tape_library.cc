@@ -21,6 +21,13 @@ Result<TapeVolume*> TapeLibrary::CartridgeAt(int slot) {
   return slots_[static_cast<size_t>(slot)].volume.get();
 }
 
+Result<int> TapeLibrary::SlotOf(const TapeVolume* volume) const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].volume.get() == volume) return static_cast<int>(i);
+  }
+  return Status::NotFound("volume is not a cartridge of this library");
+}
+
 Result<int> TapeLibrary::FindSlotOf(const TapeDrive* drive) const {
   for (size_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i].mounted_in == drive) return static_cast<int>(i);

@@ -43,6 +43,17 @@ class TapeLibrary {
   /// The volume in `slot` (may be mounted in a drive).
   Result<TapeVolume*> CartridgeAt(int slot);
 
+  /// The home slot of `volume`, or NotFound if it is not a cartridge of this
+  /// library. Lets the service layer map a relation to the cartridge queue
+  /// it must wait on.
+  Result<int> SlotOf(const TapeVolume* volume) const;
+
+  /// The drive `slot`'s cartridge is currently mounted in, or null.
+  TapeDrive* MountedIn(int slot) const {
+    if (slot < 0 || slot >= static_cast<int>(slots_.size())) return nullptr;
+    return slots_[static_cast<size_t>(slot)].mounted_in;
+  }
+
   /// Mounts the cartridge in `slot` into `drive`. If the drive holds another
   /// cartridge it is exchanged (one robot trip to return it, one to fetch the
   /// new one) and returned to its home slot. \returns the interval covering

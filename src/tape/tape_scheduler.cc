@@ -5,20 +5,21 @@
 namespace tertio::tape {
 
 void TapeScheduler::Order(std::vector<TapeReadRequest>* batch) const {
+  // Equal start positions tie-break on request id: with several sessions
+  // submitting into one scheduler, submission interleaving must not change
+  // the executed order of an otherwise identical batch.
+  auto by_position = [](const TapeReadRequest& a, const TapeReadRequest& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.id < b.id;
+  };
   switch (policy_) {
     case SchedulePolicy::kFifo:
       return;
     case SchedulePolicy::kSortedAscending:
-      std::stable_sort(batch->begin(), batch->end(),
-                       [](const TapeReadRequest& a, const TapeReadRequest& b) {
-                         return a.start < b.start;
-                       });
+      std::sort(batch->begin(), batch->end(), by_position);
       return;
     case SchedulePolicy::kElevator: {
-      std::stable_sort(batch->begin(), batch->end(),
-                       [](const TapeReadRequest& a, const TapeReadRequest& b) {
-                         return a.start < b.start;
-                       });
+      std::sort(batch->begin(), batch->end(), by_position);
       // Rotate so the sweep starts at the first request at or after the
       // current head position.
       BlockIndex head = drive_->head_position();

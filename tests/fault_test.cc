@@ -741,5 +741,66 @@ TEST(TapeSchedulerBatch, DeviceErrorRequeuesEverythingForRetry) {
   EXPECT_EQ(scheduler.pending(), 0u);
 }
 
+TEST(TapeSchedulerBatch, RequeueUnderActiveFaultPlanWithMultipleSubmitters) {
+  // Two logical submitters keep feeding the scheduler between batches while
+  // an active fault plan makes a fraction of reads hard-fail. No request may
+  // be lost or duplicated, and completions gathered before each mid-batch
+  // failure must be preserved.
+  sim::Simulation sim;
+  TapeVolume volume("t", kBlock);
+  ASSERT_TRUE(volume.AppendPhantom(200, 0.25).ok());
+  TapeDrive drive("drv", TapeDriveModel::DLT4000(), sim.CreateResource("tape"));
+  ASSERT_TRUE(drive.Load(&volume, 0.0).ok());
+  sim::FaultProfile profile;
+  profile.transient_read_error_rate = 0.35;
+  profile.max_retries = 0;  // every injected fault is a hard kDeviceError
+  sim::FaultInjector injector(profile, 7, "drv");
+  drive.set_fault_injector(&injector);
+
+  TapeScheduler scheduler(&drive, SchedulePolicy::kSortedAscending);
+  std::uint64_t next_a = 1, next_b = 1000;
+  auto submit_round = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      // Submitter A reads low addresses, submitter B high ones.
+      scheduler.Submit({next_a, (next_a % 10) * 10, 5});
+      scheduler.Submit({next_b, 100 + (next_b % 10) * 10, 5});
+      ++next_a;
+      ++next_b;
+    }
+  };
+  submit_round(3);
+  std::uint64_t expected = 6;
+
+  std::map<std::uint64_t, int> completed;
+  SimSeconds cursor = 0.0;
+  for (int attempt = 0; attempt < 100 && (scheduler.pending() > 0 || expected < 10); ++attempt) {
+    if (attempt == 1 || attempt == 2) {
+      submit_round(1);  // both submitters add work while earlier requests retry
+      expected += 2;
+    }
+    auto batch = scheduler.ExecuteBatch(cursor);
+    for (const auto& completion : batch.completions) {
+      completed[completion.id]++;
+      cursor = std::max(cursor, completion.interval.end);
+    }
+    if (!batch.ok()) {
+      // Failed + unexecuted requests are back in the queue, nothing dropped.
+      EXPECT_EQ(completed.size() + scheduler.pending(), expected);
+      EXPECT_GT(batch.requeued, 0u);
+    }
+  }
+  drive.set_fault_injector(nullptr);
+  auto drain = scheduler.ExecuteBatch(cursor);
+  EXPECT_TRUE(drain.ok());
+  for (const auto& completion : drain.completions) completed[completion.id]++;
+
+  EXPECT_EQ(scheduler.pending(), 0u);
+  ASSERT_EQ(completed.size(), expected);
+  for (const auto& [id, count] : completed) {
+    EXPECT_EQ(count, 1) << "request " << id << " completed more than once";
+  }
+  EXPECT_GT(injector.stats().hard_failures, 0u);
+}
+
 }  // namespace
 }  // namespace tertio::tape

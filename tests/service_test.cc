@@ -1,0 +1,431 @@
+// Query-service tests: the Site/QuerySession split of the legacy Machine
+// and the QueryScheduler on top.
+//
+// The acceptance bar of the split is bit-identity: a single join executed
+// through Site + QuerySession must report exactly the simulated seconds and
+// stats of the legacy Machine path, for all seven methods, audit-clean.
+// On top of that, sessions must partition (and return) the site's memory,
+// disk and drive budgets; the scheduler must admission-check requests,
+// drain in arrival order, and — under the shared-scan policy — multicast an
+// in-flight S pass to queued joins on the same cartridge, with identical
+// join results to the no-sharing baseline.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/experiment.h"
+#include "exec/machine.h"
+#include "exec/query_scheduler.h"
+#include "exec/query_session.h"
+#include "exec/service_workload.h"
+#include "exec/site.h"
+#include "join/join_method.h"
+#include "relation/generator.h"
+#include "sim/auditor.h"
+
+namespace tertio::exec {
+namespace {
+
+// Mirrors PrepareWorkload (experiment.cc) onto caller-owned loose volumes,
+// so the direct-Site path feeds the executors the exact relations the
+// Machine path generates.
+struct LooseWorkload {
+  std::unique_ptr<tape::TapeVolume> tape_r;
+  std::unique_ptr<tape::TapeVolume> tape_s;
+  rel::Relation r;
+  rel::Relation s;
+};
+
+LooseWorkload GenerateLoose(ByteCount block_bytes, const WorkloadConfig& workload) {
+  LooseWorkload loose;
+  loose.tape_r = std::make_unique<tape::TapeVolume>("tape-R", block_bytes);
+  loose.tape_s = std::make_unique<tape::TapeVolume>("tape-S", block_bytes);
+  rel::GeneratorConfig r_config;
+  r_config.name = "R";
+  r_config.record_bytes = workload.record_bytes;
+  r_config.compressibility = workload.compressibility;
+  r_config.seed = workload.seed;
+  r_config.phantom = workload.phantom;
+  r_config.keys = rel::KeySequence::kSequentialUnique;
+  BlockCount tuples_per_block =
+      rel::TuplesPerBlock(rel::Schema::KeyPayload(workload.record_bytes), block_bytes);
+  r_config.tuple_count = BytesToBlocks(workload.r_bytes, block_bytes) * tuples_per_block;
+  rel::GeneratorConfig s_config = r_config;
+  s_config.name = "S";
+  s_config.seed = workload.seed + 1;
+  s_config.keys = rel::KeySequence::kForeignKeyUniform;
+  s_config.key_domain = r_config.tuple_count;
+  s_config.tuple_count = BytesToBlocks(workload.s_bytes, block_bytes) * tuples_per_block;
+  auto r = rel::GenerateOnTape(r_config, loose.tape_r.get());
+  auto s = rel::GenerateOnTape(s_config, loose.tape_s.get());
+  TERTIO_CHECK(r.ok() && s.ok(), "loose workload generation failed");
+  loose.r = std::move(*r);
+  loose.s = std::move(*s);
+  return loose;
+}
+
+void ExpectBitIdentical(const join::JoinStats& a, const join::JoinStats& b,
+                        std::string_view label) {
+  EXPECT_EQ(a.response_seconds, b.response_seconds) << label;  // exact, not near
+  EXPECT_EQ(a.step1_seconds, b.step1_seconds) << label;
+  EXPECT_EQ(a.step2_seconds, b.step2_seconds) << label;
+  EXPECT_EQ(a.tape_blocks_read, b.tape_blocks_read) << label;
+  EXPECT_EQ(a.tape_blocks_written, b.tape_blocks_written) << label;
+  EXPECT_EQ(a.tape_blocks_shared, b.tape_blocks_shared) << label;
+  EXPECT_EQ(a.disk_blocks_read, b.disk_blocks_read) << label;
+  EXPECT_EQ(a.disk_blocks_written, b.disk_blocks_written) << label;
+  EXPECT_EQ(a.disk_requests, b.disk_requests) << label;
+  EXPECT_EQ(a.r_scans, b.r_scans) << label;
+  EXPECT_EQ(a.iterations, b.iterations) << label;
+  EXPECT_EQ(a.peak_memory_blocks, b.peak_memory_blocks) << label;
+  EXPECT_EQ(a.peak_disk_blocks, b.peak_disk_blocks) << label;
+  EXPECT_EQ(a.memory_occupied_blocks, b.memory_occupied_blocks) << label;
+  ASSERT_EQ(a.spans.phases().size(), b.spans.phases().size()) << label;
+  for (std::size_t i = 0; i < a.spans.phases().size(); ++i) {
+    const sim::PhaseSummary& pa = a.spans.phases()[i];
+    const sim::PhaseSummary& pb = b.spans.phases()[i];
+    SCOPED_TRACE(std::string(label) + " phase " + pa.phase);
+    EXPECT_EQ(pa.phase, pb.phase);
+    EXPECT_EQ(pa.device, pb.device);
+    EXPECT_EQ(pa.stage_count, pb.stage_count);
+    EXPECT_EQ(pa.blocks, pb.blocks);
+    EXPECT_EQ(pa.bytes, pb.bytes);
+    EXPECT_EQ(pa.busy_seconds, pb.busy_seconds);
+    EXPECT_EQ(pa.window.start, pb.window.start);
+    EXPECT_EQ(pa.window.end, pb.window.end);
+  }
+}
+
+// The tentpole acceptance bar: a single join through Site + QuerySession is
+// bit-identical to the legacy Machine path, for all seven methods, under
+// audit.
+TEST(ServiceBitIdentityTest, AllSevenMethodsMatchTheLegacyMachinePath) {
+  for (JoinMethodId method : kAllJoinMethods) {
+    // Experiment-3 parameters (simsan_test.cc): every method is feasible.
+    WorkloadConfig workload;
+    workload.r_bytes = 18 * kMB;
+    workload.s_bytes = 1000 * kMB;
+    workload.phantom = true;
+
+    MachineConfig machine_config = MachineConfig::PaperTestbed(50 * kMB, 5400 * kKB);
+    Machine machine(machine_config);
+    machine.EnableAudit();
+    auto prepared = PrepareWorkload(&machine, workload);
+    ASSERT_TRUE(prepared.ok()) << prepared.status();
+    join::JoinSpec machine_spec;
+    machine_spec.r = &prepared->r;
+    machine_spec.s = &prepared->s;
+    join::JoinContext machine_ctx = machine.context();
+    auto machine_stats = join::CreateJoinMethod(method)->Execute(machine_spec, machine_ctx);
+    ASSERT_TRUE(machine_stats.ok()) << JoinMethodName(method) << ": " << machine_stats.status();
+
+    SiteConfig site_config = machine_config.ToSiteConfig();
+    auto site = Site::Create(site_config);
+    ASSERT_TRUE(site.ok()) << site.status();
+    (*site)->EnableAudit();
+    SessionResources all;
+    all.memory_blocks = (*site)->memory_blocks();
+    all.disk_blocks = (*site)->disk_blocks();
+    auto session = QuerySession::Open(site->get(), all);
+    ASSERT_TRUE(session.ok()) << session.status();
+    LooseWorkload loose = GenerateLoose(site_config.block_bytes, workload);
+    (*session)->ForceMount(loose.tape_r.get(), loose.tape_s.get());
+    join::JoinSpec site_spec;
+    site_spec.r = &loose.r;
+    site_spec.s = &loose.s;
+    join::JoinContext site_ctx = (*session)->context();
+    auto site_stats = join::CreateJoinMethod(method)->Execute(site_spec, site_ctx);
+    ASSERT_TRUE(site_stats.ok()) << JoinMethodName(method) << ": " << site_stats.status();
+
+    ExpectBitIdentical(*machine_stats, *site_stats, JoinMethodName(method));
+    EXPECT_TRUE((*site)->auditor()->clean()) << (*site)->auditor()->TraceString();
+    EXPECT_TRUE(machine.auditor()->clean()) << machine.auditor()->TraceString();
+  }
+}
+
+TEST(SiteConfigTest, ValidateRejectsDegenerateConfigs) {
+  SiteConfig good;
+  EXPECT_TRUE(good.Validate().ok());
+
+  SiteConfig no_disks = good;
+  no_disks.disk_count = 0;
+  EXPECT_FALSE(no_disks.Validate().ok());
+  EXPECT_FALSE(Site::Create(no_disks).ok());
+
+  SiteConfig tiny_memory = good;
+  tiny_memory.memory_bytes = good.block_bytes - 1;
+  EXPECT_FALSE(tiny_memory.Validate().ok());
+
+  SiteConfig no_stripe = good;
+  no_stripe.stripe_unit = 0;
+  EXPECT_FALSE(no_stripe.Validate().ok());
+
+  SiteConfig one_drive = good;
+  one_drive.drive_count = 1;
+  EXPECT_FALSE(one_drive.Validate().ok());
+
+  SiteConfig no_blocks = good;
+  no_blocks.block_bytes = 0;
+  EXPECT_FALSE(no_blocks.Validate().ok());
+
+  SiteConfig tiny_disk = good;
+  tiny_disk.disk_space_bytes = good.block_bytes - 1;
+  EXPECT_FALSE(tiny_disk.Validate().ok());
+}
+
+TEST(MachineConfigTest, ValidateDelegatesToSiteRules) {
+  MachineConfig good;
+  EXPECT_TRUE(good.Validate().ok());
+  MachineConfig bad = good;
+  bad.disk_count = -2;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = good;
+  bad.memory_bytes = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(QuerySessionTest, LeasesPartitionTheSiteAndReturnOnClose) {
+  SiteConfig config;
+  config.drive_count = 4;
+  config.memory_bytes = 32 * kMB;
+  config.disk_space_bytes = 100 * kMB;
+  Site site(config);
+
+  SessionResources half;
+  half.name = "a";
+  half.memory_blocks = site.memory_blocks() / 2;
+  half.disk_blocks = site.disk_blocks() / 2;
+  auto a = QuerySession::Open(&site, half);
+  ASSERT_TRUE(a.ok()) << a.status();
+  EXPECT_EQ(site.memory().reserved_blocks(), half.memory_blocks);
+  EXPECT_EQ(site.free_drives(), 2);
+
+  half.name = "b";
+  auto b = QuerySession::Open(&site, half);
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(site.memory().reserved_blocks(), 2 * half.memory_blocks);
+  EXPECT_EQ(site.free_drives(), 0);
+  EXPECT_EQ(site.disks().allocator().free_blocks(), site.disk_blocks() - 2 * half.disk_blocks);
+
+  // No drives (and no memory) left: a third lease must fail cleanly.
+  half.name = "c";
+  auto c = QuerySession::Open(&site, half);
+  EXPECT_FALSE(c.ok());
+
+  // Closing a session returns every resource it held.
+  a->reset();
+  EXPECT_EQ(site.memory().reserved_blocks(), half.memory_blocks);
+  EXPECT_EQ(site.free_drives(), 2);
+  EXPECT_EQ(site.disks().allocator().free_blocks(), site.disk_blocks() - half.disk_blocks);
+  half.name = "d";
+  auto d = QuerySession::Open(&site, half);
+  EXPECT_TRUE(d.ok()) << d.status();
+}
+
+TEST(QuerySessionTest, SessionBudgetBoundsAreLocal) {
+  SiteConfig config;
+  config.memory_bytes = 32 * kMB;
+  Site site(config);
+  SessionResources res;
+  res.memory_blocks = 16;
+  res.disk_blocks = 64;
+  auto session = QuerySession::Open(&site, res);
+  ASSERT_TRUE(session.ok()) << session.status();
+  // The session's own M_q is the binding constraint, not the site's M.
+  EXPECT_TRUE((*session)->memory().Reserve(16, "w").ok());
+  EXPECT_FALSE((*session)->memory().Reserve(1, "w").ok());
+  EXPECT_GT(site.memory().free_blocks(), 0u);
+  // Same for the disk carve.
+  auto fits = (*session)->disks().allocator().Allocate(64, 0.0, "w");
+  EXPECT_TRUE(fits.ok());
+  auto overflow = (*session)->disks().allocator().Allocate(1, 0.0, "w");
+  EXPECT_FALSE(overflow.ok());
+  Status freed = (*session)->disks().allocator().Free(*fits, 0.0, "w");
+  EXPECT_TRUE(freed.ok());
+  Status released = (*session)->memory().ReleaseAll("w");
+  EXPECT_TRUE(released.ok());
+}
+
+ServiceWorkloadConfig SmallServiceWorkload(bool phantom) {
+  ServiceWorkloadConfig config;
+  config.s_cartridges = 1;
+  config.s_bytes = phantom ? 100 * kMB : 64 * kKB;
+  config.r_relations = 3;
+  config.r_bytes = phantom ? 5 * kMB : 16 * kKB;
+  config.phantom = phantom;
+  return config;
+}
+
+JoinRequest RequestFor(Site* site, const ServiceWorkload& workload, int r_index, int s_index,
+                       SimSeconds arrival) {
+  JoinRequest request;
+  request.arrival = arrival;
+  request.spec.r = &workload.r[static_cast<size_t>(r_index)];
+  request.spec.s = &workload.s[static_cast<size_t>(s_index)];
+  request.method = JoinMethodId::kCdtGh;
+  request.memory_blocks = site->memory_blocks();
+  request.disk_blocks = site->disk_blocks();
+  return request;
+}
+
+TEST(QuerySchedulerTest, AdmissionControlRejectsImpossibleRequests) {
+  SiteConfig config;
+  config.with_library = true;
+  Site site(config);
+  auto workload = PrepareServiceWorkload(&site, SmallServiceWorkload(/*phantom=*/true));
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  QueryScheduler scheduler(&site, ServicePolicy::kFifo);
+
+  JoinRequest over_memory = RequestFor(&site, *workload, 0, 0, 0.0);
+  over_memory.memory_blocks = site.memory_blocks() + 1;
+  EXPECT_FALSE(scheduler.Submit(over_memory).ok());
+
+  JoinRequest over_disk = RequestFor(&site, *workload, 0, 0, 0.0);
+  over_disk.disk_blocks = site.disk_blocks() + 1;
+  EXPECT_FALSE(scheduler.Submit(over_disk).ok());
+
+  // A relation on a loose (non-library) volume is not addressable.
+  tape::TapeVolume loose("loose", config.block_bytes);
+  rel::Relation foreign = workload->r[0];
+  foreign.volume = &loose;
+  JoinRequest off_library = RequestFor(&site, *workload, 0, 0, 0.0);
+  off_library.spec.r = &foreign;
+  EXPECT_FALSE(scheduler.Submit(off_library).ok());
+
+  EXPECT_TRUE(scheduler.Submit(RequestFor(&site, *workload, 0, 0, 0.0)).ok());
+  EXPECT_EQ(scheduler.pending(), 1u);
+  EXPECT_EQ(scheduler.pending_on(workload->s_slots[0]), 1u);
+  EXPECT_EQ(scheduler.service_stats().rejected, 3u);
+
+  // A site without a library cannot serve at all.
+  SiteConfig bare_config;
+  Site bare(bare_config);
+  QueryScheduler bare_scheduler(&bare, ServicePolicy::kFifo);
+  EXPECT_FALSE(bare_scheduler.Submit(RequestFor(&bare, *workload, 0, 0, 0.0)).ok());
+}
+
+TEST(QuerySchedulerTest, FifoDrainsInArrivalOrderAndQueriesNeverStartEarly) {
+  SiteConfig config;
+  config.with_library = true;
+  Site site(config);
+  auto workload = PrepareServiceWorkload(&site, SmallServiceWorkload(/*phantom=*/true));
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  QueryScheduler scheduler(&site, ServicePolicy::kFifo);
+  // Submitted out of arrival order on purpose.
+  auto q2 = scheduler.Submit(RequestFor(&site, *workload, 1, 0, 100.0));
+  auto q1 = scheduler.Submit(RequestFor(&site, *workload, 0, 0, 0.0));
+  auto q3 = scheduler.Submit(RequestFor(&site, *workload, 2, 0, 200.0));
+  ASSERT_TRUE(q1.ok() && q2.ok() && q3.ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  const auto& outcomes = scheduler.outcomes();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].id, *q1);
+  EXPECT_EQ(outcomes[1].id, *q2);
+  EXPECT_EQ(outcomes[2].id, *q3);
+  for (const QueryOutcome& out : outcomes) {
+    EXPECT_TRUE(out.status.ok()) << out.status;
+    EXPECT_GE(out.start, out.arrival);
+    EXPECT_GT(out.completion, out.start);
+    EXPECT_FALSE(out.scan_shared);
+    EXPECT_EQ(out.stats.tape_blocks_shared, 0u);
+  }
+  ServiceStats stats = scheduler.service_stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.scan_shared_queries, 0u);
+  EXPECT_EQ(stats.makespan, site.sim().Horizon());
+}
+
+TEST(QuerySchedulerTest, SharedScanMulticastsTheSPassAndReducesTapeTraffic) {
+  auto run = [](ServicePolicy policy) {
+    SiteConfig config;
+    config.with_library = true;
+    auto site = std::make_unique<Site>(config);
+    auto workload = PrepareServiceWorkload(site.get(), SmallServiceWorkload(/*phantom=*/true));
+    TERTIO_CHECK(workload.ok(), "workload setup failed");
+    QueryScheduler scheduler(site.get(), policy);
+    for (int j = 0; j < 3; ++j) {
+      auto id = scheduler.Submit(RequestFor(site.get(), *workload, j, 0, 0.0));
+      TERTIO_CHECK(id.ok(), "submit failed");
+    }
+    Status ran = scheduler.Run();
+    TERTIO_CHECK(ran.ok(), "run failed");
+    ServiceStats stats = scheduler.service_stats();
+    TERTIO_CHECK(stats.completed == 3, "all queries must complete");
+    return stats;
+  };
+  ServiceStats fifo = run(ServicePolicy::kFifo);
+  ServiceStats shared = run(ServicePolicy::kSharedScan);
+  EXPECT_EQ(fifo.scan_shared_queries, 0u);
+  EXPECT_EQ(fifo.tape_blocks_shared, 0u);
+  // Two of the three queries ride the leader's pass: their S blocks move
+  // from read to shared, and the queue drains sooner.
+  EXPECT_EQ(shared.scan_shared_queries, 2u);
+  EXPECT_GT(shared.tape_blocks_shared, 0u);
+  EXPECT_LT(shared.tape_blocks_read, fifo.tape_blocks_read);
+  EXPECT_EQ(shared.tape_blocks_read + shared.tape_blocks_shared, fifo.tape_blocks_read);
+  EXPECT_LT(shared.makespan, fifo.makespan);
+}
+
+TEST(QuerySchedulerTest, SharedScanDeliversIdenticalJoinResults) {
+  // Full-data mode: the multicast path must deliver the same tuples the
+  // physical pass would.
+  auto run = [](ServicePolicy policy) {
+    SiteConfig config;
+    config.with_library = true;
+    auto site = std::make_unique<Site>(config);
+    auto workload = PrepareServiceWorkload(site.get(), SmallServiceWorkload(/*phantom=*/false));
+    TERTIO_CHECK(workload.ok(), "workload setup failed");
+    QueryScheduler scheduler(site.get(), policy);
+    for (int j = 0; j < 3; ++j) {
+      auto id = scheduler.Submit(RequestFor(site.get(), *workload, j, 0, 0.0));
+      TERTIO_CHECK(id.ok(), "submit failed");
+    }
+    Status ran = scheduler.Run();
+    TERTIO_CHECK(ran.ok(), "run failed");
+    return scheduler.outcomes();
+  };
+  auto fifo = run(ServicePolicy::kFifo);
+  auto shared = run(ServicePolicy::kSharedScan);
+  ASSERT_EQ(fifo.size(), shared.size());
+  for (std::size_t i = 0; i < fifo.size(); ++i) {
+    ASSERT_TRUE(fifo[i].status.ok()) << fifo[i].status;
+    ASSERT_TRUE(shared[i].status.ok()) << shared[i].status;
+    EXPECT_EQ(fifo[i].id, shared[i].id);
+    ASSERT_TRUE(fifo[i].stats.output_valid);
+    ASSERT_TRUE(shared[i].stats.output_valid);
+    EXPECT_EQ(fifo[i].stats.output_tuples, shared[i].stats.output_tuples) << i;
+    EXPECT_EQ(fifo[i].stats.output_checksum, shared[i].stats.output_checksum) << i;
+  }
+}
+
+TEST(QuerySchedulerTest, ClosedLoopClientsSubmitFromCompletions) {
+  SiteConfig config;
+  config.with_library = true;
+  Site site(config);
+  auto workload = PrepareServiceWorkload(&site, SmallServiceWorkload(/*phantom=*/true));
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  QueryScheduler scheduler(&site, ServicePolicy::kSharedScan);
+  int resubmits = 2;
+  scheduler.set_on_complete([&](const QueryOutcome& out) {
+    if (resubmits-- > 0) {
+      JoinRequest next = RequestFor(&site, *workload, resubmits, 0, out.completion);
+      auto id = scheduler.Submit(std::move(next));
+      TERTIO_CHECK(id.ok(), "closed-loop submit failed");
+    }
+  });
+  ASSERT_TRUE(scheduler.Submit(RequestFor(&site, *workload, 0, 0, 0.0)).ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  EXPECT_EQ(scheduler.outcomes().size(), 3u);
+  EXPECT_EQ(scheduler.service_stats().completed, 3u);
+  // Each closed-loop arrival is its predecessor's completion, so starts are
+  // strictly ordered.
+  for (std::size_t i = 1; i < scheduler.outcomes().size(); ++i) {
+    EXPECT_GE(scheduler.outcomes()[i].start, scheduler.outcomes()[i - 1].completion);
+  }
+}
+
+}  // namespace
+}  // namespace tertio::exec

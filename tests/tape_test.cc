@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "sim/simulation.h"
@@ -384,6 +385,34 @@ TEST_F(TapeSchedulerTest, PoliciesReturnIdenticalData) {
   auto elevator = run(SchedulePolicy::kElevator);
   EXPECT_EQ(fifo, sorted);
   EXPECT_EQ(fifo, elevator);
+}
+
+TEST_F(TapeSchedulerTest, EqualStartsBreakTiesByRequestId) {
+  // Requests sharing a start position must execute in id order no matter
+  // how submission interleaved them — the executed order (and thus the
+  // drive timeline) is a function of the request set alone.
+  std::vector<TapeReadRequest> ties = {{4, 200, 5}, {1, 200, 5}, {3, 200, 5},
+                                       {2, 700, 5}, {5, 700, 5}};
+  for (SchedulePolicy policy : {SchedulePolicy::kSortedAscending, SchedulePolicy::kElevator}) {
+    std::vector<std::vector<std::uint64_t>> orders;
+    // Two opposite submission interleavings.
+    for (bool reversed : {false, true}) {
+      sim::Simulation sim;
+      TapeDrive drive("d", TapeDriveModel::DLT4000(), sim.CreateResource("t"));
+      ASSERT_TRUE(drive.Load(&vol_, 0.0).ok());
+      TapeScheduler scheduler(&drive, policy);
+      std::vector<TapeReadRequest> submitted = ties;
+      if (reversed) std::reverse(submitted.begin(), submitted.end());
+      for (const auto& r : submitted) scheduler.Submit(r);
+      auto done = scheduler.ExecuteBatch(0.0);
+      ASSERT_TRUE(done.ok());
+      std::vector<std::uint64_t> order;
+      for (const auto& completion : done.completions) order.push_back(completion.id);
+      orders.push_back(std::move(order));
+    }
+    EXPECT_EQ(orders[0], (std::vector<std::uint64_t>{1, 3, 4, 2, 5}));
+    EXPECT_EQ(orders[0], orders[1]);
+  }
 }
 
 TEST_F(TapeSchedulerTest, BatchDrainsPendingQueue) {

@@ -22,6 +22,13 @@ Three check families, all tuned to invariants the compiler cannot see:
    special-cased by sim/trace_report.cc or src/exec/report.cc must be
    registered too — a typo'd label silently forks a report row.
 
+4. mount-encapsulation: direct `TapeLibrary::Mount` calls are confined to
+   src/tape and src/exec. Everywhere else, mounts must go through
+   exec::QuerySession (MountR/MountS) or the QueryScheduler, which charge
+   the robot/drive timelines and keep slot bookkeeping consistent with
+   session drive leases. Waive a deliberate exception with
+   `// tertio-lint: allow(mount)`.
+
 Exit status: 0 with no findings, 1 otherwise. Output: `file:line: [rule] msg`.
 """
 
@@ -75,6 +82,13 @@ REPORT_PHASE_RE = re.compile(r"\bphase(?:\.phase)?\s*==\s*\"([^\"]+)\"")
 # A discarded *call* — `(void)Foo(...)`, `(void)obj.Method(...)`. Plain
 # `(void)name;` parameter silencers are fine and not matched.
 VOID_DISCARD_RE = re.compile(r"^\s*\(void\)\s*[A-Za-z_][\w:.>-]*\s*\(")
+
+# Directories scanned for direct library mounts (rule 4), and the layers
+# allowed to perform them. Member-call shape only (`x.Mount(` / `x->Mount(`),
+# so MountR/ForceMount/MountTapes wrappers do not match.
+MOUNT_DIRS = ("src", "tools", "examples", "bench")
+MOUNT_ALLOWED = ("src/tape", "src/exec")
+MOUNT_RE = re.compile(r"(?:\.|->)\s*Mount\s*\(")
 
 
 class Finding:
@@ -206,6 +220,23 @@ def check_hot_paths(findings: list[Finding]) -> None:
                                         "#include <unordered_map> in a hot-path directory"))
 
 
+def check_mount_encapsulation(findings: list[Finding]) -> None:
+    for path in iter_sources(MOUNT_DIRS):
+        rel = path.relative_to(REPO).as_posix()
+        if any(rel.startswith(prefix + "/") for prefix in MOUNT_ALLOWED):
+            continue
+        raw = path.read_text()
+        raw_lines = raw.splitlines()
+        stripped = strip_comments(raw).splitlines()
+        for idx, line in enumerate(stripped):
+            if MOUNT_RE.search(line) and "mount" not in waivers_for(raw_lines, idx + 1):
+                findings.append(Finding(
+                    path, idx + 1, "mount",
+                    "direct TapeLibrary::Mount outside src/tape and src/exec bypasses "
+                    "session mount accounting; use exec::QuerySession MountR/MountS "
+                    "(or tertio-lint: allow(mount) for a deliberate exception)"))
+
+
 def load_registry(findings: list[Finding]) -> list[str]:
     text = REGISTRY.read_text()
     m = re.search(r"kRegisteredSpans\[\]\s*=\s*\{(.*?)\};", text, re.DOTALL)
@@ -269,6 +300,7 @@ def main() -> int:
 
     check_error_discipline(findings)
     check_hot_paths(findings)
+    check_mount_encapsulation(findings)
     check_span_registry(findings)
 
     for finding in findings:

@@ -5,11 +5,14 @@
 ///   tertio_cli estimate --method CTT-GH --r-mb 2500 --s-mb 10000 --disk-mb 500 --memory-mb 16
 ///   tertio_cli run      --method CTT-GH --r-mb 2500 --s-mb 10000 --disk-mb 500 --memory-mb 16
 ///   tertio_cli sweep    --r-mb 18 --s-mb 1000 --disk-mb 50   (Experiment-3 style M sweep)
+///   tertio_cli serve    --r-mb 18 --s-mb 1000 --disk-mb 500 --memory-mb 16
+///                       --queries 8 [--clients 3] [--interarrival 600] [--cartridges 2]
 ///
 /// Common flags: --compressibility F (default 0.25), --gantt (run only:
 /// print the device timeline; small joins only — traces are large),
 /// --spans (run only: print the per-phase span table and phase timeline).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,7 +23,9 @@
 #include "cost/cost_model.h"
 #include "exec/experiment.h"
 #include "exec/machine.h"
+#include "exec/query_scheduler.h"
 #include "exec/report.h"
+#include "exec/service_workload.h"
 #include "join/advisor.h"
 #include "join/join_method.h"
 #include "sim/trace_report.h"
@@ -48,9 +53,12 @@ struct Flags {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tertio_cli <advise|estimate|run|sweep> --r-mb N --s-mb N "
+               "usage: tertio_cli <advise|estimate|run|sweep|serve> --r-mb N --s-mb N "
                "--disk-mb N --memory-mb N [--method NAME] [--compressibility F] "
                "[--faults SPEC] [--gantt] [--spans]\n"
+               "serve:   multi-query service, fifo vs shared-scan; also takes "
+               "[--queries N] [--clients N] [--interarrival S] [--cartridges N] "
+               "[--r-relations N]\n"
                "methods: DT-NB CDT-NB/MB CDT-NB/DB DT-GH CDT-GH CTT-GH TT-GH\n"
                "faults:  comma list, e.g. "
                "seed=7,tape-transient=1e-4,tape-bad=1e-6,disk-transient=1e-5,"
@@ -279,6 +287,116 @@ int CmdSweep(const Flags& flags) {
   return 0;
 }
 
+// Drives a multi-query stream through exec::QueryScheduler under one policy.
+// Open loop (--interarrival) unless --clients > 0 makes it closed loop.
+struct ServeResult {
+  exec::ServiceStats stats;
+  std::vector<double> responses;
+};
+
+Result<ServeResult> RunService(const Flags& flags, exec::ServicePolicy policy) {
+  exec::SiteConfig site_config;
+  site_config.disk_space_bytes = static_cast<ByteCount>(flags.GetDouble("disk-mb", 0) * kMB);
+  site_config.memory_bytes = static_cast<ByteCount>(flags.GetDouble("memory-mb", 0) * kMB);
+  site_config.with_library = true;
+  if (flags.Has("faults")) {
+    TERTIO_ASSIGN_OR_RETURN(site_config.faults,
+                            sim::FaultPlan::Parse(flags.GetString("faults", "")));
+  }
+  TERTIO_RETURN_IF_ERROR(site_config.Validate());
+  exec::Site site(site_config);
+
+  exec::ServiceWorkloadConfig load;
+  load.s_bytes = static_cast<ByteCount>(flags.GetDouble("s-mb", 0) * kMB);
+  load.r_bytes = static_cast<ByteCount>(flags.GetDouble("r-mb", 0) * kMB);
+  load.s_cartridges = static_cast<int>(flags.GetDouble("cartridges", 2));
+  load.r_relations = static_cast<int>(flags.GetDouble("r-relations", 4));
+  load.compressibility = flags.GetDouble("compressibility", 0.25);
+  TERTIO_ASSIGN_OR_RETURN(exec::ServiceWorkload workload,
+                          exec::PrepareServiceWorkload(&site, load));
+
+  JoinMethodId method = JoinMethodId::kCdtGh;
+  if (flags.Has("method") && !ParseJoinMethodName(flags.GetString("method", ""), &method)) {
+    return Status::InvalidArgument("unknown --method");
+  }
+  auto make_request = [&](int q, SimSeconds arrival) {
+    exec::JoinRequest request;
+    request.arrival = arrival;
+    request.spec.r = &workload.r[static_cast<size_t>(q) % workload.r.size()];
+    request.spec.s = &workload.s[static_cast<size_t>(q) % workload.s.size()];
+    request.method = method;
+    request.memory_blocks = site.memory_blocks();
+    request.disk_blocks = site.disk_blocks();
+    return request;
+  };
+
+  int queries = static_cast<int>(flags.GetDouble("queries", 8));
+  int clients = static_cast<int>(flags.GetDouble("clients", 0));
+  double interarrival = flags.GetDouble("interarrival", 600.0);
+  exec::QueryScheduler scheduler(&site, policy);
+  if (clients > 0) {
+    // Closed loop: each completion triggers that client's next query.
+    int issued = clients;
+    scheduler.set_on_complete([&](const exec::QueryOutcome& out) {
+      if (issued >= queries) return;
+      auto id = scheduler.Submit(make_request(issued++, out.completion));
+      TERTIO_CHECK(id.ok(), "closed-loop submit rejected");
+    });
+    for (int c = 0; c < std::min(clients, queries); ++c) {
+      TERTIO_RETURN_IF_ERROR(scheduler.Submit(make_request(c, 0.0)).status());
+    }
+  } else {
+    for (int q = 0; q < queries; ++q) {
+      TERTIO_RETURN_IF_ERROR(
+          scheduler.Submit(make_request(q, static_cast<double>(q) * interarrival)).status());
+    }
+  }
+  TERTIO_RETURN_IF_ERROR(scheduler.Run());
+
+  ServeResult result;
+  result.stats = scheduler.service_stats();
+  for (const exec::QueryOutcome& out : scheduler.outcomes()) {
+    if (!out.status.ok()) return out.status;
+    result.responses.push_back(out.response_seconds());
+  }
+  std::sort(result.responses.begin(), result.responses.end());
+  return result;
+}
+
+double ServePercentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  auto rank = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+int CmdServe(const Flags& flags) {
+  exec::TableReport table({"policy", "queries", "p50 resp", "p99 resp", "makespan",
+                           "tape read (MB)", "shared (MB)", "shared queries"});
+  for (exec::ServicePolicy policy :
+       {exec::ServicePolicy::kFifo, exec::ServicePolicy::kSharedScan}) {
+    auto result = RunService(flags, policy);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow(
+        {policy == exec::ServicePolicy::kFifo ? "fifo" : "shared-scan",
+         StrFormat("%llu", (unsigned long long)result->stats.completed),
+         FormatDuration(ServePercentile(result->responses, 0.50)),
+         FormatDuration(ServePercentile(result->responses, 0.99)),
+         FormatDuration(result->stats.makespan),
+         StrFormat("%.0f", static_cast<double>(BlocksToBytes(result->stats.tape_blocks_read,
+                                                             kDefaultBlockBytes)) /
+                               kMB),
+         StrFormat("%.0f", static_cast<double>(BlocksToBytes(result->stats.tape_blocks_shared,
+                                                             kDefaultBlockBytes)) /
+                               kMB),
+         StrFormat("%llu", (unsigned long long)result->stats.scan_shared_queries)});
+  }
+  table.Print();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -293,5 +411,6 @@ int main(int argc, char** argv) {
   if (command == "estimate") return CmdEstimate(*flags);
   if (command == "run") return CmdRun(*flags);
   if (command == "sweep") return CmdSweep(*flags);
+  if (command == "serve") return CmdServe(*flags);
   return Usage();
 }

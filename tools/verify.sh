@@ -3,7 +3,8 @@
 # installed), then tier-1 build + tests (RelWithDebInfo), a bench smoke run
 # that must produce BENCH_joins.json, then the sanitizer passes — ASan+UBSan
 # over the fault/error-path and SimSan tests and TSan over the parallel-sweep
-# tests — so every recovery branch and every sweep-driver interleaving runs
+# and query-service tests — so every recovery branch and every driver
+# interleaving runs
 # sanitizer-checked. The asan/tsan presets build with TERTIO_SIMSAN=ON, so
 # every test in those passes also runs under the simulation invariant
 # auditor (sim/auditor.h) with hard-fail at Simulation destruction.
@@ -53,9 +54,9 @@ cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"
 ctest --preset asan -L 'faults|simsan' -j"$(nproc)"
 
-echo "== sanitizers: TSan build + parallel-sweep tests (preset: tsan) =="
+echo "== sanitizers: TSan build + parallel-sweep + service tests (preset: tsan) =="
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)"
-ctest --preset tsan -L parallel -j"$(nproc)"
+ctest --preset tsan -L 'parallel|service' -j"$(nproc)"
 
 echo "== verify OK =="
