@@ -1,5 +1,6 @@
 // Multi-query join service: scan sharing vs FIFO under open- and
-// closed-loop arrivals.
+// closed-loop arrivals, plus the HSM extent cache under a Zipf-skewed
+// closed loop.
 //
 // The paper's related work (Section 2) credits Postgres and Paradise with
 // batching queries against the same tape to save passes. bench_query_service
@@ -9,10 +10,19 @@
 // scan sharing (queued joins on an already-swept cartridge ride the leader's
 // pass). Reported per policy: p50/p99 response time, makespan, and physical
 // vs multicast tape blocks.
+//
+// The Zipf sweep exercises the cross-query extent cache (disk/extent_cache.h):
+// closed-loop clients draw their S cartridge from a Zipf(1) popularity
+// distribution, and the sweep grows SiteConfig::cache_blocks from 0 (pure
+// tape, the PR 6 baseline) to several multiples of one S relation. With a
+// warm cache the hot cartridges' S passes become disk reads, so physical
+// tape blocks and tail latency both drop.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -64,7 +74,7 @@ JoinRequest MakeRequest(Site* site, const ServiceWorkload& workload, int query_i
   request.spec.s = &workload.s[static_cast<size_t>(query_index) % workload.s.size()];
   request.method = JoinMethodId::kCdtGh;
   request.memory_blocks = site->memory_blocks();
-  request.disk_blocks = site->disk_blocks();
+  request.disk_blocks = site->session_disk_blocks();
   return request;
 }
 
@@ -138,6 +148,147 @@ PolicyResult RunClosedLoop(ServicePolicy policy) {
   return result;
 }
 
+// --- Zipf-skewed closed loop over the extent cache --------------------------
+
+constexpr int kZipfClients = 3;
+constexpr int kZipfQueriesPerClient = 6;
+
+ServiceWorkloadConfig ZipfLoad() {
+  ServiceWorkloadConfig config;
+  config.s_cartridges = 4;
+  config.s_bytes = 80 * kMB;
+  config.r_relations = 6;
+  config.r_bytes = 10 * kMB;
+  config.phantom = true;
+  return config;
+}
+
+SiteConfig ZipfSite(BlockCount cache_blocks) {
+  SiteConfig config = ServiceSite();
+  // Room for a cache of up to 4 S relations plus the session carves.
+  config.disk_space_bytes = 1000 * kMB;
+  config.cache_blocks = cache_blocks;
+  return config;
+}
+
+// Deterministic 64-bit generator (SplitMix64) so every sweep point replays
+// the identical query stream.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  double NextUnit() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Zipf(1) over `n` cartridges: cartridge k drawn with weight 1/(k+1)
+// (~48/24/16/12% for n = 4).
+int ZipfPick(SplitMix64* rng, int n) {
+  double total = 0.0;
+  for (int k = 1; k <= n; ++k) total += 1.0 / k;
+  double u = rng->NextUnit() * total;
+  double acc = 0.0;
+  for (int k = 0; k < n; ++k) {
+    acc += 1.0 / (k + 1);
+    if (u < acc) return k;
+  }
+  return n - 1;
+}
+
+// Pre-drawn (r_index, s_index) streams, one per client, identical across
+// every cache size in the sweep.
+std::vector<std::vector<std::pair<int, int>>> PlanZipfQueries(int r_count, int s_count) {
+  std::vector<std::vector<std::pair<int, int>>> plan(kZipfClients);
+  for (int client = 0; client < kZipfClients; ++client) {
+    SplitMix64 rng(0x5eedULL + static_cast<std::uint64_t>(client));
+    for (int q = 0; q < kZipfQueriesPerClient; ++q) {
+      int r_index = static_cast<int>(rng.Next() % static_cast<std::uint64_t>(r_count));
+      plan[static_cast<size_t>(client)].emplace_back(r_index, ZipfPick(&rng, s_count));
+    }
+  }
+  return plan;
+}
+
+PolicyResult RunZipfLoop(BlockCount cache_blocks) {
+  auto site = std::make_unique<Site>(ZipfSite(cache_blocks));
+  auto workload = exec::PrepareServiceWorkload(site.get(), ZipfLoad());
+  TERTIO_CHECK(workload.ok(), "zipf workload setup failed");
+  auto plan = PlanZipfQueries(static_cast<int>(workload->r.size()),
+                              static_cast<int>(workload->s.size()));
+  QueryScheduler scheduler(site.get(), ServicePolicy::kFifo);
+  auto submit = [&](int client, int q, SimSeconds arrival) {
+    auto [r_index, s_index] = plan[static_cast<size_t>(client)][static_cast<size_t>(q)];
+    JoinRequest request;
+    request.arrival = arrival;
+    request.spec.r = &workload->r[static_cast<size_t>(r_index)];
+    request.spec.s = &workload->s[static_cast<size_t>(s_index)];
+    request.method = JoinMethodId::kCdtGh;
+    request.memory_blocks = site->memory_blocks();
+    request.disk_blocks = site->session_disk_blocks();
+    return scheduler.Submit(request);
+  };
+  std::map<std::uint64_t, int> client_of;
+  std::vector<int> sequence(kZipfClients, 0);
+  scheduler.set_on_complete([&](const QueryOutcome& out) {
+    auto it = client_of.find(out.id);
+    TERTIO_CHECK(it != client_of.end(), "outcome for unknown client");
+    int client = it->second;
+    int next = ++sequence[static_cast<size_t>(client)];
+    if (next >= kZipfQueriesPerClient) return;
+    auto id = submit(client, next, out.completion);
+    TERTIO_CHECK(id.ok(), "zipf submit rejected");
+    client_of[*id] = client;
+  });
+  for (int client = 0; client < kZipfClients; ++client) {
+    auto id = submit(client, 0, 0.0);
+    TERTIO_CHECK(id.ok(), "zipf submit rejected");
+    client_of[*id] = client;
+  }
+  Status ran = scheduler.Run();
+  TERTIO_CHECK(ran.ok(), "zipf service run failed");
+  PolicyResult result;
+  result.stats = scheduler.service_stats();
+  for (const QueryOutcome& out : scheduler.outcomes()) {
+    TERTIO_CHECK(out.status.ok(), "zipf query failed");
+    result.responses.push_back(out.response_seconds());
+  }
+  return result;
+}
+
+void ReportZipf(BenchRecorder* recorder, ByteCount cache_bytes, const PolicyResult& result) {
+  double p50 = Percentile(result.responses, 0.50);
+  double p99 = Percentile(result.responses, 0.99);
+  std::printf("zipf cache %4llu MB   p50 %9.1f s   p99 %9.1f s   makespan %9.1f s   "
+              "tape read %8llu blk   cached %8llu blk   hits %llu/%llu\n",
+              static_cast<unsigned long long>(cache_bytes / kMB), p50, p99,
+              result.stats.makespan,
+              static_cast<unsigned long long>(result.stats.tape_blocks_read),
+              static_cast<unsigned long long>(result.stats.tape_blocks_cached),
+              static_cast<unsigned long long>(result.stats.cache_hits),
+              static_cast<unsigned long long>(result.stats.cache_hits +
+                                              result.stats.cache_misses));
+  std::string prefix =
+      "zipf_cache_mb_" + std::to_string(cache_bytes / kMB) + "_";
+  recorder->RecordMetric(prefix + "p50_seconds", p50);
+  recorder->RecordMetric(prefix + "p99_seconds", p99);
+  recorder->RecordMetric(prefix + "makespan_seconds", result.stats.makespan);
+  recorder->RecordMetric(prefix + "tape_blocks_read",
+                         static_cast<double>(result.stats.tape_blocks_read));
+  recorder->RecordMetric(prefix + "tape_blocks_cached",
+                         static_cast<double>(result.stats.tape_blocks_cached));
+  recorder->RecordMetric(prefix + "cache_hits",
+                         static_cast<double>(result.stats.cache_hits));
+  recorder->RecordMetric(prefix + "cache_evictions",
+                         static_cast<double>(result.stats.cache_evictions));
+}
+
 void Report(BenchRecorder* recorder, const char* loop, const char* policy,
             const PolicyResult& result) {
   double p50 = Percentile(result.responses, 0.50);
@@ -186,8 +337,34 @@ int Main(int argc, char** argv) {
   recorder.RecordMetric("closed_saved_tape_blocks", saved_blocks);
   recorder.RecordMetric("closed_p99_speedup",
                         p99_shared > 0.0 ? p99_fifo / p99_shared : 0.0);
-  std::printf("\nclosed loop: sharing saves %.0f tape blocks, p99 %.2fx\n", saved_blocks,
+  std::printf("\nclosed loop: sharing saves %.0f tape blocks, p99 %.2fx\n\n", saved_blocks,
               p99_shared > 0.0 ? p99_fifo / p99_shared : 0.0);
+
+  // The extent-cache sweep: cache sizes in multiples of one S relation
+  // (80 MB), from disabled to "all four cartridges fit".
+  const ByteCount s_bytes = ZipfLoad().s_bytes;
+  const ByteCount kSweep[] = {0, s_bytes / 2, s_bytes, 2 * s_bytes, 4 * s_bytes};
+  SiteConfig zipf_site = ZipfSite(0);
+  std::vector<PolicyResult> sweep;
+  for (ByteCount cache_bytes : kSweep) {
+    sweep.push_back(RunZipfLoop(BytesToBlocks(cache_bytes, zipf_site.block_bytes)));
+    ReportZipf(&recorder, cache_bytes, sweep.back());
+  }
+
+  // Headlines: the warm-cache tape-traffic drop and p99 speedup of the
+  // largest cache against the cache-less baseline.
+  const PolicyResult& cold = sweep.front();
+  const PolicyResult& warm = sweep.back();
+  double tape_drop = warm.stats.tape_blocks_read > 0
+                         ? static_cast<double>(cold.stats.tape_blocks_read) /
+                               static_cast<double>(warm.stats.tape_blocks_read)
+                         : 0.0;
+  double p99_cold = Percentile(cold.responses, 0.99);
+  double p99_warm = Percentile(warm.responses, 0.99);
+  recorder.RecordMetric("zipf_tape_block_drop", tape_drop);
+  recorder.RecordMetric("zipf_p99_speedup", p99_warm > 0.0 ? p99_cold / p99_warm : 0.0);
+  std::printf("\nzipf closed loop: warm cache cuts tape blocks %.2fx, p99 %.2fx\n",
+              tape_drop, p99_warm > 0.0 ? p99_cold / p99_warm : 0.0);
   return recorder.Finish();
 }
 

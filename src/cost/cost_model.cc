@@ -20,6 +20,19 @@ class Calc {
   SimSeconds DiskSeconds(BlockCount blocks) const {
     return static_cast<double>(blocks) * p_.block_bytes / p_.disk_rate_bps;
   }
+  /// Tape-seconds of a pass over `blocks` of the *original* S when a
+  /// fraction of S sits in the extent cache: the cached fraction of the
+  /// pass reads at disk rate. With nothing cached this is exactly
+  /// TapeSeconds (no blended arithmetic), preserving bit-identity of the
+  /// cache-less estimates.
+  SimSeconds STapeSeconds(BlockCount blocks) const {
+    if (p_.s_cached_blocks == 0 || p_.s_blocks == 0) return TapeSeconds(blocks);
+    double cached_fraction = static_cast<double>(std::min(p_.s_cached_blocks, p_.s_blocks)) /
+                             static_cast<double>(p_.s_blocks);
+    double bytes = static_cast<double>(blocks) * p_.block_bytes;
+    return bytes * (1.0 - cached_fraction) / p_.tape_rate_bps +
+           bytes * cached_fraction / p_.disk_rate_bps;
+  }
   /// Positioning cost of transferring `blocks` in requests of `chunk`.
   SimSeconds Positioning(BlockCount blocks, BlockCount chunk) const {
     if (p_.disk_positioning_seconds <= 0.0 || blocks == 0) return 0.0;
@@ -69,7 +82,7 @@ Result<CostBreakdown> EstimateDtNb(const CostParams& p) {
   CostBreakdown out;
   out.step1_seconds = c.TapeSeconds(p.r_blocks) + c.DiskSeconds(p.r_blocks) +
                       c.Positioning(p.r_blocks, ms);
-  out.step2_seconds = c.TapeSeconds(p.s_blocks) +
+  out.step2_seconds = c.STapeSeconds(p.s_blocks) +
                       static_cast<double>(n) * (c.DiskSeconds(p.r_blocks) +
                                                 c.Positioning(p.r_blocks, mr));
   out.total_seconds = out.step1_seconds + out.step2_seconds;
@@ -93,7 +106,7 @@ Result<CostBreakdown> EstimateCdtNbMb(const CostParams& p) {
   }
   std::uint64_t n = CeilDiv<std::uint64_t>(p.s_blocks, ms);
   SimSeconds join_iter = c.DiskSeconds(p.r_blocks) + c.Positioning(p.r_blocks, mr);
-  SimSeconds read_iter = c.TapeSeconds(ms);
+  SimSeconds read_iter = c.STapeSeconds(ms);
   CostBreakdown out;
   out.step1_seconds =
       std::max(c.TapeSeconds(p.r_blocks), c.DiskSeconds(p.r_blocks) +
@@ -121,10 +134,10 @@ Result<CostBreakdown> EstimateCdtNbDb(const CostParams& p) {
   std::uint64_t n = CeilDiv<std::uint64_t>(p.s_blocks, ms);
   // Steady state: tape refills Ms while the disk serves Ms (buffer write) +
   // Ms (buffer read) + R (scan of R).
-  SimSeconds tape_iter = c.TapeSeconds(ms);
+  SimSeconds tape_iter = c.STapeSeconds(ms);
   SimSeconds disk_iter = c.DiskSeconds(2 * ms + p.r_blocks) + c.Positioning(ms, ms) * 2 +
                          c.Positioning(p.r_blocks, mr);
-  SimSeconds first_fill = c.TapeSeconds(ms) + c.DiskSeconds(ms);
+  SimSeconds first_fill = c.STapeSeconds(ms) + c.DiskSeconds(ms);
   SimSeconds last_join = c.DiskSeconds(ms + p.r_blocks) + c.Positioning(p.r_blocks, mr);
   CostBreakdown out;
   out.step1_seconds =
@@ -177,7 +190,7 @@ Result<CostBreakdown> EstimateDtGh(const CostParams& p) {
       c.TapeSeconds(p.r_blocks) + c.DiskSeconds(p.r_blocks) + c.Positioning(p.r_blocks, w);
   // Per iteration: read d from tape, hash-write d, then join every bucket
   // pair: read the R bucket (R total per iteration) and the S bucket (d).
-  out.step2_seconds = c.TapeSeconds(p.s_blocks) + c.DiskSeconds(2 * p.s_blocks) +
+  out.step2_seconds = c.STapeSeconds(p.s_blocks) + c.DiskSeconds(2 * p.s_blocks) +
                       c.Positioning(p.s_blocks, w) * 2 +
                       static_cast<double>(n) *
                           (c.DiskSeconds(p.r_blocks) + c.Positioning(p.r_blocks, w));
@@ -198,10 +211,10 @@ Result<CostBreakdown> EstimateCdtGh(const CostParams& p) {
   std::uint64_t n = g.iterations;
   // Average S consumed per iteration (the last slab may be partial).
   BlockCount slab = CeilDiv<std::uint64_t>(p.s_blocks, n);
-  SimSeconds tape_iter = c.TapeSeconds(slab);
+  SimSeconds tape_iter = c.STapeSeconds(slab);
   SimSeconds disk_iter = c.DiskSeconds(2 * slab + p.r_blocks) +
                          c.Positioning(2 * slab + p.r_blocks, w);
-  SimSeconds fill = std::max(c.TapeSeconds(slab), c.DiskSeconds(slab) + c.Positioning(slab, w));
+  SimSeconds fill = std::max(c.STapeSeconds(slab), c.DiskSeconds(slab) + c.Positioning(slab, w));
   SimSeconds last_join = c.DiskSeconds(slab + p.r_blocks) + c.Positioning(slab + p.r_blocks, w);
   CostBreakdown out;
   out.step1_seconds = std::max(c.TapeSeconds(p.r_blocks),
@@ -245,9 +258,9 @@ Result<CostBreakdown> EstimateCttGh(const CostParams& p) {
 
   // Step II, per iteration: read a slab of S (tape S), read all hashed R
   // buckets (tape R), and serve 2*slab of disk traffic — all overlapped.
-  SimSeconds iter = std::max({c.TapeSeconds(slab), c.TapeSeconds(p.r_blocks),
+  SimSeconds iter = std::max({c.STapeSeconds(slab), c.TapeSeconds(p.r_blocks),
                               c.DiskSeconds(2 * slab) + c.Positioning(2 * slab, w)});
-  SimSeconds fill = std::max(c.TapeSeconds(slab), c.DiskSeconds(slab) + c.Positioning(slab, w));
+  SimSeconds fill = std::max(c.STapeSeconds(slab), c.DiskSeconds(slab) + c.Positioning(slab, w));
   SimSeconds last_join = std::max(c.TapeSeconds(p.r_blocks),
                                   c.DiskSeconds(slab) + c.Positioning(slab, w));
   out.step2_seconds =
@@ -279,15 +292,19 @@ Result<CostBreakdown> EstimateTtGh(const CostParams& p) {
   // Hashing R to the S tape: the append (drive S) overlaps the next scan's
   // read (drive R), so each scan costs roughly one pass over the relation
   // plus disk work for its slice; one trailing append remains.
-  auto scan_cost = [&](BlockCount rel_blocks, BlockCount slice) {
-    return std::max(c.TapeSeconds(rel_blocks),
+  // The S scans read the original S, which the extent cache may hold; the
+  // R scans and every Step II bucket stream read (re)partitioned scratch,
+  // which is never cached.
+  auto scan_cost = [&](BlockCount rel_blocks, BlockCount slice, bool s_side) {
+    return std::max(s_side ? c.STapeSeconds(rel_blocks) : c.TapeSeconds(rel_blocks),
                     c.DiskSeconds(2 * slice) + c.Positioning(2 * slice, w));
   };
   CostBreakdown out;
-  out.step1_seconds = static_cast<double>(scans_r) * scan_cost(p.r_blocks, slice_r) +
-                      c.TapeSeconds(slice_r) +
-                      static_cast<double>(scans_s) * scan_cost(p.s_blocks, slice_s) +
-                      c.TapeSeconds(slice_s);
+  out.step1_seconds =
+      static_cast<double>(scans_r) * scan_cost(p.r_blocks, slice_r, /*s_side=*/false) +
+      c.TapeSeconds(slice_r) +
+      static_cast<double>(scans_s) * scan_cost(p.s_blocks, slice_s, /*s_side=*/true) +
+      c.TapeSeconds(slice_s);
   // Step II: stream R buckets (tape S drive) and S buckets (tape R drive) in
   // parallel.
   out.step2_seconds = std::max(c.TapeSeconds(p.r_blocks), c.TapeSeconds(p.s_blocks));

@@ -41,6 +41,13 @@ struct CostParams {
   BlockCount write_buffer_blocks = 8;
   /// Fraction of M the NB methods reserve for scanning R (paper: 10%).
   double nb_r_fraction = 0.1;
+  /// Blocks of S resident in the cross-query extent cache
+  /// (disk/extent_cache.h). That fraction of every pass over the original S
+  /// is served at the disk rate instead of the tape rate, so the estimates
+  /// (and join::Advisor rankings built on them) reflect a partially
+  /// disk-resident S. 0 — the default — reproduces the paper's pure-tape
+  /// model exactly.
+  BlockCount s_cached_blocks = 0;
 };
 
 /// Outputs of one estimate.

@@ -1,0 +1,135 @@
+#include "disk/extent_cache.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "sim/auditor.h"
+#include "util/string_util.h"
+
+namespace tertio::disk {
+
+ExtentCache::ExtentCache(std::string name, std::unique_ptr<StripedDiskGroup> view)
+    : name_(std::move(name)), view_(std::move(view)) {
+  TERTIO_CHECK(view_ != nullptr, "extent cache requires a disk view");
+}
+
+bool ExtentCache::Contains(const void* volume, BlockIndex start, BlockCount count) const {
+  return entries_.find(Key{volume, start, count}) != entries_.end();
+}
+
+bool ExtentCache::Lookup(const void* volume, BlockIndex start, BlockCount count, SimSeconds now) {
+  ++stats_.lookups;
+  auto it = entries_.find(Key{volume, start, count});
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  ++it->second.hits;
+  it->second.last_use = std::max(it->second.last_use, now);
+  return true;
+}
+
+Status ExtentCache::EvictUntil(BlockCount needed, SimSeconds now) {
+  DiskSpaceAllocator& alloc = view_->allocator();
+  while (alloc.free_blocks() < needed) {
+    if (entries_.empty()) {
+      return Status::Internal(StrFormat("extent cache %s: no entries left but %llu of %llu "
+                                           "blocks free",
+                                           name_.c_str(),
+                                           static_cast<unsigned long long>(alloc.free_blocks()),
+                                           static_cast<unsigned long long>(needed)));
+    }
+    auto victim = entries_.begin();
+    double victim_score = std::numeric_limits<double>::infinity();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      double score = Score(it->second);
+      if (score < victim_score) {
+        victim_score = score;
+        victim = it;
+      }
+    }
+    BlockCount blocks = TotalBlocks(victim->second.extents);
+    TERTIO_RETURN_IF_ERROR(alloc.Free(victim->second.extents, now, "cache:evict"));
+    resident_ -= std::min(resident_, blocks);
+    ++stats_.evictions;
+    stats_.blocks_evicted += blocks;
+    entries_.erase(victim);
+    if (auditor_ != nullptr) auditor_->OnCacheEvict(name_, blocks, resident_);
+  }
+  return Status::OK();
+}
+
+Result<bool> ExtentCache::Admit(const void* volume, BlockIndex start, BlockCount count,
+                                double tape_rate_bps, SimSeconds now) {
+  if (count == 0 || count > capacity_blocks()) return false;
+  Key key{volume, start, count};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.last_use = std::max(it->second.last_use, now);
+    return false;
+  }
+  TERTIO_RETURN_IF_ERROR(EvictUntil(count, now));
+  TERTIO_ASSIGN_OR_RETURN(ExtentList extents,
+                          view_->allocator().Allocate(count, now, "cache:fill"));
+  // The fill pays the disk side of copying the pass that just swept the
+  // extent off tape: a phantom striped write (the simulator never moves
+  // payload bytes for cached data — the drive re-reads the tape volume's
+  // block store on a hit, so served data is bit-identical).
+  auto write = view_->WriteExtents(extents, now, nullptr);
+  if (!write.ok()) {
+    (void)view_->allocator().Free(extents, now, "cache:fill");  // best-effort unwind
+    return write.status();
+  }
+
+  Entry entry;
+  entry.extents = std::move(extents);
+  entry.last_use = std::max(now, write.value().end);
+  double disk_rate = view_->aggregate_rate_bps();
+  if (tape_rate_bps > 0.0 && disk_rate > 0.0 && disk_rate > tape_rate_bps) {
+    double bytes = static_cast<double>(count) * static_cast<double>(view_->block_bytes());
+    entry.benefit_seconds = bytes / tape_rate_bps - bytes / disk_rate;
+  }
+  entries_.emplace(key, std::move(entry));
+  resident_ += count;
+  ++stats_.fills;
+  stats_.blocks_filled += count;
+  if (auditor_ != nullptr) auditor_->OnCacheFill(name_, count, resident_, capacity_blocks());
+  return true;
+}
+
+Result<sim::Interval> ExtentCache::ReadThrough(const void* volume, BlockIndex entry_start,
+                                               BlockCount entry_count, BlockIndex start,
+                                               BlockCount count, SimSeconds ready) {
+  auto it = entries_.find(Key{volume, entry_start, entry_count});
+  if (it == entries_.end()) {
+    return Status::NotFound(StrFormat("extent cache %s: read-through of a non-resident entry "
+                                         "at block %llu",
+                                         name_.c_str(),
+                                         static_cast<unsigned long long>(entry_start)));
+  }
+  if (start < entry_start || count > entry_count ||
+      start - entry_start > entry_count - count) {
+    return Status::InvalidArgument(
+        StrFormat("extent cache %s: read [%llu, +%llu) outside entry [%llu, +%llu)",
+                     name_.c_str(), static_cast<unsigned long long>(start),
+                     static_cast<unsigned long long>(count),
+                     static_cast<unsigned long long>(entry_start),
+                     static_cast<unsigned long long>(entry_count)));
+  }
+  TERTIO_ASSIGN_OR_RETURN(ExtentList slice,
+                          SliceExtents(it->second.extents, start - entry_start, count));
+  TERTIO_ASSIGN_OR_RETURN(sim::Interval interval, view_->ReadExtents(slice, ready, nullptr));
+  stats_.blocks_served += count;
+  ++it->second.hits;
+  it->second.last_use = std::max(it->second.last_use, interval.end);
+  return interval;
+}
+
+void ExtentCache::BindAuditor(sim::Auditor* auditor) {
+  auditor_ = auditor;
+  view_->allocator().BindAuditor(auditor);
+}
+
+}  // namespace tertio::disk

@@ -1,6 +1,7 @@
 #include "exec/query_scheduler.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "join/join_method.h"
 #include "util/string_util.h"
@@ -41,14 +42,31 @@ Result<std::uint64_t> QueryScheduler::Submit(JoinRequest request) {
                   static_cast<unsigned long long>(request.memory_blocks),
                   static_cast<unsigned long long>(site_->memory_blocks()))));
   }
-  if (request.disk_blocks > site_->disk_blocks()) {
+  if (request.disk_blocks > site_->session_disk_blocks()) {
     return reject(Status::ResourceExhausted(
-        StrFormat("disk demand of %llu blocks exceeds the site's %llu",
+        StrFormat("disk demand of %llu blocks exceeds the site's %llu available to sessions",
                   static_cast<unsigned long long>(request.disk_blocks),
-                  static_cast<unsigned long long>(site_->disk_blocks()))));
+                  static_cast<unsigned long long>(site_->session_disk_blocks()))));
   }
-  if (request.id == 0) request.id = next_id_;
-  next_id_ = std::max(next_id_, request.id) + 1;
+  // Explicit ids must be unique among pending requests: a duplicate would
+  // put the same id twice into the cartridge index, and Take()/Unindex()
+  // would later pair the wrong request with the wrong index entry.
+  if (request.id == 0) {
+    if (next_id_ == std::numeric_limits<std::uint64_t>::max() && IsQueued(next_id_)) {
+      return reject(Status::ResourceExhausted("request id space exhausted"));
+    }
+    request.id = next_id_;
+  } else if (IsQueued(request.id)) {
+    return reject(Status::InvalidArgument(
+        StrFormat("request id %llu is already queued",
+                  static_cast<unsigned long long>(request.id))));
+  }
+  // Advance the auto-id cursor past every id seen, saturating instead of
+  // wrapping back to ids that may still be queued.
+  if (request.id >= next_id_) {
+    next_id_ = request.id == std::numeric_limits<std::uint64_t>::max() ? request.id
+                                                                       : request.id + 1;
+  }
   std::uint64_t id = request.id;
   cartridge_queues_[*s_slot].push_back(id);
   queue_.push_back(std::move(request));
@@ -80,6 +98,17 @@ JoinRequest QueryScheduler::PopNext() {
   queue_.erase(best);
   Unindex(request);
   return request;
+}
+
+bool QueryScheduler::IsQueued(std::uint64_t id) const {
+  return std::any_of(queue_.begin(), queue_.end(),
+                     [id](const JoinRequest& r) { return r.id == id; });
+}
+
+void QueryScheduler::Requeue(JoinRequest request) {
+  Result<int> slot = site_->library()->SlotOf(request.spec.s->volume);
+  if (slot.ok()) cartridge_queues_[*slot].push_back(request.id);
+  queue_.push_back(std::move(request));
 }
 
 JoinRequest QueryScheduler::Take(std::uint64_t id) {
@@ -124,6 +153,15 @@ QueryOutcome QueryScheduler::ExecuteOne(JoinRequest request, bool scan_shared) {
     return out;
   }
 
+  // A scan-shared follower rides the leader's multicast window for free;
+  // otherwise probe the extent cache, arming the S drive's cache window on
+  // a hit so the S passes read the disk copy.
+  disk::ExtentCache* cache = site_->extent_cache();
+  bool cache_hit = false;
+  if (cache != nullptr && !scan_shared) {
+    cache_hit = (*session)->EnableCachedSRead(*request.spec.s);
+  }
+
   join::JoinContext ctx = (*session)->context(request.arrival);
   std::unique_ptr<join::JoinMethod> executor = join::CreateJoinMethod(request.method);
   TERTIO_CHECK(executor != nullptr, "unknown join method");
@@ -139,6 +177,16 @@ QueryOutcome QueryScheduler::ExecuteOne(JoinRequest request, bool scan_shared) {
   out.stats = std::move(*stats);
   out.completion = out.start + out.stats.response_seconds;
   out.scan_shared = out.stats.tape_blocks_shared > 0;
+  out.cached = out.stats.tape_blocks_cached > 0;
+
+  if (cache != nullptr && !cache_hit && !out.scan_shared) {
+    // The join just paid a physical pass over S; admit the extent so the
+    // next query on it reads disk. Admission failure (e.g. a faulted fill
+    // write) only costs the copy — the query itself already succeeded.
+    const rel::Relation& s = *request.spec.s;
+    (void)cache->Admit(s.volume, s.start_block, s.blocks,  // failure only skips the copy
+                       site_->EffectiveTapeRate(s.compressibility), site_->sim().Horizon());
+  }
   return out;
 }
 
@@ -174,16 +222,25 @@ Status QueryScheduler::Run() {
     if (on_complete_) on_complete_(outcomes_.back());
 
     if (!followers.empty()) {
+      if (!lead_ok) {
+        // The leader failed, so its pass never swept S and there is nothing
+        // to ride. Executing the followers here anyway would jump them over
+        // every earlier-arrived query on other cartridges (priority
+        // inversion); put them back instead — PopNext re-serves them in
+        // plain arrival order, and one of them becomes a leader in its own
+        // right. (No livelock: the failed leader's outcome is recorded, not
+        // requeued.)
+        for (JoinRequest& follower : followers) Requeue(std::move(follower));
+        continue;
+      }
       // The leader's pass swept its S relation's blocks; declare them a
       // shared window on the drive still holding the cartridge so the
       // followers' S reads are multicast instead of re-read. (The window is
       // drive state: it survives the followers' session churn as long as
       // the cartridge stays mounted.)
       tape::TapeDrive* holder = nullptr;
-      if (lead_ok) {
-        Result<int> slot = site_->library()->SlotOf(leader_s->volume);
-        if (slot.ok()) holder = site_->library()->MountedIn(*slot);
-      }
+      Result<int> slot = site_->library()->SlotOf(leader_s->volume);
+      if (slot.ok()) holder = site_->library()->MountedIn(*slot);
       if (holder != nullptr) {
         holder->SetSharedPassWindow(leader_s->start_block, leader_s->blocks);
       }
@@ -211,8 +268,16 @@ ServiceStats QueryScheduler::service_stats() const {
       ++stats.failed;
     }
     if (out.scan_shared) ++stats.scan_shared_queries;
+    if (out.cached) ++stats.cached_queries;
     stats.tape_blocks_read += out.stats.tape_blocks_read;
     stats.tape_blocks_shared += out.stats.tape_blocks_shared;
+    stats.tape_blocks_cached += out.stats.tape_blocks_cached;
+  }
+  if (disk::ExtentCache* cache = site_->extent_cache(); cache != nullptr) {
+    stats.cache_hits = cache->stats().hits;
+    stats.cache_misses = cache->stats().misses;
+    stats.cache_fills = cache->stats().fills;
+    stats.cache_evictions = cache->stats().evictions;
   }
   return stats;
 }

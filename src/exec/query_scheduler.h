@@ -61,6 +61,8 @@ struct QueryOutcome {
   SimSeconds completion = 0.0;
   /// True when this query's S scan rode another query's pass.
   bool scan_shared = false;
+  /// True when this query's S scan was served from the disk extent cache.
+  bool cached = false;
 
   /// Queue wait + execution, the latency the client observes.
   SimSeconds response_seconds() const { return completion - arrival; }
@@ -74,8 +76,17 @@ struct ServiceStats {
   std::uint64_t failed = 0;
   /// Queries whose S scan was multicast from another query's pass.
   std::uint64_t scan_shared_queries = 0;
+  /// Queries whose S scan was served from the disk extent cache.
+  std::uint64_t cached_queries = 0;
   BlockCount tape_blocks_read = 0;
   BlockCount tape_blocks_shared = 0;
+  /// Blocks served from the extent cache in place of tape reads.
+  BlockCount tape_blocks_cached = 0;
+  /// Extent-cache counters at the end of the run (zero without a cache).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_fills = 0;
+  std::uint64_t cache_evictions = 0;
   /// Horizon when the queue drained.
   SimSeconds makespan = 0.0;
 };
@@ -117,6 +128,12 @@ class QueryScheduler {
   /// Removes request `id` from `queue_` and returns it.
   JoinRequest Take(std::uint64_t id);
   void Unindex(const JoinRequest& request);
+  /// Returns a popped request to the queue (and the cartridge index) with
+  /// its id and arrival intact — used when a follower's leader failed and
+  /// the follower must wait its regular turn instead.
+  void Requeue(JoinRequest request);
+  /// True when `id` is already on the pending queue.
+  bool IsQueued(std::uint64_t id) const;
   /// Executes one query on its own session; fills and records the outcome.
   QueryOutcome ExecuteOne(JoinRequest request, bool scan_shared);
 

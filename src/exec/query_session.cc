@@ -53,6 +53,10 @@ QuerySession::QuerySession(Site* site, SessionResources res, std::vector<int> dr
 }
 
 QuerySession::~QuerySession() {
+  // A cache window is session intent on shared drive state; disarm it so a
+  // later session on the same drive cannot inherit a window pointing at an
+  // entry this session looked up (it may be evicted by then).
+  if (cache_window_armed_) drive_s()->ClearCacheWindow();
   Status freed = site_->disks().allocator().Free(carve_, site_->sim().Horizon(),
                                                  StrFormat("session:%s", name_.c_str()));
   TERTIO_CHECK(freed.ok(), "session failed to return its disk carve");
@@ -76,6 +80,24 @@ Result<sim::Interval> QuerySession::MountS(int slot, SimSeconds ready) {
 void QuerySession::ForceMount(tape::TapeVolume* r, tape::TapeVolume* s) {
   drive_r()->ForceMount(r);
   drive_s()->ForceMount(s);
+}
+
+bool QuerySession::EnableCachedSRead(const rel::Relation& s) {
+  disk::ExtentCache* cache = site_->extent_cache();
+  if (cache == nullptr || s.volume == nullptr || s.blocks == 0) return false;
+  if (drive_s()->volume() != s.volume) return false;
+  if (!cache->Lookup(s.volume, s.start_block, s.blocks, site_->sim().Horizon())) return false;
+  const void* token = s.volume;
+  BlockIndex entry_start = s.start_block;
+  BlockCount entry_count = s.blocks;
+  drive_s()->SetCacheWindow(
+      entry_start, entry_count,
+      [cache, token, entry_start, entry_count](BlockIndex start, BlockCount count,
+                                               SimSeconds ready) {
+        return cache->ReadThrough(token, entry_start, entry_count, start, count, ready);
+      });
+  cache_window_armed_ = true;
+  return true;
 }
 
 join::JoinContext QuerySession::context(SimSeconds not_before) {

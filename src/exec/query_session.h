@@ -61,6 +61,14 @@ class QuerySession {
   /// the single-query Machine facade.
   void ForceMount(tape::TapeVolume* r, tape::TapeVolume* s);
 
+  /// If the site's extent cache holds relation `s` (which must already be
+  /// mounted in the session's S drive), arms the drive's cache window so
+  /// every S read inside the relation is served from the disk copy at disk
+  /// cost. The lookup counts a cache hit or miss either way. \returns true
+  /// when the window was armed. The window is disarmed when the session
+  /// closes.
+  bool EnableCachedSRead(const rel::Relation& s);
+
   /// The context handed to join executors. `not_before` anchors the join no
   /// earlier than the given virtual time (a query must not start before it
   /// arrived, even on an idle site).
@@ -81,6 +89,8 @@ class QuerySession {
   /// Session view of the disk group: shared spindles, private allocator
   /// over the carve.
   std::unique_ptr<disk::StripedDiskGroup> disks_;
+  /// True while this session has a cache window armed on its S drive.
+  bool cache_window_armed_ = false;
 };
 
 }  // namespace tertio::exec

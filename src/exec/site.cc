@@ -20,6 +20,13 @@ Status SiteConfig::Validate() const {
     return Status::InvalidArgument("disk space is smaller than one block");
   }
   if (stripe_unit == 0) return Status::InvalidArgument("stripe_unit must be positive");
+  if (cache_blocks > 0 && cache_blocks >= BytesToBlocks(disk_space_bytes, block_bytes)) {
+    return Status::InvalidArgument(
+        StrFormat("extent cache of %llu blocks leaves no disk space for query sessions "
+                  "(site has %llu)",
+                  static_cast<unsigned long long>(cache_blocks),
+                  static_cast<unsigned long long>(BytesToBlocks(disk_space_bytes, block_bytes))));
+  }
   return Status::OK();
 }
 
@@ -41,6 +48,23 @@ Site::Site(const SiteConfig& config)
       BytesToBlocks(config.disk_space_bytes, config.block_bytes), config.block_bytes,
       config.stripe_unit);
   disks_ = std::make_unique<disk::StripedDiskGroup>(group_config, &sim_);
+  if (config.cache_blocks > 0) {
+    // Carve the cache's region out of the site allocator up front — held for
+    // the site's lifetime, so it is disjoint from every session's D_q carve
+    // by construction. The cache gets a session-style view over the shared
+    // spindles (cache traffic contends with scratch traffic for the arms)
+    // with a private allocator covering exactly the carve.
+    Result<disk::ExtentList> carve =
+        disks_->allocator().Allocate(config.cache_blocks, 0.0, "extent-cache");
+    TERTIO_CHECK(carve.ok(), "extent-cache carve failed despite validated capacity");
+    cache_carve_ = std::move(carve.value());
+    std::vector<disk::DiskVolume*> spindles;
+    for (int i = 0; i < disks_->disk_count(); ++i) spindles.push_back(disks_->disk(i));
+    extent_cache_ = std::make_unique<disk::ExtentCache>(
+        "extent-cache", std::make_unique<disk::StripedDiskGroup>(
+                            std::move(spindles), cache_carve_, config.stripe_unit,
+                            config.block_bytes));
+  }
   for (int i = 0; i < config.drive_count; ++i) {
     // Drives 0 and 1 keep the seed's names (and therefore fault-stream
     // seeds); extra pool drives are numbered.
@@ -87,6 +111,7 @@ sim::Auditor* Site::EnableAudit() {
 void Site::BindAuditor(sim::Auditor* auditor) {
   memory_.BindAuditor(auditor);
   disks_->allocator().BindAuditor(auditor);
+  if (extent_cache_ != nullptr) extent_cache_->BindAuditor(auditor);
   if (library_ != nullptr) {
     for (int slot = 0; slot < library_->slot_count(); ++slot) {
       Result<tape::TapeVolume*> cartridge = library_->CartridgeAt(slot);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "disk/extent_cache.h"
 #include "disk/striped_group.h"
 #include "mem/memory_budget.h"
 #include "sim/fault.h"
@@ -40,6 +41,11 @@ struct SiteConfig {
   /// Site-wide main memory M, partitioned across sessions.
   ByteCount memory_bytes = 16 * kMB;
   BlockCount stripe_unit = 32;
+  /// Blocks of the disk space reserved for the cross-query extent cache
+  /// (disk/extent_cache.h) — the HSM tier. 0 disables the cache entirely
+  /// (bit-identical to a cache-less site). The carve comes out of
+  /// disk_space_bytes, shrinking what sessions can lease.
+  BlockCount cache_blocks = 0;
   /// Attach a robot library (media-exchange modeling). Required by the
   /// query service, which addresses relations by cartridge slot.
   bool with_library = false;
@@ -76,6 +82,17 @@ class Site {
   BlockCount memory_blocks() const { return memory_.total_blocks(); }
   BlockCount disk_blocks() const { return disks_->allocator().capacity_blocks(); }
 
+  /// Disk blocks available to query sessions: total capacity minus the
+  /// extent-cache carve. Admission control and session carve sizing must use
+  /// this, not disk_blocks(), or sessions would be admitted against space
+  /// the cache holds.
+  BlockCount session_disk_blocks() const {
+    return disks_->allocator().capacity_blocks() - config_.cache_blocks;
+  }
+
+  /// The cross-query extent cache, or null when cache_blocks == 0.
+  disk::ExtentCache* extent_cache() { return extent_cache_.get(); }
+
   /// Inserts a cartridge into the library (the site must have one); under
   /// SimSan the cartridge's scratch bounds are audited like any volume.
   Result<int> AddCartridge(std::unique_ptr<tape::TapeVolume> volume);
@@ -111,6 +128,10 @@ class Site {
   SiteConfig config_;
   sim::Simulation sim_;
   std::unique_ptr<disk::StripedDiskGroup> disks_;
+  /// The cache's carve out of the site allocator (held for the site's
+  /// lifetime) and the cache managing it; both null when cache_blocks == 0.
+  disk::ExtentList cache_carve_;
+  std::unique_ptr<disk::ExtentCache> extent_cache_;
   mem::MemoryBudget memory_;
   std::vector<std::unique_ptr<tape::TapeDrive>> drives_;
   std::vector<bool> drive_leased_;

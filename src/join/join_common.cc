@@ -84,6 +84,8 @@ void StatsScope::Fill(JoinStats* stats) const {
                                (s.blocks_written - tape_s_before_.blocks_written);
   stats->tape_blocks_shared = (r.blocks_shared - tape_r_before_.blocks_shared) +
                               (s.blocks_shared - tape_s_before_.blocks_shared);
+  stats->tape_blocks_cached = (r.blocks_cached - tape_r_before_.blocks_cached) +
+                              (s.blocks_cached - tape_s_before_.blocks_cached);
   stats->disk_blocks_read = d.blocks_read - disk_before_.blocks_read;
   stats->disk_blocks_written = d.blocks_written - disk_before_.blocks_written;
   stats->disk_requests = d.requests - disk_before_.requests;

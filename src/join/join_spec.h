@@ -101,6 +101,10 @@ struct JoinStats {
   /// in-flight pass (scan sharing) instead of reading the tape itself.
   /// Always 0 outside the multi-query service.
   BlockCount tape_blocks_shared = 0;
+  /// Tape blocks this join received from the cross-query disk extent cache
+  /// (disk/extent_cache.h) at disk cost instead of reading the tape.
+  /// Always 0 outside the multi-query service.
+  BlockCount tape_blocks_cached = 0;
   std::uint64_t disk_requests = 0;
 
   /// Full passes over R (from any medium).

@@ -281,6 +281,48 @@ void Auditor::OnTapeOccupancy(std::string_view volume, BlockCount size_after,
   }
 }
 
+void Auditor::OnCacheFill(std::string_view cache, BlockCount blocks, BlockCount resident_after,
+                          BlockCount capacity) {
+  checks_ += 2;
+  CacheLedger& ledger = caches_[std::string(cache)];
+  ledger.resident += blocks;
+  if (resident_after > capacity) {
+    Report(AuditKind::kScratchOvercommit, cache,
+           StrFormat("cache occupancy %llu blocks exceeds the cache carve of %llu blocks "
+                     "after a %llu-block fill",
+                     ull(resident_after), ull(capacity), ull(blocks)),
+           {});
+  }
+  if (ledger.resident != resident_after) {
+    Report(AuditKind::kByteConservation, cache,
+           StrFormat("cache reports %llu resident blocks but its fills minus evictions sum "
+                     "to %llu",
+                     ull(resident_after), ull(ledger.resident)),
+           {});
+  }
+}
+
+void Auditor::OnCacheEvict(std::string_view cache, BlockCount blocks, BlockCount resident_after) {
+  checks_ += 2;
+  CacheLedger& ledger = caches_[std::string(cache)];
+  if (blocks > ledger.resident) {
+    Report(AuditKind::kAccounting, cache,
+           StrFormat("eviction of %llu blocks exceeds the %llu the ledger holds resident",
+                     ull(blocks), ull(ledger.resident)),
+           {});
+    ledger.resident = 0;
+  } else {
+    ledger.resident -= blocks;
+  }
+  if (ledger.resident != resident_after) {
+    Report(AuditKind::kByteConservation, cache,
+           StrFormat("cache reports %llu resident blocks after eviction but its fills minus "
+                     "evictions sum to %llu",
+                     ull(resident_after), ull(ledger.resident)),
+           {});
+  }
+}
+
 void Auditor::OnHorizonCheck(SimSeconds cached, SimSeconds recomputed) {
   checks_ += 1;
   if (cached != recomputed) {
@@ -321,6 +363,7 @@ std::string Auditor::TraceString() const {
 
 void Auditor::Clear() {
   resources_.clear();
+  caches_.clear();
   violations_.clear();
   dropped_violations_ = 0;
   checks_ = 0;

@@ -142,6 +142,19 @@ class Auditor {
   /// `capacity` of 0 means unbounded.
   void OnTapeOccupancy(std::string_view volume, BlockCount size_after, BlockCount capacity);
 
+  /// An extent cache (disk/extent_cache.h) filled `blocks` of a tape extent
+  /// onto disk; `resident_after` is its occupancy after the fill. The
+  /// auditor keeps its own fill/evict ledger per cache, so both the
+  /// capacity bound (resident <= cache carve) and byte conservation
+  /// (Σ fills − Σ evicts == resident) are checked independently of the
+  /// cache's own counters.
+  void OnCacheFill(std::string_view cache, BlockCount blocks, BlockCount resident_after,
+                   BlockCount capacity);
+
+  /// An extent cache evicted `blocks`; `resident_after` is its occupancy
+  /// after the eviction.
+  void OnCacheEvict(std::string_view cache, BlockCount blocks, BlockCount resident_after);
+
   /// The Simulation compared its cached horizon against a recomputation.
   void OnHorizonCheck(SimSeconds cached, SimSeconds recomputed);
 
@@ -183,7 +196,13 @@ class Auditor {
   void Report(AuditKind kind, std::string_view subject, std::string detail,
               std::vector<Interval> intervals);
 
+  /// Independent fill/evict ledger per extent cache.
+  struct CacheLedger {
+    BlockCount resident = 0;
+  };
+
   std::map<std::string, ResourceState, std::less<>> resources_;
+  std::map<std::string, CacheLedger, std::less<>> caches_;
   std::vector<AuditViolation> violations_;
   std::uint64_t dropped_violations_ = 0;
   std::uint64_t checks_ = 0;

@@ -29,12 +29,18 @@ Result<sim::Interval> TapeDrive::Load(TapeVolume* volume, SimSeconds ready) {
   volume_ = volume;
   head_ = 0;
   ClearSharedPassWindow();
+  ClearCacheWindow();
   stats_.load_count += 1;
   return resource_->Schedule(ready, model_.load_seconds, 0, "tape.load");
 }
 
 Result<sim::Interval> TapeDrive::Unload(SimSeconds ready) {
   TERTIO_RETURN_IF_ERROR(CheckLoaded());
+  // Both windows describe ranges of the departing volume; leaving them set
+  // would let a later Load of the same cartridge serve stale free/cached
+  // reads from a window nobody re-declared.
+  ClearSharedPassWindow();
+  ClearCacheWindow();
   volume_ = nullptr;
   head_ = 0;
   return resource_->Schedule(ready, model_.load_seconds, 0, "tape.unload");
@@ -58,6 +64,22 @@ Result<sim::Interval> TapeDrive::Read(BlockIndex start, BlockCount count, SimSec
     }
     stats_.blocks_shared += count;
     return sim::Interval::At(ready);
+  }
+  if (InCacheWindow(start, count)) {
+    // The range is resident in the cross-query extent cache: the disk copy
+    // serves it at disk cost while the drive stays parked — no head motion,
+    // no drive occupancy, no fault draw. Payloads still come from the
+    // volume's block store, so data delivered through the cache is
+    // bit-identical to a physical read.
+    if (out != nullptr) {
+      out->reserve(out->size() + count);
+      for (BlockIndex i = start; i < start + count; ++i) {
+        TERTIO_ASSIGN_OR_RETURN(BlockPayload payload, volume_->ReadBlock(i));
+        out->push_back(std::move(payload));
+      }
+    }
+    stats_.blocks_cached += count;
+    return cache_reader_(start, count, ready);
   }
   if (faults_ != nullptr && faults_->enabled()) {
     sim::FaultInjector::ReadOutcome outcome =
@@ -184,9 +206,10 @@ sim::ChunkCostProfile TapeDrive::ReadCostProfile(BlockIndex start, BlockCount ch
   // from a seeded RNG stream whose consumption order is part of the
   // simulation's reproducibility contract.
   if (faults_ != nullptr && faults_->enabled()) return {};
-  // A shared-pass window forces the per-chunk path too: whether a chunk is
-  // multicast or physically read is decided per Read().
-  if (shared_pass_active()) return {};
+  // A shared-pass or cache window forces the per-chunk path too: whether a
+  // chunk is multicast / disk-served or physically read is decided per
+  // Read().
+  if (shared_pass_active() || cache_window_active()) return {};
   // The steady state replayed here begins with SeekCost(start) == 0; a cold
   // head runs one per-chunk read first and the caller re-attempts after it.
   if (head_ != start) return {};

@@ -16,7 +16,9 @@
 /// during contiguous access (Section 3.2 of the paper).
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/fault.h"
@@ -35,6 +37,10 @@ struct TapeDriveStats {
   /// Blocks delivered out of a shared-pass window (multicast from another
   /// query's in-flight sequential pass) without occupying the drive.
   BlockCount blocks_shared = 0;
+  /// Blocks delivered out of a disk-resident cache window (the HSM extent
+  /// cache, disk/extent_cache.h) instead of the tape — the drive stays idle
+  /// and the disk charges the read.
+  BlockCount blocks_cached = 0;
   std::uint64_t locate_count = 0;
   std::uint64_t reposition_count = 0;
   std::uint64_t rewind_count = 0;
@@ -102,6 +108,16 @@ class TapeDrive {
     volume_ = volume;
     head_ = 0;
     ClearSharedPassWindow();
+    ClearCacheWindow();
+  }
+
+  /// True when [start, start+count) lies inside [outer_start,
+  /// outer_start+outer_count). Written subtraction-side so huge start/count
+  /// values cannot overflow the comparison into a false positive.
+  static bool RangeContains(BlockIndex outer_start, BlockCount outer_count, BlockIndex start,
+                            BlockCount count) {
+    return start >= outer_start && count <= outer_count &&
+           start - outer_start <= outer_count - count;
   }
 
   /// Declares [start, start+count) of the mounted volume covered by an
@@ -121,6 +137,34 @@ class TapeDrive {
   }
   bool shared_pass_active() const {
     return shared_window_volume_ != nullptr && shared_window_volume_ == volume_;
+  }
+
+  /// Charges the device time of a cache-window read of [start, start+count)
+  /// ready at `ready` — the disk-side cost of serving the blocks from the
+  /// HSM extent cache. Payload delivery stays with the drive.
+  using CachedReadFn =
+      std::function<Result<sim::Interval>(BlockIndex start, BlockCount count, SimSeconds ready)>;
+
+  /// Declares [start, start+count) of the mounted volume resident in the
+  /// cross-query extent cache (disk/extent_cache.h). While the window is
+  /// set, a Read fully inside it is served by `reader` — the blocks arrive
+  /// from the disk copy at disk cost, the drive never moves, and the blocks
+  /// count in stats().blocks_cached instead of blocks_read. An active
+  /// shared-pass window wins over the cache window (multicast is free).
+  void SetCacheWindow(BlockIndex start, BlockCount count, CachedReadFn reader) {
+    cache_window_volume_ = volume_;
+    cache_window_start_ = start;
+    cache_window_count_ = count;
+    cache_reader_ = std::move(reader);
+  }
+  void ClearCacheWindow() {
+    cache_window_volume_ = nullptr;
+    cache_window_count_ = 0;
+    cache_reader_ = nullptr;
+  }
+  bool cache_window_active() const {
+    return cache_window_volume_ != nullptr && cache_window_volume_ == volume_ &&
+           cache_reader_ != nullptr;
   }
 
   /// Steady-state cost profile for up to `max_chunks` sequential reads of
@@ -164,8 +208,14 @@ class TapeDrive {
 
   /// True when [start, start+count) lies inside the active shared window.
   bool InSharedPassWindow(BlockIndex start, BlockCount count) const {
-    return shared_pass_active() && start >= shared_window_start_ &&
-           start + count <= shared_window_start_ + shared_window_count_;
+    return shared_pass_active() &&
+           RangeContains(shared_window_start_, shared_window_count_, start, count);
+  }
+
+  /// True when [start, start+count) lies inside the active cache window.
+  bool InCacheWindow(BlockIndex start, BlockCount count) const {
+    return cache_window_active() &&
+           RangeContains(cache_window_start_, cache_window_count_, start, count);
   }
 
   std::string name_;
@@ -176,10 +226,15 @@ class TapeDrive {
   TapeDriveStats stats_;
   sim::FaultInjector* faults_ = nullptr;
   /// Shared-pass window state; valid only while the declaring volume stays
-  /// mounted (a Load/ForceMount of another cartridge invalidates it).
+  /// mounted (a Load/ForceMount/Unload invalidates it).
   TapeVolume* shared_window_volume_ = nullptr;
   BlockIndex shared_window_start_ = 0;
   BlockCount shared_window_count_ = 0;
+  /// Cache window state; same mount-lifetime rules as the shared window.
+  TapeVolume* cache_window_volume_ = nullptr;
+  BlockIndex cache_window_start_ = 0;
+  BlockCount cache_window_count_ = 0;
+  CachedReadFn cache_reader_;
 };
 
 /// Pipeline source streaming a tape-resident relation: block offset k of a

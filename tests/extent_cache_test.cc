@@ -1,0 +1,197 @@
+// Unit tests for the cross-query HSM extent cache (disk/extent_cache.h):
+// hit/miss/fill/evict accounting, cost-aware (benefit-scored) eviction
+// order, read-through disk costing, and the SimSan fill/evict ledger.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "disk/disk_model.h"
+#include "disk/extent_cache.h"
+#include "disk/striped_group.h"
+#include "sim/auditor.h"
+#include "sim/simulation.h"
+
+namespace tertio::disk {
+namespace {
+
+constexpr ByteCount kBlock = 1000;
+
+// Opaque volume tokens — the cache never dereferences them, so any stable
+// address will do.
+int g_volume_a = 0;
+int g_volume_b = 0;
+
+class ExtentCacheTest : public ::testing::Test {
+ protected:
+  // A 2-spindle site disk with a `cache_capacity`-block cache carve, the
+  // same shape Site gives its cache (owning group + session-style view).
+  void Init(BlockCount total_blocks, BlockCount cache_capacity) {
+    DiskGroupConfig config =
+        DiskGroupConfig::Uniform(2, DiskModel::Ideal(1e6), total_blocks, kBlock,
+                                 /*stripe_unit=*/4);
+    group_ = std::make_unique<StripedDiskGroup>(config, &sim_);
+    auto carve = group_->allocator().Allocate(cache_capacity, 0.0, "extent-cache");
+    ASSERT_TRUE(carve.ok()) << carve.status();
+    carve_ = std::move(*carve);
+    std::vector<DiskVolume*> spindles;
+    for (int i = 0; i < group_->disk_count(); ++i) spindles.push_back(group_->disk(i));
+    cache_ = std::make_unique<ExtentCache>(
+        "extent-cache", std::make_unique<StripedDiskGroup>(std::move(spindles), carve_,
+                                                           /*stripe_unit=*/4, kBlock));
+    if (sim_.auditor() != nullptr) cache_->BindAuditor(sim_.auditor());
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<StripedDiskGroup> group_;
+  ExtentList carve_;
+  std::unique_ptr<ExtentCache> cache_;
+};
+
+TEST_F(ExtentCacheTest, HitMissFillEvictAccounting) {
+  Init(/*total_blocks=*/400, /*cache_capacity=*/100);
+  EXPECT_EQ(cache_->capacity_blocks(), 100u);
+  EXPECT_FALSE(cache_->Lookup(&g_volume_a, 0, 60, 0.0));
+
+  auto filled = cache_->Admit(&g_volume_a, 0, 60, /*tape_rate_bps=*/1.5e5, 0.0);
+  ASSERT_TRUE(filled.ok()) << filled.status();
+  EXPECT_TRUE(*filled);
+  EXPECT_EQ(cache_->resident_blocks(), 60u);
+  EXPECT_EQ(cache_->stats().fills, 1u);
+  EXPECT_EQ(cache_->stats().blocks_filled, 60u);
+
+  EXPECT_TRUE(cache_->Lookup(&g_volume_a, 0, 60, 1.0));
+  // Same token, different extent bounds: whole-extent identity, so a miss.
+  EXPECT_FALSE(cache_->Lookup(&g_volume_a, 0, 30, 1.0));
+  EXPECT_FALSE(cache_->Lookup(&g_volume_b, 0, 60, 1.0));
+
+  // A second 60-block extent cannot coexist with the first in 100 blocks:
+  // the fill must evict the resident entry.
+  auto second = cache_->Admit(&g_volume_b, 0, 60, /*tape_rate_bps=*/1.5e5, 2.0);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(*second);
+  EXPECT_EQ(cache_->stats().evictions, 1u);
+  EXPECT_EQ(cache_->stats().blocks_evicted, 60u);
+  EXPECT_EQ(cache_->resident_blocks(), 60u);
+  EXPECT_FALSE(cache_->Contains(&g_volume_a, 0, 60));
+  EXPECT_TRUE(cache_->Contains(&g_volume_b, 0, 60));
+
+  EXPECT_EQ(cache_->stats().lookups, 4u);
+  EXPECT_EQ(cache_->stats().hits, 1u);
+  EXPECT_EQ(cache_->stats().misses, 3u);
+}
+
+TEST_F(ExtentCacheTest, EvictionPrefersTheLowestRefetchBenefit) {
+  Init(/*total_blocks=*/400, /*cache_capacity=*/100);
+  // Same admission time, different effective tape rates: the entry that is
+  // cheap to refetch (tape nearly as fast as disk) scores lowest and goes
+  // first, even though both are equally recent.
+  ASSERT_TRUE(cache_->Admit(&g_volume_a, 0, 40, /*tape_rate_bps=*/1.0e5, 0.0).ok());
+  ASSERT_TRUE(cache_->Admit(&g_volume_b, 0, 40, /*tape_rate_bps=*/1.9e6, 0.0).ok());
+  auto third = cache_->Admit(&g_volume_a, 1000, 40, /*tape_rate_bps=*/1.0e5, 0.0);
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_TRUE(*third);
+  EXPECT_TRUE(cache_->Contains(&g_volume_a, 0, 40));
+  EXPECT_FALSE(cache_->Contains(&g_volume_b, 0, 40));
+  EXPECT_TRUE(cache_->Contains(&g_volume_a, 1000, 40));
+}
+
+TEST_F(ExtentCacheTest, RecentUseOutweighsBenefit) {
+  Init(/*total_blocks=*/400, /*cache_capacity=*/100);
+  // The cheap-to-refetch entry is touched much later; GreedyDual ages the
+  // expensive one out instead.
+  ASSERT_TRUE(cache_->Admit(&g_volume_a, 0, 40, /*tape_rate_bps=*/1.0e5, 0.0).ok());
+  ASSERT_TRUE(cache_->Admit(&g_volume_b, 0, 40, /*tape_rate_bps=*/1.9e6, 0.0).ok());
+  EXPECT_TRUE(cache_->Lookup(&g_volume_b, 0, 40, 1e6));
+  auto third = cache_->Admit(&g_volume_a, 1000, 40, /*tape_rate_bps=*/1.0e5, 1e6);
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_FALSE(cache_->Contains(&g_volume_a, 0, 40));
+  EXPECT_TRUE(cache_->Contains(&g_volume_b, 0, 40));
+}
+
+TEST_F(ExtentCacheTest, RejectsOversizedAndDuplicateAdmissions) {
+  Init(/*total_blocks=*/400, /*cache_capacity=*/100);
+  auto too_big = cache_->Admit(&g_volume_a, 0, 101, 1.5e5, 0.0);
+  ASSERT_TRUE(too_big.ok()) << too_big.status();
+  EXPECT_FALSE(*too_big);
+  EXPECT_EQ(cache_->stats().fills, 0u);
+
+  ASSERT_TRUE(cache_->Admit(&g_volume_a, 0, 50, 1.5e5, 0.0).ok());
+  auto again = cache_->Admit(&g_volume_a, 0, 50, 1.5e5, 1.0);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_FALSE(*again);
+  EXPECT_EQ(cache_->stats().fills, 1u);
+  EXPECT_EQ(cache_->resident_blocks(), 50u);
+}
+
+TEST_F(ExtentCacheTest, ReadThroughChargesDiskTimeAndCounts) {
+  Init(/*total_blocks=*/400, /*cache_capacity=*/100);
+  ASSERT_TRUE(cache_->Admit(&g_volume_a, 100, 80, 1.5e5, 0.0).ok());
+  SimSeconds fill_end = sim_.Horizon();
+  EXPECT_GT(fill_end, 0.0);  // the phantom fill write occupied the disks
+
+  auto whole = cache_->ReadThrough(&g_volume_a, 100, 80, 100, 80, fill_end);
+  ASSERT_TRUE(whole.ok()) << whole.status();
+  EXPECT_GT(whole->end, fill_end);
+  EXPECT_EQ(cache_->stats().blocks_served, 80u);
+
+  // A strict sub-range of the entry is served from its slice.
+  auto part = cache_->ReadThrough(&g_volume_a, 100, 80, 120, 20, whole->end);
+  ASSERT_TRUE(part.ok()) << part.status();
+  EXPECT_LT(part->duration(), whole->duration());
+  EXPECT_EQ(cache_->stats().blocks_served, 100u);
+
+  // Non-resident entries and out-of-entry ranges degrade to errors, not
+  // reads of someone else's blocks.
+  EXPECT_FALSE(cache_->ReadThrough(&g_volume_b, 100, 80, 100, 80, 0.0).ok());
+  EXPECT_FALSE(cache_->ReadThrough(&g_volume_a, 100, 80, 90, 20, 0.0).ok());
+  EXPECT_FALSE(cache_->ReadThrough(&g_volume_a, 100, 80, 170, 20, 0.0).ok());
+}
+
+TEST_F(ExtentCacheTest, FillAndEvictStaySimSanClean) {
+  Init(/*total_blocks=*/400, /*cache_capacity=*/100);
+  sim::Auditor* auditor = sim_.EnableAudit();
+  cache_->BindAuditor(auditor);
+  ASSERT_TRUE(cache_->Admit(&g_volume_a, 0, 60, 1.5e5, 0.0).ok());
+  ASSERT_TRUE(cache_->Admit(&g_volume_b, 0, 60, 1.5e5, 1.0).ok());  // evicts A
+  ASSERT_TRUE(cache_->Admit(&g_volume_a, 0, 30, 1.5e5, 2.0).ok());
+  EXPECT_EQ(cache_->resident_blocks(), 90u);
+  EXPECT_GT(auditor->checks_performed(), 0u);
+  EXPECT_TRUE(auditor->clean()) << auditor->TraceString();
+}
+
+// Negative seeding: the auditor's independent ledger must catch a cache
+// that overfills its carve, lies about its occupancy, or over-evicts.
+TEST(ExtentCacheAuditTest, LedgerFlagsOvercommitAndMismatch) {
+  {
+    sim::Auditor auditor;
+    auditor.OnCacheFill("c", 10, /*resident_after=*/10, /*capacity=*/5);
+    EXPECT_FALSE(auditor.clean());
+    EXPECT_EQ(auditor.violations()[0].kind, sim::AuditKind::kScratchOvercommit);
+  }
+  {
+    sim::Auditor auditor;
+    auditor.OnCacheFill("c", 10, /*resident_after=*/12, /*capacity=*/100);
+    EXPECT_FALSE(auditor.clean());
+    EXPECT_EQ(auditor.violations()[0].kind, sim::AuditKind::kByteConservation);
+  }
+  {
+    sim::Auditor auditor;
+    auditor.OnCacheFill("c", 10, 10, 100);
+    auditor.OnCacheEvict("c", 20, 0);
+    EXPECT_FALSE(auditor.clean());
+    EXPECT_EQ(auditor.violations()[0].kind, sim::AuditKind::kAccounting);
+  }
+  {
+    sim::Auditor auditor;
+    auditor.OnCacheFill("c", 10, 10, 100);
+    auditor.OnCacheEvict("c", 10, 0);
+    EXPECT_TRUE(auditor.clean()) << auditor.TraceString();
+    EXPECT_GT(auditor.checks_performed(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace tertio::disk

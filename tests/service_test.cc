@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +26,9 @@
 #include "join/join_method.h"
 #include "relation/generator.h"
 #include "sim/auditor.h"
+#include "sim/simulation.h"
+#include "tape/tape_drive.h"
+#include "tape/tape_volume.h"
 
 namespace tertio::exec {
 namespace {
@@ -75,6 +79,7 @@ void ExpectBitIdentical(const join::JoinStats& a, const join::JoinStats& b,
   EXPECT_EQ(a.tape_blocks_read, b.tape_blocks_read) << label;
   EXPECT_EQ(a.tape_blocks_written, b.tape_blocks_written) << label;
   EXPECT_EQ(a.tape_blocks_shared, b.tape_blocks_shared) << label;
+  EXPECT_EQ(a.tape_blocks_cached, b.tape_blocks_cached) << label;
   EXPECT_EQ(a.disk_blocks_read, b.disk_blocks_read) << label;
   EXPECT_EQ(a.disk_blocks_written, b.disk_blocks_written) << label;
   EXPECT_EQ(a.disk_requests, b.disk_requests) << label;
@@ -174,6 +179,13 @@ TEST(SiteConfigTest, ValidateRejectsDegenerateConfigs) {
   SiteConfig tiny_disk = good;
   tiny_disk.disk_space_bytes = good.block_bytes - 1;
   EXPECT_FALSE(tiny_disk.Validate().ok());
+
+  // The extent cache may not swallow the whole disk: sessions need space.
+  SiteConfig cache_eats_disk = good;
+  cache_eats_disk.cache_blocks = BytesToBlocks(good.disk_space_bytes, good.block_bytes);
+  EXPECT_FALSE(cache_eats_disk.Validate().ok());
+  cache_eats_disk.cache_blocks -= 1;
+  EXPECT_TRUE(cache_eats_disk.Validate().ok());
 }
 
 TEST(MachineConfigTest, ValidateDelegatesToSiteRules) {
@@ -267,7 +279,7 @@ JoinRequest RequestFor(Site* site, const ServiceWorkload& workload, int r_index,
   request.spec.s = &workload.s[static_cast<size_t>(s_index)];
   request.method = JoinMethodId::kCdtGh;
   request.memory_blocks = site->memory_blocks();
-  request.disk_blocks = site->disk_blocks();
+  request.disk_blocks = site->session_disk_blocks();
   return request;
 }
 
@@ -424,6 +436,251 @@ TEST(QuerySchedulerTest, ClosedLoopClientsSubmitFromCompletions) {
   // strictly ordered.
   for (std::size_t i = 1; i < scheduler.outcomes().size(); ++i) {
     EXPECT_GE(scheduler.outcomes()[i].start, scheduler.outcomes()[i - 1].completion);
+  }
+}
+
+// --- Scheduler bugfix regressions ------------------------------------------
+
+TEST(QuerySchedulerTest, DuplicateExplicitIdsAreRejectedAndIdSpaceSaturates) {
+  SiteConfig config;
+  config.with_library = true;
+  Site site(config);
+  auto workload = PrepareServiceWorkload(&site, SmallServiceWorkload(/*phantom=*/true));
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  QueryScheduler scheduler(&site, ServicePolicy::kFifo);
+
+  JoinRequest explicit_id = RequestFor(&site, *workload, 0, 0, 0.0);
+  explicit_id.id = 7;
+  ASSERT_TRUE(scheduler.Submit(explicit_id).ok());
+
+  // Regression: a duplicate explicit id used to be queued twice into the
+  // cartridge index, corrupting Take()/Unindex() pairing. It must reject.
+  JoinRequest duplicate = RequestFor(&site, *workload, 1, 0, 1.0);
+  duplicate.id = 7;
+  auto rejected = scheduler.Submit(duplicate);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(scheduler.pending(), 1u);
+  EXPECT_EQ(scheduler.pending_on(workload->s_slots[0]), 1u);
+  EXPECT_EQ(scheduler.service_stats().rejected, 1u);
+
+  // Auto ids continue past the highest explicit id.
+  auto next = scheduler.Submit(RequestFor(&site, *workload, 1, 0, 1.0));
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 8u);
+
+  // Regression: id UINT64_MAX used to wrap next_id_ back to 0, re-issuing
+  // live ids. The cursor saturates instead, and once the last id is taken
+  // the auto-assign path reports exhaustion rather than duplicating it.
+  JoinRequest last = RequestFor(&site, *workload, 2, 0, 2.0);
+  last.id = std::numeric_limits<std::uint64_t>::max();
+  ASSERT_TRUE(scheduler.Submit(last).ok());
+  auto exhausted = scheduler.Submit(RequestFor(&site, *workload, 0, 0, 3.0));
+  EXPECT_FALSE(exhausted.ok());
+}
+
+TEST(QuerySchedulerTest, FollowersRequeueInsteadOfJumpingTheQueueWhenTheLeaderFails) {
+  SiteConfig config;
+  config.with_library = true;
+  Site site(config);
+  ServiceWorkloadConfig shape = SmallServiceWorkload(/*phantom=*/true);
+  shape.s_cartridges = 2;
+  auto workload = PrepareServiceWorkload(&site, shape);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  QueryScheduler scheduler(&site, ServicePolicy::kSharedScan);
+
+  // W executes first and advances the horizon, so everything below is
+  // already "arrived" when its leader starts.
+  auto w = scheduler.Submit(RequestFor(&site, *workload, 0, 1, 0.0));
+  // L leads cartridge 0 but cannot run: its disk carve is far below what
+  // CDT-GH needs, so execution fails after admission.
+  JoinRequest broken = RequestFor(&site, *workload, 1, 0, 0.1);
+  broken.disk_blocks = 2;
+  auto l = scheduler.Submit(std::move(broken));
+  // X arrived before F but waits on the *other* cartridge.
+  auto x = scheduler.Submit(RequestFor(&site, *workload, 2, 1, 0.15));
+  auto f = scheduler.Submit(RequestFor(&site, *workload, 0, 0, 0.2));
+  ASSERT_TRUE(w.ok() && l.ok() && x.ok() && f.ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+
+  const auto& outcomes = scheduler.outcomes();
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(outcomes[0].id, *w);
+  EXPECT_TRUE(outcomes[0].status.ok()) << outcomes[0].status;
+  EXPECT_EQ(outcomes[1].id, *l);
+  EXPECT_FALSE(outcomes[1].status.ok());
+  // Regression: F was swept up as L's follower; when L failed, F used to
+  // execute immediately anyway — jumping X, which arrived earlier. F must
+  // requeue and wait its turn behind X.
+  EXPECT_EQ(outcomes[2].id, *x);
+  EXPECT_TRUE(outcomes[2].status.ok()) << outcomes[2].status;
+  EXPECT_EQ(outcomes[3].id, *f);
+  EXPECT_TRUE(outcomes[3].status.ok()) << outcomes[3].status;
+  EXPECT_FALSE(outcomes[3].scan_shared);
+  ServiceStats stats = scheduler.service_stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+// --- Tape-drive window regressions -----------------------------------------
+
+TEST(TapeDriveWindowTest, RangeContainsIsOverflowSafe) {
+  using tape::TapeDrive;
+  constexpr auto kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_TRUE(TapeDrive::RangeContains(5, 10, 5, 10));
+  EXPECT_TRUE(TapeDrive::RangeContains(5, 10, 10, 5));
+  EXPECT_FALSE(TapeDrive::RangeContains(5, 10, 4, 1));
+  EXPECT_FALSE(TapeDrive::RangeContains(5, 10, 10, 6));
+  // Regression: the old `start + count <= window_start + window_count`
+  // comparison overflowed for huge starts/counts and reported containment.
+  EXPECT_FALSE(TapeDrive::RangeContains(0, 10, kMax, 2));
+  EXPECT_FALSE(TapeDrive::RangeContains(0, 10, 2, kMax));
+  EXPECT_TRUE(TapeDrive::RangeContains(0, kMax, kMax - 1, 1));
+}
+
+TEST(TapeDriveWindowTest, UnloadInvalidatesSharedAndCacheWindows) {
+  sim::Simulation sim;
+  tape::TapeDrive drive("t", tape::TapeDriveModel::DLT4000(), sim.CreateResource("t"));
+  tape::TapeVolume volume("vol", kDefaultBlockBytes);
+
+  auto loaded = drive.Load(&volume, 0.0);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto appended = drive.AppendPhantom(100, 0.25, loaded->end);
+  ASSERT_TRUE(appended.ok()) << appended.status();
+
+  drive.SetSharedPassWindow(0, 100);
+  bool cache_reader_called = false;
+  drive.SetCacheWindow(0, 100, [&](BlockIndex, BlockCount, SimSeconds ready) {
+    cache_reader_called = true;
+    return Result<sim::Interval>(sim::Interval{ready, ready});
+  });
+  auto multicast = drive.Read(0, 10, appended->end);
+  ASSERT_TRUE(multicast.ok()) << multicast.status();
+  EXPECT_EQ(drive.stats().blocks_shared, 10u);  // shared window wins
+  EXPECT_EQ(drive.stats().blocks_read, 0u);
+
+  // Regression: Unload left both windows pointing at the ejected volume; a
+  // re-load of the same volume then served "free" multicast reads for a
+  // pass nobody was running. Both windows must die with the mount.
+  auto unloaded = drive.Unload(multicast->end);
+  ASSERT_TRUE(unloaded.ok()) << unloaded.status();
+  EXPECT_FALSE(drive.shared_pass_active());
+  EXPECT_FALSE(drive.cache_window_active());
+  auto reloaded = drive.Load(&volume, unloaded->end);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  auto physical = drive.Read(0, 10, reloaded->end);
+  ASSERT_TRUE(physical.ok()) << physical.status();
+  EXPECT_EQ(drive.stats().blocks_read, 10u);
+  EXPECT_EQ(drive.stats().blocks_shared, 10u);  // unchanged
+  EXPECT_EQ(drive.stats().blocks_cached, 0u);
+  EXPECT_FALSE(cache_reader_called);
+}
+
+// --- Extent-cache service behavior -----------------------------------------
+
+TEST(ExtentCacheServiceTest, CacheBlocksZeroMatchesAnUnconfiguredSiteBitForBit) {
+  auto run = [](bool explicit_zero) {
+    SiteConfig config;
+    config.with_library = true;
+    if (explicit_zero) config.cache_blocks = 0;
+    auto site = std::make_unique<Site>(config);
+    EXPECT_EQ(site->extent_cache(), nullptr);
+    EXPECT_EQ(site->session_disk_blocks(), site->disk_blocks());
+    auto workload = PrepareServiceWorkload(site.get(), SmallServiceWorkload(/*phantom=*/true));
+    TERTIO_CHECK(workload.ok(), "workload setup failed");
+    QueryScheduler scheduler(site.get(), ServicePolicy::kSharedScan);
+    for (int j = 0; j < 3; ++j) {
+      auto id = scheduler.Submit(RequestFor(site.get(), *workload, j, 0, 0.0));
+      TERTIO_CHECK(id.ok(), "submit failed");
+    }
+    Status ran = scheduler.Run();
+    TERTIO_CHECK(ran.ok(), "run failed");
+    return scheduler.outcomes();
+  };
+  auto base = run(/*explicit_zero=*/false);
+  auto zero = run(/*explicit_zero=*/true);
+  ASSERT_EQ(base.size(), zero.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].completion, zero[i].completion) << i;  // exact
+    ExpectBitIdentical(base[i].stats, zero[i].stats, "cache_blocks=0");
+    EXPECT_EQ(zero[i].stats.tape_blocks_cached, 0u);
+  }
+}
+
+TEST(ExtentCacheServiceTest, WarmCacheServesRepeatSScansFromDisk) {
+  auto run = [](BlockCount cache_blocks) {
+    SiteConfig config;
+    config.with_library = true;
+    config.cache_blocks = cache_blocks;
+    auto site = std::make_unique<Site>(config);
+    site->EnableAudit();
+    auto workload = PrepareServiceWorkload(site.get(), SmallServiceWorkload(/*phantom=*/true));
+    TERTIO_CHECK(workload.ok(), "workload setup failed");
+    QueryScheduler scheduler(site.get(), ServicePolicy::kFifo);
+    for (int j = 0; j < 3; ++j) {
+      auto id = scheduler.Submit(RequestFor(site.get(), *workload, j, 0, 0.0));
+      TERTIO_CHECK(id.ok(), "submit failed");
+    }
+    Status ran = scheduler.Run();
+    TERTIO_CHECK(ran.ok(), "run failed");
+    TERTIO_CHECK(site->auditor()->clean(), "cache run must stay SimSan-clean");
+    ServiceStats stats = scheduler.service_stats();
+    TERTIO_CHECK(stats.completed == 3, "all queries must complete");
+    return stats;
+  };
+  // 150 MB of cache comfortably holds the 100 MB S relation.
+  SiteConfig defaults;
+  ServiceStats cold = run(0);
+  ServiceStats warm = run(BytesToBlocks(150 * kMB, defaults.block_bytes));
+
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.tape_blocks_cached, 0u);
+
+  // Query 1 misses and fills; queries 2 and 3 read S from disk.
+  EXPECT_EQ(warm.cache_misses, 1u);
+  EXPECT_EQ(warm.cache_fills, 1u);
+  EXPECT_EQ(warm.cache_hits, 2u);
+  EXPECT_EQ(warm.cache_evictions, 0u);
+  EXPECT_EQ(warm.cached_queries, 2u);
+  EXPECT_GT(warm.tape_blocks_cached, 0u);
+  EXPECT_EQ(warm.tape_blocks_read + warm.tape_blocks_cached, cold.tape_blocks_read);
+  // Two of three S passes moved off tape: at least a 2x drop in tape reads.
+  EXPECT_LT(2 * warm.tape_blocks_read, cold.tape_blocks_read);
+  EXPECT_LT(warm.makespan, cold.makespan);
+}
+
+TEST(ExtentCacheServiceTest, CachedReadsDeliverIdenticalJoinResults) {
+  // Full-data mode: blocks served through the cache window must carry the
+  // exact payloads a physical tape pass would deliver.
+  auto run = [](BlockCount cache_blocks) {
+    SiteConfig config;
+    config.with_library = true;
+    config.cache_blocks = cache_blocks;
+    auto site = std::make_unique<Site>(config);
+    auto workload = PrepareServiceWorkload(site.get(), SmallServiceWorkload(/*phantom=*/false));
+    TERTIO_CHECK(workload.ok(), "workload setup failed");
+    QueryScheduler scheduler(site.get(), ServicePolicy::kFifo);
+    for (int j = 0; j < 3; ++j) {
+      auto id = scheduler.Submit(RequestFor(site.get(), *workload, j, 0, 0.0));
+      TERTIO_CHECK(id.ok(), "submit failed");
+    }
+    Status ran = scheduler.Run();
+    TERTIO_CHECK(ran.ok(), "run failed");
+    return std::make_pair(scheduler.outcomes(), scheduler.service_stats());
+  };
+  SiteConfig defaults;
+  auto [plain, plain_stats] = run(0);
+  auto [cached, cached_stats] = run(BytesToBlocks(1 * kMB, defaults.block_bytes));
+  // The cached run really exercised the cache path.
+  EXPECT_EQ(cached_stats.cache_hits, 2u);
+  EXPECT_GT(cached_stats.tape_blocks_cached, 0u);
+  ASSERT_EQ(plain.size(), cached.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    ASSERT_TRUE(plain[i].status.ok()) << plain[i].status;
+    ASSERT_TRUE(cached[i].status.ok()) << cached[i].status;
+    ASSERT_TRUE(plain[i].stats.output_valid);
+    ASSERT_TRUE(cached[i].stats.output_valid);
+    EXPECT_EQ(plain[i].stats.output_tuples, cached[i].stats.output_tuples) << i;
+    EXPECT_EQ(plain[i].stats.output_checksum, cached[i].stats.output_checksum) << i;
   }
 }
 

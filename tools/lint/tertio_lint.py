@@ -29,6 +29,13 @@ Three check families, all tuned to invariants the compiler cannot see:
    session drive leases. Waive a deliberate exception with
    `// tertio-lint: allow(mount)`.
 
+5. cache-encapsulation: mutating the cross-query extent cache
+   (`ExtentCache::Admit` / `ExtentCache::ReadThrough`) is confined to
+   src/disk and src/exec. The cache's residency ledger, the SimSan byte
+   accounting, and the tape drives' cache windows only stay consistent when
+   fills and read-throughs flow through QuerySession/QueryScheduler. Waive
+   with `// tertio-lint: allow(extent-cache)`.
+
 Exit status: 0 with no findings, 1 otherwise. Output: `file:line: [rule] msg`.
 """
 
@@ -89,6 +96,13 @@ VOID_DISCARD_RE = re.compile(r"^\s*\(void\)\s*[A-Za-z_][\w:.>-]*\s*\(")
 MOUNT_DIRS = ("src", "tools", "examples", "bench")
 MOUNT_ALLOWED = ("src/tape", "src/exec")
 MOUNT_RE = re.compile(r"(?:\.|->)\s*Mount\s*\(")
+
+# Directories scanned for direct extent-cache mutation (rule 5), and the
+# layers allowed to perform it. Lookup/Contains/stats are read-only and fine
+# anywhere; Admit and ReadThrough move bytes and must stay encapsulated.
+CACHE_DIRS = ("src", "tools", "examples", "bench")
+CACHE_ALLOWED = ("src/disk", "src/exec")
+CACHE_RE = re.compile(r"(?:\.|->)\s*(?:Admit|ReadThrough)\s*\(")
 
 
 class Finding:
@@ -237,6 +251,24 @@ def check_mount_encapsulation(findings: list[Finding]) -> None:
                     "(or tertio-lint: allow(mount) for a deliberate exception)"))
 
 
+def check_cache_encapsulation(findings: list[Finding]) -> None:
+    for path in iter_sources(CACHE_DIRS):
+        rel = path.relative_to(REPO).as_posix()
+        if any(rel.startswith(prefix + "/") for prefix in CACHE_ALLOWED):
+            continue
+        raw = path.read_text()
+        raw_lines = raw.splitlines()
+        stripped = strip_comments(raw).splitlines()
+        for idx, line in enumerate(stripped):
+            if CACHE_RE.search(line) and "extent-cache" not in waivers_for(raw_lines, idx + 1):
+                findings.append(Finding(
+                    path, idx + 1, "extent-cache",
+                    "direct ExtentCache::Admit/ReadThrough outside src/disk and src/exec "
+                    "bypasses the cache's residency ledger and SimSan byte accounting; "
+                    "go through QuerySession/QueryScheduler "
+                    "(or tertio-lint: allow(extent-cache) for a deliberate exception)"))
+
+
 def load_registry(findings: list[Finding]) -> list[str]:
     text = REGISTRY.read_text()
     m = re.search(r"kRegisteredSpans\[\]\s*=\s*\{(.*?)\};", text, re.DOTALL)
@@ -301,6 +333,7 @@ def main() -> int:
     check_error_discipline(findings)
     check_hot_paths(findings)
     check_mount_encapsulation(findings)
+    check_cache_encapsulation(findings)
     check_span_registry(findings)
 
     for finding in findings:

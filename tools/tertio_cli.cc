@@ -58,7 +58,7 @@ int Usage() {
                "[--faults SPEC] [--gantt] [--spans]\n"
                "serve:   multi-query service, fifo vs shared-scan; also takes "
                "[--queries N] [--clients N] [--interarrival S] [--cartridges N] "
-               "[--r-relations N]\n"
+               "[--r-relations N] [--cache-blocks N]\n"
                "methods: DT-NB CDT-NB/MB CDT-NB/DB DT-GH CDT-GH CTT-GH TT-GH\n"
                "faults:  comma list, e.g. "
                "seed=7,tape-transient=1e-4,tape-bad=1e-6,disk-transient=1e-5,"
@@ -299,6 +299,9 @@ Result<ServeResult> RunService(const Flags& flags, exec::ServicePolicy policy) {
   site_config.disk_space_bytes = static_cast<ByteCount>(flags.GetDouble("disk-mb", 0) * kMB);
   site_config.memory_bytes = static_cast<ByteCount>(flags.GetDouble("memory-mb", 0) * kMB);
   site_config.with_library = true;
+  // HSM tier: carve this many blocks of the disk into the cross-query
+  // extent cache (0 = disabled).
+  site_config.cache_blocks = static_cast<BlockCount>(flags.GetDouble("cache-blocks", 0));
   if (flags.Has("faults")) {
     TERTIO_ASSIGN_OR_RETURN(site_config.faults,
                             sim::FaultPlan::Parse(flags.GetString("faults", "")));
@@ -326,7 +329,7 @@ Result<ServeResult> RunService(const Flags& flags, exec::ServicePolicy policy) {
     request.spec.s = &workload.s[static_cast<size_t>(q) % workload.s.size()];
     request.method = method;
     request.memory_blocks = site.memory_blocks();
-    request.disk_blocks = site.disk_blocks();
+    request.disk_blocks = site.session_disk_blocks();
     return request;
   };
 
@@ -371,7 +374,7 @@ double ServePercentile(const std::vector<double>& sorted, double p) {
 
 int CmdServe(const Flags& flags) {
   exec::TableReport table({"policy", "queries", "p50 resp", "p99 resp", "makespan",
-                           "tape read (MB)", "shared (MB)", "shared queries"});
+                           "tape read (MB)", "shared (MB)", "cached (MB)", "shared queries"});
   for (exec::ServicePolicy policy :
        {exec::ServicePolicy::kFifo, exec::ServicePolicy::kSharedScan}) {
     auto result = RunService(flags, policy);
@@ -389,6 +392,9 @@ int CmdServe(const Flags& flags) {
                                                              kDefaultBlockBytes)) /
                                kMB),
          StrFormat("%.0f", static_cast<double>(BlocksToBytes(result->stats.tape_blocks_shared,
+                                                             kDefaultBlockBytes)) /
+                               kMB),
+         StrFormat("%.0f", static_cast<double>(BlocksToBytes(result->stats.tape_blocks_cached,
                                                              kDefaultBlockBytes)) /
                                kMB),
          StrFormat("%llu", (unsigned long long)result->stats.scan_shared_queries)});

@@ -44,15 +44,26 @@ if [[ ! -s "$SMOKE_JSON" ]]; then
 fi
 rm -f "$SMOKE_JSON"
 
+echo "== bench smoke: query service must emit the extent-cache Zipf metrics =="
+SMOKE_JSON="$(mktemp -t bench_joins.XXXXXX.json)"
+rm -f "$SMOKE_JSON"
+TERTIO_BENCH_JSON="$SMOKE_JSON" ./build/bench/bench_query_service >/dev/null
+if ! grep -q 'zipf_tape_block_drop' "$SMOKE_JSON" \
+    || ! grep -q 'zipf_cache_mb_0_tape_blocks_read' "$SMOKE_JSON"; then
+  echo "FAIL: bench_query_service did not record the zipf cache sweep" >&2
+  exit 1
+fi
+rm -f "$SMOKE_JSON"
+
 if [[ "$FAST" == 1 ]]; then
   echo "== --fast: skipping sanitizer passes =="
   exit 0
 fi
 
-echo "== sanitizers: ASan+UBSan build + fault/simsan tests (preset: asan) =="
+echo "== sanitizers: ASan+UBSan build + fault/simsan/cache tests (preset: asan) =="
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"
-ctest --preset asan -L 'faults|simsan' -j"$(nproc)"
+ctest --preset asan -L 'faults|simsan|cache' -j"$(nproc)"
 
 echo "== sanitizers: TSan build + parallel-sweep + service tests (preset: tsan) =="
 cmake --preset tsan
