@@ -12,6 +12,9 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <iterator>
+#include <optional>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "disk/allocator.h"
@@ -21,6 +24,7 @@
 #include "join/flat_table.h"
 #include "join/join_output.h"
 #include "join/legacy_table.h"
+#include "join/simd.h"
 #include "relation/block.h"
 #include "relation/generator.h"
 #include "relation/tuple.h"
@@ -92,6 +96,123 @@ const TableWorkload& JoinTableWorkload() {
   }();
   return workload;
 }
+
+// ---- Scalar-vs-SIMD probe sweep --------------------------------------------
+
+/// One point of the probe sweep: key distribution, record width, and probe
+/// selectivity (probe keys draw from `domain_multiplier * build_tuples`, so
+/// larger multipliers mean more probes that miss the table — the regime the
+/// Bloom prefilter accelerates by skipping the slot walk entirely).
+struct ProbeSweepCase {
+  const char* name;
+  std::uint64_t build_tuples;
+  std::uint64_t probe_tuples;
+  ByteCount record_bytes;
+  rel::KeySequence s_keys;
+  std::uint64_t domain_multiplier;
+};
+
+/// The sweep grid: the fk-uniform headline (matching JoinTableWorkload's
+/// shape), Zipf(1) skew, two miss-heavy selectivities at 16-byte records,
+/// and the 64/256-byte wide-record points (smaller cardinalities keep the
+/// byte volume comparable).
+constexpr ProbeSweepCase kProbeSweep[] = {
+    {"fk_uniform_16b", 1u << 20, 1u << 21, 16, rel::KeySequence::kForeignKeyUniform, 4},
+    {"zipf_16b", 1u << 20, 1u << 21, 16, rel::KeySequence::kZipf, 4},
+    {"selective_16b", 1u << 20, 1u << 21, 16, rel::KeySequence::kUniformRandom, 32},
+    {"very_selective_16b", 1u << 20, 1u << 21, 16, rel::KeySequence::kUniformRandom, 256},
+    {"fk_uniform_64b", 1u << 18, 1u << 19, 64, rel::KeySequence::kForeignKeyUniform, 4},
+    {"fk_uniform_256b", 1u << 16, 1u << 17, 256, rel::KeySequence::kForeignKeyUniform, 4},
+};
+constexpr int kProbeSweepSize = static_cast<int>(std::size(kProbeSweep));
+
+/// Lazily generated and cached blocks for one sweep case (generation runs
+/// once per case, shared by the registered benches and the main() metrics).
+const TableWorkload& ProbeSweepWorkload(int index) {
+  static std::optional<TableWorkload> cache[kProbeSweepSize];
+  std::optional<TableWorkload>& slot = cache[index];
+  if (!slot.has_value()) {
+    const ProbeSweepCase& c = kProbeSweep[index];
+    TableWorkload w;
+    w.build_tuples = c.build_tuples;
+    w.probe_tuples = c.probe_tuples;
+    tape::TapeVolume r_tape("r", kBlock);
+    rel::GeneratorConfig r_config;
+    r_config.name = "R";
+    r_config.record_bytes = c.record_bytes;
+    r_config.tuple_count = c.build_tuples;
+    r_config.keys = rel::KeySequence::kUniformRandom;
+    r_config.key_domain = 4 * c.build_tuples;
+    auto r = rel::GenerateOnTape(r_config, &r_tape);
+    TERTIO_CHECK(r.ok(), "R generation failed");
+    w.schema = r->schema;
+    w.build_blocks = ReadAll(&r_tape);
+    tape::TapeVolume s_tape("s", kBlock);
+    rel::GeneratorConfig s_config;
+    s_config.name = "S";
+    s_config.record_bytes = c.record_bytes;
+    s_config.tuple_count = c.probe_tuples;
+    s_config.keys = c.s_keys;
+    s_config.key_domain = c.domain_multiplier * c.build_tuples;
+    s_config.seed = 17;
+    auto s = rel::GenerateOnTape(s_config, &s_tape);
+    TERTIO_CHECK(s.ok(), "S generation failed");
+    w.probe_blocks = ReadAll(&s_tape);
+    slot = std::move(w);
+  }
+  return *slot;
+}
+
+struct ProbeModeResult {
+  double seconds = 0.0;  ///< best-of-reps wall-clock of one probe pass
+  std::uint64_t tuples = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Builds once and times `reps` probe passes under `level`, keeping the
+/// best. Build and probe both run at `level`; the dispatch level is restored
+/// before returning.
+ProbeModeResult TimedProbe(const TableWorkload& w, join::simd::Level level, int reps) {
+  join::simd::SetLevelForTest(level);
+  join::FlatJoinTable table(&w.schema, 0, /*build_is_r=*/true);
+  TERTIO_CHECK(table.AddBlocks(w.build_blocks).ok(), "build failed");
+  ProbeModeResult best;
+  best.seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    join::JoinOutput out;
+    auto start = std::chrono::steady_clock::now();
+    TERTIO_CHECK(table.Probe(w.probe_blocks, &w.schema, 0, &out).ok(), "probe failed");
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (seconds < best.seconds) best.seconds = seconds;
+    best.tuples = out.tuples();
+    best.checksum = out.checksum();
+  }
+  join::simd::ResetLevelForTest();
+  return best;
+}
+
+void BM_FlatTableProbeSweep(benchmark::State& state) {
+  const int index = static_cast<int>(state.range(0));
+  const TableWorkload& w = ProbeSweepWorkload(index);
+  const join::simd::Level level =
+      state.range(1) != 0 ? join::simd::BestSupportedLevel() : join::simd::Level::kScalar;
+  join::simd::SetLevelForTest(level);
+  join::FlatJoinTable table(&w.schema, 0, /*build_is_r=*/true);
+  TERTIO_CHECK(table.AddBlocks(w.build_blocks).ok(), "build failed");
+  for (auto _ : state) {
+    join::JoinOutput out;
+    TERTIO_CHECK(table.Probe(w.probe_blocks, &w.schema, 0, &out).ok(), "probe failed");
+    benchmark::DoNotOptimize(out.checksum());
+  }
+  join::simd::ResetLevelForTest();
+  state.SetLabel(kProbeSweep[index].name);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * w.probe_tuples));
+}
+BENCHMARK(BM_FlatTableProbeSweep)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, kProbeSweepSize - 1, 1), {0, 1}})
+    ->ArgNames({"case", "simd"})
+    ->Unit(benchmark::kMillisecond);
 
 template <typename Table>
 void JoinTableBuildBench(benchmark::State& state) {
@@ -291,12 +412,18 @@ struct TransferTiming {
   std::uint64_t ops = 0;       ///< device ops accounted (must match both modes)
 };
 
+/// The three commit paths of the coalesced fast path, slowest to fastest.
+/// All three produce bit-identical simulated outcomes; only the host time
+/// to reach them differs.
+enum class CommitMode {
+  kPerChunk,    ///< coalescing off: every chunk walks the scheduling path
+  kReplay,      ///< coalesced, but the window commits via O(chunks) replay
+  kClosedForm,  ///< coalesced with the O(1) closed-form commit (the default)
+};
+
 /// Simulates one fault-free phantom tape->memory transfer of `chunks` chunks
-/// and times the Transfer call itself (setup excluded). With `coalesce` the
-/// steady state collapses into batched device commits; without it every chunk
-/// walks the full per-chunk scheduling path — the simulated outcome is
-/// bit-identical either way, only the host time differs.
-TransferTiming TimedTransfer(BlockCount chunks, bool coalesce) {
+/// and times the Transfer call itself (setup excluded).
+TransferTiming TimedTransfer(BlockCount chunks, CommitMode mode) {
   sim::Simulation sim;
   tape::TapeVolume volume("t", kBlock);
   TERTIO_CHECK(volume.AppendPhantom(chunks * kTransferChunk, 0.25).ok(), "append failed");
@@ -310,7 +437,8 @@ TransferTiming TimedTransfer(BlockCount chunks, bool coalesce) {
   plan.write_phase = "bench:write";
   plan.total = chunks * kTransferChunk;
   plan.chunk = kTransferChunk;
-  plan.allow_coalescing = coalesce;
+  plan.allow_coalescing = mode != CommitMode::kPerChunk;
+  plan.closed_form_commit = mode == CommitMode::kClosedForm;
   TransferTiming timing;
   auto start = std::chrono::steady_clock::now();
   auto result = pipe.Transfer(plan, source, sink);
@@ -324,9 +452,9 @@ TransferTiming TimedTransfer(BlockCount chunks, bool coalesce) {
 
 void BM_PipelineTransfer(benchmark::State& state) {
   const BlockCount chunks = static_cast<BlockCount>(state.range(0));
-  const bool coalesce = state.range(1) != 0;
+  const CommitMode mode = static_cast<CommitMode>(state.range(1));
   for (auto _ : state) {
-    TransferTiming timing = TimedTransfer(chunks, coalesce);
+    TransferTiming timing = TimedTransfer(chunks, mode);
     // Count only the Transfer call: setup (volume append, drive load) is
     // excluded without PauseTiming's per-iteration overhead.
     state.SetIterationTime(timing.wall_seconds);
@@ -336,8 +464,8 @@ void BM_PipelineTransfer(benchmark::State& state) {
                           static_cast<int64_t>(chunks));
 }
 BENCHMARK(BM_PipelineTransfer)
-    ->ArgsProduct({{1 << 10, 1 << 12, 1 << 14}, {0, 1}})
-    ->ArgNames({"chunks", "coalesce"})
+    ->ArgsProduct({{1 << 10, 1 << 12, 1 << 14}, {0, 1, 2}})
+    ->ArgNames({"chunks", "mode"})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
@@ -388,28 +516,67 @@ int main(int argc, char** argv) {
   recorder.RecordMetric("multimap_build_probe_tuples_per_sec", tuples / legacy);
   recorder.RecordMetric("flat_vs_multimap_speedup", legacy / flat);
 
-  // Headline transfer comparison: one fault-free 10^5-chunk phantom transfer,
-  // coalesced vs forced-per-chunk (best of 3). The simulated outcome is
-  // bit-identical; only the host time to reach it differs.
-  constexpr tertio::BlockCount kChunks = 100000;
-  tertio::TransferTiming coalesced{}, per_chunk{};
-  coalesced.wall_seconds = std::numeric_limits<double>::infinity();
+  // Scalar-vs-SIMD probe sweep: for each sweep point, build once per mode
+  // and keep the best of 3 probe passes. The two modes must agree on the
+  // pair set (count + order-independent checksum) — a divergence here is a
+  // kernel bug, not a perf regression.
+  std::printf("\nFlat-table probe, scalar vs SIMD (best of 3):\n");
+  for (int i = 0; i < tertio::kProbeSweepSize; ++i) {
+    const tertio::TableWorkload& w = tertio::ProbeSweepWorkload(i);
+    const tertio::ProbeModeResult scalar =
+        tertio::TimedProbe(w, tertio::join::simd::Level::kScalar, 3);
+    const tertio::ProbeModeResult simd =
+        tertio::TimedProbe(w, tertio::join::simd::BestSupportedLevel(), 3);
+    TERTIO_CHECK(scalar.tuples == simd.tuples, "probe sweep diverged in match count");
+    TERTIO_CHECK(scalar.checksum == simd.checksum, "probe sweep diverged in checksum");
+    const double probes = static_cast<double>(w.probe_tuples);
+    const double speedup = scalar.seconds / simd.seconds;
+    const std::string key = std::string("probe_") + tertio::kProbeSweep[i].name;
+    std::printf("  %-20s scalar %6.1f ns/probe   simd %6.1f ns/probe   %4.2fx  (%.2f%% hit)\n",
+                tertio::kProbeSweep[i].name, 1e9 * scalar.seconds / probes,
+                1e9 * simd.seconds / probes, speedup,
+                100.0 * static_cast<double>(simd.tuples) / probes);
+    recorder.RecordMetric(key + "_scalar_ns", 1e9 * scalar.seconds / probes);
+    recorder.RecordMetric(key + "_simd_ns", 1e9 * simd.seconds / probes);
+    recorder.RecordMetric(key + "_speedup", speedup);
+  }
+
+  // Headline transfer comparison at the 10^6-chunk point: one fault-free
+  // phantom transfer through each commit path (best of 3). All three paths
+  // reach the bit-identical simulated outcome; only the host time differs —
+  // per-chunk is O(chunks) scheduling, replay is O(chunks) arithmetic over
+  // the realized stage durations, closed-form is O(1) per window.
+  constexpr tertio::BlockCount kChunks = 1000000;
+  tertio::TransferTiming closed{}, replay{}, per_chunk{};
+  closed.wall_seconds = std::numeric_limits<double>::infinity();
+  replay.wall_seconds = std::numeric_limits<double>::infinity();
   per_chunk.wall_seconds = std::numeric_limits<double>::infinity();
   for (int rep = 0; rep < 3; ++rep) {
-    tertio::TransferTiming on = tertio::TimedTransfer(kChunks, /*coalesce=*/true);
-    tertio::TransferTiming off = tertio::TimedTransfer(kChunks, /*coalesce=*/false);
-    TERTIO_CHECK(on.done == off.done, "coalesced transfer diverged in simulated time");
-    TERTIO_CHECK(on.ops == off.ops, "coalesced transfer diverged in op count");
-    if (on.wall_seconds < coalesced.wall_seconds) coalesced = on;
-    if (off.wall_seconds < per_chunk.wall_seconds) per_chunk = off;
+    tertio::TransferTiming cf = tertio::TimedTransfer(kChunks, tertio::CommitMode::kClosedForm);
+    tertio::TransferTiming rp = tertio::TimedTransfer(kChunks, tertio::CommitMode::kReplay);
+    tertio::TransferTiming pc = tertio::TimedTransfer(kChunks, tertio::CommitMode::kPerChunk);
+    TERTIO_CHECK(cf.done == rp.done && rp.done == pc.done,
+                 "commit paths diverged in simulated time");
+    TERTIO_CHECK(cf.ops == rp.ops && rp.ops == pc.ops,
+                 "commit paths diverged in op count");
+    if (cf.wall_seconds < closed.wall_seconds) closed = cf;
+    if (rp.wall_seconds < replay.wall_seconds) replay = rp;
+    if (pc.wall_seconds < per_chunk.wall_seconds) per_chunk = pc;
   }
-  const double transfer_speedup = per_chunk.wall_seconds / coalesced.wall_seconds;
-  std::printf("\nPipeline transfer (%llu chunks, fault-free phantom, best of 3):\n",
+  std::printf("\nPipeline transfer commit (%llu chunks, fault-free phantom, best of 3):\n",
               (unsigned long long)kChunks);
-  std::printf("  coalesced: %.2f ms   per-chunk: %.2f ms   speedup: %.1fx\n",
-              1e3 * coalesced.wall_seconds, 1e3 * per_chunk.wall_seconds, transfer_speedup);
-  recorder.RecordMetric("pipeline_transfer_coalesced_seconds", coalesced.wall_seconds);
-  recorder.RecordMetric("pipeline_transfer_per_chunk_seconds", per_chunk.wall_seconds);
-  recorder.RecordMetric("pipeline_transfer_speedup", transfer_speedup);
+  std::printf("  closed-form: %.2f ms   replay: %.2f ms   per-chunk: %.2f ms\n",
+              1e3 * closed.wall_seconds, 1e3 * replay.wall_seconds,
+              1e3 * per_chunk.wall_seconds);
+  std::printf("  closed-form vs replay: %.1fx   vs per-chunk: %.1fx\n",
+              replay.wall_seconds / closed.wall_seconds,
+              per_chunk.wall_seconds / closed.wall_seconds);
+  recorder.RecordMetric("commit_closed_form_seconds", closed.wall_seconds);
+  recorder.RecordMetric("commit_replay_seconds", replay.wall_seconds);
+  recorder.RecordMetric("commit_per_chunk_seconds", per_chunk.wall_seconds);
+  recorder.RecordMetric("commit_closed_form_vs_replay_speedup",
+                        replay.wall_seconds / closed.wall_seconds);
+  recorder.RecordMetric("commit_closed_form_vs_per_chunk_speedup",
+                        per_chunk.wall_seconds / closed.wall_seconds);
   return recorder.Finish();
 }

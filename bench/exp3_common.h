@@ -10,6 +10,7 @@
 /// changes the effective tape speed and therefore the optimum.
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -54,11 +55,15 @@ struct Exp3Sweep {
 /// Runs the (fraction x method) grid across `threads` workers (0 = all
 /// hardware threads, 1 = the seed's serial path). Every point builds a
 /// fresh Machine, so simulated times are independent of the thread count.
-inline Exp3Sweep RunExp3Sweep(double compressibility, int threads = 1) {
+/// `scale` multiplies |R|, |S|, D and memory uniformly — scale 100 is the
+/// TB-class timing-only sweep (100 GB S), feasible in host seconds only
+/// because the coalesced closed-form commit makes chunk count nearly free.
+inline Exp3Sweep RunExp3Sweep(double compressibility, int threads = 1,
+                              std::uint64_t scale = 1) {
   Exp3Sweep sweep;
   sweep.fractions = Exp3MemoryFractions();
   sweep.optimum_seconds =
-      tape::TapeDriveModel::DLT4000().TransferSeconds(kExp3S, compressibility);
+      tape::TapeDriveModel::DLT4000().TransferSeconds(scale * kExp3S, compressibility);
 
   struct Point {
     double fraction;
@@ -73,8 +78,9 @@ inline Exp3Sweep RunExp3Sweep(double compressibility, int threads = 1) {
   std::vector<Result<join::JoinStats>> results = exec::ParallelSweep(
       points,
       [&](const Point& p) {
-        auto memory = static_cast<ByteCount>(p.fraction * kExp3R);
-        return RunPaperJoin(kExp3S, kExp3R, kExp3D, memory, p.method, compressibility);
+        auto memory = static_cast<ByteCount>(p.fraction * static_cast<double>(scale * kExp3R));
+        return RunPaperJoin(scale * kExp3S, scale * kExp3R, scale * kExp3D, memory, p.method,
+                            compressibility);
       },
       threads);
   const std::size_t methods = Exp3Methods().size();

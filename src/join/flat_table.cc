@@ -1,16 +1,29 @@
 #include "join/flat_table.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstddef>
 #include <limits>
 
+#include "join/simd.h"
 #include "relation/block.h"
 #include "relation/tuple.h"
 
 namespace tertio::join {
 namespace {
 
-/// Slots ahead of the current record whose cache lines are prefetched.
+/// Slots ahead of the current record whose cache lines are prefetched
+/// (the scalar kernels' lookahead ring, and the batched probe's second
+/// pipeline stage: filter test + conditional slot prefetch).
 constexpr std::size_t kPrefetchDistance = 8;
+
+/// First pipeline stage of the batched probe: records are digested this far
+/// ahead and their Bloom filter word is prefetched. The filter is a few
+/// percent of the table and mostly cache-resident, so a short extra lead
+/// over kPrefetchDistance is enough to have the word loaded by test time.
+constexpr std::size_t kFilterDistance = 16;
+static_assert(kFilterDistance >= kPrefetchDistance,
+              "the filter stage must run ahead of the filter test");
 
 inline void PrefetchRead(const void* p) {
 #if defined(__GNUC__) || defined(__clang__)
@@ -31,9 +44,11 @@ inline void PrefetchWrite(const void* p) {
 }  // namespace
 
 void FlatJoinTable::Rehash(std::size_t new_capacity) {
-  std::vector<Slot> old = std::move(slots_);
+  std::vector<Slot, util::HugePageAllocator<Slot>> old = std::move(slots_);
   slots_.assign(new_capacity, Slot{});
   mask_ = new_capacity - 1;
+  bloom_.assign(new_capacity / 8, 0);
+  bloom_mask_ = new_capacity / 8 - 1;
   for (const Slot& slot : old) {
     if (slot.digest != 0) InsertSlot(slot);
   }
@@ -45,6 +60,7 @@ void FlatJoinTable::InsertSlot(const Slot& slot) {
     idx = (idx + 1) & mask_;
   }
   slots_[idx] = slot;
+  BloomAdd(slot.digest);
 }
 
 void FlatJoinTable::Reserve(std::uint64_t entries) {
@@ -59,11 +75,26 @@ void FlatJoinTable::Reserve(std::uint64_t entries) {
 
 void FlatJoinTable::Clear() {
   std::fill(slots_.begin(), slots_.end(), Slot{});
+  std::fill(bloom_.begin(), bloom_.end(), 0);
   size_ = 0;
   arena_.clear();
 }
 
 Status FlatJoinTable::AddBlocks(std::span<const BlockPayload> blocks) {
+  if (simd::ActiveLevel() == simd::Level::kScalar) return AddBlocksScalar(blocks);
+  return AddBlocksBatched(blocks);
+}
+
+Status FlatJoinTable::Probe(std::span<const BlockPayload> blocks,
+                            const rel::Schema* probe_schema, std::size_t probe_key_column,
+                            JoinOutput* out) const {
+  if (simd::ActiveLevel() == simd::Level::kScalar) {
+    return ProbeScalar(blocks, probe_schema, probe_key_column, out);
+  }
+  return ProbeBatched(blocks, probe_schema, probe_key_column, out);
+}
+
+Status FlatJoinTable::AddBlocksScalar(std::span<const BlockPayload> blocks) {
   // One reservation for the whole batch (block headers are cheap to parse
   // twice): no rehash can happen mid-insert, so the prefetched slot
   // addresses below stay valid, and a chunk-sized batch grows the slot
@@ -124,9 +155,9 @@ Status FlatJoinTable::AddBlocks(std::span<const BlockPayload> blocks) {
   return Status::OK();
 }
 
-Status FlatJoinTable::Probe(std::span<const BlockPayload> blocks,
-                            const rel::Schema* probe_schema, std::size_t probe_key_column,
-                            JoinOutput* out) const {
+Status FlatJoinTable::ProbeScalar(std::span<const BlockPayload> blocks,
+                                  const rel::Schema* probe_schema,
+                                  std::size_t probe_key_column, JoinOutput* out) const {
   if (size_ == 0) return Status::OK();
   const bool pipeline = capture_records_ && out->has_sink();
   for (const BlockPayload& payload : blocks) {
@@ -182,6 +213,222 @@ Status FlatJoinTable::Probe(std::span<const BlockPayload> blocks,
           }
         }
         idx = (idx + 1) & mask_;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status FlatJoinTable::AddBlocksBatched(std::span<const BlockPayload> blocks) {
+  static_assert(sizeof(Slot) == 4 * sizeof(std::uint64_t), "group compares assume 32-byte slots");
+  static_assert(offsetof(Slot, digest) == 0, "group compares read word 0 as the digest");
+  // Same up-front reservation as the scalar path: no rehash mid-insert, so
+  // the word view and prefetched lines below stay valid for the whole batch.
+  std::uint64_t incoming = 0;
+  for (const BlockPayload& payload : blocks) {
+    TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
+                            rel::BlockReader::Open(payload, build_schema_));
+    incoming += reader.record_count();
+  }
+  Reserve(size_ + incoming);
+  const simd::Level level = simd::ActiveLevel();
+  constexpr std::size_t kStride = sizeof(Slot) / sizeof(std::uint64_t);
+  const std::uint64_t* slot_words = reinterpret_cast<const std::uint64_t*>(slots_.data());
+  const std::size_t capacity = slots_.size();
+  for (const BlockPayload& payload : blocks) {
+    TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
+                            rel::BlockReader::Open(payload, build_schema_));
+    const BlockCount n = reader.record_count();
+    if (n == 0) continue;
+    // Same paced prefetch ring as the scalar path (one prefetch issued per
+    // record keeps the miss queue from overflowing, which a burst of a whole
+    // batch's prefetches does not); the insert scan itself runs the SIMD
+    // group-of-four empty-slot search.
+    std::uint64_t digests[kPrefetchDistance];
+    std::int64_t keys[kPrefetchDistance];
+    auto stage = [&](BlockCount j) {
+      rel::Tuple tuple(reader.record(j), build_schema_);
+      const std::int64_t key = tuple.GetInt64(build_key_);
+      const std::uint64_t digest = DigestOf(key);
+      keys[j % kPrefetchDistance] = key;
+      digests[j % kPrefetchDistance] = digest;
+      PrefetchWrite(&slots_[static_cast<std::size_t>(digest) & mask_]);
+    };
+    const BlockCount lead = std::min<BlockCount>(n, kPrefetchDistance);
+    for (BlockCount j = 0; j < lead; ++j) stage(j);
+    for (BlockCount i = 0; i < n; ++i) {
+      // Read the current record's ring entries before the lookahead below
+      // reuses the same ring position (i + D ≡ i mod D).
+      Slot slot;
+      slot.digest = digests[i % kPrefetchDistance];
+      slot.key = keys[i % kPrefetchDistance];
+      if (i + kPrefetchDistance < n) stage(i + kPrefetchDistance);
+      rel::Tuple tuple(reader.record(i), build_schema_);
+      slot.record_digest = HashBytes(tuple.bytes());
+      if (capture_records_) {
+        std::span<const std::uint8_t> bytes = tuple.bytes();
+        if (arena_.size() + bytes.size() >
+            static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
+          return Status::ResourceExhausted("flat table arena exceeds 4 GiB of build records");
+        }
+        slot.record_offset = static_cast<std::uint32_t>(arena_.size());
+        slot.record_length = static_cast<std::uint32_t>(bytes.size());
+        arena_.insert(arena_.end(), bytes.begin(), bytes.end());
+      }
+      BloomAdd(slot.digest);
+      // Empty-slot scan: the home slot is free for most inserts below the
+      // 0.7 load ceiling, so test it with one scalar load and fall back to
+      // group-of-four scans only when a cluster has to be crossed. The
+      // first empty slot found is the same slot the scalar InsertSlot walk
+      // lands on, so the two kernels build bit-identical tables.
+      std::size_t idx = static_cast<std::size_t>(slot.digest) & mask_;
+      if (slots_[idx].digest == 0) {
+        slots_[idx] = slot;
+        ++size_;
+        continue;
+      }
+      idx = (idx + 1) & mask_;
+      for (;;) {
+        if (idx + 4 <= capacity) {
+          const simd::Group4 g =
+              simd::CompareDigests4(level, slot_words + idx * kStride, kStride, slot.digest);
+          if (g.empty_mask != 0) {
+            slots_[idx + static_cast<std::size_t>(std::countr_zero(g.empty_mask))] = slot;
+            break;
+          }
+          idx += 4;
+          if (idx == capacity) idx = 0;
+        } else {
+          // Group would run past the array end: scalar-step across the wrap.
+          if (slots_[idx].digest == 0) {
+            slots_[idx] = slot;
+            break;
+          }
+          idx = (idx + 1) & mask_;
+        }
+      }
+      ++size_;
+    }
+  }
+  return Status::OK();
+}
+
+Status FlatJoinTable::ProbeBatched(std::span<const BlockPayload> blocks,
+                                   const rel::Schema* probe_schema,
+                                   std::size_t probe_key_column, JoinOutput* out) const {
+  if (size_ == 0) return Status::OK();
+  const simd::Level level = simd::ActiveLevel();
+  const bool pipeline = capture_records_ && out->has_sink();
+  constexpr std::size_t kStride = sizeof(Slot) / sizeof(std::uint64_t);
+  const std::uint64_t* slot_words = reinterpret_cast<const std::uint64_t*>(slots_.data());
+  const std::size_t capacity = slots_.size();
+  for (const BlockPayload& payload : blocks) {
+    TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
+                            rel::BlockReader::Open(payload, probe_schema));
+    const BlockCount n = reader.record_count();
+    if (n == 0) continue;
+    // Two-stage software pipeline. Stage one (kFilterDistance ahead):
+    // digest the record and prefetch its Bloom filter word. Stage two
+    // (kPrefetchDistance ahead): test the filter — the word has had half a
+    // ring of lead time to arrive — and prefetch the slot line only for
+    // digests that may be present. By the time a surviving record is
+    // processed its slot line has been in flight for kPrefetchDistance
+    // records; rejected records skip the slot array entirely.
+    std::uint64_t digests[kFilterDistance];
+    std::int64_t keys[kFilterDistance];
+    bool may_match[kPrefetchDistance];
+    auto stage_digest = [&](BlockCount j) {
+      rel::Tuple tuple(reader.record(j), probe_schema);
+      const std::int64_t key = tuple.GetInt64(probe_key_column);
+      const std::uint64_t digest = DigestOf(key);
+      keys[j % kFilterDistance] = key;
+      digests[j % kFilterDistance] = digest;
+      PrefetchRead(&bloom_[BloomWordOf(digest)]);
+    };
+    auto stage_filter = [&](BlockCount j) {
+      const std::uint64_t digest = digests[j % kFilterDistance];
+      const bool may = BloomMayContain(digest);
+      may_match[j % kPrefetchDistance] = may;
+      if (may) PrefetchRead(&slots_[static_cast<std::size_t>(digest) & mask_]);
+    };
+    const BlockCount lead_digest = std::min<BlockCount>(n, kFilterDistance);
+    for (BlockCount j = 0; j < lead_digest; ++j) stage_digest(j);
+    const BlockCount lead_filter = std::min<BlockCount>(n, kPrefetchDistance);
+    for (BlockCount j = 0; j < lead_filter; ++j) stage_filter(j);
+    for (BlockCount i = 0; i < n; ++i) {
+      // Read the current record's ring entries before the stage calls below
+      // reuse the same ring positions (i + D ≡ i mod D).
+      const std::uint64_t digest = digests[i % kFilterDistance];
+      const std::int64_t key = keys[i % kFilterDistance];
+      const bool walk = may_match[i % kPrefetchDistance];
+      if (i + kFilterDistance < n) stage_digest(i + kFilterDistance);
+      if (i + kPrefetchDistance < n) stage_filter(i + kPrefetchDistance);
+      if (!walk) continue;
+      rel::Tuple tuple(reader.record(i), probe_schema);
+      // Lazy probe digest, as in the scalar walk: unmatched probes never
+      // hash their record bytes.
+      std::uint64_t probe_digest = 0;
+      bool have_probe_digest = false;
+      auto emit = [&](const Slot& slot) -> Status {
+        if (!have_probe_digest) {
+          probe_digest = HashBytes(tuple.bytes());
+          have_probe_digest = true;
+        }
+        if (pipeline) {
+          rel::Tuple build_tuple(
+              std::span<const std::uint8_t>(arena_.data() + slot.record_offset,
+                                            slot.record_length),
+              build_schema_);
+          const rel::Tuple& r = build_is_r_ ? build_tuple : tuple;
+          const rel::Tuple& s = build_is_r_ ? tuple : build_tuple;
+          return out->AddMatchWithRows(slot.key, r, s);
+        }
+        if (build_is_r_) {
+          out->AddMatch(slot.key, slot.record_digest, probe_digest);
+        } else {
+          out->AddMatch(slot.key, probe_digest, slot.record_digest);
+        }
+        return Status::OK();
+      };
+      std::size_t idx = static_cast<std::size_t>(digest) & mask_;
+      bool open = true;
+      while (open) {
+        if (idx + 4 <= capacity) {
+          const simd::Group4 g =
+              simd::CompareDigests4(level, slot_words + idx * kStride, kStride, digest);
+          std::uint32_t matches = g.match_mask;
+          if (g.empty_mask != 0) {
+            // The chain ends at the first empty slot; digests equal to the
+            // probe's beyond it belong to other chains.
+            matches &= (1u << std::countr_zero(g.empty_mask)) - 1u;
+            open = false;
+          }
+          while (matches != 0) {
+            const Slot& slot =
+                slots_[idx + static_cast<std::size_t>(std::countr_zero(matches))];
+            matches &= matches - 1;
+            // Digest first, key bytes only on digest equality — an
+            // (injected) digest collision between unequal keys is
+            // rejected here, exactly as in the scalar walk.
+            if (slot.key != key) continue;
+            TERTIO_RETURN_IF_ERROR(emit(slot));
+          }
+          if (open) {
+            idx += 4;
+            if (idx == capacity) idx = 0;
+          }
+        } else {
+          // Group would run past the array end: scalar-step across the wrap.
+          const Slot& slot = slots_[idx];
+          if (slot.digest == 0) {
+            open = false;
+          } else {
+            if (slot.digest == digest && slot.key == key) {
+              TERTIO_RETURN_IF_ERROR(emit(slot));
+            }
+            idx = (idx + 1) & mask_;
+          }
+        }
       }
     }
   }

@@ -16,6 +16,17 @@
 /// on digest equality; a digest collision between unequal keys therefore
 /// never produces a match (see FlatTableDigestCollision in
 /// tests/join_correctness_test.cc).
+///
+/// Two kernel generations coexist behind a runtime dispatch (join/simd.h):
+/// the original per-record loops (the forced-scalar reference, selected with
+/// TERTIO_SIMD=scalar or simd::SetLevelForTest) and a batched kernel built
+/// as a two-stage software pipeline. Stage one digests records a full filter
+/// distance ahead and prefetches their blocked-Bloom filter word; stage two
+/// tests the filter half a ring later and prefetches the slot line only for
+/// digests that may be present. Probes the filter rejects — the common case
+/// for selective joins — never touch the slot array at all; survivors walk
+/// their chain with SSE2/NEON group-of-four digest compares. Both kernels
+/// emit the identical match sequence (tests/flat_table_simd_test.cc).
 
 #include <cstdint>
 #include <span>
@@ -25,6 +36,7 @@
 #include "join/join_output.h"
 #include "relation/schema.h"
 #include "util/block_payload.h"
+#include "util/hugepage.h"
 #include "util/status.h"
 
 namespace tertio::join {
@@ -92,14 +104,53 @@ class FlatJoinTable {
   void Rehash(std::size_t new_capacity);
   void InsertSlot(const Slot& slot);
 
+  /// The original per-record loops — the reference semantics the batched
+  /// kernels must reproduce exactly, and the baseline of the probe_* bench
+  /// speedup metrics.
+  Status AddBlocksScalar(std::span<const BlockPayload> blocks);
+  Status ProbeScalar(std::span<const BlockPayload> blocks, const rel::Schema* probe_schema,
+                     std::size_t probe_key_column, JoinOutput* out) const;
+
+  /// Batched kernels: two-stage digest/filter pipeline + SIMD group-of-four
+  /// slot compares (join/simd.h).
+  Status AddBlocksBatched(std::span<const BlockPayload> blocks);
+  Status ProbeBatched(std::span<const BlockPayload> blocks, const rel::Schema* probe_schema,
+                      std::size_t probe_key_column, JoinOutput* out) const;
+
+  /// Blocked Bloom prefilter over the stored digests: one 64-bit filter word
+  /// per eight slots, four bits per key, all drawn from digest bits the slot
+  /// index (low bits) does not use. Every insert path sets the bits, so a
+  /// negative test proves the digest is absent — the filter only ever skips
+  /// chain walks that could not have matched, never real matches.
+  static std::uint64_t BloomBitsOf(std::uint64_t digest) {
+    return (1ull << ((digest >> 38) & 63)) | (1ull << ((digest >> 44) & 63)) |
+           (1ull << ((digest >> 50) & 63)) | (1ull << ((digest >> 56) & 63));
+  }
+  std::size_t BloomWordOf(std::uint64_t digest) const {
+    return static_cast<std::size_t>(digest >> 32) & bloom_mask_;
+  }
+  void BloomAdd(std::uint64_t digest) { bloom_[BloomWordOf(digest)] |= BloomBitsOf(digest); }
+  bool BloomMayContain(std::uint64_t digest) const {
+    const std::uint64_t bits = BloomBitsOf(digest);
+    return (bloom_[BloomWordOf(digest)] & bits) == bits;
+  }
+
   const rel::Schema* build_schema_;
   std::size_t build_key_;
   bool build_is_r_;
   bool capture_records_;
   KeyHashFn key_hash_;
 
-  std::vector<Slot> slots_;  // power-of-two size, linear probing
+  /// Power-of-two size, linear probing. Hugepage-backed above 2 MiB: paper-
+  /// scale tables have page working sets far beyond the dTLB on 4 KiB pages,
+  /// and x86 drops prefetches that miss the dTLB — THP backing is what makes
+  /// both kernels' prefetch pipelines effective (util/hugepage.h).
+  std::vector<Slot, util::HugePageAllocator<Slot>> slots_;
   std::size_t mask_ = 0;
+  /// One filter word per eight slots (3% of the table), kept in lockstep
+  /// with slots_ by Rehash/Clear and every insert.
+  std::vector<std::uint64_t, util::HugePageAllocator<std::uint64_t>> bloom_;
+  std::size_t bloom_mask_ = 0;
   std::uint64_t size_ = 0;
   std::vector<std::uint8_t> arena_;  // captured record bytes, back-to-back
 };

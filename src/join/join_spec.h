@@ -75,6 +75,12 @@ struct JoinContext {
   /// in simulated time and all aggregates; off forces the per-chunk path
   /// (the equivalence tests' reference).
   bool coalesce_transfers = true;
+  /// Let coalesced windows commit their steady state in closed form (O(1)
+  /// jumps over the chunk recurrence instead of an O(chunks) scalar replay;
+  /// sim/pipeline.h). Bit-identical either way; off forces the full replay
+  /// (the middle rung of the per-chunk / replay / closed-form equivalence
+  /// ladder). Ignored when coalesce_transfers is off.
+  bool closed_form_commit = true;
 };
 
 /// Everything a run reports. Timing is virtual; tuple counts are exact in

@@ -1,11 +1,50 @@
 #include "sim/pipeline.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 
 #include "sim/auditor.h"
+#include "sim/closed_form.h"
 #include "sim/resource.h"
 
 namespace tertio::sim {
+
+void DurationRunList::Append(SimSeconds value) {
+  values_.push_back(value);
+  if (!runs_.empty()) {
+    Run& tail = runs_.back();
+    // Extend an open scalar tail run instead of opening a run per term.
+    if (tail.repeats == 1 &&
+        static_cast<std::size_t>(tail.offset) + tail.length == values_.size() - 1) {
+      ++tail.length;
+      ++terms_;
+      return;
+    }
+  }
+  runs_.push_back(Run{static_cast<std::uint32_t>(values_.size() - 1), 1, 1});
+  ++terms_;
+}
+
+void DurationRunList::AppendRun(std::span<const SimSeconds> pattern, std::uint64_t repeats) {
+  if (pattern.empty() || repeats == 0) return;
+  const auto offset = static_cast<std::uint32_t>(values_.size());
+  values_.insert(values_.end(), pattern.begin(), pattern.end());
+  runs_.push_back(Run{offset, static_cast<std::uint32_t>(pattern.size()), repeats});
+  terms_ += pattern.size() * repeats;
+}
+
+SimSeconds DurationRunList::Accumulate(SimSeconds acc) const {
+  for (const Run& run : runs_) {
+    const std::span<const SimSeconds> pattern(values_.data() + run.offset, run.length);
+    if (run.repeats == 1) {
+      for (SimSeconds d : pattern) acc += d;
+    } else {
+      acc = IteratedAddCycle(acc, pattern, run.repeats);
+    }
+  }
+  return acc;
+}
 
 std::size_t SpanTrace::PhaseIndex(std::string_view phase, std::string_view device,
                                   Interval interval) {
@@ -40,18 +79,19 @@ void SpanTrace::Record(std::string_view phase, std::string_view device, BlockCou
 
 void SpanTrace::RecordBatch(std::string_view phase, std::string_view device, BlockCount blocks,
                             ByteCount bytes, Interval hull, std::uint64_t stages,
-                            std::span<const SimSeconds> stage_durations) {
+                            const DurationRunList& stage_durations) {
   TERTIO_CHECK(!retain_, "a coalesced batch cannot be recorded into a retained span list");
-  TERTIO_CHECK(stage_durations.size() == stages,
-               "a coalesced batch needs one duration per stage");
+  TERTIO_CHECK(stage_durations.terms() == stages,
+               "a coalesced batch needs one duration term per stage");
   PhaseSummary& summary = phases_[PhaseIndex(phase, device, hull)];
   if (summary.device != device) summary.device = "";
   summary.stage_count += stages;
   summary.blocks += blocks;
   summary.bytes += bytes;
-  // Term by term: the phase's busy accumulator must see the same float
-  // additions, in the same order, as `stages` individual Record() calls.
-  for (SimSeconds duration : stage_durations) summary.busy_seconds += duration;
+  // The phase's busy accumulator must see the same float additions, in the
+  // same order, as `stages` individual Record() calls; run-compressed terms
+  // replay through the exact closed form.
+  summary.busy_seconds = stage_durations.Accumulate(summary.busy_seconds);
   summary.window = Interval::Hull(summary.window, hull);
   window_ = has_window_ ? Interval::Hull(window_, hull) : hull;
   has_window_ = true;
@@ -96,7 +136,7 @@ StageId Pipeline::Commit(std::string_view phase, std::string_view device, BlockC
 StageId Pipeline::CommitBatch(std::string_view phase, std::string_view device,
                               BlockCount blocks, ByteCount bytes, SimSeconds ready,
                               Interval hull, std::uint64_t stages,
-                              std::span<const SimSeconds> stage_durations) {
+                              const DurationRunList& stage_durations) {
   intervals_.push_back(hull);
   if (!any_stage_ || hull.end > horizon_) horizon_ = std::max(horizon_, hull.end);
   any_stage_ = true;
@@ -243,15 +283,62 @@ BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& sourc
   SimSeconds read_chain = have_read ? end(result.last_read) : 0.0;
   SimSeconds write_chain = have_write ? end(result.last_write) : 0.0;
 
-  std::vector<SimSeconds> read_durations;
-  std::vector<SimSeconds> write_durations;
-  read_durations.reserve(n);
-  write_durations.reserve(n);
+  DurationRunList read_durations;
+  DurationRunList write_durations;
 
-  auto run_chunk_ops = [&slots](const ChunkCostProfile& p,
-                                const std::vector<std::size_t>& prefix,
-                                const std::vector<int>& op_slot, BlockCount k,
-                                SimSeconds ready) {
+  // Guard state of the closed-form jump (see DESIGN.md §5.1). While a
+  // verification period replays, every computed operation end is observed:
+  // the jump translates the whole recurrence state by 2^t * delta, which is
+  // exact and rounding-equivalent only if, for every observed value r, the
+  // shift is an even multiple of r's ulp (round-half-even decisions at exact
+  // ties survive even grid translations) and r stays inside its binade.
+  struct JumpWatch {
+    SimSeconds delta = 0.0;
+    int lsb = 0;  // delta = odd * 2^lsb
+    bool ok = false;
+    int t_min = 0;                     // jump size 2^t needs t >= t_min
+    std::uint64_t max_jump = ~0ull >> 1;  // headroom bound on 2^t
+    bool active = false;
+
+    void Arm(SimSeconds d) {
+      active = true;
+      t_min = 0;
+      max_jump = ~0ull >> 1;
+      delta = d;
+      ok = d > 0.0 && d >= 0x1p-1021 && std::isfinite(d) && std::ilogb(d) < 1023;
+      if (!ok) return;
+      const int e = std::ilogb(d);
+      const auto mantissa = static_cast<std::uint64_t>(std::ldexp(d, 52 - e));
+      lsb = e - 52 + std::countr_zero(mantissa);
+    }
+    void Observe(SimSeconds r) {
+      if (!active || !ok) return;
+      if (!(r >= 0x1p-1021)) {  // degenerate near-zero time: no grid to argue on
+        ok = false;
+        return;
+      }
+      const int e = std::ilogb(r);
+      if (e >= 1023) {
+        ok = false;
+        return;
+      }
+      // Parity: 2^t * delta must be a multiple of 2 * ulp(r) = 2^{e-51}.
+      const int need = (e - 51) - lsb;
+      if (need > t_min) t_min = need;
+      // Headroom: r + 2^t * delta must stay below 2^{e+1} (margin 2 strides;
+      // the division's rounding can overstate the quotient by at most one).
+      const SimSeconds top = std::ldexp(1.0, e + 1);
+      std::uint64_t room = static_cast<std::uint64_t>((top - r) / delta);
+      room = room > 2 ? room - 2 : 0;
+      if (room < max_jump) max_jump = room;
+    }
+  };
+  JumpWatch watch;
+
+  auto run_chunk_ops = [&slots, &watch](const ChunkCostProfile& p,
+                                        const std::vector<std::size_t>& prefix,
+                                        const std::vector<int>& op_slot, BlockCount k,
+                                        SimSeconds ready) {
     const std::size_t cyc = static_cast<std::size_t>(k % p.cycle);
     const std::size_t first = prefix[cyc];
     const std::size_t last = prefix[cyc + 1];
@@ -266,6 +353,7 @@ BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& sourc
         slot.first_start = start;
         slot.any = true;
       }
+      if (watch.active) watch.Observe(interval.end);
       hull = i == first ? interval : Interval::Hull(hull, interval);
     }
     return hull;
@@ -275,7 +363,14 @@ BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& sourc
   Interval write_hull;
   SimSeconds first_read_ready = 0.0;
   SimSeconds first_write_ready = 0.0;
-  for (BlockCount k = 0; k < n; ++k) {
+  BlockCount k = 0;
+  // Duration patterns of the current verification period (one term per
+  // chunk); `capture` routes replay_chunk's outputs into them.
+  std::vector<SimSeconds> pattern_read;
+  std::vector<SimSeconds> pattern_write;
+  bool capture_pattern = false;
+
+  auto replay_chunk = [&]() {
     SimSeconds ready = base_ready;
     if (plan.streaming) {
       if (have_read && read_chain > ready) ready = read_chain;
@@ -283,20 +378,136 @@ BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& sourc
       if (have_write && write_chain > ready) ready = write_chain;
     }
     Interval read_iv = run_chunk_ops(src, src_prefix, src_slot, k, ready);
-    read_durations.push_back(read_iv.duration());
+    read_durations.Append(read_iv.duration());
+    if (capture_pattern) pattern_read.push_back(read_iv.duration());
     read_hull = k == 0 ? read_iv : Interval::Hull(read_hull, read_iv);
     have_read = true;
     read_chain = read_iv.end;
     // The write's ready is its read's end (ReadyAfter({read}), which the
     // chain structure guarantees is at or after the pipeline origin).
     Interval write_iv = run_chunk_ops(snk, snk_prefix, snk_slot, k, read_iv.end);
-    write_durations.push_back(write_iv.duration());
+    write_durations.Append(write_iv.duration());
+    if (capture_pattern) pattern_write.push_back(write_iv.duration());
     write_hull = k == 0 ? write_iv : Interval::Hull(write_hull, write_iv);
     have_write = true;
     write_chain = write_iv.end;
     if (k == 0) {
       first_read_ready = ready;
       first_write_ready = read_iv.end;
+    }
+    ++k;
+  };
+  auto replay_periods = [&](BlockCount count) {
+    for (BlockCount c = 0; c < count * period; ++c) replay_chunk();
+  };
+
+  if (!plan.closed_form_commit) {
+    // The O(chunks) reference: replay every chunk of the window scalar.
+    replay_periods(n / period);
+  } else {
+    // Closed-form commit: replay scalar until two consecutive periods are
+    // related by one exact uniform translation delta (every recurrence-state
+    // component advanced by delta, each addition exact), then jump 2^t
+    // periods by translating the state — valid by induction because every
+    // value the jumped periods would compute is an even-grid translation of
+    // a value observed in the verified period (JumpWatch above). Any failed
+    // check falls back to scalar replay with exponential backoff, which is
+    // always correct.
+    std::vector<SimSeconds> state_a;
+    std::vector<SimSeconds> state_b;
+    auto snapshot = [&](std::vector<SimSeconds>& out) {
+      out.clear();
+      for (const Slot& slot : slots) out.push_back(slot.available);
+      out.push_back(read_chain);
+      out.push_back(write_chain);
+    };
+    // Exact uniform translation: b[i] == a[i] + delta with a TwoSum error of
+    // zero (the addition is exact, not merely round-tripping).
+    auto translated = [](const std::vector<SimSeconds>& a, const std::vector<SimSeconds>& b,
+                         SimSeconds delta) {
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const SimSeconds sum = a[i] + delta;
+        if (sum != b[i]) return false;
+        const SimSeconds db = sum - a[i];
+        const SimSeconds err = (delta - db) + (a[i] - (sum - db));
+        if (err != 0.0) return false;
+      }
+      return true;
+    };
+    BlockCount backoff = 1;
+    while (k < n) {
+      BlockCount remaining = (n - k) / period;
+      if (remaining < 4) {
+        replay_periods(remaining);
+        break;
+      }
+      snapshot(state_a);
+      replay_periods(1);
+      snapshot(state_b);
+      remaining -= 1;
+      const SimSeconds delta = state_b.back() - state_a.back();
+      if (!(delta >= 0.0) || !std::isfinite(delta) || !translated(state_a, state_b, delta)) {
+        const BlockCount step = std::min<BlockCount>(backoff, remaining);
+        replay_periods(step);
+        if (backoff < 64) backoff *= 2;
+        continue;
+      }
+      if (delta == 0.0) {
+        // Frozen steady state: every further period replays the recurrence
+        // from an identical state, so the remaining periods repeat the last
+        // period's durations with no state change at all.
+        capture_pattern = true;
+        pattern_read.clear();
+        pattern_write.clear();
+        replay_periods(1);
+        capture_pattern = false;
+        remaining -= 1;
+        snapshot(state_a);
+        if (!translated(state_b, state_a, 0.0)) continue;  // not frozen after all
+        read_durations.AppendRun(pattern_read, remaining);
+        write_durations.AppendRun(pattern_write, remaining);
+        k += remaining * period;
+        break;
+      }
+      // Watched verification period: guards accumulate over every computed
+      // value, and the period's durations become the jump's repeat pattern.
+      watch.Arm(delta);
+      capture_pattern = true;
+      pattern_read.clear();
+      pattern_write.clear();
+      replay_periods(1);
+      capture_pattern = false;
+      watch.active = false;
+      remaining -= 1;
+      snapshot(state_a);
+      if (!watch.ok || !translated(state_b, state_a, delta)) {
+        const BlockCount step = std::min<BlockCount>(backoff, remaining);
+        replay_periods(step);
+        if (backoff < 64) backoff *= 2;
+        continue;
+      }
+      const std::uint64_t cap = std::min<std::uint64_t>(watch.max_jump, remaining);
+      int t = watch.t_min;
+      if (t > 62 || cap == 0 || (std::uint64_t{1} << t) > cap) {
+        const BlockCount step = std::min<BlockCount>(backoff, remaining);
+        replay_periods(step);
+        if (backoff < 64) backoff *= 2;
+        continue;
+      }
+      while (t < 62 && (std::uint64_t{2} << t) <= cap) ++t;
+      const std::uint64_t jump = std::uint64_t{1} << t;
+      const SimSeconds shift = std::ldexp(delta, t);  // exact power-of-two scale
+      for (Slot& slot : slots) slot.available += shift;
+      read_chain += shift;
+      write_chain += shift;
+      // Chunk interval ends are monotone along the window, so the hull ends
+      // are exactly the (translated) chain ends.
+      read_hull.end = read_chain;
+      write_hull.end = write_chain;
+      read_durations.AppendRun(pattern_read, jump);
+      write_durations.AppendRun(pattern_write, jump);
+      k += jump * period;
+      backoff = 1;
     }
   }
 

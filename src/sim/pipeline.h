@@ -76,6 +76,38 @@ struct PhaseSummary {
   Interval window;
 };
 
+/// Realized per-stage durations of a coalesced batch, stored as runs: a run
+/// is `repeats` back-to-back repetitions of a contiguous pattern of values.
+/// The steady-state replay's durations are piecewise periodic, so a
+/// million-chunk batch stores O(replayed periods) values while Accumulate()
+/// reproduces the exact term-by-term float sum through the closed form
+/// (closed_form.h) — bit-identical to adding every term one at a time.
+class DurationRunList {
+ public:
+  /// Appends one value (a run of length 1, merged into an open tail run).
+  void Append(SimSeconds value);
+  /// Appends `repeats` back-to-back repetitions of `pattern` (copied).
+  void AppendRun(std::span<const SimSeconds> pattern, std::uint64_t repeats);
+
+  /// Total terms represented (sum of length * repeats over runs).
+  std::uint64_t terms() const { return terms_; }
+  bool empty() const { return terms_ == 0; }
+
+  /// `acc` after every term, in order, is added into it — bit-identical to
+  /// the literal loop over the expanded sequence.
+  SimSeconds Accumulate(SimSeconds acc) const;
+
+ private:
+  struct Run {
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+    std::uint64_t repeats = 0;
+  };
+  std::vector<SimSeconds> values_;
+  std::vector<Run> runs_;
+  std::uint64_t terms_ = 0;
+};
+
 /// Collects the spans of one run. Per-phase summaries are always maintained
 /// (bounded by the number of distinct phase labels); individual spans are
 /// retained only when set_retain(true) — full traces of paper-scale joins
@@ -99,13 +131,14 @@ class SpanTrace {
 
   /// Records a coalesced batch of `stages` chunk stages sharing one phase as
   /// one call: `blocks`/`bytes` are batch totals, `hull` covers every chunk's
-  /// interval, and `stage_durations` (one entry per chunk, in commit order)
-  /// feed the phase's busy-seconds accumulator term by term so the float sum
-  /// is bit-identical to `stages` individual Record() calls. Only valid when
-  /// spans are not retained (a batch has no per-chunk span records).
+  /// interval, and `stage_durations` (one term per chunk, in commit order)
+  /// feed the phase's busy-seconds accumulator in the exact term order of
+  /// `stages` individual Record() calls — run-compressed terms go through
+  /// the closed form, so the float sum is bit-identical either way. Only
+  /// valid when spans are not retained (a batch has no per-chunk records).
   void RecordBatch(std::string_view phase, std::string_view device, BlockCount blocks,
                    ByteCount bytes, Interval hull, std::uint64_t stages,
-                   std::span<const SimSeconds> stage_durations);
+                   const DurationRunList& stage_durations);
 
   bool empty() const { return phases_.empty(); }
   void Clear();
@@ -333,6 +366,15 @@ class Pipeline {
     /// per-chunk and coalescing re-arms after them. Off forces per-chunk
     /// scheduling for every chunk (A/B validation, tests).
     bool allow_coalescing = true;
+    /// Commit eligible windows in closed form: after a scalar warm-up the
+    /// steady-state recurrence repeats as an exact per-period translation on
+    /// the float grid, and the remaining periods are committed with O(1)
+    /// arithmetic per jump instead of an O(chunks) replay — bit-identical in
+    /// simulated seconds and every aggregate (the jump fires only when the
+    /// translation is verified exact; see DESIGN.md §5.1). Off keeps the
+    /// coalesced window's full scalar replay (the O(chunks) reference; the
+    /// three-way equivalence tests compare per-chunk / replay / closed form).
+    bool closed_form_commit = true;
   };
 
   struct TransferResult {
@@ -361,7 +403,7 @@ class Pipeline {
                  ByteCount bytes, SimSeconds ready, Interval interval);
   StageId CommitBatch(std::string_view phase, std::string_view device, BlockCount blocks,
                       ByteCount bytes, SimSeconds ready, Interval hull, std::uint64_t stages,
-                      std::span<const SimSeconds> stage_durations);
+                      const DurationRunList& stage_durations);
 
   /// Attempts to commit `want` full chunks starting at `offset` through the
   /// coalesced fast path. \returns the chunks committed (0 = ineligible;

@@ -1,6 +1,7 @@
 #include "sim/resource.h"
 
 #include "sim/auditor.h"
+#include "sim/closed_form.h"
 
 namespace tertio::sim {
 
@@ -39,13 +40,11 @@ Interval Resource::ScheduleBatch(std::uint64_t cycles,
   ByteCount bytes_per_cycle = 0;
   for (ByteCount b : cycle_bytes) bytes_per_cycle += b;
   stats_.bytes_transferred += cycles * bytes_per_cycle;
-  // Accumulate busy time per operation in commit order: float addition is
-  // not associative, so a closed form would drift from the per-op path in
-  // low-order bits. The loop is ~1 flop per coalesced operation — still far
-  // cheaper than the per-op Schedule() machinery it replaces.
-  for (std::uint64_t c = 0; c < cycles; ++c) {
-    for (SimSeconds d : cycle_durations) stats_.busy_seconds += d;
-  }
+  // Busy time must accumulate per operation in commit order: float addition
+  // is not associative, so a naive `cycles * sum` would drift from the
+  // per-op path in low-order bits. The closed form replays that exact
+  // iterated rounding in O(binades crossed) instead of O(cycles).
+  stats_.busy_seconds = IteratedAddCycle(stats_.busy_seconds, cycle_durations, cycles);
   if (hull.end > stats_.horizon) stats_.horizon = hull.end;
   if (horizon_cell_ != nullptr && hull.end > horizon_cell_->max_end) {
     horizon_cell_->max_end = hull.end;

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file hugepage.h
+/// Transparent-hugepage-backed allocation for large flat arrays.
+///
+/// A multi-megabyte open-addressed table on 4 KiB pages spends most of a
+/// random probe in the dTLB: the page working set dwarfs the TLB, and x86
+/// cores drop software prefetches whose address misses the dTLB, so a
+/// prefetch pipeline over such a table quietly degrades to demand misses.
+/// Backing the array with 2 MiB transparent hugepages shrinks the page
+/// working set by 512x (a 64 MiB table becomes 32 pages — TLB-resident),
+/// which is what lets the batched probe kernel's group prefetches land
+/// (join/flat_table.cc).
+///
+/// HugePageAllocator is a drop-in std::allocator replacement: allocations
+/// of kHugePageBytes or more come from a fresh anonymous mapping advised
+/// MADV_HUGEPAGE *before first touch* (the madvise THP mode only promotes
+/// madvised ranges, and promotion at fault time needs the advice in place
+/// when the page faults in); smaller ones fall back to operator new. On
+/// non-Linux targets everything falls back to operator new — the allocator
+/// is an optimization, never a requirement.
+
+#include <cstddef>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace tertio::util {
+
+inline constexpr std::size_t kHugePageBytes = 2u << 20;
+
+template <typename T>
+struct HugePageAllocator {
+  using value_type = T;
+
+  HugePageAllocator() = default;
+  template <typename U>
+  constexpr HugePageAllocator(const HugePageAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+#if defined(__linux__)
+    if (bytes >= kHugePageBytes) {
+      void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+      if (p == MAP_FAILED) throw std::bad_alloc();
+      // Best-effort: if the kernel has THP disabled the advice fails and
+      // the mapping still works on base pages. Huge requests always live in
+      // mappings, so deallocate can route on size alone.
+      (void)::madvise(p, bytes, MADV_HUGEPAGE);  // best-effort THP advice
+      return static_cast<T*>(p);
+    }
+#endif
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    const std::size_t bytes = n * sizeof(T);
+#if defined(__linux__)
+    if (bytes >= kHugePageBytes) {
+      // Huge requests are always mmap-backed (allocate throws instead of
+      // mixing backings), so routing on size keeps the allocator stateless.
+      ::munmap(static_cast<void*>(p), bytes);
+      return;
+    }
+#endif
+    ::operator delete(static_cast<void*>(p));
+  }
+
+  template <typename U>
+  bool operator==(const HugePageAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace tertio::util

@@ -1,0 +1,230 @@
+// Forced-scalar vs SIMD FlatJoinTable equivalence (join/simd.h dispatch).
+//
+// The batched kernels (Bloom-prefiltered two-stage pipeline + group-of-four
+// digest compares) must emit exactly the pair set of the original scalar
+// loops on every workload shape: uniform, foreign-key, Zipf-skewed, and
+// selective (miss-heavy) key distributions, wide records, seeded digest
+// collisions, and the record-capturing pipeline mode. Build and probe modes
+// are also crossed (scalar build + SIMD probe and vice versa): the Bloom
+// filter is table state maintained by every insert path, so a mode switch
+// between build and probe must not lose matches.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "join/flat_table.h"
+#include "join/join_output.h"
+#include "join/simd.h"
+#include "relation/block.h"
+#include "relation/generator.h"
+#include "relation/tuple.h"
+#include "tape/tape_volume.h"
+#include "util/units.h"
+
+namespace tertio::join {
+namespace {
+
+constexpr ByteCount kBlock = 8 * kKiB;
+
+struct GeneratedBlocks {
+  rel::Relation relation;
+  std::vector<BlockPayload> blocks;
+};
+
+GeneratedBlocks GenerateBlocks(const rel::GeneratorConfig& config) {
+  GeneratedBlocks g;
+  tape::TapeVolume tape(config.name, kBlock);
+  g.relation = rel::GenerateOnTape(config, &tape).value();
+  for (BlockIndex i = 0; i < tape.size_blocks(); ++i) {
+    g.blocks.push_back(tape.ReadBlock(i).value());
+  }
+  return g;
+}
+
+struct ProbeResult {
+  std::uint64_t tuples = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t table_size = 0;
+};
+
+/// Builds under `build_level`, probes under `probe_level`, returns the
+/// output aggregates. The levels are restored before returning.
+ProbeResult RunAtLevels(simd::Level build_level, simd::Level probe_level,
+                        const GeneratedBlocks& r, const GeneratedBlocks& s,
+                        KeyHashFn key_hash = nullptr) {
+  FlatJoinTable table(&r.relation.schema, 0, /*build_is_r=*/true,
+                      /*capture_records=*/false, key_hash);
+  simd::SetLevelForTest(build_level);
+  TERTIO_CHECK(table.AddBlocks(r.blocks).ok(), "build failed");
+  simd::SetLevelForTest(probe_level);
+  JoinOutput out;
+  TERTIO_CHECK(table.Probe(s.blocks, &s.relation.schema, 0, &out).ok(), "probe failed");
+  simd::ResetLevelForTest();
+  return {out.tuples(), out.checksum(), table.size()};
+}
+
+/// Workload grid shared by the equivalence tests: every key-sequence shape
+/// the generator offers, including a selective case whose probe keys mostly
+/// miss (the regime the Bloom prefilter accelerates).
+struct WorkloadCase {
+  const char* name;
+  rel::KeySequence r_keys;
+  rel::KeySequence s_keys;
+  std::uint64_t r_domain;
+  std::uint64_t s_domain;
+  ByteCount record_bytes;
+};
+
+const WorkloadCase kWorkloads[] = {
+    {"foreign-key", rel::KeySequence::kSequentialUnique, rel::KeySequence::kForeignKeyUniform,
+     400, 400, 24},
+    {"many-to-many", rel::KeySequence::kUniformRandom, rel::KeySequence::kUniformRandom, 120,
+     120, 24},
+    {"zipf-skew", rel::KeySequence::kSequentialUnique, rel::KeySequence::kZipf, 400, 400, 24},
+    {"selective", rel::KeySequence::kUniformRandom, rel::KeySequence::kUniformRandom, 300,
+     30000, 24},
+    {"wide-records", rel::KeySequence::kUniformRandom, rel::KeySequence::kUniformRandom, 200,
+     200, 256},
+};
+
+std::pair<GeneratedBlocks, GeneratedBlocks> Generate(const WorkloadCase& c) {
+  rel::GeneratorConfig r_config;
+  r_config.name = "R";
+  r_config.tuple_count = 400;
+  r_config.record_bytes = c.record_bytes;
+  r_config.keys = c.r_keys;
+  r_config.key_domain = c.r_domain;
+  r_config.seed = 101;
+  rel::GeneratorConfig s_config;
+  s_config.name = "S";
+  s_config.tuple_count = 1500;
+  s_config.record_bytes = c.record_bytes;
+  s_config.keys = c.s_keys;
+  s_config.key_domain = c.s_domain;
+  s_config.seed = 202;
+  return {GenerateBlocks(r_config), GenerateBlocks(s_config)};
+}
+
+/// Every (build level, probe level) combination must produce the scalar
+/// reference's pair set — same match count, same order-independent checksum
+/// — on every workload shape.
+TEST(FlatTableSimdTest, AllLevelCombinationsMatchScalarOnGeneratedWorkloads) {
+  const simd::Level best = simd::BestSupportedLevel();
+  for (const WorkloadCase& c : kWorkloads) {
+    SCOPED_TRACE(c.name);
+    auto [r, s] = Generate(c);
+    const ProbeResult reference =
+        RunAtLevels(simd::Level::kScalar, simd::Level::kScalar, r, s);
+    EXPECT_GT(reference.table_size, 0u);
+    const std::pair<simd::Level, simd::Level> combos[] = {
+        {best, best}, {simd::Level::kScalar, best}, {best, simd::Level::kScalar}};
+    for (const auto& [build_level, probe_level] : combos) {
+      SCOPED_TRACE(std::string(simd::LevelName(build_level)) + " build / " +
+                   simd::LevelName(probe_level) + " probe");
+      const ProbeResult got = RunAtLevels(build_level, probe_level, r, s);
+      EXPECT_EQ(got.table_size, reference.table_size);
+      EXPECT_EQ(got.tuples, reference.tuples);
+      EXPECT_EQ(got.checksum, reference.checksum);
+    }
+  }
+}
+
+/// A degenerate injected hash maps every key to one of two digests, so the
+/// batched walk sees digest matches whose keys differ in nearly every group
+/// — the key-compare rejection path — and chains that are one long collision
+/// cluster. Both kernels must agree with each other and reject every
+/// unequal-key digest collision.
+std::uint64_t TwoValuedKeyHash(std::int64_t key) {
+  return (key & 1) != 0 ? 42u : 7777u;
+}
+
+TEST(FlatTableSimdTest, SeededDigestCollisionsAgreeWithScalar) {
+  const simd::Level best = simd::BestSupportedLevel();
+  const WorkloadCase& c = kWorkloads[1];  // many-to-many: duplicates on both sides
+  auto [r, s] = Generate(c);
+  const ProbeResult reference =
+      RunAtLevels(simd::Level::kScalar, simd::Level::kScalar, r, s, &TwoValuedKeyHash);
+  const ProbeResult simd_result = RunAtLevels(best, best, r, s, &TwoValuedKeyHash);
+  EXPECT_EQ(simd_result.table_size, reference.table_size);
+  EXPECT_EQ(simd_result.tuples, reference.tuples);
+  EXPECT_EQ(simd_result.checksum, reference.checksum);
+  // The injected hash changes placement, never the pair set: the production
+  // hash must report the identical aggregates.
+  const ProbeResult production = RunAtLevels(best, best, r, s);
+  EXPECT_EQ(production.tuples, reference.tuples);
+  EXPECT_EQ(production.checksum, reference.checksum);
+}
+
+/// Pipeline (record-capturing) mode: both kernels must hand the sink the
+/// same joined-row multiset. Order is explicitly method-dependent, so the
+/// comparison sorts the serialized rows.
+TEST(FlatTableSimdTest, PipelineModeDeliversTheSameRowMultiset) {
+  const WorkloadCase& c = kWorkloads[0];
+  auto [r, s] = Generate(c);
+  auto collect = [&](simd::Level level) {
+    simd::SetLevelForTest(level);
+    FlatJoinTable table(&r.relation.schema, 0, /*build_is_r=*/true, /*capture_records=*/true);
+    TERTIO_CHECK(table.AddBlocks(r.blocks).ok(), "build failed");
+    std::vector<std::string> rows;
+    JoinOutput out;
+    out.set_sink([&rows](const rel::Tuple& rt, const rel::Tuple& st) {
+      std::string row(rt.bytes().begin(), rt.bytes().end());
+      row.append(st.bytes().begin(), st.bytes().end());
+      rows.push_back(std::move(row));
+      return Status::OK();
+    });
+    TERTIO_CHECK(table.Probe(s.blocks, &s.relation.schema, 0, &out).ok(), "probe failed");
+    simd::ResetLevelForTest();
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  const std::vector<std::string> scalar_rows = collect(simd::Level::kScalar);
+  const std::vector<std::string> simd_rows = collect(simd::BestSupportedLevel());
+  EXPECT_FALSE(scalar_rows.empty());
+  EXPECT_EQ(scalar_rows, simd_rows);
+}
+
+/// Clear() must reset the Bloom prefilter along with the slots: a cleared
+/// and rebuilt table probed under SIMD must find the new entries (no false
+/// negatives) and the aggregates must match a fresh scalar run.
+TEST(FlatTableSimdTest, ClearResetsThePrefilter) {
+  const WorkloadCase& c = kWorkloads[3];  // selective: the filter actually rejects
+  auto [r, s] = Generate(c);
+  simd::SetLevelForTest(simd::BestSupportedLevel());
+  FlatJoinTable table(&r.relation.schema, 0, /*build_is_r=*/true);
+  ASSERT_TRUE(table.AddBlocks(r.blocks).ok());
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+  ASSERT_TRUE(table.AddBlocks(r.blocks).ok());
+  JoinOutput out;
+  ASSERT_TRUE(table.Probe(s.blocks, &s.relation.schema, 0, &out).ok());
+  simd::ResetLevelForTest();
+  const ProbeResult reference =
+      RunAtLevels(simd::Level::kScalar, simd::Level::kScalar, r, s);
+  EXPECT_EQ(out.tuples(), reference.tuples);
+  EXPECT_EQ(out.checksum(), reference.checksum);
+}
+
+/// Dispatch plumbing: the test hooks clamp to the best supported level, and
+/// the scalar fallback is always selectable.
+TEST(FlatTableSimdTest, LevelDispatchIsClampedAndResettable) {
+  const simd::Level best = simd::BestSupportedLevel();
+  simd::SetLevelForTest(simd::Level::kScalar);
+  EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  simd::SetLevelForTest(best);
+  EXPECT_EQ(simd::ActiveLevel(), best);
+#if defined(TERTIO_SIMD_SSE2) || defined(TERTIO_SIMD_NEON)
+  EXPECT_NE(best, simd::Level::kScalar);
+#else
+  EXPECT_EQ(best, simd::Level::kScalar);
+#endif
+  simd::ResetLevelForTest();
+}
+
+}  // namespace
+}  // namespace tertio::join

@@ -154,6 +154,70 @@ TEST(SimSanCoalesceTest, AllSevenMethodsAreBitIdenticalWithCoalescingOnOrOff) {
   }
 }
 
+// The PR-8 acceptance bar: the three transfer-commit paths — per-chunk
+// (coalescing off), O(chunks) replay (coalescing on, closed-form off), and
+// O(1) closed-form (both on, the default) — report bit-identical simulated
+// time and span aggregates for every join method, and all three runs audit
+// clean. Exact comparisons throughout: the claim is bit-identity of the
+// floating-point results, not tolerance agreement.
+TEST(SimSanCoalesceTest, AllSevenMethodsAreBitIdenticalAcrossCommitPaths) {
+  for (JoinMethodId method : kAllJoinMethods) {
+    auto run = [&](bool coalesce, bool closed_form) {
+      exec::MachineConfig config = exec::MachineConfig::PaperTestbed(50 * kMB, 5400 * kKB);
+      exec::Machine machine(config);
+      Auditor* auditor = machine.EnableAudit();
+      TERTIO_CHECK(auditor != nullptr, "audit must bind");
+      exec::WorkloadConfig workload;
+      workload.r_bytes = 18 * kMB;
+      workload.s_bytes = 1000 * kMB;
+      workload.phantom = true;
+      auto prepared = exec::PrepareWorkload(&machine, workload);
+      TERTIO_CHECK(prepared.ok(), "setup failed");
+      join::JoinSpec spec;
+      spec.r = &prepared->r;
+      spec.s = &prepared->s;
+      join::JoinContext ctx = machine.context();
+      ctx.coalesce_transfers = coalesce;
+      ctx.closed_form_commit = closed_form;
+      auto stats = join::CreateJoinMethod(method)->Execute(spec, ctx);
+      TERTIO_CHECK(stats.ok(), stats.status().ToString());
+      TERTIO_CHECK(auditor->clean(), auditor->TraceString());
+      return stats.value();
+    };
+    const join::JoinStats per_chunk = run(false, false);
+    const join::JoinStats replay = run(true, false);
+    const join::JoinStats closed = run(true, true);
+    for (const join::JoinStats* other : {&replay, &closed}) {
+      const char* path = other == &replay ? " [replay]" : " [closed-form]";
+      SCOPED_TRACE(std::string(JoinMethodName(method)) + path);
+      EXPECT_EQ(per_chunk.response_seconds, other->response_seconds);
+      EXPECT_EQ(per_chunk.step1_seconds, other->step1_seconds);
+      EXPECT_EQ(per_chunk.step2_seconds, other->step2_seconds);
+      EXPECT_EQ(per_chunk.tape_blocks_read, other->tape_blocks_read);
+      EXPECT_EQ(per_chunk.tape_blocks_written, other->tape_blocks_written);
+      EXPECT_EQ(per_chunk.disk_blocks_read, other->disk_blocks_read);
+      EXPECT_EQ(per_chunk.disk_blocks_written, other->disk_blocks_written);
+      EXPECT_EQ(per_chunk.disk_requests, other->disk_requests);
+      EXPECT_EQ(per_chunk.peak_memory_blocks, other->peak_memory_blocks);
+      EXPECT_EQ(per_chunk.peak_disk_blocks, other->peak_disk_blocks);
+      ASSERT_EQ(per_chunk.spans.phases().size(), other->spans.phases().size());
+      for (std::size_t i = 0; i < per_chunk.spans.phases().size(); ++i) {
+        const PhaseSummary& a = per_chunk.spans.phases()[i];
+        const PhaseSummary& b = other->spans.phases()[i];
+        SCOPED_TRACE("phase " + a.phase);
+        EXPECT_EQ(a.phase, b.phase);
+        EXPECT_EQ(a.device, b.device);
+        EXPECT_EQ(a.stage_count, b.stage_count);
+        EXPECT_EQ(a.blocks, b.blocks);
+        EXPECT_EQ(a.bytes, b.bytes);
+        EXPECT_EQ(a.busy_seconds, b.busy_seconds);
+        EXPECT_EQ(a.window.start, b.window.start);
+        EXPECT_EQ(a.window.end, b.window.end);
+      }
+    }
+  }
+}
+
 // Engagement, not just equivalence: on the real machine the shared transfer
 // helpers (tape-to-disk staging, disk scan-and-probe) must actually reach
 // the coalesced path for nearly every chunk after the per-chunk warm-up.

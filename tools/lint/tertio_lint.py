@@ -36,6 +36,15 @@ Three check families, all tuned to invariants the compiler cannot see:
    fills and read-throughs flow through QuerySession/QueryScheduler. Waive
    with `// tertio-lint: allow(extent-cache)`.
 
+6. simd-encapsulation: raw SIMD intrinsics (`_mm_*`, `vld1q_*`/`vceqq_*`/
+   `vgetq_*` and friends) and the intrinsic headers (<emmintrin.h>,
+   <immintrin.h>, <arm_neon.h>, ...) are confined to src/join/simd.h, the
+   runtime-dispatched abstraction with a portable scalar fallback. Everything
+   else calls the simd:: wrappers, so a build without SSE2/NEON still
+   compiles and a forced-scalar run exercises identical logic. CMake files
+   must not hard-wire `-march=`/`-mcpu=`/`-mtune=` into default flags:
+   baseline binaries stay portable and ISA selection happens at runtime.
+
 Exit status: 0 with no findings, 1 otherwise. Output: `file:line: [rule] msg`.
 """
 
@@ -103,6 +112,22 @@ MOUNT_RE = re.compile(r"(?:\.|->)\s*Mount\s*\(")
 CACHE_DIRS = ("src", "tools", "examples", "bench")
 CACHE_ALLOWED = ("src/disk", "src/exec")
 CACHE_RE = re.compile(r"(?:\.|->)\s*(?:Admit|ReadThrough)\s*\(")
+
+# Directories scanned for raw SIMD usage (rule 6), and the single header
+# allowed to contain it. Matches both the intrinsic call shapes (x86 `_mm_*`
+# / `_mm256_*`, NEON `v...q_...` loads/compares) and the headers that
+# declare them, so a dormant include is caught too.
+SIMD_DIRS = ("src", "tools", "examples", "bench", "tests")
+SIMD_ALLOWED = ("src/join/simd.h",)
+SIMD_RE = re.compile(
+    r"\b_mm(?:256|512)?_[a-z0-9_]+\s*\("
+    r"|\bv(?:ld|st)[1-4]q?_[a-z0-9_]+\s*\("
+    r"|\bv(?:ceq|cgt|clt|and|orr|eor|add|sub|mov|get|set|dup|reinterpret)q?_[a-z0-9_]+\s*\(")
+SIMD_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<(?:x|e|p|t|s|n|w|a|i)mmintrin\.h>"
+    r"|#\s*include\s*<(?:immintrin|arm_neon|arm_sve)\.h>")
+# Architecture-pinning flags banned from CMake defaults.
+MARCH_RE = re.compile(r"-m(?:arch|cpu|tune)=")
 
 
 class Finding:
@@ -269,6 +294,35 @@ def check_cache_encapsulation(findings: list[Finding]) -> None:
                     "(or tertio-lint: allow(extent-cache) for a deliberate exception)"))
 
 
+def check_simd_encapsulation(findings: list[Finding]) -> None:
+    for path in iter_sources(SIMD_DIRS):
+        rel = path.relative_to(REPO).as_posix()
+        if rel in SIMD_ALLOWED:
+            continue
+        raw = path.read_text()
+        raw_lines = raw.splitlines()
+        stripped = strip_comments(raw).splitlines()
+        for idx, line in enumerate(stripped):
+            if (SIMD_RE.search(line) or SIMD_INCLUDE_RE.search(line)) \
+                    and "simd" not in waivers_for(raw_lines, idx + 1):
+                findings.append(Finding(
+                    path, idx + 1, "simd",
+                    "raw SIMD intrinsics outside src/join/simd.h; call the "
+                    "runtime-dispatched simd:: wrappers so forced-scalar runs "
+                    "stay bit-identical (or tertio-lint: allow(simd))"))
+    # CMake defaults must stay portable: no -march/-mcpu/-mtune pinning.
+    for cmake in sorted(REPO.rglob("CMakeLists.txt")):
+        if "build" in cmake.relative_to(REPO).parts:
+            continue
+        for idx, line in enumerate(cmake.read_text().splitlines()):
+            if MARCH_RE.search(line) and "tertio-lint: allow(simd)" not in line:
+                findings.append(Finding(
+                    cmake, idx + 1, "simd",
+                    "-march/-mcpu/-mtune in CMake defaults pins the ISA at "
+                    "compile time; ISA selection is a runtime decision in "
+                    "src/join/simd.h"))
+
+
 def load_registry(findings: list[Finding]) -> list[str]:
     text = REGISTRY.read_text()
     m = re.search(r"kRegisteredSpans\[\]\s*=\s*\{(.*?)\};", text, re.DOTALL)
@@ -334,6 +388,7 @@ def main() -> int:
     check_hot_paths(findings)
     check_mount_encapsulation(findings)
     check_cache_encapsulation(findings)
+    check_simd_encapsulation(findings)
     check_span_registry(findings)
 
     for finding in findings:

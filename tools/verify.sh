@@ -34,6 +34,11 @@ cmake --preset default
 cmake --build --preset default -j"$(nproc)"
 ctest --preset default -j"$(nproc)"
 
+echo "== tier-1: forced-scalar ctest (TERTIO_SIMD=scalar) =="
+# The SIMD probe/build kernels must be pair-set-identical to the portable
+# scalar fallback; the whole suite reruns with dispatch pinned to scalar.
+TERTIO_SIMD=scalar ctest --preset default -j"$(nproc)"
+
 echo "== bench smoke: one parallel figure sweep must emit BENCH_joins.json =="
 SMOKE_JSON="$(mktemp -t bench_joins.XXXXXX.json)"
 rm -f "$SMOKE_JSON"
@@ -42,6 +47,28 @@ if [[ ! -s "$SMOKE_JSON" ]]; then
   echo "FAIL: bench run did not produce BENCH_joins.json" >&2
   exit 1
 fi
+rm -f "$SMOKE_JSON"
+
+echo "== bench smoke: data-plane speedups (SIMD probe, closed-form commit) =="
+SMOKE_JSON="$(mktemp -t bench_joins.XXXXXX.json)"
+rm -f "$SMOKE_JSON"
+# --benchmark_filter matches nothing: the registered google-benchmark loops
+# are skipped and only main()'s headline metrics (probe sweep + three-way
+# commit comparison, with in-bench bit-identity checks) run.
+TERTIO_BENCH_JSON="$SMOKE_JSON" ./build/bench/bench_micro_substrates \
+  --benchmark_filter='^$' >/dev/null
+python3 - "$SMOKE_JSON" <<'EOF'
+import json, sys
+benches = json.load(open(sys.argv[1]))["benches"]
+metrics = next(b["metrics"] for b in benches if b["name"] == "micro_substrates")
+probe = metrics["probe_very_selective_16b_speedup"]
+commit = metrics["commit_closed_form_vs_replay_speedup"]
+print(f"probe very-selective speedup {probe:.2f}x, closed-form commit {commit:.0f}x")
+if probe < 2.0:
+    sys.exit(f"FAIL: SIMD probe speedup {probe:.2f}x < 2.0x at the very-selective point")
+if commit < 5.0:
+    sys.exit(f"FAIL: closed-form commit {commit:.2f}x < 5.0x over O(chunks) replay")
+EOF
 rm -f "$SMOKE_JSON"
 
 echo "== bench smoke: query service must emit the extent-cache Zipf metrics =="
