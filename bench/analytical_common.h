@@ -20,24 +20,25 @@ inline int RunAnalyticalSweep(const char* bench_name, const std::vector<double>&
   // Section 5.3 is a pure transfer-only analysis; concrete scales cancel in
   // the relative metric. M = 2,000 blocks keeps all ratios integral.
   constexpr BlockCount kM = 2000;
-  constexpr double kTapeRate = 1.5e6;
+  constexpr BytesPerSecond kTapeRate = 1.5e6;
 
   BenchRecorder recorder(bench_name, argc, argv);
 
   struct Row {
-    double optimum = 0.0;
+    SimSeconds optimum = 0.0;
     std::vector<Result<cost::CostBreakdown>> estimates;
   };
   std::vector<Row> rows = exec::ParallelSweep(
       r_over_m,
       [&](double x) {
         cost::CostParams params;
-        params.r_blocks = static_cast<BlockCount>(x * kM);
+        params.r_blocks =
+            static_cast<std::uint64_t>(x * static_cast<double>(kM.value()));
         params.s_blocks = 10 * params.r_blocks;
         params.memory_blocks = kM;
         params.disk_blocks = 32 * kM;
         params.tape_rate_bps = kTapeRate;
-        params.disk_rate_bps = 2.0 * kTapeRate;  // X_D = 2 X_T
+        params.disk_rate_bps = 2.0 * kTapeRate.value();  // X_D = 2 X_T
         params.disk_positioning_seconds = 0.0;   // the paper's transfer-only model
         Row row;
         row.optimum = cost::OptimumJoinSeconds(params);
@@ -63,7 +64,7 @@ inline int RunAnalyticalSweep(const char* bench_name, const std::vector<double>&
           StrFormat("R/M=%g/%s", r_over_m[i],
                     std::string(JoinMethodName(kAllJoinMethods[m])).c_str()),
           estimate.ok() ? estimate->total_seconds
-                        : std::numeric_limits<double>::quiet_NaN());
+                        : SimSeconds(std::numeric_limits<double>::quiet_NaN()));
     }
     series.AddPoint(r_over_m[i], values);
   }

@@ -29,7 +29,7 @@ void AblationDoubleBuffering(BenchRecorder& recorder) {
   std::vector<Pair> results = exec::ParallelSweep(
       fractions,
       [](double f) {
-        auto m = static_cast<ByteCount>(f * 18 * kMB);
+        auto m = static_cast<ByteCount>(f * 18 * static_cast<double>(kMB.value()));
         return Pair{RunPaperJoin(1000 * kMB, 18 * kMB, 50 * kMB, m, JoinMethodId::kCdtNbMb),
                     RunPaperJoin(1000 * kMB, 18 * kMB, 50 * kMB, m, JoinMethodId::kCdtNbDb)};
       },
@@ -45,8 +45,8 @@ void AblationDoubleBuffering(BenchRecorder& recorder) {
     table.AddRow({FormatFixed(fractions[i], 2),
                   StrFormat("%llu", (unsigned long long)mb->iterations),
                   StrFormat("%llu", (unsigned long long)db->iterations),
-                  StrFormat("%.0f", mb->response_seconds),
-                  StrFormat("%.0f", db->response_seconds)});
+                  StrFormat("%.0f", mb->response_seconds.value()),
+                  StrFormat("%.0f", db->response_seconds.value())});
   }
   table.Print();
   std::printf("Halved chunks double the iteration count — and every iteration\n");
@@ -66,7 +66,7 @@ void AblationPositioningModel(BenchRecorder& recorder) {
   std::vector<Pair> results = exec::ParallelSweep(
       fractions,
       [](double f) {
-        auto m = static_cast<ByteCount>(f * 18 * kMB);
+        auto m = static_cast<ByteCount>(f * 18 * static_cast<double>(kMB.value()));
         exec::MachineConfig real = exec::MachineConfig::PaperTestbed(50 * kMB, m);
         exec::MachineConfig ideal = real;
         ideal.disk_model = disk::DiskModel::Ideal(real.disk_model.transfer_rate_bps);
@@ -86,8 +86,8 @@ void AblationPositioningModel(BenchRecorder& recorder) {
                        with->response_seconds);
     recorder.RecordSim(StrFormat("positioning M/R=%.2f/off", fractions[i]),
                        without->response_seconds);
-    table.AddRow({FormatFixed(fractions[i], 2), StrFormat("%.0f", with->response_seconds),
-                  StrFormat("%.0f", without->response_seconds)});
+    table.AddRow({FormatFixed(fractions[i], 2), StrFormat("%.0f", with->response_seconds.value()),
+                  StrFormat("%.0f", without->response_seconds.value())});
   }
   table.Print();
   std::printf("The small-M uptick of Figures 8-9 exists only with positioning.\n");
@@ -122,11 +122,11 @@ void AblationWriteBuffer(BenchRecorder& recorder) {
   for (std::size_t i = 0; i < widths.size(); ++i) {
     const auto& stats = results[i];
     TERTIO_CHECK(stats.ok(), stats.status().ToString());
-    recorder.RecordSim(StrFormat("write-buffer w=%llu", (unsigned long long)widths[i]),
+    recorder.RecordSim(StrFormat("write-buffer w=%llu", (unsigned long long)widths[i].value()),
                        stats->response_seconds);
-    table.AddRow({StrFormat("%llu", (unsigned long long)widths[i]),
+    table.AddRow({StrFormat("%llu", (unsigned long long)widths[i].value()),
                   StrFormat("%llu", (unsigned long long)stats->disk_requests),
-                  StrFormat("%.0f", stats->response_seconds)});
+                  StrFormat("%.0f", stats->response_seconds.value())});
   }
   table.Print();
 }
@@ -168,8 +168,8 @@ void AblationPhantomVsReal(BenchRecorder& recorder) {
     recorder.RecordSim(StrFormat("full-data/%s", name.c_str()), real->response_seconds);
     double delta = real->response_seconds / phantom->response_seconds - 1.0;
     table.AddRow({std::string(JoinMethodName(methods[i])),
-                  StrFormat("%.1f", phantom->response_seconds),
-                  StrFormat("%.1f", real->response_seconds), StrFormat("%+.1f%%", 100 * delta)});
+                  StrFormat("%.1f", phantom->response_seconds.value()),
+                  StrFormat("%.1f", real->response_seconds.value()), StrFormat("%+.1f%%", 100 * delta)});
   }
   table.Print();
 }

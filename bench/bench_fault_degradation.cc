@@ -76,9 +76,9 @@ int Run(int argc, char** argv) {
     std::vector<std::string> recovered{StrFormat("%g", rates[r])};
     for (std::size_t m = 0; m < kMethodCount; ++m) {
       const Result<join::JoinStats>& stats = results[r * kMethodCount + m];
-      seconds.push_back(stats.ok() ? StrFormat("%.0f", stats->response_seconds)
+      seconds.push_back(stats.ok() ? StrFormat("%.0f", stats->response_seconds.value())
                                    : std::string("-"));
-      recovered.push_back(stats.ok() ? StrFormat("%.1f", stats->recovery_seconds)
+      recovered.push_back(stats.ok() ? StrFormat("%.1f", stats->recovery_seconds.value())
                                      : std::string("-"));
       recorder.RecordJoin(StrFormat("rate=%g/%s", rates[r],
                                     std::string(JoinMethodName(kMethods[m])).c_str()),

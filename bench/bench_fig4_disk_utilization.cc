@@ -67,14 +67,15 @@ int Run(int argc, char** argv) {
       if (event.tag == "S-iter-odd") odd += event.delta_blocks;
       ++cursor;
     }
-    double total_pct = 100.0 * static_cast<double>(even + odd) / static_cast<double>(capacity);
-    series.AddPoint(t, {static_cast<double>(BlocksToBytes(static_cast<BlockCount>(even),
-                                                          kDefaultBlockBytes)) /
-                            kMB,
-                        static_cast<double>(BlocksToBytes(static_cast<BlockCount>(odd),
-                                                          kDefaultBlockBytes)) /
-                            kMB,
-                        total_pct});
+    double total_pct = 100.0 * static_cast<double>(even + odd) / static_cast<double>(capacity.value());
+    series.AddPoint(
+        t.value(), {static_cast<double>(
+                BlocksToBytes(static_cast<BlockCount>(even), kDefaultBlockBytes).value()) /
+                static_cast<double>(kMB.value()),
+            static_cast<double>(
+                BlocksToBytes(static_cast<BlockCount>(odd), kDefaultBlockBytes).value()) /
+                static_cast<double>(kMB.value()),
+            total_pct});
     // Skip warm-up and drain when judging steady-state utilization.
     if (sample > 2 && sample < kSamples - 1) {
       mean_util += total_pct;

@@ -21,7 +21,7 @@ int Run(int argc, char** argv) {
          "CDT-GH explodes as D -> |R| (500 R-scans at D=20MB); CTT-GH flat (50)");
   constexpr ByteCount kR = 18 * kMB;
   constexpr ByteCount kS = 1000 * kMB;
-  const ByteCount memory = static_cast<ByteCount>(0.1 * kR);
+  const ByteCount memory = static_cast<ByteCount>(0.1 * static_cast<double>(kR.value()));
   const std::vector<double> d_over_r_values = {3.0,  2.5,  2.0,  1.75, 1.5, 1.35, 1.25,
                                                1.15, 1.10, 1.05, 1.0,  0.75, 0.5};
   const std::vector<JoinMethodId> methods = {JoinMethodId::kCdtGh, JoinMethodId::kCttGh};
@@ -33,7 +33,7 @@ int Run(int argc, char** argv) {
   std::vector<Point> points;
   for (double d_over_r : d_over_r_values) {
     for (JoinMethodId method : methods) {
-      points.push_back({static_cast<ByteCount>(d_over_r * kR), method});
+      points.push_back({static_cast<ByteCount>(d_over_r * static_cast<double>(kR.value())), method});
     }
   }
   std::vector<Result<join::JoinStats>> results = exec::ParallelSweep(
@@ -47,13 +47,13 @@ int Run(int argc, char** argv) {
     std::vector<double> seconds, scans;
     for (std::size_t m = 0; m < methods.size(); ++m) {
       const Result<join::JoinStats>& stats = results[i * methods.size() + m];
-      seconds.push_back(stats.ok() ? stats->response_seconds : std::nan(""));
+      seconds.push_back(stats.ok() ? stats->response_seconds.value() : std::nan(""));
       scans.push_back(stats.ok() ? static_cast<double>(stats->r_scans) : std::nan(""));
       recorder.RecordJoin(StrFormat("D/R=%.2f/%s", d_over_r_values[i],
                                     std::string(JoinMethodName(methods[m])).c_str()),
                           stats);
     }
-    series.AddPoint(static_cast<double>(points[i * methods.size()].disk) / kMB,
+    series.AddPoint(static_cast<double>(points[i * methods.size()].disk.value()) / kMB,
                     {seconds[0], seconds[1], scans[0], scans[1]});
   }
   series.Print(0);

@@ -17,7 +17,7 @@ int Run(int argc, char** argv) {
          "NB: |R| flat; CDT-NB/DB grows with M; DT-GH/CDT-GH fixed at D");
   exec::SeriesReport series("M/|R|", Exp3Labels(" (MB)"));
   for (double f : Exp3MemoryFractions()) {
-    auto memory_bytes = static_cast<ByteCount>(f * kExp3R);
+    auto memory_bytes = static_cast<ByteCount>(f * static_cast<double>(kExp3R.value()));
     std::vector<double> values;
     for (JoinMethodId method : Exp3Methods()) {
       cost::CostParams params;
@@ -26,10 +26,12 @@ int Run(int argc, char** argv) {
       params.memory_blocks = BytesToBlocks(memory_bytes, kDefaultBlockBytes);
       params.disk_blocks = BytesToBlocks(kExp3D, kDefaultBlockBytes);
       auto estimate = cost::Estimate(method, params);
-      values.push_back(estimate.ok() ? static_cast<double>(BlocksToBytes(
-                                           estimate->disk_space_blocks, kDefaultBlockBytes)) /
-                                           kMB
-                                     : std::nan(""));
+      values.push_back(
+          estimate.ok()
+              ? static_cast<double>(
+                    BlocksToBytes(estimate->disk_space_blocks, kDefaultBlockBytes).value()) /
+                    static_cast<double>(kMB.value())
+              : std::nan(""));
     }
     series.AddPoint(f, values);
   }
@@ -57,10 +59,10 @@ int Run(int argc, char** argv) {
       continue;
     }
     table.AddRow({std::string(JoinMethodName(method)),
-                  StrFormat("%llu", (unsigned long long)req->memory_blocks),
-                  StrFormat("%llu", (unsigned long long)req->disk_blocks),
-                  StrFormat("%llu", (unsigned long long)req->tape_scratch_r_blocks),
-                  StrFormat("%llu", (unsigned long long)req->tape_scratch_s_blocks)});
+                  StrFormat("%llu", (unsigned long long)req->memory_blocks.value()),
+                  StrFormat("%llu", (unsigned long long)req->disk_blocks.value()),
+                  StrFormat("%llu", (unsigned long long)req->tape_scratch_r_blocks.value()),
+                  StrFormat("%llu", (unsigned long long)req->tape_scratch_s_blocks.value())});
   }
   table.Print();
   return recorder.Finish();

@@ -18,7 +18,7 @@ int Run(int argc, char** argv) {
          "NB traffic explodes at small M; GH constant ~3,000 MB");
   Exp3Sweep sweep = RunExp3Sweep(kBaseCompressibility, recorder.threads());
   PrintExp3Series(sweep, "M/|R|", " (MB)", [](const join::JoinStats& stats) {
-    return static_cast<double>(BlocksToBytes(stats.disk_traffic_blocks(), kDefaultBlockBytes)) /
+    return static_cast<double>(BlocksToBytes(stats.disk_traffic_blocks(), kDefaultBlockBytes).value()) /
            kMB;
   });
   RecordExp3Sweep(recorder, sweep);

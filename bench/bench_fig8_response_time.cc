@@ -43,7 +43,7 @@ void SpotCheckCommitEquivalence(std::uint64_t scale) {
   int points = 0;
   for (double fraction : kFractions) {
     for (JoinMethodId method : Exp3Methods()) {
-      auto memory = static_cast<ByteCount>(fraction * static_cast<double>(scale * kExp3R));
+      auto memory = static_cast<ByteCount>(fraction * static_cast<double>(scale * kExp3R.value()));
       Result<join::JoinStats> closed =
           RunPaperJoin(scale * kExp3S, scale * kExp3R, scale * kExp3D, memory, method,
                        kBaseCompressibility, /*closed_form_commit=*/true);
@@ -95,8 +95,8 @@ int Run(int argc, char** argv) {
   Exp3Sweep sweep = RunExp3Sweep(kBaseCompressibility, recorder.threads(), scale);
   PrintExp3Series(
       sweep, "M/|R|", " (s)",
-      [](const join::JoinStats& stats) { return stats.response_seconds; }, 0,
-      {"Optimum (s)"}, {sweep.optimum_seconds});
+      [](const join::JoinStats& stats) { return stats.response_seconds.value(); }, 0,
+      {"Optimum (s)"}, {sweep.optimum_seconds.value()});
   RecordExp3Sweep(recorder, sweep);
   if (scale != 1) SpotCheckCommitEquivalence(scale);
   return recorder.Finish();

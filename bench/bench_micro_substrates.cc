@@ -270,7 +270,7 @@ void BM_BlockBuilderAppend(benchmark::State& state) {
     ++tuples;
   }
   state.SetItemsProcessed(static_cast<int64_t>(tuples));
-  state.SetBytesProcessed(static_cast<int64_t>(tuples * schema.record_bytes()));
+  state.SetBytesProcessed(static_cast<int64_t>(tuples * schema.record_bytes().value()));
 }
 BENCHMARK(BM_BlockBuilderAppend);
 
@@ -288,7 +288,7 @@ void BM_BlockReaderScan(benchmark::State& state) {
   for (auto _ : state) {
     auto reader = rel::BlockReader::Open(payload, &schema);
     for (BlockCount i = 0; i < reader->record_count(); ++i) {
-      sum += rel::Tuple(reader->record(i), &schema).GetInt64(0);
+      sum += rel::Tuple(reader->record(i.value()), &schema).GetInt64(0);
       ++tuples;
     }
   }
@@ -423,7 +423,7 @@ enum class CommitMode {
 
 /// Simulates one fault-free phantom tape->memory transfer of `chunks` chunks
 /// and times the Transfer call itself (setup excluded).
-TransferTiming TimedTransfer(BlockCount chunks, CommitMode mode) {
+TransferTiming TimedTransfer(std::uint64_t chunks, CommitMode mode) {
   sim::Simulation sim;
   tape::TapeVolume volume("t", kBlock);
   TERTIO_CHECK(volume.AppendPhantom(chunks * kTransferChunk, 0.25).ok(), "append failed");
@@ -451,7 +451,7 @@ TransferTiming TimedTransfer(BlockCount chunks, CommitMode mode) {
 }
 
 void BM_PipelineTransfer(benchmark::State& state) {
-  const BlockCount chunks = static_cast<BlockCount>(state.range(0));
+  const std::uint64_t chunks = static_cast<std::uint64_t>(state.range(0));
   const CommitMode mode = static_cast<CommitMode>(state.range(1));
   for (auto _ : state) {
     TransferTiming timing = TimedTransfer(chunks, mode);
@@ -546,7 +546,7 @@ int main(int argc, char** argv) {
   // reach the bit-identical simulated outcome; only the host time differs —
   // per-chunk is O(chunks) scheduling, replay is O(chunks) arithmetic over
   // the realized stage durations, closed-form is O(1) per window.
-  constexpr tertio::BlockCount kChunks = 1000000;
+  constexpr std::uint64_t kChunks = 1000000;
   tertio::TransferTiming closed{}, replay{}, per_chunk{};
   closed.wall_seconds = std::numeric_limits<double>::infinity();
   replay.wall_seconds = std::numeric_limits<double>::infinity();

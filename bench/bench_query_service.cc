@@ -107,7 +107,7 @@ PolicyResult RunOpenLoop(ServicePolicy policy) {
   result.stats = scheduler.service_stats();
   for (const QueryOutcome& out : scheduler.outcomes()) {
     TERTIO_CHECK(out.status.ok(), "open-loop query failed");
-    result.responses.push_back(out.response_seconds());
+    result.responses.push_back(out.response_seconds().value());
   }
   return result;
 }
@@ -143,7 +143,7 @@ PolicyResult RunClosedLoop(ServicePolicy policy) {
   result.stats = scheduler.service_stats();
   for (const QueryOutcome& out : scheduler.outcomes()) {
     TERTIO_CHECK(out.status.ok(), "closed-loop query failed");
-    result.responses.push_back(out.response_seconds());
+    result.responses.push_back(out.response_seconds().value());
   }
   return result;
 }
@@ -257,7 +257,7 @@ PolicyResult RunZipfLoop(BlockCount cache_blocks) {
   result.stats = scheduler.service_stats();
   for (const QueryOutcome& out : scheduler.outcomes()) {
     TERTIO_CHECK(out.status.ok(), "zipf query failed");
-    result.responses.push_back(out.response_seconds());
+    result.responses.push_back(out.response_seconds().value());
   }
   return result;
 }
@@ -269,8 +269,8 @@ void ReportZipf(BenchRecorder* recorder, ByteCount cache_bytes, const PolicyResu
               "tape read %8llu blk   cached %8llu blk   hits %llu/%llu\n",
               static_cast<unsigned long long>(cache_bytes / kMB), p50, p99,
               result.stats.makespan,
-              static_cast<unsigned long long>(result.stats.tape_blocks_read),
-              static_cast<unsigned long long>(result.stats.tape_blocks_cached),
+              static_cast<unsigned long long>(result.stats.tape_blocks_read.value()),
+              static_cast<unsigned long long>(result.stats.tape_blocks_cached.value()),
               static_cast<unsigned long long>(result.stats.cache_hits),
               static_cast<unsigned long long>(result.stats.cache_hits +
                                               result.stats.cache_misses));
@@ -278,11 +278,11 @@ void ReportZipf(BenchRecorder* recorder, ByteCount cache_bytes, const PolicyResu
       "zipf_cache_mb_" + std::to_string(cache_bytes / kMB) + "_";
   recorder->RecordMetric(prefix + "p50_seconds", p50);
   recorder->RecordMetric(prefix + "p99_seconds", p99);
-  recorder->RecordMetric(prefix + "makespan_seconds", result.stats.makespan);
+  recorder->RecordMetric(prefix + "makespan_seconds", result.stats.makespan.value());
   recorder->RecordMetric(prefix + "tape_blocks_read",
-                         static_cast<double>(result.stats.tape_blocks_read));
+                         static_cast<double>(result.stats.tape_blocks_read.value()));
   recorder->RecordMetric(prefix + "tape_blocks_cached",
-                         static_cast<double>(result.stats.tape_blocks_cached));
+                         static_cast<double>(result.stats.tape_blocks_cached.value()));
   recorder->RecordMetric(prefix + "cache_hits",
                          static_cast<double>(result.stats.cache_hits));
   recorder->RecordMetric(prefix + "cache_evictions",
@@ -296,17 +296,17 @@ void Report(BenchRecorder* recorder, const char* loop, const char* policy,
   std::printf("%-11s %-11s p50 %9.1f s   p99 %9.1f s   makespan %9.1f s   "
               "tape read %8llu blk   shared %8llu blk   shared-queries %llu\n",
               loop, policy, p50, p99, result.stats.makespan,
-              static_cast<unsigned long long>(result.stats.tape_blocks_read),
-              static_cast<unsigned long long>(result.stats.tape_blocks_shared),
+              static_cast<unsigned long long>(result.stats.tape_blocks_read.value()),
+              static_cast<unsigned long long>(result.stats.tape_blocks_shared.value()),
               static_cast<unsigned long long>(result.stats.scan_shared_queries));
   std::string prefix = std::string(loop) + "_" + policy + "_";
   recorder->RecordMetric(prefix + "p50_seconds", p50);
   recorder->RecordMetric(prefix + "p99_seconds", p99);
-  recorder->RecordMetric(prefix + "makespan_seconds", result.stats.makespan);
+  recorder->RecordMetric(prefix + "makespan_seconds", result.stats.makespan.value());
   recorder->RecordMetric(prefix + "tape_blocks_read",
-                         static_cast<double>(result.stats.tape_blocks_read));
+                         static_cast<double>(result.stats.tape_blocks_read.value()));
   recorder->RecordMetric(prefix + "tape_blocks_shared",
-                         static_cast<double>(result.stats.tape_blocks_shared));
+                         static_cast<double>(result.stats.tape_blocks_shared.value()));
   recorder->RecordMetric(prefix + "scan_shared_queries",
                          static_cast<double>(result.stats.scan_shared_queries));
   recorder->RecordSim(prefix + "makespan", result.stats.makespan);
@@ -330,8 +330,8 @@ int Main(int argc, char** argv) {
 
   // The headline numbers: saved physical passes and the p99 improvement
   // under the saturating (closed-loop) load.
-  double saved_blocks = static_cast<double>(closed_fifo.stats.tape_blocks_read) -
-                        static_cast<double>(closed_shared.stats.tape_blocks_read);
+  double saved_blocks = static_cast<double>(closed_fifo.stats.tape_blocks_read.value()) -
+                        static_cast<double>(closed_shared.stats.tape_blocks_read.value());
   double p99_fifo = Percentile(closed_fifo.responses, 0.99);
   double p99_shared = Percentile(closed_shared.responses, 0.99);
   recorder.RecordMetric("closed_saved_tape_blocks", saved_blocks);
@@ -356,8 +356,8 @@ int Main(int argc, char** argv) {
   const PolicyResult& cold = sweep.front();
   const PolicyResult& warm = sweep.back();
   double tape_drop = warm.stats.tape_blocks_read > 0
-                         ? static_cast<double>(cold.stats.tape_blocks_read) /
-                               static_cast<double>(warm.stats.tape_blocks_read)
+                         ? static_cast<double>(cold.stats.tape_blocks_read.value()) /
+                               static_cast<double>(warm.stats.tape_blocks_read.value())
                          : 0.0;
   double p99_cold = Percentile(cold.responses, 0.99);
   double p99_warm = Percentile(warm.responses, 0.99);

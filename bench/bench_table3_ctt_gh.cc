@@ -14,9 +14,9 @@ namespace {
 
 struct Row {
   const char* name;
-  ByteCount s_mb;
-  ByteCount r_mb;
-  ByteCount d_mb;
+  std::uint64_t s_mb;
+  std::uint64_t r_mb;
+  std::uint64_t d_mb;
   double paper_rel_cost;
   double paper_read_s;
   double paper_step1_s;
@@ -62,8 +62,8 @@ int Run(int argc, char** argv) {
     table.AddRow({row.name, StrFormat("%llu", (unsigned long long)row.s_mb),
                   StrFormat("%llu", (unsigned long long)row.r_mb),
                   StrFormat("%llu", (unsigned long long)row.d_mb),
-                  StrFormat("%.0f s", bare), StrFormat("%.0f s", stats->step1_seconds),
-                  StrFormat("%.0f s", stats->response_seconds), FormatFixed(rel_cost, 1),
+                  StrFormat("%.0f s", bare.value()), StrFormat("%.0f s", stats->step1_seconds.value()),
+                  StrFormat("%.0f s", stats->response_seconds.value()), FormatFixed(rel_cost, 1),
                   FormatFixed(row.paper_rel_cost, 1)});
   }
   table.Print();

@@ -44,14 +44,14 @@ int Run() {
       SimSeconds cursor = 0.0;
       for (int issued = 0; issued < kRequests;) {
         for (int i = 0; i < batch && issued < kRequests; ++i, ++issued) {
-          BlockIndex start = rng.NextBelow(kTapeBlocks - kRequestBlocks);
+          BlockIndex start = rng.NextBelow((kTapeBlocks - kRequestBlocks).value());
           scheduler.Submit({static_cast<std::uint64_t>(issued), start, kRequestBlocks});
         }
         auto done = scheduler.ExecuteBatch(cursor);
         TERTIO_CHECK(done.ok(), done.status.ToString());
         cursor = done.completions.back().interval.end;
       }
-      if (row.policy == tape::SchedulePolicy::kFifo) fifo_response = cursor;
+      if (row.policy == tape::SchedulePolicy::kFifo) fifo_response = cursor.value();
       table.AddRow({row.name, StrFormat("%d", batch), StrFormat("%.0f", cursor),
                     StrFormat("%llu", (unsigned long long)drive.stats().reposition_count),
                     StrFormat("%.2fx", fifo_response > 0 ? cursor / fifo_response : 1.0)});

@@ -52,7 +52,7 @@ class BenchRecorder {
 
   /// Records the simulated response time of one join run.
   void RecordSim(const std::string& label, SimSeconds sim_seconds) {
-    runs_.emplace_back(label, sim_seconds);
+    runs_.emplace_back(label, sim_seconds.value());
   }
 
   /// Records a run that may have been infeasible; errors record null.

@@ -78,7 +78,7 @@ inline Exp3Sweep RunExp3Sweep(double compressibility, int threads = 1,
   std::vector<Result<join::JoinStats>> results = exec::ParallelSweep(
       points,
       [&](const Point& p) {
-        auto memory = static_cast<ByteCount>(p.fraction * static_cast<double>(scale * kExp3R));
+        auto memory = static_cast<ByteCount>(p.fraction * static_cast<double>(scale * kExp3R.value()));
         return RunPaperJoin(scale * kExp3S, scale * kExp3R, scale * kExp3D, memory, p.method,
                             compressibility);
       },

@@ -15,8 +15,8 @@ inline int RunOverheadFigure(const char* bench_name, const char* title, const ch
   Banner(title, paper_ref, expectation);
   Exp3Sweep sweep = RunExp3Sweep(compressibility, recorder.threads());
   std::printf("Effective tape rate: %.2f MB/s; optimum join time: %.0f s\n\n",
-              tape::TapeDriveModel::DLT4000().EffectiveRate(compressibility) / 1e6,
-              sweep.optimum_seconds);
+              (tape::TapeDriveModel::DLT4000().EffectiveRate(compressibility) / 1e6).value(),
+              sweep.optimum_seconds.value());
   PrintExp3Series(sweep, "M/|R|", " (%)", [&](const join::JoinStats& stats) {
     return 100.0 * (stats.response_seconds / sweep.optimum_seconds - 1.0);
   });

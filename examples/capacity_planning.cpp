@@ -51,7 +51,7 @@ int main() {
         continue;
       }
       const auto& best = advice->best();
-      double hours = best.estimate.total_seconds / 3600.0;
+      double hours = (best.estimate.total_seconds / 3600.0).value();
       row.push_back(StrFormat("%s %.1fh%s", std::string(JoinMethodName(best.method)).c_str(),
                               hours, hours <= kDeadlineHours ? " *" : ""));
     }

@@ -71,8 +71,8 @@ int main() {
     std::fprintf(stderr, "join failed: %s\n", stats.status().ToString().c_str());
     return 1;
   }
-  double bare = machine.EffectiveTapeRate(workload.compressibility);
-  double read_both = static_cast<double>(kFactBytes + kDimBytes) / bare;
+  BytesPerSecond bare = machine.EffectiveTapeRate(workload.compressibility);
+  double read_both = ((kFactBytes + kDimBytes) / bare).value();
   std::printf("\nRan %s at full 12.5 GB scale:\n", stats->method.c_str());
   std::printf("  Step I  (hash R to tape)  %s\n", FormatDuration(stats->step1_seconds).c_str());
   std::printf("  Step II (join)            %s\n", FormatDuration(stats->step2_seconds).c_str());

@@ -29,7 +29,7 @@ int main() {
 
   rel::GeneratorConfig r_config;
   r_config.name = "dim";
-  r_config.tuple_count = BytesToBlocks(500 * kMB, config.block_bytes) *
+  r_config.tuple_count = BytesToBlocks(500 * kMB, config.block_bytes).value() *
                          rel::TuplesPerBlock(rel::Schema::KeyPayload(100), config.block_bytes);
   r_config.phantom = true;
   auto r = rel::GenerateOnTape(r_config, library->CartridgeAt(*r_slot).value());

@@ -15,10 +15,12 @@ class Calc {
   explicit Calc(const CostParams& p) : p_(p) {}
 
   SimSeconds TapeSeconds(BlockCount blocks) const {
-    return static_cast<double>(blocks) * p_.block_bytes / p_.tape_rate_bps;
+    return static_cast<double>(blocks.value()) * static_cast<double>(p_.block_bytes.value()) /
+           p_.tape_rate_bps.value();
   }
   SimSeconds DiskSeconds(BlockCount blocks) const {
-    return static_cast<double>(blocks) * p_.block_bytes / p_.disk_rate_bps;
+    return static_cast<double>(blocks.value()) * static_cast<double>(p_.block_bytes.value()) /
+           p_.disk_rate_bps.value();
   }
   /// Tape-seconds of a pass over `blocks` of the *original* S when a
   /// fraction of S sits in the extent cache: the cached fraction of the
@@ -27,17 +29,17 @@ class Calc {
   /// cache-less estimates.
   SimSeconds STapeSeconds(BlockCount blocks) const {
     if (p_.s_cached_blocks == 0 || p_.s_blocks == 0) return TapeSeconds(blocks);
-    double cached_fraction = static_cast<double>(std::min(p_.s_cached_blocks, p_.s_blocks)) /
-                             static_cast<double>(p_.s_blocks);
-    double bytes = static_cast<double>(blocks) * p_.block_bytes;
-    return bytes * (1.0 - cached_fraction) / p_.tape_rate_bps +
-           bytes * cached_fraction / p_.disk_rate_bps;
+    double cached_fraction = static_cast<double>(std::min(p_.s_cached_blocks, p_.s_blocks).value()) /
+                             static_cast<double>(p_.s_blocks.value());
+    double bytes = static_cast<double>(blocks.value()) * static_cast<double>(p_.block_bytes.value());
+    return bytes * (1.0 - cached_fraction) / p_.tape_rate_bps.value() +
+           bytes * cached_fraction / p_.disk_rate_bps.value();
   }
   /// Positioning cost of transferring `blocks` in requests of `chunk`.
   SimSeconds Positioning(BlockCount blocks, BlockCount chunk) const {
     if (p_.disk_positioning_seconds <= 0.0 || blocks == 0) return 0.0;
     if (chunk == 0) chunk = 1;
-    return static_cast<double>(CeilDiv<std::uint64_t>(blocks, chunk)) *
+    return static_cast<double>(CeilDiv<std::uint64_t>(blocks.value(), chunk.value())) *
            p_.disk_positioning_seconds;
   }
 
@@ -61,7 +63,7 @@ Status ValidateCommon(const CostParams& p) {
 
 /// NB-method buffer split: Mr blocks for scanning R, the rest for S.
 Status NbSplit(const CostParams& p, BlockCount* mr, BlockCount* ms_space) {
-  BlockCount mr_val = static_cast<BlockCount>(p.nb_r_fraction * static_cast<double>(p.memory_blocks));
+  BlockCount mr_val = static_cast<BlockCount>(p.nb_r_fraction * static_cast<double>(p.memory_blocks.value()));
   if (mr_val == 0) mr_val = 1;
   if (mr_val + 1 > p.memory_blocks) {
     return Status::ResourceExhausted("memory too small for a nested-block join (need >= 2 blocks)");
@@ -78,7 +80,7 @@ Result<CostBreakdown> EstimateDtNb(const CostParams& p) {
   if (p.disk_blocks < p.r_blocks) {
     return Status::ResourceExhausted("DT-NB requires D >= |R| to stage R on disk");
   }
-  std::uint64_t n = CeilDiv<std::uint64_t>(p.s_blocks, ms);
+  std::uint64_t n = CeilDiv<std::uint64_t>(p.s_blocks.value(), ms.value());
   CostBreakdown out;
   out.step1_seconds = c.TapeSeconds(p.r_blocks) + c.DiskSeconds(p.r_blocks) +
                       c.Positioning(p.r_blocks, ms);
@@ -104,7 +106,7 @@ Result<CostBreakdown> EstimateCdtNbMb(const CostParams& p) {
   if (p.disk_blocks < p.r_blocks) {
     return Status::ResourceExhausted("CDT-NB/MB requires D >= |R| to stage R on disk");
   }
-  std::uint64_t n = CeilDiv<std::uint64_t>(p.s_blocks, ms);
+  std::uint64_t n = CeilDiv<std::uint64_t>(p.s_blocks.value(), ms.value());
   SimSeconds join_iter = c.DiskSeconds(p.r_blocks) + c.Positioning(p.r_blocks, mr);
   SimSeconds read_iter = c.STapeSeconds(ms);
   CostBreakdown out;
@@ -131,7 +133,7 @@ Result<CostBreakdown> EstimateCdtNbDb(const CostParams& p) {
   if (p.disk_blocks < p.r_blocks + ms) {
     return Status::ResourceExhausted("CDT-NB/DB requires D >= |R| + |Si| for the disk buffer");
   }
-  std::uint64_t n = CeilDiv<std::uint64_t>(p.s_blocks, ms);
+  std::uint64_t n = CeilDiv<std::uint64_t>(p.s_blocks.value(), ms.value());
   // Steady state: tape refills Ms while the disk serves Ms (buffer write) +
   // Ms (buffer read) + R (scan of R).
   SimSeconds tape_iter = c.STapeSeconds(ms);
@@ -170,13 +172,13 @@ Result<GraceGeometry> PlanDiskTapeGrace(const CostParams& p) {
   if (p.disk_blocks <= p.r_blocks) {
     return Status::ResourceExhausted(
         StrFormat("disk space of %llu blocks cannot hold R (%llu) plus an S buffer",
-                  static_cast<unsigned long long>(p.disk_blocks),
-                  static_cast<unsigned long long>(p.r_blocks)));
+                  static_cast<unsigned long long>(p.disk_blocks.value()),
+                  static_cast<unsigned long long>(p.r_blocks.value())));
   }
   GraceGeometry g;
   g.layout = layout;
   g.d = p.disk_blocks - p.r_blocks;
-  g.iterations = CeilDiv<std::uint64_t>(p.s_blocks, g.d);
+  g.iterations = CeilDiv<std::uint64_t>(p.s_blocks.value(), g.d.value());
   return g;
 }
 
@@ -210,7 +212,7 @@ Result<CostBreakdown> EstimateCdtGh(const CostParams& p) {
   BlockCount w = g.layout.write_buffer_blocks;
   std::uint64_t n = g.iterations;
   // Average S consumed per iteration (the last slab may be partial).
-  BlockCount slab = CeilDiv<std::uint64_t>(p.s_blocks, n);
+  BlockCount slab = CeilDiv<std::uint64_t>(p.s_blocks.value(), n);
   SimSeconds tape_iter = c.STapeSeconds(slab);
   SimSeconds disk_iter = c.DiskSeconds(2 * slab + p.r_blocks) +
                          c.Positioning(2 * slab + p.r_blocks, w);
@@ -239,11 +241,11 @@ Result<CostBreakdown> EstimateCttGh(const CostParams& p) {
                                                    p.write_buffer_blocks));
   if (p.disk_blocks == 0) return Status::ResourceExhausted("CTT-GH requires some disk space");
   BlockCount w = layout.write_buffer_blocks;
-  std::uint64_t scans = CeilDiv<std::uint64_t>(p.r_blocks, p.disk_blocks);
-  std::uint64_t n = CeilDiv<std::uint64_t>(p.s_blocks, p.disk_blocks);
+  std::uint64_t scans = CeilDiv<std::uint64_t>(p.r_blocks.value(), p.disk_blocks.value());
+  std::uint64_t n = CeilDiv<std::uint64_t>(p.s_blocks.value(), p.disk_blocks.value());
   // Per-scan assembly slice and per-iteration S slab (capped by the data).
-  BlockCount slice = CeilDiv<std::uint64_t>(p.r_blocks, scans);
-  BlockCount slab = CeilDiv<std::uint64_t>(p.s_blocks, n);
+  BlockCount slice = CeilDiv<std::uint64_t>(p.r_blocks.value(), scans);
+  BlockCount slab = CeilDiv<std::uint64_t>(p.s_blocks.value(), n);
 
   // Step I, per scan: stream R from tape while assembling a slice of
   // buckets on disk (overlapped), then stream the slice back and append it
@@ -284,10 +286,10 @@ Result<CostBreakdown> EstimateTtGh(const CostParams& p) {
                                                    p.write_buffer_blocks));
   if (p.disk_blocks == 0) return Status::ResourceExhausted("TT-GH requires some disk space");
   BlockCount w = layout.write_buffer_blocks;
-  std::uint64_t scans_r = CeilDiv<std::uint64_t>(p.r_blocks, p.disk_blocks);
-  std::uint64_t scans_s = CeilDiv<std::uint64_t>(p.s_blocks, p.disk_blocks);
-  BlockCount slice_r = CeilDiv<std::uint64_t>(p.r_blocks, scans_r);
-  BlockCount slice_s = CeilDiv<std::uint64_t>(p.s_blocks, scans_s);
+  std::uint64_t scans_r = CeilDiv<std::uint64_t>(p.r_blocks.value(), p.disk_blocks.value());
+  std::uint64_t scans_s = CeilDiv<std::uint64_t>(p.s_blocks.value(), p.disk_blocks.value());
+  BlockCount slice_r = CeilDiv<std::uint64_t>(p.r_blocks.value(), scans_r);
+  BlockCount slice_s = CeilDiv<std::uint64_t>(p.s_blocks.value(), scans_s);
 
   // Hashing R to the S tape: the append (drive S) overlaps the next scan's
   // read (drive R), so each scan costs roughly one pass over the relation
@@ -353,7 +355,8 @@ Result<CostParams> WithLocalOutput(CostParams params, double output_bandwidth_sh
 }
 
 SimSeconds OptimumJoinSeconds(const CostParams& params) {
-  return static_cast<double>(params.s_blocks) * params.block_bytes / params.tape_rate_bps;
+  return static_cast<double>(params.s_blocks.value()) * static_cast<double>(params.block_bytes.value()) /
+         params.tape_rate_bps.value();
 }
 
 double RelativeJoinOverhead(SimSeconds response, const CostParams& params) {

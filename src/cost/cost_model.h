@@ -33,8 +33,8 @@ struct CostParams {
   BlockCount memory_blocks = 0;  // M
   BlockCount disk_blocks = 0;    // D
   ByteCount block_bytes = kDefaultBlockBytes;
-  double tape_rate_bps = 1.5e6;  // effective X_T (compression included)
-  double disk_rate_bps = 8.0e6;  // aggregate X_D
+  BytesPerSecond tape_rate_bps = 1.5e6;  // effective X_T (compression included)
+  BytesPerSecond disk_rate_bps = 8.0e6;  // aggregate X_D
   /// Per-request disk positioning time; 0 = the paper's transfer-only model.
   SimSeconds disk_positioning_seconds = 0.0;
   /// Preferred hash write-buffer size w (blocks per bucket flush).

@@ -73,8 +73,8 @@ Result<ExtentList> DiskSpaceAllocator::Allocate(BlockCount count, SimSeconds now
   if (available < count) {
     return Status::ResourceExhausted(
         StrFormat("allocation of %llu blocks exceeds free space (%llu blocks, tag=%s)",
-                  static_cast<unsigned long long>(count),
-                  static_cast<unsigned long long>(available), tag.c_str()));
+                  static_cast<unsigned long long>(count.value()),
+                  static_cast<unsigned long long>(available.value()), tag.c_str()));
   }
 
   ExtentList extents;
@@ -98,7 +98,7 @@ Result<ExtentList> DiskSpaceAllocator::Allocate(BlockCount count, SimSeconds now
     }
   }
   used_ += count;
-  Record(now, static_cast<std::int64_t>(count), tag);
+  Record(now, static_cast<std::int64_t>(count.value()), tag);
   return extents;
 }
 
@@ -130,14 +130,14 @@ Status DiskSpaceAllocator::Free(const ExtentList& extents, SimSeconds now,
     if (auditor_ != nullptr) {
       auditor_->OnDiskOverfree(
           tag, StrFormat("free of %llu blocks exceeds the %llu currently allocated",
-                         static_cast<unsigned long long>(total),
-                         static_cast<unsigned long long>(used_)));
+                         static_cast<unsigned long long>(total.value()),
+                         static_cast<unsigned long long>(used_.value())));
     }
     return Status::Internal("freeing more blocks than are allocated");
   }
   for (const Extent& extent : extents) FreeOn(extent);
   used_ -= total;
-  Record(now, -static_cast<std::int64_t>(total), tag);
+  Record(now, -static_cast<std::int64_t>(total.value()), tag);
   return Status::OK();
 }
 

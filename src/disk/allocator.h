@@ -31,6 +31,8 @@ namespace tertio::disk {
 /// One allocate (+delta) or free (-delta) event, timestamped in virtual time.
 struct UsageEvent {
   SimSeconds time = 0.0;
+  /// Signed occupancy change; Blocks is unsigned, so the raw type stays.
+  // tertio-lint: allow(units-raw-param)
   std::int64_t delta_blocks = 0;
   BlockCount used_after = 0;
   /// Owner label, e.g. "R-buckets", "S-iter-even".

@@ -18,7 +18,7 @@ DiskModel DiskModel::QuantumLightning540() {
   return m;
 }
 
-DiskModel DiskModel::Ideal(double rate_bps) {
+DiskModel DiskModel::Ideal(BytesPerSecond rate_bps) {
   DiskModel m;
   m.name = "ideal-disk";
   m.transfer_rate_bps = rate_bps;

@@ -22,8 +22,8 @@ namespace tertio::disk {
 struct DiskModel {
   std::string name = "generic-disk";
 
-  /// Sustained media transfer rate, bytes/second.
-  double transfer_rate_bps = 4.0e6;
+  /// Sustained media transfer rate (the paper's X_D).
+  BytesPerSecond transfer_rate_bps = 4.0e6;
 
   /// Average positioning time (seek + rotational latency) charged per
   /// discontiguous request.
@@ -31,7 +31,7 @@ struct DiskModel {
 
   /// Seconds to transfer `bytes` (excluding positioning).
   SimSeconds TransferSeconds(ByteCount bytes) const {
-    return static_cast<double>(bytes) / transfer_rate_bps;
+    return bytes / transfer_rate_bps;
   }
 
   /// Quantum Fireball 1080 (the 1 GB disk on each SCSI bus in the paper's
@@ -42,7 +42,7 @@ struct DiskModel {
   static DiskModel QuantumLightning540();
 
   /// Positioning-free disk for isolating algorithmic cost in tests.
-  static DiskModel Ideal(double rate_bps);
+  static DiskModel Ideal(BytesPerSecond rate_bps);
 };
 
 }  // namespace tertio::disk

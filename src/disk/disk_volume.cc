@@ -8,8 +8,8 @@ Status DiskVolume::CheckRange(BlockIndex start, BlockCount count) const {
   if (start + count > store_.size()) {
     return Status::InvalidArgument(
         StrFormat("request [%llu, %llu) exceeds capacity of disk %s (%zu blocks)",
-                  static_cast<unsigned long long>(start),
-                  static_cast<unsigned long long>(start + count), name_.c_str(), store_.size()));
+                  static_cast<unsigned long long>(start.value()),
+                  static_cast<unsigned long long>((start + count).value()), name_.c_str(), store_.size()));
   }
   return Status::OK();
 }
@@ -42,20 +42,20 @@ Result<sim::Interval> DiskVolume::Read(BlockIndex start, BlockCount count, SimSe
                           "disk.read-failed");
       return Status::DeviceError(
           StrFormat("disk %s: unrecoverable read error at block %llu", name_.c_str(),
-                    static_cast<unsigned long long>(outcome.failed_block)));
+                    static_cast<unsigned long long>(outcome.failed_block.value())));
     }
     SimSeconds duration = RequestCost(start, count) + outcome.recovery_seconds;
     if (out != nullptr) {
-      out->reserve(out->size() + count);
-      for (BlockIndex i = start; i < start + count; ++i) out->push_back(store_[i]);
+      out->reserve(out->size() + count.value());
+      for (BlockIndex i = start; i < start + count; ++i) out->push_back(store_[(i).value()]);
     }
     stats_.blocks_read += count;
     return resource_->Schedule(ready, duration, count * block_bytes_, "disk.read");
   }
   SimSeconds duration = RequestCost(start, count);
   if (out != nullptr) {
-    out->reserve(out->size() + count);
-    for (BlockIndex i = start; i < start + count; ++i) out->push_back(store_[i]);
+    out->reserve(out->size() + count.value());
+    for (BlockIndex i = start; i < start + count; ++i) out->push_back(store_[(i).value()]);
   }
   stats_.blocks_read += count;
   return resource_->Schedule(ready, duration, count * block_bytes_, "disk.read");
@@ -68,7 +68,7 @@ void DiskVolume::CommitCoalesced(bool write, BlockIndex start, BlockCount count,
   any_request_ = true;
   next_sequential_ = start + count;
   if (write) {
-    for (BlockCount i = 0; i < count; ++i) store_[start + i] = nullptr;
+    for (BlockCount i = 0; i < count; ++i) store_[(start + i).value()] = nullptr;
     stats_.blocks_written += count;
   } else {
     stats_.blocks_read += count;
@@ -80,7 +80,7 @@ Result<sim::Interval> DiskVolume::Write(BlockIndex start, BlockCount count, SimS
   TERTIO_RETURN_IF_ERROR(CheckRange(start, count));
   SimSeconds duration = RequestCost(start, count);
   for (BlockCount i = 0; i < count; ++i) {
-    store_[start + i] = payloads != nullptr ? payloads[i] : nullptr;
+    store_[(start + i).value()] = payloads != nullptr ? payloads[i.value()] : nullptr;
   }
   stats_.blocks_written += count;
   return resource_->Schedule(ready, duration, count * block_bytes_, "disk.write");

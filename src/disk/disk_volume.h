@@ -35,7 +35,8 @@ class DiskVolume {
         model_(model),
         resource_(resource),
         block_bytes_(block_bytes),
-        store_(capacity_blocks) {
+        // tertio-lint: allow(units-unwrap) — std::vector sizing needs the raw count.
+        store_(capacity_blocks.value()) {
     TERTIO_CHECK(resource != nullptr, "disk requires a resource");
     TERTIO_CHECK(block_bytes > 0, "block size must be positive");
   }

@@ -25,9 +25,9 @@ Result<ExtentList> SliceExtents(const ExtentList& extents, BlockCount offset, Bl
     pos = ext_end;
   }
   if (count != 0) {
-    return Status::InvalidArgument("extent slice out of range: " + std::to_string(count) +
+    return Status::InvalidArgument("extent slice out of range: " + std::to_string(count.value()) +
                                    " blocks past the end of a " +
-                                   std::to_string(TotalBlocks(extents)) + "-block sequence");
+                                   std::to_string(TotalBlocks(extents).value()) + "-block sequence");
   }
   return out;
 }

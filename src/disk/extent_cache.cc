@@ -38,8 +38,8 @@ Status ExtentCache::EvictUntil(BlockCount needed, SimSeconds now) {
       return Status::Internal(StrFormat("extent cache %s: no entries left but %llu of %llu "
                                            "blocks free",
                                            name_.c_str(),
-                                           static_cast<unsigned long long>(alloc.free_blocks()),
-                                           static_cast<unsigned long long>(needed)));
+                                           static_cast<unsigned long long>(alloc.free_blocks().value()),
+                                           static_cast<unsigned long long>(needed.value())));
     }
     auto victim = entries_.begin();
     double victim_score = std::numeric_limits<double>::infinity();
@@ -62,7 +62,7 @@ Status ExtentCache::EvictUntil(BlockCount needed, SimSeconds now) {
 }
 
 Result<bool> ExtentCache::Admit(const void* volume, BlockIndex start, BlockCount count,
-                                double tape_rate_bps, SimSeconds now) {
+                                BytesPerSecond tape_rate_bps, SimSeconds now) {
   if (count == 0 || count > capacity_blocks()) return false;
   Key key{volume, start, count};
   auto it = entries_.find(key);
@@ -86,10 +86,10 @@ Result<bool> ExtentCache::Admit(const void* volume, BlockIndex start, BlockCount
   Entry entry;
   entry.extents = std::move(extents);
   entry.last_use = std::max(now, write.value().end);
-  double disk_rate = view_->aggregate_rate_bps();
+  BytesPerSecond disk_rate = view_->aggregate_rate_bps();
   if (tape_rate_bps > 0.0 && disk_rate > 0.0 && disk_rate > tape_rate_bps) {
-    double bytes = static_cast<double>(count) * static_cast<double>(view_->block_bytes());
-    entry.benefit_seconds = bytes / tape_rate_bps - bytes / disk_rate;
+    double bytes = static_cast<double>(count.value()) * static_cast<double>(view_->block_bytes().value());
+    entry.benefit_seconds = bytes / tape_rate_bps.value() - bytes / disk_rate.value();
   }
   entries_.emplace(key, std::move(entry));
   resident_ += count;
@@ -107,16 +107,16 @@ Result<sim::Interval> ExtentCache::ReadThrough(const void* volume, BlockIndex en
     return Status::NotFound(StrFormat("extent cache %s: read-through of a non-resident entry "
                                          "at block %llu",
                                          name_.c_str(),
-                                         static_cast<unsigned long long>(entry_start)));
+                                         static_cast<unsigned long long>(entry_start.value())));
   }
   if (start < entry_start || count > entry_count ||
       start - entry_start > entry_count - count) {
     return Status::InvalidArgument(
         StrFormat("extent cache %s: read [%llu, +%llu) outside entry [%llu, +%llu)",
-                     name_.c_str(), static_cast<unsigned long long>(start),
-                     static_cast<unsigned long long>(count),
-                     static_cast<unsigned long long>(entry_start),
-                     static_cast<unsigned long long>(entry_count)));
+                     name_.c_str(), static_cast<unsigned long long>(start.value()),
+                     static_cast<unsigned long long>(count.value()),
+                     static_cast<unsigned long long>(entry_start.value()),
+                     static_cast<unsigned long long>(entry_count.value())));
   }
   TERTIO_ASSIGN_OR_RETURN(ExtentList slice,
                           SliceExtents(it->second.extents, start - entry_start, count));

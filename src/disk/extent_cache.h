@@ -89,7 +89,7 @@ class ExtentCache {
   /// retention benefit. \returns false (without error) when the extent can
   /// never fit or is already resident; true when the fill happened.
   Result<bool> Admit(const void* volume, BlockIndex start, BlockCount count,
-                     double tape_rate_bps, SimSeconds now);
+                     BytesPerSecond tape_rate_bps, SimSeconds now);
 
   /// Charges the disk reads serving blocks [start, start+count) of the
   /// resident entry keyed by (volume, entry_start, entry_count), ready at
@@ -110,12 +110,14 @@ class ExtentCache {
     ExtentList extents;
     SimSeconds last_use = 0.0;
     /// Seconds one full re-read saves coming from disk instead of tape.
-    double benefit_seconds = 0.0;
+    SimSeconds benefit_seconds = 0.0;
     std::uint64_t hits = 0;
   };
 
-  /// GreedyDual retention score: recency aged by refetch benefit.
-  static double Score(const Entry& entry) { return entry.last_use + entry.benefit_seconds; }
+  /// GreedyDual retention score: recency aged by refetch benefit. The raw
+  /// double is the heap ordering key, not a simulated duration.
+  // tertio-lint: allow(units-unwrap)
+  static double Score(const Entry& entry) { return (entry.last_use + entry.benefit_seconds).value(); }
 
   /// Evicts the lowest-scored entries until `needed` blocks are free.
   Status EvictUntil(BlockCount needed, SimSeconds now);

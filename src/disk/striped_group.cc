@@ -29,6 +29,11 @@ StripedDiskGroup::StripedDiskGroup(const DiskGroupConfig& config, sim::Simulatio
   TERTIO_CHECK(config.disks.size() == config.per_disk_capacity.size(),
                "disk models and capacities must align");
   for (size_t i = 0; i < config.disks.size(); ++i) {
+    // Allocator sizing: each spindle's capacity must be expressible in
+    // bytes before the volume materializes its block store.
+    Result<ByteCount> sized =
+        CheckedBlocksToBytes(config.per_disk_capacity[i], config.block_bytes);
+    TERTIO_CHECK(sized.ok(), sized.status().ToString());
     std::string name = StrFormat("disk%zu", i);
     sim::Resource* resource = sim->CreateResource(name);
     owned_.push_back(std::make_unique<DiskVolume>(name, config.disks[i], resource,
@@ -46,8 +51,8 @@ StripedDiskGroup::StripedDiskGroup(std::vector<DiskVolume*> spindles, const Exte
   for (const auto* d : disks_) TERTIO_CHECK(d != nullptr, "session view requires live spindles");
 }
 
-double StripedDiskGroup::aggregate_rate_bps() const {
-  double total = 0.0;
+BytesPerSecond StripedDiskGroup::aggregate_rate_bps() const {
+  BytesPerSecond total = 0.0;
   for (const auto& d : disks_) total += d->model().transfer_rate_bps;
   return total;
 }
@@ -74,7 +79,7 @@ Result<sim::Interval> StripedDiskGroup::WriteExtents(const ExtentList& extents, 
   if (payloads != nullptr && payloads->size() != TotalBlocks(extents)) {
     return Status::InvalidArgument(
         StrFormat("payload count %zu does not match extent blocks %llu", payloads->size(),
-                  static_cast<unsigned long long>(TotalBlocks(extents))));
+                  static_cast<unsigned long long>(TotalBlocks(extents).value())));
   }
   sim::Interval hull = sim::Interval::At(ready);
   bool first = true;
@@ -87,7 +92,7 @@ Result<sim::Interval> StripedDiskGroup::WriteExtents(const ExtentList& extents, 
     TERTIO_ASSIGN_OR_RETURN(
         sim::Interval interval,
         disks_[static_cast<size_t>(extent.disk)]->Write(extent.start, extent.count, ready, slice));
-    offset += extent.count;
+    offset += extent.count.value();
     hull = first ? interval : sim::Interval::Hull(hull, interval);
     first = false;
   }
@@ -138,7 +143,7 @@ Result<sim::Interval> ExtentWriteSink::Write(BlockCount offset, BlockCount count
 
 sim::ChunkCostProfile StripedDiskGroup::ExtentChunkProfile(const ExtentList& extents,
                                                            BlockCount offset, BlockCount chunk,
-                                                           BlockCount max_chunks, bool write) {
+                                                           std::uint64_t max_chunks, bool write) {
   if (chunk == 0 || max_chunks == 0) return {};
   // Any active fault plan must flow through the per-chunk path: it draws
   // from a seeded RNG stream whose consumption order is part of the
@@ -148,7 +153,7 @@ sim::ChunkCostProfile StripedDiskGroup::ExtentChunkProfile(const ExtentList& ext
   }
   BlockCount total = TotalBlocks(extents);
   if (offset >= total) return {};
-  BlockCount n_max = (total - offset) / chunk;
+  std::uint64_t n_max = (total - offset) / chunk;
   if (max_chunks < n_max) n_max = max_chunks;
   if (n_max < 2) return {};
 
@@ -161,14 +166,14 @@ sim::ChunkCostProfile StripedDiskGroup::ExtentChunkProfile(const ExtentList& ext
   using Pattern = std::vector<std::pair<int, BlockCount>>;
   // With 2 disks and a 32-block stripe unit the period is 64 / gcd(chunk, 64)
   // chunks at worst; accept up to that rather than guess beyond it.
-  constexpr BlockCount kMaxCycle = 64;
+  constexpr std::uint64_t kMaxCycle = 64;
   std::vector<Pattern> lead;
   std::vector<ExtentList> lead_slices;
   std::vector<BlockIndex> next(disks_.size(), 0);
   std::vector<bool> touched(disks_.size(), false);
-  BlockCount cycle = 0;
-  BlockCount verified = 0;
-  for (BlockCount c = 0; c < n_max; ++c) {
+  std::uint64_t cycle = 0;
+  std::uint64_t verified = 0;
+  for (std::uint64_t c = 0; c < n_max; ++c) {
     Result<ExtentList> slice = SliceExtents(extents, offset + c * chunk, chunk);
     if (!slice.ok()) break;
     bool ok = true;
@@ -212,7 +217,7 @@ sim::ChunkCostProfile StripedDiskGroup::ExtentChunkProfile(const ExtentList& ext
   // A prefix that never repeated is itself the cycle (it was verified whole).
   if (cycle == 0) cycle = verified;
   if (cycle == 0) return {};
-  BlockCount chunks = (verified / cycle) * cycle;
+  std::uint64_t chunks = (verified / cycle) * cycle;
   if (chunks < 2) return {};
 
   sim::ChunkCostProfile profile;
@@ -220,7 +225,7 @@ sim::ChunkCostProfile StripedDiskGroup::ExtentChunkProfile(const ExtentList& ext
   profile.cycle = cycle;
   profile.ops_per_chunk.reserve(cycle);
   const char* tag = write ? "disk.write" : "disk.read";
-  for (BlockCount c = 0; c < cycle; ++c) {
+  for (std::uint64_t c = 0; c < cycle; ++c) {
     const ExtentList& slice = lead_slices[c];
     profile.ops_per_chunk.push_back(static_cast<std::uint32_t>(slice.size()));
     for (const Extent& piece : slice) {
@@ -240,7 +245,7 @@ sim::ChunkCostProfile StripedDiskGroup::ExtentChunkProfile(const ExtentList& ext
     std::uint64_t requests;
   };
   std::vector<Share> shares;
-  for (BlockCount c = 0; c < cycle; ++c) {
+  for (std::uint64_t c = 0; c < cycle; ++c) {
     for (const Extent& piece : lead_slices[c]) {
       auto it = std::find_if(shares.begin(), shares.end(),
                              [&](const Share& s) { return s.disk == piece.disk; });
@@ -252,8 +257,8 @@ sim::ChunkCostProfile StripedDiskGroup::ExtentChunkProfile(const ExtentList& ext
       }
     }
   }
-  profile.commit = [this, shares = std::move(shares), cycle, write](BlockCount committed) {
-    BlockCount periods = committed / cycle;
+  profile.commit = [this, shares = std::move(shares), cycle, write](std::uint64_t committed) {
+    std::uint64_t periods = committed / cycle;
     for (const Share& share : shares) {
       disks_[static_cast<size_t>(share.disk)]->CommitCoalesced(
           write, share.first, periods * share.blocks, periods * share.requests);

@@ -60,7 +60,7 @@ class StripedDiskGroup {
   ByteCount block_bytes() const { return block_bytes_; }
 
   /// Sum of per-disk sustained rates — the model's aggregate X_D.
-  double aggregate_rate_bps() const;
+  BytesPerSecond aggregate_rate_bps() const;
 
   /// Reads every extent in `extents` (one disk request per extent, issued at
   /// `ready`, parallel across disks). Payloads append to `out` in extent
@@ -82,7 +82,7 @@ class StripedDiskGroup {
   /// sequentially continues that disk's previous one (no positioning time)
   /// and no disk carries an active fault plan.
   sim::ChunkCostProfile ExtentChunkProfile(const ExtentList& extents, BlockCount offset,
-                                           BlockCount chunk, BlockCount max_chunks, bool write);
+                                           BlockCount chunk, std::uint64_t max_chunks, bool write);
 
   /// Aggregated statistics across all disks.
   DiskStats TotalStats() const;
@@ -140,7 +140,7 @@ class ExtentReadSource final : public sim::BlockSource {
   Result<sim::Interval> Read(BlockCount offset, BlockCount count, SimSeconds ready,
                              std::vector<BlockPayload>* out) override;
   sim::ChunkCostProfile CostProfile(BlockCount offset, BlockCount chunk,
-                                    BlockCount max_chunks) override {
+                                    std::uint64_t max_chunks) override {
     return group_->ExtentChunkProfile(*extents_, offset, chunk, max_chunks, /*write=*/false);
   }
   std::string_view device() const override { return "disks"; }
@@ -160,7 +160,7 @@ class ExtentWriteSink final : public sim::BlockSink {
   Result<sim::Interval> Write(BlockCount offset, BlockCount count, SimSeconds ready,
                               std::vector<BlockPayload>* payloads) override;
   sim::ChunkCostProfile CostProfile(BlockCount offset, BlockCount chunk,
-                                    BlockCount max_chunks) override {
+                                    std::uint64_t max_chunks) override {
     return group_->ExtentChunkProfile(*extents_, offset, chunk, max_chunks, /*write=*/true);
   }
   std::string_view device() const override { return "disks"; }

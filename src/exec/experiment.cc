@@ -16,16 +16,16 @@ Result<PreparedWorkload> PrepareWorkload(Machine* machine, const WorkloadConfig&
   r_config.phantom = workload.phantom;
   r_config.keys = rel::KeySequence::kSequentialUnique;
   // Tuple counts sized so the relation occupies the requested bytes.
-  BlockCount tuples_per_block =
+  std::uint64_t tuples_per_block =
       rel::TuplesPerBlock(rel::Schema::KeyPayload(workload.record_bytes), bb);
-  r_config.tuple_count = BytesToBlocks(workload.r_bytes, bb) * tuples_per_block;
+  r_config.tuple_count = BytesToBlocks(workload.r_bytes, bb).value() * tuples_per_block;
 
   rel::GeneratorConfig s_config = r_config;
   s_config.name = "S";
   s_config.seed = workload.seed + 1;
   s_config.keys = rel::KeySequence::kForeignKeyUniform;
   s_config.key_domain = r_config.tuple_count;
-  s_config.tuple_count = BytesToBlocks(workload.s_bytes, bb) * tuples_per_block;
+  s_config.tuple_count = BytesToBlocks(workload.s_bytes, bb).value() * tuples_per_block;
 
   PreparedWorkload prepared;
   TERTIO_ASSIGN_OR_RETURN(prepared.r, rel::GenerateOnTape(r_config, &machine->tape_r()));

@@ -84,12 +84,12 @@ class Machine {
   join::JoinContext context() { return session_->context(); }
 
   /// Effective tape rate (bytes/s) for data of the given compressibility.
-  double EffectiveTapeRate(double compressibility) const {
+  BytesPerSecond EffectiveTapeRate(double compressibility) const {
     return config_.tape_model.EffectiveRate(compressibility);
   }
 
   /// Aggregate disk rate X_D (bytes/s).
-  double AggregateDiskRate() const { return site_->AggregateDiskRate(); }
+  BytesPerSecond AggregateDiskRate() const { return site_->AggregateDiskRate(); }
 
   /// Whether this machine injects faults.
   bool faults_enabled() const { return config_.faults.enabled(); }

@@ -39,14 +39,14 @@ Result<std::uint64_t> QueryScheduler::Submit(JoinRequest request) {
   if (request.memory_blocks == 0 || request.memory_blocks > site_->memory_blocks()) {
     return reject(Status::ResourceExhausted(
         StrFormat("memory demand of %llu blocks exceeds the site's %llu",
-                  static_cast<unsigned long long>(request.memory_blocks),
-                  static_cast<unsigned long long>(site_->memory_blocks()))));
+                  static_cast<unsigned long long>(request.memory_blocks.value()),
+                  static_cast<unsigned long long>(site_->memory_blocks().value()))));
   }
   if (request.disk_blocks > site_->session_disk_blocks()) {
     return reject(Status::ResourceExhausted(
         StrFormat("disk demand of %llu blocks exceeds the site's %llu available to sessions",
-                  static_cast<unsigned long long>(request.disk_blocks),
-                  static_cast<unsigned long long>(site_->session_disk_blocks()))));
+                  static_cast<unsigned long long>(request.disk_blocks.value()),
+                  static_cast<unsigned long long>(site_->session_disk_blocks().value()))));
   }
   // Explicit ids must be unique among pending requests: a duplicate would
   // put the same id twice into the cartridge index, and Take()/Unindex()

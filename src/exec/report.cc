@@ -74,10 +74,10 @@ TableReport SpanSummaryTable(const sim::SpanTrace& trace, bool include_markers) 
     table.AddRow({phase.phase,
                   phase.device.empty() ? "*" : phase.device,
                   StrFormat("%llu", static_cast<unsigned long long>(phase.stage_count)),
-                  StrFormat("%llu", static_cast<unsigned long long>(phase.blocks)),
-                  FormatFixed(phase.busy_seconds, 2),
-                  FormatFixed(phase.window.start, 2),
-                  FormatFixed(phase.window.end, 2)});
+                  StrFormat("%llu", static_cast<unsigned long long>(phase.blocks.value())),
+                  FormatFixed(phase.busy_seconds.value(), 2),
+                  FormatFixed(phase.window.start.value(), 2),
+                  FormatFixed(phase.window.end.value(), 2)});
   }
   return table;
 }
@@ -92,7 +92,7 @@ TableReport FaultSummaryTable(const sim::FaultStats& stats) {
   table.AddRow({"robot exchange faults", count(stats.exchange_faults)});
   table.AddRow({"device retries (recovered)", count(stats.retries)});
   table.AddRow({"hard failures (chunk-retried)", count(stats.hard_failures)});
-  table.AddRow({"recovery time (s)", FormatFixed(stats.recovery_seconds, 2)});
+  table.AddRow({"recovery time (s)", FormatFixed(stats.recovery_seconds.value(), 2)});
   return table;
 }
 

@@ -18,7 +18,7 @@ Result<ServiceWorkload> PrepareServiceWorkload(Site* site,
     return Status::InvalidArgument("service workload needs positive relation counts and sizes");
   }
   ByteCount bb = site->block_bytes();
-  BlockCount tuples_per_block =
+  std::uint64_t tuples_per_block =
       rel::TuplesPerBlock(rel::Schema::KeyPayload(config.record_bytes), bb);
 
   ServiceWorkload workload;
@@ -27,7 +27,7 @@ Result<ServiceWorkload> PrepareServiceWorkload(Site* site,
   // query's inner side mounts the same tape.
   auto r_volume = std::make_unique<tape::TapeVolume>("cart-R", bb);
   tape::TapeVolume* r_raw = r_volume.get();
-  std::uint64_t r_tuples = BytesToBlocks(config.r_bytes, bb) * tuples_per_block;
+  std::uint64_t r_tuples = BytesToBlocks(config.r_bytes, bb).value() * tuples_per_block;
   for (int j = 0; j < config.r_relations; ++j) {
     rel::GeneratorConfig r_config;
     r_config.name = StrFormat("R%d", j);
@@ -42,7 +42,7 @@ Result<ServiceWorkload> PrepareServiceWorkload(Site* site,
   }
   TERTIO_ASSIGN_OR_RETURN(workload.r_slot, site->AddCartridge(std::move(r_volume)));
 
-  std::uint64_t s_tuples = BytesToBlocks(config.s_bytes, bb) * tuples_per_block;
+  std::uint64_t s_tuples = BytesToBlocks(config.s_bytes, bb).value() * tuples_per_block;
   for (int k = 0; k < config.s_cartridges; ++k) {
     auto s_volume = std::make_unique<tape::TapeVolume>(StrFormat("cart-S%d", k), bb);
     rel::GeneratorConfig s_config;

@@ -13,19 +13,27 @@ Status SiteConfig::Validate() const {
   if (memory_bytes < block_bytes) {
     return Status::InvalidArgument(
         StrFormat("memory budget of %llu bytes is smaller than one %llu-byte block",
-                  static_cast<unsigned long long>(memory_bytes),
-                  static_cast<unsigned long long>(block_bytes)));
+                  static_cast<unsigned long long>(memory_bytes.value()),
+                  static_cast<unsigned long long>(block_bytes.value())));
   }
   if (disk_space_bytes < block_bytes) {
     return Status::InvalidArgument("disk space is smaller than one block");
   }
   if (stripe_unit == 0) return Status::InvalidArgument("stripe_unit must be positive");
+  // TB-class misconfigurations must surface here as a Status, not later as a
+  // silently wrapped allocation: the disk capacity rounded up to whole
+  // blocks, and the cache carve, must both re-express as 64-bit byte counts.
+  Result<ByteCount> disk_roundtrip =
+      CheckedBlocksToBytes(BytesToBlocks(disk_space_bytes, block_bytes), block_bytes);
+  if (!disk_roundtrip.ok()) return disk_roundtrip.status();
+  Result<ByteCount> cache_sized = CheckedBlocksToBytes(cache_blocks, block_bytes);
+  if (!cache_sized.ok()) return cache_sized.status();
   if (cache_blocks > 0 && cache_blocks >= BytesToBlocks(disk_space_bytes, block_bytes)) {
     return Status::InvalidArgument(
         StrFormat("extent cache of %llu blocks leaves no disk space for query sessions "
                   "(site has %llu)",
-                  static_cast<unsigned long long>(cache_blocks),
-                  static_cast<unsigned long long>(BytesToBlocks(disk_space_bytes, block_bytes))));
+                  static_cast<unsigned long long>(cache_blocks.value()),
+                  static_cast<unsigned long long>(BytesToBlocks(disk_space_bytes, block_bytes).value())));
   }
   return Status::OK();
 }

@@ -104,12 +104,12 @@ class Site {
   int free_drives() const;
 
   /// Effective tape rate (bytes/s) for data of the given compressibility.
-  double EffectiveTapeRate(double compressibility) const {
+  BytesPerSecond EffectiveTapeRate(double compressibility) const {
     return config_.tape_model.EffectiveRate(compressibility);
   }
 
   /// Aggregate disk rate X_D (bytes/s).
-  double AggregateDiskRate() const { return disks_->aggregate_rate_bps(); }
+  BytesPerSecond AggregateDiskRate() const { return disks_->aggregate_rate_bps(); }
 
   bool faults_enabled() const { return config_.faults.enabled(); }
 

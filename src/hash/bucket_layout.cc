@@ -32,10 +32,10 @@ Result<BucketLayout> BucketLayout::Plan(BlockCount r_blocks, BlockCount memory_b
     // For fixed w, feasibility of B requires r/B + B*w <= M. Scan B from the
     // memory lower bound upward; the left term falls, the right term grows,
     // so feasibility is a window — stop once B*w alone exceeds M.
-    std::uint64_t b0 = CeilDiv<std::uint64_t>(r_blocks, memory_blocks);
+    std::uint64_t b0 = CeilDiv<std::uint64_t>(r_blocks.value(), memory_blocks.value());
     if (b0 < min_bucket_count) b0 = min_bucket_count;
     for (std::uint64_t b = b0; b * w <= memory_blocks; ++b) {
-      BlockCount bucket_blocks = CeilDiv<std::uint64_t>(r_blocks, b);
+      BlockCount bucket_blocks = CeilDiv<std::uint64_t>(r_blocks.value(), b);
       BlockCount footprint = bucket_blocks + b * w;
       if (footprint <= memory_blocks) {
         return BucketLayout{static_cast<std::uint32_t>(b), bucket_blocks, w, footprint};
@@ -45,18 +45,18 @@ Result<BucketLayout> BucketLayout::Plan(BlockCount r_blocks, BlockCount memory_b
   return Status::ResourceExhausted(StrFormat(
       "memory of %llu blocks cannot partition a relation of %llu blocks "
       "(hash join requires roughly M >= 2*sqrt(|R|) = %llu blocks)",
-      static_cast<unsigned long long>(memory_blocks),
-      static_cast<unsigned long long>(r_blocks),
-      static_cast<unsigned long long>(MinimumMemory(r_blocks))));
+      static_cast<unsigned long long>(memory_blocks.value()),
+      static_cast<unsigned long long>(r_blocks.value()),
+      static_cast<unsigned long long>(MinimumMemory(r_blocks).value())));
 }
 
 BlockCount BucketLayout::MinimumMemory(BlockCount r_blocks) {
   // With w = 1 the footprint ceil(r/B) + B is minimized near B = sqrt(r).
-  BlockCount root = CeilSqrt(r_blocks);
-  BlockCount best = ~BlockCount{0};
+  BlockCount root = CeilSqrt(r_blocks.value());
+  BlockCount best = ~std::uint64_t{0};
   for (BlockCount b = root > 2 ? root - 2 : 1; b <= root + 2; ++b) {
     if (b == 0) continue;
-    BlockCount footprint = CeilDiv<std::uint64_t>(r_blocks, b) + b;
+    BlockCount footprint = CeilDiv<std::uint64_t>(r_blocks.value(), b.value()) + b;
     if (footprint < best) best = footprint;
   }
   return best;

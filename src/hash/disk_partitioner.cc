@@ -36,7 +36,7 @@ Status DiskPartitioner::AddBlocks(std::span<const BlockPayload> blocks, SimSecon
   for (const BlockPayload& payload : blocks) {
     TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
                             rel::BlockReader::Open(payload, options_.schema));
-    for (BlockCount i = 0; i < reader.record_count(); ++i) {
+    for (std::uint64_t i = 0; i < reader.record_count(); ++i) {
       rel::Tuple tuple(reader.record(i), options_.schema);
       std::int64_t key = tuple.GetInt64(options_.key_column);
       std::uint32_t bucket = BucketOf(key, options_.bucket_count);
@@ -59,7 +59,7 @@ Status DiskPartitioner::AddPhantomBlocks(BlockCount count, std::uint64_t tuples,
                                          SimSeconds ready) {
   // Spread `count` blocks uniformly over all B buckets; only the local span
   // materializes. Remainders carry across calls so long runs stay exact.
-  std::uint64_t gross_blocks = count * span_ + phantom_block_carry_;
+  std::uint64_t gross_blocks = count.value() * span_ + phantom_block_carry_;
   BlockCount local_blocks = gross_blocks / options_.bucket_count;
   phantom_block_carry_ = gross_blocks % options_.bucket_count;
   std::uint64_t gross_tuples = tuples * span_ + phantom_tuple_carry_;
@@ -107,12 +107,12 @@ Status DiskPartitioner::MaybeFlush(std::uint32_t local, bool final) {
     if (!p.full_blocks.empty()) {
       BlockCount real = p.full_blocks.size() < chunk ? p.full_blocks.size() : chunk;
       std::vector<BlockPayload> batch(p.full_blocks.begin(),
-                                      p.full_blocks.begin() + static_cast<long>(real));
+                                      p.full_blocks.begin() + static_cast<long>(real.value()));
       // A mixed real/phantom flush cannot happen: a partitioner sees either
       // real or phantom input exclusively.
       TERTIO_CHECK(real == chunk, "mixed real/phantom bucket flush");
       TERTIO_ASSIGN_OR_RETURN(interval, disks_->WriteExtents(extents, ready, &batch));
-      p.full_blocks.erase(p.full_blocks.begin(), p.full_blocks.begin() + static_cast<long>(real));
+      p.full_blocks.erase(p.full_blocks.begin(), p.full_blocks.begin() + static_cast<long>(real.value()));
     } else {
       TERTIO_ASSIGN_OR_RETURN(interval, disks_->WriteExtents(extents, ready, nullptr));
       p.phantom_pending -= chunk;
@@ -146,7 +146,7 @@ Result<sim::Interval> PartitionerSink::Write(BlockCount offset, BlockCount count
   (void)offset;
   if (payloads == nullptr) {
     std::uint64_t tuples =
-        std::min<std::uint64_t>(static_cast<std::uint64_t>(count) * tuples_per_block_,
+        std::min<std::uint64_t>(count.value() * tuples_per_block_,
                                 chunk_tuple_cap_);
     TERTIO_RETURN_IF_ERROR(partitioner_->AddPhantomBlocks(count, tuples, ready));
   } else {

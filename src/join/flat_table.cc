@@ -109,21 +109,21 @@ Status FlatJoinTable::AddBlocksScalar(std::span<const BlockPayload> blocks) {
   for (const BlockPayload& payload : blocks) {
     TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
                             rel::BlockReader::Open(payload, build_schema_));
-    const BlockCount n = reader.record_count();
+    const std::uint64_t n = reader.record_count();
     if (n == 0) continue;
 
     // Software-prefetch pipeline: digests run kPrefetchDistance records
     // ahead of the inserts, so the slot line of record i is (usually) in
     // cache by the time its insert scan starts.
     std::uint64_t digests[kPrefetchDistance];
-    const BlockCount lead = std::min<BlockCount>(n, kPrefetchDistance);
-    for (BlockCount i = 0; i < lead; ++i) {
+    const std::uint64_t lead = std::min<std::uint64_t>(n, kPrefetchDistance);
+    for (std::uint64_t i = 0; i < lead; ++i) {
       rel::Tuple tuple(reader.record(i), build_schema_);
       std::uint64_t digest = DigestOf(tuple.GetInt64(build_key_));
       digests[i % kPrefetchDistance] = digest;
       PrefetchWrite(&slots_[static_cast<std::size_t>(digest) & mask_]);
     }
-    for (BlockCount i = 0; i < n; ++i) {
+    for (std::uint64_t i = 0; i < n; ++i) {
       // Read the current record's digest out of the ring before the
       // lookahead below reuses the same ring position (i + D ≡ i mod D).
       const std::uint64_t current_digest = digests[i % kPrefetchDistance];
@@ -163,16 +163,16 @@ Status FlatJoinTable::ProbeScalar(std::span<const BlockPayload> blocks,
   for (const BlockPayload& payload : blocks) {
     TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
                             rel::BlockReader::Open(payload, probe_schema));
-    const BlockCount n = reader.record_count();
+    const std::uint64_t n = reader.record_count();
     std::uint64_t digests[kPrefetchDistance];
-    const BlockCount lead = std::min<BlockCount>(n, kPrefetchDistance);
-    for (BlockCount i = 0; i < lead; ++i) {
+    const std::uint64_t lead = std::min<std::uint64_t>(n, kPrefetchDistance);
+    for (std::uint64_t i = 0; i < lead; ++i) {
       rel::Tuple tuple(reader.record(i), probe_schema);
       std::uint64_t digest = DigestOf(tuple.GetInt64(probe_key_column));
       digests[i % kPrefetchDistance] = digest;
       PrefetchRead(&slots_[static_cast<std::size_t>(digest) & mask_]);
     }
-    for (BlockCount i = 0; i < n; ++i) {
+    for (std::uint64_t i = 0; i < n; ++i) {
       // Read before the lookahead reuses this ring position (i + D ≡ i).
       const std::uint64_t digest = digests[i % kPrefetchDistance];
       if (i + kPrefetchDistance < n) {
@@ -238,7 +238,7 @@ Status FlatJoinTable::AddBlocksBatched(std::span<const BlockPayload> blocks) {
   for (const BlockPayload& payload : blocks) {
     TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
                             rel::BlockReader::Open(payload, build_schema_));
-    const BlockCount n = reader.record_count();
+    const std::uint64_t n = reader.record_count();
     if (n == 0) continue;
     // Same paced prefetch ring as the scalar path (one prefetch issued per
     // record keeps the miss queue from overflowing, which a burst of a whole
@@ -247,16 +247,16 @@ Status FlatJoinTable::AddBlocksBatched(std::span<const BlockPayload> blocks) {
     std::uint64_t digests[kPrefetchDistance];
     std::int64_t keys[kPrefetchDistance];
     auto stage = [&](BlockCount j) {
-      rel::Tuple tuple(reader.record(j), build_schema_);
+      rel::Tuple tuple(reader.record(j.value()), build_schema_);
       const std::int64_t key = tuple.GetInt64(build_key_);
       const std::uint64_t digest = DigestOf(key);
-      keys[j % kPrefetchDistance] = key;
-      digests[j % kPrefetchDistance] = digest;
+      keys[(j % kPrefetchDistance).value()] = key;
+      digests[(j % kPrefetchDistance).value()] = digest;
       PrefetchWrite(&slots_[static_cast<std::size_t>(digest) & mask_]);
     };
-    const BlockCount lead = std::min<BlockCount>(n, kPrefetchDistance);
+    const std::uint64_t lead = std::min<std::uint64_t>(n, kPrefetchDistance);
     for (BlockCount j = 0; j < lead; ++j) stage(j);
-    for (BlockCount i = 0; i < n; ++i) {
+    for (std::uint64_t i = 0; i < n; ++i) {
       // Read the current record's ring entries before the lookahead below
       // reuses the same ring position (i + D ≡ i mod D).
       Slot slot;
@@ -325,7 +325,7 @@ Status FlatJoinTable::ProbeBatched(std::span<const BlockPayload> blocks,
   for (const BlockPayload& payload : blocks) {
     TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
                             rel::BlockReader::Open(payload, probe_schema));
-    const BlockCount n = reader.record_count();
+    const std::uint64_t n = reader.record_count();
     if (n == 0) continue;
     // Two-stage software pipeline. Stage one (kFilterDistance ahead):
     // digest the record and prefetch its Bloom filter word. Stage two
@@ -338,24 +338,24 @@ Status FlatJoinTable::ProbeBatched(std::span<const BlockPayload> blocks,
     std::int64_t keys[kFilterDistance];
     bool may_match[kPrefetchDistance];
     auto stage_digest = [&](BlockCount j) {
-      rel::Tuple tuple(reader.record(j), probe_schema);
+      rel::Tuple tuple(reader.record(j.value()), probe_schema);
       const std::int64_t key = tuple.GetInt64(probe_key_column);
       const std::uint64_t digest = DigestOf(key);
-      keys[j % kFilterDistance] = key;
-      digests[j % kFilterDistance] = digest;
+      keys[(j % kFilterDistance).value()] = key;
+      digests[(j % kFilterDistance).value()] = digest;
       PrefetchRead(&bloom_[BloomWordOf(digest)]);
     };
     auto stage_filter = [&](BlockCount j) {
-      const std::uint64_t digest = digests[j % kFilterDistance];
+      const std::uint64_t digest = digests[(j % kFilterDistance).value()];
       const bool may = BloomMayContain(digest);
-      may_match[j % kPrefetchDistance] = may;
+      may_match[(j % kPrefetchDistance).value()] = may;
       if (may) PrefetchRead(&slots_[static_cast<std::size_t>(digest) & mask_]);
     };
-    const BlockCount lead_digest = std::min<BlockCount>(n, kFilterDistance);
+    const std::uint64_t lead_digest = std::min<std::uint64_t>(n, kFilterDistance);
     for (BlockCount j = 0; j < lead_digest; ++j) stage_digest(j);
-    const BlockCount lead_filter = std::min<BlockCount>(n, kPrefetchDistance);
+    const std::uint64_t lead_filter = std::min<std::uint64_t>(n, kPrefetchDistance);
     for (BlockCount j = 0; j < lead_filter; ++j) stage_filter(j);
-    for (BlockCount i = 0; i < n; ++i) {
+    for (std::uint64_t i = 0; i < n; ++i) {
       // Read the current record's ring entries before the stage calls below
       // reuse the same ring positions (i + D ≡ i mod D).
       const std::uint64_t digest = digests[i % kFilterDistance];

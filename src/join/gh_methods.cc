@@ -142,8 +142,8 @@ Result<JoinStats> ExecuteGh(GhMode mode, JoinMethodId id, const JoinSpec& spec,
     return Status::ResourceExhausted(
         StrFormat("%s needs disk space beyond |R| (=%llu blocks) to buffer S; only %llu free",
                   std::string(JoinMethodName(id)).c_str(),
-                  static_cast<unsigned long long>(r.blocks),
-                  static_cast<unsigned long long>(disk_free)));
+                  static_cast<unsigned long long>(r.blocks.value()),
+                  static_cast<unsigned long long>(disk_free.value())));
   }
   // Real tuples re-encode into fresh blocks; partitioned R can exceed |R| by
   // one partial block per bucket, and each S slab needs the same slack.

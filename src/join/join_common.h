@@ -42,7 +42,7 @@ class ProbeSink final : public sim::BlockSink {
                               std::vector<BlockPayload>* payloads) override;
   /// Probing is free in the system model, so phantom chunks coalesce freely.
   sim::ChunkCostProfile CostProfile(BlockCount offset, BlockCount chunk,
-                                    BlockCount max_chunks) override {
+                                    std::uint64_t max_chunks) override {
     (void)offset;
     (void)chunk;
     return sim::ChunkCostProfile::Free(max_chunks);

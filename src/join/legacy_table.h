@@ -41,7 +41,7 @@ class LegacyMultimapJoinTable {
     for (const BlockPayload& payload : blocks) {
       TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
                               rel::BlockReader::Open(payload, build_schema_));
-      for (BlockCount i = 0; i < reader.record_count(); ++i) {
+      for (std::uint64_t i = 0; i < reader.record_count(); ++i) {
         rel::Tuple tuple(reader.record(i), build_schema_);
         Entry entry{HashBytes(tuple.bytes()), {}};
         if (capture_records_) {
@@ -59,7 +59,7 @@ class LegacyMultimapJoinTable {
     for (const BlockPayload& payload : blocks) {
       TERTIO_ASSIGN_OR_RETURN(rel::BlockReader reader,
                               rel::BlockReader::Open(payload, probe_schema));
-      for (BlockCount i = 0; i < reader.record_count(); ++i) {
+      for (std::uint64_t i = 0; i < reader.record_count(); ++i) {
         rel::Tuple tuple(reader.record(i), probe_schema);
         std::int64_t key = tuple.GetInt64(probe_key_column);
         std::uint64_t probe_digest = HashBytes(tuple.bytes());

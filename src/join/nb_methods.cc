@@ -42,7 +42,7 @@ struct NbGeometry {
 
 Result<NbGeometry> PlanNb(NbMode mode, const JoinSpec& spec, const JoinContext& ctx) {
   BlockCount m = ctx.memory->total_blocks();
-  auto mr = static_cast<BlockCount>(spec.options.nb_r_fraction * static_cast<double>(m));
+  auto mr = static_cast<BlockCount>(spec.options.nb_r_fraction * static_cast<double>(m.value()));
   if (mr == 0) mr = 1;
   if (m <= mr) {
     return Status::ResourceExhausted("memory too small for a nested-block join");
@@ -88,8 +88,8 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
     return Status::ResourceExhausted(
         StrFormat("%s needs %llu disk blocks, %llu free",
                   std::string(JoinMethodName(id)).c_str(),
-                  static_cast<unsigned long long>(g.disk_needed),
-                  static_cast<unsigned long long>(ctx.disks->allocator().free_blocks())));
+                  static_cast<unsigned long long>(g.disk_needed.value()),
+                  static_cast<unsigned long long>(ctx.disks->allocator().free_blocks().value())));
   }
   StatsScope scope(ctx);
   TERTIO_RETURN_IF_ERROR(ctx.memory->Reserve(g.mr, "nb/r-scan"));
@@ -178,7 +178,7 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
       const std::vector<BlockPayload>* head_ptr = nullptr;
       const std::vector<BlockPayload>* tail_ptr = nullptr;
       if (payloads != nullptr) {
-        head.assign(payloads->begin(), payloads->begin() + static_cast<long>(first));
+        head.assign(payloads->begin(), payloads->begin() + static_cast<long>(first.value()));
         head_ptr = &head;
       }
       TERTIO_ASSIGN_OR_RETURN(sim::StageId w1,
@@ -188,7 +188,7 @@ Result<JoinStats> ExecuteNb(NbMode mode, JoinMethodId id, const JoinSpec& spec,
         TERTIO_ASSIGN_OR_RETURN(disk::ExtentList wrap,
                                 SliceExtents(ring_extents, 0, count - first));
         if (payloads != nullptr) {
-          tail.assign(payloads->begin() + static_cast<long>(first), payloads->end());
+          tail.assign(payloads->begin() + static_cast<long>(first.value()), payloads->end());
           tail_ptr = &tail;
         }
         TERTIO_ASSIGN_OR_RETURN(

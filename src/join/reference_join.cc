@@ -16,7 +16,7 @@ Result<JoinOutput> ReferenceJoin(const rel::Relation& r, const rel::Relation& s,
   }
   HashJoinTable table(&r.schema, r_key_column, /*build_is_r=*/true);
   std::vector<BlockPayload> blocks;
-  for (BlockIndex i = 0; i < r.blocks; ++i) {
+  for (BlockCount i = 0; i < r.blocks; ++i) {
     TERTIO_ASSIGN_OR_RETURN(BlockPayload payload, r.volume->ReadBlock(r.start_block + i));
     blocks.push_back(std::move(payload));
   }
@@ -24,7 +24,7 @@ Result<JoinOutput> ReferenceJoin(const rel::Relation& r, const rel::Relation& s,
   blocks.clear();
 
   JoinOutput output;
-  for (BlockIndex i = 0; i < s.blocks; ++i) {
+  for (BlockCount i = 0; i < s.blocks; ++i) {
     TERTIO_ASSIGN_OR_RETURN(BlockPayload payload, s.volume->ReadBlock(s.start_block + i));
     std::vector<BlockPayload> one{std::move(payload)};
     TERTIO_RETURN_IF_ERROR(table.Probe(one, &s.schema, s_key_column, &output));

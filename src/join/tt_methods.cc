@@ -50,7 +50,7 @@ Result<hash::BucketLayout> PlanTt(const JoinSpec& spec, const JoinContext& ctx,
   BlockCount planned = spec.r->phantom ? assembled_blocks
                                        : assembled_blocks + assembled_blocks / 4;
   auto min_buckets =
-      static_cast<std::uint32_t>(CeilDiv<std::uint64_t>(planned, disk_free - slack));
+      static_cast<std::uint32_t>(CeilDiv<std::uint64_t>(planned.value(), (disk_free - slack).value()));
   BlockCount planned_r =
       spec.r->phantom ? spec.r->blocks : spec.r->blocks + spec.r->blocks / 4 + 1;
   return hash::BucketLayout::Plan(planned_r, ctx.memory->total_blocks(),
@@ -70,14 +70,14 @@ Result<sim::StageId> HashRelationToTape(const JoinContext& ctx, sim::Pipeline& p
   BlockCount disk_free = ctx.disks->allocator().free_blocks();
   // Each bucket needs its expected size plus one partial block of slack in
   // full-data mode.
-  BlockCount per_bucket = CeilDiv<std::uint64_t>(relation.blocks, layout.bucket_count) +
+  BlockCount per_bucket = CeilDiv<std::uint64_t>(relation.blocks.value(), layout.bucket_count) +
                           (phantom ? 0 : 1);
   auto per_scan = static_cast<std::uint32_t>(disk_free / per_bucket);
   if (per_scan == 0) {
     return Status::ResourceExhausted(
         StrFormat("disk space of %llu blocks cannot assemble even one bucket (%llu blocks)",
-                  static_cast<unsigned long long>(disk_free),
-                  static_cast<unsigned long long>(per_bucket)));
+                  static_cast<unsigned long long>(disk_free.value()),
+                  static_cast<unsigned long long>(per_bucket.value())));
   }
   per_scan = std::min(per_scan, layout.bucket_count);
 
@@ -127,7 +127,7 @@ Result<sim::StageId> HashRelationToTape(const JoinContext& ctx, sim::Pipeline& p
     for (std::uint32_t local = 0; local < span; ++local) {
       hash::DiskBucket& bucket = partitioner.buckets()[local];
       hash::TapeBucketRegion& region = run->regions[first + local];
-      region.start = target->volume()->size_blocks();
+      region.start = ToIndex(target->volume()->size_blocks());
       region.blocks = bucket.blocks;
       region.tuples = bucket.tuples;
       if (bucket.blocks == 0) continue;
@@ -385,8 +385,8 @@ Result<JoinStats> ExecuteTtGh(const JoinSpec& spec, const JoinContext& ctx) {
                          r_hashed, &s_run, nullptr));
   SimSeconds step1_end = pipe.end(step1_stage);
   stats.step1_seconds = step1_end - scope.start();
-  stats.iterations = CeilDiv<std::uint64_t>(r.blocks, std::max<BlockCount>(disk_free, 1)) +
-                     CeilDiv<std::uint64_t>(s.blocks, std::max<BlockCount>(disk_free, 1));
+  stats.iterations = CeilDiv<std::uint64_t>(r.blocks.value(), std::max<BlockCount>(disk_free, 1).value()) +
+                     CeilDiv<std::uint64_t>(s.blocks.value(), std::max<BlockCount>(disk_free, 1).value());
 
   // ---- Step II: stream bucket pairs — R buckets from the S tape (drive S),
   // S buckets from the R tape (drive R) — in parallel.
@@ -476,7 +476,7 @@ class TtJoinMethod final : public JoinMethod {
                             id_ == JoinMethodId::kCttGh ? spec.r->blocks : spec.s->blocks));
     ResourceRequirements req;
     req.memory_blocks = layout.memory_blocks;
-    req.disk_blocks = CeilDiv<std::uint64_t>(spec.r->blocks, layout.bucket_count) +
+    req.disk_blocks = CeilDiv<std::uint64_t>(spec.r->blocks.value(), layout.bucket_count) +
                       (spec.r->phantom ? 0 : 1);
     if (id_ == JoinMethodId::kCttGh) {
       req.tape_scratch_r_blocks = spec.r->blocks;

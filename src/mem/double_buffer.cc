@@ -8,9 +8,9 @@ Result<SimSeconds> InterleavedBuffer::AcquireFree(BlockCount count) {
   if (occupied_ + count > capacity_) {
     return Status::ResourceExhausted(
         StrFormat("buffer acquire of %llu blocks exceeds capacity (%llu occupied of %llu)",
-                  static_cast<unsigned long long>(count),
-                  static_cast<unsigned long long>(occupied_),
-                  static_cast<unsigned long long>(capacity_)));
+                  static_cast<unsigned long long>(count.value()),
+                  static_cast<unsigned long long>(occupied_.value()),
+                  static_cast<unsigned long long>(capacity_.value())));
   }
   SimSeconds ready = 0.0;
   BlockCount remaining = count;
@@ -31,8 +31,8 @@ Status InterleavedBuffer::Release(BlockCount count, SimSeconds when) {
   if (count > occupied_) {
     return Status::InvalidArgument(
         StrFormat("release of %llu blocks exceeds occupancy (%llu)",
-                  static_cast<unsigned long long>(count),
-                  static_cast<unsigned long long>(occupied_)));
+                  static_cast<unsigned long long>(count.value()),
+                  static_cast<unsigned long long>(occupied_.value())));
   }
   if (when < last_release_) {
     return Status::InvalidArgument("buffer releases must carry non-decreasing times");

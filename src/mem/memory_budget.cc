@@ -13,9 +13,9 @@ Status MemoryBudget::Reserve(BlockCount count, const std::string& tag) {
     return Status::ResourceExhausted(
         StrFormat("memory reservation '%s' of %llu blocks exceeds budget "
                   "(%llu of %llu blocks in use)",
-                  tag.c_str(), static_cast<unsigned long long>(count),
-                  static_cast<unsigned long long>(reserved_),
-                  static_cast<unsigned long long>(total_)));
+                  tag.c_str(), static_cast<unsigned long long>(count.value()),
+                  static_cast<unsigned long long>(reserved_.value()),
+                  static_cast<unsigned long long>(total_.value())));
   }
   reserved_ += count;
   by_tag_[tag] += count;
@@ -31,7 +31,7 @@ Status MemoryBudget::Release(BlockCount count, const std::string& tag) {
   if (held < count) {
     return Status::InvalidArgument(
         StrFormat("release of %llu blocks under '%s' exceeds its reservation",
-                  static_cast<unsigned long long>(count), tag.c_str()));
+                  static_cast<unsigned long long>(count.value()), tag.c_str()));
   }
   it->second -= count;
   if (it->second == 0) by_tag_.erase(it);

@@ -9,15 +9,15 @@ namespace tertio::rel {
 BlockBuilder::BlockBuilder(const Schema* schema, ByteCount block_bytes)
     : schema_(schema), block_bytes_(block_bytes), capacity_(TuplesPerBlock(*schema, block_bytes)) {
   TERTIO_CHECK(schema != nullptr, "block builder requires a schema");
-  buffer_.reserve(block_bytes);
-  buffer_.resize(kBlockHeaderBytes, 0);
+  buffer_.reserve(block_bytes.value());
+  buffer_.resize(kBlockHeaderBytes.value(), 0);
 }
 
 Status BlockBuilder::Append(std::span<const uint8_t> record) {
   if (record.size() != schema_->record_bytes()) {
     return Status::InvalidArgument(
         StrFormat("record of %zu bytes does not match schema record size %llu", record.size(),
-                  static_cast<unsigned long long>(schema_->record_bytes())));
+                  static_cast<unsigned long long>(schema_->record_bytes().value())));
   }
   if (full()) {
     return Status::ResourceExhausted("block is full; call Finish() first");
@@ -32,11 +32,11 @@ BlockPayload BlockBuilder::Finish() {
   auto count32 = static_cast<uint32_t>(count_);
   std::memcpy(buffer_.data(), &magic, sizeof(magic));
   std::memcpy(buffer_.data() + sizeof(magic), &count32, sizeof(count32));
-  buffer_.resize(block_bytes_, 0);
+  buffer_.resize(block_bytes_.value(), 0);
   BlockPayload payload = MakePayload(std::move(buffer_));
   buffer_ = {};
-  buffer_.reserve(block_bytes_);
-  buffer_.resize(kBlockHeaderBytes, 0);
+  buffer_.reserve(block_bytes_.value());
+  buffer_.resize(kBlockHeaderBytes.value(), 0);
   count_ = 0;
   return payload;
 }
@@ -62,10 +62,10 @@ Result<BlockReader> BlockReader::Open(const BlockPayload& payload, const Schema*
   return BlockReader(payload, schema, count);
 }
 
-std::span<const uint8_t> BlockReader::record(BlockCount i) const {
+std::span<const uint8_t> BlockReader::record(std::uint64_t i) const {
   TERTIO_CHECK(i < count_, "record index out of range");
-  const uint8_t* base = payload_->data() + kBlockHeaderBytes + i * schema_->record_bytes();
-  return std::span<const uint8_t>(base, schema_->record_bytes());
+  const uint8_t* base = payload_->data() + kBlockHeaderBytes.value() + i * schema_->record_bytes().value();
+  return std::span<const uint8_t>(base, schema_->record_bytes().value());
 }
 
 }  // namespace tertio::rel

@@ -30,8 +30,8 @@ class BlockBuilder {
   /// True if no record has been appended since the last Finish().
   bool empty() const { return count_ == 0; }
   bool full() const { return count_ == capacity_; }
-  BlockCount capacity() const { return capacity_; }
-  BlockCount record_count() const { return count_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t record_count() const { return count_; }
 
   /// Appends one record (must be exactly schema->record_bytes() long).
   Status Append(std::span<const uint8_t> record);
@@ -43,8 +43,8 @@ class BlockBuilder {
  private:
   const Schema* schema_;
   ByteCount block_bytes_;
-  BlockCount capacity_;
-  BlockCount count_ = 0;
+  std::uint64_t capacity_;
+  std::uint64_t count_ = 0;
   std::vector<uint8_t> buffer_;
 };
 
@@ -54,18 +54,18 @@ class BlockReader {
   /// The payload must have been produced by BlockBuilder with `schema`.
   static Result<BlockReader> Open(const BlockPayload& payload, const Schema* schema);
 
-  BlockCount record_count() const { return count_; }
+  std::uint64_t record_count() const { return count_; }
 
   /// Raw bytes of record `i`.
-  std::span<const uint8_t> record(BlockCount i) const;
+  std::span<const uint8_t> record(std::uint64_t i) const;
 
  private:
-  BlockReader(BlockPayload payload, const Schema* schema, BlockCount count)
+  BlockReader(BlockPayload payload, const Schema* schema, std::uint64_t count)
       : payload_(std::move(payload)), schema_(schema), count_(count) {}
 
   BlockPayload payload_;
   const Schema* schema_;
-  BlockCount count_;
+  std::uint64_t count_;
 };
 
 }  // namespace tertio::rel

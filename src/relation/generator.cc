@@ -62,9 +62,9 @@ Result<Relation> GenerateOnTape(const GeneratorConfig& config, tape::TapeVolume*
   relation.block_bytes = volume->block_bytes();
   relation.phantom = config.phantom;
   relation.volume = volume;
-  relation.start_block = volume->size_blocks();
+  relation.start_block = ToIndex(volume->size_blocks());
 
-  BlockCount per_block = TuplesPerBlock(relation.schema, volume->block_bytes());
+  std::uint64_t per_block = TuplesPerBlock(relation.schema, volume->block_bytes());
   relation.blocks = config.tuple_count == 0
                         ? 0
                         : CeilDiv<uint64_t>(config.tuple_count, per_block);
@@ -94,7 +94,7 @@ Result<Relation> GenerateOnTape(const GeneratorConfig& config, tape::TapeVolume*
   if (!builder.empty()) {
     TERTIO_RETURN_IF_ERROR(volume->Append(builder.Finish(), config.compressibility));
   }
-  TERTIO_CHECK(volume->size_blocks() - relation.start_block == relation.blocks,
+  TERTIO_CHECK(ToIndex(volume->size_blocks()) - relation.start_block == relation.blocks,
                "generated block count diverged from descriptor");
   return relation;
 }

@@ -6,7 +6,7 @@ Status ForEachTuple(std::span<const BlockPayload> payloads, const Schema* schema
                     const std::function<void(const Tuple&)>& fn) {
   for (const BlockPayload& payload : payloads) {
     TERTIO_ASSIGN_OR_RETURN(BlockReader reader, BlockReader::Open(payload, schema));
-    for (BlockCount i = 0; i < reader.record_count(); ++i) {
+    for (std::uint64_t i = 0; i < reader.record_count(); ++i) {
       fn(Tuple(reader.record(i), schema));
     }
   }

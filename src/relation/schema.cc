@@ -34,7 +34,7 @@ Schema Schema::KeyPayload(ByteCount record_bytes) {
   TERTIO_CHECK(record_bytes > 8, "record must be wider than the 8-byte key");
   auto schema = Create({Column{"key", ColumnType::kInt64, 8},
                         Column{"payload", ColumnType::kFixedChar,
-                               static_cast<uint32_t>(record_bytes - 8)}});
+                               static_cast<uint32_t>((record_bytes - 8).value())}});
   return std::move(schema).value();
 }
 
@@ -57,7 +57,7 @@ bool Schema::operator==(const Schema& other) const {
   return true;
 }
 
-BlockCount TuplesPerBlock(const Schema& schema, ByteCount block_bytes) {
+std::uint64_t TuplesPerBlock(const Schema& schema, ByteCount block_bytes) {
   TERTIO_CHECK(block_bytes > kBlockHeaderBytes + schema.record_bytes(),
                "block too small for one record");
   return (block_bytes - kBlockHeaderBytes) / schema.record_bytes();

@@ -56,6 +56,6 @@ class Schema {
 };
 
 /// Records that fit in one block after the block header.
-BlockCount TuplesPerBlock(const Schema& schema, ByteCount block_bytes);
+std::uint64_t TuplesPerBlock(const Schema& schema, ByteCount block_bytes);
 
 }  // namespace tertio::rel

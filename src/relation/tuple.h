@@ -49,7 +49,8 @@ class Tuple {
 class TupleBuilder {
  public:
   explicit TupleBuilder(const Schema* schema)
-      : schema_(schema), buffer_(schema->record_bytes(), 0) {}
+      // tertio-lint: allow(units-unwrap) — std::vector sizing needs the raw count.
+      : schema_(schema), buffer_(schema->record_bytes().value(), 0) {}
 
   TupleBuilder& SetInt64(size_t col, int64_t v) {
     std::memcpy(buffer_.data() + schema_->offset(col), &v, sizeof(v));

@@ -13,7 +13,7 @@ std::string FormatInterval(const Interval& interval) {
   return StrFormat("[%.9f, %.9f)", interval.start, interval.end);
 }
 
-unsigned long long ull(BlockCount v) { return static_cast<unsigned long long>(v); }
+unsigned long long ull(BlockCount v) { return static_cast<unsigned long long>(v.value()); }
 
 }  // namespace
 

@@ -25,9 +25,9 @@ struct Segment {
 
 inline Segment SegmentOf(SimSeconds t) {
   if (t < 0x1p-1021) {
-    return Segment{0x1p-1074, static_cast<std::uint64_t>(t / 0x1p-1074)};
+    return Segment{0x1p-1074, static_cast<std::uint64_t>(t.value() / 0x1p-1074)};
   }
-  const int e = std::ilogb(t);
+  const int e = std::ilogb(t.value());
   const SimSeconds u = std::ldexp(1.0, e - 52);
   return Segment{u, static_cast<std::uint64_t>(t / u)};
 }
@@ -43,10 +43,10 @@ SimSeconds IteratedAddCycle(SimSeconds acc, std::span<const SimSeconds> deltas,
   // finite non-negative deltas (the simulator checks durations >= 0; -0.0 is
   // excluded so monotonicity and signed-zero cases never arise). Anything
   // else takes the literal loop.
-  bool fast = std::isfinite(acc) && !std::signbit(acc);
+  bool fast = std::isfinite(acc.value()) && !std::signbit(acc.value());
   bool all_zero = true;
   for (SimSeconds d : deltas) {
-    if (!std::isfinite(d) || std::signbit(d)) fast = false;
+    if (!std::isfinite(d.value()) || std::signbit(d.value())) fast = false;
     if (d != 0.0) all_zero = false;
   }
   // A cycle of (signed) zeros reaches its fixed point after one cycle.
@@ -69,7 +69,7 @@ SimSeconds IteratedAddCycle(SimSeconds acc, std::span<const SimSeconds> deltas,
     while (got < 3) {
       t = OneCycle(t, deltas);
       --cycles;
-      if (!std::isfinite(t)) return t;  // saturated at +inf: absorbing
+      if (!std::isfinite(t.value())) return t;  // saturated at +inf: absorbing
       if (cycles == 0) return t;
       if (SegmentOf(t).u != seg.u) break;  // crossed a boundary: re-anchor
       ends[got++] = t;
@@ -99,7 +99,7 @@ SimSeconds IteratedAddCycle(SimSeconds acc, std::span<const SimSeconds> deltas,
     } else {
       t = OneCycle(ends[2], deltas);
       --cycles;
-      if (!std::isfinite(t)) return t;
+      if (!std::isfinite(t.value())) return t;
       if (cycles == 0) return t;
       if (SegmentOf(t).u != seg.u) {
         acc = t;
@@ -136,7 +136,7 @@ SimSeconds IteratedAddCycle(SimSeconds acc, std::span<const SimSeconds> deltas,
     // k*m <= room - 1 < 2^53: the product converts to double exactly, the
     // multiply by the power-of-two spacing is exact, and the sum lands on a
     // grid point inside the segment — also exact.
-    acc = t + static_cast<SimSeconds>(k * m) * seg.u;
+    acc = t + static_cast<double>(k * m) * seg.u;
     cycles -= k * stride;
   }
   return acc;

@@ -124,7 +124,7 @@ bool FaultInjector::IsLatentBadBlock(BlockIndex position) const {
   if (remapped_.count(position) != 0) return false;
   // Defects are a property of the media position: hash (salt, position) to a
   // uniform [0,1) and compare against the rate. Stable across retries.
-  const std::uint64_t h = SplitMix64(position_salt_ ^ (position * 0x9E3779B97F4A7C15ULL));
+  const std::uint64_t h = SplitMix64(position_salt_ ^ (position.value() * 0x9E3779B97F4A7C15ULL));
   const double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
   return u < profile_.bad_block_rate;
 }

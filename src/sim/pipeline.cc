@@ -105,7 +105,7 @@ void SpanTrace::Clear() {
   has_window_ = false;
 }
 
-ChunkCostProfile ChunkCostProfile::Free(BlockCount max_chunks) {
+ChunkCostProfile ChunkCostProfile::Free(std::uint64_t max_chunks) {
   ChunkCostProfile profile;
   profile.chunks = max_chunks;
   profile.cycle = 1;
@@ -187,9 +187,9 @@ StageId Pipeline::Barrier(std::string_view phase, std::span<const StageId> deps)
 
 namespace {
 
-BlockCount Gcd(BlockCount a, BlockCount b) {
+std::uint64_t Gcd(std::uint64_t a, std::uint64_t b) {
   while (b != 0) {
-    BlockCount t = a % b;
+    std::uint64_t t = a % b;
     a = b;
     b = t;
   }
@@ -212,17 +212,17 @@ bool ProfileShapeOk(const ChunkCostProfile& p) {
 
 }  // namespace
 
-BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& source,
+std::uint64_t Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& source,
                                     BlockSink& sink, std::span<const StageId> deps,
-                                    BlockCount offset, BlockCount chunk, BlockCount want,
+                                    BlockCount offset, BlockCount chunk, std::uint64_t want,
                                     TransferResult& result) {
   ChunkCostProfile src = source.CostProfile(offset, chunk, want);
   if (!ProfileShapeOk(src)) return 0;
   ChunkCostProfile snk = sink.CostProfile(offset, chunk, want);
   if (!ProfileShapeOk(snk)) return 0;
   // The batch must cover whole pattern periods of both endpoints.
-  const BlockCount period = src.cycle / Gcd(src.cycle, snk.cycle) * snk.cycle;
-  BlockCount n = std::min({want, src.chunks, snk.chunks});
+  const std::uint64_t period = src.cycle / Gcd(src.cycle, snk.cycle) * snk.cycle;
+  std::uint64_t n = std::min({want, src.chunks, snk.chunks});
   n -= n % period;
   if (n < 2) return 0;
 
@@ -305,10 +305,10 @@ BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& sourc
       t_min = 0;
       max_jump = ~0ull >> 1;
       delta = d;
-      ok = d > 0.0 && d >= 0x1p-1021 && std::isfinite(d) && std::ilogb(d) < 1023;
+      ok = d > 0.0 && d >= 0x1p-1021 && std::isfinite(d.value()) && std::ilogb(d.value()) < 1023;
       if (!ok) return;
-      const int e = std::ilogb(d);
-      const auto mantissa = static_cast<std::uint64_t>(std::ldexp(d, 52 - e));
+      const int e = std::ilogb(d.value());
+      const auto mantissa = static_cast<std::uint64_t>(std::ldexp(d.value(), 52 - e));
       lsb = e - 52 + std::countr_zero(mantissa);
     }
     void Observe(SimSeconds r) {
@@ -317,7 +317,7 @@ BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& sourc
         ok = false;
         return;
       }
-      const int e = std::ilogb(r);
+      const int e = std::ilogb(r.value());
       if (e >= 1023) {
         ok = false;
         return;
@@ -337,7 +337,7 @@ BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& sourc
 
   auto run_chunk_ops = [&slots, &watch](const ChunkCostProfile& p,
                                         const std::vector<std::size_t>& prefix,
-                                        const std::vector<int>& op_slot, BlockCount k,
+                                        const std::vector<int>& op_slot, std::uint64_t k,
                                         SimSeconds ready) {
     const std::size_t cyc = static_cast<std::size_t>(k % p.cycle);
     const std::size_t first = prefix[cyc];
@@ -363,7 +363,7 @@ BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& sourc
   Interval write_hull;
   SimSeconds first_read_ready = 0.0;
   SimSeconds first_write_ready = 0.0;
-  BlockCount k = 0;
+  std::uint64_t k = 0;
   // Duration patterns of the current verification period (one term per
   // chunk); `capture` routes replay_chunk's outputs into them.
   std::vector<SimSeconds> pattern_read;
@@ -397,8 +397,8 @@ BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& sourc
     }
     ++k;
   };
-  auto replay_periods = [&](BlockCount count) {
-    for (BlockCount c = 0; c < count * period; ++c) replay_chunk();
+  auto replay_periods = [&](std::uint64_t count) {
+    for (std::uint64_t c = 0; c < count * period; ++c) replay_chunk();
   };
 
   if (!plan.closed_form_commit) {
@@ -434,9 +434,9 @@ BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& sourc
       }
       return true;
     };
-    BlockCount backoff = 1;
+    std::uint64_t backoff = 1;
     while (k < n) {
-      BlockCount remaining = (n - k) / period;
+      std::uint64_t remaining = (n - k) / period;
       if (remaining < 4) {
         replay_periods(remaining);
         break;
@@ -446,8 +446,8 @@ BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& sourc
       snapshot(state_b);
       remaining -= 1;
       const SimSeconds delta = state_b.back() - state_a.back();
-      if (!(delta >= 0.0) || !std::isfinite(delta) || !translated(state_a, state_b, delta)) {
-        const BlockCount step = std::min<BlockCount>(backoff, remaining);
+      if (!(delta >= 0.0) || !std::isfinite(delta.value()) || !translated(state_a, state_b, delta)) {
+        const std::uint64_t step = std::min<std::uint64_t>(backoff, remaining);
         replay_periods(step);
         if (backoff < 64) backoff *= 2;
         continue;
@@ -481,7 +481,7 @@ BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& sourc
       remaining -= 1;
       snapshot(state_a);
       if (!watch.ok || !translated(state_b, state_a, delta)) {
-        const BlockCount step = std::min<BlockCount>(backoff, remaining);
+        const std::uint64_t step = std::min<std::uint64_t>(backoff, remaining);
         replay_periods(step);
         if (backoff < 64) backoff *= 2;
         continue;
@@ -489,14 +489,14 @@ BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& sourc
       const std::uint64_t cap = std::min<std::uint64_t>(watch.max_jump, remaining);
       int t = watch.t_min;
       if (t > 62 || cap == 0 || (std::uint64_t{1} << t) > cap) {
-        const BlockCount step = std::min<BlockCount>(backoff, remaining);
+        const std::uint64_t step = std::min<std::uint64_t>(backoff, remaining);
         replay_periods(step);
         if (backoff < 64) backoff *= 2;
         continue;
       }
       while (t < 62 && (std::uint64_t{2} << t) <= cap) ++t;
       const std::uint64_t jump = std::uint64_t{1} << t;
-      const SimSeconds shift = std::ldexp(delta, t);  // exact power-of-two scale
+      const SimSeconds shift = std::ldexp(delta.value(), t);  // exact power-of-two scale
       for (Slot& slot : slots) slot.available += shift;
       read_chain += shift;
       write_chain += shift;
@@ -521,7 +521,7 @@ BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& sourc
     const char* tag = "";
   };
   std::vector<SlotBatch> batches(slots.size());
-  for (BlockCount k = 0; k < period; ++k) {
+  for (std::uint64_t k = 0; k < period; ++k) {
     auto fold = [&batches, k](const ChunkCostProfile& p,
                               const std::vector<std::size_t>& prefix,
                               const std::vector<int>& op_slot) {
@@ -536,7 +536,7 @@ BlockCount Pipeline::CoalesceChunks(const TransferPlan& plan, BlockSource& sourc
     fold(src, src_prefix, src_slot);
     fold(snk, snk_prefix, snk_slot);
   }
-  const std::uint64_t cycles = static_cast<std::uint64_t>(n / period);
+  const std::uint64_t cycles = n / period;
   for (std::size_t i = 0; i < slots.size(); ++i) {
     if (!slots[i].any) continue;
     slots[i].resource->ScheduleBatch(cycles, batches[i].durations, batches[i].bytes,
@@ -592,9 +592,9 @@ Result<Pipeline::TransferResult> Pipeline::Transfer(const TransferPlan& plan,
     // (a cold head position, a fresh allocation's first seek, a fault plan)
     // run per-chunk below and the steady state re-arms after them.
     if (plan_coalescible && take == chunk) {
-      BlockCount want = (plan.total - offset) / chunk;
+      std::uint64_t want = (plan.total - offset) / chunk;
       if (want >= 2) {
-        BlockCount did = CoalesceChunks(plan, source, sink, deps, offset, chunk, want, result);
+        std::uint64_t did = CoalesceChunks(plan, source, sink, deps, offset, chunk, want, result);
         if (did > 0) {
           issued_blocks += did * chunk;
           sunk_blocks += did * chunk;

@@ -179,23 +179,24 @@ struct ChunkCostProfile {
 
   /// Chunks (from the queried offset) whose device cost is provably the
   /// cycle below. 0 = not coalescible. Always a multiple of `cycle`.
-  BlockCount chunks = 0;
+  /// (A chunk count is dimensionless — a number of requests, not blocks.)
+  std::uint64_t chunks = 0;
   /// Pattern period in chunks: `ops` lists the operations of `cycle`
   /// consecutive chunks (chunk-major; `ops_per_chunk[i]` entries for the
   /// i-th chunk of the cycle). Striped layouts whose piece pattern rotates
   /// across disks repeat with cycle > 1; single-device endpoints use 1.
-  BlockCount cycle = 1;
+  std::uint64_t cycle = 1;
   std::vector<std::uint32_t> ops_per_chunk;
   std::vector<Op> ops;
   /// Applies the endpoint's deferred bookkeeping for the `committed_chunks`
   /// chunks actually batched (a multiple of `cycle`, at most `chunks`).
   /// Called once, after the device timelines are committed. May be empty
   /// for stateless endpoints.
-  std::function<void(BlockCount committed_chunks)> commit;
+  std::function<void(std::uint64_t committed_chunks)> commit;
 
   /// Profile of a free endpoint (zero-cost, stateless — a memory sink):
   /// every chunk is a zero-duration operation at its ready time.
-  static ChunkCostProfile Free(BlockCount max_chunks);
+  static ChunkCostProfile Free(std::uint64_t max_chunks);
 };
 
 /// Producer side of a Transfer: a logical sequence of blocks read in chunks.
@@ -218,7 +219,7 @@ class BlockSource {
   /// chunks of `chunk` blocks each starting at `offset`. The default ("not
   /// coalescible") keeps the per-chunk path.
   virtual ChunkCostProfile CostProfile(BlockCount offset, BlockCount chunk,
-                                       BlockCount max_chunks) {
+                                       std::uint64_t max_chunks) {
     (void)offset;
     (void)chunk;
     (void)max_chunks;
@@ -238,7 +239,7 @@ class BlockSink {
 
   /// See BlockSource::CostProfile.
   virtual ChunkCostProfile CostProfile(BlockCount offset, BlockCount chunk,
-                                       BlockCount max_chunks) {
+                                       std::uint64_t max_chunks) {
     (void)offset;
     (void)chunk;
     (void)max_chunks;
@@ -408,9 +409,9 @@ class Pipeline {
   /// Attempts to commit `want` full chunks starting at `offset` through the
   /// coalesced fast path. \returns the chunks committed (0 = ineligible;
   /// the caller falls back per-chunk and may re-attempt at a later offset).
-  BlockCount CoalesceChunks(const TransferPlan& plan, BlockSource& source, BlockSink& sink,
-                            std::span<const StageId> deps, BlockCount offset, BlockCount chunk,
-                            BlockCount want, TransferResult& result);
+  std::uint64_t CoalesceChunks(const TransferPlan& plan, BlockSource& source, BlockSink& sink,
+                               std::span<const StageId> deps, BlockCount offset,
+                               BlockCount chunk, std::uint64_t want, TransferResult& result);
 
   SimSeconds start_;
   SpanTrace* trace_;
@@ -439,7 +440,7 @@ class CollectSink final : public BlockSink {
   /// Memory consumption is free and (in a non-moving transfer) stateless,
   /// so any run of chunks is coalescible.
   ChunkCostProfile CostProfile(BlockCount offset, BlockCount chunk,
-                               BlockCount max_chunks) override {
+                               std::uint64_t max_chunks) override {
     (void)offset;
     (void)chunk;
     return ChunkCostProfile::Free(max_chunks);

@@ -13,7 +13,9 @@ std::string RenderGantt(const Simulation& sim, const GanttOptions& options) {
                                                             : sim.Horizon();
   int width = options.width < 10 ? 10 : options.width;
   if (t1 <= t0) return "(empty window)\n";
-  double cell = (t1 - t0) / width;
+  const double lo = t0.value();
+  const double hi = t1.value();
+  double cell = (hi - lo) / width;
 
   // Column widths for the resource labels.
   std::size_t label_width = 0;
@@ -32,14 +34,14 @@ std::string RenderGantt(const Simulation& sim, const GanttOptions& options) {
     }
     std::vector<double> busy(static_cast<size_t>(width), 0.0);
     for (const OpRecord& op : resource->trace()) {
-      double s = std::max(op.interval.start, t0);
-      double e = std::min(op.interval.end, t1);
+      double s = std::max(op.interval.start.value(), lo);
+      double e = std::min(op.interval.end.value(), hi);
       if (e <= s) continue;
-      int first = static_cast<int>((s - t0) / cell);
-      int last = static_cast<int>((e - t0) / cell);
+      int first = static_cast<int>((s - lo) / cell);
+      int last = static_cast<int>((e - lo) / cell);
       last = std::min(last, width - 1);
       for (int c = first; c <= last; ++c) {
-        double cs = t0 + c * cell;
+        double cs = lo + c * cell;
         double ce = cs + cell;
         busy[static_cast<size_t>(c)] += std::max(0.0, std::min(e, ce) - std::max(s, cs));
       }
@@ -60,7 +62,9 @@ std::string RenderSpanGantt(const SpanTrace& trace, const GanttOptions& options)
                                                             : trace.window().end;
   int width = options.width < 10 ? 10 : options.width;
   if (t1 <= t0) return "(empty window)\n";
-  double cell = (t1 - t0) / width;
+  const double lo = t0.value();
+  const double hi = t1.value();
+  double cell = (hi - lo) / width;
 
   std::size_t label_width = 0;
   for (const PhaseSummary& phase : trace.phases()) {
@@ -74,13 +78,13 @@ std::string RenderSpanGantt(const SpanTrace& trace, const GanttOptions& options)
     out += StrFormat("%-*s  ", static_cast<int>(label_width), phase.phase.c_str());
     std::vector<double> busy(static_cast<size_t>(width), 0.0);
     auto accumulate = [&](SimSeconds span_start, SimSeconds span_end, double density) {
-      double s = std::max(span_start, t0);
-      double e = std::min(span_end, t1);
+      double s = std::max(span_start.value(), lo);
+      double e = std::min(span_end.value(), hi);
       if (e <= s) return;
-      int first = static_cast<int>((s - t0) / cell);
-      int last = std::min(static_cast<int>((e - t0) / cell), width - 1);
+      int first = static_cast<int>((s - lo) / cell);
+      int last = std::min(static_cast<int>((e - lo) / cell), width - 1);
       for (int c = first; c <= last; ++c) {
-        double cs = t0 + c * cell;
+        double cs = lo + c * cell;
         double ce = cs + cell;
         busy[static_cast<size_t>(c)] +=
             density * std::max(0.0, std::min(e, ce) - std::max(s, cs));
@@ -89,8 +93,8 @@ std::string RenderSpanGantt(const SpanTrace& trace, const GanttOptions& options)
     bool approximate = !trace.retain();
     if (approximate) {
       // Spread the phase's busy time uniformly over its window.
-      double window = phase.window.duration();
-      double density = window > 0.0 ? phase.busy_seconds / window : 1.0;
+      double window = phase.window.duration().value();
+      double density = window > 0.0 ? phase.busy_seconds.value() / window : 1.0;
       accumulate(phase.window.start, phase.window.end, density);
     } else {
       for (const Span& span : trace.spans()) {
@@ -104,7 +108,7 @@ std::string RenderSpanGantt(const SpanTrace& trace, const GanttOptions& options)
       if (approximate && mark == '#') mark = '~';
       out += mark;
     }
-    out += StrFormat("  %6.1fs busy\n", phase.busy_seconds);
+    out += StrFormat("  %6.1fs busy\n", phase.busy_seconds.value());
   }
   return out;
 }

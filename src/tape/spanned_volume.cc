@@ -30,8 +30,8 @@ Result<SpannedVolumeSet::Location> SpannedVolumeSet::Resolve(BlockIndex logical)
   }
   return Status::InvalidArgument(
       StrFormat("logical block %llu beyond spanned set of %llu blocks",
-                static_cast<unsigned long long>(logical),
-                static_cast<unsigned long long>(total_blocks_)));
+                static_cast<unsigned long long>(logical.value()),
+                static_cast<unsigned long long>(total_blocks_.value())));
 }
 
 Result<sim::Interval> SpannedReader::Read(BlockIndex start, BlockCount count, SimSeconds ready,
@@ -56,7 +56,7 @@ Result<sim::Interval> SpannedReader::Read(BlockIndex start, BlockCount count, Si
       ++exchanges_;
     }
     BlockCount take =
-        std::min<BlockCount>(remaining, set_->blocks_of(loc.member) - loc.local);
+        std::min<BlockCount>(remaining, ToIndex(set_->blocks_of(loc.member)) - loc.local);
     TERTIO_ASSIGN_OR_RETURN(sim::Interval read, drive_->Read(loc.local, take, cursor, out));
     cursor = read.end;
     hull = first ? read : sim::Interval::Hull(hull, read);

@@ -20,7 +20,7 @@ SimSeconds TapeDrive::SeekCost(BlockIndex target) {
   stats_.locate_count += 1;
   stats_.reposition_count += 1;
   return model_.locate_base_seconds +
-         model_.locate_seconds_per_byte * static_cast<double>(distance_bytes) +
+         model_.locate_seconds_per_byte * static_cast<double>(distance_bytes.value()) +
          model_.reposition_seconds;
 }
 
@@ -56,7 +56,7 @@ Result<sim::Interval> TapeDrive::Read(BlockIndex start, BlockCount count, SimSec
     // motion, no drive occupancy, no fault draw — the physical pass already
     // paid (and drew) for these blocks.
     if (out != nullptr) {
-      out->reserve(out->size() + count);
+      out->reserve(out->size() + count.value());
       for (BlockIndex i = start; i < start + count; ++i) {
         TERTIO_ASSIGN_OR_RETURN(BlockPayload payload, volume_->ReadBlock(i));
         out->push_back(std::move(payload));
@@ -72,7 +72,7 @@ Result<sim::Interval> TapeDrive::Read(BlockIndex start, BlockCount count, SimSec
     // volume's block store, so data delivered through the cache is
     // bit-identical to a physical read.
     if (out != nullptr) {
-      out->reserve(out->size() + count);
+      out->reserve(out->size() + count.value());
       for (BlockIndex i = start; i < start + count; ++i) {
         TERTIO_ASSIGN_OR_RETURN(BlockPayload payload, volume_->ReadBlock(i));
         out->push_back(std::move(payload));
@@ -98,13 +98,13 @@ Result<sim::Interval> TapeDrive::Read(BlockIndex start, BlockCount count, SimSec
       resource_->Schedule(ready, wasted, clean_bytes, "tape.read-failed");
       return Status::DeviceError(
           StrFormat("drive %s: unrecoverable read error at block %llu", name_.c_str(),
-                    static_cast<unsigned long long>(outcome.failed_block)));
+                    static_cast<unsigned long long>(outcome.failed_block.value())));
     }
     SimSeconds duration = SeekCost(start);
     ByteCount bytes = count * volume_->block_bytes();
     duration += model_.TransferSeconds(bytes, mean_c) + outcome.recovery_seconds;
     if (out != nullptr) {
-      out->reserve(out->size() + count);
+      out->reserve(out->size() + count.value());
       for (BlockIndex i = start; i < start + count; ++i) {
         TERTIO_ASSIGN_OR_RETURN(BlockPayload payload, volume_->ReadBlock(i));
         out->push_back(std::move(payload));
@@ -118,7 +118,7 @@ Result<sim::Interval> TapeDrive::Read(BlockIndex start, BlockCount count, SimSec
   ByteCount bytes = count * volume_->block_bytes();
   duration += model_.TransferSeconds(bytes, mean_c);
   if (out != nullptr) {
-    out->reserve(out->size() + count);
+    out->reserve(out->size() + count.value());
     for (BlockIndex i = start; i < start + count; ++i) {
       TERTIO_ASSIGN_OR_RETURN(BlockPayload payload, volume_->ReadBlock(i));
       out->push_back(std::move(payload));
@@ -132,14 +132,14 @@ Result<sim::Interval> TapeDrive::Read(BlockIndex start, BlockCount count, SimSec
 Result<sim::Interval> TapeDrive::Append(const std::vector<BlockPayload>& payloads,
                                         double compressibility, SimSeconds ready) {
   TERTIO_RETURN_IF_ERROR(CheckLoaded());
-  BlockIndex end = volume_->size_blocks();
+  BlockIndex end = ToIndex(volume_->size_blocks());
   SimSeconds duration = SeekCost(end);
   for (const BlockPayload& payload : payloads) {
     TERTIO_RETURN_IF_ERROR(volume_->Append(payload, compressibility));
   }
   ByteCount bytes = payloads.size() * volume_->block_bytes();
   duration += model_.TransferSeconds(bytes, compressibility);
-  head_ = volume_->size_blocks();
+  head_ = ToIndex(volume_->size_blocks());
   stats_.blocks_written += payloads.size();
   return resource_->Schedule(ready, duration, bytes, "tape.write");
 }
@@ -147,12 +147,12 @@ Result<sim::Interval> TapeDrive::Append(const std::vector<BlockPayload>& payload
 Result<sim::Interval> TapeDrive::AppendPhantom(BlockCount count, double compressibility,
                                                SimSeconds ready) {
   TERTIO_RETURN_IF_ERROR(CheckLoaded());
-  BlockIndex end = volume_->size_blocks();
+  BlockIndex end = ToIndex(volume_->size_blocks());
   SimSeconds duration = SeekCost(end);
   TERTIO_RETURN_IF_ERROR(volume_->AppendPhantom(count, compressibility));
   ByteCount bytes = count * volume_->block_bytes();
   duration += model_.TransferSeconds(bytes, compressibility);
-  head_ = volume_->size_blocks();
+  head_ = ToIndex(volume_->size_blocks());
   stats_.blocks_written += count;
   return resource_->Schedule(ready, duration, bytes, "tape.write");
 }
@@ -200,7 +200,7 @@ Result<sim::Interval> TapeDrive::ReadReverse(BlockCount count, SimSeconds ready,
 }
 
 sim::ChunkCostProfile TapeDrive::ReadCostProfile(BlockIndex start, BlockCount chunk,
-                                                 BlockCount max_chunks) {
+                                                 std::uint64_t max_chunks) {
   if (volume_ == nullptr || chunk == 0 || max_chunks == 0) return {};
   // Any active fault plan must flow through the per-chunk path: it draws
   // from a seeded RNG stream whose consumption order is part of the
@@ -213,7 +213,7 @@ sim::ChunkCostProfile TapeDrive::ReadCostProfile(BlockIndex start, BlockCount ch
   // The steady state replayed here begins with SeekCost(start) == 0; a cold
   // head runs one per-chunk read first and the caller re-attempts after it.
   if (head_ != start) return {};
-  BlockCount n = volume_->UniformPrefixChunks(start, chunk, max_chunks);
+  std::uint64_t n = volume_->UniformPrefixChunks(start, chunk, max_chunks);
   if (n == 0) return {};
   Result<double> mean_c = volume_->MeanCompressibility(start, chunk);
   if (!mean_c.ok()) return {};
@@ -223,7 +223,7 @@ sim::ChunkCostProfile TapeDrive::ReadCostProfile(BlockIndex start, BlockCount ch
   profile.cycle = 1;
   profile.ops_per_chunk = {1};
   profile.ops = {{resource_, model_.TransferSeconds(bytes, *mean_c), bytes, "tape.read"}};
-  profile.commit = [this, start, chunk](BlockCount committed) {
+  profile.commit = [this, start, chunk](std::uint64_t committed) {
     head_ = start + committed * chunk;
     stats_.blocks_read += committed * chunk;
   };
@@ -231,14 +231,14 @@ sim::ChunkCostProfile TapeDrive::ReadCostProfile(BlockIndex start, BlockCount ch
 }
 
 sim::ChunkCostProfile TapeDrive::AppendCostProfile(double compressibility, BlockCount chunk,
-                                                   BlockCount max_chunks) {
+                                                   std::uint64_t max_chunks) {
   if (volume_ == nullptr || chunk == 0 || max_chunks == 0) return {};
   if (faults_ != nullptr && faults_->enabled()) return {};
   if (compressibility < 0.0 || compressibility >= 1.0) return {};
   // Replaying SeekCost(end-of-data) == 0 requires the head already parked
   // there — true from the second chunk of any append stream onward.
   if (head_ != volume_->size_blocks()) return {};
-  BlockCount n = max_chunks;
+  std::uint64_t n = max_chunks;
   if (volume_->capacity_blocks() != 0) {
     BlockCount room = volume_->capacity_blocks() - volume_->size_blocks();
     if (room / chunk < n) n = room / chunk;
@@ -250,10 +250,10 @@ sim::ChunkCostProfile TapeDrive::AppendCostProfile(double compressibility, Block
   profile.cycle = 1;
   profile.ops_per_chunk = {1};
   profile.ops = {{resource_, model_.TransferSeconds(bytes, compressibility), bytes, "tape.write"}};
-  profile.commit = [this, compressibility, chunk](BlockCount committed) {
+  profile.commit = [this, compressibility, chunk](std::uint64_t committed) {
     Status appended = volume_->AppendPhantom(committed * chunk, compressibility);
     TERTIO_CHECK(appended.ok(), "coalesced tape append exceeded the capacity it pre-checked");
-    head_ = volume_->size_blocks();
+    head_ = ToIndex(volume_->size_blocks());
     stats_.blocks_written += committed * chunk;
   };
   return profile;

@@ -174,14 +174,14 @@ class TapeDrive {
   /// compressibility is uniform over the prefix (so every chunk's mean, and
   /// therefore its transfer time, is bit-identical).
   sim::ChunkCostProfile ReadCostProfile(BlockIndex start, BlockCount chunk,
-                                        BlockCount max_chunks);
+                                        std::uint64_t max_chunks);
 
   /// Steady-state cost profile for up to `max_chunks` phantom appends of
   /// `chunk` blocks at end-of-data. Empty unless the head is parked at
   /// end-of-data, no fault plan is active, and the remaining capacity admits
   /// at least one chunk.
   sim::ChunkCostProfile AppendCostProfile(double compressibility, BlockCount chunk,
-                                          BlockCount max_chunks);
+                                          std::uint64_t max_chunks);
 
   /// Emits a read of [start, start+count) as one pipeline stage ready after
   /// `deps`, re-attempted in place up to `retry_limit` times on kDeviceError
@@ -248,7 +248,7 @@ class TapeReadSource final : public sim::BlockSource {
     return drive_->Read(base_ + offset, count, ready, out);
   }
   sim::ChunkCostProfile CostProfile(BlockCount offset, BlockCount chunk,
-                                    BlockCount max_chunks) override {
+                                    std::uint64_t max_chunks) override {
     return drive_->ReadCostProfile(base_ + offset, chunk, max_chunks);
   }
   std::string_view device() const override { return drive_->name(); }
@@ -271,7 +271,7 @@ class TapeAppendSink final : public sim::BlockSink {
     return drive_->Append(*payloads, compressibility_, ready);
   }
   sim::ChunkCostProfile CostProfile(BlockCount offset, BlockCount chunk,
-                                    BlockCount max_chunks) override {
+                                    std::uint64_t max_chunks) override {
     (void)offset;
     return drive_->AppendCostProfile(compressibility_, chunk, max_chunks);
   }

@@ -17,7 +17,7 @@ TapeDriveModel TapeDriveModel::DLT4000() {
   return m;
 }
 
-TapeDriveModel TapeDriveModel::Ideal(double rate_bps) {
+TapeDriveModel TapeDriveModel::Ideal(BytesPerSecond rate_bps) {
   TapeDriveModel m;
   m.name = "ideal-tape";
   m.native_rate_bps = rate_bps;

@@ -35,8 +35,8 @@ namespace tertio::tape {
 struct TapeDriveModel {
   std::string name = "generic-tape";
 
-  /// Sustained native (uncompressed) transfer rate, bytes/second.
-  double native_rate_bps = 1.5e6;
+  /// Sustained native (uncompressed) transfer rate (the paper's X_T).
+  BytesPerSecond native_rate_bps = 1.5e6;
 
   /// Maximum effective-rate multiplier achievable through compression
   /// (DLT-4000 advertises 2:1).
@@ -70,7 +70,7 @@ struct TapeDriveModel {
   /// compressibility in [0,1). 0.25-compressible data stores only 75% of its
   /// bytes on the medium, so user data moves 1/0.75x faster, capped at
   /// max_compression_gain.
-  double EffectiveRate(double compressibility) const {
+  BytesPerSecond EffectiveRate(double compressibility) const {
     if (!compression_enabled || compressibility <= 0.0) return native_rate_bps;
     double gain = 1.0 / (1.0 - compressibility);
     if (gain > max_compression_gain) gain = max_compression_gain;
@@ -79,7 +79,7 @@ struct TapeDriveModel {
 
   /// Seconds to transfer `bytes` of user data with the given compressibility.
   SimSeconds TransferSeconds(ByteCount bytes, double compressibility) const {
-    return static_cast<double>(bytes) / EffectiveRate(compressibility);
+    return bytes / EffectiveRate(compressibility);
   }
 
   /// Quantum DLT-4000 in 20 GB density mode, compression on — the drive used
@@ -88,7 +88,7 @@ struct TapeDriveModel {
 
   /// An idealized drive with no penalties — useful for isolating algorithmic
   /// cost in tests.
-  static TapeDriveModel Ideal(double rate_bps);
+  static TapeDriveModel Ideal(BytesPerSecond rate_bps);
 };
 
 /// Static characteristics of a tape library (robot).

@@ -14,7 +14,7 @@ Status TapeVolume::Append(BlockPayload payload, double compressibility) {
   if (capacity_blocks_ != 0 && blocks_.size() >= capacity_blocks_) {
     return Status::ResourceExhausted(
         StrFormat("tape %s is full (%llu blocks)", name_.c_str(),
-                  static_cast<unsigned long long>(capacity_blocks_)));
+                  static_cast<unsigned long long>(capacity_blocks_.value())));
   }
   NoteAppendRun(static_cast<float>(compressibility));
   blocks_.push_back(Entry{std::move(payload), static_cast<float>(compressibility)});
@@ -29,10 +29,10 @@ Status TapeVolume::AppendPhantom(BlockCount count, double compressibility) {
   if (capacity_blocks_ != 0 && blocks_.size() + count > capacity_blocks_) {
     return Status::ResourceExhausted(
         StrFormat("tape %s cannot hold %llu more blocks", name_.c_str(),
-                  static_cast<unsigned long long>(count)));
+                  static_cast<unsigned long long>(count.value())));
   }
   if (count > 0) NoteAppendRun(static_cast<float>(compressibility));
-  blocks_.insert(blocks_.end(), count, Entry{nullptr, static_cast<float>(compressibility)});
+  blocks_.insert(blocks_.end(), count.value(), Entry{nullptr, static_cast<float>(compressibility)});
   if (auditor_ != nullptr) auditor_->OnTapeOccupancy(name_, blocks_.size(), capacity_blocks_);
   return Status::OK();
 }
@@ -45,12 +45,12 @@ void TapeVolume::NoteAppendRun(float compressibility) {
 
 Result<BlockPayload> TapeVolume::ReadBlock(BlockIndex index) const {
   TERTIO_RETURN_IF_ERROR(CheckRange(index, 1));
-  return blocks_[index].payload;
+  return blocks_[(index).value()].payload;
 }
 
 Result<double> TapeVolume::Compressibility(BlockIndex index) const {
   TERTIO_RETURN_IF_ERROR(CheckRange(index, 1));
-  return static_cast<double>(blocks_[index].compressibility);
+  return static_cast<double>(blocks_[(index).value()].compressibility);
 }
 
 Result<double> TapeVolume::MeanCompressibility(BlockIndex start, BlockCount count) const {
@@ -58,15 +58,15 @@ Result<double> TapeVolume::MeanCompressibility(BlockIndex start, BlockCount coun
   if (count == 0) return 0.0;
   double sum = 0.0;
   for (BlockIndex i = start; i < start + count; ++i) {
-    sum += blocks_[i].compressibility;
+    sum += blocks_[(i).value()].compressibility;
   }
-  return sum / static_cast<double>(count);
+  return sum / static_cast<double>(count.value());
 }
 
-BlockCount TapeVolume::UniformPrefixChunks(BlockIndex start, BlockCount chunk,
-                                           BlockCount max_chunks) const {
+std::uint64_t TapeVolume::UniformPrefixChunks(BlockIndex start, BlockCount chunk,
+                                           std::uint64_t max_chunks) const {
   if (chunk == 0 || start >= blocks_.size()) return 0;
-  BlockCount whole = (blocks_.size() - start) / chunk;
+  std::uint64_t whole = (blocks_.size() - start) / chunk;
   if (max_chunks < whole) whole = max_chunks;
   if (whole == 0) return 0;
   // Adjacent runs always differ in value, so the uniform extent from `start`
@@ -75,7 +75,7 @@ BlockCount TapeVolume::UniformPrefixChunks(BlockIndex start, BlockCount chunk,
       runs_.begin(), runs_.end(), start,
       [](BlockIndex index, const Run& run) { return index < run.begin; });
   const BlockIndex run_end = next == runs_.end() ? blocks_.size() : next->begin;
-  const BlockCount uniform = (run_end - start) / chunk;
+  const std::uint64_t uniform = (run_end - start) / chunk;
   return uniform < whole ? uniform : whole;
 }
 
@@ -83,9 +83,9 @@ Status TapeVolume::Truncate(BlockCount new_size) {
   if (new_size > blocks_.size()) {
     return Status::InvalidArgument(
         StrFormat("cannot truncate tape %s to %llu blocks: only %zu recorded", name_.c_str(),
-                  static_cast<unsigned long long>(new_size), blocks_.size()));
+                  static_cast<unsigned long long>(new_size.value()), blocks_.size()));
   }
-  blocks_.resize(new_size);
+  blocks_.resize(new_size.value());
   while (!runs_.empty() && runs_.back().begin >= new_size) runs_.pop_back();
   return Status::OK();
 }
@@ -94,8 +94,8 @@ Status TapeVolume::CheckRange(BlockIndex start, BlockCount count) const {
   if (start + count > blocks_.size()) {
     return Status::InvalidArgument(
         StrFormat("range [%llu, %llu) out of bounds on tape %s (%zu blocks)",
-                  static_cast<unsigned long long>(start),
-                  static_cast<unsigned long long>(start + count), name_.c_str(), blocks_.size()));
+                  static_cast<unsigned long long>(start.value()),
+                  static_cast<unsigned long long>((start + count).value()), name_.c_str(), blocks_.size()));
   }
   return Status::OK();
 }

@@ -63,7 +63,7 @@ class TapeVolume {
   /// chunk's MeanCompressibility is bit-identical, so a coalesced transfer
   /// can replay one chunk's cost for all of them. O(log runs): appends keep
   /// a run-length index of equal-compressibility runs.
-  BlockCount UniformPrefixChunks(BlockIndex start, BlockCount chunk, BlockCount max_chunks) const;
+  std::uint64_t UniformPrefixChunks(BlockIndex start, BlockCount chunk, std::uint64_t max_chunks) const;
 
   /// Discards all blocks at and after `new_size` (rewriting scratch space).
   Status Truncate(BlockCount new_size);

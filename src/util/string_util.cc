@@ -7,17 +7,18 @@
 namespace tertio {
 
 std::string FormatBytes(ByteCount bytes) {
-  if (bytes >= kGB) return StrFormat("%.2f GB", static_cast<double>(bytes) / kGB);
-  if (bytes >= kMB) return StrFormat("%.1f MB", static_cast<double>(bytes) / kMB);
-  if (bytes >= kKB) return StrFormat("%.1f KB", static_cast<double>(bytes) / kKB);
-  return StrFormat("%llu bytes", static_cast<unsigned long long>(bytes));
+  double raw = static_cast<double>(bytes.value());
+  if (bytes >= kGB) return StrFormat("%.2f GB", raw / static_cast<double>(kGB.value()));
+  if (bytes >= kMB) return StrFormat("%.1f MB", raw / static_cast<double>(kMB.value()));
+  if (bytes >= kKB) return StrFormat("%.1f KB", raw / static_cast<double>(kKB.value()));
+  return StrFormat("%llu bytes", static_cast<unsigned long long>(bytes.value()));
 }
 
 std::string FormatDuration(SimSeconds seconds) {
   if (seconds < 0) return "-" + FormatDuration(-seconds);
-  if (seconds < 1.0) return StrFormat("%.0f ms", seconds * 1000.0);
-  if (seconds < 120.0) return StrFormat("%.1f s", seconds);
-  auto total = static_cast<long long>(std::llround(seconds));
+  if (seconds < 1.0) return StrFormat("%.0f ms", seconds.value() * 1000.0);
+  if (seconds < 120.0) return StrFormat("%.1f s", seconds.value());
+  auto total = static_cast<long long>(std::llround(seconds.value()));
   long long h = total / 3600;
   long long m = (total % 3600) / 60;
   long long s = total % 60;

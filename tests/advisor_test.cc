@@ -55,7 +55,7 @@ TEST(AdvisorTest, AmpleDiskLittleMemoryFavorsCdtGh) {
               report->ranked[1].method == JoinMethodId::kCdtGh);
   auto estimate_of = [&](JoinMethodId id) -> double {
     for (const auto& choice : report->ranked) {
-      if (choice.method == id) return choice.estimate.total_seconds;
+      if (choice.method == id) return choice.estimate.total_seconds.value();
     }
     return -1.0;
   };

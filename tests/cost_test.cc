@@ -14,7 +14,7 @@ namespace {
 CostParams Section53Params(double r_over_m, BlockCount m = 2000) {
   CostParams p;
   p.memory_blocks = m;
-  p.r_blocks = static_cast<BlockCount>(r_over_m * static_cast<double>(m));
+  p.r_blocks = static_cast<BlockCount>(r_over_m * static_cast<double>(m.value()));
   p.s_blocks = 10 * p.r_blocks;
   p.disk_blocks = 32 * m;
   p.tape_rate_bps = 1.5e6;
@@ -40,7 +40,7 @@ TEST(CostModelTest, AllMethodsFeasibleInComfortableConfig) {
     auto estimate = Estimate(method, p);
     ASSERT_TRUE(estimate.ok()) << JoinMethodName(method) << ": " << estimate.status();
     EXPECT_GT(estimate->total_seconds, 0.0) << JoinMethodName(method);
-    EXPECT_NEAR(estimate->step1_seconds + estimate->step2_seconds, estimate->total_seconds,
+    EXPECT_NEAR((estimate->step1_seconds + estimate->step2_seconds).value(), (estimate->total_seconds).value(),
                 1e-9);
     // Any method must at least read both relations once.
     EXPECT_GE(estimate->total_seconds, OptimumJoinSeconds(p)) << JoinMethodName(method);
@@ -135,8 +135,9 @@ TEST(CostModelTest, TtGhStepTwoIsParallelTapeStreams) {
   auto tt = Estimate(JoinMethodId::kTtGh, p);
   ASSERT_TRUE(tt.ok());
   // Step II streams both hashed tapes in parallel: max, not sum.
-  double expected = static_cast<double>(p.s_blocks) * p.block_bytes / p.tape_rate_bps;
-  EXPECT_NEAR(tt->step2_seconds, expected, expected * 0.01);
+  double expected = static_cast<double>(p.s_blocks.value()) * static_cast<double>(p.block_bytes.value()) /
+      p.tape_rate_bps.value();
+  EXPECT_NEAR((tt->step2_seconds).value(), expected, expected * 0.01);
 }
 
 TEST(CostModelTest, Table2ResourceShapes) {
@@ -196,8 +197,8 @@ TEST(CostModelTest, FasterTapeLeavesConcurrentResponseUnchanged) {
   auto fast_est = Estimate(JoinMethodId::kCdtGh, fast);
   ASSERT_TRUE(slow_est.ok() && fast_est.ok());
   // Disk-bound: response barely changes...
-  EXPECT_NEAR(fast_est->total_seconds, slow_est->total_seconds,
-              slow_est->total_seconds * 0.15);
+  EXPECT_NEAR((fast_est->total_seconds).value(), (slow_est->total_seconds).value(),
+              slow_est->total_seconds.value() * 0.15);
   // ...while the optimum halves, so overhead rises.
   EXPECT_GT(RelativeJoinOverhead(fast_est->total_seconds, fast),
             RelativeJoinOverhead(slow_est->total_seconds, base));
@@ -205,8 +206,11 @@ TEST(CostModelTest, FasterTapeLeavesConcurrentResponseUnchanged) {
 
 TEST(CostModelTest, OptimumAndOverhead) {
   CostParams p = Section53Params(2.0);
-  double optimum = OptimumJoinSeconds(p);
-  EXPECT_NEAR(optimum, static_cast<double>(p.s_blocks) * p.block_bytes / p.tape_rate_bps, 1e-9);
+  double optimum = OptimumJoinSeconds(p).value();
+  EXPECT_NEAR(optimum,
+              static_cast<double>(p.s_blocks.value()) * static_cast<double>(p.block_bytes.value()) /
+                  p.tape_rate_bps.value(),
+              1e-9);
   EXPECT_NEAR(RelativeJoinOverhead(optimum * 1.3, p), 0.3, 1e-9);
   EXPECT_NEAR(RelativeJoinOverhead(optimum, p), 0.0, 1e-9);
 }
@@ -215,7 +219,7 @@ TEST(CostModelTest, MediaExchangeIsNegligibleAtScale) {
   // Section 3.2's claim, checked: a 30 s media exchange against the transfer
   // time of a full 20 GB cartridge is < 1%.
   tape::TapeDriveModel drive = tape::TapeDriveModel::DLT4000();
-  double full_read = drive.TransferSeconds(20 * kGB, 0.0);
+  double full_read = drive.TransferSeconds(20 * kGB, 0.0).value();
   EXPECT_LT(30.0 / full_read, 0.01);
   // Rewind too: "a 5 GB tape file might take an hour to read but only 10
   // seconds to rewind".
@@ -233,7 +237,7 @@ TEST(LocalOutputTest, StoringOutputLocallySlowsDiskBoundMethods) {
   CostParams base = Section53Params(4.0);
   auto heavy = WithLocalOutput(base, 0.4);
   ASSERT_TRUE(heavy.ok());
-  EXPECT_NEAR(heavy->disk_rate_bps, base.disk_rate_bps * 0.6, 1e-6);
+  EXPECT_NEAR((heavy->disk_rate_bps).value(), (base.disk_rate_bps * 0.6).value(), 1e-6);
   auto base_est = Estimate(JoinMethodId::kCdtGh, base);
   auto heavy_est = Estimate(JoinMethodId::kCdtGh, *heavy);
   ASSERT_TRUE(base_est.ok() && heavy_est.ok());
@@ -243,7 +247,7 @@ TEST(LocalOutputTest, StoringOutputLocallySlowsDiskBoundMethods) {
   auto tt_base = Estimate(JoinMethodId::kTtGh, base);
   auto tt_heavy = Estimate(JoinMethodId::kTtGh, *heavy);
   ASSERT_TRUE(tt_base.ok() && tt_heavy.ok());
-  EXPECT_DOUBLE_EQ(tt_heavy->step2_seconds, tt_base->step2_seconds);
+  EXPECT_DOUBLE_EQ((tt_heavy->step2_seconds).value(), (tt_base->step2_seconds).value());
 }
 
 TEST(LocalOutputTest, InvalidShareRejected) {

@@ -15,7 +15,7 @@ constexpr ByteCount kBlock = 1000;
 
 TEST(DiskModelTest, TransferSeconds) {
   DiskModel m = DiskModel::Ideal(1000.0);
-  EXPECT_DOUBLE_EQ(m.TransferSeconds(5000), 5.0);
+  EXPECT_DOUBLE_EQ((m.TransferSeconds(5000)).value(), 5.0);
 }
 
 TEST(DiskVolumeTest, SequentialRequestsSkipPositioning) {
@@ -24,10 +24,10 @@ TEST(DiskVolumeTest, SequentialRequestsSkipPositioning) {
   DiskVolume disk("d0", m, sim.CreateResource("d0"), 100, kBlock);
   auto a = disk.Write(0, 10, 0.0);
   ASSERT_TRUE(a.ok());
-  EXPECT_NEAR(a->duration(), m.positioning_seconds + m.TransferSeconds(10 * kBlock), 1e-12);
+  EXPECT_NEAR((a->duration()).value(), (m.positioning_seconds + m.TransferSeconds(10 * kBlock)).value(), 1e-12);
   auto b = disk.Write(10, 10, a->end);  // continues sequentially
   ASSERT_TRUE(b.ok());
-  EXPECT_NEAR(b->duration(), m.TransferSeconds(10 * kBlock), 1e-12);
+  EXPECT_NEAR((b->duration()).value(), (m.TransferSeconds(10 * kBlock)).value(), 1e-12);
   EXPECT_EQ(disk.stats().positioned_requests, 1u);
   EXPECT_EQ(disk.stats().requests, 2u);
 }
@@ -39,7 +39,7 @@ TEST(DiskVolumeTest, DiscontiguousRequestPaysPositioning) {
   ASSERT_TRUE(disk.Write(0, 10, 0.0).ok());
   auto b = disk.Read(50, 10, 100.0);
   ASSERT_TRUE(b.ok());
-  EXPECT_NEAR(b->duration(), m.positioning_seconds + m.TransferSeconds(10 * kBlock), 1e-12);
+  EXPECT_NEAR((b->duration()).value(), (m.positioning_seconds + m.TransferSeconds(10 * kBlock)).value(), 1e-12);
   EXPECT_EQ(disk.stats().positioned_requests, 2u);
 }
 
@@ -47,15 +47,15 @@ TEST(DiskVolumeTest, ThirtyBlockRequestsMakePositioningNegligible) {
   // The paper's Section 3.2 claim: with requests of >= 30 blocks, seek and
   // rotational latency play "a relatively minor role" against transfer cost.
   DiskModel m = DiskModel::QuantumFireball1080();
-  double transfer = m.TransferSeconds(30 * kDefaultBlockBytes);
+  double transfer = m.TransferSeconds(30 * kDefaultBlockBytes).value();
   EXPECT_LT(m.positioning_seconds / (transfer + m.positioning_seconds), 0.25);
 }
 
 TEST(DiskVolumeTest, DataRoundTrips) {
   sim::Simulation sim;
   DiskVolume disk("d0", DiskModel::Ideal(1e6), sim.CreateResource("d0"), 10, kBlock);
-  std::vector<BlockPayload> payloads{MakePayload(std::vector<uint8_t>(kBlock, 0xAA)),
-                                     MakePayload(std::vector<uint8_t>(kBlock, 0xBB))};
+  std::vector<BlockPayload> payloads{MakePayload(std::vector<uint8_t>(kBlock.value(), 0xAA)),
+                                     MakePayload(std::vector<uint8_t>(kBlock.value(), 0xBB))};
   ASSERT_TRUE(disk.Write(3, 2, 0.0, payloads.data()).ok());
   std::vector<BlockPayload> out;
   ASSERT_TRUE(disk.Read(3, 2, 1.0, &out).ok());
@@ -122,7 +122,7 @@ TEST(AllocatorTest, TraceRecordsUtilization) {
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(alloc.Free(*a, 5.0, "iter-0").ok());
   ASSERT_EQ(alloc.trace().size(), 2u);
-  EXPECT_DOUBLE_EQ(alloc.trace()[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(alloc.trace()[0].time.value(), 1.0);
   EXPECT_EQ(alloc.trace()[0].delta_blocks, 40);
   EXPECT_EQ(alloc.trace()[0].used_after, 40u);
   EXPECT_EQ(alloc.trace()[1].delta_blocks, -40);
@@ -149,7 +149,7 @@ TEST(StripedGroupTest, UniformConfigSplitsCapacity) {
 
 TEST(StripedGroupTest, StripedReadUsesAllArmsInParallel) {
   sim::Simulation sim;
-  DiskGroupConfig config = DiskGroupConfig::Uniform(2, DiskModel::Ideal(1000.0 * kBlock), 1000,
+  DiskGroupConfig config = DiskGroupConfig::Uniform(2, DiskModel::Ideal(1000.0 * kBlock.value()), 1000,
                                                     kBlock, /*stripe_unit=*/10);
   StripedDiskGroup group(config, &sim);
   auto extents = group.allocator().Allocate(100, 0.0, "data");
@@ -157,11 +157,12 @@ TEST(StripedGroupTest, StripedReadUsesAllArmsInParallel) {
   auto wiv = group.WriteExtents(*extents, 0.0);
   ASSERT_TRUE(wiv.ok());
   // 100 blocks at 1000 blocks/s/disk over 2 disks: ~0.05 s, not 0.1 s.
-  EXPECT_NEAR(wiv->duration(), 0.05, 1e-9);
+  EXPECT_NEAR((wiv->duration()).value(), 0.05, 1e-9);
   auto riv = group.ReadExtents(*extents, wiv->end);
   ASSERT_TRUE(riv.ok());
-  EXPECT_NEAR(riv->duration(), 0.05, 1e-9);
-  EXPECT_DOUBLE_EQ(group.aggregate_rate_bps(), 2.0 * 1000.0 * kBlock);
+  EXPECT_NEAR((riv->duration()).value(), 0.05, 1e-9);
+  EXPECT_DOUBLE_EQ((group.aggregate_rate_bps()).value(),
+                   2.0 * 1000.0 * static_cast<double>(kBlock.value()));
 }
 
 TEST(StripedGroupTest, PayloadsRoundTripInExtentOrder) {
@@ -172,7 +173,7 @@ TEST(StripedGroupTest, PayloadsRoundTripInExtentOrder) {
   ASSERT_TRUE(extents.ok());
   std::vector<BlockPayload> payloads;
   for (uint8_t i = 0; i < 10; ++i) {
-    payloads.push_back(MakePayload(std::vector<uint8_t>(kBlock, i)));
+    payloads.push_back(MakePayload(std::vector<uint8_t>(kBlock.value(), i)));
   }
   ASSERT_TRUE(group.WriteExtents(*extents, 0.0, &payloads).ok());
   std::vector<BlockPayload> out;

@@ -27,9 +27,9 @@ TEST(MachineTest, PaperTestbedShape) {
 
 TEST(MachineTest, EffectiveRatesFollowModels) {
   Machine machine(MachineConfig::PaperTestbed(100 * kMB, 16 * kMB));
-  EXPECT_DOUBLE_EQ(machine.EffectiveTapeRate(0.0), 1.5e6);
-  EXPECT_NEAR(machine.EffectiveTapeRate(0.25), 2.0e6, 1e3);
-  EXPECT_NEAR(machine.AggregateDiskRate(), 2 * 4.2e6, 1.0);
+  EXPECT_DOUBLE_EQ((machine.EffectiveTapeRate(0.0)).value(), 1.5e6);
+  EXPECT_NEAR((machine.EffectiveTapeRate(0.25)).value(), 2.0e6, 1e3);
+  EXPECT_NEAR((machine.AggregateDiskRate()).value(), 2 * 4.2e6, 1.0);
 }
 
 TEST(MachineTest, LibraryAttachesWhenRequested) {
@@ -54,7 +54,7 @@ TEST(WorkloadTest, PreparePlacesRelationsOnTapes) {
   EXPECT_EQ(prepared->s.blocks, BytesToBlocks(40 * kMB, kDefaultBlockBytes));
   EXPECT_TRUE(machine.drive_r().loaded());
   // Drives were mounted uncosted: no virtual time has passed.
-  EXPECT_DOUBLE_EQ(machine.sim().Horizon(), 0.0);
+  EXPECT_DOUBLE_EQ((machine.sim().Horizon()).value(), 0.0);
 }
 
 TEST(WorkloadTest, InvalidWorkloadRejected) {
@@ -97,8 +97,8 @@ TEST(ExperimentTest, CostParamsMatchMachine) {
   auto params = CostParamsFor(machine, workload);
   EXPECT_EQ(params.r_blocks, BytesToBlocks(100 * kMB, kDefaultBlockBytes));
   EXPECT_EQ(params.memory_blocks, machine.memory_blocks());
-  EXPECT_NEAR(params.tape_rate_bps, 2.0e6, 1e3);
-  EXPECT_NEAR(params.disk_rate_bps, 8.4e6, 1.0);
+  EXPECT_NEAR((params.tape_rate_bps).value(), 2.0e6, 1e3);
+  EXPECT_NEAR((params.disk_rate_bps).value(), 8.4e6, 1.0);
 }
 
 TEST(ReportTest, TableAlignsColumns) {

@@ -45,8 +45,8 @@ TEST(FaultPlanParse, FullSpecRoundTrips) {
   EXPECT_DOUBLE_EQ(plan->robot.exchange_failure_rate, 0.01);
   EXPECT_EQ(plan->tape.max_retries, 6);
   EXPECT_EQ(plan->disk.max_retries, 6);
-  EXPECT_DOUBLE_EQ(plan->tape.retry_backoff_seconds, 0.25);
-  EXPECT_DOUBLE_EQ(plan->disk.remap_seconds, 3.0);
+  EXPECT_DOUBLE_EQ((plan->tape.retry_backoff_seconds).value(), 0.25);
+  EXPECT_DOUBLE_EQ((plan->disk.remap_seconds).value(), 3.0);
   EXPECT_TRUE(plan->enabled());
 }
 
@@ -80,13 +80,13 @@ TEST(FaultInjector, ReplaysExactlyForSameSeedAndDevice) {
   for (int i = 0; i < 32; ++i) {
     auto oa = a.SimulateRead(i * 10, 10, 0.01, 1.0);
     auto ob = b.SimulateRead(i * 10, 10, 0.01, 1.0);
-    EXPECT_DOUBLE_EQ(oa.recovery_seconds, ob.recovery_seconds);
+    EXPECT_DOUBLE_EQ((oa.recovery_seconds).value(), ((ob.recovery_seconds)).value());
     EXPECT_EQ(oa.completed, ob.completed);
     EXPECT_EQ(oa.clean_blocks, ob.clean_blocks);
   }
   EXPECT_EQ(a.stats().transient_faults, b.stats().transient_faults);
   EXPECT_EQ(a.stats().bad_blocks_remapped, b.stats().bad_blocks_remapped);
-  EXPECT_DOUBLE_EQ(a.stats().recovery_seconds, b.stats().recovery_seconds);
+  EXPECT_DOUBLE_EQ((a.stats().recovery_seconds).value(), ((b.stats().recovery_seconds)).value());
 }
 
 TEST(FaultInjector, DeviceNameSeparatesStreams) {
@@ -126,7 +126,7 @@ TEST(FaultInjector, CleanProfileChargesNothing) {
   auto outcome = injector.SimulateRead(0, 1000, 0.01, 1.0);
   EXPECT_TRUE(outcome.completed);
   EXPECT_EQ(outcome.clean_blocks, 1000u);
-  EXPECT_DOUBLE_EQ(outcome.recovery_seconds, 0.0);
+  EXPECT_DOUBLE_EQ((outcome.recovery_seconds).value(), 0.0);
   EXPECT_EQ(injector.stats().faults(), 0u);
 }
 
@@ -149,11 +149,11 @@ TEST(FaultInjector, ExhaustedRetriesChargeExponentialBackoffThenFailHard) {
   // max_retries and fails hard without further charge.
   const SimSeconds expected =
       (kPerBlock + kReposition + 0.5) + (kPerBlock + kReposition + 1.0);
-  EXPECT_DOUBLE_EQ(outcome.recovery_seconds, expected);
+  EXPECT_DOUBLE_EQ((outcome.recovery_seconds).value(), ((expected)).value());
   EXPECT_EQ(injector.stats().transient_faults, 3u);
   EXPECT_EQ(injector.stats().retries, 2u);
   EXPECT_EQ(injector.stats().hard_failures, 1u);
-  EXPECT_DOUBLE_EQ(injector.stats().recovery_seconds, expected);
+  EXPECT_DOUBLE_EQ((injector.stats().recovery_seconds).value(), ((expected)).value());
 }
 
 TEST(FaultInjector, BadBlockChargesOneRemapAndNeverFaultsAgain) {
@@ -174,12 +174,12 @@ TEST(FaultInjector, BadBlockChargesOneRemapAndNeverFaultsAgain) {
   constexpr SimSeconds kReposition = 1.0;
   auto first = injector.SimulateRead(bad, 1, kPerBlock, kReposition);
   EXPECT_TRUE(first.completed);
-  EXPECT_DOUBLE_EQ(first.recovery_seconds, kPerBlock + kReposition + 2.0);
+  EXPECT_DOUBLE_EQ((first.recovery_seconds).value(), ((kPerBlock + kReposition + 2.0)).value());
   EXPECT_EQ(injector.stats().bad_blocks_remapped, 1u);
   // The defect was remapped: re-reading the same position is now clean.
   EXPECT_FALSE(injector.IsLatentBadBlock(bad));
   auto second = injector.SimulateRead(bad, 1, kPerBlock, kReposition);
-  EXPECT_DOUBLE_EQ(second.recovery_seconds, 0.0);
+  EXPECT_DOUBLE_EQ((second.recovery_seconds).value(), 0.0);
   EXPECT_EQ(injector.stats().bad_blocks_remapped, 1u);
 }
 
@@ -193,7 +193,7 @@ TEST(FaultInjector, ExchangeFailuresRetryThenFailHard) {
   EXPECT_EQ(outcome.failed_attempts, 2);
   EXPECT_EQ(injector.stats().exchange_faults, 2u);
   EXPECT_EQ(injector.stats().hard_failures, 1u);
-  EXPECT_DOUBLE_EQ(injector.stats().recovery_seconds, 60.0);
+  EXPECT_DOUBLE_EQ((injector.stats().recovery_seconds).value(), 60.0);
 
   FaultInjector clean(FaultProfile{}, 1, "robot");
   auto ok = clean.SimulateExchange(30.0);
@@ -280,7 +280,7 @@ class FlakySource final : public BlockSource {
       ++failures_;
       return Status::DeviceError("flaky source");
     }
-    if (out != nullptr) out->insert(out->end(), count, nullptr);
+    if (out != nullptr) out->insert(out->end(), count.value(), nullptr);
     return Interval{ready, ready + 1.0};
   }
   std::string_view device() const override { return "flaky"; }
@@ -499,7 +499,7 @@ TEST_P(FaultyJoinTest, FaultsOnlySlowTheJoinDown) {
   ASSERT_TRUE(clean.ok()) << clean.status();
   ASSERT_TRUE(faulty.ok()) << faulty.status();
   EXPECT_EQ(clean->stats.faults_injected, 0u);
-  EXPECT_DOUBLE_EQ(clean->stats.recovery_seconds, 0.0);
+  EXPECT_DOUBLE_EQ((clean->stats.recovery_seconds).value(), 0.0);
   EXPECT_GT(faulty->stats.response_seconds, clean->stats.response_seconds);
   EXPECT_EQ(faulty->stats.output_checksum, clean->stats.output_checksum);
 }
@@ -509,11 +509,11 @@ TEST_P(FaultyJoinTest, FaultyRunsReplayExactly) {
   auto b = RunUnderFaults(ModeratePlan(), GetParam());
   ASSERT_TRUE(a.ok()) << a.status();
   ASSERT_TRUE(b.ok()) << b.status();
-  EXPECT_DOUBLE_EQ(a->stats.response_seconds, b->stats.response_seconds);
+  EXPECT_DOUBLE_EQ((a->stats.response_seconds).value(), ((b->stats.response_seconds)).value());
   EXPECT_EQ(a->stats.faults_injected, b->stats.faults_injected);
   EXPECT_EQ(a->stats.fault_retries, b->stats.fault_retries);
   EXPECT_EQ(a->stats.blocks_remapped, b->stats.blocks_remapped);
-  EXPECT_DOUBLE_EQ(a->stats.recovery_seconds, b->stats.recovery_seconds);
+  EXPECT_DOUBLE_EQ((a->stats.recovery_seconds).value(), ((b->stats.recovery_seconds)).value());
 }
 
 TEST_P(FaultyJoinTest, ChunkRetriesRecoverHardDeviceFailures) {
@@ -649,14 +649,16 @@ TEST(TapeLibraryMount, SwapChargesRewindUnloadAndBothRobotTrips) {
   auto first = library.Mount(0, &drive, 0.0);
   ASSERT_TRUE(first.ok());
   // Empty drive: one robot trip plus the drive load.
-  EXPECT_DOUBLE_EQ(first->duration(), library.model().exchange_seconds + model.load_seconds);
+  EXPECT_DOUBLE_EQ((first->duration()).value(),
+                   (library.model().exchange_seconds + model.load_seconds).value());
 
   auto swap = library.Mount(1, &drive, first->end);
   ASSERT_TRUE(swap.ok());
   // Swap: rewind + unload on the drive, eject + inject robot trips, load.
-  EXPECT_DOUBLE_EQ(swap->duration(), model.rewind_seconds + model.load_seconds +
-                                         2 * library.model().exchange_seconds +
-                                         model.load_seconds);
+  EXPECT_DOUBLE_EQ((swap->duration()).value(),
+                   (model.rewind_seconds + model.load_seconds +
+                    2 * library.model().exchange_seconds + model.load_seconds)
+                       .value());
   EXPECT_EQ(drive.stats().rewind_count, 1u);
   EXPECT_EQ(drive.stats().load_count, 2u);
   // Bookkeeping: cartridge 0 is home again — another mount of it succeeds.

@@ -85,7 +85,7 @@ TEST(InterleavedBufferFuzzTest, MatchesEventReplayModel) {
     Rng rng(seed);
     const BlockCount capacity = 64;
     mem::InterleavedBuffer buffer(capacity);
-    std::vector<double> free_slots(capacity, 0.0);  // reference: FIFO of free times
+    std::vector<double> free_slots(capacity.value(), 0.0);  // reference: FIFO of free times
     size_t head = 0;  // model the deque with an index into a growing vector
     BlockCount occupied = 0;
     double clock = 0.0;
@@ -93,17 +93,17 @@ TEST(InterleavedBufferFuzzTest, MatchesEventReplayModel) {
     for (int step = 0; step < 2000; ++step) {
       bool acquire = occupied == 0 || (rng.NextBelow(2) == 0 && occupied < capacity);
       if (acquire) {
-        BlockCount take = 1 + rng.NextBelow(capacity - occupied);
+        BlockCount take = 1 + rng.NextBelow((capacity - occupied).value());
         auto got = buffer.AcquireFree(take);
         ASSERT_TRUE(got.ok());
         double expected = 0.0;
         for (BlockCount i = 0; i < take; ++i) {
           expected = std::max(expected, free_slots[head++]);
         }
-        ASSERT_DOUBLE_EQ(got.value(), expected) << "step " << step;
+        ASSERT_DOUBLE_EQ(got.value().value(), expected) << "step " << step;
         occupied += take;
       } else {
-        BlockCount give = 1 + rng.NextBelow(occupied);
+        BlockCount give = 1 + rng.NextBelow(occupied.value());
         clock += 1.0 + static_cast<double>(rng.NextBelow(5));
         ASSERT_TRUE(buffer.Release(give, clock).ok());
         for (BlockCount i = 0; i < give; ++i) free_slots.push_back(clock);
@@ -134,7 +134,7 @@ TEST(BlockCodecFuzzTest, RandomRecordsRoundTrip) {
     auto reader = rel::BlockReader::Open(builder.Finish(), &schema);
     ASSERT_TRUE(reader.ok());
     ASSERT_EQ(reader->record_count(), keys.size());
-    for (BlockCount i = 0; i < keys.size(); ++i) {
+    for (std::uint64_t i = 0; i < keys.size(); ++i) {
       EXPECT_EQ(rel::Tuple(reader->record(i), &schema).GetInt64(0), keys[i]);
     }
   }

@@ -52,7 +52,7 @@ TEST(BucketLayoutTest, FootprintRespectsMemory) {
       auto layout = BucketLayout::Plan(r, m);
       if (!layout.ok()) continue;
       EXPECT_LE(layout->memory_blocks, m) << "r=" << r << " m=" << m;
-      EXPECT_EQ(layout->r_bucket_blocks, CeilDiv<uint64_t>(r, layout->bucket_count));
+      EXPECT_EQ((layout->r_bucket_blocks).value(), CeilDiv<uint64_t>(r.value(), layout->bucket_count));
       EXPECT_GE(layout->write_buffer_blocks, 1u);
     }
   }
@@ -81,7 +81,7 @@ TEST(BucketLayoutTest, MinimumMemoryIsFeasibleBoundary) {
       EXPECT_FALSE(BucketLayout::Plan(r, min_m / 2).ok()) << "r=" << r;
     }
     // Paper's rule of thumb: min memory ~ 2*sqrt(r).
-    EXPECT_LE(min_m, 2 * CeilSqrt(r) + 2);
+    EXPECT_LE((min_m).value(), 2 * CeilSqrt(r.value()) + 2);
   }
 }
 
@@ -210,7 +210,7 @@ TEST_F(DiskPartitionerTest, PhantomBlocksSpreadUniformly) {
   BlockCount total_blocks = 0;
   uint64_t total_tuples = 0;
   for (const DiskBucket& bucket : part.buckets()) {
-    EXPECT_NEAR(static_cast<double>(bucket.blocks), 100.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(bucket.blocks.value()), 100.0, 1.0);
     total_blocks += bucket.blocks;
     total_tuples += bucket.tuples;
   }

@@ -57,7 +57,7 @@ TEST(Figure4Integration, InterleavedBufferingHoldsUtilizationNear100) {
     // Skip warm-up and final drain samples.
     if (i <= 3 || i >= 38) continue;
     ++samples;
-    if (static_cast<double>(used) / static_cast<double>(capacity) >= 0.95) ++high;
+    if (static_cast<double>(used) / static_cast<double>(capacity.value()) >= 0.95) ++high;
   }
   ASSERT_GT(samples, 20);
   EXPECT_GE(high, samples - 1) << "utilization dipped below 95% in steady state";
@@ -84,7 +84,7 @@ TEST(ParallelIoIntegration, ConcurrentMethodOverlapsDevicesSequentialDoesNot) {
     TERTIO_CHECK(stats.ok(), stats.status().ToString());
     double busy = 0.0;
     for (const auto& resource : machine.sim().resources()) {
-      busy += resource->stats().busy_seconds;
+      busy += resource->stats().busy_seconds.value();
     }
     return busy / stats->response_seconds;
   };

@@ -35,15 +35,15 @@ SimSeconds OptimumSeconds(ByteCount s_bytes, double compressibility = 0.25) {
 TEST(Experiment1Test, Table3RelativeCostBand) {
   // Joins I-IV of Table 3; the paper's relative costs are 7.9/7.3/6.9/6.8.
   struct Row {
-    ByteCount s_mb, r_mb, d_mb;
+    std::uint64_t s_mb, r_mb, d_mb;
   } rows[] = {{1000, 500, 100}, {2500, 1250, 250}, {5000, 2500, 500}, {10000, 2500, 500}};
   for (const Row& row : rows) {
     auto stats = RunPhantom(row.s_mb * kMB, row.r_mb * kMB, row.d_mb * kMB, 16 * kMB,
                      JoinMethodId::kCttGh);
     ASSERT_TRUE(stats.ok()) << stats.status();
     tape::TapeDriveModel drive = tape::TapeDriveModel::DLT4000();
-    double bare = drive.TransferSeconds(row.s_mb * kMB, 0.25) +
-                  drive.TransferSeconds(row.r_mb * kMB, 0.25);
+    SimSeconds bare = drive.TransferSeconds(row.s_mb * kMB, 0.25) +
+                      drive.TransferSeconds(row.r_mb * kMB, 0.25);
     double rel_cost = stats->response_seconds / bare;
     EXPECT_GT(rel_cost, 5.0) << row.s_mb;
     EXPECT_LT(rel_cost, 9.0) << row.s_mb;
@@ -61,7 +61,7 @@ TEST(Experiment1Test, StepOneScansRAsExpected) {
   EXPECT_GE(stats->r_scans, 15u);
   EXPECT_LE(stats->r_scans, 16u);
   // Step I streams R per scan and writes it once to tape.
-  double read_r_once = OptimumSeconds(2500 * kMB);
+  double read_r_once = OptimumSeconds(2500 * kMB).value();
   EXPECT_GT(stats->step1_seconds, 5.0 * read_r_once * 0.9);
   EXPECT_LT(stats->step1_seconds, 8.5 * read_r_once);
 }
@@ -90,7 +90,7 @@ TEST(Experiment2Test, CdtGhWinsWhenDiskIsAmple) {
 }
 
 TEST(Experiment3Test, NbMethodsBlowUpAtSmallMemory) {
-  ByteCount small_m = static_cast<ByteCount>(0.05 * 18 * kMB);
+  ByteCount small_m = static_cast<ByteCount>(0.05 * 18 * static_cast<double>(kMB.value()));
   ByteCount large_m = 18 * kMB;
   for (JoinMethodId method : {JoinMethodId::kDtNb, JoinMethodId::kCdtNbMb}) {
     auto small = RunPhantom(1000 * kMB, 18 * kMB, 50 * kMB, small_m, method);
@@ -104,14 +104,14 @@ TEST(Experiment3Test, NbMethodsBlowUpAtSmallMemory) {
 TEST(Experiment3Test, CdtNbMbApproachesOptimumAtFullMemory) {
   auto stats = RunPhantom(1000 * kMB, 18 * kMB, 50 * kMB, 18 * kMB, JoinMethodId::kCdtNbMb);
   ASSERT_TRUE(stats.ok());
-  double optimum = OptimumSeconds(1000 * kMB);
+  double optimum = OptimumSeconds(1000 * kMB).value();
   // Paper: "close to reaching the optimum join time".
   EXPECT_LT(stats->response_seconds, optimum * 1.10);
   EXPECT_GE(stats->response_seconds, optimum * 0.999);
 }
 
 TEST(Experiment3Test, CdtGhDominatesAtSmallMemory) {
-  ByteCount m = static_cast<ByteCount>(0.15 * 18 * kMB);
+  ByteCount m = static_cast<ByteCount>(0.15 * 18 * static_cast<double>(kMB.value()));
   auto cdt_gh = RunPhantom(1000 * kMB, 18 * kMB, 50 * kMB, m, JoinMethodId::kCdtGh);
   ASSERT_TRUE(cdt_gh.ok());
   for (JoinMethodId method : {JoinMethodId::kDtNb, JoinMethodId::kCdtNbMb,
@@ -123,7 +123,7 @@ TEST(Experiment3Test, CdtGhDominatesAtSmallMemory) {
 }
 
 TEST(Experiment3Test, ConcurrentVariantsBeatSequentialOnes) {
-  ByteCount m = static_cast<ByteCount>(0.3 * 18 * kMB);
+  ByteCount m = static_cast<ByteCount>(0.3 * 18 * static_cast<double>(kMB.value()));
   auto dt_gh = RunPhantom(1000 * kMB, 18 * kMB, 50 * kMB, m, JoinMethodId::kDtGh);
   auto cdt_gh = RunPhantom(1000 * kMB, 18 * kMB, 50 * kMB, m, JoinMethodId::kCdtGh);
   ASSERT_TRUE(dt_gh.ok() && cdt_gh.ok());
@@ -137,19 +137,19 @@ TEST(Experiment3Test, ConcurrentVariantsBeatSequentialOnes) {
 
 TEST(Experiment3Test, GraceTrafficConstantNbTrafficExplodes) {
   // Figure 7's contrast, on the simulator.
-  ByteCount small_m = static_cast<ByteCount>(0.1 * 18 * kMB);
-  ByteCount large_m = static_cast<ByteCount>(0.8 * 18 * kMB);
+  ByteCount small_m = static_cast<ByteCount>(0.1 * 18 * static_cast<double>(kMB.value()));
+  ByteCount large_m = static_cast<ByteCount>(0.8 * 18 * static_cast<double>(kMB.value()));
   auto gh_small = RunPhantom(1000 * kMB, 18 * kMB, 50 * kMB, small_m, JoinMethodId::kDtGh);
   auto gh_large = RunPhantom(1000 * kMB, 18 * kMB, 50 * kMB, large_m, JoinMethodId::kDtGh);
   ASSERT_TRUE(gh_small.ok() && gh_large.ok());
-  double ratio = static_cast<double>(gh_small->disk_traffic_blocks()) /
-                 static_cast<double>(gh_large->disk_traffic_blocks());
+  double ratio = static_cast<double>(gh_small->disk_traffic_blocks().value()) /
+                 static_cast<double>(gh_large->disk_traffic_blocks().value());
   EXPECT_GT(ratio, 0.8);
   EXPECT_LT(ratio, 1.3);
   // GH traffic ~ 3,000 MB at these parameters (paper's "around 3,000 MB").
   double gh_mb = static_cast<double>(
-                     BlocksToBytes(gh_large->disk_traffic_blocks(), kDefaultBlockBytes)) /
-                 kMB;
+                     BlocksToBytes(gh_large->disk_traffic_blocks(), kDefaultBlockBytes).value()) /
+                 static_cast<double>(kMB.value());
   EXPECT_GT(gh_mb, 2000.0);
   EXPECT_LT(gh_mb, 4000.0);
   auto nb_small = RunPhantom(1000 * kMB, 18 * kMB, 50 * kMB, small_m, JoinMethodId::kDtNb);
@@ -160,13 +160,13 @@ TEST(Experiment3Test, GraceTrafficConstantNbTrafficExplodes) {
 TEST(Experiment3Test, TapeSpeedLeavesConcurrentResponseNearlyUnchanged) {
   // Figures 9-11: concurrent methods are disk-bound; halving/doubling the
   // effective tape rate moves the optimum, not the response.
-  ByteCount m = static_cast<ByteCount>(0.3 * 18 * kMB);
+  ByteCount m = static_cast<ByteCount>(0.3 * 18 * static_cast<double>(kMB.value()));
   auto slow = RunPhantom(1000 * kMB, 18 * kMB, 50 * kMB, m, JoinMethodId::kCdtGh, 0.0);
   auto base = RunPhantom(1000 * kMB, 18 * kMB, 50 * kMB, m, JoinMethodId::kCdtGh, 0.25);
   auto fast = RunPhantom(1000 * kMB, 18 * kMB, 50 * kMB, m, JoinMethodId::kCdtGh, 0.5);
   ASSERT_TRUE(slow.ok() && base.ok() && fast.ok());
-  EXPECT_NEAR(fast->response_seconds, slow->response_seconds,
-              slow->response_seconds * 0.25);
+  EXPECT_NEAR((fast->response_seconds).value(), ((slow->response_seconds)).value(),
+              slow->response_seconds.value() * 0.25);
   double overhead_slow = slow->response_seconds / OptimumSeconds(1000 * kMB, 0.0) - 1.0;
   double overhead_fast = fast->response_seconds / OptimumSeconds(1000 * kMB, 0.5) - 1.0;
   EXPECT_GT(overhead_fast, overhead_slow + 0.2);
@@ -177,7 +177,7 @@ TEST(CrossValidationTest, CostModelTracksSimulator) {
   // within a band across methods and regimes — the validation the paper
   // performs in Sections 7-9.
   struct Case {
-    ByteCount s_mb, r_mb, d_mb, m_kb;
+    std::uint64_t s_mb, r_mb, d_mb, m_kb;
   } cases[] = {
       {1000, 18, 50, 5400},    // Experiment 3 mid-memory
       {1000, 18, 36, 1800},    // Experiment 2 regime

@@ -54,7 +54,7 @@ TEST(InterleavedBufferTest, InitialSpaceIsFreeAtTimeZero) {
   InterleavedBuffer buf(100);
   auto t = buf.AcquireFree(100);
   ASSERT_TRUE(t.ok());
-  EXPECT_DOUBLE_EQ(t.value(), 0.0);
+  EXPECT_DOUBLE_EQ(t.value().value(), 0.0);
   EXPECT_EQ(buf.occupied_blocks(), 100u);
 }
 
@@ -65,9 +65,9 @@ TEST(InterleavedBufferTest, AcquireWaitsForRelease) {
   ASSERT_TRUE(buf.Release(40, 10.0).ok());
   ASSERT_TRUE(buf.Release(60, 20.0).ok());
   // Producer claiming 30 gets space freed at t=10.
-  EXPECT_DOUBLE_EQ(buf.AcquireFree(30).value(), 10.0);
+  EXPECT_DOUBLE_EQ(buf.AcquireFree(30)->value(), 10.0);
   // Next 20: 10 remain from the t=10 release, 10 from t=20 — bound by t=20.
-  EXPECT_DOUBLE_EQ(buf.AcquireFree(20).value(), 20.0);
+  EXPECT_DOUBLE_EQ(buf.AcquireFree(20)->value(), 20.0);
 }
 
 TEST(InterleavedBufferTest, OverAcquireRejected) {
@@ -95,24 +95,24 @@ TEST(InterleavedBufferTest, SteadyStatePipelinesAtFullCapacity) {
   // producer/consumer where the consumer frees space in quarters.
   InterleavedBuffer buf(80);
   SimSeconds produce_ready = buf.AcquireFree(80).value();
-  EXPECT_DOUBLE_EQ(produce_ready, 0.0);
+  EXPECT_DOUBLE_EQ(produce_ready.value(), 0.0);
   // Consumer drains in 4 quarters finishing at t = 10, 20, 30, 40.
   for (int q = 1; q <= 4; ++q) {
     ASSERT_TRUE(buf.Release(20, 10.0 * q).ok());
   }
   // Producer of the next full-size chunk can finish acquiring by t=40 — the
   // whole 80-block chunk again, not 40 as split buffering would force.
-  EXPECT_DOUBLE_EQ(buf.AcquireFree(80).value(), 40.0);
+  EXPECT_DOUBLE_EQ(buf.AcquireFree(80)->value(), 40.0);
   EXPECT_EQ(buf.occupied_blocks(), 80u);
 }
 
 TEST(SplitDoubleBufferTest, AlternatesHalves) {
   SplitDoubleBuffer db;
-  EXPECT_DOUBLE_EQ(db.FreeAt(0), 0.0);
+  EXPECT_DOUBLE_EQ((db.FreeAt(0)).value(), 0.0);
   db.SetBusyUntil(0, 15.0);
   db.SetBusyUntil(1, 25.0);
-  EXPECT_DOUBLE_EQ(db.FreeAt(2), 15.0);  // buffer 0 again
-  EXPECT_DOUBLE_EQ(db.FreeAt(3), 25.0);
+  EXPECT_DOUBLE_EQ((db.FreeAt(2)).value(), 15.0);  // buffer 0 again
+  EXPECT_DOUBLE_EQ((db.FreeAt(3)).value(), 25.0);
 }
 
 }  // namespace

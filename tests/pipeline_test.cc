@@ -24,15 +24,15 @@ class FakeDevice final : public BlockSource, public BlockSink {
   Result<Interval> Read(BlockCount offset, BlockCount count, SimSeconds ready,
                         std::vector<BlockPayload>* out) override {
     (void)offset;
-    if (out != nullptr) out->resize(out->size() + count);  // phantom payloads
-    return resource_.Schedule(ready, cost_ * static_cast<double>(count));
+    if (out != nullptr) out->resize(((out->size() + count)).value());  // phantom payloads
+    return resource_.Schedule(ready, cost_ * static_cast<double>(count.value()));
   }
 
   Result<Interval> Write(BlockCount offset, BlockCount count, SimSeconds ready,
                          std::vector<BlockPayload>* payloads) override {
     (void)offset;
     (void)payloads;
-    return resource_.Schedule(ready, cost_ * static_cast<double>(count));
+    return resource_.Schedule(ready, cost_ * static_cast<double>(count.value()));
   }
 
   std::string_view device() const override { return resource_.name(); }
@@ -46,17 +46,17 @@ TEST(PipelineTest, EventIsFlooredAtStart) {
   Pipeline pipe(100.0);
   StageId early = pipe.Event("early", 50.0);
   StageId late = pipe.Event("late", 150.0);
-  EXPECT_DOUBLE_EQ(pipe.end(early), 100.0);
-  EXPECT_DOUBLE_EQ(pipe.end(late), 150.0);
+  EXPECT_DOUBLE_EQ((pipe.end(early)).value(), 100.0);
+  EXPECT_DOUBLE_EQ((pipe.end(late)).value(), 150.0);
 }
 
 TEST(PipelineTest, NoStageSentinelIsIgnoredInDeps) {
   Pipeline pipe(10.0);
   std::vector<StageId> none{kNoStage};
-  EXPECT_DOUBLE_EQ(pipe.ReadyAfter(none), 10.0);
+  EXPECT_DOUBLE_EQ((pipe.ReadyAfter(none)).value(), 10.0);
   StageId e = pipe.Event("e", 25.0);
   StageId barrier = pipe.Barrier("sync", {kNoStage, e, kNoStage});
-  EXPECT_DOUBLE_EQ(pipe.end(barrier), 25.0);
+  EXPECT_DOUBLE_EQ((pipe.end(barrier)).value(), 25.0);
 }
 
 TEST(PipelineTest, BarrierJoinsChains) {
@@ -64,8 +64,8 @@ TEST(PipelineTest, BarrierJoinsChains) {
   StageId a = pipe.Event("a", 7.0);
   StageId b = pipe.Event("b", 12.0);
   StageId barrier = pipe.Barrier("sync", {a, b});
-  EXPECT_DOUBLE_EQ(pipe.end(barrier), 12.0);
-  EXPECT_DOUBLE_EQ(pipe.Horizon(), 12.0);
+  EXPECT_DOUBLE_EQ((pipe.end(barrier)).value(), 12.0);
+  EXPECT_DOUBLE_EQ((pipe.Horizon()).value(), 12.0);
 }
 
 // Lock-step: chunk i+1's read waits for write i — the single process of the
@@ -84,10 +84,10 @@ TEST(PipelineTest, LockStepTransferAlternatesDevices) {
   plan.streaming = false;
   auto result = pipe.Transfer(plan, src, dst);
   ASSERT_TRUE(result.ok());
-  EXPECT_DOUBLE_EQ(pipe.end(result->last_read), 8.0);
-  EXPECT_DOUBLE_EQ(result->source_done, 8.0);
-  EXPECT_DOUBLE_EQ(pipe.end(result->last_write), 12.0);
-  EXPECT_DOUBLE_EQ(result->done, 12.0);
+  EXPECT_DOUBLE_EQ((pipe.end(result->last_read)).value(), 8.0);
+  EXPECT_DOUBLE_EQ(result->source_done.value(), 8.0);
+  EXPECT_DOUBLE_EQ((pipe.end(result->last_write)).value(), 12.0);
+  EXPECT_DOUBLE_EQ(result->done.value(), 12.0);
 }
 
 // Streaming: the producer runs ahead (read i+1 follows read i); the sink
@@ -105,9 +105,9 @@ TEST(PipelineTest, StreamingTransferOverlapsProducerAndConsumer) {
   plan.streaming = true;
   auto result = pipe.Transfer(plan, src, dst);
   ASSERT_TRUE(result.ok());
-  EXPECT_DOUBLE_EQ(result->source_done, 4.0);
-  EXPECT_DOUBLE_EQ(pipe.end(result->last_write), 10.0);
-  EXPECT_DOUBLE_EQ(result->done, 10.0);
+  EXPECT_DOUBLE_EQ(result->source_done.value(), 4.0);
+  EXPECT_DOUBLE_EQ((pipe.end(result->last_write)).value(), 10.0);
+  EXPECT_DOUBLE_EQ(result->done.value(), 10.0);
 }
 
 TEST(PipelineTest, TransferTailChunkCoversRemainder) {
@@ -144,8 +144,8 @@ TEST(PipelineTest, SpanWindowMatchesHorizon) {
   plan.streaming = false;
   auto result = pipe.Transfer(plan, src, dst);
   ASSERT_TRUE(result.ok());
-  EXPECT_DOUBLE_EQ(trace.window().start, 5.0);
-  EXPECT_DOUBLE_EQ(trace.window().end, pipe.Horizon());
+  EXPECT_DOUBLE_EQ(trace.window().start.value(), 5.0);
+  EXPECT_DOUBLE_EQ(trace.window().end.value(), (pipe.Horizon()).value());
   EXPECT_EQ(trace.spans().size(), pipe.size());
   EXPECT_EQ(trace.phases()[0].device, "src");
   EXPECT_EQ(trace.phases()[1].device, "dst");
@@ -164,9 +164,9 @@ class CoalescibleDevice final : public BlockSource, public BlockSink {
   Result<Interval> Read(BlockCount offset, BlockCount count, SimSeconds ready,
                         std::vector<BlockPayload>* out) override {
     (void)offset;
-    if (out != nullptr) out->resize(out->size() + count);
+    if (out != nullptr) out->resize(((out->size() + count)).value());
     ++read_calls_;
-    return resource_.Schedule(ready, cost_ * static_cast<double>(count));
+    return resource_.Schedule(ready, cost_ * static_cast<double>(count.value()));
   }
 
   Result<Interval> Write(BlockCount offset, BlockCount count, SimSeconds ready,
@@ -174,17 +174,17 @@ class CoalescibleDevice final : public BlockSource, public BlockSink {
     (void)offset;
     (void)payloads;
     ++write_calls_;
-    return resource_.Schedule(ready, cost_ * static_cast<double>(count));
+    return resource_.Schedule(ready, cost_ * static_cast<double>(count.value()));
   }
 
   ChunkCostProfile CostProfile(BlockCount offset, BlockCount chunk,
-                               BlockCount max_chunks) override {
+                               std::uint64_t max_chunks) override {
     (void)offset;
     ChunkCostProfile profile;
     profile.chunks = max_chunks;
     profile.cycle = 1;
     profile.ops_per_chunk = {1};
-    profile.ops = {{&resource_, cost_ * static_cast<double>(chunk), 0, "op"}};
+    profile.ops = {{&resource_, cost_ * static_cast<double>(chunk.value()), 0, "op"}};
     profile.commit = [this](BlockCount committed) { committed_ += committed; };
     return profile;
   }

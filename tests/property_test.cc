@@ -109,8 +109,8 @@ TEST_P(PropertyTest, InvariantsAndCorrectness) {
   // --- Timing: steps sum to the response; all durations non-negative.
   EXPECT_GE(stats->step1_seconds, 0.0);
   EXPECT_GE(stats->step2_seconds, 0.0);
-  EXPECT_NEAR(stats->step1_seconds + stats->step2_seconds, stats->response_seconds,
-              stats->response_seconds * 0.05 + 1e-9);
+  EXPECT_NEAR((stats->step1_seconds + stats->step2_seconds).value(), ((stats->response_seconds)).value(),
+              stats->response_seconds.value() * 0.05 + 1e-9);
 
   // --- Device accounting: traffic implies busy time; response is at least
   // the busiest device's busy time and at most the sum of all busy times
@@ -118,8 +118,8 @@ TEST_P(PropertyTest, InvariantsAndCorrectness) {
   double busiest = 0.0;
   double total_busy = 0.0;
   for (const auto& resource : machine.sim().resources()) {
-    busiest = std::max(busiest, resource->stats().busy_seconds);
-    total_busy += resource->stats().busy_seconds;
+    busiest = std::max(busiest, resource->stats().busy_seconds.value());
+    total_busy += resource->stats().busy_seconds.value();
   }
   EXPECT_GE(stats->response_seconds, busiest * 0.999);
   EXPECT_LE(stats->response_seconds, total_busy * 1.001 + 1.0);

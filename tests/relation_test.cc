@@ -129,7 +129,7 @@ TEST(BlockTest, ReaderRejectsGarbage) {
   EXPECT_FALSE(BlockReader::Open(nullptr, &schema).ok());  // phantom
   EXPECT_FALSE(BlockReader::Open(MakePayload(std::vector<uint8_t>(4, 0)), &schema).ok());
   EXPECT_FALSE(
-      BlockReader::Open(MakePayload(std::vector<uint8_t>(kBlock, 0xFF)), &schema).ok());
+      BlockReader::Open(MakePayload(std::vector<uint8_t>(kBlock.value(), 0xFF)), &schema).ok());
 }
 
 TEST(GeneratorTest, SequentialKeysAreUnique) {

@@ -54,15 +54,15 @@ LooseWorkload GenerateLoose(ByteCount block_bytes, const WorkloadConfig& workloa
   r_config.seed = workload.seed;
   r_config.phantom = workload.phantom;
   r_config.keys = rel::KeySequence::kSequentialUnique;
-  BlockCount tuples_per_block =
+  std::uint64_t tuples_per_block =
       rel::TuplesPerBlock(rel::Schema::KeyPayload(workload.record_bytes), block_bytes);
-  r_config.tuple_count = BytesToBlocks(workload.r_bytes, block_bytes) * tuples_per_block;
+  r_config.tuple_count = BytesToBlocks(workload.r_bytes, block_bytes).value() * tuples_per_block;
   rel::GeneratorConfig s_config = r_config;
   s_config.name = "S";
   s_config.seed = workload.seed + 1;
   s_config.keys = rel::KeySequence::kForeignKeyUniform;
   s_config.key_domain = r_config.tuple_count;
-  s_config.tuple_count = BytesToBlocks(workload.s_bytes, block_bytes) * tuples_per_block;
+  s_config.tuple_count = BytesToBlocks(workload.s_bytes, block_bytes).value() * tuples_per_block;
   auto r = rel::GenerateOnTape(r_config, loose.tape_r.get());
   auto s = rel::GenerateOnTape(s_config, loose.tape_s.get());
   TERTIO_CHECK(r.ok() && s.ok(), "loose workload generation failed");
@@ -154,6 +154,17 @@ TEST(ServiceBitIdentityTest, AllSevenMethodsMatchTheLegacyMachinePath) {
 TEST(SiteConfigTest, ValidateRejectsDegenerateConfigs) {
   SiteConfig good;
   EXPECT_TRUE(good.Validate().ok());
+
+  // Wrap boundary: configurations whose byte sizing overflows 64 bits must
+  // be rejected as a Status by the checked conversions, not wrapped into a
+  // tiny allocation (regression for the CheckedBlocksToBytes adoption).
+  SiteConfig wrap_disk = good;
+  wrap_disk.disk_space_bytes = ByteCount{~std::uint64_t{0}};
+  EXPECT_FALSE(wrap_disk.Validate().ok());
+
+  SiteConfig wrap_cache = good;
+  wrap_cache.cache_blocks = BlockCount{~std::uint64_t{0} / 2};
+  EXPECT_FALSE(wrap_cache.Validate().ok());
 
   SiteConfig no_disks = good;
   no_disks.disk_count = 0;

@@ -18,32 +18,32 @@ namespace {
 TEST(IntervalTest, DurationAndHull) {
   Interval a{1.0, 3.0};
   Interval b{2.0, 5.0};
-  EXPECT_DOUBLE_EQ(a.duration(), 2.0);
+  EXPECT_DOUBLE_EQ((a.duration()).value(), 2.0);
   Interval h = Interval::Hull(a, b);
-  EXPECT_DOUBLE_EQ(h.start, 1.0);
-  EXPECT_DOUBLE_EQ(h.end, 5.0);
-  EXPECT_DOUBLE_EQ(Interval::At(4.0).duration(), 0.0);
+  EXPECT_DOUBLE_EQ(h.start.value(), 1.0);
+  EXPECT_DOUBLE_EQ(h.end.value(), 5.0);
+  EXPECT_DOUBLE_EQ((Interval::At(4.0).duration()).value(), 0.0);
 }
 
 TEST(ResourceTest, FifoSerialization) {
   Resource r("dev");
   Interval a = r.Schedule(0.0, 10.0);
   Interval b = r.Schedule(0.0, 5.0);
-  EXPECT_DOUBLE_EQ(a.start, 0.0);
-  EXPECT_DOUBLE_EQ(a.end, 10.0);
-  EXPECT_DOUBLE_EQ(b.start, 10.0);  // queued behind a
-  EXPECT_DOUBLE_EQ(b.end, 15.0);
-  EXPECT_DOUBLE_EQ(r.available_at(), 15.0);
+  EXPECT_DOUBLE_EQ(a.start.value(), 0.0);
+  EXPECT_DOUBLE_EQ(a.end.value(), 10.0);
+  EXPECT_DOUBLE_EQ(b.start.value(), 10.0);  // queued behind a
+  EXPECT_DOUBLE_EQ(b.end.value(), 15.0);
+  EXPECT_DOUBLE_EQ((r.available_at()).value(), 15.0);
 }
 
 TEST(ResourceTest, ReadyTimeDelaysStart) {
   Resource r("dev");
   Interval a = r.Schedule(100.0, 5.0);
-  EXPECT_DOUBLE_EQ(a.start, 100.0);
-  EXPECT_DOUBLE_EQ(a.end, 105.0);
+  EXPECT_DOUBLE_EQ(a.start.value(), 100.0);
+  EXPECT_DOUBLE_EQ(a.end.value(), 105.0);
   // Device idles between ops when the next op is not ready.
   Interval b = r.Schedule(200.0, 1.0);
-  EXPECT_DOUBLE_EQ(b.start, 200.0);
+  EXPECT_DOUBLE_EQ(b.start.value(), 200.0);
 }
 
 TEST(ResourceTest, StatsAccumulate) {
@@ -52,8 +52,8 @@ TEST(ResourceTest, StatsAccumulate) {
   r.Schedule(10.0, 3.0, 2000, "write");
   EXPECT_EQ(r.stats().op_count, 2u);
   EXPECT_EQ(r.stats().bytes_transferred, 3000u);
-  EXPECT_DOUBLE_EQ(r.stats().busy_seconds, 5.0);
-  EXPECT_DOUBLE_EQ(r.stats().horizon, 13.0);
+  EXPECT_DOUBLE_EQ(r.stats().busy_seconds.value(), 5.0);
+  EXPECT_DOUBLE_EQ(r.stats().horizon.value(), 13.0);
 }
 
 TEST(ResourceTest, UtilizationAgainstHorizonAndFixedSpan) {
@@ -73,7 +73,7 @@ TEST(ResourceTest, TraceRecordsOps) {
   ASSERT_EQ(r.trace().size(), 2u);
   EXPECT_STREQ(r.trace()[0].tag, "a");
   EXPECT_EQ(r.trace()[1].bytes, 20u);
-  EXPECT_DOUBLE_EQ(r.trace()[1].interval.start, 1.0);
+  EXPECT_DOUBLE_EQ(r.trace()[1].interval.start.value(), 1.0);
 }
 
 // A coalesced batch must leave the resource in exactly the state the
@@ -95,13 +95,13 @@ TEST(ResourceTest, ScheduleBatchMatchesPerOpSchedules) {
   std::vector<SimSeconds> cycle_durations{durations[0], durations[1]};
   std::vector<ByteCount> cycle_bytes{bytes[0], bytes[1]};
   Interval got = batched.ScheduleBatch(6, cycle_durations, cycle_bytes, hull, "op");
-  EXPECT_DOUBLE_EQ(got.start, hull.start);
-  EXPECT_DOUBLE_EQ(got.end, hull.end);
-  EXPECT_DOUBLE_EQ(batched.available_at(), per_op.available_at());
+  EXPECT_DOUBLE_EQ(got.start.value(), (hull.start).value());
+  EXPECT_DOUBLE_EQ(got.end.value(), (hull.end).value());
+  EXPECT_DOUBLE_EQ((batched.available_at()).value(), (per_op.available_at()).value());
   EXPECT_EQ(batched.stats().op_count, per_op.stats().op_count);
   EXPECT_EQ(batched.stats().bytes_transferred, per_op.stats().bytes_transferred);
   EXPECT_EQ(batched.stats().busy_seconds, per_op.stats().busy_seconds);
-  EXPECT_DOUBLE_EQ(batched.stats().horizon, per_op.stats().horizon);
+  EXPECT_DOUBLE_EQ(batched.stats().horizon.value(), (per_op.stats().horizon).value());
 }
 
 TEST(ResourceTest, TraceOffByDefault) {
@@ -115,7 +115,7 @@ TEST(ResourceTest, ResetClearsEverything) {
   r.EnableTrace();
   r.Schedule(0.0, 5.0, 100, "x");
   r.Reset();
-  EXPECT_DOUBLE_EQ(r.available_at(), 0.0);
+  EXPECT_DOUBLE_EQ((r.available_at()).value(), 0.0);
   EXPECT_EQ(r.stats().op_count, 0u);
   EXPECT_TRUE(r.trace().empty());
 }
@@ -127,7 +127,7 @@ TEST(TaskGraphTest, IndependentTasksOnDistinctResourcesOverlap) {
   g.Add(&disk, 4.0, {});
   auto makespan = g.Run();
   ASSERT_TRUE(makespan.ok());
-  EXPECT_DOUBLE_EQ(makespan.value(), 10.0);  // parallel, not 14
+  EXPECT_DOUBLE_EQ(makespan->value(), 10.0);  // parallel, not 14
 }
 
 TEST(TaskGraphTest, DependencyForcesSequencing) {
@@ -137,8 +137,8 @@ TEST(TaskGraphTest, DependencyForcesSequencing) {
   g.Add(&disk, 4.0, {read});
   auto makespan = g.Run();
   ASSERT_TRUE(makespan.ok());
-  EXPECT_DOUBLE_EQ(makespan.value(), 14.0);
-  EXPECT_DOUBLE_EQ(g.interval(1).start, 10.0);
+  EXPECT_DOUBLE_EQ(makespan->value(), 14.0);
+  EXPECT_DOUBLE_EQ(g.interval(1).start.value(), 10.0);
 }
 
 TEST(TaskGraphTest, ResourceContentionSerializes) {
@@ -148,7 +148,7 @@ TEST(TaskGraphTest, ResourceContentionSerializes) {
   g.Add(&disk, 3.0, {});
   auto makespan = g.Run();
   ASSERT_TRUE(makespan.ok());
-  EXPECT_DOUBLE_EQ(makespan.value(), 6.0);
+  EXPECT_DOUBLE_EQ(makespan->value(), 6.0);
 }
 
 TEST(TaskGraphTest, PipelineOverlapsStages) {
@@ -166,7 +166,7 @@ TEST(TaskGraphTest, PipelineOverlapsStages) {
   auto makespan = g.Run();
   ASSERT_TRUE(makespan.ok());
   // Producer finishes at 20; last consume starts at 20, ends at 23.
-  EXPECT_DOUBLE_EQ(makespan.value(), 23.0);
+  EXPECT_DOUBLE_EQ(makespan->value(), 23.0);
 }
 
 TEST(TaskGraphTest, ForwardDependencyRejected) {
@@ -192,9 +192,9 @@ TEST(SimulationTest, HorizonSpansResources) {
   Resource* b = sim.CreateResource("b");
   a->Schedule(0.0, 7.0);
   b->Schedule(0.0, 11.0);
-  EXPECT_DOUBLE_EQ(sim.Horizon(), 11.0);
+  EXPECT_DOUBLE_EQ((sim.Horizon()).value(), 11.0);
   sim.Reset();
-  EXPECT_DOUBLE_EQ(sim.Horizon(), 0.0);
+  EXPECT_DOUBLE_EQ((sim.Horizon()).value(), 0.0);
   EXPECT_EQ(sim.resources().size(), 2u);
 }
 

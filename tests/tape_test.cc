@@ -18,7 +18,7 @@ namespace {
 constexpr ByteCount kBlock = 1000;  // 1 KB blocks for readable arithmetic
 
 BlockPayload MakeBlock(uint8_t fill) {
-  return MakePayload(std::vector<uint8_t>(kBlock, fill));
+  return MakePayload(std::vector<uint8_t>(kBlock.value(), fill));
 }
 
 TEST(TapeVolumeTest, AppendAndRead) {
@@ -79,18 +79,18 @@ TEST(TapeVolumeTest, MeanCompressibilityAverages) {
 
 TEST(TapeModelTest, CompressionRaisesEffectiveRate) {
   TapeDriveModel m = TapeDriveModel::DLT4000();
-  EXPECT_DOUBLE_EQ(m.EffectiveRate(0.0), m.native_rate_bps);
-  EXPECT_NEAR(m.EffectiveRate(0.25), m.native_rate_bps / 0.75, 1e-6);
+  EXPECT_DOUBLE_EQ((m.EffectiveRate(0.0)).value(), (m.native_rate_bps).value());
+  EXPECT_NEAR((m.EffectiveRate(0.25)).value(), (m.native_rate_bps / 0.75).value(), 1e-6);
   // 50%-compressible hits the 2:1 cap exactly.
-  EXPECT_NEAR(m.EffectiveRate(0.5), m.native_rate_bps * 2.0, 1e-6);
+  EXPECT_NEAR((m.EffectiveRate(0.5)).value(), (m.native_rate_bps * 2.0).value(), 1e-6);
   // Beyond-cap compressibility stays capped.
-  EXPECT_NEAR(m.EffectiveRate(0.9), m.native_rate_bps * 2.0, 1e-6);
+  EXPECT_NEAR((m.EffectiveRate(0.9)).value(), (m.native_rate_bps * 2.0).value(), 1e-6);
 }
 
 TEST(TapeModelTest, CompressionDisabledIgnoresCompressibility) {
   TapeDriveModel m = TapeDriveModel::DLT4000();
   m.compression_enabled = false;
-  EXPECT_DOUBLE_EQ(m.EffectiveRate(0.5), m.native_rate_bps);
+  EXPECT_DOUBLE_EQ((m.EffectiveRate(0.5)).value(), (m.native_rate_bps).value());
 }
 
 class TapeDriveTest : public ::testing::Test {
@@ -115,7 +115,7 @@ TEST_F(TapeDriveTest, SequentialReadCostsTransferTime) {
   // 10 blocks * 1000 B at 1000 B/s = 10 s.
   auto iv = drive_.Read(0, 10, 0.0);
   ASSERT_TRUE(iv.ok());
-  EXPECT_DOUBLE_EQ(iv->duration(), 10.0);
+  EXPECT_DOUBLE_EQ((iv->duration()).value(), 10.0);
   EXPECT_EQ(drive_.head_position(), 10u);
   EXPECT_EQ(drive_.stats().blocks_read, 10u);
 }
@@ -126,7 +126,7 @@ TEST_F(TapeDriveTest, ContiguousReadsStreamWithoutPenalty) {
   ASSERT_TRUE(drive_.Read(0, 5, 0.0).ok());
   auto iv = drive_.Read(5, 5, 100.0);  // idle gap, but contiguous: no reposition
   ASSERT_TRUE(iv.ok());
-  EXPECT_DOUBLE_EQ(iv->duration(), 5.0);
+  EXPECT_DOUBLE_EQ((iv->duration()).value(), 5.0);
   EXPECT_EQ(drive_.stats().reposition_count, 0u);
 }
 
@@ -181,11 +181,11 @@ TEST(TapeDriveRealisticTest, SeekChargesLocateAndReposition) {
   ASSERT_TRUE(drive.Read(0, 10, 0.0).ok());
   auto iv = drive.Read(500, 10, 1000.0);  // discontiguous: locate + reposition
   ASSERT_TRUE(iv.ok());
-  double transfer = 10 * kBlock / model.native_rate_bps;
-  double locate = model.locate_base_seconds +
-                  model.locate_seconds_per_byte * (500.0 - 10.0) * kBlock +
-                  model.reposition_seconds;
-  EXPECT_NEAR(iv->duration(), transfer + locate, 1e-9);
+  double transfer = (10 * kBlock / model.native_rate_bps).value();
+  double locate = model.locate_base_seconds.value() +
+                  model.locate_seconds_per_byte * (500.0 - 10.0) * static_cast<double>(kBlock.value()) +
+                  model.reposition_seconds.value();
+  EXPECT_NEAR((iv->duration()).value(), transfer + locate, 1e-9);
   EXPECT_EQ(drive.stats().reposition_count, 1u);
   EXPECT_EQ(drive.stats().locate_count, 1u);
 }
@@ -209,8 +209,8 @@ TEST(TapeDriveRealisticTest, CompressibleDataTransfersFaster) {
   ASSERT_TRUE(drive.Load(&vol, 0.0).ok());
   auto iv = drive.Read(0, 100, 0.0);
   ASSERT_TRUE(iv.ok());
-  double expected = 100.0 * kBlock / (model.native_rate_bps / 0.75);
-  EXPECT_NEAR(iv->duration(), expected, 1e-9);
+  double expected = (100 * kBlock / (model.native_rate_bps / 0.75)).value();
+  EXPECT_NEAR((iv->duration()).value(), expected, 1e-9);
 }
 
 TEST(TapeLibraryTest, MountChargesRobotAndLoad) {
@@ -223,7 +223,7 @@ TEST(TapeLibraryTest, MountChargesRobotAndLoad) {
   TapeDrive drive("drv", dm, sim.CreateResource("tape"));
   auto iv = library.Mount(slot.value(), &drive, 0.0);
   ASSERT_TRUE(iv.ok());
-  EXPECT_DOUBLE_EQ(iv->end, lm.exchange_seconds + dm.load_seconds);
+  EXPECT_DOUBLE_EQ(iv->end.value(), (lm.exchange_seconds + dm.load_seconds).value());
   EXPECT_TRUE(drive.loaded());
 }
 
@@ -235,7 +235,7 @@ TEST(TapeLibraryTest, RemountIsNoOp) {
   ASSERT_TRUE(library.Mount(slot.value(), &drive, 0.0).ok());
   auto again = library.Mount(slot.value(), &drive, 50.0);
   ASSERT_TRUE(again.ok());
-  EXPECT_DOUBLE_EQ(again->duration(), 0.0);
+  EXPECT_DOUBLE_EQ((again->duration()).value(), 0.0);
 }
 
 TEST(TapeLibraryTest, ExchangeReturnsPreviousCartridge) {
@@ -249,7 +249,7 @@ TEST(TapeLibraryTest, ExchangeReturnsPreviousCartridge) {
   auto iv = library.Mount(s1.value(), &drive, 100.0);
   ASSERT_TRUE(iv.ok());
   // eject trip + inject trip
-  EXPECT_DOUBLE_EQ(iv->end, 100.0 + 2 * lm.exchange_seconds);
+  EXPECT_DOUBLE_EQ(iv->end.value(), (100.0 + 2 * lm.exchange_seconds).value());
   // Old cartridge is home again: can be mounted into another drive.
   TapeDrive drive2("drv2", TapeDriveModel::Ideal(1000), sim.CreateResource("tape2"));
   EXPECT_TRUE(library.Mount(s0.value(), &drive2, 300.0).ok());
@@ -510,7 +510,7 @@ TEST_F(SpannedVolumeTest, ExchangeCostIsChargedButAmortized) {
   auto interval = reader.Read(0, set->total_blocks(), 0.0);
   ASSERT_TRUE(interval.ok());
   // Three exchanges at >= 30 s each appear in the response...
-  double exchange_floor = 3 * library_.model().exchange_seconds;
+  double exchange_floor = ((3 * library_.model().exchange_seconds)).value();
   EXPECT_GT(interval->end, exchange_floor);
   // ...but transfer still dominates at realistic cartridge sizes — here the
   // tiny test cartridges make exchanges visible, which is the point: the

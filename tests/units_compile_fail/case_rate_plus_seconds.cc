@@ -1,0 +1,4 @@
+#include "common.h"
+using namespace tertio;
+using namespace tertio::units_compile_fail;
+int main() { auto x = kRate + kSeconds; (void)x; return 0; }

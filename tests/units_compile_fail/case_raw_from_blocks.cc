@@ -1,0 +1,4 @@
+#include "common.h"
+using namespace tertio;
+using namespace tertio::units_compile_fail;
+int main() { std::uint64_t x = kBlocks; (void)x; return 0; }

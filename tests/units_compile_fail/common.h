@@ -1,0 +1,13 @@
+#pragma once
+// Shared fixture for the negative-compilation harness: one variable of each
+// strong type, so every case file is a single illegal expression.
+#include "util/units.h"
+
+namespace tertio::units_compile_fail {
+inline constexpr Blocks kBlocks{16};
+inline constexpr Bytes kBytes{8192};
+inline constexpr BlockIdx kIdx{4};
+inline constexpr SimSeconds kSeconds{1.5};
+inline constexpr BytesPerSecond kRate{1.5e6};
+inline Blocks TakesBlocks(Blocks n) { return n; }
+}  // namespace tertio::units_compile_fail

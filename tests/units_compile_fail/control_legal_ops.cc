@@ -1,0 +1,4 @@
+#include "common.h"
+using namespace tertio;
+using namespace tertio::units_compile_fail;
+int main() { auto a = kBlocks + Blocks{1}; auto b = BlocksToBytes(a, kBytes); auto t = b / kRate; auto i = kIdx + a; auto d = i - kIdx; (void)b; (void)t; (void)d; return 0; }

@@ -114,6 +114,66 @@ TEST(UnitsTest, DecimalAndBinaryPrefixes) {
   EXPECT_EQ(kGB, 1'000'000'000u);
 }
 
+// Property: blocks -> bytes -> blocks is the identity for every block count
+// and block size (including non-power-of-two sizes), because BlocksToBytes
+// is exact and BytesToBlocks is exact ceiling division.
+TEST(UnitsTest, ConversionRoundTripProperty) {
+  Rng rng(0xD1CE5EED);
+  const std::uint64_t sizes[] = {1, 7, 512, 1000, 4096, 4097, 8192, 12345, 1u << 20};
+  for (int iter = 0; iter < 2000; ++iter) {
+    ByteCount b = sizes[rng.NextBelow(sizeof(sizes) / sizeof(sizes[0]))];
+    BlockCount n = rng.NextBelow((std::uint64_t{1} << 40) / b.value());
+    EXPECT_EQ(BytesToBlocks(BlocksToBytes(n, b), b), n)
+        << n.value() << " blocks of " << b.value();
+  }
+}
+
+// Ceiling division is exact at the boundaries: k*b bytes is exactly k
+// blocks, one byte less drops to k, one byte more needs k+1.
+TEST(UnitsTest, CeilingDivisionExactAtBoundaries) {
+  Rng rng(0xB10C5);
+  const std::uint64_t sizes[] = {1, 7, 512, 1000, 4096, 4097, 8192, 12345};
+  for (int iter = 0; iter < 2000; ++iter) {
+    ByteCount b = sizes[rng.NextBelow(sizeof(sizes) / sizeof(sizes[0]))];
+    std::uint64_t k = 1 + rng.NextBelow((std::uint64_t{1} << 40) / b.value());
+    ByteCount exact = BlocksToBytes(k, b);
+    EXPECT_EQ(BytesToBlocks(exact, b), k);
+    EXPECT_EQ(BytesToBlocks(exact - ByteCount{1}, b), b.value() == 1 ? k - 1 : k);
+    EXPECT_EQ(BytesToBlocks(exact + ByteCount{1}, b), k + 1);
+  }
+}
+
+// BytesToBlocks must not wrap near the top of the byte range — the textbook
+// (a + b - 1) / b would.
+TEST(UnitsTest, BytesToBlocksWrapProofNearMax) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  EXPECT_EQ(BytesToBlocks(ByteCount{kMax}, 4096), kMax / 4096 + 1);
+  EXPECT_EQ(BytesToBlocks(ByteCount{kMax - 1}, ByteCount{kMax}), 1u);
+  EXPECT_EQ(BytesToBlocks(ByteCount{kMax}, ByteCount{kMax}), 1u);
+}
+
+// Checked conversions: Status at the exact wrap boundary, value agreement
+// with the unchecked path everywhere in range.
+TEST(UnitsTest, CheckedBlocksToBytesWrapBoundary) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  const ByteCount b = 4096;
+  const BlockCount largest_fitting = kMax / 4096;  // product <= kMax
+  auto ok = CheckedBlocksToBytes(largest_fitting, b);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, BlocksToBytes(largest_fitting, b));
+  auto wrapped = CheckedBlocksToBytes(largest_fitting + BlockCount{1}, b);
+  EXPECT_FALSE(wrapped.ok());
+  EXPECT_EQ(wrapped.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UnitsTest, CheckedBytesToBlocksRejectsZeroBlockSize) {
+  auto zero = CheckedBytesToBlocks(4096, 0);
+  EXPECT_FALSE(zero.ok());
+  auto fine = CheckedBytesToBlocks(4097, 4096);
+  ASSERT_TRUE(fine.ok());
+  EXPECT_EQ(*fine, 2u);
+}
+
 TEST(MathTest, CeilDiv) {
   EXPECT_EQ(CeilDiv<uint64_t>(10, 3), 4u);
   EXPECT_EQ(CeilDiv<uint64_t>(9, 3), 3u);

@@ -1,49 +1,65 @@
 #!/usr/bin/env python3
-"""tertio_lint — repo-specific static analysis for the tertio codebase.
+"""tertio_lint v2 — multi-pass repo-specific static analysis for tertio.
 
-Three check families, all tuned to invariants the compiler cannot see:
+The analyzer parses every source file once into a shared cache (raw lines +
+comment/string-stripped lines) and then runs *rule packs* over it. Packs are
+selectable with `--rules=pack1,pack2` (default: all), so CI can run the
+dimensional-safety pack standalone while the full pre-commit gate runs
+everything.
 
-1. error-discipline: `Status` and `Result<T>` in src/util/status.h must be
-   declared [[nodiscard]] (the compiler then flags every discarded return;
-   this check keeps the attribute from regressing), and explicit `(void)`
-   discards of a call must carry a justifying comment on the same line.
+Rule packs
+==========
 
-2. hot-path hygiene: the simulator and the join executors must stay
-   deterministic and allocation-predictable, so `std::unordered_map` /
-   `std::unordered_multimap` (iteration-order nondeterminism), `rand` /
-   `srand` (hidden global state) and wall-clock reads (`std::chrono` clocks,
-   `gettimeofday`, `clock_gettime`, `time(...)`) are banned in src/join and
-   src/sim. Waive a specific line with `// tertio-lint: allow(<rule>)` on
-   that line or the line above.
+error-discipline
+    `Status` and `Result<T>` in src/util/status.h must be declared
+    [[nodiscard]] (the compiler then flags every discarded return; this check
+    keeps the attribute from regressing), and explicit `(void)` discards of a
+    call must carry a justifying comment on the same line.
 
-3. span-registry: every pipeline phase label used by the join executors and
-   the pipeline engine must appear in src/sim/span_registry.h, and every
-   registry entry must be used somewhere (no orphans). Phase literals
-   special-cased by sim/trace_report.cc or src/exec/report.cc must be
-   registered too — a typo'd label silently forks a report row.
+hot-path
+    The simulator and the join executors must stay deterministic and
+    allocation-predictable, so `std::unordered_map` / `std::unordered_multimap`
+    (iteration-order nondeterminism), `rand` / `srand` (hidden global state)
+    and wall-clock reads (`std::chrono` clocks, `gettimeofday`,
+    `clock_gettime`, `time(...)`) are banned in src/join and src/sim.
 
-4. mount-encapsulation: direct `TapeLibrary::Mount` calls are confined to
-   src/tape and src/exec. Everywhere else, mounts must go through
-   exec::QuerySession (MountR/MountS) or the QueryScheduler, which charge
-   the robot/drive timelines and keep slot bookkeeping consistent with
-   session drive leases. Waive a deliberate exception with
-   `// tertio-lint: allow(mount)`.
+span-registry
+    Every pipeline phase label used by the join executors and the pipeline
+    engine must appear in src/sim/span_registry.h, and every registry entry
+    must be used somewhere (no orphans). Phase literals special-cased by
+    sim/trace_report.cc or src/exec/report.cc must be registered too — a
+    typo'd label silently forks a report row.
 
-5. cache-encapsulation: mutating the cross-query extent cache
-   (`ExtentCache::Admit` / `ExtentCache::ReadThrough`) is confined to
-   src/disk and src/exec. The cache's residency ledger, the SimSan byte
-   accounting, and the tape drives' cache windows only stay consistent when
-   fills and read-throughs flow through QuerySession/QueryScheduler. Waive
-   with `// tertio-lint: allow(extent-cache)`.
+encapsulation
+    - mount: direct `TapeLibrary::Mount` calls are confined to src/tape and
+      src/exec; everywhere else mounts go through exec::QuerySession
+      (MountR/MountS) or the QueryScheduler.
+    - extent-cache: `ExtentCache::Admit` / `ExtentCache::ReadThrough` are
+      confined to src/disk and src/exec.
+    - simd: raw SIMD intrinsics and intrinsic headers are confined to
+      src/join/simd.h; CMake defaults must not pin -march/-mcpu/-mtune.
 
-6. simd-encapsulation: raw SIMD intrinsics (`_mm_*`, `vld1q_*`/`vceqq_*`/
-   `vgetq_*` and friends) and the intrinsic headers (<emmintrin.h>,
-   <immintrin.h>, <arm_neon.h>, ...) are confined to src/join/simd.h, the
-   runtime-dispatched abstraction with a portable scalar fallback. Everything
-   else calls the simd:: wrappers, so a build without SSE2/NEON still
-   compiles and a forced-scalar run exercises identical logic. CMake files
-   must not hard-wire `-march=`/`-mcpu=`/`-mtune=` into default flags:
-   baseline binaries stay portable and ISA selection happens at runtime.
+units
+    Dimensional-safety pack backing the strong types in src/util/units.h:
+    - units-raw-param: a function parameter in a src/ header typed
+      `uint64_t`/`size_t` but *named* `*_blocks`/`*_bytes` (or `double` named
+      `*_seconds`) reintroduces the raw-typedef hole the strong types closed.
+      Declare it `Blocks`/`Bytes`/`SimSeconds` instead. `--fix` rewrites the
+      parameter type in place.
+    - units-unwrap: `.value()` escapes in src/ headers (the inline API
+      surface) leak raw representations past the type system; each one needs
+      a `// tertio-lint: allow(units-unwrap)` waiver explaining why the raw
+      value is required (container sizing, ordering keys, printf).
+      Implementation (.cc) files may unwrap freely at boundaries.
+    - units-arg-order: `BytesToBlocks(bytes, block_bytes)` and
+      `BlocksToBytes(blocks, block_bytes)` call sites whose first argument
+      *names* the wrong dimension, or whose second argument does not look
+      like a block size, are flagged. The strong types already reject a
+      swapped call at compile time when both arguments are typed; this
+      catches sites where raw `.value()` escapes or literals defeat that.
+
+Waive a specific line with `// tertio-lint: allow(<rule>[, <rule>...])` on
+that line or the line above.
 
 Exit status: 0 with no findings, 1 otherwise. Output: `file:line: [rule] msg`.
 """
@@ -55,96 +71,18 @@ import pathlib
 import re
 import sys
 
-REPO = pathlib.Path(__file__).resolve().parent.parent.parent
-
-REGISTRY = REPO / "src" / "sim" / "span_registry.h"
-STATUS_H = REPO / "src" / "util" / "status.h"
-
-# Directories whose sources are "hot path" for rule 2.
-HOT_DIRS = ("src/join", "src/sim")
-# Directories scanned for span-label usage (rule 3).
-SPAN_USE_DIRS = ("src/join", "src/sim")
-# Report renderers whose special-cased phase literals must be registered.
-REPORT_FILES = ("src/sim/trace_report.cc", "src/exec/report.cc")
+DEFAULT_REPO = pathlib.Path(__file__).resolve().parent.parent.parent
 
 WAIVER_RE = re.compile(r"//\s*tertio-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
-BANNED = [
-    # rule name, regex, message
-    ("unordered-map", re.compile(r"\bstd::unordered_(?:multi)?map\b"),
-     "hashed maps are banned in hot paths (nondeterministic iteration order); "
-     "use the flat table, std::map, or a vector"),
-    ("rand", re.compile(r"\b(?:std::)?s?rand\s*\("),
-     "rand()/srand() hide global state; use util/rng.h (seeded, per-stream)"),
-    ("wall-clock", re.compile(
-        r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b"
-        r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\b(?:std::)?time\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
-     "wall-clock reads in the simulator break virtual-time determinism; "
-     "thread SimSeconds through instead"),
-]
-
-# Call shapes that carry a pipeline phase label as their first string literal.
-PHASE_PATTERNS = [
-    re.compile(r"\b(?:Stage|StageWithRetry|Event|Barrier|Record)\(\s*\"([^\"]+)\""),
-    re.compile(r"\b(?:read_phase|write_phase)\s*=\s*\"([^\"]+)\""),
-    re.compile(r"\bIssue(?:Read|Write|Flush)\(\s*\w+,\s*\"([^\"]+)\""),
-    re.compile(r"\bScanDiskAndProbe\(\s*\w+,\s*\w+,\s*\"([^\"]+)\""),
-    re.compile(r"\bAcquireFreeStage\(\s*\w+,\s*\w+,\s*\"([^\"]+)\""),
-]
-
-# Phase literals compared or special-cased inside the report renderers.
-REPORT_PHASE_RE = re.compile(r"\bphase(?:\.phase)?\s*==\s*\"([^\"]+)\"")
-
-# A discarded *call* — `(void)Foo(...)`, `(void)obj.Method(...)`. Plain
-# `(void)name;` parameter silencers are fine and not matched.
-VOID_DISCARD_RE = re.compile(r"^\s*\(void\)\s*[A-Za-z_][\w:.>-]*\s*\(")
-
-# Directories scanned for direct library mounts (rule 4), and the layers
-# allowed to perform them. Member-call shape only (`x.Mount(` / `x->Mount(`),
-# so MountR/ForceMount/MountTapes wrappers do not match.
-MOUNT_DIRS = ("src", "tools", "examples", "bench")
-MOUNT_ALLOWED = ("src/tape", "src/exec")
-MOUNT_RE = re.compile(r"(?:\.|->)\s*Mount\s*\(")
-
-# Directories scanned for direct extent-cache mutation (rule 5), and the
-# layers allowed to perform it. Lookup/Contains/stats are read-only and fine
-# anywhere; Admit and ReadThrough move bytes and must stay encapsulated.
-CACHE_DIRS = ("src", "tools", "examples", "bench")
-CACHE_ALLOWED = ("src/disk", "src/exec")
-CACHE_RE = re.compile(r"(?:\.|->)\s*(?:Admit|ReadThrough)\s*\(")
-
-# Directories scanned for raw SIMD usage (rule 6), and the single header
-# allowed to contain it. Matches both the intrinsic call shapes (x86 `_mm_*`
-# / `_mm256_*`, NEON `v...q_...` loads/compares) and the headers that
-# declare them, so a dormant include is caught too.
-SIMD_DIRS = ("src", "tools", "examples", "bench", "tests")
-SIMD_ALLOWED = ("src/join/simd.h",)
-SIMD_RE = re.compile(
-    r"\b_mm(?:256|512)?_[a-z0-9_]+\s*\("
-    r"|\bv(?:ld|st)[1-4]q?_[a-z0-9_]+\s*\("
-    r"|\bv(?:ceq|cgt|clt|and|orr|eor|add|sub|mov|get|set|dup|reinterpret)q?_[a-z0-9_]+\s*\(")
-SIMD_INCLUDE_RE = re.compile(
-    r"#\s*include\s*<(?:x|e|p|t|s|n|w|a|i)mmintrin\.h>"
-    r"|#\s*include\s*<(?:immintrin|arm_neon|arm_sve)\.h>")
-# Architecture-pinning flags banned from CMake defaults.
-MARCH_RE = re.compile(r"-m(?:arch|cpu|tune)=")
-
-
-class Finding:
-    def __init__(self, path: pathlib.Path, line: int, rule: str, message: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        rel = self.path.relative_to(REPO) if self.path.is_absolute() else self.path
-        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+# ---------------------------------------------------------------------------
+# Shared single-parse file cache
+# ---------------------------------------------------------------------------
 
 
 def strip_comments(text: str) -> str:
-    """Blanks out // and /* */ comments and string-free preprocessor noise,
-    preserving line structure so reported line numbers stay correct."""
+    """Blanks out // and /* */ comments, preserving line structure so
+    reported line numbers stay correct. String/char literals are kept."""
     out: list[str] = []
     i, n = 0, len(text)
     state = "code"  # code | line | block | string | char
@@ -200,119 +138,190 @@ def strip_comments(text: str) -> str:
     return "".join(out)
 
 
-def waivers_for(lines: list[str], lineno: int) -> set[str]:
-    """Rules waived for 1-based `lineno` via allow() on it or the line above."""
-    waived: set[str] = set()
-    for candidate in (lineno - 1, lineno - 2):
-        if 0 <= candidate < len(lines):
-            m = WAIVER_RE.search(lines[candidate])
-            if m:
-                waived.update(r.strip() for r in m.group(1).split(","))
-    return waived
+class SourceFile:
+    """One parsed source file: raw text/lines plus comment-stripped lines."""
+
+    def __init__(self, path: pathlib.Path):
+        self.path = path
+        self.raw = path.read_text()
+        self.raw_lines = self.raw.splitlines()
+        self.stripped = strip_comments(self.raw)
+        self.stripped_lines = self.stripped.splitlines()
+
+    def waivers_for(self, lineno: int) -> set[str]:
+        """Rules waived for 1-based `lineno` via allow() on it or above."""
+        waived: set[str] = set()
+        for candidate in (lineno - 1, lineno - 2):
+            if 0 <= candidate < len(self.raw_lines):
+                m = WAIVER_RE.search(self.raw_lines[candidate])
+                if m:
+                    waived.update(r.strip() for r in m.group(1).split(","))
+        return waived
 
 
-def iter_sources(dirs: tuple[str, ...]):
-    for d in dirs:
-        root = REPO / d
-        for path in sorted(root.rglob("*")):
-            if path.suffix in (".h", ".cc", ".cpp") and path.is_file():
-                yield path
+class Repo:
+    """Lazily parses and caches sources under one repo root."""
+
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self._cache: dict[pathlib.Path, SourceFile] = {}
+
+    def file(self, path: pathlib.Path) -> SourceFile:
+        if path not in self._cache:
+            self._cache[path] = SourceFile(path)
+        return self._cache[path]
+
+    def sources(self, dirs: tuple[str, ...], suffixes=(".h", ".cc", ".cpp")):
+        for d in dirs:
+            root = self.root / d
+            if not root.exists():
+                continue
+            for path in sorted(root.rglob("*")):
+                if path.suffix in suffixes and path.is_file():
+                    yield self.file(path)
 
 
-def check_error_discipline(findings: list[Finding]) -> None:
-    text = STATUS_H.read_text()
+class Finding:
+    def __init__(self, path: pathlib.Path, line: int, rule: str, message: str,
+                 fix=None):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        # Optional mechanical fix: (old_line_text, new_line_text).
+        self.fix = fix
+
+    def rel(self, root: pathlib.Path) -> str:
+        try:
+            return self.path.relative_to(root).as_posix()
+        except ValueError:
+            return str(self.path)
+
+
+# ---------------------------------------------------------------------------
+# error-discipline pack
+# ---------------------------------------------------------------------------
+
+VOID_DISCARD_RE = re.compile(r"^\s*\(void\)\s*[A-Za-z_][\w:.>-]*\s*\(")
+
+
+def check_error_discipline(repo: Repo, findings: list[Finding]) -> None:
+    status_h = repo.root / "src" / "util" / "status.h"
+    text = repo.file(status_h).raw
     if not re.search(r"class\s+\[\[nodiscard\]\]\s+Status\b", text):
-        findings.append(Finding(STATUS_H, 1, "nodiscard",
+        findings.append(Finding(status_h, 1, "nodiscard",
                                 "class Status must be declared [[nodiscard]]"))
     if not re.search(r"class\s+\[\[nodiscard\]\]\s+Result\b", text):
-        findings.append(Finding(STATUS_H, 1, "nodiscard",
+        findings.append(Finding(status_h, 1, "nodiscard",
                                 "class Result<T> must be declared [[nodiscard]]"))
-    # Explicit discards must explain themselves.
-    for path in iter_sources(("src", "tools")):
-        raw_lines = path.read_text().splitlines()
-        stripped = strip_comments(path.read_text()).splitlines()
-        for idx, line in enumerate(stripped):
+    for src in repo.sources(("src", "tools")):
+        for idx, line in enumerate(src.stripped_lines):
             if VOID_DISCARD_RE.match(line):
-                raw = raw_lines[idx] if idx < len(raw_lines) else ""
-                if "//" not in raw and "discard" not in waivers_for(raw_lines, idx + 1):
+                raw = src.raw_lines[idx] if idx < len(src.raw_lines) else ""
+                if "//" not in raw and "discard" not in src.waivers_for(idx + 1):
                     findings.append(Finding(
-                        path, idx + 1, "discard",
+                        src.path, idx + 1, "discard",
                         "(void)-discard of a return value needs a justifying "
                         "comment on the same line (or tertio-lint: allow(discard))"))
 
 
-def check_hot_paths(findings: list[Finding]) -> None:
-    for path in iter_sources(HOT_DIRS):
-        raw = path.read_text()
-        raw_lines = raw.splitlines()
-        stripped = strip_comments(raw).splitlines()
-        for idx, line in enumerate(stripped):
+# ---------------------------------------------------------------------------
+# hot-path pack
+# ---------------------------------------------------------------------------
+
+HOT_DIRS = ("src/join", "src/sim")
+
+BANNED = [
+    ("unordered-map", re.compile(r"\bstd::unordered_(?:multi)?map\b"),
+     "hashed maps are banned in hot paths (nondeterministic iteration order); "
+     "use the flat table, std::map, or a vector"),
+    ("rand", re.compile(r"\b(?:std::)?s?rand\s*\("),
+     "rand()/srand() hide global state; use util/rng.h (seeded, per-stream)"),
+    ("wall-clock", re.compile(
+        r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b"
+        r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\b(?:std::)?time\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
+     "wall-clock reads in the simulator break virtual-time determinism; "
+     "thread SimSeconds through instead"),
+]
+
+
+def check_hot_paths(repo: Repo, findings: list[Finding]) -> None:
+    for src in repo.sources(HOT_DIRS):
+        for idx, line in enumerate(src.stripped_lines):
             for rule, pattern, message in BANNED:
-                if pattern.search(line) and rule not in waivers_for(raw_lines, idx + 1):
-                    findings.append(Finding(path, idx + 1, rule, message))
-        # The include behind the banned containers, so a dormant include
-        # can't reintroduce them silently.
-        for idx, line in enumerate(stripped):
+                if pattern.search(line) and rule not in src.waivers_for(idx + 1):
+                    findings.append(Finding(src.path, idx + 1, rule, message))
             if re.search(r"#\s*include\s*<unordered_map>", line) \
-                    and "unordered-map" not in waivers_for(raw_lines, idx + 1):
-                findings.append(Finding(path, idx + 1, "unordered-map",
+                    and "unordered-map" not in src.waivers_for(idx + 1):
+                findings.append(Finding(src.path, idx + 1, "unordered-map",
                                         "#include <unordered_map> in a hot-path directory"))
 
 
-def check_mount_encapsulation(findings: list[Finding]) -> None:
-    for path in iter_sources(MOUNT_DIRS):
-        rel = path.relative_to(REPO).as_posix()
-        if any(rel.startswith(prefix + "/") for prefix in MOUNT_ALLOWED):
+# ---------------------------------------------------------------------------
+# encapsulation pack (mount, extent-cache, simd)
+# ---------------------------------------------------------------------------
+
+MOUNT_DIRS = ("src", "tools", "examples", "bench")
+MOUNT_ALLOWED = ("src/tape", "src/exec")
+MOUNT_RE = re.compile(r"(?:\.|->)\s*Mount\s*\(")
+
+CACHE_DIRS = ("src", "tools", "examples", "bench")
+CACHE_ALLOWED = ("src/disk", "src/exec")
+CACHE_RE = re.compile(r"(?:\.|->)\s*(?:Admit|ReadThrough)\s*\(")
+
+SIMD_DIRS = ("src", "tools", "examples", "bench", "tests")
+SIMD_ALLOWED = ("src/join/simd.h",)
+SIMD_RE = re.compile(
+    r"\b_mm(?:256|512)?_[a-z0-9_]+\s*\("
+    r"|\bv(?:ld|st)[1-4]q?_[a-z0-9_]+\s*\("
+    r"|\bv(?:ceq|cgt|clt|and|orr|eor|add|sub|mov|get|set|dup|reinterpret)q?_[a-z0-9_]+\s*\(")
+SIMD_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<(?:x|e|p|t|s|n|w|a|i)mmintrin\.h>"
+    r"|#\s*include\s*<(?:immintrin|arm_neon|arm_sve)\.h>")
+MARCH_RE = re.compile(r"-m(?:arch|cpu|tune)=")
+
+
+def _outside(repo: Repo, src: SourceFile, allowed: tuple[str, ...]) -> bool:
+    rel = src.path.relative_to(repo.root).as_posix()
+    return rel not in allowed and not any(
+        rel.startswith(prefix + "/") for prefix in allowed)
+
+
+def check_encapsulation(repo: Repo, findings: list[Finding]) -> None:
+    for src in repo.sources(MOUNT_DIRS):
+        if not _outside(repo, src, MOUNT_ALLOWED):
             continue
-        raw = path.read_text()
-        raw_lines = raw.splitlines()
-        stripped = strip_comments(raw).splitlines()
-        for idx, line in enumerate(stripped):
-            if MOUNT_RE.search(line) and "mount" not in waivers_for(raw_lines, idx + 1):
+        for idx, line in enumerate(src.stripped_lines):
+            if MOUNT_RE.search(line) and "mount" not in src.waivers_for(idx + 1):
                 findings.append(Finding(
-                    path, idx + 1, "mount",
+                    src.path, idx + 1, "mount",
                     "direct TapeLibrary::Mount outside src/tape and src/exec bypasses "
                     "session mount accounting; use exec::QuerySession MountR/MountS "
                     "(or tertio-lint: allow(mount) for a deliberate exception)"))
-
-
-def check_cache_encapsulation(findings: list[Finding]) -> None:
-    for path in iter_sources(CACHE_DIRS):
-        rel = path.relative_to(REPO).as_posix()
-        if any(rel.startswith(prefix + "/") for prefix in CACHE_ALLOWED):
+    for src in repo.sources(CACHE_DIRS):
+        if not _outside(repo, src, CACHE_ALLOWED):
             continue
-        raw = path.read_text()
-        raw_lines = raw.splitlines()
-        stripped = strip_comments(raw).splitlines()
-        for idx, line in enumerate(stripped):
-            if CACHE_RE.search(line) and "extent-cache" not in waivers_for(raw_lines, idx + 1):
+        for idx, line in enumerate(src.stripped_lines):
+            if CACHE_RE.search(line) and "extent-cache" not in src.waivers_for(idx + 1):
                 findings.append(Finding(
-                    path, idx + 1, "extent-cache",
+                    src.path, idx + 1, "extent-cache",
                     "direct ExtentCache::Admit/ReadThrough outside src/disk and src/exec "
                     "bypasses the cache's residency ledger and SimSan byte accounting; "
                     "go through QuerySession/QueryScheduler "
                     "(or tertio-lint: allow(extent-cache) for a deliberate exception)"))
-
-
-def check_simd_encapsulation(findings: list[Finding]) -> None:
-    for path in iter_sources(SIMD_DIRS):
-        rel = path.relative_to(REPO).as_posix()
-        if rel in SIMD_ALLOWED:
+    for src in repo.sources(SIMD_DIRS):
+        if not _outside(repo, src, SIMD_ALLOWED):
             continue
-        raw = path.read_text()
-        raw_lines = raw.splitlines()
-        stripped = strip_comments(raw).splitlines()
-        for idx, line in enumerate(stripped):
+        for idx, line in enumerate(src.stripped_lines):
             if (SIMD_RE.search(line) or SIMD_INCLUDE_RE.search(line)) \
-                    and "simd" not in waivers_for(raw_lines, idx + 1):
+                    and "simd" not in src.waivers_for(idx + 1):
                 findings.append(Finding(
-                    path, idx + 1, "simd",
+                    src.path, idx + 1, "simd",
                     "raw SIMD intrinsics outside src/join/simd.h; call the "
                     "runtime-dispatched simd:: wrappers so forced-scalar runs "
                     "stay bit-identical (or tertio-lint: allow(simd))"))
-    # CMake defaults must stay portable: no -march/-mcpu/-mtune pinning.
-    for cmake in sorted(REPO.rglob("CMakeLists.txt")):
-        if "build" in cmake.relative_to(REPO).parts:
+    for cmake in sorted(repo.root.rglob("CMakeLists.txt")):
+        if "build" in cmake.relative_to(repo.root).parts:
             continue
         for idx, line in enumerate(cmake.read_text().splitlines()):
             if MARCH_RE.search(line) and "tertio-lint: allow(simd)" not in line:
@@ -323,40 +332,58 @@ def check_simd_encapsulation(findings: list[Finding]) -> None:
                     "src/join/simd.h"))
 
 
-def load_registry(findings: list[Finding]) -> list[str]:
-    text = REGISTRY.read_text()
+# ---------------------------------------------------------------------------
+# span-registry pack
+# ---------------------------------------------------------------------------
+
+SPAN_USE_DIRS = ("src/join", "src/sim")
+REPORT_FILES = ("src/sim/trace_report.cc", "src/exec/report.cc")
+
+PHASE_PATTERNS = [
+    re.compile(r"\b(?:Stage|StageWithRetry|Event|Barrier|Record)\(\s*\"([^\"]+)\""),
+    re.compile(r"\b(?:read_phase|write_phase)\s*=\s*\"([^\"]+)\""),
+    re.compile(r"\bIssue(?:Read|Write|Flush)\(\s*\w+,\s*\"([^\"]+)\""),
+    re.compile(r"\bScanDiskAndProbe\(\s*\w+,\s*\w+,\s*\"([^\"]+)\""),
+    re.compile(r"\bAcquireFreeStage\(\s*\w+,\s*\w+,\s*\"([^\"]+)\""),
+]
+
+REPORT_PHASE_RE = re.compile(r"\bphase(?:\.phase)?\s*==\s*\"([^\"]+)\"")
+
+
+def load_registry(repo: Repo, findings: list[Finding]) -> list[str]:
+    registry = repo.root / "src" / "sim" / "span_registry.h"
+    text = repo.file(registry).raw
     m = re.search(r"kRegisteredSpans\[\]\s*=\s*\{(.*?)\};", text, re.DOTALL)
     if not m:
-        findings.append(Finding(REGISTRY, 1, "span-registry",
+        findings.append(Finding(registry, 1, "span-registry",
                                 "could not parse kRegisteredSpans"))
         return []
     body = strip_comments(m.group(1))
     spans = re.findall(r"\"([^\"]+)\"", body)
     if spans != sorted(spans):
-        findings.append(Finding(REGISTRY, 1, "span-registry",
+        findings.append(Finding(registry, 1, "span-registry",
                                 "kRegisteredSpans must be sorted (binary_search contract)"))
     return spans
 
 
-def check_span_registry(findings: list[Finding]) -> None:
-    registered = load_registry(findings)
+def check_span_registry(repo: Repo, findings: list[Finding]) -> None:
+    registry = repo.root / "src" / "sim" / "span_registry.h"
+    registered = load_registry(repo, findings)
     if not registered:
         return
     used: dict[str, tuple[pathlib.Path, int]] = {}
-    for path in iter_sources(SPAN_USE_DIRS):
-        if path == REGISTRY:
+    for src in repo.sources(SPAN_USE_DIRS):
+        if src.path == registry:
             continue
-        stripped = strip_comments(path.read_text()).splitlines()
-        for idx, line in enumerate(stripped):
+        for idx, line in enumerate(src.stripped_lines):
             for pattern in PHASE_PATTERNS:
                 for label in pattern.findall(line):
-                    used.setdefault(label, (path, idx + 1))
+                    used.setdefault(label, (src.path, idx + 1))
     for rel in REPORT_FILES:
-        path = REPO / rel
-        stripped = strip_comments(path.read_text()).splitlines()
-        for idx, line in enumerate(stripped):
+        src = repo.file(repo.root / rel)
+        for idx, line in enumerate(src.stripped_lines):
             for label in REPORT_PHASE_RE.findall(line):
-                used.setdefault(label, (path, idx + 1))
+                used.setdefault(label, (src.path, idx + 1))
 
     for label, (path, line) in sorted(used.items()):
         if label not in registered:
@@ -367,36 +394,230 @@ def check_span_registry(findings: list[Finding]) -> None:
     for label in registered:
         if label not in used:
             findings.append(Finding(
-                REGISTRY, 1, "span-registry",
+                registry, 1, "span-registry",
                 f'registered span "{label}" is used nowhere in {", ".join(SPAN_USE_DIRS)} '
                 "(stale entry — remove it or restore the call site)"))
 
 
-def main() -> int:
+# ---------------------------------------------------------------------------
+# units pack
+# ---------------------------------------------------------------------------
+
+UNITS_HEADER_DIRS = ("src",)
+# The definition site of the strong types is exempt: it *is* the escape hatch.
+UNITS_EXEMPT = ("src/util/units.h", "src/util/status.h")
+
+# A raw-typed parameter whose *name* claims a dimension. Matched against
+# single parameter declarations split on commas inside parens.
+RAW_PARAM_RE = re.compile(
+    r"(?P<type>\b(?:std::)?(?:uint64_t|size_t|uint32_t|int64_t)\b)"
+    r"(?:\s+|\s*&\s*|\s*\b)"
+    r"(?P<name>[A-Za-z_]\w*_(?:blocks|bytes))\b")
+RAW_SECONDS_PARAM_RE = re.compile(
+    r"(?P<type>\bdouble\b)\s+(?P<name>[A-Za-z_]\w*_seconds)\b")
+
+# Strong type for each name suffix, used by --fix and the message.
+SUFFIX_TYPE = {"blocks": "Blocks", "bytes": "Bytes", "seconds": "SimSeconds"}
+
+UNWRAP_RE = re.compile(r"\.\s*value\s*\(\s*\)")
+
+CONV_CALL_RE = re.compile(r"\b(BytesToBlocks|BlocksToBytes)\s*\(")
+
+# Names that legitimately denote a block *size* in bytes (the second
+# argument of both conversions).
+BLOCK_SIZE_NAME_RE = re.compile(r"block_?(?:bytes|size)|kDefaultBlockBytes|kBlock\b")
+
+
+def _split_args(text: str, start: int):
+    """Splits the argument list starting at the '(' at `start`; returns
+    (args, end_index) or None if unbalanced (multi-line call)."""
+    depth = 0
+    args: list[str] = []
+    current: list[str] = []
+    for i in range(start, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+            if depth == 1:
+                continue
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                args.append("".join(current).strip())
+                return args, i
+        elif c == "," and depth == 1:
+            args.append("".join(current).strip())
+            current = []
+            continue
+        current.append(c)
+    return None
+
+
+def check_units(repo: Repo, findings: list[Finding]) -> None:
+    # units-raw-param: headers only — the API surface the strong types guard.
+    for src in repo.sources(UNITS_HEADER_DIRS, suffixes=(".h",)):
+        if not _outside(repo, src, UNITS_EXEMPT):
+            continue
+        for idx, line in enumerate(src.stripped_lines):
+            for pattern in (RAW_PARAM_RE, RAW_SECONDS_PARAM_RE):
+                for m in pattern.finditer(line):
+                    if "units-raw-param" in src.waivers_for(idx + 1):
+                        continue
+                    suffix = m.group("name").rsplit("_", 1)[1]
+                    strong = SUFFIX_TYPE[suffix]
+                    raw_line = src.raw_lines[idx]
+                    fixed = raw_line.replace(m.group("type"), strong, 1) \
+                        if m.group("type") in raw_line else None
+                    findings.append(Finding(
+                        src.path, idx + 1, "units-raw-param",
+                        f"raw {m.group('type')} parameter '{m.group('name')}' in a src/ "
+                        f"header reintroduces the implicit-conversion hole; declare it "
+                        f"{strong} (or tertio-lint: allow(units-raw-param))",
+                        fix=(raw_line, fixed) if fixed else None))
+
+    # units-unwrap: .value() escapes on the inline header API surface.
+    for src in repo.sources(UNITS_HEADER_DIRS, suffixes=(".h",)):
+        if not _outside(repo, src, UNITS_EXEMPT):
+            continue
+        for idx, line in enumerate(src.stripped_lines):
+            if UNWRAP_RE.search(line) and "units-unwrap" not in src.waivers_for(idx + 1):
+                findings.append(Finding(
+                    src.path, idx + 1, "units-unwrap",
+                    ".value() unwrap in a src/ header leaks the raw representation "
+                    "past the unit types; keep the quantity typed or add "
+                    "tertio-lint: allow(units-unwrap) with a reason"))
+
+    # units-arg-order: conversion call sites whose argument *names* claim the
+    # wrong dimension.
+    for src in repo.sources(("src", "tools", "examples", "bench", "tests")):
+        text = src.stripped
+        for m in CONV_CALL_RE.finditer(text):
+            call = m.group(1)
+            parsed = _split_args(text, m.end() - 1)
+            if not parsed:
+                continue
+            args, _ = parsed
+            if len(args) != 2:
+                continue
+            lineno = text.count("\n", 0, m.start()) + 1
+            if "units-arg-order" in src.waivers_for(lineno):
+                continue
+            first, second = args[0], args[1]
+            first_names = " ".join(re.findall(r"[A-Za-z_]\w*", first))
+            problem = None
+            if call == "BytesToBlocks":
+                # First argument must be a byte count, not a block count.
+                if re.search(r"\bblocks\b|_blocks\b", first_names) and \
+                        not BLOCK_SIZE_NAME_RE.search(first_names):
+                    problem = (f"first argument '{first}' names a block count but "
+                               "BytesToBlocks expects bytes")
+            else:  # BlocksToBytes
+                if re.search(r"\bbytes\b|_bytes\b", first_names) and \
+                        not BLOCK_SIZE_NAME_RE.search(first_names):
+                    problem = (f"first argument '{first}' names a byte count but "
+                               "BlocksToBytes expects blocks")
+            if problem is None and second and \
+                    not BLOCK_SIZE_NAME_RE.search(second) and \
+                    re.search(r"_(?:blocks|seconds)\b", second):
+                problem = (f"second argument '{second}' does not look like a "
+                           "block size in bytes")
+            if problem:
+                findings.append(Finding(
+                    src.path, lineno, "units-arg-order",
+                    f"{call}: {problem} "
+                    "(or tertio-lint: allow(units-arg-order) if intentional)"))
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+PACKS = {
+    "error-discipline": check_error_discipline,
+    "hot-path": check_hot_paths,
+    "encapsulation": check_encapsulation,
+    "span-registry": check_span_registry,
+    "units": check_units,
+}
+
+
+def apply_fixes(findings: list[Finding]) -> int:
+    """Applies the mechanical fixes attached to findings. Returns count."""
+    by_file: dict[pathlib.Path, list[Finding]] = {}
+    for f in findings:
+        if f.fix:
+            by_file.setdefault(f.path, []).append(f)
+    fixed = 0
+    for path, file_findings in by_file.items():
+        lines = path.read_text().splitlines(keepends=True)
+        for f in file_findings:
+            old, new = f.fix
+            idx = f.line - 1
+            if idx < len(lines) and lines[idx].rstrip("\n") == old:
+                eol = "\n" if lines[idx].endswith("\n") else ""
+                lines[idx] = new + eol
+                fixed += 1
+        path.write_text("".join(lines))
+    return fixed
+
+
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rules", default="all",
+                        help="comma-separated rule packs to run "
+                             f"({', '.join(PACKS)}; default: all)")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanical fixes (units-raw-param type "
+                             "rewrites) and re-run the checks")
+    parser.add_argument("--root", type=pathlib.Path, default=DEFAULT_REPO,
+                        help="repo root to analyze (for the lint's own tests)")
     parser.add_argument("--list-spans", action="store_true",
                         help="print the parsed span registry and exit")
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
+    repo = Repo(args.root.resolve())
     findings: list[Finding] = []
     if args.list_spans:
-        for span in load_registry(findings):
+        for span in load_registry(repo, findings):
             print(span)
         return 0 if not findings else 1
 
-    check_error_discipline(findings)
-    check_hot_paths(findings)
-    check_mount_encapsulation(findings)
-    check_cache_encapsulation(findings)
-    check_simd_encapsulation(findings)
-    check_span_registry(findings)
+    if args.rules == "all":
+        selected = list(PACKS)
+    else:
+        selected = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in selected if r not in PACKS]
+        if unknown:
+            print(f"tertio_lint: unknown rule pack(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    for pack in selected:
+        PACKS[pack](repo, findings)
+
+    if args.fix:
+        # Iterate to a fixed point: two violations on one line produce fixes
+        # against the same original text, so only one lands per round.
+        total = 0
+        for _ in range(8):
+            fixed = apply_fixes(findings)
+            if not fixed:
+                break
+            total += fixed
+            repo = Repo(args.root.resolve())
+            findings = []
+            for pack in selected:
+                PACKS[pack](repo, findings)
+        if total:
+            print(f"tertio_lint: applied {total} fix(es)")
 
     for finding in findings:
-        print(finding)
+        print(f"{finding.rel(repo.root)}:{finding.line}: "
+              f"[{finding.rule}] {finding.message}")
     if findings:
         print(f"tertio_lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print("tertio_lint: clean")
+    print(f"tertio_lint: clean ({', '.join(selected)})")
     return 0
 
 

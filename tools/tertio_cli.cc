@@ -98,13 +98,13 @@ Result<Flags> Parse(int argc, char** argv) {
 cost::CostParams ParamsFrom(const Flags& flags) {
   cost::CostParams params;
   params.r_blocks = BytesToBlocks(
-      static_cast<ByteCount>(flags.GetDouble("r-mb", 0) * kMB), kDefaultBlockBytes);
+      static_cast<ByteCount>(flags.GetDouble("r-mb", 0) * static_cast<double>(kMB.value())), kDefaultBlockBytes);
   params.s_blocks = BytesToBlocks(
-      static_cast<ByteCount>(flags.GetDouble("s-mb", 0) * kMB), kDefaultBlockBytes);
+      static_cast<ByteCount>(flags.GetDouble("s-mb", 0) * static_cast<double>(kMB.value())), kDefaultBlockBytes);
   params.disk_blocks = BytesToBlocks(
-      static_cast<ByteCount>(flags.GetDouble("disk-mb", 0) * kMB), kDefaultBlockBytes);
+      static_cast<ByteCount>(flags.GetDouble("disk-mb", 0) * static_cast<double>(kMB.value())), kDefaultBlockBytes);
   params.memory_blocks = BytesToBlocks(
-      static_cast<ByteCount>(flags.GetDouble("memory-mb", 0) * kMB), kDefaultBlockBytes);
+      static_cast<ByteCount>(flags.GetDouble("memory-mb", 0) * static_cast<double>(kMB.value())), kDefaultBlockBytes);
   double c = flags.GetDouble("compressibility", 0.25);
   params.tape_rate_bps = tape::TapeDriveModel::DLT4000().EffectiveRate(c);
   params.disk_rate_bps = 2 * disk::DiskModel::QuantumFireball1080().transfer_rate_bps;
@@ -133,8 +133,8 @@ int CmdAdvise(const Flags& flags) {
                   StrFormat("%llu", (unsigned long long)choice.estimate.iterations),
                   StrFormat("%.0f",
                             static_cast<double>(BlocksToBytes(
-                                choice.estimate.disk_traffic_blocks, kDefaultBlockBytes)) /
-                                kMB)});
+                                choice.estimate.disk_traffic_blocks, kDefaultBlockBytes).value()) /
+                                static_cast<double>(kMB.value()))});
   }
   table.Print();
   for (const auto& rejection : report->rejected) {
@@ -189,8 +189,8 @@ int CmdRun(const Flags& flags) {
     return 2;
   }
   exec::MachineConfig config = exec::MachineConfig::PaperTestbed(
-      static_cast<ByteCount>(flags.GetDouble("disk-mb", 0) * kMB),
-      static_cast<ByteCount>(flags.GetDouble("memory-mb", 0) * kMB));
+      static_cast<ByteCount>(flags.GetDouble("disk-mb", 0) * static_cast<double>(kMB.value())),
+      static_cast<ByteCount>(flags.GetDouble("memory-mb", 0) * static_cast<double>(kMB.value())));
   if (flags.Has("faults")) {
     auto plan = sim::FaultPlan::Parse(flags.GetString("faults", ""));
     if (!plan.ok()) {
@@ -204,8 +204,8 @@ int CmdRun(const Flags& flags) {
     for (const auto& resource : machine.sim().resources()) resource->EnableTrace();
   }
   exec::WorkloadConfig workload;
-  workload.r_bytes = static_cast<ByteCount>(flags.GetDouble("r-mb", 0) * kMB);
-  workload.s_bytes = static_cast<ByteCount>(flags.GetDouble("s-mb", 0) * kMB);
+  workload.r_bytes = static_cast<ByteCount>(flags.GetDouble("r-mb", 0) * static_cast<double>(kMB.value()));
+  workload.s_bytes = static_cast<ByteCount>(flags.GetDouble("s-mb", 0) * static_cast<double>(kMB.value()));
   workload.compressibility = flags.GetDouble("compressibility", 0.25);
   workload.phantom = true;
   auto prepared = exec::PrepareWorkload(&machine, workload);
@@ -260,9 +260,9 @@ int CmdRun(const Flags& flags) {
 }
 
 int CmdSweep(const Flags& flags) {
-  auto r_bytes = static_cast<ByteCount>(flags.GetDouble("r-mb", 0) * kMB);
-  auto s_bytes = static_cast<ByteCount>(flags.GetDouble("s-mb", 0) * kMB);
-  auto d_bytes = static_cast<ByteCount>(flags.GetDouble("disk-mb", 0) * kMB);
+  auto r_bytes = static_cast<ByteCount>(flags.GetDouble("r-mb", 0) * static_cast<double>(kMB.value()));
+  auto s_bytes = static_cast<ByteCount>(flags.GetDouble("s-mb", 0) * static_cast<double>(kMB.value()));
+  auto d_bytes = static_cast<ByteCount>(flags.GetDouble("disk-mb", 0) * static_cast<double>(kMB.value()));
   double c = flags.GetDouble("compressibility", 0.25);
   exec::SeriesReport series("M/|R|", {"DT-NB", "CDT-NB/MB", "CDT-NB/DB", "DT-GH", "CDT-GH"});
   for (double f : {0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0}) {
@@ -271,14 +271,14 @@ int CmdSweep(const Flags& flags) {
                                 JoinMethodId::kCdtNbDb, JoinMethodId::kDtGh,
                                 JoinMethodId::kCdtGh}) {
       exec::MachineConfig config = exec::MachineConfig::PaperTestbed(
-          d_bytes, static_cast<ByteCount>(f * static_cast<double>(r_bytes)));
+          d_bytes, static_cast<ByteCount>(f * static_cast<double>(r_bytes.value())));
       exec::WorkloadConfig workload;
       workload.r_bytes = r_bytes;
       workload.s_bytes = s_bytes;
       workload.compressibility = c;
       workload.phantom = true;
       auto stats = exec::RunJoinExperiment(config, workload, method);
-      row.push_back(stats.ok() ? stats->response_seconds
+      row.push_back(stats.ok() ? stats->response_seconds.value()
                                : std::numeric_limits<double>::quiet_NaN());
     }
     series.AddPoint(f, row);
@@ -296,8 +296,8 @@ struct ServeResult {
 
 Result<ServeResult> RunService(const Flags& flags, exec::ServicePolicy policy) {
   exec::SiteConfig site_config;
-  site_config.disk_space_bytes = static_cast<ByteCount>(flags.GetDouble("disk-mb", 0) * kMB);
-  site_config.memory_bytes = static_cast<ByteCount>(flags.GetDouble("memory-mb", 0) * kMB);
+  site_config.disk_space_bytes = static_cast<ByteCount>(flags.GetDouble("disk-mb", 0) * static_cast<double>(kMB.value()));
+  site_config.memory_bytes = static_cast<ByteCount>(flags.GetDouble("memory-mb", 0) * static_cast<double>(kMB.value()));
   site_config.with_library = true;
   // HSM tier: carve this many blocks of the disk into the cross-query
   // extent cache (0 = disabled).
@@ -310,8 +310,8 @@ Result<ServeResult> RunService(const Flags& flags, exec::ServicePolicy policy) {
   exec::Site site(site_config);
 
   exec::ServiceWorkloadConfig load;
-  load.s_bytes = static_cast<ByteCount>(flags.GetDouble("s-mb", 0) * kMB);
-  load.r_bytes = static_cast<ByteCount>(flags.GetDouble("r-mb", 0) * kMB);
+  load.s_bytes = static_cast<ByteCount>(flags.GetDouble("s-mb", 0) * static_cast<double>(kMB.value()));
+  load.r_bytes = static_cast<ByteCount>(flags.GetDouble("r-mb", 0) * static_cast<double>(kMB.value()));
   load.s_cartridges = static_cast<int>(flags.GetDouble("cartridges", 2));
   load.r_relations = static_cast<int>(flags.GetDouble("r-relations", 4));
   load.compressibility = flags.GetDouble("compressibility", 0.25);
@@ -360,7 +360,7 @@ Result<ServeResult> RunService(const Flags& flags, exec::ServicePolicy policy) {
   result.stats = scheduler.service_stats();
   for (const exec::QueryOutcome& out : scheduler.outcomes()) {
     if (!out.status.ok()) return out.status;
-    result.responses.push_back(out.response_seconds());
+    result.responses.push_back(out.response_seconds().value());
   }
   std::sort(result.responses.begin(), result.responses.end());
   return result;
@@ -389,14 +389,14 @@ int CmdServe(const Flags& flags) {
          FormatDuration(ServePercentile(result->responses, 0.99)),
          FormatDuration(result->stats.makespan),
          StrFormat("%.0f", static_cast<double>(BlocksToBytes(result->stats.tape_blocks_read,
-                                                             kDefaultBlockBytes)) /
-                               kMB),
+                                                             kDefaultBlockBytes).value()) /
+                                static_cast<double>(kMB.value())),
          StrFormat("%.0f", static_cast<double>(BlocksToBytes(result->stats.tape_blocks_shared,
-                                                             kDefaultBlockBytes)) /
-                               kMB),
+                                                             kDefaultBlockBytes).value()) /
+                                static_cast<double>(kMB.value())),
          StrFormat("%.0f", static_cast<double>(BlocksToBytes(result->stats.tape_blocks_cached,
-                                                             kDefaultBlockBytes)) /
-                               kMB),
+                                                             kDefaultBlockBytes).value()) /
+                                static_cast<double>(kMB.value())),
          StrFormat("%llu", (unsigned long long)result->stats.scan_shared_queries)});
   }
   table.Print();

@@ -18,8 +18,12 @@ cd "$(dirname "$0")/.."
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "== static analysis: tertio_lint =="
+echo "== static analysis: tertio_lint (all rule packs) =="
 python3 tools/lint/tertio_lint.py
+
+echo "== static analysis: tertio_lint units pack + self-tests =="
+python3 tools/lint/tertio_lint.py --rules=units
+python3 tools/lint/tests/test_tertio_lint.py
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== static analysis: clang-tidy (preset: tidy, warnings-as-errors) =="
