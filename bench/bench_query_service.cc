@@ -88,6 +88,8 @@ double Percentile(std::vector<double> values, double p) {
 struct PolicyResult {
   ServiceStats stats;
   std::vector<double> responses;
+  /// Queue waits (start - arrival): the scheduling delay component.
+  std::vector<double> waits;
 };
 
 // Fixed arrival schedule; every query is submitted up front.
@@ -108,6 +110,7 @@ PolicyResult RunOpenLoop(ServicePolicy policy) {
   for (const QueryOutcome& out : scheduler.outcomes()) {
     TERTIO_CHECK(out.status.ok(), "open-loop query failed");
     result.responses.push_back(out.response_seconds().value());
+    result.waits.push_back((out.start - out.arrival).value());
   }
   return result;
 }
@@ -144,6 +147,7 @@ PolicyResult RunClosedLoop(ServicePolicy policy) {
   for (const QueryOutcome& out : scheduler.outcomes()) {
     TERTIO_CHECK(out.status.ok(), "closed-loop query failed");
     result.responses.push_back(out.response_seconds().value());
+    result.waits.push_back((out.start - out.arrival).value());
   }
   return result;
 }
@@ -258,6 +262,7 @@ PolicyResult RunZipfLoop(BlockCount cache_blocks) {
   for (const QueryOutcome& out : scheduler.outcomes()) {
     TERTIO_CHECK(out.status.ok(), "zipf query failed");
     result.responses.push_back(out.response_seconds().value());
+    result.waits.push_back((out.start - out.arrival).value());
   }
   return result;
 }
@@ -289,6 +294,120 @@ void ReportZipf(BenchRecorder* recorder, ByteCount cache_bytes, const PolicyResu
                          static_cast<double>(result.stats.cache_evictions));
 }
 
+// --- Concurrent in-flight sweep: policy x max_in_flight ---------------------
+//
+// The tentpole measurement: a closed loop of joins scattered over several R
+// and S cartridges, executed at max_in_flight 1 / 2 / 4 under each policy.
+// The site scales with the cap (2 drives and a 1/cap share of memory and
+// disk per session) so the sweep isolates what the dispatch loop and the
+// robot-scheduling policy add, not raw hardware growth. The library charges
+// per-slot arm travel, so the elevator's shorter sweeps are real seconds.
+
+constexpr int kSweepClients = 4;
+constexpr int kSweepQueriesPerClient = 3;
+
+SiteConfig SweepSite(int max_in_flight) {
+  SiteConfig config;
+  config.with_library = true;
+  config.drive_count = 2 * max_in_flight;
+  config.memory_bytes = 32 * kMB;
+  config.disk_space_bytes = 1000 * kMB;
+  config.library_model.travel_seconds_per_slot = 1.0;
+  return config;
+}
+
+ServiceWorkloadConfig SweepLoad() {
+  ServiceWorkloadConfig config;
+  config.s_cartridges = 4;
+  config.s_bytes = 400 * kMB;
+  config.r_relations = 8;
+  config.r_cartridges = 4;
+  config.r_bytes = 12 * kMB;
+  config.phantom = true;
+  return config;
+}
+
+struct SweepResult {
+  ServiceStats stats;
+  std::vector<double> responses;
+  std::vector<double> waits;
+};
+
+// Closed loop: kSweepClients clients, each submitting its next query the
+// moment its previous one completes. Query index q deterministically picks
+// (R_{q mod 8}, S_{q mod 4}), identical across every (policy, cap) cell.
+SweepResult RunSweepCell(ServicePolicy policy, int max_in_flight) {
+  auto site = std::make_unique<Site>(SweepSite(max_in_flight));
+  auto workload = exec::PrepareServiceWorkload(site.get(), SweepLoad());
+  TERTIO_CHECK(workload.ok(), "sweep workload setup failed");
+  exec::SchedulerOptions options;
+  options.max_in_flight = max_in_flight;
+  QueryScheduler scheduler(site.get(), policy, options);
+  auto submit = [&](int q, SimSeconds arrival) {
+    JoinRequest request;
+    request.arrival = arrival;
+    request.spec.r = &workload->r[static_cast<size_t>(q) % workload->r.size()];
+    request.spec.s = &workload->s[static_cast<size_t>(q) % workload->s.size()];
+    request.method = JoinMethodId::kCdtGh;
+    request.memory_blocks = site->memory_blocks() / max_in_flight;
+    request.disk_blocks = site->session_disk_blocks() / max_in_flight;
+    return scheduler.Submit(request);
+  };
+  std::map<std::uint64_t, int> client_of;
+  std::vector<int> sequence(kSweepClients, 0);
+  scheduler.set_on_complete([&](const QueryOutcome& out) {
+    auto it = client_of.find(out.id);
+    TERTIO_CHECK(it != client_of.end(), "outcome for unknown client");
+    int client = it->second;
+    int next = ++sequence[static_cast<size_t>(client)];
+    if (next >= kSweepQueriesPerClient) return;
+    auto id = submit(client + kSweepClients * next, out.completion);
+    TERTIO_CHECK(id.ok(), "sweep submit rejected");
+    client_of[*id] = client;
+  });
+  for (int client = 0; client < kSweepClients; ++client) {
+    auto id = submit(client, 0.0);
+    TERTIO_CHECK(id.ok(), "sweep submit rejected");
+    client_of[*id] = client;
+  }
+  Status ran = scheduler.Run();
+  TERTIO_CHECK(ran.ok(), "sweep service run failed");
+  SweepResult result;
+  result.stats = scheduler.service_stats();
+  for (const QueryOutcome& out : scheduler.outcomes()) {
+    TERTIO_CHECK(out.status.ok(), "sweep query failed");
+    result.responses.push_back(out.response_seconds().value());
+    result.waits.push_back((out.start - out.arrival).value());
+  }
+  return result;
+}
+
+void ReportSweep(BenchRecorder* recorder, const char* policy, int max_in_flight,
+                 const SweepResult& result) {
+  double p50 = Percentile(result.responses, 0.50);
+  double p99 = Percentile(result.responses, 0.99);
+  double wait_p50 = Percentile(result.waits, 0.50);
+  double wait_p99 = Percentile(result.waits, 0.99);
+  std::printf("svc %-9s c%d   makespan %9.1f s   p50 %9.1f s   p99 %9.1f s   "
+              "wait p50 %8.1f s   wait p99 %8.1f s   robot %4llu   peak %llu\n",
+              policy, max_in_flight, result.stats.makespan, p50, p99, wait_p50, wait_p99,
+              static_cast<unsigned long long>(result.stats.robot_exchanges),
+              static_cast<unsigned long long>(result.stats.peak_in_flight));
+  std::string prefix =
+      std::string("svc_") + policy + "_c" + std::to_string(max_in_flight) + "_";
+  recorder->RecordMetric(prefix + "makespan_seconds", result.stats.makespan.value());
+  recorder->RecordMetric(prefix + "p50_seconds", p50);
+  recorder->RecordMetric(prefix + "p99_seconds", p99);
+  recorder->RecordMetric(prefix + "wait_p50_seconds", wait_p50);
+  recorder->RecordMetric(prefix + "wait_p99_seconds", wait_p99);
+  recorder->RecordMetric(prefix + "robot_exchanges",
+                         static_cast<double>(result.stats.robot_exchanges));
+  recorder->RecordMetric(prefix + "peak_in_flight",
+                         static_cast<double>(result.stats.peak_in_flight));
+  recorder->RecordMetric(prefix + "tape_blocks_read",
+                         static_cast<double>(result.stats.tape_blocks_read.value()));
+}
+
 void Report(BenchRecorder* recorder, const char* loop, const char* policy,
             const PolicyResult& result) {
   double p50 = Percentile(result.responses, 0.50);
@@ -302,6 +421,10 @@ void Report(BenchRecorder* recorder, const char* loop, const char* policy,
   std::string prefix = std::string(loop) + "_" + policy + "_";
   recorder->RecordMetric(prefix + "p50_seconds", p50);
   recorder->RecordMetric(prefix + "p99_seconds", p99);
+  recorder->RecordMetric(prefix + "wait_p50_seconds", Percentile(result.waits, 0.50));
+  recorder->RecordMetric(prefix + "wait_p99_seconds", Percentile(result.waits, 0.99));
+  recorder->RecordMetric(prefix + "robot_exchanges",
+                         static_cast<double>(result.stats.robot_exchanges));
   recorder->RecordMetric(prefix + "makespan_seconds", result.stats.makespan.value());
   recorder->RecordMetric(prefix + "tape_blocks_read",
                          static_cast<double>(result.stats.tape_blocks_read.value()));
@@ -339,6 +462,43 @@ int Main(int argc, char** argv) {
                         p99_shared > 0.0 ? p99_fifo / p99_shared : 0.0);
   std::printf("\nclosed loop: sharing saves %.0f tape blocks, p99 %.2fx\n\n", saved_blocks,
               p99_shared > 0.0 ? p99_fifo / p99_shared : 0.0);
+
+  // The concurrency sweep: policy x max_in_flight over a closed loop
+  // scattered across 4 R and 4 S cartridges.
+  std::printf("\n");
+  struct PolicyName {
+    ServicePolicy policy;
+    const char* name;
+  };
+  const PolicyName kPolicies[] = {{ServicePolicy::kFifo, "fifo"},
+                                  {ServicePolicy::kSharedScan, "shared"},
+                                  {ServicePolicy::kElevator, "elevator"}};
+  std::map<std::string, SweepResult> cells;
+  for (const PolicyName& p : kPolicies) {
+    for (int cap : {1, 2, 4}) {
+      SweepResult cell = RunSweepCell(p.policy, cap);
+      ReportSweep(&recorder, p.name, cap, cell);
+      cells.emplace(std::string(p.name) + "_c" + std::to_string(cap), std::move(cell));
+    }
+  }
+  // Headline: concurrent elevator dispatch against the serial FIFO baseline.
+  const SweepResult& fifo_c1 = cells.at("fifo_c1");
+  const SweepResult& elevator_c4 = cells.at("elevator_c4");
+  double sweep_speedup = elevator_c4.stats.makespan > 0.0
+                             ? fifo_c1.stats.makespan.value() /
+                                   elevator_c4.stats.makespan.value()
+                             : 0.0;
+  recorder.RecordMetric("svc_elevator_c4_vs_fifo_c1_speedup", sweep_speedup);
+  recorder.RecordMetric(
+      "svc_elevator_c1_robot_exchange_savings",
+      static_cast<double>(cells.at("fifo_c1").stats.robot_exchanges) -
+          static_cast<double>(cells.at("elevator_c1").stats.robot_exchanges));
+  std::printf("\nconcurrency sweep: elevator@c4 makespan %.2fx vs serial fifo, "
+              "elevator@c1 saves %llu robot trips\n",
+              sweep_speedup,
+              static_cast<unsigned long long>(
+                  cells.at("fifo_c1").stats.robot_exchanges -
+                  cells.at("elevator_c1").stats.robot_exchanges));
 
   // The extent-cache sweep: cache sizes in multiples of one S relation
   // (80 MB), from disabled to "all four cartridges fit".

@@ -108,6 +108,12 @@ class ExtentCache {
 
   struct Entry {
     ExtentList extents;
+    /// Virtual time the entry's fill write completed; a Lookup earlier than
+    /// this misses (the copy is still being written). Serial query streams
+    /// never observe this — their lookups happen at a horizon that already
+    /// covers the fill — but a concurrently dispatched query's start may
+    /// precede another session's fill.
+    SimSeconds ready = 0.0;
     SimSeconds last_use = 0.0;
     /// Seconds one full re-read saves coming from disk instead of tape.
     SimSeconds benefit_seconds = 0.0;

@@ -8,9 +8,10 @@
 
 namespace tertio::exec {
 
-QueryScheduler::QueryScheduler(Site* site, ServicePolicy policy)
-    : site_(site), policy_(policy) {
+QueryScheduler::QueryScheduler(Site* site, ServicePolicy policy, SchedulerOptions options)
+    : site_(site), policy_(policy), options_(options) {
   TERTIO_CHECK(site != nullptr, "scheduler requires a site");
+  TERTIO_CHECK(options_.max_in_flight >= 1, "max_in_flight must be at least 1");
 }
 
 Result<std::uint64_t> QueryScheduler::Submit(JoinRequest request) {
@@ -121,6 +122,24 @@ JoinRequest QueryScheduler::Take(std::uint64_t id) {
   return request;
 }
 
+int QueryScheduler::DriveIndexHolding(int slot) const {
+  tape::TapeDrive* holder = site_->library()->MountedIn(slot);
+  if (holder == nullptr) return -1;
+  for (int i = 0; i < site_->drive_count(); ++i) {
+    if (site_->drive(i) == holder) return i;
+  }
+  return -1;
+}
+
+std::vector<int> QueryScheduler::PreferredDrivesFor(const JoinRequest& request) const {
+  Result<int> r_slot = site_->library()->SlotOf(request.spec.r->volume);
+  Result<int> s_slot = site_->library()->SlotOf(request.spec.s->volume);
+  int want_r = r_slot.ok() ? DriveIndexHolding(*r_slot) : -1;
+  int want_s = s_slot.ok() ? DriveIndexHolding(*s_slot) : -1;
+  if (want_r < 0 && want_s < 0) return {};
+  return {want_r, want_s};
+}
+
 QueryOutcome QueryScheduler::ExecuteOne(JoinRequest request, bool scan_shared) {
   QueryOutcome out;
   out.id = request.id;
@@ -131,6 +150,11 @@ QueryOutcome QueryScheduler::ExecuteOne(JoinRequest request, bool scan_shared) {
   res.name = StrFormat("q%llu", static_cast<unsigned long long>(request.id));
   res.memory_blocks = request.memory_blocks;
   res.disk_blocks = request.disk_blocks;
+  // Route the session onto drives already holding its cartridges. On a
+  // 2-drive site with the legacy R-in-drive-0 / S-in-drive-1 mount history
+  // this reproduces the legacy [0, 1] pick exactly; on wider sites it keeps
+  // a query whose cartridge another session left mounted executable.
+  res.preferred_drives = PreferredDrivesFor(request);
   Result<std::unique_ptr<QuerySession>> session = QuerySession::Open(site_, res);
   if (!session.ok()) {
     out.status = session.status();
@@ -159,7 +183,7 @@ QueryOutcome QueryScheduler::ExecuteOne(JoinRequest request, bool scan_shared) {
   disk::ExtentCache* cache = site_->extent_cache();
   bool cache_hit = false;
   if (cache != nullptr && !scan_shared) {
-    cache_hit = (*session)->EnableCachedSRead(*request.spec.s);
+    cache_hit = (*session)->EnableCachedSRead(*request.spec.s, site_->sim().Horizon());
   }
 
   join::JoinContext ctx = (*session)->context(request.arrival);
@@ -190,69 +214,347 @@ QueryOutcome QueryScheduler::ExecuteOne(JoinRequest request, bool scan_shared) {
   return out;
 }
 
-Status QueryScheduler::Run() {
-  while (!queue_.empty()) {
-    JoinRequest leader = PopNext();
-    SimSeconds leader_start = std::max(site_->sim().Horizon(), leader.arrival);
+QueryOutcome QueryScheduler::ExecuteConcurrent(JoinRequest request, SimSeconds dispatch,
+                                               std::unique_ptr<QuerySession>* session_out) {
+  QueryOutcome out;
+  out.id = request.id;
+  out.arrival = request.arrival;
+  // A failure below completes the query at its dispatch time (the global
+  // horizon is another in-flight session's future, not this query's).
+  out.start = dispatch;
+  out.completion = dispatch;
 
-    // Under kSharedScan, queued joins on the leader's S cartridge that have
-    // already arrived ride its pass instead of paying their own.
-    std::vector<JoinRequest> followers;
-    if (policy_ == ServicePolicy::kSharedScan) {
-      Result<int> slot = site_->library()->SlotOf(leader.spec.s->volume);
-      if (slot.ok()) {
-        std::vector<std::uint64_t> ids;
-        if (auto it = cartridge_queues_.find(*slot); it != cartridge_queues_.end()) {
-          ids.assign(it->second.begin(), it->second.end());
-        }
-        for (std::uint64_t id : ids) {
-          auto pos = std::find_if(queue_.begin(), queue_.end(),
-                                  [id](const JoinRequest& r) { return r.id == id; });
-          if (pos != queue_.end() && pos->arrival <= leader_start) {
-            followers.push_back(Take(id));
-          }
-        }
-      }
-    }
+  SessionResources res;
+  res.name = StrFormat("q%llu", static_cast<unsigned long long>(request.id));
+  res.memory_blocks = request.memory_blocks;
+  res.disk_blocks = request.disk_blocks;
+  res.preferred_drives = PreferredDrivesFor(request);
+  Result<std::unique_ptr<QuerySession>> session = QuerySession::Open(site_, res);
+  if (!session.ok()) {
+    out.status = session.status();
+    return out;
+  }
 
-    const rel::Relation* leader_s = leader.spec.s;
-    QueryOutcome lead_out = ExecuteOne(std::move(leader), /*scan_shared=*/false);
-    bool lead_ok = lead_out.status.ok();
-    outcomes_.push_back(std::move(lead_out));
-    if (on_complete_) on_complete_(outcomes_.back());
+  tape::TapeLibrary* library = site_->library();
+  Result<int> r_slot = library->SlotOf(request.spec.r->volume);
+  Result<int> s_slot = library->SlotOf(request.spec.s->volume);
+  TERTIO_CHECK(r_slot.ok() && s_slot.ok(), "admitted relation left the library");
+  Result<sim::Interval> mounted_r = (*session)->MountR(*r_slot, dispatch);
+  Result<sim::Interval> mounted_s =
+      mounted_r.ok() ? (*session)->MountS(*s_slot, dispatch) : mounted_r;
+  if (!mounted_s.ok()) {
+    out.status = mounted_s.status();
+    return out;
+  }
+  // The join anchors exactly when this query's mounts are done — not at the
+  // global horizon, which includes the other in-flight sessions' work.
+  SimSeconds start = std::max(dispatch, std::max(mounted_r->end, mounted_s->end));
 
-    if (!followers.empty()) {
-      if (!lead_ok) {
-        // The leader failed, so its pass never swept S and there is nothing
-        // to ride. Executing the followers here anyway would jump them over
-        // every earlier-arrived query on other cartridges (priority
-        // inversion); put them back instead — PopNext re-serves them in
-        // plain arrival order, and one of them becomes a leader in its own
-        // right. (No livelock: the failed leader's outcome is recorded, not
-        // requeued.)
-        for (JoinRequest& follower : followers) Requeue(std::move(follower));
-        continue;
-      }
-      // The leader's pass swept its S relation's blocks; declare them a
-      // shared window on the drive still holding the cartridge so the
-      // followers' S reads are multicast instead of re-read. (The window is
-      // drive state: it survives the followers' session churn as long as
-      // the cartridge stays mounted.)
-      tape::TapeDrive* holder = nullptr;
-      Result<int> slot = site_->library()->SlotOf(leader_s->volume);
-      if (slot.ok()) holder = site_->library()->MountedIn(*slot);
-      if (holder != nullptr) {
-        holder->SetSharedPassWindow(leader_s->start_block, leader_s->blocks);
-      }
-      for (JoinRequest& follower : followers) {
-        QueryOutcome out = ExecuteOne(std::move(follower), holder != nullptr);
-        outcomes_.push_back(std::move(out));
-        if (on_complete_) on_complete_(outcomes_.back());
-      }
-      if (holder != nullptr) holder->ClearSharedPassWindow();
+  disk::ExtentCache* cache = site_->extent_cache();
+  bool cache_hit = false;
+  if (cache != nullptr) {
+    cache_hit = (*session)->EnableCachedSRead(*request.spec.s, start);
+  }
+
+  join::JoinContext ctx = (*session)->context(start);
+  ctx.exact_anchor = true;
+  std::unique_ptr<join::JoinMethod> executor = join::CreateJoinMethod(request.method);
+  TERTIO_CHECK(executor != nullptr, "unknown join method");
+  out.start = start;
+  Result<join::JoinStats> stats = executor->Execute(request.spec, ctx);
+  if (!stats.ok()) {
+    out.status = stats.status();
+    return out;
+  }
+  out.stats = std::move(*stats);
+  out.completion = out.start + out.stats.response_seconds;
+  out.scan_shared = out.stats.tape_blocks_shared > 0;
+  out.cached = out.stats.tape_blocks_cached > 0;
+
+  if (cache != nullptr && !cache_hit && !out.scan_shared) {
+    const rel::Relation& s = *request.spec.s;
+    (void)cache->Admit(s.volume, s.start_block, s.blocks,  // failure only skips the copy
+                       site_->EffectiveTapeRate(s.compressibility), out.completion);
+  }
+  // The session stays open (drives, M_q, D_q held) until the query retires
+  // in virtual-completion order.
+  *session_out = std::move(*session);
+  return out;
+}
+
+bool QueryScheduler::ResourcesFit(const JoinRequest& request) {
+  if (site_->free_drives() < 2) return false;
+  // A cartridge mounted in a drive another session holds pins the query: it
+  // can only run once that session retires (Mount refuses to steal it).
+  for (const rel::Relation* relation : {request.spec.r, request.spec.s}) {
+    Result<int> slot = site_->library()->SlotOf(relation->volume);
+    if (!slot.ok()) return false;
+    int holder = DriveIndexHolding(*slot);
+    if (holder >= 0 && site_->drive_leased(holder)) return false;
+  }
+  if (site_->memory().reserved_blocks() + request.memory_blocks > site_->memory_blocks()) {
+    return false;
+  }
+  if (site_->disks().allocator().free_blocks() < request.disk_blocks) return false;
+  return true;
+}
+
+bool QueryScheduler::HasArrivedFollowers(const JoinRequest& leader, SimSeconds when) const {
+  Result<int> slot = site_->library()->SlotOf(leader.spec.s->volume);
+  if (!slot.ok()) return false;
+  auto it = cartridge_queues_.find(*slot);
+  if (it == cartridge_queues_.end()) return false;
+  for (std::uint64_t id : it->second) {
+    if (id == leader.id) continue;
+    auto pos = std::find_if(queue_.begin(), queue_.end(),
+                            [id](const JoinRequest& r) { return r.id == id; });
+    if (pos != queue_.end() && pos->arrival <= when) return true;
+  }
+  return false;
+}
+
+std::uint64_t QueryScheduler::PickElevator() {
+  if (queue_.empty()) return 0;
+  SimSeconds min_arrival = queue_.front().arrival;
+  for (const JoinRequest& r : queue_) min_arrival = std::min(min_arrival, r.arrival);
+  // The eligibility reference: nothing dispatches before the earliest
+  // arrival, and the sweep only reorders queries that have arrived by then.
+  SimSeconds ref = std::max(clock_, min_arrival);
+
+  // Aging bound: a query the sweep has bypassed for longer than the limit
+  // goes next, oldest first — the elevator's starvation valve.
+  const JoinRequest* aged = nullptr;
+  for (const JoinRequest& r : queue_) {
+    if (r.arrival > ref || ref - r.arrival <= options_.elevator_aging_seconds) continue;
+    if (aged == nullptr || r.arrival < aged->arrival ||
+        (r.arrival == aged->arrival && r.id < aged->id)) {
+      aged = &r;
     }
   }
+  if (aged != nullptr) return aged->id;
+
+  auto slot_of = [&](const JoinRequest& r) {
+    Result<int> slot = site_->library()->SlotOf(r.spec.s->volume);
+    return slot.ok() ? *slot : 0;
+  };
+  // SCAN: nearest eligible S slot in the sweep direction; deterministic
+  // tie-break by (slot, arrival, id) so outcomes are independent of
+  // submission interleaving.
+  const JoinRequest* best = nullptr;
+  int best_slot = 0;
+  auto scan = [&](int dir) {
+    for (const JoinRequest& r : queue_) {
+      if (r.arrival > ref) continue;
+      int slot = slot_of(r);
+      if (dir > 0 ? slot < sweep_pos_ : slot > sweep_pos_) continue;
+      int dist = slot > sweep_pos_ ? slot - sweep_pos_ : sweep_pos_ - slot;
+      int best_dist = best_slot > sweep_pos_ ? best_slot - sweep_pos_ : sweep_pos_ - best_slot;
+      if (best == nullptr || dist < best_dist ||
+          (dist == best_dist &&
+           (r.arrival < best->arrival || (r.arrival == best->arrival && r.id < best->id)))) {
+        best = &r;
+        best_slot = slot;
+      }
+    }
+  };
+  scan(sweep_dir_);
+  if (best == nullptr) {
+    // End of the sweep: reverse. Every eligible slot lies behind us now.
+    sweep_dir_ = -sweep_dir_;
+    scan(sweep_dir_);
+  }
+  TERTIO_CHECK(best != nullptr, "elevator found no eligible request on either side");
+  sweep_pos_ = best_slot;
+  return best->id;
+}
+
+std::uint64_t QueryScheduler::PickCandidate() {
+  if (queue_.empty()) return 0;
+  if (policy_ == ServicePolicy::kElevator) return PickElevator();
+  auto best = std::min_element(queue_.begin(), queue_.end(),
+                               [](const JoinRequest& a, const JoinRequest& b) {
+                                 if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                                 return a.id < b.id;
+                               });
+  return best->id;
+}
+
+void QueryScheduler::RetireEarliest() {
+  TERTIO_CHECK(!in_flight_.empty(), "retiring with nothing in flight");
+  std::size_t pick = 0;
+  for (std::size_t i = 1; i < in_flight_.size(); ++i) {
+    const QueryOutcome& a = in_flight_[i].outcome;
+    const QueryOutcome& b = in_flight_[pick].outcome;
+    if (a.completion < b.completion ||
+        (a.completion == b.completion && in_flight_[i].seq < in_flight_[pick].seq)) {
+      pick = i;
+    }
+  }
+  InFlight record = std::move(in_flight_[pick]);
+  in_flight_.erase(in_flight_.begin() + static_cast<std::ptrdiff_t>(pick));
+  // Close the session first (legacy order: resources return before the
+  // completion callback observes the outcome).
+  record.session.reset();
+  clock_ = std::max(clock_, record.outcome.completion);
+  outcomes_.push_back(std::move(record.outcome));
+  if (on_complete_) on_complete_(outcomes_.back());
+}
+
+void QueryScheduler::RunSerialGroup(JoinRequest leader) {
+  SimSeconds leader_start = std::max(site_->sim().Horizon(), leader.arrival);
+
+  // Under kSharedScan, queued joins on the leader's S cartridge that have
+  // already arrived ride its pass instead of paying their own.
+  std::vector<JoinRequest> followers;
+  if (policy_ == ServicePolicy::kSharedScan) {
+    Result<int> slot = site_->library()->SlotOf(leader.spec.s->volume);
+    if (slot.ok()) {
+      std::vector<std::uint64_t> ids;
+      if (auto it = cartridge_queues_.find(*slot); it != cartridge_queues_.end()) {
+        ids.assign(it->second.begin(), it->second.end());
+      }
+      for (std::uint64_t id : ids) {
+        auto pos = std::find_if(queue_.begin(), queue_.end(),
+                                [id](const JoinRequest& r) { return r.id == id; });
+        if (pos != queue_.end() && pos->arrival <= leader_start) {
+          followers.push_back(Take(id));
+        }
+      }
+      // The cartridge index holds ids in submission order, which a
+      // closed-loop client's Submit() interleaving can permute; execute
+      // followers in (arrival, id) order so outcomes never depend on it.
+      std::sort(followers.begin(), followers.end(),
+                [](const JoinRequest& a, const JoinRequest& b) {
+                  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                  return a.id < b.id;
+                });
+    }
+  }
+
+  const rel::Relation* leader_s = leader.spec.s;
+  QueryOutcome lead_out = ExecuteOne(std::move(leader), /*scan_shared=*/false);
+  bool lead_ok = lead_out.status.ok();
+  clock_ = std::max(clock_, lead_out.completion);
+  outcomes_.push_back(std::move(lead_out));
+  if (on_complete_) on_complete_(outcomes_.back());
+  peak_in_flight_ = std::max<std::uint64_t>(peak_in_flight_, 1);
+
+  if (!followers.empty()) {
+    if (!lead_ok) {
+      // The leader failed, so its pass never swept S and there is nothing
+      // to ride. Executing the followers here anyway would jump them over
+      // every earlier-arrived query on other cartridges (priority
+      // inversion); put them back instead — PopNext re-serves them in
+      // plain arrival order, and one of them becomes a leader in its own
+      // right. (No livelock: the failed leader's outcome is recorded, not
+      // requeued.)
+      for (JoinRequest& follower : followers) Requeue(std::move(follower));
+      return;
+    }
+    // The leader's pass swept its S relation's blocks; declare them a
+    // shared window on the drive still holding the cartridge so the
+    // followers' S reads are multicast instead of re-read. (The window is
+    // drive state: it survives the followers' session churn as long as
+    // the cartridge stays mounted.)
+    tape::TapeDrive* holder = nullptr;
+    Result<int> slot = site_->library()->SlotOf(leader_s->volume);
+    if (slot.ok()) holder = site_->library()->MountedIn(*slot);
+    if (holder != nullptr) {
+      holder->SetSharedPassWindow(leader_s->start_block, leader_s->blocks);
+    }
+    for (JoinRequest& follower : followers) {
+      QueryOutcome out = ExecuteOne(std::move(follower), holder != nullptr);
+      clock_ = std::max(clock_, out.completion);
+      outcomes_.push_back(std::move(out));
+      if (on_complete_) on_complete_(outcomes_.back());
+    }
+    if (holder != nullptr) holder->ClearSharedPassWindow();
+  }
+}
+
+Status QueryScheduler::Run() {
+  std::uint64_t robot_ops_before = 0;
+  if (site_->library() != nullptr) {
+    robot_ops_before = site_->library()->robot()->stats().op_count;
+  }
+  // Event-driven dispatch: each iteration either dispatches the policy's
+  // next candidate (when capacity and site resources allow) or retires the
+  // earliest in-flight completion. Retirement precedes any dispatch at or
+  // after that completion, so closed-loop submissions from on_complete are
+  // visible to every later dispatch decision, and outcomes_ is ordered by
+  // virtual completion time.
+  while (!queue_.empty() || !in_flight_.empty()) {
+    std::uint64_t candidate_id = PickCandidate();
+    if (candidate_id == 0) {
+      // Nothing queued: retire in-flight work (closed-loop clients may
+      // submit more from the completions) until the service is idle.
+      if (in_flight_.empty()) break;
+      RetireEarliest();
+      continue;
+    }
+    if (options_.max_in_flight <= 1) {
+      // Serial capacity: the legacy path, bit-identical to the serial
+      // scheduler. Admission shortfalls execute anyway and fail into their
+      // outcomes, as the legacy scheduler did.
+      RunSerialGroup(Take(candidate_id));
+      continue;
+    }
+    auto pos = std::find_if(queue_.begin(), queue_.end(),
+                            [candidate_id](const JoinRequest& r) {
+                              return r.id == candidate_id;
+                            });
+    TERTIO_CHECK(pos != queue_.end(), "candidate left the queue");
+    const JoinRequest* candidate = &*pos;
+    SimSeconds dispatch = std::max(clock_, candidate->arrival);
+    // Retire everything completing by the dispatch time first — those
+    // sessions' resources are free again at `dispatch`, and their
+    // closed-loop submissions may change the candidate.
+    if (!in_flight_.empty()) {
+      SimSeconds earliest = in_flight_.front().outcome.completion;
+      for (const InFlight& record : in_flight_) {
+        earliest = std::min(earliest, record.outcome.completion);
+      }
+      if (earliest <= dispatch) {
+        RetireEarliest();
+        continue;
+      }
+    }
+    bool fits = static_cast<int>(in_flight_.size()) < options_.max_in_flight &&
+                ResourcesFit(*candidate);
+    if (!fits) {
+      if (in_flight_.empty()) {
+        // The demand exceeds even an idle site: execute serially anyway and
+        // fail into the outcome, exactly the legacy behavior.
+        RunSerialGroup(Take(candidate_id));
+      } else {
+        RetireEarliest();
+      }
+      continue;
+    }
+    if (policy_ == ServicePolicy::kSharedScan && HasArrivedFollowers(*candidate, dispatch)) {
+      // A shared-scan group wants to form around this candidate. Groups
+      // execute as one serial unit (the multicast window spans the whole
+      // pass); drain the in-flight sessions so the group starts clean.
+      if (in_flight_.empty()) {
+        RunSerialGroup(Take(candidate_id));
+      } else {
+        RetireEarliest();
+      }
+      continue;
+    }
+    InFlight record;
+    record.seq = next_seq_++;
+    JoinRequest request = Take(candidate_id);
+    clock_ = dispatch;
+    record.outcome = ExecuteConcurrent(std::move(request), dispatch, &record.session);
+    in_flight_.push_back(std::move(record));
+    peak_in_flight_ =
+        std::max<std::uint64_t>(peak_in_flight_, in_flight_.size());
+  }
   makespan_ = site_->sim().Horizon();
+  if (site_->library() != nullptr) {
+    robot_exchanges_ += site_->library()->robot()->stats().op_count - robot_ops_before;
+  }
   return Status::OK();
 }
 
@@ -261,6 +563,8 @@ ServiceStats QueryScheduler::service_stats() const {
   stats.submitted = submitted_;
   stats.rejected = rejected_;
   stats.makespan = makespan_;
+  stats.robot_exchanges = robot_exchanges_;
+  stats.peak_in_flight = peak_in_flight_;
   for (const QueryOutcome& out : outcomes_) {
     if (out.status.ok()) {
       ++stats.completed;

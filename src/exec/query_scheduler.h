@@ -33,6 +33,26 @@ enum class ServicePolicy : std::uint8_t {
   /// Arrival order for leaders, but queued joins on the leader's S
   /// cartridge join its pass (scan sharing).
   kSharedScan,
+  /// Elevator (SCAN) over library slots: among arrived queries, dispatch the
+  /// one whose S cartridge is nearest the robot's sweep position in the
+  /// current sweep direction, reversing at the ends — fewer long arm trips
+  /// than arrival order when queries scatter across cartridges. An aging
+  /// bound (SchedulerOptions::elevator_aging_seconds) force-promotes any
+  /// query the sweep has bypassed too long, so no cartridge starves.
+  kElevator,
+};
+
+/// Dispatch-loop knobs (policy-independent).
+struct SchedulerOptions {
+  /// Maximum QuerySessions in flight at once. 1 (the default) reproduces
+  /// the serial scheduler bit-for-bit; higher values overlap admitted
+  /// queries in virtual time whenever the site's free drives, memory and
+  /// session disk space cover another request.
+  int max_in_flight = 1;
+  /// kElevator only: once a queued, already-arrived query has been bypassed
+  /// by the sweep for longer than this, it is dispatched next regardless of
+  /// slot distance.
+  SimSeconds elevator_aging_seconds = 3600.0;
 };
 
 /// One join submitted to the service.
@@ -87,6 +107,11 @@ struct ServiceStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_fills = 0;
   std::uint64_t cache_evictions = 0;
+  /// Robot operations (mount/dismount trips, including faulted re-tries)
+  /// over the whole run — the arm traffic the elevator policy minimizes.
+  std::uint64_t robot_exchanges = 0;
+  /// Most sessions simultaneously in flight in virtual time.
+  std::uint64_t peak_in_flight = 0;
   /// Horizon when the queue drained.
   SimSeconds makespan = 0.0;
 };
@@ -94,9 +119,10 @@ struct ServiceStats {
 /// Admission control + per-cartridge queues + scan-shared execution.
 class QueryScheduler {
  public:
-  QueryScheduler(Site* site, ServicePolicy policy);
+  QueryScheduler(Site* site, ServicePolicy policy, SchedulerOptions options = {});
 
   ServicePolicy policy() const { return policy_; }
+  const SchedulerOptions& options() const { return options_; }
 
   /// Admission control: the site must have a library holding both
   /// relations' cartridges, and the request's M_q/D_q/drive demands must
@@ -114,15 +140,30 @@ class QueryScheduler {
     on_complete_ = std::move(fn);
   }
 
-  /// Drains the queue (including queries submitted from on_complete),
-  /// executing admitted joins in arrival order. Per-query failures land in
-  /// their outcomes; Run itself fails only on service-level invariants.
+  /// Drains the queue (including queries submitted from on_complete) with an
+  /// event-driven dispatch loop. With in-flight capacity and resources to
+  /// spare, the policy's next candidate is dispatched on its own session;
+  /// otherwise the earliest completion retires first (virtual-time order, so
+  /// closed-loop clients observe completions in order). With
+  /// max_in_flight=1 every dispatch happens on an otherwise-idle service and
+  /// takes the serial path, bit-identical to the legacy scheduler. Per-query
+  /// failures land in their outcomes; Run itself fails only on
+  /// service-level invariants.
   Status Run();
 
   const std::vector<QueryOutcome>& outcomes() const { return outcomes_; }
   ServiceStats service_stats() const;
 
  private:
+  /// One dispatched-but-not-retired query: its already-simulated outcome
+  /// plus the session whose leases it still holds in virtual time.
+  struct InFlight {
+    QueryOutcome outcome;
+    std::unique_ptr<QuerySession> session;
+    /// Dispatch order, the retirement tie-break at equal completions.
+    std::uint64_t seq = 0;
+  };
+
   /// Pops the earliest-arrived request (ties by id).
   JoinRequest PopNext();
   /// Removes request `id` from `queue_` and returns it.
@@ -135,10 +176,43 @@ class QueryScheduler {
   /// True when `id` is already on the pending queue.
   bool IsQueued(std::uint64_t id) const;
   /// Executes one query on its own session; fills and records the outcome.
+  /// The serial path: anchors at the global horizon, exactly the legacy
+  /// scheduler's behavior.
   QueryOutcome ExecuteOne(JoinRequest request, bool scan_shared);
+  /// Executes one query dispatched at `dispatch` while other sessions are in
+  /// flight: the join anchors exactly at its own mount-completion time
+  /// (JoinContext::exact_anchor), not the poisoned global horizon. On
+  /// success `*session_out` keeps the session alive until retirement.
+  QueryOutcome ExecuteConcurrent(JoinRequest request, SimSeconds dispatch,
+                                 std::unique_ptr<QuerySession>* session_out);
+  /// Runs one serial leader iteration (plus its shared-scan followers under
+  /// kSharedScan) exactly as the legacy scheduler did.
+  void RunSerialGroup(JoinRequest leader);
+  /// The id of the request the policy would dispatch next (0 = empty queue).
+  std::uint64_t PickCandidate();
+  /// kElevator: the eligible request nearest the sweep position in the sweep
+  /// direction, unless one has aged past the bound (then the oldest).
+  std::uint64_t PickElevator();
+  /// True when the site can open another 2-drive session for `request` right
+  /// now: enough free drives/memory/session disk, and neither of the
+  /// request's cartridges is mounted in a drive another session holds.
+  bool ResourcesFit(const JoinRequest& request);
+  /// Index of the free-or-leased drive holding the cartridge in `slot`, or
+  /// -1 when unmounted.
+  int DriveIndexHolding(int slot) const;
+  /// Positional [R, S] drive preferences routing the session onto drives
+  /// already holding its cartridges.
+  std::vector<int> PreferredDrivesFor(const JoinRequest& request) const;
+  /// Retires the earliest-completing in-flight query: closes its session,
+  /// records the outcome, fires on_complete, advances the retirement clock.
+  void RetireEarliest();
+  /// True when another queued request shares `leader`'s S slot and has
+  /// arrived by `when` (a shared-scan group wants to form).
+  bool HasArrivedFollowers(const JoinRequest& leader, SimSeconds when) const;
 
   Site* site_;
   ServicePolicy policy_;
+  SchedulerOptions options_;
   std::uint64_t next_id_ = 1;
   std::uint64_t submitted_ = 0;
   std::uint64_t rejected_ = 0;
@@ -147,6 +221,17 @@ class QueryScheduler {
   /// S-cartridge slot -> queued request ids, arrival order.
   std::map<int, std::deque<std::uint64_t>> cartridge_queues_;
   std::vector<QueryOutcome> outcomes_;
+  /// Dispatched, not yet retired (their completions are already simulated).
+  std::vector<InFlight> in_flight_;
+  /// Virtual dispatch cursor: max of all dispatch times and retired
+  /// completions so far. The next dispatch happens at max(clock_, arrival).
+  SimSeconds clock_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t peak_in_flight_ = 0;
+  std::uint64_t robot_exchanges_ = 0;
+  /// kElevator sweep state: last dispatched slot and sweep direction.
+  int sweep_pos_ = 0;
+  int sweep_dir_ = 1;
   SimSeconds makespan_ = 0.0;
   std::function<void(const QueryOutcome&)> on_complete_;
 };

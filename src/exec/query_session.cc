@@ -13,28 +13,39 @@ Result<std::unique_ptr<QuerySession>> QuerySession::Open(Site* site,
     return Status::InvalidArgument("a session needs at least one memory block");
   }
   std::string tag = StrFormat("session:%s", res.name.c_str());
-  TERTIO_ASSIGN_OR_RETURN(std::vector<int> drives, site->AcquireDrives(2));
+  std::vector<int> want;
+  for (int p : res.preferred_drives) {
+    if (p >= 0) want.push_back(p);
+  }
+  // The DriveLease guard is the single release path: every failure below
+  // simply returns and the guard's destructor puts the drives back, so a
+  // failed admission cannot leak a drive.
+  TERTIO_ASSIGN_OR_RETURN(DriveLease drives, site->LeaseDrives(2, tag, want));
+  // Map the leased pair onto [R, S] roles: an S (resp. R) preference that
+  // landed in the wrong position is swapped into place. With no preferences
+  // the pick order is already the legacy [lowest, next-lowest] = [R, S].
+  std::vector<int> order = drives.drives();
+  int want_r = !res.preferred_drives.empty() ? res.preferred_drives[0] : -1;
+  int want_s = res.preferred_drives.size() > 1 ? res.preferred_drives[1] : -1;
+  if (want_s >= 0 && order[0] == want_s && order[1] != want_s) std::swap(order[0], order[1]);
+  if (want_r >= 0 && order[1] == want_r && order[0] != want_r) std::swap(order[0], order[1]);
   Result<mem::BudgetLease> lease = mem::BudgetLease::Acquire(&site->memory(),
                                                              res.memory_blocks, tag);
-  if (!lease.ok()) {
-    site->ReleaseDrives(drives);
-    return lease.status();
-  }
+  if (!lease.ok()) return lease.status();
   Result<disk::ExtentList> carve =
       site->disks().allocator().Allocate(res.disk_blocks, site->sim().Horizon(), tag);
-  if (!carve.ok()) {
-    site->ReleaseDrives(drives);
-    return carve.status();
-  }
+  if (!carve.ok()) return carve.status();
   return std::unique_ptr<QuerySession>(new QuerySession(
-      site, res, std::move(drives), std::move(*lease), std::move(*carve)));
+      site, res, std::move(drives), std::move(order), std::move(*lease), std::move(*carve)));
 }
 
-QuerySession::QuerySession(Site* site, SessionResources res, std::vector<int> drives,
-                           mem::BudgetLease lease, disk::ExtentList carve)
+QuerySession::QuerySession(Site* site, SessionResources res, DriveLease drives,
+                           std::vector<int> drive_order, mem::BudgetLease lease,
+                           disk::ExtentList carve)
     : site_(site),
       name_(std::move(res.name)),
-      drive_indices_(std::move(drives)),
+      drive_lease_(std::move(drives)),
+      drive_indices_(std::move(drive_order)),
       lease_(std::move(lease)),
       memory_(res.memory_blocks),
       carve_(std::move(carve)) {
@@ -60,7 +71,8 @@ QuerySession::~QuerySession() {
   Status freed = site_->disks().allocator().Free(carve_, site_->sim().Horizon(),
                                                  StrFormat("session:%s", name_.c_str()));
   TERTIO_CHECK(freed.ok(), "session failed to return its disk carve");
-  site_->ReleaseDrives(drive_indices_);
+  // drive_lease_ releases the drives in its destructor, after the members
+  // declared below it, preserving the legacy carve-then-drives close order.
 }
 
 Result<sim::Interval> QuerySession::MountR(int slot, SimSeconds ready) {
@@ -82,11 +94,11 @@ void QuerySession::ForceMount(tape::TapeVolume* r, tape::TapeVolume* s) {
   drive_s()->ForceMount(s);
 }
 
-bool QuerySession::EnableCachedSRead(const rel::Relation& s) {
+bool QuerySession::EnableCachedSRead(const rel::Relation& s, SimSeconds now) {
   disk::ExtentCache* cache = site_->extent_cache();
   if (cache == nullptr || s.volume == nullptr || s.blocks == 0) return false;
   if (drive_s()->volume() != s.volume) return false;
-  if (!cache->Lookup(s.volume, s.start_block, s.blocks, site_->sim().Horizon())) return false;
+  if (!cache->Lookup(s.volume, s.start_block, s.blocks, now)) return false;
   const void* token = s.volume;
   BlockIndex entry_start = s.start_block;
   BlockCount entry_count = s.blocks;

@@ -30,6 +30,12 @@ struct SessionResources {
   BlockCount memory_blocks = 0;
   /// Disk carve D_q, blocks.
   BlockCount disk_blocks = 0;
+  /// Positional drive preferences: preferred_drives[0] is the wanted R
+  /// drive, [1] the wanted S drive, -1 (or absent) = no preference. A
+  /// preferred drive is taken when free (the scheduler routes a shared-scan
+  /// follower onto the drive that already holds the leader's S cartridge);
+  /// empty reproduces the legacy lowest-indexed pick exactly.
+  std::vector<int> preferred_drives;
 };
 
 /// One open lease. Create with Open(); resources return on destruction.
@@ -64,10 +70,13 @@ class QuerySession {
   /// If the site's extent cache holds relation `s` (which must already be
   /// mounted in the session's S drive), arms the drive's cache window so
   /// every S read inside the relation is served from the disk copy at disk
-  /// cost. The lookup counts a cache hit or miss either way. \returns true
-  /// when the window was armed. The window is disarmed when the session
-  /// closes.
-  bool EnableCachedSRead(const rel::Relation& s);
+  /// cost. `now` is the virtual time of the lookup (the query's start): an
+  /// entry still being filled at `now` does not hit, and the concurrent
+  /// scheduler must not pass the global horizon here, which may include
+  /// another in-flight session's future. The lookup counts a cache hit or
+  /// miss either way. \returns true when the window was armed. The window is
+  /// disarmed when the session closes.
+  bool EnableCachedSRead(const rel::Relation& s, SimSeconds now);
 
   /// The context handed to join executors. `not_before` anchors the join no
   /// earlier than the given virtual time (a query must not start before it
@@ -75,11 +84,17 @@ class QuerySession {
   join::JoinContext context(SimSeconds not_before = 0.0);
 
  private:
-  QuerySession(Site* site, SessionResources res, std::vector<int> drives,
-               mem::BudgetLease lease, disk::ExtentList carve);
+  QuerySession(Site* site, SessionResources res, DriveLease drives,
+               std::vector<int> drive_order, mem::BudgetLease lease,
+               disk::ExtentList carve);
 
   Site* site_;
   std::string name_;
+  /// RAII guard over the leased drives; declared before the other leases so
+  /// the drives return to the pool last, matching the legacy close order.
+  DriveLease drive_lease_;
+  /// The leased drives in [R, S] role order (a permutation of
+  /// drive_lease_.drives() honoring SessionResources::preferred_drives).
   std::vector<int> drive_indices_;
   mem::BudgetLease lease_;
   /// Session-local budget over the leased M_q blocks.

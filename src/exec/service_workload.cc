@@ -1,6 +1,8 @@
 #include "exec/service_workload.h"
 
+#include <algorithm>
 #include <memory>
+#include <string>
 
 #include "relation/generator.h"
 #include "util/string_util.h"
@@ -13,8 +15,8 @@ Result<ServiceWorkload> PrepareServiceWorkload(Site* site,
   if (site->library() == nullptr) {
     return Status::FailedPrecondition("service workload requires a site with a library");
   }
-  if (config.s_cartridges <= 0 || config.r_relations <= 0 || config.s_bytes == 0 ||
-      config.r_bytes == 0) {
+  if (config.s_cartridges <= 0 || config.r_relations <= 0 || config.r_cartridges <= 0 ||
+      config.s_bytes == 0 || config.r_bytes == 0) {
     return Status::InvalidArgument("service workload needs positive relation counts and sizes");
   }
   ByteCount bb = site->block_bytes();
@@ -23,11 +25,19 @@ Result<ServiceWorkload> PrepareServiceWorkload(Site* site,
 
   ServiceWorkload workload;
 
-  // All R relations share one cartridge (GenerateOnTape appends), so every
-  // query's inner side mounts the same tape.
-  auto r_volume = std::make_unique<tape::TapeVolume>("cart-R", bb);
-  tape::TapeVolume* r_raw = r_volume.get();
+  // R relations are distributed over r_cartridges tapes (GenerateOnTape
+  // appends; relation j lands on cartridge j mod r_cartridges). The default
+  // single cartridge keeps every query's inner side on the same tape — and
+  // is byte-identical to the original layout, including generation order and
+  // per-relation seeds.
+  std::vector<std::unique_ptr<tape::TapeVolume>> r_volumes;
+  int r_cartridges = std::min(config.r_cartridges, config.r_relations);
+  for (int c = 0; c < r_cartridges; ++c) {
+    std::string name = c == 0 ? std::string("cart-R") : StrFormat("cart-R%d", c);
+    r_volumes.push_back(std::make_unique<tape::TapeVolume>(name, bb));
+  }
   std::uint64_t r_tuples = BytesToBlocks(config.r_bytes, bb).value() * tuples_per_block;
+  std::vector<int> r_cartridge_of;
   for (int j = 0; j < config.r_relations; ++j) {
     rel::GeneratorConfig r_config;
     r_config.name = StrFormat("R%d", j);
@@ -37,10 +47,21 @@ Result<ServiceWorkload> PrepareServiceWorkload(Site* site,
     r_config.phantom = config.phantom;
     r_config.keys = rel::KeySequence::kSequentialUnique;
     r_config.tuple_count = r_tuples;
-    TERTIO_ASSIGN_OR_RETURN(rel::Relation relation, rel::GenerateOnTape(r_config, r_raw));
+    int cartridge = j % r_cartridges;
+    TERTIO_ASSIGN_OR_RETURN(rel::Relation relation,
+                            rel::GenerateOnTape(r_config, r_volumes[static_cast<size_t>(cartridge)].get()));
     workload.r.push_back(std::move(relation));
+    r_cartridge_of.push_back(cartridge);
   }
-  TERTIO_ASSIGN_OR_RETURN(workload.r_slot, site->AddCartridge(std::move(r_volume)));
+  std::vector<int> r_cartridge_slots;
+  for (auto& volume : r_volumes) {
+    TERTIO_ASSIGN_OR_RETURN(int slot, site->AddCartridge(std::move(volume)));
+    r_cartridge_slots.push_back(slot);
+  }
+  workload.r_slot = r_cartridge_slots.front();
+  for (int cartridge : r_cartridge_of) {
+    workload.r_slots.push_back(r_cartridge_slots[static_cast<size_t>(cartridge)]);
+  }
 
   std::uint64_t s_tuples = BytesToBlocks(config.s_bytes, bb).value() * tuples_per_block;
   for (int k = 0; k < config.s_cartridges; ++k) {

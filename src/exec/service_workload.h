@@ -27,6 +27,13 @@ struct ServiceWorkloadConfig {
   ByteCount s_bytes = 0;
   /// Distinct R relations, all appended to one shared cartridge.
   int r_relations = 1;
+  /// Cartridges the R relations are distributed over (relation j goes to
+  /// cartridge j mod r_cartridges, in generation order). 1 (the default,
+  /// bit-identical to the original single-cartridge layout) makes every
+  /// query contend for the same R tape — which serializes the whole service,
+  /// since an in-flight query keeps it mounted. Concurrency benches spread R
+  /// over several cartridges.
+  int r_cartridges = 1;
   /// Bytes of each R relation.
   ByteCount r_bytes = 0;
   double compressibility = 0.25;
@@ -40,8 +47,10 @@ struct ServiceWorkloadConfig {
 struct ServiceWorkload {
   std::vector<rel::Relation> r;
   std::vector<rel::Relation> s;
-  /// Slot of the shared R cartridge.
+  /// Slot of the first R cartridge (the only one when r_cartridges == 1).
   int r_slot = -1;
+  /// Slot of the cartridge holding each R relation (parallel to `r`).
+  std::vector<int> r_slots;
   /// Slot of each S cartridge (parallel to `s`).
   std::vector<int> s_slots;
 };

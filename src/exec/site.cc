@@ -136,23 +136,71 @@ Result<int> Site::AddCartridge(std::unique_ptr<tape::TapeVolume> volume) {
   return library_->AddCartridge(std::move(volume));
 }
 
-Result<std::vector<int>> Site::AcquireDrives(int n) {
-  std::vector<int> picked;
-  for (int i = 0; i < drive_count() && static_cast<int>(picked.size()) < n; ++i) {
-    if (!drive_leased_[static_cast<size_t>(i)]) picked.push_back(i);
+DriveLease& DriveLease::operator=(DriveLease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    site_ = other.site_;
+    drives_ = std::move(other.drives_);
+    holder_ = std::move(other.holder_);
+    other.site_ = nullptr;
+    other.drives_.clear();
   }
+  return *this;
+}
+
+void DriveLease::Release() {
+  if (site_ == nullptr) return;
+  site_->ReleaseDrivesTagged(drives_, holder_);
+  site_ = nullptr;
+  drives_.clear();
+}
+
+Result<std::vector<int>> Site::PickDrives(int n, std::string_view holder,
+                                          const std::vector<int>& preferred) {
+  std::vector<int> picked;
+  auto take = [&](int i) {
+    if (i < 0 || i >= drive_count()) return;
+    if (drive_leased_[static_cast<size_t>(i)]) return;
+    for (int p : picked) {
+      if (p == i) return;
+    }
+    if (static_cast<int>(picked.size()) < n) picked.push_back(i);
+  };
+  for (int p : preferred) take(p);
+  for (int i = 0; i < drive_count(); ++i) take(i);
   if (static_cast<int>(picked.size()) < n) {
     return Status::ResourceExhausted(
         StrFormat("need %d free tape drives, %d available", n, free_drives()));
   }
-  for (int i : picked) drive_leased_[static_cast<size_t>(i)] = true;
+  for (int i : picked) {
+    drive_leased_[static_cast<size_t>(i)] = true;
+    if (sim_.auditor() != nullptr) {
+      sim_.auditor()->OnDriveLease(drives_[static_cast<size_t>(i)]->name(), holder);
+    }
+  }
   return picked;
 }
 
-void Site::ReleaseDrives(const std::vector<int>& indices) {
+void Site::ReleaseDrivesTagged(const std::vector<int>& indices, std::string_view holder) {
   for (int i : indices) {
-    if (i >= 0 && i < drive_count()) drive_leased_[static_cast<size_t>(i)] = false;
+    if (i < 0 || i >= drive_count()) continue;
+    drive_leased_[static_cast<size_t>(i)] = false;
+    if (sim_.auditor() != nullptr) {
+      sim_.auditor()->OnDriveRelease(drives_[static_cast<size_t>(i)]->name(), holder);
+    }
   }
+}
+
+Result<DriveLease> Site::LeaseDrives(int n, std::string_view holder,
+                                     const std::vector<int>& preferred) {
+  TERTIO_ASSIGN_OR_RETURN(std::vector<int> picked, PickDrives(n, holder, preferred));
+  return DriveLease(this, std::move(picked), std::string(holder));
+}
+
+Result<std::vector<int>> Site::AcquireDrives(int n) { return PickDrives(n, "", {}); }
+
+void Site::ReleaseDrives(const std::vector<int>& indices) {
+  ReleaseDrivesTagged(indices, "");
 }
 
 int Site::free_drives() const {

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "disk/extent_cache.h"
@@ -59,6 +60,39 @@ struct SiteConfig {
   Status Validate() const;
 };
 
+class Site;
+
+/// RAII lease over a set of tape drives. The only sanctioned way to take
+/// drives out of the Site pool (tertio_lint flags raw AcquireDrives calls
+/// outside src/exec): error paths that unwind a half-built session release
+/// their drives through the guard's destructor, so no admission failure can
+/// leak a drive. Movable, not copyable.
+class DriveLease {
+ public:
+  DriveLease() = default;
+  DriveLease(const DriveLease&) = delete;
+  DriveLease& operator=(const DriveLease&) = delete;
+  DriveLease(DriveLease&& other) noexcept { *this = std::move(other); }
+  DriveLease& operator=(DriveLease&& other) noexcept;
+  ~DriveLease() { Release(); }
+
+  /// Returns the drives to the pool now (idempotent).
+  void Release();
+
+  bool active() const { return site_ != nullptr; }
+  const std::vector<int>& drives() const { return drives_; }
+  const std::string& holder() const { return holder_; }
+
+ private:
+  friend class Site;
+  DriveLease(Site* site, std::vector<int> drives, std::string holder)
+      : site_(site), drives_(std::move(drives)), holder_(std::move(holder)) {}
+
+  Site* site_ = nullptr;
+  std::vector<int> drives_;
+  std::string holder_;
+};
+
 /// The shared installation: simulation + devices + site-wide budgets.
 class Site {
  public:
@@ -97,11 +131,24 @@ class Site {
   /// SimSan the cartridge's scratch bounds are audited like any volume.
   Result<int> AddCartridge(std::unique_ptr<tape::TapeVolume> volume);
 
-  /// Leases the lowest-indexed `n` free drives. Fails with
-  /// ResourceExhausted when fewer are free.
+  /// Leases `n` free drives as an RAII guard under `holder` (the session
+  /// name; SimSan's lease-exclusivity ledger is keyed on it). Drives listed
+  /// in `preferred` are taken first when free — the scheduler uses this to
+  /// route a follower onto the drive already holding its leader's cartridge —
+  /// then the lowest-indexed free drives fill the remainder, which with an
+  /// empty preference list reproduces the legacy lowest-indexed pick exactly.
+  /// Fails with ResourceExhausted when fewer than `n` are free.
+  Result<DriveLease> LeaseDrives(int n, std::string_view holder,
+                                 const std::vector<int>& preferred = {});
+
+  /// Raw (non-RAII) lease of the lowest-indexed `n` free drives. Prefer
+  /// LeaseDrives; tertio_lint flags calls to this outside src/exec.
   Result<std::vector<int>> AcquireDrives(int n);
   void ReleaseDrives(const std::vector<int>& indices);
   int free_drives() const;
+  bool drive_leased(int i) const {
+    return i >= 0 && i < drive_count() && drive_leased_[static_cast<size_t>(i)];
+  }
 
   /// Effective tape rate (bytes/s) for data of the given compressibility.
   BytesPerSecond EffectiveTapeRate(double compressibility) const {
@@ -123,7 +170,15 @@ class Site {
   sim::Auditor* auditor() const { return sim_.auditor(); }
 
  private:
+  friend class DriveLease;
+
   void BindAuditor(sim::Auditor* auditor);
+
+  /// Marks `n` drives leased (preferred first, then lowest-indexed) and
+  /// reports each to the auditor's lease ledger under `holder`.
+  Result<std::vector<int>> PickDrives(int n, std::string_view holder,
+                                      const std::vector<int>& preferred);
+  void ReleaseDrivesTagged(const std::vector<int>& indices, std::string_view holder);
 
   SiteConfig config_;
   sim::Simulation sim_;

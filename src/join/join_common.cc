@@ -63,13 +63,21 @@ sim::FaultStats ContextFaultStats(const JoinContext& ctx) {
 
 StatsScope::StatsScope(const JoinContext& ctx)
     : ctx_(ctx),
-      start_(std::max(ctx.sim->Horizon(), ctx.not_before)),
+      start_(ctx.exact_anchor ? ctx.not_before
+                              : std::max(ctx.sim->Horizon(), ctx.not_before)),
       tape_r_before_(ctx.drive_r->stats()),
       tape_s_before_(ctx.drive_s->stats()),
       disk_before_(ctx.disks->TotalStats()),
       mem_reserved_before_(ctx.memory->reserved_blocks()),
       robot_ops_before_(ctx.robot != nullptr ? ctx.robot->stats().op_count : 0),
-      faults_before_(ContextFaultStats(ctx)) {}
+      faults_before_(ContextFaultStats(ctx)) {
+  if (ctx.exact_anchor) {
+    resource_horizons_before_.reserve(ctx.sim->resources().size());
+    for (const auto& r : ctx.sim->resources()) {
+      resource_horizons_before_.push_back(r->stats().horizon);
+    }
+  }
+}
 
 void StatsScope::Fill(JoinStats* stats) const {
   // SimSan: a join just finished — cross-check the O(1) horizon cache
@@ -89,7 +97,22 @@ void StatsScope::Fill(JoinStats* stats) const {
   stats->disk_blocks_read = d.blocks_read - disk_before_.blocks_read;
   stats->disk_blocks_written = d.blocks_written - disk_before_.blocks_written;
   stats->disk_requests = d.requests - disk_before_.requests;
-  stats->response_seconds = ctx_.sim->Horizon() - start_;
+  if (ctx_.exact_anchor) {
+    // Another session may be in flight on other devices (or queued later on
+    // shared ones), so the global horizon is not this join's end. The join
+    // ends at the latest horizon among the resources *it* advanced.
+    SimSeconds join_end = start_;
+    const auto& resources = ctx_.sim->resources();
+    for (std::size_t i = 0; i < resources.size(); ++i) {
+      SimSeconds after = resources[i]->stats().horizon;
+      SimSeconds before =
+          i < resource_horizons_before_.size() ? resource_horizons_before_[i] : 0.0;
+      if (after > before && after > join_end) join_end = after;
+    }
+    stats->response_seconds = join_end - start_;
+  } else {
+    stats->response_seconds = ctx_.sim->Horizon() - start_;
+  }
   stats->peak_memory_blocks = ctx_.memory->peak_reserved_blocks();
   BlockCount reserved = ctx_.memory->reserved_blocks();
   stats->memory_occupied_blocks =

@@ -69,10 +69,13 @@ class StatsScope {
   explicit StatsScope(const JoinContext& ctx);
 
   /// Virtual time at which this scope (join) began — the horizon when it was
-  /// constructed. All of the join's operations start at or after this.
+  /// constructed (or exactly ctx.not_before under JoinContext::exact_anchor).
+  /// All of the join's operations start at or after this.
   SimSeconds start() const { return start_; }
 
-  /// Fills traffic/request deltas and response time (horizon - start).
+  /// Fills traffic/request deltas and response time (horizon - start; under
+  /// exact_anchor, the latest per-resource horizon this join advanced minus
+  /// start, so another in-flight session's timeline does not count).
   void Fill(JoinStats* stats) const;
 
  private:
@@ -84,6 +87,9 @@ class StatsScope {
   BlockCount mem_reserved_before_;
   std::uint64_t robot_ops_before_;
   sim::FaultStats faults_before_;
+  /// Per-resource horizons at construction, index-aligned with
+  /// sim.resources(); only captured under exact_anchor.
+  std::vector<SimSeconds> resource_horizons_before_;
 };
 
 /// Aggregated fault counters of every device in `ctx` (drives + disks);

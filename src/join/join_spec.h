@@ -62,6 +62,14 @@ struct JoinContext {
   /// the service layer sets it to the query's admission time so a join on an
   /// idle site still starts no earlier than its arrival.
   SimSeconds not_before = 0.0;
+  /// Anchor the join at exactly not_before instead of
+  /// max(Horizon(), not_before), and measure response_seconds from
+  /// per-resource horizon deltas instead of the global horizon. Set by the
+  /// concurrent scheduler when other sessions are in flight: the global
+  /// horizon then includes the *other* sessions' queued work, so anchoring
+  /// or measuring against it would serialize independent joins. Off (the
+  /// seed behavior) for the single-query path and for serial dispatch.
+  bool exact_anchor = false;
   /// Retain every pipeline span in JoinStats::spans (per-phase summaries are
   /// always collected; full span lists of paper-scale joins are large).
   bool retain_spans = false;

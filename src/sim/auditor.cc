@@ -37,6 +37,8 @@ std::string_view AuditKindToString(AuditKind kind) {
       return "Accounting";
     case AuditKind::kUnregisteredSpan:
       return "UnregisteredSpan";
+    case AuditKind::kLeaseExclusivity:
+      return "LeaseExclusivity";
   }
   return "Unknown";
 }
@@ -334,6 +336,37 @@ void Auditor::OnHorizonCheck(SimSeconds cached, SimSeconds recomputed) {
   }
 }
 
+void Auditor::OnDriveLease(std::string_view drive, std::string_view holder) {
+  checks_ += 1;
+  std::string& current = drive_holders_[std::string(drive)];
+  if (!current.empty()) {
+    Report(AuditKind::kLeaseExclusivity, drive,
+           StrFormat("leased to '%.*s' while still held by '%s'",
+                     static_cast<int>(holder.size()), holder.data(), current.c_str()),
+           {});
+  }
+  // An anonymous lease still occupies the drive in the ledger; "?" keeps it
+  // distinct from the empty string that means "free".
+  current = holder.empty() ? std::string("?") : std::string(holder);
+}
+
+void Auditor::OnDriveRelease(std::string_view drive, std::string_view holder) {
+  checks_ += 1;
+  std::string& current = drive_holders_[std::string(drive)];
+  if (current.empty()) {
+    Report(AuditKind::kLeaseExclusivity, drive,
+           StrFormat("released by '%.*s' but no session holds it",
+                     static_cast<int>(holder.size()), holder.data()),
+           {});
+  } else if (!holder.empty() && current != "?" && current != holder) {
+    Report(AuditKind::kLeaseExclusivity, drive,
+           StrFormat("released by '%.*s' but held by '%s'",
+                     static_cast<int>(holder.size()), holder.data(), current.c_str()),
+           {});
+  }
+  current.clear();
+}
+
 Status Auditor::Check() const {
   if (clean()) return Status::OK();
   return Status::Internal(TraceString());
@@ -364,6 +397,7 @@ std::string Auditor::TraceString() const {
 void Auditor::Clear() {
   resources_.clear();
   caches_.clear();
+  drive_holders_.clear();
   violations_.clear();
   dropped_violations_ = 0;
   checks_ = 0;

@@ -67,6 +67,9 @@ enum class AuditKind : int {
   kAccounting,
   /// A pipeline stage used a phase label missing from span_registry.h.
   kUnregisteredSpan,
+  /// A drive lease broke exclusivity: two sessions held the same drive at
+  /// once, or a session released a drive it never held.
+  kLeaseExclusivity,
 };
 
 std::string_view AuditKindToString(AuditKind kind);
@@ -158,6 +161,15 @@ class Auditor {
   /// The Simulation compared its cached horizon against a recomputation.
   void OnHorizonCheck(SimSeconds cached, SimSeconds recomputed);
 
+  /// A Site leased `drive` to `holder`. The auditor keeps a per-drive holder
+  /// ledger, so a lease of a drive another session still holds is a
+  /// kLeaseExclusivity violation regardless of what the Site's own free-list
+  /// believes — overlapping QuerySessions must partition the drive pool.
+  void OnDriveLease(std::string_view drive, std::string_view holder);
+
+  /// A Site took `drive` back from `holder` (empty holder = unknown caller).
+  void OnDriveRelease(std::string_view drive, std::string_view holder);
+
   // --- Results -------------------------------------------------------------
 
   bool clean() const { return violations_.empty(); }
@@ -203,6 +215,8 @@ class Auditor {
 
   std::map<std::string, ResourceState, std::less<>> resources_;
   std::map<std::string, CacheLedger, std::less<>> caches_;
+  /// Per-drive current lease holder (empty value = free).
+  std::map<std::string, std::string, std::less<>> drive_holders_;
   std::vector<AuditViolation> violations_;
   std::uint64_t dropped_violations_ = 0;
   std::uint64_t checks_ = 0;

@@ -36,7 +36,11 @@ Result<int> TapeLibrary::FindSlotOf(const TapeDrive* drive) const {
       StrFormat("drive %s holds no cartridge from this library", drive->name().c_str()));
 }
 
-Result<sim::Interval> TapeLibrary::RobotTrip(const char* tag, SimSeconds ready) {
+Result<sim::Interval> TapeLibrary::RobotTrip(const char* tag, SimSeconds ready,
+                                             int dest_slot) {
+  SimSeconds trip_seconds =
+      model_.exchange_seconds +
+      model_.travel_seconds_per_slot * ExchangeDistance(dest_slot);
   if (faults_ != nullptr && faults_->enabled()) {
     sim::FaultInjector::ExchangeOutcome outcome =
         faults_->SimulateExchange(model_.exchange_seconds);
@@ -51,7 +55,9 @@ Result<sim::Interval> TapeLibrary::RobotTrip(const char* tag, SimSeconds ready) 
           StrFormat("library %s: robot exchange kept failing", model_.name.c_str()));
     }
   }
-  return robot_->Schedule(ready, model_.exchange_seconds, 0, tag);
+  sim::Interval trip = robot_->Schedule(ready, trip_seconds, 0, tag);
+  robot_position_ = dest_slot;
+  return trip;
 }
 
 Result<sim::Interval> TapeLibrary::Mount(int slot, TapeDrive* drive, SimSeconds ready) {
@@ -77,11 +83,12 @@ Result<sim::Interval> TapeLibrary::Mount(int slot, TapeDrive* drive, SimSeconds 
   if (auto home = FindSlotOf(drive); home.ok()) {
     TERTIO_ASSIGN_OR_RETURN(sim::Interval rewind, drive->Rewind(cursor));
     TERTIO_ASSIGN_OR_RETURN(sim::Interval unload, drive->Unload(rewind.end));
-    TERTIO_ASSIGN_OR_RETURN(sim::Interval eject, RobotTrip("robot.eject", unload.end));
+    TERTIO_ASSIGN_OR_RETURN(sim::Interval eject,
+                            RobotTrip("robot.eject", unload.end, home.value()));
     slots_[static_cast<size_t>(home.value())].mounted_in = nullptr;
     cursor = eject.end;
   }
-  TERTIO_ASSIGN_OR_RETURN(sim::Interval inject, RobotTrip("robot.inject", cursor));
+  TERTIO_ASSIGN_OR_RETURN(sim::Interval inject, RobotTrip("robot.inject", cursor, slot));
   TERTIO_ASSIGN_OR_RETURN(sim::Interval load, drive->Load(target.volume.get(), inject.end));
   // Only now is the cartridge actually in the drive.
   target.mounted_in = drive;
@@ -93,7 +100,7 @@ Result<sim::Interval> TapeLibrary::Dismount(TapeDrive* drive, SimSeconds ready) 
   TERTIO_ASSIGN_OR_RETURN(int home, FindSlotOf(drive));
   TERTIO_ASSIGN_OR_RETURN(sim::Interval rewind, drive->Rewind(ready));
   TERTIO_ASSIGN_OR_RETURN(sim::Interval unload, drive->Unload(rewind.end));
-  TERTIO_ASSIGN_OR_RETURN(sim::Interval stow, RobotTrip("robot.stow", unload.end));
+  TERTIO_ASSIGN_OR_RETURN(sim::Interval stow, RobotTrip("robot.stow", unload.end, home));
   slots_[static_cast<size_t>(home)].mounted_in = nullptr;
   return sim::Interval{ready, stow.end};
 }

@@ -54,6 +54,20 @@ class TapeLibrary {
     return slots_[static_cast<size_t>(slot)].mounted_in;
   }
 
+  /// The slot the robot arm last exchanged with (0 before any trip — the
+  /// arm parks at the first slot). The elevator service policy sweeps its
+  /// cartridge queue relative to this position.
+  int robot_position() const { return robot_position_; }
+
+  /// Slots of arm travel a trip to `slot` would cost from the current
+  /// position. With TapeLibraryModel::travel_seconds_per_slot == 0 this is
+  /// informational only (every trip costs exchange_seconds regardless);
+  /// otherwise each slot of distance adds that much robot time.
+  int ExchangeDistance(int slot) const {
+    int d = slot - robot_position_;
+    return d < 0 ? -d : d;
+  }
+
   /// Mounts the cartridge in `slot` into `drive`. If the drive holds another
   /// cartridge it is exchanged (one robot trip to return it, one to fetch the
   /// new one) and returned to its home slot. \returns the interval covering
@@ -73,14 +87,17 @@ class TapeLibrary {
 
   Result<int> FindSlotOf(const TapeDrive* drive) const;
 
-  /// One robot exchange trip at `ready`, drawing exchange failures from the
-  /// injector (each failed trip occupies the robot for a full exchange).
-  Result<sim::Interval> RobotTrip(const char* tag, SimSeconds ready);
+  /// One robot exchange trip to `dest_slot` at `ready`, drawing exchange
+  /// failures from the injector (each failed trip occupies the robot for a
+  /// full exchange). Charges travel_seconds_per_slot for the arm distance and
+  /// leaves the arm parked at `dest_slot`.
+  Result<sim::Interval> RobotTrip(const char* tag, SimSeconds ready, int dest_slot);
 
   TapeLibraryModel model_;
   sim::Resource* robot_;
   std::vector<Slot> slots_;
   sim::FaultInjector* faults_ = nullptr;
+  int robot_position_ = 0;
 };
 
 }  // namespace tertio::tape

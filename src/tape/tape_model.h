@@ -98,6 +98,12 @@ struct TapeLibraryModel {
   SimSeconds exchange_seconds = 30.0;
   /// Number of cartridge slots.
   int slots = 16;
+  /// Additional robot travel cost per slot of distance between the robot's
+  /// current position and the slot it exchanges with. 0 (the default, and
+  /// the paper's flat ~30 s exchange model) makes every trip cost exactly
+  /// exchange_seconds; a positive value lets the service layer's elevator
+  /// policy (exec/query_scheduler.h) minimize real arm travel.
+  SimSeconds travel_seconds_per_slot = 0.0;
 
   static TapeLibraryModel SmallAutoloader();
 };

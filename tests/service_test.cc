@@ -272,6 +272,46 @@ TEST(QuerySessionTest, SessionBudgetBoundsAreLocal) {
   EXPECT_TRUE(released.ok());
 }
 
+TEST(QuerySessionTest, FailedOpenReleasesItsDrivesThroughTheLeaseGuard) {
+  SiteConfig config;
+  config.memory_bytes = 32 * kMB;
+  Site site(config);
+  sim::Auditor* auditor = site.EnableAudit();
+
+  // Regression: Open leases its two drives before the memory lease and the
+  // disk carve. Either later step failing used to leak the drives (the
+  // error return skipped the release); the DriveLease guard is now the
+  // single release path, so a failed admission leaves the pool untouched.
+  ASSERT_EQ(site.free_drives(), 2);
+
+  SessionResources over_memory;
+  over_memory.name = "over-mem";
+  over_memory.memory_blocks = site.memory_blocks() + 1;
+  EXPECT_FALSE(QuerySession::Open(&site, over_memory).ok());
+  EXPECT_EQ(site.free_drives(), 2);
+  EXPECT_EQ(site.memory().reserved_blocks(), 0u);
+
+  SessionResources over_disk;
+  over_disk.name = "over-disk";
+  over_disk.memory_blocks = 1;
+  over_disk.disk_blocks = site.disk_blocks() + 1;
+  EXPECT_FALSE(QuerySession::Open(&site, over_disk).ok());
+  EXPECT_EQ(site.free_drives(), 2);
+  // The memory lease acquired before the failing carve must unwind too.
+  EXPECT_EQ(site.memory().reserved_blocks(), 0u);
+
+  // The pool is genuinely usable afterwards, and the auditor's
+  // lease-exclusivity ledger balanced over the failed opens.
+  SessionResources fits;
+  fits.name = "fits";
+  fits.memory_blocks = 1;
+  auto session = QuerySession::Open(&site, fits);
+  EXPECT_TRUE(session.ok()) << session.status();
+  session->reset();
+  EXPECT_EQ(site.free_drives(), 2);
+  EXPECT_TRUE(auditor->Check().ok()) << auditor->TraceString();
+}
+
 ServiceWorkloadConfig SmallServiceWorkload(bool phantom) {
   ServiceWorkloadConfig config;
   config.s_cartridges = 1;

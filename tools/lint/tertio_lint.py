@@ -36,6 +36,10 @@ encapsulation
       (MountR/MountS) or the QueryScheduler.
     - extent-cache: `ExtentCache::Admit` / `ExtentCache::ReadThrough` are
       confined to src/disk and src/exec.
+    - drive-lease: `Site::AcquireDrives` / `Site::LeaseDrives` are confined
+      to src/exec; everywhere else drive ownership flows through an
+      exec::QuerySession so the RAII lease guard (and SimSan's
+      lease-exclusivity ledger) cannot be bypassed.
     - simd: raw SIMD intrinsics and intrinsic headers are confined to
       src/join/simd.h; CMake defaults must not pin -march/-mcpu/-mtune.
 
@@ -258,7 +262,7 @@ def check_hot_paths(repo: Repo, findings: list[Finding]) -> None:
 
 
 # ---------------------------------------------------------------------------
-# encapsulation pack (mount, extent-cache, simd)
+# encapsulation pack (mount, extent-cache, drive-lease, simd)
 # ---------------------------------------------------------------------------
 
 MOUNT_DIRS = ("src", "tools", "examples", "bench")
@@ -268,6 +272,10 @@ MOUNT_RE = re.compile(r"(?:\.|->)\s*Mount\s*\(")
 CACHE_DIRS = ("src", "tools", "examples", "bench")
 CACHE_ALLOWED = ("src/disk", "src/exec")
 CACHE_RE = re.compile(r"(?:\.|->)\s*(?:Admit|ReadThrough)\s*\(")
+
+DRIVE_DIRS = ("src", "tools", "examples", "bench")
+DRIVE_ALLOWED = ("src/exec",)
+DRIVE_RE = re.compile(r"(?:\.|->)\s*(?:AcquireDrives|LeaseDrives)\s*\(")
 
 SIMD_DIRS = ("src", "tools", "examples", "bench", "tests")
 SIMD_ALLOWED = ("src/join/simd.h",)
@@ -309,6 +317,17 @@ def check_encapsulation(repo: Repo, findings: list[Finding]) -> None:
                     "bypasses the cache's residency ledger and SimSan byte accounting; "
                     "go through QuerySession/QueryScheduler "
                     "(or tertio-lint: allow(extent-cache) for a deliberate exception)"))
+    for src in repo.sources(DRIVE_DIRS):
+        if not _outside(repo, src, DRIVE_ALLOWED):
+            continue
+        for idx, line in enumerate(src.stripped_lines):
+            if DRIVE_RE.search(line) and "drive-lease" not in src.waivers_for(idx + 1):
+                findings.append(Finding(
+                    src.path, idx + 1, "drive-lease",
+                    "direct Site::AcquireDrives/LeaseDrives outside src/exec bypasses "
+                    "the session's RAII DriveLease and SimSan's lease-exclusivity "
+                    "ledger; open an exec::QuerySession instead "
+                    "(or tertio-lint: allow(drive-lease) for a deliberate exception)"))
     for src in repo.sources(SIMD_DIRS):
         if not _outside(repo, src, SIMD_ALLOWED):
             continue

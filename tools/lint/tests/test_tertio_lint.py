@@ -173,6 +173,41 @@ class UnitsArgOrderTest(unittest.TestCase):
             self.assertIn("block size", out)
 
 
+class DriveLeaseTest(unittest.TestCase):
+    def test_flags_direct_lease_outside_exec(self):
+        with LintTree() as tree:
+            tree.write("tools/cli.cc",
+                       "auto lease = site.LeaseDrives(2, tag, want);\n")
+            tree.write("bench/b.cc",
+                       "auto got = site->AcquireDrives(1, \"bench\");\n")
+            code, out = tree.run("--rules=encapsulation")
+            self.assertEqual(code, 1)
+            self.assertIn("tools/cli.cc:1: [drive-lease]", out)
+            self.assertIn("bench/b.cc:1: [drive-lease]", out)
+
+    def test_src_exec_is_exempt(self):
+        with LintTree() as tree:
+            tree.write("src/exec/query_session.cc",
+                       "auto lease = site->LeaseDrives(2, tag, want);\n")
+            code, out = tree.run("--rules=encapsulation")
+            self.assertEqual(code, 0, out)
+
+    def test_waiver_suppresses(self):
+        with LintTree() as tree:
+            tree.write("tools/cli.cc",
+                       "auto lease = site.AcquireDrives(1, \"cli\");"
+                       "  // tertio-lint: allow(drive-lease)\n")
+            code, out = tree.run("--rules=encapsulation")
+            self.assertEqual(code, 0, out)
+
+    def test_mentions_in_comments_ignored(self):
+        with LintTree() as tree:
+            tree.write("src/disk/d.h",
+                       "// Prefer LeaseDrives(...) over AcquireDrives(...).\n")
+            code, out = tree.run("--rules=encapsulation")
+            self.assertEqual(code, 0, out)
+
+
 class PackSelectionTest(unittest.TestCase):
     def test_units_pack_skips_hot_path_rules(self):
         with LintTree() as tree:

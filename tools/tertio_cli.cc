@@ -56,9 +56,11 @@ int Usage() {
                "usage: tertio_cli <advise|estimate|run|sweep|serve> --r-mb N --s-mb N "
                "--disk-mb N --memory-mb N [--method NAME] [--compressibility F] "
                "[--faults SPEC] [--gantt] [--spans]\n"
-               "serve:   multi-query service, fifo vs shared-scan; also takes "
-               "[--queries N] [--clients N] [--interarrival S] [--cartridges N] "
-               "[--r-relations N] [--cache-blocks N]\n"
+               "serve:   multi-query service; also takes "
+               "[--policy fifo|shared|elevator] [--max-in-flight N] [--aging S] "
+               "[--drives N] [--queries N] [--clients N] [--interarrival S] "
+               "[--cartridges N] [--r-relations N] [--r-cartridges N] "
+               "[--cache-blocks N]\n"
                "methods: DT-NB CDT-NB/MB CDT-NB/DB DT-GH CDT-GH CTT-GH TT-GH\n"
                "faults:  comma list, e.g. "
                "seed=7,tape-transient=1e-4,tape-bad=1e-6,disk-transient=1e-5,"
@@ -295,10 +297,14 @@ struct ServeResult {
 };
 
 Result<ServeResult> RunService(const Flags& flags, exec::ServicePolicy policy) {
+  int max_in_flight = std::max(1, static_cast<int>(flags.GetDouble("max-in-flight", 1)));
   exec::SiteConfig site_config;
   site_config.disk_space_bytes = static_cast<ByteCount>(flags.GetDouble("disk-mb", 0) * static_cast<double>(kMB.value()));
   site_config.memory_bytes = static_cast<ByteCount>(flags.GetDouble("memory-mb", 0) * static_cast<double>(kMB.value()));
   site_config.with_library = true;
+  // Concurrency needs drives: default two per in-flight session.
+  site_config.drive_count =
+      static_cast<int>(flags.GetDouble("drives", 2.0 * max_in_flight));
   // HSM tier: carve this many blocks of the disk into the cross-query
   // extent cache (0 = disabled).
   site_config.cache_blocks = static_cast<BlockCount>(flags.GetDouble("cache-blocks", 0));
@@ -314,6 +320,7 @@ Result<ServeResult> RunService(const Flags& flags, exec::ServicePolicy policy) {
   load.r_bytes = static_cast<ByteCount>(flags.GetDouble("r-mb", 0) * static_cast<double>(kMB.value()));
   load.s_cartridges = static_cast<int>(flags.GetDouble("cartridges", 2));
   load.r_relations = static_cast<int>(flags.GetDouble("r-relations", 4));
+  load.r_cartridges = static_cast<int>(flags.GetDouble("r-cartridges", 1));
   load.compressibility = flags.GetDouble("compressibility", 0.25);
   TERTIO_ASSIGN_OR_RETURN(exec::ServiceWorkload workload,
                           exec::PrepareServiceWorkload(&site, load));
@@ -328,15 +335,20 @@ Result<ServeResult> RunService(const Flags& flags, exec::ServicePolicy policy) {
     request.spec.r = &workload.r[static_cast<size_t>(q) % workload.r.size()];
     request.spec.s = &workload.s[static_cast<size_t>(q) % workload.s.size()];
     request.method = method;
-    request.memory_blocks = site.memory_blocks();
-    request.disk_blocks = site.session_disk_blocks();
+    // Each in-flight session gets an equal share of memory and disk.
+    request.memory_blocks = site.memory_blocks() / max_in_flight;
+    request.disk_blocks = site.session_disk_blocks() / max_in_flight;
     return request;
   };
 
   int queries = static_cast<int>(flags.GetDouble("queries", 8));
   int clients = static_cast<int>(flags.GetDouble("clients", 0));
   double interarrival = flags.GetDouble("interarrival", 600.0);
-  exec::QueryScheduler scheduler(&site, policy);
+  exec::SchedulerOptions options;
+  options.max_in_flight = max_in_flight;
+  options.elevator_aging_seconds =
+      flags.GetDouble("aging", options.elevator_aging_seconds.value());
+  exec::QueryScheduler scheduler(&site, policy, options);
   if (clients > 0) {
     // Closed loop: each completion triggers that client's next query.
     int issued = clients;
@@ -372,18 +384,47 @@ double ServePercentile(const std::vector<double>& sorted, double p) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
+const char* PolicyLabel(exec::ServicePolicy policy) {
+  switch (policy) {
+    case exec::ServicePolicy::kFifo:
+      return "fifo";
+    case exec::ServicePolicy::kSharedScan:
+      return "shared-scan";
+    case exec::ServicePolicy::kElevator:
+      return "elevator";
+  }
+  return "?";
+}
+
 int CmdServe(const Flags& flags) {
+  // Default: compare every policy side by side; --policy narrows to one.
+  std::vector<exec::ServicePolicy> policies = {exec::ServicePolicy::kFifo,
+                                               exec::ServicePolicy::kSharedScan,
+                                               exec::ServicePolicy::kElevator};
+  if (flags.Has("policy")) {
+    std::string name = flags.GetString("policy", "");
+    if (name == "fifo") {
+      policies = {exec::ServicePolicy::kFifo};
+    } else if (name == "shared" || name == "shared-scan") {
+      policies = {exec::ServicePolicy::kSharedScan};
+    } else if (name == "elevator") {
+      policies = {exec::ServicePolicy::kElevator};
+    } else {
+      std::fprintf(stderr, "unknown --policy %s (fifo|shared|elevator)\n", name.c_str());
+      return 2;
+    }
+  }
   exec::TableReport table({"policy", "queries", "p50 resp", "p99 resp", "makespan",
-                           "tape read (MB)", "shared (MB)", "cached (MB)", "shared queries"});
-  for (exec::ServicePolicy policy :
-       {exec::ServicePolicy::kFifo, exec::ServicePolicy::kSharedScan}) {
+                           "tape read (MB)", "shared (MB)", "cached (MB)", "shared queries",
+                           "robot", "peak"});
+  for (exec::ServicePolicy policy : policies) {
     auto result = RunService(flags, policy);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
     }
     table.AddRow(
-        {policy == exec::ServicePolicy::kFifo ? "fifo" : "shared-scan",
+        {PolicyLabel(policy),
          StrFormat("%llu", (unsigned long long)result->stats.completed),
          FormatDuration(ServePercentile(result->responses, 0.50)),
          FormatDuration(ServePercentile(result->responses, 0.99)),
@@ -397,7 +438,9 @@ int CmdServe(const Flags& flags) {
          StrFormat("%.0f", static_cast<double>(BlocksToBytes(result->stats.tape_blocks_cached,
                                                              kDefaultBlockBytes).value()) /
                                 static_cast<double>(kMB.value())),
-         StrFormat("%llu", (unsigned long long)result->stats.scan_shared_queries)});
+         StrFormat("%llu", (unsigned long long)result->stats.scan_shared_queries),
+         StrFormat("%llu", (unsigned long long)result->stats.robot_exchanges),
+         StrFormat("%llu", (unsigned long long)result->stats.peak_in_flight)});
   }
   table.Print();
   return 0;

@@ -75,7 +75,7 @@ if commit < 5.0:
 EOF
 rm -f "$SMOKE_JSON"
 
-echo "== bench smoke: query service must emit the extent-cache Zipf metrics =="
+echo "== bench smoke: query service must emit the cache + concurrency metrics =="
 SMOKE_JSON="$(mktemp -t bench_joins.XXXXXX.json)"
 rm -f "$SMOKE_JSON"
 TERTIO_BENCH_JSON="$SMOKE_JSON" ./build/bench/bench_query_service >/dev/null
@@ -84,6 +84,30 @@ if ! grep -q 'zipf_tape_block_drop' "$SMOKE_JSON" \
   echo "FAIL: bench_query_service did not record the zipf cache sweep" >&2
   exit 1
 fi
+python3 - "$SMOKE_JSON" <<'EOF'
+import json, sys
+benches = json.load(open(sys.argv[1]))["benches"]
+metrics = next(b["metrics"] for b in benches if b["name"] == "bench_query_service")
+# The policy x max_in_flight sweep must be present for every elevator cell...
+for cap in (1, 2, 4):
+    for key in ("makespan_seconds", "p50_seconds", "p99_seconds",
+                "wait_p50_seconds", "wait_p99_seconds", "robot_exchanges"):
+        name = f"svc_elevator_c{cap}_{key}"
+        if name not in metrics:
+            sys.exit(f"FAIL: bench_query_service did not record {name}")
+# ...and concurrent elevator dispatch must beat the serial FIFO baseline.
+fifo_c1 = metrics["svc_fifo_c1_makespan_seconds"]
+elev_c4 = metrics["svc_elevator_c4_makespan_seconds"]
+print(f"svc sweep: fifo@c1 makespan {fifo_c1:.0f}s, elevator@c4 {elev_c4:.0f}s")
+if elev_c4 >= fifo_c1:
+    sys.exit(f"FAIL: elevator@c4 makespan {elev_c4:.0f}s does not beat "
+             f"serial fifo {fifo_c1:.0f}s")
+robot_fifo = metrics["svc_fifo_c1_robot_exchanges"]
+robot_elev = metrics["svc_elevator_c1_robot_exchanges"]
+if robot_elev > robot_fifo:
+    sys.exit(f"FAIL: elevator@c1 made {robot_elev:.0f} robot trips, "
+             f"more than fifo's {robot_fifo:.0f}")
+EOF
 rm -f "$SMOKE_JSON"
 
 if [[ "$FAST" == 1 ]]; then
